@@ -1,0 +1,179 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. Figure regeneration — prints the series behind every table and
+      figure of the paper's evaluation (7a, 7b, 8a, 8b, plus the
+      stability and state companions), at a reduced run count so the
+      whole harness stays fast.  `bin/hbh_sim.exe all --runs 500`
+      reproduces them at the paper's full 500 runs.
+   2. Bechamel micro-benchmarks — one Test.make per figure measuring
+      the cost of regenerating one Monte-Carlo sample of it, plus the
+      substrate operations (routing recomputation, per-protocol tree
+      construction, event-driven convergence). *)
+
+open Bechamel
+open Toolkit
+
+(* ---- Part 1: figure regeneration ---------------------------------------- *)
+
+let figure_runs = 150
+
+let print_figures () =
+  Format.printf "=== Paper figures (reduced to %d runs; paper uses 500) ===@.@."
+    figure_runs;
+  let isp = Experiments.Figures.isp ~runs:figure_runs ~seed:42 () in
+  let rand = Experiments.Figures.rand50 ~runs:figure_runs ~seed:42 () in
+  Format.printf "-- Figure 7(a) --@.";
+  Stats.Series.render Format.std_formatter isp.cost;
+  Format.printf "@.-- Figure 7(b) --@.";
+  Stats.Series.render Format.std_formatter rand.cost;
+  Format.printf "@.-- Figure 8(a) --@.";
+  Stats.Series.render Format.std_formatter isp.delay;
+  Format.printf "@.-- Figure 8(b) --@.";
+  Stats.Series.render Format.std_formatter rand.delay;
+  let hi = Experiments.Figures.headline isp in
+  let hr = Experiments.Figures.headline rand in
+  Format.printf
+    "@.HBH vs REUNITE — ISP: cost %.1f%%, delay %.1f%% | RAND50: cost %.1f%%, delay %.1f%%@."
+    hi.hbh_cost_advantage_pct hi.hbh_delay_advantage_pct
+    hr.hbh_cost_advantage_pct hr.hbh_delay_advantage_pct;
+  Format.printf "@.-- Stability (Figure 4 companion) --@.";
+  let st =
+    Experiments.Stability.run ~runs:100 ~seed:42 (Experiments.Common.isp_config ())
+  in
+  let routers, routes = Experiments.Stability.to_groups st in
+  Stats.Series.render Format.std_formatter routers;
+  Format.printf "@.";
+  Stats.Series.render Format.std_formatter routes;
+  Format.printf "@.-- Control-plane state --@.";
+  let state =
+    Experiments.State.run ~runs:100 ~seed:42 (Experiments.Common.isp_config ())
+  in
+  Stats.Series.render Format.std_formatter state.mft;
+  Format.printf "@.";
+  Stats.Series.render Format.std_formatter state.branching;
+  Format.printf "@."
+
+(* ---- Part 2: micro-benchmarks -------------------------------------------- *)
+
+(* One Monte-Carlo sample of a figure: redraw costs, recompute
+   routing, sample receivers, build the four protocols' trees and
+   extract both metrics. *)
+let figure_sample (config : Experiments.Common.config) n =
+  let master = Stats.Rng.create 42 in
+  fun () ->
+    let rng = Stats.Rng.split master in
+    let s =
+      Workload.Scenario.make rng config.graph ~source:config.source
+        ~candidates:config.candidates ~n
+    in
+    List.iter
+      (fun p ->
+        let d = Experiments.Common.build p rng s in
+        ignore (Mcast.Metrics.of_distribution d))
+      Experiments.Common.all_protocols
+
+let protocol_tree build =
+  let master = Stats.Rng.create 42 in
+  let config = Experiments.Common.isp_config () in
+  fun () ->
+    let rng = Stats.Rng.split master in
+    let s =
+      Workload.Scenario.make rng config.graph ~source:config.source
+        ~candidates:config.candidates ~n:10
+    in
+    ignore (build s)
+
+let event_convergence () =
+  let tbl = Experiments.Scenarios.Detour.table () in
+  fun () ->
+    let session =
+      Hbh.Protocol.create tbl ~source:Experiments.Scenarios.Detour.source
+    in
+    Hbh.Protocol.subscribe session Experiments.Scenarios.Detour.r1;
+    Hbh.Protocol.subscribe session Experiments.Scenarios.Detour.r2;
+    Hbh.Protocol.converge session;
+    ignore (Hbh.Protocol.probe session)
+
+let routing_isp () =
+  let g = Topology.Isp.create () in
+  let rng = Stats.Rng.create 1 in
+  fun () ->
+    Workload.Scenario.randomize rng g;
+    ignore (Routing.Table.compute g)
+
+let routing_rand50 () =
+  let rng = Stats.Rng.create 1 in
+  let g = Topology.Generators.random_connected rng ~n:50 ~avg_degree:8.6 in
+  fun () ->
+    Workload.Scenario.randomize rng g;
+    ignore (Routing.Table.compute g)
+
+let tests () =
+  let isp = Experiments.Common.isp_config () in
+  let rand = Experiments.Common.rand50_config ~seed:42 in
+  [
+    Test.make ~name:"fig7a+8a sample (ISP, n=16, 4 protocols)"
+      (Staged.stage (figure_sample isp 16));
+    Test.make ~name:"fig7b+8b sample (RAND50, n=45, 4 protocols)"
+      (Staged.stage (figure_sample rand 45));
+    Test.make ~name:"unicast routing: ISP all-pairs"
+      (Staged.stage (routing_isp ()));
+    Test.make ~name:"unicast routing: RAND50 all-pairs"
+      (Staged.stage (routing_rand50 ()));
+    Test.make ~name:"HBH analytic tree (ISP, n=10)"
+      (Staged.stage
+         (protocol_tree (fun (s : Workload.Scenario.t) ->
+              Hbh.Analytic.build s.table ~source:s.source ~receivers:s.receivers)));
+    Test.make ~name:"REUNITE analytic tree (ISP, n=10)"
+      (Staged.stage
+         (protocol_tree (fun (s : Workload.Scenario.t) ->
+              Reunite.Analytic.build s.table ~source:s.source
+                ~receivers:s.receivers)));
+    Test.make ~name:"PIM-SS tree (ISP, n=10)"
+      (Staged.stage
+         (protocol_tree (fun (s : Workload.Scenario.t) ->
+              Pim.Pim_ss.build s.table ~source:s.source ~receivers:s.receivers)));
+    Test.make ~name:"HBH event protocol converge+probe (fig 2 topology)"
+      (Staged.stage (event_convergence ()));
+  ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let grouped = Test.make_grouped ~name:"hbh" ~fmt:"%s %s" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let pp_results ppf results =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _ tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          let cell =
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] ->
+                if est > 1e9 then Printf.sprintf "%10.2f s " (est /. 1e9)
+                else if est > 1e6 then Printf.sprintf "%10.2f ms" (est /. 1e6)
+                else if est > 1e3 then Printf.sprintf "%10.2f us" (est /. 1e3)
+                else Printf.sprintf "%10.0f ns" est
+            | Some _ | None -> "(no estimate)"
+          in
+          rows := (name, cell) :: !rows)
+        tbl)
+    results;
+  List.iter
+    (fun (name, cell) -> Format.fprintf ppf "  %-52s %s/run@." name cell)
+    (List.sort compare !rows)
+
+let () =
+  print_figures ();
+  Format.printf "=== Micro-benchmarks (Bechamel, monotonic clock) ===@.@.";
+  let results = benchmark () in
+  pp_results Format.std_formatter results;
+  Format.printf "@.done.@."

@@ -1,0 +1,319 @@
+(* Command-line driver reproducing the paper's evaluation.  Each
+   subcommand regenerates one figure (or demo) and prints the series
+   as an aligned table, like the paper's plots read as data. *)
+
+open Cmdliner
+
+let runs_arg default =
+  let doc = "Simulation runs per group size (paper: 500)." in
+  Arg.(value & opt int default & info [ "runs" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Master random seed; equal seeds reproduce results exactly." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let csv_arg =
+  let doc = "Emit CSV instead of an aligned table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let print_group ~csv group =
+  if csv then print_string (Stats.Series.to_csv group)
+  else Stats.Series.render Format.std_formatter group
+
+let print_headline label (r : Experiments.Common.result) =
+  let h = Experiments.Figures.headline r in
+  Format.printf "@.HBH vs REUNITE on the %s: cost advantage %.1f%%, delay advantage %.1f%%@."
+    label h.hbh_cost_advantage_pct h.hbh_delay_advantage_pct
+
+let fig_cmd name figure ~cost ~topo =
+  let doc =
+    Printf.sprintf "Reproduce figure %s: %s on the %s."
+      figure
+      (if cost then "average tree cost (packet copies)"
+       else "average receiver delay")
+      (match topo with `Isp -> "ISP topology" | `Rand50 -> "50-node random topology")
+  in
+  let run runs seed csv =
+    let result =
+      match topo with
+      | `Isp -> Experiments.Figures.isp ~runs ~seed ()
+      | `Rand50 -> Experiments.Figures.rand50 ~runs ~seed ()
+    in
+    print_group ~csv (if cost then result.cost else result.delay);
+    if not csv then
+      print_headline
+        (match topo with `Isp -> "ISP topology" | `Rand50 -> "random topology")
+        result
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ runs_arg 500 $ seed_arg $ csv_arg)
+
+let all_cmd =
+  let doc = "Reproduce all four evaluation figures (7a, 7b, 8a, 8b)." in
+  let run runs seed csv =
+    let isp = Experiments.Figures.isp ~runs ~seed () in
+    let rand = Experiments.Figures.rand50 ~runs ~seed () in
+    Format.printf "== Figure 7(a) ==@.";
+    print_group ~csv isp.cost;
+    Format.printf "@.== Figure 7(b) ==@.";
+    print_group ~csv rand.cost;
+    Format.printf "@.== Figure 8(a) ==@.";
+    print_group ~csv isp.delay;
+    Format.printf "@.== Figure 8(b) ==@.";
+    print_group ~csv rand.delay;
+    if not csv then begin
+      print_headline "ISP topology" isp;
+      print_headline "random topology" rand
+    end
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ runs_arg 500 $ seed_arg $ csv_arg)
+
+let stability_cmd =
+  let doc =
+    "Tree reconfiguration after one member departure (Figure 4's claim)."
+  in
+  let run runs seed csv =
+    let result =
+      Experiments.Stability.run ~runs ~seed (Experiments.Common.isp_config ())
+    in
+    let routers, routes = Experiments.Stability.to_groups result in
+    print_group ~csv routers;
+    Format.printf "@.";
+    print_group ~csv routes
+  in
+  Cmd.v (Cmd.info "stability" ~doc)
+    Term.(const run $ runs_arg 200 $ seed_arg $ csv_arg)
+
+let state_cmd =
+  let doc = "Control-plane state footprint (MCT/MFT entries) vs group size." in
+  let run runs seed csv =
+    let result =
+      Experiments.State.run ~runs ~seed (Experiments.Common.isp_config ())
+    in
+    print_group ~csv result.mft;
+    Format.printf "@.";
+    print_group ~csv result.mct;
+    Format.printf "@.";
+    print_group ~csv result.branching
+  in
+  Cmd.v (Cmd.info "state" ~doc)
+    Term.(const run $ runs_arg 200 $ seed_arg $ csv_arg)
+
+let demo_asymmetry_cmd =
+  let doc =
+    "Figure 2/5 walk-through: REUNITE serves r2 on a detour; HBH on the \
+     shortest path."
+  in
+  let run () =
+    let module D = Experiments.Scenarios.Detour in
+    Format.printf "Topology: the Section 2.3 example (S=0, R1..R4=1..4, r1=5, r2=6).@.";
+    (match D.reunite_r2_path () with
+    | Some p -> Format.printf "REUNITE data path to r2: %a@." Routing.Path.pp p
+    | None -> Format.printf "REUNITE data path to r2: (none)@.");
+    Format.printf "HBH data path to r2:     %a@." Routing.Path.pp (D.hbh_r2_path ());
+    Format.printf "Extra delay REUNITE imposes on r2: %.1f time units@."
+      (D.delay_gap ())
+  in
+  Cmd.v (Cmd.info "demo-asymmetry" ~doc) Term.(const run $ const ())
+
+let demo_duplication_cmd =
+  let doc =
+    "Figure 3 walk-through: REUNITE duplicates packets on a shared link; HBH \
+     does not."
+  in
+  let run () =
+    let module D = Experiments.Scenarios.Duplication in
+    let u, v = D.shared_link in
+    Format.printf "Topology: the Figure 3 example; shared link R1-R6 is (%d,%d).@." u v;
+    Format.printf "Copies on the shared link: REUNITE %d, HBH %d@."
+      (D.reunite_copies_on_shared_link ())
+      (D.hbh_copies_on_shared_link ());
+    Format.printf "Tree cost: REUNITE %d, HBH %d@." (D.reunite_cost ())
+      (D.hbh_cost ())
+  in
+  Cmd.v (Cmd.info "demo-duplication" ~doc) Term.(const run $ const ())
+
+let scaling_cmd =
+  let doc =
+    "Test the paper's concluding claim: HBH's advantage over REUNITE grows \
+     with larger and more connected networks."
+  in
+  let run runs seed csv =
+    Format.printf "== Advantage vs connectivity (50 routers, 10 receivers) ==@.";
+    print_group ~csv
+      (Experiments.Scaling.group ~x_label:"avg degree x10"
+         (Experiments.Scaling.connectivity ~runs ~seed ()));
+    Format.printf "@.== Advantage vs network size (degree 4, n/5 receivers) ==@.";
+    print_group ~csv
+      (Experiments.Scaling.group ~x_label:"routers"
+         (Experiments.Scaling.size ~runs ~seed ()))
+  in
+  Cmd.v (Cmd.info "scaling" ~doc)
+    Term.(const run $ runs_arg 150 $ seed_arg $ csv_arg)
+
+let symmetry_cmd =
+  let doc =
+    "Ablation: rerun the cost/delay comparison with symmetric link costs — \
+     REUNITE's penalty (the paper's thesis) should collapse."
+  in
+  let run runs seed csv =
+    let r =
+      Experiments.Ablations.symmetry ~runs ~seed (Experiments.Common.isp_config ())
+    in
+    Format.printf "== Asymmetric costs (paper's setting) ==@.";
+    print_group ~csv r.asymmetric.cost;
+    Format.printf "@.";
+    print_group ~csv r.asymmetric.delay;
+    Format.printf "@.== Symmetric costs ==@.";
+    print_group ~csv r.symmetric.cost;
+    Format.printf "@.";
+    print_group ~csv r.symmetric.delay;
+    if not csv then begin
+      let a = Experiments.Figures.headline r.asymmetric in
+      let s = Experiments.Figures.headline r.symmetric in
+      Format.printf
+        "@.HBH cost advantage over REUNITE: %.1f%% asymmetric -> %.1f%% symmetric@."
+        a.hbh_cost_advantage_pct s.hbh_cost_advantage_pct;
+      Format.printf
+        "HBH delay advantage over REUNITE: %.1f%% asymmetric -> %.1f%% symmetric@."
+        a.hbh_delay_advantage_pct s.hbh_delay_advantage_pct
+    end
+  in
+  Cmd.v (Cmd.info "symmetry-ablation" ~doc)
+    Term.(const run $ runs_arg 200 $ seed_arg $ csv_arg)
+
+let overhead_cmd =
+  let doc =
+    "Steady-state control-plane overhead of the live HBH and REUNITE \
+     protocols (message link-traversals per tree period)."
+  in
+  let runs =
+    Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N" ~doc:"Runs per size.")
+  in
+  let run runs seed csv =
+    let points =
+      Experiments.Ablations.overhead ~runs ~seed
+        ~sizes:[ 2; 4; 8; 12; 16 ]
+        (Experiments.Common.isp_config ())
+    in
+    print_group ~csv (Experiments.Ablations.overhead_group points)
+  in
+  Cmd.v (Cmd.info "overhead" ~doc) Term.(const run $ runs $ seed_arg $ csv_arg)
+
+let validate_cmd =
+  let doc =
+    "Check that the event-driven protocols (full message processing, soft \
+     state) converge to the analytically predicted trees."
+  in
+  let scenarios =
+    Arg.(
+      value & opt int 30
+      & info [ "scenarios" ] ~docv:"N" ~doc:"Randomized scenarios per protocol.")
+  in
+  let run scenarios seed =
+    let config = Experiments.Common.isp_config () in
+    Format.printf "HBH event vs analytic:     %a@." Experiments.Validate.pp
+      (Experiments.Validate.hbh ~scenarios ~seed config);
+    Format.printf "REUNITE event vs analytic: %a@." Experiments.Validate.pp
+      (Experiments.Validate.reunite ~scenarios ~seed config)
+  in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ scenarios $ seed_arg)
+
+let rp_ablation_cmd =
+  let doc =
+    "Ablation: PIM-SM receiver delay under different rendez-vous-point \
+     placement strategies, against PIM-SS and HBH."
+  in
+  let run runs seed csv =
+    let config = Experiments.Common.isp_config () in
+    let strategies =
+      [
+        ("RP=random", Pim.Rp.Random);
+        ("RP=core", Pim.Rp.Highest_degree);
+        ("RP=best", Pim.Rp.Best_delay);
+        ("RP=worst", Pim.Rp.Worst_delay);
+      ]
+    in
+    let series =
+      List.map
+        (fun (name, strategy) ->
+          let r =
+            Experiments.Common.sweep ~runs ~seed ~rp_strategy:strategy
+              ~protocols:[ Experiments.Common.Pim_sm ] config
+          in
+          let s = Stats.Series.create name in
+          List.iter
+            (fun serie ->
+              List.iter
+                (fun (x, v) -> Stats.Series.observe s ~x v)
+                (Stats.Series.points serie))
+            (Stats.Series.group_series r.delay);
+          s)
+        strategies
+    in
+    let others =
+      Experiments.Common.sweep ~runs ~seed
+        ~protocols:[ Experiments.Common.Pim_ss; Experiments.Common.Hbh ]
+        config
+    in
+    let group =
+      Stats.Series.group ~title:"PIM-SM delay vs RP placement (ISP topology)"
+        ~x_label:"receivers" ~y_label:"avg delay (time units)"
+        (series @ Stats.Series.group_series others.delay)
+    in
+    print_group ~csv group
+  in
+  Cmd.v (Cmd.info "rp-ablation" ~doc)
+    Term.(const run $ runs_arg 150 $ seed_arg $ csv_arg)
+
+let asymmetry_cmd =
+  let doc = "Measure unicast route asymmetry on the evaluation topologies." in
+  let run seed =
+    let rng = Stats.Rng.create seed in
+    let show label g =
+      Workload.Scenario.randomize rng g;
+      let table = Routing.Table.compute g in
+      let r = Routing.Asymmetry.measure table in
+      Format.printf
+        "%-25s %d router pairs, %.1f%% asymmetric routes, mean |delay gap| %.2f@."
+        label r.pairs
+        (100.0 *. r.asymmetric_fraction)
+        r.mean_delay_gap
+    in
+    show "ISP topology" (Topology.Isp.create ());
+    let g50 =
+      Topology.Generators.random_connected (Stats.Rng.create seed) ~n:50
+        ~avg_degree:8.6
+    in
+    show "50-node random topology" g50
+  in
+  Cmd.v (Cmd.info "asymmetry" ~doc) Term.(const run $ seed_arg)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "hbh_sim" ~version:"1.0.0"
+      ~doc:"Reproduction of the SIGCOMM'01 Hop-By-Hop multicast evaluation"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            fig_cmd "fig7a" "7(a)" ~cost:true ~topo:`Isp;
+            fig_cmd "fig7b" "7(b)" ~cost:true ~topo:`Rand50;
+            fig_cmd "fig8a" "8(a)" ~cost:false ~topo:`Isp;
+            fig_cmd "fig8b" "8(b)" ~cost:false ~topo:`Rand50;
+            all_cmd;
+            stability_cmd;
+            state_cmd;
+            demo_asymmetry_cmd;
+            demo_duplication_cmd;
+            rp_ablation_cmd;
+            scaling_cmd;
+            symmetry_cmd;
+            overhead_cmd;
+            asymmetry_cmd;
+            validate_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/asymmetric_demo.ml: Experiments Format Hbh List Mcast Option Reunite Routing Stats Topology Workload

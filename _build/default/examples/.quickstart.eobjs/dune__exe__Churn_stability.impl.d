@@ -1,0 +1,1 @@
+examples/churn_stability.ml: Experiments Format Hbh List Mcast Reunite Routing Stats Topology Workload

@@ -1,0 +1,1 @@
+examples/isp_scenario.ml: Experiments Format Hbh List Mcast Option Pim Reunite Routing Stats Topology Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hbh List Mcast Option Routing Stats Topology

@@ -1,0 +1,1 @@
+examples/unicast_clouds.ml: Float Format Hbh List Mcast Printf Stats Topology Workload

@@ -1,0 +1,1 @@
+examples/unicast_clouds.mli:

@@ -1,0 +1,1 @@
+lib/core/analytic.ml: Hashtbl List Mcast Option Printf Routing Set Topology

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Eventsim Float Hashtbl List Mcast Messages Netsim Printf Routing Tables Topology

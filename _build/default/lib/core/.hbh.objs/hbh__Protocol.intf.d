@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Eventsim Mcast Messages Netsim Routing Tables

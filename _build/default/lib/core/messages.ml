@@ -1,0 +1,22 @@
+type t =
+  | Join of { channel : Mcast.Channel.t; member : int; first : bool }
+  | Tree of { channel : Mcast.Channel.t; target : int; from_branch : int }
+  | Fusion of { channel : Mcast.Channel.t; members : int list; sender : int }
+  | Data of { channel : Mcast.Channel.t; seq : int }
+
+let pp ppf = function
+  | Join { channel; member; first } ->
+      Format.fprintf ppf "join%s(%a, %d)"
+        (if first then "!" else "")
+        Mcast.Channel.pp channel member
+  | Tree { channel; target; from_branch } ->
+      Format.fprintf ppf "tree(%a, %d)@@%d" Mcast.Channel.pp channel target
+        from_branch
+  | Fusion { channel; members; sender } ->
+      Format.fprintf ppf "fusion(%a, [%a])<-%d" Mcast.Channel.pp channel
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_int)
+        members sender
+  | Data { channel; seq } ->
+      Format.fprintf ppf "data(%a, #%d)" Mcast.Channel.pp channel seq

@@ -1,0 +1,25 @@
+(** HBH wire messages (Section 3.1).
+
+    All four travel as unicast {!Netsim.Packet}s:
+
+    - [Join]: receiver → source, periodic; [first] marks the initial
+      join of a membership episode, which is never intercepted
+      (Appendix A) so the source always learns of new receivers.
+      Branching routers re-issue joins with [member = themselves].
+    - [Tree]: multicast hop-by-hop from the source, addressed to an
+      MFT entry [target]; [from_branch] is the last branching router
+      that (re-)emitted it — the node a resulting fusion must be
+      addressed to, i.e. the current owner of [target]'s entry.
+    - [Fusion]: from a router that sees several receivers' tree
+      messages converge, to the upstream branching node; lists the
+      members whose entries should be marked there.
+    - [Data]: a channel payload, always addressed to the next
+      branching node (HBH's n+1-copies scheme). *)
+
+type t =
+  | Join of { channel : Mcast.Channel.t; member : int; first : bool }
+  | Tree of { channel : Mcast.Channel.t; target : int; from_branch : int }
+  | Fusion of { channel : Mcast.Channel.t; members : int list; sender : int }
+  | Data of { channel : Mcast.Channel.t; seq : int }
+
+val pp : Format.formatter -> t -> unit

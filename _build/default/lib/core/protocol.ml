@@ -1,0 +1,430 @@
+module Net = Netsim.Network
+module Pkt = Netsim.Packet
+module Engine = Eventsim.Engine
+module Timer = Eventsim.Timer
+
+type config = {
+  join_period : float;
+  tree_period : float;
+  t1 : float;
+  t2 : float;
+}
+
+let default_config =
+  { join_period = 100.0; tree_period = 100.0; t1 = 250.0; t2 = 550.0 }
+
+type t = {
+  config : config;
+  deadlines : Tables.deadlines;
+  engine : Engine.t;
+  network : Messages.t Net.t;
+  graph : Topology.Graph.t;
+  channel : Mcast.Channel.t;
+  source : int;
+  router_tables : (int, Tables.t) Hashtbl.t;
+  source_mft : Tables.Mft.t;
+  mutable members : int list;
+  member_timers : (int, Timer.t) Hashtbl.t;
+  member_last_seen : (int, float ref) Hashtbl.t;
+  member_handler_installed : (int, unit) Hashtbl.t;
+  mutable data_seq : int;
+}
+
+let engine t = t.engine
+let network t = t.network
+let channel t = t.channel
+let config t = t.config
+let source t = t.source
+let members t = List.sort compare t.members
+
+let now t = Engine.now t.engine
+
+let trace t ~node fmt =
+  Netsim.Trace.recordf (Net.trace t.network) ~time:(now t) ~node fmt
+
+let send t ~from ~dst ~kind payload =
+  Net.originate t.network ~src:from ~dst ~kind payload
+
+(* A member refreshes its channel-liveness clock whenever a tree or
+   data message of the channel reaches it; if the clock goes silent
+   past t2, its next join is flagged [first] again (a fresh membership
+   episode), which is guaranteed to reach the source and rebuild the
+   branch — the soft-state self-heal of every recursive-unicast
+   protocol. *)
+let member_seen t n =
+  match Hashtbl.find_opt t.member_last_seen n with
+  | Some cell -> cell := now t
+  | None -> ()
+
+(* ---- Appendix A: router message processing -------------------------- *)
+
+let tables_of t n =
+  match Hashtbl.find_opt t.router_tables n with
+  | Some tb -> tb
+  | None ->
+      let tb = Tables.create () in
+      Hashtbl.replace t.router_tables n tb;
+      tb
+
+let emit_trees t ~at mft =
+  List.iter
+    (fun x ->
+      send t ~from:at ~dst:x ~kind:Pkt.Control
+        (Messages.Tree { channel = t.channel; target = x; from_branch = at }))
+    (Tables.Mft.tree_targets mft ~now:(now t))
+
+let send_fusion t ~at ~to_branch mft =
+  if to_branch <> at then
+    send t ~from:at ~dst:to_branch ~kind:Pkt.Control
+      (Messages.Fusion
+         { channel = t.channel; members = Tables.Mft.members mft; sender = at })
+
+(* Re-stamp a tree message as owned by [at] and push it on toward its
+   target (Appendix A tree rules 2-3 and 8). *)
+let restamp_tree t ~at (p : Messages.t Pkt.t) ~target =
+  let payload =
+    Messages.Tree { channel = t.channel; target; from_branch = at }
+  in
+  Net.emit t.network ~at (Pkt.rewrite p ~src:at ~dst:target ~payload ())
+
+let router_handle_join t n (p : Messages.t Pkt.t) ~member ~first =
+  if first then Net.Forward
+  else begin
+    let tb = tables_of t n in
+    match Tables.find tb t.channel with
+    | Tables.Forwarding mft when Tables.Mft.mem mft member ->
+        (* Rule 3: intercept, refresh, join upstream on own behalf. *)
+        ignore (Tables.Mft.refresh mft t.deadlines ~now:(now t) member);
+        trace t ~node:n "intercept join(%d), send join(%d)" member n;
+        send t ~from:n ~dst:p.Pkt.dst ~kind:Pkt.Control
+          (Messages.Join { channel = t.channel; member = n; first = false });
+        Net.Consume
+    | Tables.Forwarding _ | Tables.Control _ | Tables.No_state -> Net.Forward
+  end
+
+let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
+  let tb = tables_of t n in
+  let now = now t in
+  if p.Pkt.dst = n then member_seen t n;
+  match Tables.find tb t.channel with
+  | Tables.Forwarding mft ->
+      if p.Pkt.dst = n then begin
+        (* Rule 1: the tree message was for us; regenerate one per
+           non-stale entry. *)
+        emit_trees t ~at:n mft;
+        Net.Consume
+      end
+      else begin
+        (* Rules 2-3: a receiver's tree converges on us; adopt or
+           refresh the entry, tell the upstream owner to mark it, and
+           push the tree on under our own stamp. *)
+        if Tables.Mft.mem mft target then
+          ignore (Tables.Mft.refresh mft t.deadlines ~now target)
+        else ignore (Tables.Mft.add_fresh mft t.deadlines ~now target);
+        send_fusion t ~at:n ~to_branch:from_branch mft;
+        restamp_tree t ~at:n p ~target;
+        Net.Consume
+      end
+  | Tables.Control mct ->
+      if p.Pkt.dst = n then Net.Consume
+      else if Tables.Mct.target mct = target then begin
+        (* Rule 6. *)
+        Tables.Mct.refresh mct t.deadlines ~now;
+        Net.Forward
+      end
+      else if Tables.Mct.stale mct ~now then begin
+        (* Rule 7: stale control entry superseded by the live flow. *)
+        Tables.Mct.replace mct t.deadlines ~now target;
+        Net.Forward
+      end
+      else begin
+        (* Rule 8: second receiver relayed through us - become a
+           branching node and fuse upstream. *)
+        let mft = Tables.Mft.create () in
+        ignore (Tables.Mft.add_fresh mft t.deadlines ~now (Tables.Mct.target mct));
+        ignore (Tables.Mft.add_fresh mft t.deadlines ~now target);
+        Tables.set tb t.channel (Tables.Forwarding mft);
+        send_fusion t ~at:n ~to_branch:from_branch mft;
+        restamp_tree t ~at:n p ~target;
+        Net.Consume
+      end
+  | Tables.No_state ->
+      if p.Pkt.dst = n then Net.Consume
+      else begin
+        (* Rule 4: first sight of this channel. *)
+        Tables.set tb t.channel
+          (Tables.Control (Tables.Mct.create t.deadlines ~now target));
+        Net.Forward
+      end
+
+let router_handle_fusion t n (p : Messages.t Pkt.t) ~members ~sender =
+  if p.Pkt.dst <> n then Net.Forward
+  else begin
+    let tb = tables_of t n in
+    (match Tables.find tb t.channel with
+    | Tables.Forwarding mft ->
+        List.iter (fun m -> ignore (Tables.Mft.mark mft ~now:(now t) m)) members;
+        if sender <> n then
+          ignore (Tables.Mft.add_stale mft t.deadlines ~now:(now t) sender)
+    | Tables.Control _ | Tables.No_state ->
+        (* Fusion for state we no longer hold: drop; soft state heals. *)
+        ());
+    Net.Consume
+  end
+
+let router_handle_data t n (p : Messages.t Pkt.t) =
+  if p.Pkt.dst <> n then Net.Forward
+  else begin
+    member_seen t n;
+    let tb = tables_of t n in
+    (match Tables.find tb t.channel with
+    | Tables.Forwarding mft ->
+        List.iter
+          (fun x -> Net.emit t.network ~at:n (Pkt.rewrite p ~src:n ~dst:x ()))
+          (Tables.Mft.data_targets mft ~now:(now t))
+    | Tables.Control _ | Tables.No_state -> ());
+    Net.Consume
+  end
+
+let router_handler t _net n (p : Messages.t Pkt.t) =
+  match p.Pkt.payload with
+  | Messages.Join { channel; member; first } when Mcast.Channel.equal channel t.channel
+    ->
+      router_handle_join t n p ~member ~first
+  | Messages.Tree { channel; target; from_branch }
+    when Mcast.Channel.equal channel t.channel ->
+      router_handle_tree t n p ~target ~from_branch
+  | Messages.Fusion { channel; members; sender }
+    when Mcast.Channel.equal channel t.channel ->
+      router_handle_fusion t n p ~members ~sender
+  | Messages.Data { channel; _ } when Mcast.Channel.equal channel t.channel ->
+      router_handle_data t n p
+  | Messages.Join _ | Messages.Tree _ | Messages.Fusion _ | Messages.Data _ ->
+      Net.Forward
+
+(* ---- Source agent ---------------------------------------------------- *)
+
+let source_handler t _net n (p : Messages.t Pkt.t) =
+  if p.Pkt.dst <> n then Net.Forward
+  else
+    match p.Pkt.payload with
+    | Messages.Join { channel; member; first = _ }
+      when Mcast.Channel.equal channel t.channel ->
+        if member <> t.source then
+          ignore (Tables.Mft.add_fresh t.source_mft t.deadlines ~now:(now t) member);
+        Net.Consume
+    | Messages.Fusion { channel; members; sender }
+      when Mcast.Channel.equal channel t.channel ->
+        List.iter
+          (fun m -> ignore (Tables.Mft.mark t.source_mft ~now:(now t) m))
+          members;
+        if sender <> t.source then
+          ignore (Tables.Mft.add_stale t.source_mft t.deadlines ~now:(now t) sender);
+        Net.Consume
+    | Messages.Tree { channel; _ } | Messages.Data { channel; _ }
+      when Mcast.Channel.equal channel t.channel ->
+        Net.Consume
+    | Messages.Join _ | Messages.Fusion _ | Messages.Tree _ | Messages.Data _ ->
+        Net.Forward
+
+(* ---- Member (receiver) agent ----------------------------------------- *)
+
+(* Installed at member hosts; router members reuse the router handler,
+   which calls {!member_seen} on its own. *)
+let member_handler t _net n (p : Messages.t Pkt.t) =
+  if p.Pkt.dst <> n then Net.Forward
+  else
+    match p.Pkt.payload with
+    | Messages.Tree { channel; _ } | Messages.Data { channel; _ }
+      when Mcast.Channel.equal channel t.channel ->
+        member_seen t n;
+        Net.Consume
+    | Messages.Join { channel; _ } | Messages.Fusion { channel; _ }
+      when Mcast.Channel.equal channel t.channel ->
+        Net.Consume
+    | Messages.Join _ | Messages.Tree _ | Messages.Fusion _ | Messages.Data _ ->
+        (* Another channel's traffic: leave it to that channel's
+           handler further down the chain. *)
+        Net.Forward
+
+(* ---- Session --------------------------------------------------------- *)
+
+let setup ~config ~network ~channel ~source =
+  if config.t1 <= 0.0 || config.t2 <= config.t1 then
+    invalid_arg "Protocol.create: need 0 < t1 < t2";
+  let engine = Net.engine network in
+  let table = Net.table network in
+  let graph = Routing.Table.graph table in
+  let t =
+    {
+      config;
+      deadlines = { Tables.t1 = config.t1; t2 = config.t2 };
+      engine;
+      network;
+      graph;
+      channel;
+      source;
+      router_tables = Hashtbl.create 64;
+      source_mft = Tables.Mft.create ();
+      members = [];
+      member_timers = Hashtbl.create 16;
+      member_last_seen = Hashtbl.create 16;
+      member_handler_installed = Hashtbl.create 16;
+      data_seq = 0;
+    }
+  in
+  (* Agents on every multicast-capable router (the source gets its own
+     handler even when it is a router); chaining lets several channels
+     share one network. *)
+  List.iter
+    (fun r ->
+      if r <> source && Topology.Graph.multicast_capable graph r then
+        Net.chain network r (router_handler t))
+    (Topology.Graph.routers graph);
+  Net.chain network source (source_handler t);
+  (* Source tree cycle. *)
+  ignore
+    (Timer.every engine ~start:config.tree_period ~period:config.tree_period
+       (fun () ->
+         Tables.Mft.expire t.source_mft ~now:(now t);
+         List.iter
+           (fun x ->
+             send t ~from:source ~dst:x ~kind:Pkt.Control
+               (Messages.Tree { channel = t.channel; target = x; from_branch = source }))
+           (Tables.Mft.tree_targets t.source_mft ~now:(now t))));
+  (* Soft-state sweep. *)
+  ignore
+    (Timer.every engine ~start:config.tree_period ~period:config.tree_period
+       (fun () ->
+         Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now:(now t)) t.router_tables));
+  t
+
+let create ?(config = default_config) ?trace ?channel table ~source =
+  let engine = Engine.create () in
+  let network = Net.create ?trace engine table in
+  let channel =
+    match channel with Some c -> c | None -> Mcast.Channel.fresh ~source
+  in
+  setup ~config ~network ~channel ~source
+
+let create_on ?(config = default_config) ?channel network ~source =
+  let channel =
+    match channel with Some c -> c | None -> Mcast.Channel.fresh ~source
+  in
+  setup ~config ~network ~channel ~source
+
+let subscribe t r =
+  if r = t.source then invalid_arg "Protocol.subscribe: the source cannot join";
+  if not (List.mem r t.members) then begin
+    t.members <- r :: t.members;
+    Net.set_sink t.network r true;
+    if
+      Topology.Graph.is_host t.graph r
+      && not (Hashtbl.mem t.member_handler_installed r)
+    then begin
+      Hashtbl.replace t.member_handler_installed r ();
+      Net.chain t.network r (member_handler t)
+    end;
+    let last_seen = ref (now t) in
+    Hashtbl.replace t.member_last_seen r last_seen;
+    let first = ref true in
+    let timer =
+      Timer.every t.engine ~start:0.0 ~period:t.config.join_period (fun () ->
+          (* Channel silent past t2: this membership episode's state
+             has decayed somewhere upstream — start a new episode. *)
+          if now t -. !last_seen > t.config.t2 then begin
+            trace t ~node:r "channel silent, rejoining";
+            first := true;
+            last_seen := now t
+          end;
+          let f = !first in
+          first := false;
+          send t ~from:r ~dst:t.source ~kind:Pkt.Control
+            (Messages.Join { channel = t.channel; member = r; first = f }))
+    in
+    Hashtbl.replace t.member_timers r timer
+  end
+
+let unsubscribe t r =
+  if List.mem r t.members then begin
+    t.members <- List.filter (fun m -> m <> r) t.members;
+    (match Hashtbl.find_opt t.member_timers r with
+    | Some timer ->
+        Timer.stop timer;
+        Hashtbl.remove t.member_timers r
+    | None -> ());
+    Hashtbl.remove t.member_last_seen r;
+    (* The chained member handler stays installed; with the member
+       gone it forwards everything (the liveness map no longer has the
+       node), so it is inert. *)
+    Net.set_sink t.network r false
+  end
+
+let run_for t d = Engine.run ~until:(now t +. d) t.engine
+
+let converge ?(periods = 12) t =
+  run_for t (float_of_int periods *. t.config.tree_period)
+
+let send_data t =
+  t.data_seq <- t.data_seq + 1;
+  let payload = Messages.Data { channel = t.channel; seq = t.data_seq } in
+  Tables.Mft.expire t.source_mft ~now:(now t);
+  List.iter
+    (fun x -> send t ~from:t.source ~dst:x ~kind:Pkt.Data payload)
+    (Tables.Mft.data_targets t.source_mft ~now:(now t))
+
+let probe t =
+  Net.reset_data_accounting t.network;
+  send_data t;
+  run_for t (Float.max 500.0 (2.0 *. t.config.tree_period));
+  let dist = Mcast.Distribution.create ~source:t.source in
+  List.iter
+    (fun ((u, v), n) ->
+      for _ = 1 to n do
+        Mcast.Distribution.add_copy dist u v
+      done)
+    (Net.data_link_loads t.network);
+  List.iter
+    (fun (r, d) -> Mcast.Distribution.deliver dist ~receiver:r ~delay:d)
+    (Net.data_deliveries t.network);
+  dist
+
+let state t =
+  Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now:(now t)) t.router_tables;
+  let mct = ref 0 and mft = ref 0 and branching = ref 0 and on_tree = ref 0 in
+  Hashtbl.iter
+    (fun n tb ->
+      if Topology.Graph.is_router t.graph n then begin
+        let c = Tables.mct_count tb in
+        let f = Tables.mft_entry_count tb in
+        mct := !mct + c;
+        mft := !mft + f;
+        if Tables.is_branching tb t.channel then incr branching;
+        if c > 0 || f > 0 then incr on_tree
+      end)
+    t.router_tables;
+  {
+    Mcast.Metrics.mct_entries = !mct;
+    mft_entries = !mft;
+    branching_routers = !branching;
+    on_tree_routers = !on_tree;
+  }
+
+let router_tables t n =
+  match Hashtbl.find_opt t.router_tables n with
+  | Some tb -> tb
+  | None ->
+      if n = t.source || not (Net.handled t.network n) then
+        invalid_arg (Printf.sprintf "Protocol.router_tables: no agent at %d" n)
+      else tables_of t n
+
+let branching_routers t =
+  Hashtbl.fold
+    (fun n tb acc ->
+      if Tables.is_branching tb t.channel && Topology.Graph.is_router t.graph n
+      then n :: acc
+      else acc)
+    t.router_tables []
+  |> List.sort compare
+
+let control_overhead t = (Net.counters t.network).Net.control_hops

@@ -1,0 +1,97 @@
+(** The event-driven HBH protocol: one channel, agents on the source,
+    the receivers and every multicast-capable router, exchanging
+    {!Messages} over a {!Netsim.Network} exactly per Appendix A.
+
+    Typical use:
+    {[
+      let session = Protocol.create table ~source in
+      Protocol.subscribe session r1;
+      Protocol.subscribe session r2;
+      Protocol.converge session ();
+      let dist = Protocol.probe session in     (* one data packet *)
+      assert (Mcast.Distribution.max_stress dist = 1)
+    ]}
+
+    Routers flagged not multicast-capable get no agent and forward
+    HBH messages as opaque unicast — the protocol's incremental
+    deployment story. *)
+
+type config = {
+  join_period : float;  (** receiver join refresh interval *)
+  tree_period : float;  (** source tree emission interval *)
+  t1 : float;  (** entry staleness deadline (> periods) *)
+  t2 : float;  (** entry destruction deadline (> t1) *)
+}
+
+val default_config : config
+(** join/tree period 100, t1 250, t2 550 — comfortably above the
+    largest path delay of the evaluation topologies, so refreshes
+    always land before staleness. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?trace:Netsim.Trace.t ->
+  ?channel:Mcast.Channel.t ->
+  Routing.Table.t ->
+  source:int ->
+  t
+(** Builds engine, network and router agents.  The source node may be
+    a host or a router. *)
+
+val create_on :
+  ?config:config ->
+  ?channel:Mcast.Channel.t ->
+  Messages.t Netsim.Network.t ->
+  source:int ->
+  t
+(** Run another channel over an existing network (its engine and
+    forwarding plane are shared): agents are {e chained} behind the
+    handlers already installed, and every handler forwards the other
+    channels' traffic untouched — several sources can multicast
+    concurrently, the EXPRESS "M-to-N as M channels" model. *)
+
+val engine : t -> Eventsim.Engine.t
+val network : t -> Messages.t Netsim.Network.t
+val channel : t -> Mcast.Channel.t
+val config : t -> config
+val source : t -> int
+
+val subscribe : t -> int -> unit
+(** The node starts its join cycle at the current simulation time
+    (first join flagged, never intercepted).  Idempotent. *)
+
+val unsubscribe : t -> int -> unit
+(** The node falls silent; its state upstream ages out. *)
+
+val members : t -> int list
+
+val run_for : t -> float -> unit
+(** Advance the simulation. *)
+
+val converge : ?periods:int -> t -> unit
+(** Run for [periods] (default 12) tree periods — enough for
+    subscribe/fusion/expiry chains to settle on the evaluation
+    topologies. *)
+
+val probe : t -> Mcast.Distribution.t
+(** Inject one data packet at the source and return its measured
+    distribution (per-link copies, per-receiver delays).  Runs the
+    clock forward by a delivery horizon. *)
+
+val send_data : t -> unit
+(** Fire-and-forget data packet (no accounting reset). *)
+
+(** {1 Inspection} *)
+
+val state : t -> Mcast.Metrics.state
+(** Router MCT/MFT footprint right now. *)
+
+val router_tables : t -> int -> Tables.t
+(** Raises [Invalid_argument] for nodes without an agent. *)
+
+val branching_routers : t -> int list
+
+val control_overhead : t -> int
+(** Control-message link traversals so far. *)

@@ -1,0 +1,163 @@
+type deadlines = { t1 : float; t2 : float }
+
+type entry = {
+  node : int;
+  mutable marked : bool;
+  mutable fresh_until : float;
+  mutable expires_at : float;
+}
+
+let entry_stale e ~now = now >= e.fresh_until
+let entry_dead e ~now = now >= e.expires_at
+
+module Mft = struct
+  type t = (int, entry) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let is_empty t = Hashtbl.length t = 0
+  let mem t n = Hashtbl.mem t n
+  let find t n = Hashtbl.find_opt t n
+
+  let add_fresh t dl ~now n =
+    match Hashtbl.find_opt t n with
+    | Some e ->
+        e.fresh_until <- now +. dl.t1;
+        e.expires_at <- now +. dl.t2;
+        e
+    | None ->
+        let e =
+          { node = n; marked = false; fresh_until = now +. dl.t1; expires_at = now +. dl.t2 }
+        in
+        Hashtbl.replace t n e;
+        e
+
+  let add_stale t dl ~now n =
+    match Hashtbl.find_opt t n with
+    | Some e ->
+        (* Fusion rule 4: t2 refreshed, t1 "kept expired" — i.e. left
+           alone: a fusion never freshens t1, but it must not expire a
+           t1 that joins are keeping alive either (that would starve
+           the downstream branching node of its tree messages). *)
+        e.expires_at <- now +. dl.t2;
+        e
+    | None ->
+        let e =
+          { node = n; marked = false; fresh_until = now; expires_at = now +. dl.t2 }
+        in
+        Hashtbl.replace t n e;
+        e
+
+  let refresh t dl ~now n =
+    match Hashtbl.find_opt t n with
+    | Some e ->
+        e.fresh_until <- now +. dl.t1;
+        e.expires_at <- now +. dl.t2;
+        true
+    | None -> false
+
+  let mark t ~now:_ n =
+    match Hashtbl.find_opt t n with
+    | Some e ->
+        e.marked <- true;
+        true
+    | None -> false
+
+  let expire t ~now =
+    let dead =
+      Hashtbl.fold (fun n e acc -> if entry_dead e ~now then n :: acc else acc) t []
+    in
+    List.iter (Hashtbl.remove t) dead
+
+  let live t ~now =
+    Hashtbl.fold (fun _ e acc -> if entry_dead e ~now then acc else e :: acc) t []
+
+  let data_targets t ~now =
+    live t ~now
+    |> List.filter_map (fun e -> if e.marked then None else Some e.node)
+    |> List.sort compare
+
+  let tree_targets t ~now =
+    live t ~now
+    |> List.filter_map (fun e ->
+           if entry_stale e ~now then None else Some e.node)
+    |> List.sort compare
+
+  let members t = Hashtbl.fold (fun n _ acc -> n :: acc) t [] |> List.sort compare
+
+  let entries t =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t []
+    |> List.sort (fun a b -> compare a.node b.node)
+
+  let size t = Hashtbl.length t
+end
+
+module Mct = struct
+  type t = { mutable target : int; mutable fresh_until : float; mutable expires_at : float }
+
+  let create dl ~now target =
+    { target; fresh_until = now +. dl.t1; expires_at = now +. dl.t2 }
+
+  let target t = t.target
+  let stale t ~now = now >= t.fresh_until
+  let dead t ~now = now >= t.expires_at
+
+  let refresh t dl ~now =
+    t.fresh_until <- now +. dl.t1;
+    t.expires_at <- now +. dl.t2
+
+  let replace t dl ~now target =
+    t.target <- target;
+    refresh t dl ~now
+end
+
+type channel_state =
+  | No_state
+  | Control of Mct.t
+  | Forwarding of Mft.t
+
+type t = channel_state Mcast.Channel.Tbl.t
+
+let create () : t = Mcast.Channel.Tbl.create 4
+
+let find t ch =
+  match Mcast.Channel.Tbl.find_opt t ch with Some s -> s | None -> No_state
+
+let set t ch state =
+  match state with
+  | No_state -> Mcast.Channel.Tbl.remove t ch
+  | s -> Mcast.Channel.Tbl.replace t ch s
+
+let sweep t ~now =
+  let updates =
+    Mcast.Channel.Tbl.fold
+      (fun ch state acc ->
+        match state with
+        | No_state -> (ch, None) :: acc
+        | Control mct -> if Mct.dead mct ~now then (ch, None) :: acc else acc
+        | Forwarding mft ->
+            Mft.expire mft ~now;
+            if Mft.is_empty mft then (ch, None) :: acc else acc)
+      t []
+  in
+  List.iter
+    (fun (ch, state) ->
+      match state with
+      | None -> Mcast.Channel.Tbl.remove t ch
+      | Some s -> Mcast.Channel.Tbl.replace t ch s)
+    updates
+
+let channels t = Mcast.Channel.Tbl.fold (fun ch _ acc -> ch :: acc) t []
+
+let mct_count t =
+  Mcast.Channel.Tbl.fold
+    (fun _ s acc -> match s with Control _ -> acc + 1 | _ -> acc)
+    t 0
+
+let mft_entry_count t =
+  Mcast.Channel.Tbl.fold
+    (fun _ s acc -> match s with Forwarding m -> acc + Mft.size m | _ -> acc)
+    t 0
+
+let is_branching t ch =
+  match find t ch with Forwarding _ -> true | No_state | Control _ -> false

@@ -1,0 +1,110 @@
+(** HBH soft-state tables (Section 3.1).
+
+    Every entry carries the two timers of the paper: when [t1]
+    expires the entry goes {e stale} — still used for data forwarding
+    but no longer generating downstream tree messages; when [t2]
+    expires it is destroyed.  An entry may additionally be {e marked}
+    (by a fusion): marked entries forward tree messages but not data.
+    Timers are realized as absolute deadlines compared against the
+    simulation clock, with an explicit {!expire} sweep. *)
+
+type deadlines = { t1 : float; t2 : float }
+(** Relative validity durations, [0 < t1 < t2]. *)
+
+type entry = private {
+  node : int;  (** the receiver or downstream branching node *)
+  mutable marked : bool;
+  mutable fresh_until : float;  (** absolute t1 deadline *)
+  mutable expires_at : float;  (** absolute t2 deadline *)
+}
+
+val entry_stale : entry -> now:float -> bool
+val entry_dead : entry -> now:float -> bool
+
+(** {1 Multicast forwarding table (branching routers)} *)
+
+module Mft : sig
+  type t
+
+  val create : unit -> t
+  val is_empty : t -> bool
+  val mem : t -> int -> bool
+  val find : t -> int -> entry option
+
+  val add_fresh : t -> deadlines -> now:float -> int -> entry
+  (** Insert (or re-freshen) an unmarked fresh entry. *)
+
+  val add_stale : t -> deadlines -> now:float -> int -> entry
+  (** Fusion-style insert: a new entry is born with t1 already
+      expired (data flows to it, no tree messages yet); an existing
+      entry gets its t2 refreshed with t1 untouched — "kept expired"
+      (Appendix A, fusion rules 3-4) — so join-driven freshness is
+      never downgraded. *)
+
+  val refresh : t -> deadlines -> now:float -> int -> bool
+  (** Join-style refresh: restart both timers, keep [marked].  False
+      if absent. *)
+
+  val mark : t -> now:float -> int -> bool
+  (** Set [marked] on an existing entry {e without} touching t2 (a
+      marked entry not refreshed by joins must die — that is how the
+      Figure 5 walk-through sheds the source's direct receiver
+      entries).  False if absent. *)
+
+  val expire : t -> now:float -> unit
+  (** Drop dead entries. *)
+
+  val data_targets : t -> now:float -> int list
+  (** Entries data is copied to: not marked (stale included),
+      ascending. *)
+
+  val tree_targets : t -> now:float -> int list
+  (** Entries tree messages are emitted to: not stale (marked
+      included), ascending. *)
+
+  val members : t -> int list
+  (** All live entry nodes, ascending (the fusion payload). *)
+
+  val entries : t -> entry list
+  (** All entries (dead ones included until swept), ascending by
+      node — for inspection and tests. *)
+
+  val size : t -> int
+end
+
+(** {1 Multicast control table (non-branching routers)} *)
+
+module Mct : sig
+  type t
+
+  val create : deadlines -> now:float -> int -> t
+  (** Single-entry table holding the one receiver relayed through
+      this router. *)
+
+  val target : t -> int
+  val stale : t -> now:float -> bool
+  val dead : t -> now:float -> bool
+  val refresh : t -> deadlines -> now:float -> unit
+  val replace : t -> deadlines -> now:float -> int -> unit
+end
+
+(** {1 Per-channel state of one router} *)
+
+type channel_state =
+  | No_state
+  | Control of Mct.t
+  | Forwarding of Mft.t
+
+type t
+(** All channels' state at one node. *)
+
+val create : unit -> t
+val find : t -> Mcast.Channel.t -> channel_state
+val set : t -> Mcast.Channel.t -> channel_state -> unit
+val sweep : t -> now:float -> unit
+(** Expire dead entries, demote empty MFTs and drop dead MCTs. *)
+
+val channels : t -> Mcast.Channel.t list
+val mct_count : t -> int
+val mft_entry_count : t -> int
+val is_branching : t -> Mcast.Channel.t -> bool

@@ -1,0 +1,1 @@
+lib/eventsim/timer.mli: Engine

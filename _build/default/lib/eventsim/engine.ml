@@ -1,0 +1,66 @@
+type handle = { mutable cancelled : bool; action : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable fired : int;
+  queue : handle Heap.t;
+}
+
+let create () = { clock = 0.0; seq = 0; fired = 0; queue = Heap.create () }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time
+         t.clock);
+  let h = { cancelled = false; action = f } in
+  Heap.push t.queue time t.seq h;
+  t.seq <- t.seq + 1;
+  h
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel h = h.cancelled <- true
+
+let cancelled h = h.cancelled
+
+let pending t = Heap.size t.queue
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _, h) ->
+      if h.cancelled then step t
+      else begin
+        t.clock <- time;
+        t.fired <- t.fired + 1;
+        h.action ();
+        true
+      end
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with Some m -> m | None -> max_int) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some (time, _, _) -> (
+        match until with
+        | Some limit when time > limit ->
+            t.clock <- limit;
+            continue := false
+        | _ ->
+            if step t then decr budget else continue := false)
+  done;
+  (* If we stopped on the budget or queue exhaustion with a limit,
+     leave the clock where the last event put it. *)
+  match until with
+  | Some limit when Heap.is_empty t.queue && t.clock < limit -> t.clock <- limit
+  | _ -> ()
+
+let events_fired t = t.fired

@@ -1,0 +1,45 @@
+(** Discrete-event simulation core (the NS-2 scheduler replacement).
+
+    A virtual clock plus an event queue.  Events scheduled for the
+    same instant fire in the order they were scheduled; time never
+    moves backwards; a fired callback may schedule further events.
+    Everything is single-threaded and deterministic. *)
+
+type t
+
+type handle
+(** A scheduled event; may be cancelled before it fires. *)
+
+val create : unit -> t
+(** Clock starts at 0. *)
+
+val now : t -> float
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule e ~delay f] fires [f] at [now e +. delay].  [delay]
+    must be non-negative. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Absolute-time variant; [time] must not be in the past. *)
+
+val cancel : handle -> unit
+(** Idempotent; a fired event is unaffected. *)
+
+val cancelled : handle -> bool
+
+val pending : t -> int
+(** Number of queued events (including cancelled ones not yet
+    drained). *)
+
+val step : t -> bool
+(** Fire the next event (advancing the clock).  Returns [false] when
+    the queue is empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Fire events until the queue is empty, the clock would pass
+    [until], or [max_events] have fired.  Events scheduled exactly at
+    [until] still fire; on exit the clock is [min until (last event
+    time)]. *)
+
+val events_fired : t -> int
+(** Total events fired since creation (cancelled events excluded). *)

@@ -1,0 +1,74 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable size : int }
+
+let create () = { arr = [||]; size = 0 }
+
+let size h = h.size
+
+let is_empty h = h.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let swap h i j =
+  let tmp = h.arr.(i) in
+  h.arr.(i) <- h.arr.(j);
+  h.arr.(j) <- tmp
+
+let ensure_capacity h =
+  let cap = Array.length h.arr in
+  if h.size = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let arr = Array.make ncap h.arr.(0) in
+    Array.blit h.arr 0 arr 0 cap;
+    h.arr <- arr
+  end
+
+let push h key seq value =
+  let e = { key; seq; value } in
+  if Array.length h.arr = 0 then begin
+    h.arr <- Array.make 8 e;
+    h.size <- 1
+  end
+  else begin
+    ensure_capacity h;
+    h.arr.(h.size) <- e;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && less h.arr.(!i) h.arr.((!i - 1) / 2) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+  end
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let e = h.arr.(0) in
+    Some (e.key, e.seq, e.value)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.arr.(0) <- h.arr.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.size && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.key, top.seq, top.value)
+  end
+
+let clear h = h.size <- 0

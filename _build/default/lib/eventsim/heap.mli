@@ -1,0 +1,24 @@
+(** Polymorphic binary min-heap keyed by [(float, int)] pairs.
+
+    The integer component is a tie-breaker: the event scheduler uses a
+    monotonically increasing sequence number so that events scheduled
+    for the same instant fire in FIFO order, which makes simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> int -> 'a -> unit
+(** [push h key seq v] inserts [v] with priority [(key, seq)]. *)
+
+val peek : 'a t -> (float * int * 'a) option
+
+val pop : 'a t -> (float * int * 'a) option
+(** Removes and returns the minimum element. *)
+
+val clear : 'a t -> unit

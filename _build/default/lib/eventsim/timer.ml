@@ -1,0 +1,97 @@
+type kind = Periodic of float | Oneshot | Watchdog of float
+
+type t = {
+  engine : Engine.t;
+  kind : kind;
+  action : unit -> unit;
+  mutable handle : Engine.handle option;
+  mutable stopped : bool;
+  mutable deadline : float; (* watchdogs: current expiry time *)
+}
+
+let arm t ~delay body =
+  t.handle <- Some (Engine.schedule t.engine ~delay body)
+
+let every engine ?start ~period f =
+  if period <= 0.0 then invalid_arg "Timer.every: period must be positive";
+  let start = match start with Some s -> s | None -> period in
+  let t =
+    { engine; kind = Periodic period; action = f; handle = None; stopped = false; deadline = 0.0 }
+  in
+  let rec tick () =
+    if not t.stopped then begin
+      t.action ();
+      if not t.stopped then arm t ~delay:period tick
+    end
+  in
+  arm t ~delay:start tick;
+  t
+
+let after engine ~delay f =
+  let t =
+    { engine; kind = Oneshot; action = f; handle = None; stopped = false; deadline = 0.0 }
+  in
+  arm t ~delay (fun () ->
+      if not t.stopped then begin
+        t.stopped <- true;
+        t.action ()
+      end);
+  t
+
+let watchdog engine ~timeout f =
+  if timeout <= 0.0 then invalid_arg "Timer.watchdog: timeout must be positive";
+  let t =
+    {
+      engine;
+      kind = Watchdog timeout;
+      action = f;
+      handle = None;
+      stopped = false;
+      deadline = Engine.now engine +. timeout;
+    }
+  in
+  (* A lazy watchdog: when the scheduled check fires early (because
+     feeds postponed the deadline) it re-schedules itself for the
+     remaining time instead of tracking every feed with a new
+     event. *)
+  let rec check () =
+    if not t.stopped then begin
+      let now = Engine.now t.engine in
+      if now >= t.deadline then t.action ()
+      else arm t ~delay:(t.deadline -. now) check
+    end
+  in
+  arm t ~delay:timeout check;
+  t
+
+let feed t =
+  match t.kind with
+  | Watchdog timeout ->
+      if not t.stopped then begin
+        let now = Engine.now t.engine in
+        let expired = now >= t.deadline in
+        t.deadline <- now +. timeout;
+        (* If the pending check already fired (expired watchdog being
+           re-armed), schedule a fresh one. *)
+        if expired then begin
+          let rec check () =
+            if not t.stopped then begin
+              let now = Engine.now t.engine in
+              if now >= t.deadline then t.action ()
+              else arm t ~delay:(t.deadline -. now) check
+            end
+          in
+          arm t ~delay:timeout check
+        end
+      end
+  | Periodic _ | Oneshot -> ()
+
+let stop t =
+  t.stopped <- true;
+  match t.handle with
+  | Some h ->
+      Engine.cancel h;
+      t.handle <- None
+  | None -> ()
+
+let active t = not t.stopped

@@ -1,0 +1,26 @@
+(** Timers built on {!Engine}: periodic ticks and restartable
+    watchdogs (the soft-state [t1]/[t2] expiry pattern of the HBH and
+    REUNITE tables). *)
+
+type t
+
+val every : Engine.t -> ?start:float -> period:float -> (unit -> unit) -> t
+(** [every e ~period f] fires [f] every [period] time units, first at
+    [now + start] (default [period]).  [period] must be positive. *)
+
+val after : Engine.t -> delay:float -> (unit -> unit) -> t
+(** One-shot timer. *)
+
+val watchdog : Engine.t -> timeout:float -> (unit -> unit) -> t
+(** [watchdog e ~timeout f] fires [f] once, [timeout] after the last
+    {!feed} (initially [timeout] from creation).  Feeding postpones
+    expiry; after firing, further feeds rearm it. *)
+
+val feed : t -> unit
+(** Postpone a watchdog; no effect on other timer kinds or on a
+    stopped timer. *)
+
+val stop : t -> unit
+(** Idempotent; the timer never fires again. *)
+
+val active : t -> bool

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Common Hbh List Reunite Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Hbh List Mcast Pim Printf Reunite Stats Topology Workload

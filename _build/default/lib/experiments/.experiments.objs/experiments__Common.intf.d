@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Mcast Pim Stats Topology Workload

@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Float Hbh List Mcast Reunite Routing Stats Topology Workload

@@ -1,0 +1,1 @@
+lib/experiments/scenarios.ml: Array Hbh Mcast Reunite Routing Topology

@@ -1,0 +1,1 @@
+lib/experiments/stability.ml: Common Hbh List Reunite Stats Topology Workload

@@ -1,0 +1,1 @@
+lib/experiments/stability.mli: Common Stats

@@ -1,0 +1,1 @@
+lib/experiments/state.ml: Common Hbh List Mcast Pim Printf Reunite Stats Workload

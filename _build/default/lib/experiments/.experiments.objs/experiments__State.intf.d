@@ -1,0 +1,1 @@
+lib/experiments/state.mli: Common Stats

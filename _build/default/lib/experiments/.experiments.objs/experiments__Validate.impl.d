@@ -1,0 +1,1 @@
+lib/experiments/validate.ml: Array Common Float Format Hbh List Mcast Reunite Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/validate.mli: Common Format

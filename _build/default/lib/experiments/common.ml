@@ -1,0 +1,114 @@
+type protocol = Pim_sm | Pim_ss | Reunite | Hbh
+
+let all_protocols = [ Pim_sm; Pim_ss; Reunite; Hbh ]
+
+let protocol_name = function
+  | Pim_sm -> "PIM-SM"
+  | Pim_ss -> "PIM-SS"
+  | Reunite -> "REUNITE"
+  | Hbh -> "HBH"
+
+let build ?(rp_strategy = Pim.Rp.Highest_degree) protocol rng
+    (s : Workload.Scenario.t) =
+  match protocol with
+  | Pim_sm ->
+      let rp =
+        Pim.Rp.select rp_strategy rng s.table ~source:s.source
+          ~receivers:s.receivers
+      in
+      Pim.Pim_sm.build s.table ~source:s.source ~rp ~receivers:s.receivers
+  | Pim_ss -> Pim.Pim_ss.build s.table ~source:s.source ~receivers:s.receivers
+  | Reunite -> Reunite.Analytic.build s.table ~source:s.source ~receivers:s.receivers
+  | Hbh -> Hbh.Analytic.build s.table ~source:s.source ~receivers:s.receivers
+
+type config = {
+  label : string;
+  graph : Topology.Graph.t;
+  source : int;
+  candidates : int list;
+  sizes : int list;
+}
+
+let isp_config () =
+  {
+    label = "ISP topology";
+    graph = Topology.Isp.create ();
+    source = Topology.Isp.source;
+    candidates = Topology.Isp.receiver_hosts;
+    sizes = [ 2; 4; 6; 8; 10; 12; 14; 16 ];
+  }
+
+let rand50_config ~seed =
+  let rng = Stats.Rng.create seed in
+  let graph = Topology.Generators.random_connected rng ~n:50 ~avg_degree:8.6 in
+  let hosts = Topology.Graph.hosts graph in
+  match hosts with
+  | source :: _ ->
+      {
+        label = "50-node random topology";
+        graph;
+        source;
+        candidates = List.filter (fun h -> h <> source) hosts;
+        sizes = [ 5; 10; 15; 20; 25; 30; 35; 40; 45 ];
+      }
+  | [] -> invalid_arg "rand50_config: generator produced no hosts"
+
+type result = {
+  config : config;
+  runs : int;
+  cost : Stats.Series.group;
+  delay : Stats.Series.group;
+}
+
+let sweep ?(protocols = all_protocols) ?(runs = 500) ?(seed = 42)
+    ?(rp_strategy = Pim.Rp.Highest_degree) ?(symmetric = false) config =
+  let cost_series =
+    List.map (fun p -> (p, Stats.Series.create (protocol_name p))) protocols
+  in
+  let delay_series =
+    List.map (fun p -> (p, Stats.Series.create (protocol_name p))) protocols
+  in
+  let master = Stats.Rng.create seed in
+  List.iter
+    (fun n ->
+      (* One independent stream per size keeps sizes comparable when
+         the size list changes. *)
+      let size_rng = Stats.Rng.split master in
+      for _ = 1 to runs do
+        let run_rng = Stats.Rng.split size_rng in
+        let s =
+          Workload.Scenario.make ~symmetric run_rng config.graph
+            ~source:config.source ~candidates:config.candidates ~n
+        in
+        List.iter
+          (fun p ->
+            let dist = build ~rp_strategy p run_rng s in
+            let m = Mcast.Metrics.of_distribution dist in
+            Stats.Series.observe (List.assoc p cost_series) ~x:n
+              (float_of_int m.cost);
+            Stats.Series.observe (List.assoc p delay_series) ~x:n m.avg_delay)
+          protocols
+      done)
+    config.sizes;
+  {
+    config;
+    runs;
+    cost =
+      Stats.Series.group
+        ~title:(Printf.sprintf "Tree cost — %s" config.label)
+        ~x_label:"receivers" ~y_label:"avg packet copies"
+        (List.map snd cost_series);
+    delay =
+      Stats.Series.group
+        ~title:(Printf.sprintf "Receiver average delay — %s" config.label)
+        ~x_label:"receivers" ~y_label:"avg delay (time units)"
+        (List.map snd delay_series);
+  }
+
+let advantage group ~over ~of_ =
+  let ratios = Stats.Series.ratio group ~num:of_ ~den:over in
+  match ratios with
+  | [] -> nan
+  | _ ->
+      let sum = List.fold_left (fun acc (_, r) -> acc +. (1.0 -. r)) 0.0 ratios in
+      100.0 *. sum /. float_of_int (List.length ratios)

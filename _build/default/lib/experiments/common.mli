@@ -1,0 +1,63 @@
+(** Shared experiment machinery: the four protocols under comparison
+    and the Monte-Carlo sweep of Section 4 (500 runs per group size,
+    costs and receiver sets redrawn each run). *)
+
+type protocol = Pim_sm | Pim_ss | Reunite | Hbh
+
+val all_protocols : protocol list
+(** In the paper's legend order: PIM-SM, PIM-SS, REUNITE, HBH. *)
+
+val protocol_name : protocol -> string
+
+val build :
+  ?rp_strategy:Pim.Rp.strategy ->
+  protocol ->
+  Stats.Rng.t ->
+  Workload.Scenario.t ->
+  Mcast.Distribution.t
+(** One converged distribution tree for the given run.  PIM-SM places
+    its rendez-vous point per [rp_strategy] (default
+    {!Pim.Rp.Highest_degree}, the operational "RP at the core"
+    practice; see EXPERIMENTS.md for the ablation). *)
+
+(** Configuration of one topology's sweep. *)
+type config = {
+  label : string;
+  graph : Topology.Graph.t;
+  source : int;
+  candidates : int list;  (** potential receivers *)
+  sizes : int list;  (** group sizes to sweep *)
+}
+
+val isp_config : unit -> config
+(** The paper's ISP topology: source host 18, sizes 2, 4, ..., 16. *)
+
+val rand50_config : seed:int -> config
+(** The paper's 50-node random topology (average degree 8.6,
+    generated from [seed]); source is router 0's host, sizes
+    5, 10, ..., 45. *)
+
+type result = {
+  config : config;
+  runs : int;
+  cost : Stats.Series.group;  (** Figure 7: avg packet copies vs group size *)
+  delay : Stats.Series.group;  (** Figure 8: avg receiver delay vs group size *)
+}
+
+val sweep :
+  ?protocols:protocol list ->
+  ?runs:int ->
+  ?seed:int ->
+  ?rp_strategy:Pim.Rp.strategy ->
+  ?symmetric:bool ->
+  config ->
+  result
+(** Runs the Monte-Carlo comparison: for every size and run, draw
+    costs and receivers, compute all protocols' trees on the {e same}
+    draw, record cost and average receiver delay.  Defaults: all four
+    protocols, 500 runs, seed 42. *)
+
+val advantage : Stats.Series.group -> over:string -> of_:string -> float
+(** Mean over group sizes of [1 - of_/over] as a percentage — "HBH
+    outperforms REUNITE by N%" in the paper's phrasing.  E.g.
+    [advantage g ~over:"REUNITE" ~of_:"HBH"]. *)

@@ -1,0 +1,22 @@
+let isp ?runs ?seed () =
+  Common.sweep ?runs ?seed (Common.isp_config ())
+
+let rand50 ?runs ?seed () =
+  let seed = Option.value ~default:42 seed in
+  Common.sweep ?runs ~seed (Common.rand50_config ~seed)
+
+let fig7a (r : Common.result) = r.cost
+let fig8a (r : Common.result) = r.delay
+let fig7b (r : Common.result) = r.cost
+let fig8b (r : Common.result) = r.delay
+
+type headline = {
+  hbh_cost_advantage_pct : float;
+  hbh_delay_advantage_pct : float;
+}
+
+let headline (r : Common.result) =
+  {
+    hbh_cost_advantage_pct = Common.advantage r.cost ~over:"REUNITE" ~of_:"HBH";
+    hbh_delay_advantage_pct = Common.advantage r.delay ~over:"REUNITE" ~of_:"HBH";
+  }

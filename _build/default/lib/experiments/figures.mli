@@ -1,0 +1,30 @@
+(** The paper's evaluation figures.
+
+    Figures 7(a,b) and 8(a,b) come from the same two Monte-Carlo
+    sweeps — one per topology — reporting respectively the average
+    tree cost (packet copies) and the average receiver delay, for
+    PIM-SM, PIM-SS, REUNITE and HBH, as the group size varies. *)
+
+val isp : ?runs:int -> ?seed:int -> unit -> Common.result
+(** The ISP-topology sweep behind figures 7(a) and 8(a). *)
+
+val rand50 : ?runs:int -> ?seed:int -> unit -> Common.result
+(** The 50-node-random sweep behind figures 7(b) and 8(b). *)
+
+val fig7a : Common.result -> Stats.Series.group
+(** Tree cost on the ISP topology (pass {!isp}'s result). *)
+
+val fig8a : Common.result -> Stats.Series.group
+val fig7b : Common.result -> Stats.Series.group
+val fig8b : Common.result -> Stats.Series.group
+
+(** {1 Headline comparisons (Section 4.2 prose)} *)
+
+type headline = {
+  hbh_cost_advantage_pct : float;
+      (** paper: ~5% (ISP), ~18% (RAND50) over REUNITE *)
+  hbh_delay_advantage_pct : float;
+      (** paper: ~14% (ISP), ~30% (RAND50) over REUNITE *)
+}
+
+val headline : Common.result -> headline

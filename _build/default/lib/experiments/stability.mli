@@ -1,0 +1,28 @@
+(** Tree stability under member departure (the Figure 4 comparison).
+
+    HBH's design goal: "member departure should have minimum impact
+    on the tree structure", and in particular no {e route change} for
+    remaining receivers (REUNITE can reroute a remaining receiver when
+    another leaves — Figure 2).  This experiment draws random groups,
+    removes one random member, and counts (a) routers whose
+    control/forwarding state changed and (b) remaining receivers whose
+    data route changed. *)
+
+type point = {
+  routers_changed : float;  (** mean over runs *)
+  routes_changed : float;  (** mean count of rerouted remaining receivers *)
+}
+
+type result = {
+  sizes : int list;
+  reunite : (int * point) list;
+  hbh : (int * point) list;
+}
+
+val run :
+  ?runs:int -> ?seed:int -> Common.config -> result
+(** Defaults: 200 runs, seed 42.  Group sizes from the config (sizes
+    below 2 are skipped — someone must remain after the departure). *)
+
+val to_groups : result -> Stats.Series.group * Stats.Series.group
+(** (routers-changed, routes-changed) rendered as series groups. *)

@@ -1,0 +1,61 @@
+type result = {
+  config : Common.config;
+  runs : int;
+  mft : Stats.Series.group;
+  mct : Stats.Series.group;
+  branching : Stats.Series.group;
+}
+
+let protocols = [ "PIM-SS"; "REUNITE"; "HBH" ]
+
+let state_of name (s : Workload.Scenario.t) =
+  match name with
+  | "PIM-SS" -> Pim.Pim_ss.state s.table ~source:s.source ~receivers:s.receivers
+  | "REUNITE" ->
+      let t = Reunite.Analytic.create s.table ~source:s.source in
+      List.iter (Reunite.Analytic.join t) s.receivers;
+      Reunite.Analytic.state t
+  | "HBH" -> Hbh.Analytic.state s.table ~source:s.source ~receivers:s.receivers
+  | _ -> invalid_arg "State.state_of: unknown protocol"
+
+let run ?(runs = 200) ?(seed = 42) (config : Common.config) =
+  let series () = List.map (fun p -> (p, Stats.Series.create p)) protocols in
+  let mft = series () and mct = series () and branching = series () in
+  let master = Stats.Rng.create seed in
+  List.iter
+    (fun n ->
+      let size_rng = Stats.Rng.split master in
+      for _ = 1 to runs do
+        let rng = Stats.Rng.split size_rng in
+        let s =
+          Workload.Scenario.make rng config.graph ~source:config.source
+            ~candidates:config.candidates ~n
+        in
+        List.iter
+          (fun p ->
+            let st = state_of p s in
+            Stats.Series.observe (List.assoc p mft) ~x:n
+              (float_of_int st.Mcast.Metrics.mft_entries);
+            Stats.Series.observe (List.assoc p mct) ~x:n
+              (float_of_int st.Mcast.Metrics.mct_entries);
+            Stats.Series.observe (List.assoc p branching) ~x:n
+              (float_of_int st.Mcast.Metrics.branching_routers))
+          protocols
+      done)
+    config.sizes;
+  {
+    config;
+    runs;
+    mft =
+      Stats.Series.group
+        ~title:(Printf.sprintf "Forwarding (MFT) entries — %s" config.label)
+        ~x_label:"receivers" ~y_label:"entries" (List.map snd mft);
+    mct =
+      Stats.Series.group
+        ~title:(Printf.sprintf "Control (MCT) entries — %s" config.label)
+        ~x_label:"receivers" ~y_label:"entries" (List.map snd mct);
+    branching =
+      Stats.Series.group
+        ~title:(Printf.sprintf "Branching routers — %s" config.label)
+        ~x_label:"receivers" ~y_label:"routers" (List.map snd branching);
+  }

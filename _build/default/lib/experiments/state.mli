@@ -1,0 +1,16 @@
+(** Control-plane footprint sweep (the REUNITE/HBH scaling argument,
+    Section 2.1): recursive-unicast protocols keep forwarding (MFT)
+    entries only at branching routers and cheap control (MCT) entries
+    elsewhere, whereas classic multicast keeps a forwarding entry at
+    every on-tree router. *)
+
+type result = {
+  config : Common.config;
+  runs : int;
+  mft : Stats.Series.group;  (** forwarding entries vs group size *)
+  mct : Stats.Series.group;  (** control entries vs group size *)
+  branching : Stats.Series.group;  (** routers that must copy packets *)
+}
+
+val run : ?runs:int -> ?seed:int -> Common.config -> result
+(** Defaults: 200 runs, seed 42.  Series: PIM-SS, REUNITE, HBH. *)

@@ -1,0 +1,32 @@
+(** Cross-validation of the two fidelity levels.
+
+    The paper's numbers are tree-level; our sweeps use the analytical
+    builders.  This module checks, over randomized scenarios, that
+    the event-driven protocols (full Appendix-A message processing
+    with soft state) converge to exactly the distribution the
+    analytical builders predict — the evidence that the fast sweeps
+    measure the real protocols. *)
+
+type outcome = {
+  scenarios : int;
+  exact : int;  (** identical per-link copies and receiver sets *)
+  delivered_all : int;  (** at least all receivers served *)
+  close : int;  (** all served and tree cost within 20% of the model *)
+  mismatches : (int * int) list;  (** (seed, group size) of non-exact runs *)
+}
+
+val hbh :
+  ?scenarios:int -> ?seed:int -> Common.config -> outcome
+(** Event-driven HBH vs {!Hbh.Analytic.build}; HBH's converged tree
+    is join-order independent, so [exact] should equal
+    [scenarios]. *)
+
+val reunite :
+  ?scenarios:int -> ?seed:int -> Common.config -> outcome
+(** Event-driven REUNITE vs {!Reunite.Analytic}.  Receivers subscribe
+    sequentially (one tree period apart) to pin the join order; the
+    converged protocol can still settle into a slightly different
+    capture than the instantaneous-propagation model, so [exact] may
+    fall just short of [scenarios] while [delivered_all] must not. *)
+
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/igmp/lan.ml: Eventsim List Map Mcast Printf Stats

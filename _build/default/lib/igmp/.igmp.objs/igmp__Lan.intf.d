@@ -1,0 +1,1 @@
+lib/igmp/lan.mli: Eventsim Mcast Stats

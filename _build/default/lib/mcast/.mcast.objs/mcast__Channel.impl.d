@@ -1,0 +1,1 @@
+lib/mcast/channel.ml: Class_d Format Hashtbl Map

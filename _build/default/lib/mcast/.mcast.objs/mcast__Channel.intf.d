@@ -1,0 +1,1 @@
+lib/mcast/channel.mli: Class_d Format Hashtbl Map

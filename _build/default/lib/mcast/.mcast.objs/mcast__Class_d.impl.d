@@ -1,0 +1,1 @@
+lib/mcast/class_d.ml: Format Int32 Printf String

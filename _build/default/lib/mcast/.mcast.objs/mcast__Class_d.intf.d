@@ -1,0 +1,1 @@
+lib/mcast/class_d.mli: Format

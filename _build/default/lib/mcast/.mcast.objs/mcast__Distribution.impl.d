@@ -1,0 +1,1 @@
+lib/mcast/distribution.ml: Float Format Hashtbl List Routing Topology

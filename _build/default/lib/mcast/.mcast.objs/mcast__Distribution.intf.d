@@ -1,0 +1,1 @@
+lib/mcast/distribution.mli: Format Topology

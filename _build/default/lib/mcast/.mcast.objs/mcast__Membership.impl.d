@@ -1,0 +1,1 @@
+lib/mcast/membership.ml: Channel Int List Printf Set Topology

@@ -1,0 +1,1 @@
+lib/mcast/membership.mli: Channel Topology

@@ -1,0 +1,1 @@
+lib/mcast/metrics.ml: Distribution Format List

@@ -1,0 +1,1 @@
+lib/mcast/metrics.mli: Distribution Format

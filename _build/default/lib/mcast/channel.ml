@@ -1,0 +1,49 @@
+type t = { source : int; group : Class_d.t }
+
+let make ~source ~group = { source; group }
+
+(* One allocator per source, created on demand.  Deterministic: the
+   k-th channel of a given source always gets the same group. *)
+let allocators : (int, Class_d.allocator) Hashtbl.t = Hashtbl.create 16
+
+let fresh ~source =
+  let alloc =
+    match Hashtbl.find_opt allocators source with
+    | Some a -> a
+    | None ->
+        let a = Class_d.allocator () in
+        Hashtbl.add allocators source a;
+        a
+  in
+  { source; group = Class_d.allocate alloc }
+
+let source t = t.source
+let group t = t.group
+
+let equal a b = a.source = b.source && Class_d.equal a.group b.group
+
+let compare a b =
+  match compare a.source b.source with
+  | 0 -> Class_d.compare a.group b.group
+  | c -> c
+
+let hash t = Hashtbl.hash (t.source, Class_d.to_int32 t.group)
+
+let pp ppf t = Format.fprintf ppf "<%d, %a>" t.source Class_d.pp t.group
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Hashed)

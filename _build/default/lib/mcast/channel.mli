@@ -1,0 +1,24 @@
+(** Source-specific multicast channels.
+
+    A channel is the EXPRESS/HBH [<S, G>] pair: the source's unicast
+    address (a node id here) plus a class-D group address the source
+    allocated.  Channels are the keys of every MCT/MFT table. *)
+
+type t = { source : int; group : Class_d.t }
+
+val make : source:int -> group:Class_d.t -> t
+
+val fresh : source:int -> t
+(** Allocates a new group address for [source] from a global
+    per-source allocator (deterministic across runs). *)
+
+val source : t -> int
+val group : t -> Class_d.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+(** Renders as [<3, 232.0.0.1>]. *)
+
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,37 @@
+module Iset = Set.Make (Int)
+
+type t = {
+  graph : Topology.Graph.t;
+  channel : Channel.t;
+  mutable members : Iset.t;
+}
+
+let create graph channel = { graph; channel; members = Iset.empty }
+
+let channel t = t.channel
+
+let join t h =
+  if not (Topology.Graph.is_host t.graph h) then
+    invalid_arg (Printf.sprintf "Membership.join: %d is not a host" h);
+  if h = Channel.source t.channel then
+    invalid_arg "Membership.join: the source cannot subscribe to itself";
+  t.members <- Iset.add h t.members
+
+let leave t h = t.members <- Iset.remove h t.members
+
+let is_member t h = Iset.mem h t.members
+
+let members t = Iset.elements t.members
+
+let size t = Iset.cardinal t.members
+
+let subscribed_routers t =
+  Iset.fold
+    (fun h acc -> Iset.add (Topology.Graph.router_of_host t.graph h) acc)
+    t.members Iset.empty
+  |> Iset.elements
+
+let members_behind t r =
+  List.filter
+    (fun h -> Topology.Graph.router_of_host t.graph h = r)
+    (members t)

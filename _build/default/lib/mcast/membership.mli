@@ -1,0 +1,34 @@
+(** Group membership bookkeeping (the IGMP role).
+
+    Tracks which hosts currently subscribe to a channel and exposes
+    the designated-router view: the paper notes that several receivers
+    behind one border router cost the tree nothing extra, because
+    IGMP aggregates them at the LAN — {!subscribed_routers} is that
+    aggregated set. *)
+
+type t
+
+val create : Topology.Graph.t -> Channel.t -> t
+
+val channel : t -> Channel.t
+
+val join : t -> int -> unit
+(** [join t h] subscribes host [h].  Raises [Invalid_argument] if [h]
+    is not a host or is the channel source.  Idempotent. *)
+
+val leave : t -> int -> unit
+(** Idempotent. *)
+
+val is_member : t -> int -> bool
+
+val members : t -> int list
+(** Subscribed hosts, ascending. *)
+
+val size : t -> int
+
+val subscribed_routers : t -> int list
+(** Designated routers with at least one subscribed host, ascending,
+    deduplicated. *)
+
+val members_behind : t -> int -> int list
+(** Subscribed hosts attached to the given router. *)

@@ -1,0 +1,48 @@
+type t = {
+  cost : int;
+  links_used : int;
+  avg_delay : float;
+  max_delay : float;
+  max_stress : int;
+  duplicated_links : int;
+  receivers : int;
+}
+
+let of_distribution d =
+  {
+    cost = Distribution.cost d;
+    links_used = Distribution.links_used d;
+    avg_delay = Distribution.avg_delay d;
+    max_delay = Distribution.max_delay d;
+    max_stress = Distribution.max_stress d;
+    duplicated_links = Distribution.duplicated_links d;
+    receivers = List.length (Distribution.receivers d);
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "cost=%d links=%d avg_delay=%.2f max_delay=%.2f stress=%d dup_links=%d rcv=%d"
+    m.cost m.links_used m.avg_delay m.max_delay m.max_stress m.duplicated_links
+    m.receivers
+
+type state = {
+  mct_entries : int;
+  mft_entries : int;
+  branching_routers : int;
+  on_tree_routers : int;
+}
+
+let empty_state =
+  { mct_entries = 0; mft_entries = 0; branching_routers = 0; on_tree_routers = 0 }
+
+let add_state a b =
+  {
+    mct_entries = a.mct_entries + b.mct_entries;
+    mft_entries = a.mft_entries + b.mft_entries;
+    branching_routers = a.branching_routers + b.branching_routers;
+    on_tree_routers = a.on_tree_routers + b.on_tree_routers;
+  }
+
+let pp_state ppf s =
+  Format.fprintf ppf "MCT=%d MFT=%d branching=%d on-tree=%d" s.mct_entries
+    s.mft_entries s.branching_routers s.on_tree_routers

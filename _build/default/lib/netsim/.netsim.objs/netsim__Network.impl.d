@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Eventsim Hashtbl List Packet Routing Topology Trace

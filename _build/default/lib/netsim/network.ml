@@ -1,0 +1,165 @@
+type verdict = Consume | Forward
+
+type counters = {
+  originated_data : int;
+  originated_control : int;
+  data_hops : int;
+  control_hops : int;
+  deliveries : int;
+  consumed : int;
+  dropped_ttl : int;
+  dropped_unreachable : int;
+  sunk_at_dst : int;
+}
+
+type 'p t = {
+  engine : Eventsim.Engine.t;
+  table : Routing.Table.t;
+  graph : Topology.Graph.t;
+  default_ttl : int;
+  trace : Trace.t;
+  handlers : (int, 'p handler) Hashtbl.t;
+  sinks : (int, unit) Hashtbl.t;
+  data_loads : (int * int, int) Hashtbl.t;
+  mutable deliveries_rev : (int * float) list;
+  mutable c : counters;
+}
+
+and 'p handler = 'p t -> int -> 'p Packet.t -> verdict
+
+let zero_counters =
+  {
+    originated_data = 0;
+    originated_control = 0;
+    data_hops = 0;
+    control_hops = 0;
+    deliveries = 0;
+    consumed = 0;
+    dropped_ttl = 0;
+    dropped_unreachable = 0;
+    sunk_at_dst = 0;
+  }
+
+let create ?(default_ttl = 255) ?trace engine table =
+  let trace = match trace with Some t -> t | None -> Trace.create () in
+  {
+    engine;
+    table;
+    graph = Routing.Table.graph table;
+    default_ttl;
+    trace;
+    handlers = Hashtbl.create 64;
+    sinks = Hashtbl.create 16;
+    data_loads = Hashtbl.create 256;
+    deliveries_rev = [];
+    c = zero_counters;
+  }
+
+let engine t = t.engine
+let graph t = t.graph
+let table t = t.table
+let trace t = t.trace
+let now t = Eventsim.Engine.now t.engine
+
+let install t node h = Hashtbl.replace t.handlers node h
+
+let chain t node h =
+  match Hashtbl.find_opt t.handlers node with
+  | None -> Hashtbl.replace t.handlers node h
+  | Some first ->
+      Hashtbl.replace t.handlers node (fun net n p ->
+          match first net n p with
+          | Consume -> Consume
+          | Forward -> h net n p)
+
+let uninstall t node = Hashtbl.remove t.handlers node
+let handled t node = Hashtbl.mem t.handlers node
+
+let set_sink t node b =
+  if b then Hashtbl.replace t.sinks node () else Hashtbl.remove t.sinks node
+
+let tally_link t (p : 'p Packet.t) u v =
+  match p.kind with
+  | Packet.Data ->
+      let key = (u, v) in
+      let n =
+        match Hashtbl.find_opt t.data_loads key with Some n -> n | None -> 0
+      in
+      Hashtbl.replace t.data_loads key (n + 1);
+      t.c <- { t.c with data_hops = t.c.data_hops + 1 }
+  | Packet.Control -> t.c <- { t.c with control_hops = t.c.control_hops + 1 }
+
+(* Arrival of [p] at [node]; may consume, deliver or forward. *)
+let rec arrive t node (p : 'p Packet.t) =
+  (* Data reaching the host it is addressed to is a delivery, whether
+     or not an application handler also looks at it. *)
+  if
+    p.kind = Packet.Data && p.dst = node
+    && (Topology.Graph.is_host t.graph node || Hashtbl.mem t.sinks node)
+  then begin
+    t.deliveries_rev <- (node, now t -. p.born) :: t.deliveries_rev;
+    t.c <- { t.c with deliveries = t.c.deliveries + 1 }
+  end;
+  let verdict =
+    match Hashtbl.find_opt t.handlers node with
+    | Some h -> h t node p
+    | None -> Forward
+  in
+  match verdict with
+  | Consume -> t.c <- { t.c with consumed = t.c.consumed + 1 }
+  | Forward ->
+      if p.dst = node then t.c <- { t.c with sunk_at_dst = t.c.sunk_at_dst + 1 }
+      else if p.ttl <= 0 then begin
+        Trace.recordf t.trace ~time:(now t) ~node "TTL expired (%d->%d)" p.src
+          p.dst;
+        t.c <- { t.c with dropped_ttl = t.c.dropped_ttl + 1 }
+      end
+      else begin
+        p.ttl <- p.ttl - 1;
+        transmit t node p
+      end
+
+and transmit t node (p : 'p Packet.t) =
+  match Routing.Table.next_hop t.table node ~dest:p.dst with
+  | None ->
+      Trace.recordf t.trace ~time:(now t) ~node "no route to %d" p.dst;
+      t.c <- { t.c with dropped_unreachable = t.c.dropped_unreachable + 1 }
+  | Some next ->
+      p.Packet.via <- node;
+      tally_link t p node next;
+      let delay = Topology.Graph.delay t.graph node next in
+      ignore
+        (Eventsim.Engine.schedule t.engine ~delay (fun () -> arrive t next p))
+
+let originate t ~src ~dst ~kind payload =
+  let p =
+    Packet.make ~src ~dst ~kind ~born:(now t) ~ttl:t.default_ttl payload
+  in
+  (match kind with
+  | Packet.Data -> t.c <- { t.c with originated_data = t.c.originated_data + 1 }
+  | Packet.Control ->
+      t.c <- { t.c with originated_control = t.c.originated_control + 1 });
+  if dst = src then
+    ignore (Eventsim.Engine.schedule t.engine ~delay:0.0 (fun () -> arrive t src p))
+  else transmit t src p
+
+let emit t ~at (p : 'p Packet.t) =
+  (match p.kind with
+  | Packet.Data -> t.c <- { t.c with originated_data = t.c.originated_data + 1 }
+  | Packet.Control ->
+      t.c <- { t.c with originated_control = t.c.originated_control + 1 });
+  if p.dst = at then
+    ignore (Eventsim.Engine.schedule t.engine ~delay:0.0 (fun () -> arrive t at p))
+  else transmit t at p
+
+let counters t = t.c
+
+let data_link_loads t =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.data_loads []
+  |> List.sort compare
+
+let data_deliveries t = List.rev t.deliveries_rev
+
+let reset_data_accounting t =
+  Hashtbl.reset t.data_loads;
+  t.deliveries_rev <- []

@@ -1,0 +1,98 @@
+(** The packet-level network simulator.
+
+    Ties a topology, a converged unicast forwarding plane
+    ({!Routing.Table}) and an event {!Eventsim.Engine} together.
+    Packets travel hop by hop: each traversal of a link takes that
+    link's directed delay, and {e every} node a packet visits offers
+    it to the protocol handler installed there — this is how HBH and
+    REUNITE routers intercept join messages that are not addressed to
+    them.  Nodes without a handler (unicast-only routers, the
+    protocols' deployment story) forward transparently.
+
+    The network keeps the accounting the paper measures: copies of
+    data packets per directed link, data deliveries at hosts with
+    their source-to-receiver delay, and control-message link
+    traversals (protocol overhead). *)
+
+type verdict =
+  | Consume  (** the handler absorbed the packet; forwarding stops *)
+  | Forward  (** continue normal unicast forwarding toward [dst] *)
+
+type 'p t
+
+type 'p handler = 'p t -> int -> 'p Packet.t -> verdict
+(** [handler net node packet] runs at every hop the packet makes. *)
+
+val create :
+  ?default_ttl:int ->
+  ?trace:Trace.t ->
+  Eventsim.Engine.t ->
+  Routing.Table.t ->
+  'p t
+(** Default TTL is 255. *)
+
+val engine : 'p t -> Eventsim.Engine.t
+val graph : 'p t -> Topology.Graph.t
+val table : 'p t -> Routing.Table.t
+val trace : 'p t -> Trace.t
+val now : 'p t -> float
+
+val install : 'p t -> int -> 'p handler -> unit
+(** Replaces any previous handler at that node. *)
+
+val chain : 'p t -> int -> 'p handler -> unit
+(** Adds a handler {e behind} any existing one: the packet is offered
+    to the earlier handler first and falls through to this one only
+    if that returned {!Forward}.  Protocol handlers that forward
+    foreign traffic untouched (every handler in this repository)
+    compose safely this way — how several channels share one
+    network. *)
+
+val set_sink : 'p t -> int -> bool -> unit
+(** Mark a node as a data delivery endpoint.  Hosts always are;
+    router nodes acting as receivers (the hand-built scenario
+    topologies) must be marked explicitly for their deliveries to be
+    recorded. *)
+
+val uninstall : 'p t -> int -> unit
+val handled : 'p t -> int -> bool
+
+val originate :
+  'p t -> src:int -> dst:int -> kind:Packet.kind -> 'p -> unit
+(** Emit a fresh packet from node [src] toward [dst] at the current
+    time.  A packet addressed to its own source is looped back to the
+    local handler. *)
+
+val emit : 'p t -> at:int -> 'p Packet.t -> unit
+(** Send an already-built packet (typically {!Packet.rewrite} of a
+    received one, preserving [born]) from node [at] toward its
+    destination. *)
+
+(** {1 Accounting} *)
+
+type counters = {
+  originated_data : int;
+  originated_control : int;
+  data_hops : int;  (** directed-link traversals by data copies *)
+  control_hops : int;
+  deliveries : int;  (** data packets that reached a host addressed to it *)
+  consumed : int;  (** packets absorbed by handlers *)
+  dropped_ttl : int;
+  dropped_unreachable : int;
+  sunk_at_dst : int;  (** packets that reached [dst] with no handler claim *)
+}
+
+val counters : 'p t -> counters
+
+val data_link_loads : 'p t -> ((int * int) * int) list
+(** Copies per directed link since the last {!reset_data_accounting},
+    lexicographic order. *)
+
+val data_deliveries : 'p t -> (int * float) list
+(** All [(host, delay)] data deliveries since the last reset, in
+    delivery-time order.  A host appearing twice received duplicate
+    copies. *)
+
+val reset_data_accounting : 'p t -> unit
+(** Clears link loads and deliveries (not the global counters): call
+    before injecting a probe packet to measure one distribution. *)

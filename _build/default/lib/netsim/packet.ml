@@ -1,0 +1,23 @@
+type kind = Data | Control
+
+type 'p t = {
+  src : int;
+  dst : int;
+  kind : kind;
+  payload : 'p;
+  born : float;
+  mutable ttl : int;
+  mutable via : int;
+}
+
+let make ~src ~dst ~kind ~born ~ttl payload =
+  { src; dst; kind; payload; born; ttl; via = src }
+
+let rewrite p ~src ~dst ?payload () =
+  let payload = match payload with Some pl -> pl | None -> p.payload in
+  { p with src; dst; payload; via = src }
+
+let pp pp_payload ppf p =
+  let kind = match p.kind with Data -> "data" | Control -> "ctrl" in
+  Format.fprintf ppf "[%s %d->%d ttl=%d born=%.2f %a]" kind p.src p.dst p.ttl
+    p.born pp_payload p.payload

@@ -1,0 +1,25 @@
+(** Optional event trace for debugging and demonstration binaries. *)
+
+type t
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** [capacity] bounds memory: older entries are dropped once exceeded
+    (default 10_000). *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> time:float -> node:int -> string -> unit
+(** No-op when disabled; the string should be cheap to build only
+    when enabled — use {!recordf} otherwise. *)
+
+val recordf :
+  t -> time:float -> node:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Lazily formats; free when tracing is disabled. *)
+
+val entries : t -> (float * int * string) list
+(** Oldest first. *)
+
+val length : t -> int
+val clear : t -> unit
+val dump : Format.formatter -> t -> unit

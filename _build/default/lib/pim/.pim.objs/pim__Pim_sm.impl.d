@@ -1,0 +1,1 @@
+lib/pim/pim_sm.ml: Hashtbl List Mcast Option Routing Set Topology

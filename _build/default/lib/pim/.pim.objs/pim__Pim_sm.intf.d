@@ -1,0 +1,1 @@
+lib/pim/pim_sm.mli: Mcast Routing

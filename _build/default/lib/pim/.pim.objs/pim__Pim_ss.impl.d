@@ -1,0 +1,1 @@
+lib/pim/pim_ss.ml: Hashtbl List Mcast Option Routing Set Topology

@@ -1,0 +1,1 @@
+lib/pim/pim_ss.mli: Mcast Routing

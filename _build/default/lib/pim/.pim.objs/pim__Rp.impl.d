@@ -1,0 +1,1 @@
+lib/pim/rp.ml: List Printf Routing Stats Topology

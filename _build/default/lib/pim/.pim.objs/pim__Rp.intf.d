@@ -1,0 +1,1 @@
+lib/pim/rp.mli: Routing Stats

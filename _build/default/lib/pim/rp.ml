@@ -1,0 +1,61 @@
+type strategy =
+  | Random
+  | Fixed of int
+  | Highest_degree
+  | Best_delay
+  | Worst_delay
+
+(* Average receiver delay of the PIM-SM tree rooted at candidate [rp]:
+   encapsulated leg source->rp plus the reversed join path rp->r. *)
+let avg_delay table ~source ~receivers rp =
+  let g = Routing.Table.graph table in
+  if not (Routing.Table.reachable table source rp) then infinity
+  else begin
+    let up = Routing.Path.delay g (Routing.Table.path table source rp) in
+    let total =
+      List.fold_left
+        (fun acc r ->
+          if not (Routing.Table.reachable table r rp) then infinity
+          else
+            let down =
+              Routing.Path.delay g (List.rev (Routing.Table.path table r rp))
+            in
+            acc +. up +. down)
+        0.0 receivers
+    in
+    match receivers with
+    | [] -> 0.0
+    | _ -> total /. float_of_int (List.length receivers)
+  end
+
+let select strategy rng table ~source ~receivers =
+  let g = Routing.Table.graph table in
+  let routers = Topology.Graph.routers g in
+  if routers = [] then invalid_arg "Rp.select: graph has no routers";
+  match strategy with
+  | Random -> Stats.Rng.pick rng routers
+  | Fixed r ->
+      if not (Topology.Graph.is_router g r) then
+        invalid_arg (Printf.sprintf "Rp.select: %d is not a router" r);
+      r
+  | Highest_degree ->
+      List.fold_left
+        (fun best r ->
+          if Topology.Graph.degree g r > Topology.Graph.degree g best then r
+          else best)
+        (List.hd routers) routers
+  | Best_delay ->
+      List.fold_left
+        (fun best r ->
+          if avg_delay table ~source ~receivers r
+             < avg_delay table ~source ~receivers best
+          then r
+          else best)
+        (List.hd routers) routers
+  | Worst_delay ->
+      List.fold_left
+        (fun worst r ->
+          let d = avg_delay table ~source ~receivers r in
+          if d > avg_delay table ~source ~receivers worst && d < infinity then r
+          else worst)
+        (List.hd routers) routers

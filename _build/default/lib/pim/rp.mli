@@ -1,0 +1,25 @@
+(** Rendez-vous point selection for PIM-SM.
+
+    The paper does not state how its NS setup picked the RP; the
+    default here is a uniformly random router per run (seeded), and
+    the alternatives support an ablation of how much RP placement
+    matters. *)
+
+type strategy =
+  | Random  (** uniform over routers (default) *)
+  | Fixed of int  (** a specific router *)
+  | Highest_degree  (** the best-connected router, smallest id wins ties *)
+  | Best_delay
+      (** the router minimizing the resulting average receiver delay —
+          an oracle bound, not implementable in a real deployment *)
+  | Worst_delay  (** the adversarial bound *)
+
+val select :
+  strategy ->
+  Stats.Rng.t ->
+  Routing.Table.t ->
+  source:int ->
+  receivers:int list ->
+  int
+(** Returns a router id.  Raises [Invalid_argument] on [Fixed r] when
+    [r] is not a router, or if the graph has no routers. *)

@@ -1,0 +1,1 @@
+lib/reunite/analytic.ml: Array Hashtbl List Mcast Option Printf Routing Topology

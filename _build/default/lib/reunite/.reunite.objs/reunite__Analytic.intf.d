@@ -1,0 +1,1 @@
+lib/reunite/analytic.mli: Mcast Routing

@@ -1,0 +1,1 @@
+lib/reunite/messages.ml: Format Mcast

@@ -1,0 +1,1 @@
+lib/reunite/messages.mli: Format Mcast

@@ -1,0 +1,1 @@
+lib/reunite/protocol.ml: Eventsim Float Hashtbl List Mcast Messages Netsim Option Printf Routing Tables Topology

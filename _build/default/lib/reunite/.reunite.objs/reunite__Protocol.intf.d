@@ -1,0 +1,1 @@
+lib/reunite/protocol.mli: Eventsim Mcast Messages Netsim Routing Tables

@@ -1,0 +1,1 @@
+lib/reunite/tables.ml: Float Hashtbl List Mcast Option

@@ -1,0 +1,1 @@
+lib/reunite/tables.mli: Mcast

@@ -1,0 +1,376 @@
+type mft = { mutable dst : int; mutable receivers : int list }
+
+type node_state = { mutable mct : int list (* flow-arrival order *); mutable mft : mft option }
+
+type t = {
+  table : Routing.Table.t;
+  graph : Topology.Graph.t;
+  source : int;
+  nodes : node_state array;
+  mutable members : int list; (* join order *)
+}
+
+let create table ~source =
+  let graph = Routing.Table.graph table in
+  {
+    table;
+    graph;
+    source;
+    nodes =
+      Array.init (Topology.Graph.node_count graph) (fun _ ->
+          { mct = []; mft = None });
+    members = [];
+  }
+
+let members t = t.members
+
+(* Tree/data messages flow from [from_node] toward [target]; at every
+   intermediate branching router whose MFT.dst is [target] the flow
+   forks to the router's receiver entries (REUNITE's recursive
+   unicast).  [on_link] and [on_delivery] make the same walk serve
+   both MCT reconstruction and data replay.  [forked] is shared across
+   one whole replay: each branching router forks at most once, like
+   the protocol's per-epoch gating (trees) and RPF check (data), so
+   cyclic capture structures cannot recurse forever. *)
+let rec flow t ~forked ~from_node ~target ~elapsed ~on_link ~on_node ~on_branch
+    ~on_delivery =
+  let path = Routing.Table.path t.table from_node target in
+  let rec walk elapsed = function
+    | u :: (v :: _ as rest) ->
+        on_link u v;
+        let elapsed = elapsed +. Topology.Graph.delay t.graph u v in
+        if v = target then on_delivery target elapsed
+        else begin
+          on_node v target elapsed;
+          (match t.nodes.(v).mft with
+          | Some m when m.dst = target && not (Hashtbl.mem forked v) ->
+              Hashtbl.replace forked v ();
+              on_branch v;
+              List.iter
+                (fun rj ->
+                  flow t ~forked ~from_node:v ~target:rj ~elapsed ~on_link
+                    ~on_node ~on_branch ~on_delivery)
+                m.receivers
+          | Some _ | None -> ());
+          walk elapsed rest
+        end
+    | [ _ ] | [] -> ()
+  in
+  if from_node = target then on_delivery target elapsed else walk elapsed path
+
+(* Replay one full source epoch over all roots with a fresh fork
+   budget. *)
+let replay t ~on_link ~on_node ~on_branch ~on_delivery roots =
+  let forked = Hashtbl.create 16 in
+  List.iter
+    (fun target ->
+      flow t ~forked ~from_node:t.source ~target ~elapsed:0.0 ~on_link ~on_node
+        ~on_branch ~on_delivery)
+    roots
+
+let roots t =
+  match t.nodes.(t.source).mft with
+  | None -> []
+  | Some m -> m.dst :: m.receivers
+
+(* Rebuild every MCT from scratch by replaying the tree messages over
+   the current MFTs: a non-branching router on the path of tree(S, r)
+   holds MCT = r.  Conflicting installs are resolved by propagation
+   delay (the first tree message to arrive wins, ties broken by
+   emission order), matching the event-driven protocol exactly. *)
+let recompute_mct t =
+  Array.iter (fun ns -> ns.mct <- []) t.nodes;
+  let installs = ref [] in
+  let order = ref 0 in
+  replay t
+    ~on_link:(fun _ _ -> ())
+    ~on_node:(fun v tgt elapsed ->
+      incr order;
+      installs := (elapsed, !order, v, tgt) :: !installs)
+    ~on_branch:(fun _ -> ())
+    ~on_delivery:(fun _ _ -> ())
+    (roots t);
+  (* Every flow through a router leaves a control entry — branching
+     nodes included, for their transit flows — in first-arrival order
+     (delay, then emission order).  Targets the node's own MFT records
+     are excluded. *)
+  List.iter
+    (fun (_, _, v, tgt) ->
+      let ns = t.nodes.(v) in
+      let in_mft =
+        match ns.mft with
+        | Some m -> m.dst = tgt || List.mem tgt m.receivers
+        | None -> false
+      in
+      if (not in_mft) && not (List.mem tgt ns.mct) then
+        ns.mct <- ns.mct @ [ tgt ])
+    (List.sort compare (List.rev !installs))
+
+(* One join (or refresh-join) walk of receiver [r] up its reverse
+   path, exactly mirroring the event protocol's capture rules: a
+   matching dst lets the join pass (the dst's entry lives upstream),
+   a matching receiver entry or a capture stops it.  Returns the node
+   where the walk terminated — the entry [r]'s joins currently
+   refresh. *)
+let join_walk t r =
+  let rec walk = function
+    | [] -> None
+    | w :: rest ->
+        if w = t.source then begin
+          (match t.nodes.(w).mft with
+          | None -> t.nodes.(w).mft <- Some { dst = r; receivers = [] }
+          | Some m ->
+              if m.dst <> r && not (List.mem r m.receivers) then
+                m.receivers <- m.receivers @ [ r ]);
+          Some w
+        end
+        else begin
+          if List.mem r t.nodes.(w).mct then
+            (* Relaying r's flow in transit; the join passes. *)
+            walk rest
+          else
+            match t.nodes.(w).mft with
+            | Some m when m.dst = r ->
+                (* The dst's entry is owned upstream; pass through. *)
+                walk rest
+            | Some m ->
+                if not (List.mem r m.receivers) then
+                  m.receivers <- m.receivers @ [ r ];
+                Some w
+            | None -> (
+                match t.nodes.(w).mct with
+                | rj :: rest_mct ->
+                    (* Oldest relayed flow moves into the new MFT as
+                       dst; the other control entries stay. *)
+                    t.nodes.(w).mct <- rest_mct;
+                    t.nodes.(w).mft <- Some { dst = rj; receivers = [ r ] };
+                    Some w
+                | [] -> walk rest)
+        end
+  in
+  match Routing.Table.path t.table r t.source with
+  | _ :: rest -> walk rest
+  | [] -> None
+
+let fingerprint t =
+  Array.to_list t.nodes
+  |> List.map (fun ns ->
+         ( ns.mct,
+           Option.map (fun m -> (m.dst, List.sort compare m.receivers)) ns.mft ))
+
+(* Between two arrivals every member keeps sending refresh joins;
+   those may be captured by tables that appeared since (the new
+   arrival's conversions), adding the member at the capture point
+   while its old entry lives on until t2 — which is beyond the
+   construction window the paper measures.  Re-walk all members until
+   the capture structure stops growing. *)
+let settle_refresh_joins t =
+  let rec rounds budget =
+    if budget > 0 then begin
+      let before = fingerprint t in
+      List.iter (fun m -> ignore (join_walk t m)) t.members;
+      recompute_mct t;
+      if fingerprint t <> before then rounds (budget - 1)
+    end
+  in
+  rounds 10
+
+let do_join t r =
+  if r = t.source then invalid_arg "Reunite.Analytic.join: source cannot join";
+  if not (Routing.Table.reachable t.table r t.source) then
+    invalid_arg (Printf.sprintf "Reunite.Analytic.join: %d cannot reach source" r);
+  ignore (join_walk t r);
+  recompute_mct t
+
+let settle t = settle_refresh_joins t
+
+let join t r =
+  if not (List.mem r t.members) then begin
+    do_join t r;
+    t.members <- t.members @ [ r ]
+  end
+
+let reset t =
+  Array.iter
+    (fun ns ->
+      ns.mct <- [];
+      ns.mft <- None)
+    t.nodes
+
+let leave t r =
+  if List.mem r t.members then begin
+    let remaining = List.filter (fun m -> m <> r) t.members in
+    reset t;
+    t.members <- [];
+    List.iter
+      (fun m ->
+        do_join t m;
+        t.members <- t.members @ [ m ])
+      remaining
+  end
+
+let distribution t =
+  let dist = Mcast.Distribution.create ~source:t.source in
+  replay t
+    ~on_link:(fun u v -> Mcast.Distribution.add_copy dist u v)
+    ~on_node:(fun _ _ _ -> ())
+    ~on_branch:(fun _ -> ())
+    ~on_delivery:(fun r d -> Mcast.Distribution.deliver dist ~receiver:r ~delay:d)
+    (roots t);
+  dist
+
+let data_path t r =
+  if not (List.mem r t.members) then None
+  else begin
+    (* Re-run the replay keeping the hop trail of every copy; the
+       trail alive when delivery hits r is r's data route. *)
+    let found = ref None in
+    let forked = Hashtbl.create 16 in
+    let rec go ~from_node ~target ~trail =
+      let path = Routing.Table.path t.table from_node target in
+      let rec walk trail = function
+        | _ :: (v :: _ as rest) ->
+            let trail = v :: trail in
+            if v = target then begin
+              if target = r && !found = None then found := Some (List.rev trail)
+            end
+            else begin
+              (match t.nodes.(v).mft with
+              | Some m when m.dst = target && not (Hashtbl.mem forked v) ->
+                  Hashtbl.replace forked v ();
+                  List.iter
+                    (fun rj -> go ~from_node:v ~target:rj ~trail)
+                    m.receivers
+              | Some _ | None -> ());
+              walk trail rest
+            end
+        | [ _ ] | [] -> ()
+      in
+      walk trail path
+    in
+    List.iter
+      (fun target -> go ~from_node:t.source ~target ~trail:[ t.source ])
+      (roots t);
+    !found
+  end
+
+let state t =
+  let mct = ref 0 and mft = ref 0 and branching = ref 0 and on_tree = ref 0 in
+  Array.iteri
+    (fun i ns ->
+      if Topology.Graph.is_router t.graph i then begin
+        mct := !mct + List.length ns.mct;
+        (match ns.mft with
+        | Some m ->
+            mft := !mft + 1 + List.length m.receivers;
+            incr branching
+        | None -> ());
+        if ns.mct <> [] || ns.mft <> None then incr on_tree
+      end)
+    t.nodes;
+  {
+    Mcast.Metrics.mct_entries = !mct;
+    mft_entries = !mft;
+    branching_routers = !branching;
+    on_tree_routers = !on_tree;
+  }
+
+let branching_routers t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i ns ->
+      if ns.mft <> None && Topology.Graph.is_router t.graph i then acc := i :: !acc)
+    t.nodes;
+  List.rev !acc
+
+let mft_of t n =
+  match t.nodes.(n).mft with
+  | Some m -> Some (m.dst, m.receivers)
+  | None -> None
+
+let mct_of t n = t.nodes.(n).mct
+
+(* Long-run soft-state fixpoint; see the interface documentation.
+   Each round models one full refresh cycle after all transients
+   (t1/t2 expiries) have played out:
+
+   1. Replay the source's tree flows.  Branching tables the flow forks
+      at are "supported"; a table whose dst flow no longer passes it
+      is orphaned — its dst entry can only starve — and is removed.
+   2. Rebuild the MCT coverage over the surviving tables.
+   3. Replay every member's refresh join.  Joins are captured by the
+      first on-tree router of the member's reverse path, possibly
+      {e migrating} the member's entry closer to it; entries no join
+      refreshes any more are starved and removed.
+
+   Rounds repeat until the tables stop changing. *)
+let stabilize ?(max_rounds = 50) t =
+  let fingerprint () =
+    Array.to_list t.nodes
+    |> List.map (fun ns ->
+           ( ns.mct,
+             Option.map
+               (fun m -> (m.dst, List.sort compare m.receivers))
+               ns.mft ))
+  in
+  let round () =
+    (* 1. Support: which branching tables does the live flow fork at? *)
+    let supported = Hashtbl.create 16 in
+    Hashtbl.replace supported t.source ();
+    replay t
+      ~on_link:(fun _ _ -> ())
+      ~on_node:(fun _ _ _ -> ())
+      ~on_branch:(fun v -> Hashtbl.replace supported v ())
+      ~on_delivery:(fun _ _ -> ())
+      (roots t);
+    Array.iteri
+      (fun i ns ->
+        if ns.mft <> None && not (Hashtbl.mem supported i) then ns.mft <- None)
+      t.nodes;
+    (* 2. Fresh control coverage. *)
+    recompute_mct t;
+    (* 3. Refresh joins: capture (possibly migrating) every member,
+       then starve entries nobody refreshed. *)
+    let refreshed = Hashtbl.create 32 in
+    List.iter
+      (fun r ->
+        match join_walk t r with
+        | Some w -> Hashtbl.replace refreshed (w, r) ()
+        | None -> ())
+      t.members;
+    Array.iteri
+      (fun i ns ->
+        match ns.mft with
+        | Some m ->
+            m.receivers <-
+              List.filter (fun r -> Hashtbl.mem refreshed (i, r)) m.receivers
+        | None -> ())
+      t.nodes;
+    (* The source's dst entry is join-refreshed (the source gets no
+       tree messages); if its receiver migrated to a downstream
+       capture point, the entry starves and the first remaining
+       receiver is promoted — the event protocol's marked-tree
+       teardown plus promotion, seen from the converged end. *)
+    (match t.nodes.(t.source).mft with
+    | Some m when not (Hashtbl.mem refreshed (t.source, m.dst)) -> (
+        match m.receivers with
+        | d :: rest ->
+            m.dst <- d;
+            m.receivers <- rest
+        | [] -> t.nodes.(t.source).mft <- None)
+    | Some _ | None -> ());
+    recompute_mct t
+  in
+  let rec iterate i prev =
+    if i < max_rounds then begin
+      round ();
+      let cur = fingerprint () in
+      if cur <> prev then iterate (i + 1) cur
+    end
+  in
+  iterate 0 (fingerprint ())
+
+let build table ~source ~receivers =
+  let t = create table ~source in
+  List.iter (fun r -> join t r) receivers;
+  distribution t

@@ -1,0 +1,19 @@
+type t =
+  | Join of { channel : Mcast.Channel.t; member : int }
+  | Tree of {
+      channel : Mcast.Channel.t;
+      target : int;
+      marked : bool;
+      epoch : int;
+    }
+  | Data of { channel : Mcast.Channel.t; seq : int }
+
+let pp ppf = function
+  | Join { channel; member } ->
+      Format.fprintf ppf "join(%a, %d)" Mcast.Channel.pp channel member
+  | Tree { channel; target; marked; epoch } ->
+      Format.fprintf ppf "%stree(%a, %d)#%d"
+        (if marked then "marked-" else "")
+        Mcast.Channel.pp channel target epoch
+  | Data { channel; seq } ->
+      Format.fprintf ppf "data(%a, #%d)" Mcast.Channel.pp channel seq

@@ -1,0 +1,23 @@
+(** REUNITE wire messages (Stoica et al., INFOCOM 2000).
+
+    - [Join]: receiver → source, periodic.  Unlike HBH there is no
+      "first" flag: {e any} router already on the tree captures any
+      join, which is exactly what exposes the protocol to the
+      asymmetry pathologies of Section 2.3.
+    - [Tree]: source → receivers, periodic, forked at branching
+      routers; [marked] announces that the target's flow is about to
+      stop (the teardown signal after a departure — Figure 2(b)).
+    - [Data]: payload, addressed to [MFT.dst] and rewritten at
+      branching routers. *)
+
+type t =
+  | Join of { channel : Mcast.Channel.t; member : int }
+  | Tree of {
+      channel : Mcast.Channel.t;
+      target : int;
+      marked : bool;
+      epoch : int;
+    }
+  | Data of { channel : Mcast.Channel.t; seq : int }
+
+val pp : Format.formatter -> t -> unit

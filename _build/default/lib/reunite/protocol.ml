@@ -1,0 +1,412 @@
+module Net = Netsim.Network
+module Pkt = Netsim.Packet
+module Engine = Eventsim.Engine
+module Timer = Eventsim.Timer
+
+type config = {
+  join_period : float;
+  tree_period : float;
+  t1 : float;
+  t2 : float;
+}
+
+let default_config =
+  { join_period = 100.0; tree_period = 100.0; t1 = 250.0; t2 = 550.0 }
+
+type t = {
+  config : config;
+  deadlines : Tables.deadlines;
+  engine : Engine.t;
+  network : Messages.t Net.t;
+  graph : Topology.Graph.t;
+  channel : Mcast.Channel.t;
+  source : int;
+  router_tables : (int, Tables.t) Hashtbl.t;
+  mutable source_mft : Tables.Mft.t option;
+  mutable epoch : int;
+  mutable members : int list;
+  member_timers : (int, Timer.t) Hashtbl.t;
+  mutable data_seq : int;
+}
+
+let engine t = t.engine
+let network t = t.network
+let channel t = t.channel
+let source t = t.source
+let members t = List.sort compare t.members
+
+let now t = Engine.now t.engine
+
+let trace t ~node fmt =
+  Netsim.Trace.recordf (Net.trace t.network) ~time:(now t) ~node fmt
+
+let send t ~from ~dst ~kind payload =
+  Net.originate t.network ~src:from ~dst ~kind payload
+
+let tables_of t n =
+  match Hashtbl.find_opt t.router_tables n with
+  | Some tb -> tb
+  | None ->
+      let tb = Tables.create () in
+      Hashtbl.replace t.router_tables n tb;
+      tb
+
+(* ---- Router message processing --------------------------------------- *)
+
+let router_handle_join t n ~member =
+  let tb = tables_of t n in
+  let nw = now t in
+  let st = Tables.find tb t.channel in
+  let relays_member =
+    match st.Tables.mct with
+    | Some mct -> Tables.Mct.mem mct ~now:nw member
+    | None -> false
+  in
+  match st.Tables.mft with
+  | Some mft ->
+      if (Tables.Mft.dst mft).node = member then
+        (* The dst receiver joined {e above} us: the join belongs to
+           the upstream owner.  Crucially we do NOT refresh our dst
+           entry here — dst entries are kept alive by tree messages
+           only (Section 2.3), which is what makes a branch orphaned
+           from the source collapse instead of capturing joins
+           forever. *)
+        Net.Forward
+      else if Tables.Mft.mem mft member then
+        if Tables.entry_stale (Tables.Mft.dst mft) ~now:nw then Net.Forward
+        else begin
+          ignore (Tables.Mft.refresh mft t.deadlines ~now:nw member);
+          Net.Consume
+        end
+      else if relays_member then
+        (* The member's flow transits this branching node unforked; it
+           is served elsewhere and its join passes. *)
+        Net.Forward
+      else if Tables.entry_stale (Tables.Mft.dst mft) ~now:nw then
+        (* A stale table no longer captures joins — they flow through
+           toward the source (Figure 2(c)). *)
+        Net.Forward
+      else begin
+        trace t ~node:n "capture join(%d) at branching node" member;
+        Tables.Mft.add_receiver mft t.deadlines ~now:nw member;
+        Net.Consume
+      end
+  | None -> (
+      if relays_member then Net.Forward
+      else
+        match st.Tables.mct with
+        | None -> Net.Forward
+        | Some mct -> (
+            match Tables.Mct.first_fresh mct ~now:nw with
+            | None -> Net.Forward
+            | Some dst ->
+                (* Control router becomes a branching node: its oldest
+                   relayed receiver moves from the MCT into the MFT as
+                   dst, the joiner becomes the first receiver entry,
+                   the other control entries stay. *)
+                trace t ~node:n "capture join(%d): becoming branching (dst=%d)"
+                  member dst;
+                let mft = Tables.Mft.create t.deadlines ~now:nw ~dst in
+                Tables.Mft.add_receiver mft t.deadlines ~now:nw member;
+                Tables.Mct.remove mct dst;
+                if Tables.Mct.dead mct ~now:nw then st.Tables.mct <- None;
+                st.Tables.mft <- Some mft;
+                Net.Consume))
+
+(* Tree and data share the forking geometry: a packet addressed to a
+   branching router's dst is replicated to its receiver entries while
+   the original continues. *)
+let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~marked ~epoch =
+  let tb = tables_of t n in
+  let nw = now t in
+  let st = Tables.find tb t.channel in
+  let is_fork_point =
+    match st.Tables.mft with
+    | Some mft -> (Tables.Mft.dst mft).node = target
+    | None -> false
+  in
+  if is_fork_point then begin
+    let mft = Option.get st.Tables.mft in
+    if marked then Tables.Mft.stale_dst mft ~now:nw
+    else if Tables.Mft.should_fork mft ~epoch then begin
+      (* A genuinely new epoch from the source: learn the upstream
+         interface, refresh the dst entry and fork the tree to every
+         receiver entry.  Replayed or looping epochs neither refresh
+         nor fork, so orphaned branching structures decay. *)
+      Tables.Mft.set_upstream mft p.Pkt.via;
+      ignore (Tables.Mft.refresh mft t.deadlines ~now:nw target);
+      List.iter
+        (fun (e : Tables.entry) ->
+          send t ~from:n ~dst:e.node ~kind:Pkt.Control
+            (Messages.Tree
+               {
+                 channel = t.channel;
+                 target = e.node;
+                 marked = Tables.entry_stale e ~now:nw;
+                 epoch;
+               }))
+        (Tables.Mft.receivers mft)
+    end;
+    Net.Forward
+  end
+  else begin
+    (* Transit flow: maintain the control entry for it (even at
+       branching nodes), unless the MFT already records the target. *)
+    let in_mft =
+      match st.Tables.mft with
+      | Some mft -> Tables.Mft.mem mft target
+      | None -> false
+    in
+    if marked then begin
+      (* Teardown: "destroys any r1 MCT entries". *)
+      (match st.Tables.mct with
+      | Some mct ->
+          Tables.Mct.remove mct target;
+          if Tables.Mct.dead mct ~now:nw then st.Tables.mct <- None
+      | None -> ())
+    end
+    else if not in_mft then begin
+      match st.Tables.mct with
+      | Some mct -> Tables.Mct.add mct t.deadlines ~now:nw target
+      | None -> st.Tables.mct <- Some (Tables.Mct.create t.deadlines ~now:nw target)
+    end;
+    Net.Forward
+  end
+
+let router_handle_data t n (p : Messages.t Pkt.t) =
+  let tb = tables_of t n in
+  match (Tables.find tb t.channel).Tables.mft with
+  | Some mft
+    when (Tables.Mft.dst mft).node = p.Pkt.dst
+         && Tables.Mft.from_upstream mft ~via:p.Pkt.via ->
+      List.iter
+        (fun (e : Tables.entry) ->
+          Net.emit t.network ~at:n (Pkt.rewrite p ~src:n ~dst:e.node ()))
+        (Tables.Mft.receivers mft);
+      Net.Forward
+  | Some _ | None -> Net.Forward
+
+let router_handler t _net n (p : Messages.t Pkt.t) =
+  match p.Pkt.payload with
+  | Messages.Join { channel; member } when Mcast.Channel.equal channel t.channel
+    ->
+      router_handle_join t n ~member
+  | Messages.Tree { channel; target; marked; epoch }
+    when Mcast.Channel.equal channel t.channel ->
+      router_handle_tree t n p ~target ~marked ~epoch
+  | Messages.Data { channel; _ } when Mcast.Channel.equal channel t.channel ->
+      router_handle_data t n p
+  | Messages.Join _ | Messages.Tree _ | Messages.Data _ -> Net.Forward
+
+(* ---- Source agent ----------------------------------------------------- *)
+
+let source_handler t _net n (p : Messages.t Pkt.t) =
+  if p.Pkt.dst <> n then Net.Forward
+  else
+    match p.Pkt.payload with
+    | Messages.Join { channel; member }
+      when Mcast.Channel.equal channel t.channel ->
+        if member <> t.source then
+          (match t.source_mft with
+          | None ->
+              t.source_mft <-
+                Some (Tables.Mft.create t.deadlines ~now:(now t) ~dst:member)
+          | Some mft ->
+              if not (Tables.Mft.refresh mft t.deadlines ~now:(now t) member)
+              then Tables.Mft.add_receiver mft t.deadlines ~now:(now t) member);
+        Net.Consume
+    | (Messages.Tree { channel; _ } | Messages.Data { channel; _ })
+      when Mcast.Channel.equal channel t.channel ->
+        Net.Consume
+    | Messages.Join _ | Messages.Tree _ | Messages.Data _ ->
+        (* Another channel's traffic: fall through the handler chain. *)
+        Net.Forward
+
+(* ---- Session ---------------------------------------------------------- *)
+
+let source_tick t =
+  match t.source_mft with
+  | None -> ()
+  | Some mft ->
+      let nw = now t in
+      Tables.Mft.expire mft ~now:nw;
+      ignore (Tables.Mft.promote mft ~now:nw);
+      if Tables.Mft.dead mft ~now:nw then t.source_mft <- None
+      else begin
+        t.epoch <- t.epoch + 1;
+        let dst = Tables.Mft.dst mft in
+        send t ~from:t.source ~dst:dst.node ~kind:Pkt.Control
+          (Messages.Tree
+             {
+               channel = t.channel;
+               target = dst.node;
+               marked = Tables.entry_stale dst ~now:nw;
+               epoch = t.epoch;
+             });
+        List.iter
+          (fun (e : Tables.entry) ->
+            send t ~from:t.source ~dst:e.node ~kind:Pkt.Control
+              (Messages.Tree
+                 {
+                   channel = t.channel;
+                   target = e.node;
+                   marked = Tables.entry_stale e ~now:nw;
+                   epoch = t.epoch;
+                 }))
+          (Tables.Mft.receivers mft)
+      end
+
+let setup ~config ~network ~channel ~source =
+  if config.t1 <= 0.0 || config.t2 <= config.t1 then
+    invalid_arg "Reunite.Protocol.create: need 0 < t1 < t2";
+  let engine = Net.engine network in
+  let table = Net.table network in
+  let graph = Routing.Table.graph table in
+  let t =
+    {
+      config;
+      deadlines = { Tables.t1 = config.t1; t2 = config.t2 };
+      engine;
+      network;
+      graph;
+      channel;
+      source;
+      router_tables = Hashtbl.create 64;
+      source_mft = None;
+      epoch = 0;
+      members = [];
+      member_timers = Hashtbl.create 16;
+      data_seq = 0;
+    }
+  in
+  List.iter
+    (fun r ->
+      if r <> source && Topology.Graph.multicast_capable graph r then
+        Net.chain network r (router_handler t))
+    (Topology.Graph.routers graph);
+  Net.chain network source (source_handler t);
+  ignore
+    (Timer.every engine ~start:config.tree_period ~period:config.tree_period
+       (fun () -> source_tick t));
+  ignore
+    (Timer.every engine ~start:config.tree_period ~period:config.tree_period
+       (fun () ->
+         Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now:(now t)) t.router_tables));
+  t
+
+let create ?(config = default_config) ?trace ?channel table ~source =
+  let engine = Engine.create () in
+  let network = Net.create ?trace engine table in
+  let channel =
+    match channel with Some c -> c | None -> Mcast.Channel.fresh ~source
+  in
+  setup ~config ~network ~channel ~source
+
+let create_on ?(config = default_config) ?channel network ~source =
+  let channel =
+    match channel with Some c -> c | None -> Mcast.Channel.fresh ~source
+  in
+  setup ~config ~network ~channel ~source
+
+let subscribe t r =
+  if r = t.source then
+    invalid_arg "Reunite.Protocol.subscribe: the source cannot join";
+  if not (List.mem r t.members) then begin
+    t.members <- r :: t.members;
+    Net.set_sink t.network r true;
+    let timer =
+      Timer.every t.engine ~start:0.0 ~period:t.config.join_period (fun () ->
+          send t ~from:r ~dst:t.source ~kind:Pkt.Control
+            (Messages.Join { channel = t.channel; member = r }))
+    in
+    Hashtbl.replace t.member_timers r timer
+  end
+
+let unsubscribe t r =
+  if List.mem r t.members then begin
+    t.members <- List.filter (fun m -> m <> r) t.members;
+    (match Hashtbl.find_opt t.member_timers r with
+    | Some timer ->
+        Timer.stop timer;
+        Hashtbl.remove t.member_timers r
+    | None -> ());
+    Net.set_sink t.network r false
+  end
+
+let run_for t d = Engine.run ~until:(now t +. d) t.engine
+
+let converge ?(periods = 12) t =
+  run_for t (float_of_int periods *. t.config.tree_period)
+
+let send_data t =
+  match t.source_mft with
+  | None -> ()
+  | Some mft ->
+      t.data_seq <- t.data_seq + 1;
+      let payload = Messages.Data { channel = t.channel; seq = t.data_seq } in
+      let nw = now t in
+      Tables.Mft.expire mft ~now:nw;
+      let dst = Tables.Mft.dst mft in
+      if not (Tables.entry_dead dst ~now:nw) then
+        send t ~from:t.source ~dst:dst.node ~kind:Pkt.Data payload;
+      List.iter
+        (fun (e : Tables.entry) ->
+          send t ~from:t.source ~dst:e.node ~kind:Pkt.Data payload)
+        (Tables.Mft.receivers mft)
+
+let probe t =
+  Net.reset_data_accounting t.network;
+  send_data t;
+  run_for t (Float.max 500.0 (2.0 *. t.config.tree_period));
+  let dist = Mcast.Distribution.create ~source:t.source in
+  List.iter
+    (fun ((u, v), n) ->
+      for _ = 1 to n do
+        Mcast.Distribution.add_copy dist u v
+      done)
+    (Net.data_link_loads t.network);
+  List.iter
+    (fun (r, d) -> Mcast.Distribution.deliver dist ~receiver:r ~delay:d)
+    (Net.data_deliveries t.network);
+  dist
+
+let state t =
+  Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now:(now t)) t.router_tables;
+  let mct = ref 0 and mft = ref 0 and branching = ref 0 and on_tree = ref 0 in
+  Hashtbl.iter
+    (fun n tb ->
+      if Topology.Graph.is_router t.graph n then begin
+        let c = Tables.mct_count tb in
+        let f = Tables.mft_entry_count tb in
+        mct := !mct + c;
+        mft := !mft + f;
+        if Tables.is_branching tb t.channel then incr branching;
+        if c > 0 || f > 0 then incr on_tree
+      end)
+    t.router_tables;
+  {
+    Mcast.Metrics.mct_entries = !mct;
+    mft_entries = !mft;
+    branching_routers = !branching;
+    on_tree_routers = !on_tree;
+  }
+
+let branching_routers t =
+  Hashtbl.fold
+    (fun n tb acc ->
+      if Tables.is_branching tb t.channel && Topology.Graph.is_router t.graph n
+      then n :: acc
+      else acc)
+    t.router_tables []
+  |> List.sort compare
+
+let control_overhead t = (Net.counters t.network).Net.control_hops
+
+let router_tables t n =
+  match Hashtbl.find_opt t.router_tables n with
+  | Some tb -> tb
+  | None ->
+      if n = t.source || not (Net.handled t.network n) then
+        invalid_arg
+          (Printf.sprintf "Reunite.Protocol.router_tables: no agent at %d" n)
+      else tables_of t n

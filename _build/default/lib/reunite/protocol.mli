@@ -1,0 +1,59 @@
+(** The event-driven REUNITE protocol — the baseline HBH is compared
+    against, implemented per [Stoica et al., INFOCOM 2000] as
+    recapped in Section 2 of the HBH paper: join capture at any
+    on-tree router, periodic tree messages forked at branching
+    routers, marked trees tearing a departed receiver's branch down
+    so the remaining receivers re-join closer to the source
+    (Figure 2(b)-(d)).
+
+    Mirrors {!Hbh.Protocol}'s API so experiments can drive both. *)
+
+type config = {
+  join_period : float;
+  tree_period : float;
+  t1 : float;
+  t2 : float;
+}
+
+val default_config : config
+(** Same constants as {!Hbh.Protocol.default_config}. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?trace:Netsim.Trace.t ->
+  ?channel:Mcast.Channel.t ->
+  Routing.Table.t ->
+  source:int ->
+  t
+
+val create_on :
+  ?config:config ->
+  ?channel:Mcast.Channel.t ->
+  Messages.t Netsim.Network.t ->
+  source:int ->
+  t
+(** Run another channel over an existing network (shared engine and
+    forwarding plane); handlers are chained behind those already
+    installed and forward foreign channels' traffic untouched. *)
+
+val engine : t -> Eventsim.Engine.t
+val network : t -> Messages.t Netsim.Network.t
+val channel : t -> Mcast.Channel.t
+val source : t -> int
+
+val subscribe : t -> int -> unit
+val unsubscribe : t -> int -> unit
+val members : t -> int list
+
+val run_for : t -> float -> unit
+val converge : ?periods:int -> t -> unit
+
+val probe : t -> Mcast.Distribution.t
+val send_data : t -> unit
+
+val state : t -> Mcast.Metrics.state
+val branching_routers : t -> int list
+val control_overhead : t -> int
+val router_tables : t -> int -> Tables.t

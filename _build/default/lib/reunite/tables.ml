@@ -1,0 +1,198 @@
+type deadlines = { t1 : float; t2 : float }
+
+type entry = {
+  node : int;
+  mutable fresh_until : float;
+  mutable expires_at : float;
+}
+
+let entry_stale e ~now = now >= e.fresh_until
+let entry_dead e ~now = now >= e.expires_at
+
+let fresh_entry dl ~now node =
+  { node; fresh_until = now +. dl.t1; expires_at = now +. dl.t2 }
+
+module Mft = struct
+  type t = {
+    mutable dst : entry;
+    tbl : (int, entry) Hashtbl.t;
+    mutable last_fork_epoch : int;
+    mutable upstream : int;
+  }
+
+  let create dl ~now ~dst =
+    {
+      dst = fresh_entry dl ~now dst;
+      tbl = Hashtbl.create 8;
+      last_fork_epoch = -1;
+      upstream = -1;
+    }
+
+  let upstream t = t.upstream
+  let set_upstream t n = t.upstream <- n
+
+  let from_upstream t ~via = t.upstream = -1 || t.upstream = via
+
+  let should_fork t ~epoch =
+    if epoch > t.last_fork_epoch then begin
+      t.last_fork_epoch <- epoch;
+      true
+    end
+    else false
+
+  let dst t = t.dst
+
+  let receivers t =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+    |> List.sort (fun a b -> compare a.node b.node)
+
+  let receiver_nodes t = List.map (fun e -> e.node) (receivers t)
+
+  let mem t n = t.dst.node = n || Hashtbl.mem t.tbl n
+
+  let add_receiver t dl ~now n =
+    match Hashtbl.find_opt t.tbl n with
+    | Some e ->
+        e.fresh_until <- now +. dl.t1;
+        e.expires_at <- now +. dl.t2
+    | None -> Hashtbl.replace t.tbl n (fresh_entry dl ~now n)
+
+  let refresh t dl ~now n =
+    if t.dst.node = n then begin
+      t.dst.fresh_until <- now +. dl.t1;
+      t.dst.expires_at <- now +. dl.t2;
+      true
+    end
+    else
+      match Hashtbl.find_opt t.tbl n with
+      | Some e ->
+          e.fresh_until <- now +. dl.t1;
+          e.expires_at <- now +. dl.t2;
+          true
+      | None -> false
+
+  let stale_dst t ~now = t.dst.fresh_until <- Float.min t.dst.fresh_until now
+
+  let expire t ~now =
+    let dead =
+      Hashtbl.fold
+        (fun n e acc -> if entry_dead e ~now then n :: acc else acc)
+        t.tbl []
+    in
+    List.iter (Hashtbl.remove t.tbl) dead
+
+  let dead t ~now =
+    entry_dead t.dst ~now
+    && Hashtbl.fold (fun _ e acc -> acc && entry_dead e ~now) t.tbl true
+
+  let promote t ~now =
+    if entry_dead t.dst ~now then begin
+      expire t ~now;
+      match receivers t with
+      | e :: _ ->
+          Hashtbl.remove t.tbl e.node;
+          t.dst <- e;
+          true
+      | [] -> false
+    end
+    else false
+
+  let size t = 1 + Hashtbl.length t.tbl
+end
+
+(* Multi-entry control table: one entry per receiver whose flow is
+   relayed through this router (Figure 3's R6 holds both r1 and r2).
+   Entries keep their install order — the oldest fresh entry becomes
+   the dst when a captured join turns the router into a branching
+   node. *)
+module Mct = struct
+  type t = { mutable entries : entry list (* install order *) }
+
+  let create dl ~now target = { entries = [ fresh_entry dl ~now target ] }
+
+  let live t ~now = List.filter (fun e -> not (entry_dead e ~now)) t.entries
+
+  let targets t ~now = List.map (fun e -> e.node) (live t ~now)
+
+  let mem t ~now target = List.exists (fun e -> e.node = target) (live t ~now)
+
+  let add t dl ~now target =
+    match List.find_opt (fun e -> e.node = target) t.entries with
+    | Some e ->
+        e.fresh_until <- now +. dl.t1;
+        e.expires_at <- now +. dl.t2
+    | None -> t.entries <- t.entries @ [ fresh_entry dl ~now target ]
+
+  let remove t target =
+    t.entries <- List.filter (fun e -> e.node <> target) t.entries
+
+  let first_fresh t ~now =
+    List.find_opt (fun e -> not (entry_stale e ~now)) (live t ~now)
+    |> Option.map (fun e -> e.node)
+
+  let expire t ~now =
+    t.entries <- List.filter (fun e -> not (entry_dead e ~now)) t.entries
+
+  let dead t ~now = live t ~now = []
+
+  let size t = List.length t.entries
+end
+
+(* A router may hold control entries for transit flows alongside a
+   forwarding table: becoming a branching node moves one MCT entry
+   into the MFT ("removes <S,r1> from its MCT", Figure 2) and leaves
+   the rest. *)
+type channel_state = {
+  mutable mct : Mct.t option;
+  mutable mft : Mft.t option;
+}
+
+type t = channel_state Mcast.Channel.Tbl.t
+
+let create () : t = Mcast.Channel.Tbl.create 4
+
+let empty_state () = { mct = None; mft = None }
+
+let find t ch =
+  match Mcast.Channel.Tbl.find_opt t ch with
+  | Some s -> s
+  | None ->
+      let s = empty_state () in
+      Mcast.Channel.Tbl.replace t ch s;
+      s
+
+let sweep t ~now =
+  let removals =
+    Mcast.Channel.Tbl.fold
+      (fun ch state acc ->
+        (match state.mct with
+        | Some m ->
+            Mct.expire m ~now;
+            if Mct.dead m ~now then state.mct <- None
+        | None -> ());
+        (match state.mft with
+        | Some m ->
+            Mft.expire m ~now;
+            if Mft.dead m ~now then state.mft <- None
+        | None -> ());
+        if state.mct = None && state.mft = None then ch :: acc else acc)
+      t []
+  in
+  List.iter (Mcast.Channel.Tbl.remove t) removals
+
+let mct_count t =
+  Mcast.Channel.Tbl.fold
+    (fun _ s acc ->
+      match s.mct with Some m -> acc + Mct.size m | None -> acc)
+    t 0
+
+let mft_entry_count t =
+  Mcast.Channel.Tbl.fold
+    (fun _ s acc ->
+      match s.mft with Some m -> acc + Mft.size m | None -> acc)
+    t 0
+
+let is_branching t ch =
+  match Mcast.Channel.Tbl.find_opt t ch with
+  | Some { mft = Some _; _ } -> true
+  | Some { mft = None; _ } | None -> false

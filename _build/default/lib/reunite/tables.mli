@@ -1,0 +1,119 @@
+(** REUNITE soft-state tables.
+
+    An MFT holds one [dst] entry (the first receiver that joined in
+    the subtree — data arriving here is addressed to it) plus the
+    receiver entries data is rewritten to.  Entries carry the t1
+    (stale) and t2 (destroy) deadlines; a {e stale} MFT (stale [dst])
+    no longer captures joins, which is what lets remaining receivers
+    re-join closer to the source after a departure (Figure 2(c)). *)
+
+type deadlines = { t1 : float; t2 : float }
+
+type entry = private {
+  node : int;
+  mutable fresh_until : float;
+  mutable expires_at : float;
+}
+
+val entry_stale : entry -> now:float -> bool
+val entry_dead : entry -> now:float -> bool
+
+module Mft : sig
+  type t
+
+  val create : deadlines -> now:float -> dst:int -> t
+  val dst : t -> entry
+
+  (** [should_fork t ~epoch] is true exactly once per source epoch: a
+      branching router forks tree messages (and refreshes its dst)
+      only for epochs it has not seen, so a branching structure
+      orphaned from the source cannot keep itself alive by
+      circulating its own forked trees. *)
+  val should_fork : t -> epoch:int -> bool
+
+  val upstream : t -> int
+  (** The neighbor genuine (epoch-gated) tree messages for the dst
+      last arrived from; [-1] before the first one. *)
+
+  val set_upstream : t -> int -> unit
+
+  val from_upstream : t -> via:int -> bool
+  (** RPF check: true when a packet's incoming interface matches the
+      learned upstream (or none is learned yet).  Data arriving from
+      elsewhere — e.g. a copy that looped around through another
+      branching router — must not be forked again. *)
+
+  val receivers : t -> entry list
+  (** Live receiver entries, ascending by node. *)
+
+  val receiver_nodes : t -> int list
+  val mem : t -> int -> bool
+  (** True if the node is the dst or a receiver entry. *)
+
+  val add_receiver : t -> deadlines -> now:float -> int -> unit
+  (** Insert or refresh. *)
+
+  val refresh : t -> deadlines -> now:float -> int -> bool
+  (** Refresh whichever entry (dst included) matches; false if none. *)
+
+  val stale_dst : t -> now:float -> unit
+  (** Force the dst entry stale (marked-tree reception). *)
+
+  val expire : t -> now:float -> unit
+  (** Drop dead receiver entries. *)
+
+  val dead : t -> now:float -> bool
+  (** dst dead and no live receivers: the table should be destroyed. *)
+
+  val promote : t -> now:float -> bool
+  (** If the dst is dead but a live receiver remains, make the first
+      one the new dst (used at the source).  Returns true if a
+      promotion happened. *)
+
+  val size : t -> int
+end
+
+(** Multi-entry control table: one entry per receiver whose flow is
+    relayed through this router (Figure 3's R6 holds both r1 and r2,
+    and Figure 2's teardown destroys "any r1 MCT entries").  Entries
+    keep install order; the oldest fresh one becomes the dst when a
+    captured join converts the router to branching. *)
+module Mct : sig
+  type t
+
+  val create : deadlines -> now:float -> int -> t
+  val targets : t -> now:float -> int list
+  (** Live entries, install order. *)
+
+  val mem : t -> now:float -> int -> bool
+  val add : t -> deadlines -> now:float -> int -> unit
+  (** Insert at the back, or refresh in place. *)
+
+  val remove : t -> int -> unit
+  val first_fresh : t -> now:float -> int option
+  val expire : t -> now:float -> unit
+  val dead : t -> now:float -> bool
+  val size : t -> int
+end
+
+(** A router may hold control entries for transit flows alongside a
+    forwarding table: becoming a branching node moves one MCT entry
+    into the MFT ("removes <S,r1> from its MCT", Figure 2) and leaves
+    the rest. *)
+type channel_state = {
+  mutable mct : Mct.t option;
+  mutable mft : Mft.t option;
+}
+
+type t
+
+val create : unit -> t
+
+val find : t -> Mcast.Channel.t -> channel_state
+(** The (possibly empty) state record for a channel, created on
+    demand; mutate its fields directly. *)
+
+val sweep : t -> now:float -> unit
+val mct_count : t -> int
+val mft_entry_count : t -> int
+val is_branching : t -> Mcast.Channel.t -> bool

@@ -1,0 +1,1 @@
+lib/routing/asymmetry.ml: Float List Path Table Topology

@@ -1,0 +1,1 @@
+lib/routing/bellman_ford.ml: Array List Topology

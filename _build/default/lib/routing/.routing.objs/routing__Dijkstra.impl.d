@@ -1,0 +1,1 @@
+lib/routing/dijkstra.ml: Array List Printf Topology

@@ -1,0 +1,1 @@
+lib/routing/floyd_warshall.ml: Array List Topology

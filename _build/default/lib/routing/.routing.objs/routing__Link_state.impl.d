@@ -1,0 +1,1 @@
+lib/routing/link_state.ml: Array Eventsim Fun Hashtbl List Option Table Topology

@@ -1,0 +1,1 @@
+lib/routing/link_state.mli: Eventsim Table Topology

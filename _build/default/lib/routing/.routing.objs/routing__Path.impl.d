@@ -1,0 +1,1 @@
+lib/routing/path.ml: Format List Topology

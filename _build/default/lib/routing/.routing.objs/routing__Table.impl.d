@@ -1,0 +1,1 @@
+lib/routing/table.ml: Array Dijkstra Topology

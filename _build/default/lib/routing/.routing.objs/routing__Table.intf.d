@@ -1,0 +1,1 @@
+lib/routing/table.mli: Dijkstra Topology

@@ -1,0 +1,49 @@
+type report = {
+  pairs : int;
+  asymmetric_pairs : int;
+  asymmetric_fraction : float;
+  mean_delay_gap : float;
+  max_delay_gap : float;
+}
+
+let pair_asymmetric t u v =
+  Table.reachable t u v
+  && Table.reachable t v u
+  && Table.path t u v <> List.rev (Table.path t v u)
+
+let measure ?nodes t =
+  let g = Table.graph t in
+  let nodes =
+    match nodes with Some l -> l | None -> Topology.Graph.routers g
+  in
+  let pairs = ref 0 in
+  let asym = ref 0 in
+  let gap_sum = ref 0.0 in
+  let gap_max = ref 0.0 in
+  let rec iter_pairs = function
+    | [] -> ()
+    | u :: rest ->
+        List.iter
+          (fun v ->
+            if Table.reachable t u v && Table.reachable t v u then begin
+              incr pairs;
+              if pair_asymmetric t u v then incr asym;
+              let fwd = Path.delay g (Table.path t u v) in
+              let back_route_reversed = List.rev (Table.path t v u) in
+              let rev = Path.delay g back_route_reversed in
+              let gap = Float.abs (fwd -. rev) in
+              gap_sum := !gap_sum +. gap;
+              if gap > !gap_max then gap_max := gap
+            end)
+          rest;
+        iter_pairs rest
+  in
+  iter_pairs nodes;
+  {
+    pairs = !pairs;
+    asymmetric_pairs = !asym;
+    asymmetric_fraction =
+      (if !pairs = 0 then 0.0 else float_of_int !asym /. float_of_int !pairs);
+    mean_delay_gap = (if !pairs = 0 then 0.0 else !gap_sum /. float_of_int !pairs);
+    max_delay_gap = !gap_max;
+  }

@@ -1,0 +1,126 @@
+module G = Topology.Graph
+
+type in_tree = { dest : int; dist : int array; next : int array }
+
+(* Minimal binary min-heap of (key, node) pairs.  Stale entries are
+   tolerated (lazy deletion): a popped node already settled is
+   skipped. *)
+module Heap = struct
+  type t = {
+    mutable keys : int array;
+    mutable nodes : int array;
+    mutable size : int;
+  }
+
+  let create capacity =
+    { keys = Array.make (max 1 capacity) 0; nodes = Array.make (max 1 capacity) 0; size = 0 }
+
+  let is_empty h = h.size = 0
+
+  let swap h i j =
+    let k = h.keys.(i) in
+    h.keys.(i) <- h.keys.(j);
+    h.keys.(j) <- k;
+    let n = h.nodes.(i) in
+    h.nodes.(i) <- h.nodes.(j);
+    h.nodes.(j) <- n
+
+  let grow h =
+    let cap = Array.length h.keys in
+    let keys = Array.make (2 * cap) 0 and nodes = Array.make (2 * cap) 0 in
+    Array.blit h.keys 0 keys 0 cap;
+    Array.blit h.nodes 0 nodes 0 cap;
+    h.keys <- keys;
+    h.nodes <- nodes
+
+  let push h key node =
+    if h.size = Array.length h.keys then grow h;
+    h.keys.(h.size) <- key;
+    h.nodes.(h.size) <- node;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && h.keys.((!i - 1) / 2) > h.keys.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    let key = h.keys.(0) and node = h.nodes.(0) in
+    h.size <- h.size - 1;
+    h.keys.(0) <- h.keys.(h.size);
+    h.nodes.(0) <- h.nodes.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+      if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+    done;
+    (key, node)
+end
+
+let to_dest g d =
+  let n = G.node_count g in
+  if d < 0 || d >= n then invalid_arg "Dijkstra.to_dest: bad destination";
+  let dist = Array.make n max_int in
+  let settled = Array.make n false in
+  let heap = Heap.create (2 * n) in
+  dist.(d) <- 0;
+  Heap.push heap 0 d;
+  while not (Heap.is_empty heap) do
+    let key, v = Heap.pop heap in
+    if not settled.(v) && key = dist.(v) then begin
+      settled.(v) <- true;
+      (* Relax every in-edge u -> v: a path u -> v -> ... -> d. *)
+      List.iter
+        (fun u ->
+          if not settled.(u) then begin
+            let c = G.cost g u v in
+            let cand = dist.(v) + c in
+            if cand < dist.(u) then begin
+              dist.(u) <- cand;
+              Heap.push heap cand u
+            end
+          end)
+        (G.neighbors g v)
+    end
+  done;
+  (* Next hops: deterministic argmin with smallest-id tie-break.
+     Computed after the fact so ties are broken by id, not by heap
+     pop order. *)
+  let next = Array.make n (-1) in
+  for u = 0 to n - 1 do
+    if u <> d && dist.(u) < max_int then begin
+      let best = ref (-1) in
+      List.iter
+        (fun v ->
+          if dist.(v) < max_int && dist.(v) + G.cost g u v = dist.(u) then
+            if !best = -1 || v < !best then best := v)
+        (G.neighbors g u);
+      next.(u) <- !best
+    end
+  done;
+  { dest = d; dist; next }
+
+let reachable t u = t.dist.(u) < max_int
+
+let distance t u =
+  if not (reachable t u) then
+    invalid_arg (Printf.sprintf "Dijkstra.distance: %d cannot reach %d" u t.dest);
+  t.dist.(u)
+
+let next_hop t u = if t.next.(u) = -1 then None else Some t.next.(u)
+
+let path t u =
+  if not (reachable t u) then
+    invalid_arg (Printf.sprintf "Dijkstra.path: %d cannot reach %d" u t.dest);
+  let rec walk u acc =
+    if u = t.dest then List.rev (u :: acc) else walk t.next.(u) (u :: acc)
+  in
+  walk u []

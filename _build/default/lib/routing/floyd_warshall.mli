@@ -1,0 +1,10 @@
+(** Floyd–Warshall all-pairs distances — a third independent
+    implementation used to cross-validate {!Table} in tests. *)
+
+type t
+
+val compute : Topology.Graph.t -> t
+
+val distance : t -> int -> int -> int
+(** [distance t u v] is the directed shortest-path cost [u -> v];
+    [max_int] when unreachable. *)

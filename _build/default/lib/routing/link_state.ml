@@ -1,0 +1,184 @@
+module G = Topology.Graph
+
+type lsa = {
+  origin : int;
+  seq : int;
+  out_links : (int * int) list; (* neighbor, directed cost origin -> neighbor *)
+}
+
+type router_state = { lsdb : (int, lsa) Hashtbl.t }
+
+type stats = {
+  lsas_originated : int;
+  messages_sent : int;
+  converged_at : float;
+}
+
+type t = {
+  engine : Eventsim.Engine.t;
+  graph : G.t;
+  routers : int list;
+  states : (int, router_state) Hashtbl.t;
+  seqs : (int, int) Hashtbl.t; (* latest sequence per origin *)
+  mutable originated : int;
+  mutable messages : int;
+  mutable last_change : float;
+}
+
+let create engine graph =
+  let routers = G.routers graph in
+  let states = Hashtbl.create (List.length routers) in
+  List.iter
+    (fun r -> Hashtbl.replace states r { lsdb = Hashtbl.create 16 })
+    routers;
+  {
+    engine;
+    graph;
+    routers;
+    states;
+    seqs = Hashtbl.create 16;
+    originated = 0;
+    messages = 0;
+    last_change = 0.0;
+  }
+
+let read_links t r =
+  List.map (fun nb -> (nb, G.cost t.graph r nb)) (G.neighbors t.graph r)
+
+(* Install [lsa] at router [x]; returns true when it displaced older
+   (or absent) information and must be re-flooded. *)
+let install t x lsa =
+  let st = Hashtbl.find t.states x in
+  match Hashtbl.find_opt st.lsdb lsa.origin with
+  | Some old when old.seq >= lsa.seq -> false
+  | Some _ | None ->
+      Hashtbl.replace st.lsdb lsa.origin lsa;
+      t.last_change <- Eventsim.Engine.now t.engine;
+      true
+
+let rec flood t ~from lsa =
+  List.iter
+    (fun nb ->
+      if G.is_router t.graph nb && nb <> lsa.origin then begin
+        t.messages <- t.messages + 1;
+        let delay = G.delay t.graph from nb in
+        ignore
+          (Eventsim.Engine.schedule t.engine ~delay (fun () ->
+               if install t nb lsa then flood t ~from:nb lsa))
+      end)
+    (G.neighbors t.graph from)
+
+let originate t r =
+  let seq = 1 + Option.value ~default:0 (Hashtbl.find_opt t.seqs r) in
+  Hashtbl.replace t.seqs r seq;
+  let lsa = { origin = r; seq; out_links = read_links t r } in
+  t.originated <- t.originated + 1;
+  ignore (install t r lsa);
+  flood t ~from:r lsa
+
+let start t = List.iter (fun r -> originate t r) t.routers
+
+let reoriginate t r =
+  if not (G.is_router t.graph r) then
+    invalid_arg "Link_state.reoriginate: not a router";
+  originate t r
+
+let converged t =
+  List.for_all
+    (fun x ->
+      let st = Hashtbl.find t.states x in
+      List.for_all
+        (fun o ->
+          match (Hashtbl.find_opt st.lsdb o, Hashtbl.find_opt t.seqs o) with
+          | Some lsa, Some seq -> lsa.seq = seq
+          | _, None -> true
+          | None, Some _ -> false)
+        t.routers)
+    t.routers
+
+let stats t =
+  {
+    lsas_originated = t.originated;
+    messages_sent = t.messages;
+    converged_at = t.last_change;
+  }
+
+(* Destination-rooted SPF over router [r]'s LSDB, mirroring
+   {!Dijkstra.to_dest}'s relaxation and tie-break so the two agree
+   exactly once flooding has converged.  Returns the distance of every
+   node to [dest] in r's view. *)
+let lsdb_dist_to t r dest =
+  let st = Hashtbl.find t.states r in
+  let n = G.node_count t.graph in
+  (* In-edges per node, from the advertised directed out-links. *)
+  let in_edges = Array.make n [] in
+  Hashtbl.iter
+    (fun _ lsa ->
+      List.iter
+        (fun (nb, cost) -> in_edges.(nb) <- (lsa.origin, cost) :: in_edges.(nb))
+        lsa.out_links)
+    st.lsdb;
+  (* Hosts advertise nothing; give each host its graph out-link so
+     host-sourced paths (the channel source) resolve too. *)
+  List.iter
+    (fun h ->
+      match G.neighbors t.graph h with
+      | [ rtr ] -> in_edges.(rtr) <- (h, G.cost t.graph h rtr) :: in_edges.(rtr)
+      | _ -> ())
+    (G.hosts t.graph);
+  let dist = Array.make n max_int in
+  let settled = Array.make n false in
+  dist.(dest) <- 0;
+  (* Simple O(n^2) Dijkstra — LSDB views are per-query and graphs are
+     small. *)
+  let rec loop () =
+    let best = ref (-1) in
+    for u = 0 to n - 1 do
+      if (not settled.(u)) && dist.(u) < max_int
+         && (!best = -1 || dist.(u) < dist.(!best))
+      then best := u
+    done;
+    if !best >= 0 then begin
+      settled.(!best) <- true;
+      List.iter
+        (fun (u, cost) ->
+          if (not settled.(u)) && dist.(!best) <> max_int then begin
+            let cand = dist.(!best) + cost in
+            if cand < dist.(u) then dist.(u) <- cand
+          end)
+        in_edges.(!best);
+      loop ()
+    end
+  in
+  loop ();
+  dist
+
+let distance t r dest =
+  let dist = lsdb_dist_to t r dest in
+  if dist.(r) = max_int then None else Some dist.(r)
+
+let next_hop t r ~dest =
+  if r = dest then None
+  else begin
+    let dist = lsdb_dist_to t r dest in
+    if dist.(r) = max_int then None
+    else begin
+      let best = ref (-1) in
+      List.iter
+        (fun v ->
+          if dist.(v) < max_int && dist.(v) + G.cost t.graph r v = dist.(r) then
+            if !best = -1 || v < !best then best := v)
+        (G.neighbors t.graph r);
+      if !best = -1 then None else Some !best
+    end
+  end
+
+let agrees_with_table t table =
+  List.for_all
+    (fun r ->
+      List.for_all
+        (fun dest ->
+          r = dest
+          || next_hop t r ~dest = Table.next_hop table r ~dest)
+        (List.init (G.node_count t.graph) Fun.id))
+    t.routers

@@ -1,0 +1,20 @@
+type t = { graph : Topology.Graph.t; trees : Dijkstra.in_tree array }
+
+let compute g =
+  let n = Topology.Graph.node_count g in
+  { graph = g; trees = Array.init n (fun d -> Dijkstra.to_dest g d) }
+
+let graph t = t.graph
+
+let in_tree t d =
+  if d < 0 || d >= Array.length t.trees then
+    invalid_arg "Table.in_tree: bad destination";
+  t.trees.(d)
+
+let next_hop t u ~dest = Dijkstra.next_hop (in_tree t dest) u
+
+let distance t u v = Dijkstra.distance (in_tree t v) u
+
+let reachable t u v = Dijkstra.reachable (in_tree t v) u
+
+let path t u v = Dijkstra.path (in_tree t v) u

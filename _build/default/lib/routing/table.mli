@@ -1,0 +1,29 @@
+(** All-pairs unicast forwarding state: one {!Dijkstra.in_tree} per
+    destination, i.e. the converged forwarding plane of the whole
+    network.  Recomputed whenever link costs change (the sweeps redraw
+    costs every run). *)
+
+type t
+
+val compute : Topology.Graph.t -> t
+(** Runs Dijkstra once per destination. *)
+
+val graph : t -> Topology.Graph.t
+
+val in_tree : t -> int -> Dijkstra.in_tree
+(** The in-tree of a destination. *)
+
+val next_hop : t -> int -> dest:int -> int option
+(** [next_hop t u ~dest] is the forwarding decision of node [u] for a
+    packet addressed to [dest]; [None] when [u = dest] or [dest] is
+    unreachable. *)
+
+val distance : t -> int -> int -> int
+(** [distance t u v] is the directed shortest-path cost [u -> v].
+    Raises [Invalid_argument] if unreachable. *)
+
+val reachable : t -> int -> int -> bool
+
+val path : t -> int -> int -> int list
+(** [path t u v] is the hop-by-hop route [u; ...; v] that packets
+    from [u] to [v] actually take.  Raises if unreachable. *)

@@ -1,0 +1,1 @@
+lib/stats/series.ml: Buffer Float Format Int List Map Printf Summary Table

@@ -1,0 +1,1 @@
+lib/topology/generators.ml: Array Builder Float List Stats

@@ -1,0 +1,1 @@
+lib/topology/isp.ml: Builder Fun List

@@ -1,0 +1,61 @@
+type t = {
+  mutable kinds_rev : Graph.kind list;
+  mutable n : int;
+  mutable links_rev : (int * int * int * int) list;
+  mutable nlinks : int;
+}
+
+let create () = { kinds_rev = []; n = 0; links_rev = []; nlinks = 0 }
+
+let add_node b k =
+  let id = b.n in
+  b.kinds_rev <- k :: b.kinds_rev;
+  b.n <- id + 1;
+  id
+
+let add_router b = add_node b Graph.Router
+
+let add_routers b k = List.init k (fun _ -> add_router b)
+
+let check_node b i =
+  if i < 0 || i >= b.n then
+    invalid_arg (Printf.sprintf "Builder: node %d out of range" i)
+
+let has_link b u v =
+  List.exists
+    (fun (a, c, _, _) -> (a = u && c = v) || (a = v && c = u))
+    b.links_rev
+
+let add_raw_link b u v cost cost_back =
+  check_node b u;
+  check_node b v;
+  if u = v then invalid_arg "Builder.add_link: self-loop";
+  if has_link b u v then
+    invalid_arg (Printf.sprintf "Builder.add_link: duplicate link %d-%d" u v);
+  b.links_rev <- (u, v, cost, cost_back) :: b.links_rev;
+  b.nlinks <- b.nlinks + 1
+
+let add_host b ~router ?(cost = 1) ?(cost_back = 1) () =
+  check_node b router;
+  let id = add_node b Graph.Host in
+  add_raw_link b router id cost cost_back;
+  id
+
+let add_link b u v ?(cost = 1) ?(cost_back = 1) () =
+  add_raw_link b u v cost cost_back
+
+let node_count b = b.n
+let link_count b = b.nlinks
+
+let build b =
+  Graph.make
+    ~kinds:(Array.of_list (List.rev b.kinds_rev))
+    ~links:(List.rev b.links_rev)
+
+let attach_host_per_router b =
+  let routers =
+    List.rev b.kinds_rev
+    |> List.mapi (fun i k -> (i, k))
+    |> List.filter_map (fun (i, k) -> if k = Graph.Router then Some i else None)
+  in
+  List.iter (fun r -> ignore (add_host b ~router:r ())) routers

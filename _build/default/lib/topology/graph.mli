@@ -1,0 +1,130 @@
+(** Network topology: an undirected multigraph of routers and hosts
+    whose links carry an independent integer cost (and float delay)
+    {e in each direction}.
+
+    The per-direction costs are the source of the unicast routing
+    asymmetry that the HBH paper studies: the shortest path from [a]
+    to [b] may differ from the reverse of the shortest path from [b]
+    to [a] because [cost u v <> cost v u] in general.
+
+    Nodes are dense integer ids [0 .. node_count - 1].  Each node is a
+    {!kind} [Router] or [Host]; hosts attach to exactly one router and
+    model the paper's "potential receivers" (nodes 18..35 of the ISP
+    topology).  Routers carry a [multicast_capable] flag so that
+    unicast-only clouds can be modelled. *)
+
+type kind = Router | Host
+
+type t
+(** Immutable topology structure.  Link costs and delays are mutable
+    so that a sweep can re-randomize costs without rebuilding the
+    graph (the paper redraws costs every run). *)
+
+type link = private {
+  id : int;  (** dense link id, [0 .. link_count - 1] *)
+  u : int;
+  v : int;
+  mutable cost_uv : int;  (** routing metric in direction [u -> v] *)
+  mutable cost_vu : int;  (** routing metric in direction [v -> u] *)
+  mutable delay_uv : float;  (** propagation delay in direction [u -> v] *)
+  mutable delay_vu : float;  (** propagation delay in direction [v -> u] *)
+}
+
+(** {1 Accessors} *)
+
+val node_count : t -> int
+val link_count : t -> int
+val kind : t -> int -> kind
+val is_router : t -> int -> bool
+val is_host : t -> int -> bool
+val routers : t -> int list
+val hosts : t -> int list
+
+val multicast_capable : t -> int -> bool
+(** Hosts are always considered capable (they terminate channels). *)
+
+val set_multicast_capable : t -> int -> bool -> unit
+(** Only meaningful on routers. *)
+
+val neighbors : t -> int -> int list
+(** Adjacent node ids (both routers and hosts). *)
+
+val degree : t -> int -> int
+
+val avg_router_degree : t -> float
+(** Average degree of the router-only subgraph (the paper quotes 3.3
+    for the ISP topology and 8.6 for the 50-node random one). *)
+
+val links : t -> link list
+val link : t -> int -> link
+
+val find_link : t -> int -> int -> link option
+(** [find_link g u v] is the link joining [u] and [v] regardless of
+    orientation, if any. *)
+
+val connected : t -> int -> int -> bool
+(** [connected g u v] is true iff some link joins [u] and [v]. *)
+
+val cost : t -> int -> int -> int
+(** [cost g u v] is the directed routing metric of the [u -> v]
+    traversal of the link joining them.  Raises [Invalid_argument] if
+    no such link exists. *)
+
+val delay : t -> int -> int -> float
+(** Directed propagation delay; same convention as {!cost}. *)
+
+val set_cost : t -> int -> int -> int -> unit
+(** [set_cost g u v c] sets the metric of direction [u -> v]. *)
+
+val set_delay : t -> int -> int -> float -> unit
+
+val router_of_host : t -> int -> int
+(** The unique router a host attaches to.  Raises [Invalid_argument]
+    on a router id or an unattached host. *)
+
+val hosts_of_router : t -> int -> int list
+(** Hosts attached to the given router. *)
+
+(** {1 Whole-graph operations} *)
+
+val is_connected : t -> bool
+(** True iff every node is reachable from node 0 ignoring direction.
+    (Costs are positive so directed reachability coincides.) *)
+
+val randomize_costs : t -> Stats.Rng.t -> lo:int -> hi:int -> unit
+(** Draw every directed cost independently and uniformly from
+    [\[lo, hi\]] and set each directed delay to the corresponding cost
+    (the paper's "time units" convention). *)
+
+val symmetrize_costs : t -> unit
+(** Force [cost v u := cost u v] (and delays alike) on every link —
+    the symmetric-routing ablation. *)
+
+val asymmetric_link_fraction : t -> float
+(** Fraction of links whose two directed costs differ. *)
+
+val map_costs : t -> (link -> int * int) -> unit
+(** [map_costs g f] sets each link's [(cost_uv, cost_vu)] to [f link],
+    updating delays to match. *)
+
+val copy : t -> t
+(** Deep copy (independent link records and capability flags). *)
+
+val pp : Format.formatter -> t -> unit
+(** Summary line: node/link counts and degree. *)
+
+val pp_dot : Format.formatter -> t -> unit
+(** Graphviz rendering with per-direction cost labels. *)
+
+(** {1 Construction}
+
+    Low-level; prefer {!Builder}. *)
+
+val make :
+  kinds:kind array ->
+  links:(int * int * int * int) list ->
+  t
+(** [make ~kinds ~links] builds a topology.  Each link is
+    [(u, v, cost_uv, cost_vu)]; delays default to the costs.  Raises
+    [Invalid_argument] on out-of-range endpoints, self-loops,
+    duplicate links, or a host with other than exactly one link. *)

@@ -1,0 +1,1 @@
+lib/workload/churn.ml: Format Int List Scenario Set Stats

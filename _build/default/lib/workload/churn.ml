@@ -1,0 +1,65 @@
+type event = Join of int | Leave of int
+
+type schedule = (float * event) list
+
+let flash_crowd rng ~candidates ~n ~spacing =
+  let picked = Scenario.pick_receivers rng ~candidates ~n in
+  List.mapi (fun i r -> (spacing *. float_of_int (i + 1), Join r)) picked
+
+module Iset = Set.Make (Int)
+
+let poisson rng ~candidates ~rate ~mean_hold ~horizon =
+  if rate <= 0.0 then invalid_arg "Churn.poisson: rate must be positive";
+  let all = Iset.of_list candidates in
+  (* Generate join arrivals, then each member's departure; merge and
+     keep membership consistent (no double-join, leaves only for
+     members). *)
+  let events = ref [] in
+  let members = ref Iset.empty in
+  (* Pending leaves as a simple time-ordered association list. *)
+  let leaves = ref [] in
+  let pop_leaves_before t =
+    let due, later = List.partition (fun (lt, _) -> lt <= t) !leaves in
+    leaves := later;
+    List.iter
+      (fun (lt, r) ->
+        members := Iset.remove r !members;
+        events := (lt, Leave r) :: !events)
+      (List.sort compare due)
+  in
+  let t = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    t := !t +. Stats.Rng.exponential rng (1.0 /. rate);
+    if !t > horizon then continue := false
+    else begin
+      pop_leaves_before !t;
+      let free = Iset.elements (Iset.diff all !members) in
+      match free with
+      | [] -> () (* group full; arrival lost *)
+      | _ ->
+          let r = Stats.Rng.pick rng free in
+          members := Iset.add r !members;
+          events := (!t, Join r) :: !events;
+          let hold = Stats.Rng.exponential rng mean_hold in
+          let lt = !t +. hold in
+          if lt <= horizon then leaves := (lt, r) :: !leaves
+    end
+  done;
+  pop_leaves_before horizon;
+  List.sort compare (List.rev !events)
+
+let members_at schedule time =
+  List.fold_left
+    (fun acc (t, ev) ->
+      if t > time then acc
+      else
+        match ev with
+        | Join r -> Iset.add r acc
+        | Leave r -> Iset.remove r acc)
+    Iset.empty schedule
+  |> Iset.elements
+
+let pp_event ppf = function
+  | Join r -> Format.fprintf ppf "join(%d)" r
+  | Leave r -> Format.fprintf ppf "leave(%d)" r

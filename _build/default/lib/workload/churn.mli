@@ -1,0 +1,32 @@
+(** Group-dynamics workloads: timed join/leave schedules.
+
+    Used by the tree-stability experiment (how much does a departure
+    perturb the remaining receivers?) and by the event-driven protocol
+    demos. *)
+
+type event = Join of int | Leave of int
+
+type schedule = (float * event) list
+(** Time-ordered. *)
+
+val flash_crowd :
+  Stats.Rng.t -> candidates:int list -> n:int -> spacing:float -> schedule
+(** [n] receivers join, one every [spacing] time units starting at
+    [spacing], in random order; nobody leaves. *)
+
+val poisson :
+  Stats.Rng.t ->
+  candidates:int list ->
+  rate:float ->
+  mean_hold:float ->
+  horizon:float ->
+  schedule
+(** Joins arrive as a Poisson process of the given [rate] (candidates
+    drawn uniformly among those not currently members); each member
+    stays an exponential [mean_hold] time, then leaves.  Events after
+    [horizon] are discarded. *)
+
+val members_at : schedule -> float -> int list
+(** Group membership just after the given time, ascending. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,26 @@
+let default_cost_lo = 1
+let default_cost_hi = 10
+
+let randomize rng g =
+  Topology.Graph.randomize_costs g rng ~lo:default_cost_lo ~hi:default_cost_hi
+
+let pick_receivers rng ~candidates ~n =
+  let arr = Array.of_list candidates in
+  let total = Array.length arr in
+  if n > total then
+    invalid_arg
+      (Printf.sprintf "Scenario.pick_receivers: want %d of %d candidates" n total);
+  List.map (fun i -> arr.(i)) (Stats.Rng.sample rng n total)
+
+type t = {
+  table : Routing.Table.t;
+  source : int;
+  receivers : int list;
+}
+
+let make ?(symmetric = false) rng g ~source ~candidates ~n =
+  randomize rng g;
+  if symmetric then Topology.Graph.symmetrize_costs g;
+  let table = Routing.Table.compute g in
+  let receivers = pick_receivers rng ~candidates ~n in
+  { table; source; receivers }

@@ -1,0 +1,1 @@
+test/test_eventsim.ml: Alcotest Eventsim Gen List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hbh.ml: Alcotest Experiments Hbh List Mcast Option Pim Printf Routing Stats Topology Workload

@@ -1,0 +1,1 @@
+test/test_igmp.ml: Alcotest Eventsim Hbh Igmp List Mcast Printf Routing Stats Topology

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Experiments Float Lazy List Printf Routing Stats Topology Workload

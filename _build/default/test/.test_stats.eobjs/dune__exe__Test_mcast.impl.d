@@ -1,0 +1,1 @@
+test/test_mcast.ml: Alcotest Array Gen List Mcast QCheck QCheck_alcotest Topology

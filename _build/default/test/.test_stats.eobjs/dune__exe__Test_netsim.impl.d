@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Eventsim List Netsim Routing Topology

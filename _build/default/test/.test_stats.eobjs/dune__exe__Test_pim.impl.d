@@ -1,0 +1,1 @@
+test/test_pim.ml: Alcotest Hashtbl List Mcast Option Pim Printf Routing Stats Topology Workload

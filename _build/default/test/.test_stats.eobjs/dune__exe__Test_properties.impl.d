@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Float Hashtbl Hbh List Mcast Option Pim QCheck QCheck_alcotest Reunite Routing Stats Topology Workload

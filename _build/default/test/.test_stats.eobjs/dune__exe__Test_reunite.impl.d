@@ -1,0 +1,1 @@
+test/test_reunite.ml: Alcotest Experiments Hbh List Mcast Printf Reunite Stats Topology Workload

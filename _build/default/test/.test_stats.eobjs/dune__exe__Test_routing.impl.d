@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Eventsim List Printf QCheck QCheck_alcotest Routing Stats Topology

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Buffer Float Format Fun Gen List QCheck QCheck_alcotest Stats String

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Float List QCheck QCheck_alcotest Stats Topology

@@ -1,0 +1,241 @@
+(* Tests for the discrete-event engine: ordering, cancellation, time
+   limits, periodic and watchdog timers. *)
+
+module E = Eventsim.Engine
+module T = Eventsim.Timer
+
+let test_clock_starts_at_zero () =
+  let e = E.create () in
+  Alcotest.(check (float 0.0)) "t=0" 0.0 (E.now e)
+
+let test_events_fire_in_time_order () =
+  let e = E.create () in
+  let log = ref [] in
+  ignore (E.schedule e ~delay:3.0 (fun () -> log := 3 :: !log));
+  ignore (E.schedule e ~delay:1.0 (fun () -> log := 1 :: !log));
+  ignore (E.schedule e ~delay:2.0 (fun () -> log := 2 :: !log));
+  E.run e;
+  Alcotest.(check (list int)) "ascending by time" [ 1; 2; 3 ] (List.rev !log)
+
+let test_same_time_fifo () =
+  let e = E.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (E.schedule e ~delay:1.0 (fun () -> log := i :: !log))
+  done;
+  E.run e;
+  Alcotest.(check (list int)) "fifo within an instant" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_clock_advances () =
+  let e = E.create () in
+  let seen = ref 0.0 in
+  ignore (E.schedule e ~delay:5.5 (fun () -> seen := E.now e));
+  E.run e;
+  Alcotest.(check (float 0.0)) "callback sees its time" 5.5 !seen;
+  Alcotest.(check (float 0.0)) "clock rests at last event" 5.5 (E.now e)
+
+let test_cancel () =
+  let e = E.create () in
+  let fired = ref false in
+  let h = E.schedule e ~delay:1.0 (fun () -> fired := true) in
+  E.cancel h;
+  E.run e;
+  Alcotest.(check bool) "cancelled event silent" false !fired;
+  Alcotest.(check bool) "flag set" true (E.cancelled h);
+  Alcotest.(check int) "not counted as fired" 0 (E.events_fired e)
+
+let test_schedule_from_callback () =
+  let e = E.create () in
+  let log = ref [] in
+  ignore
+    (E.schedule e ~delay:1.0 (fun () ->
+         log := "a" :: !log;
+         ignore (E.schedule e ~delay:1.0 (fun () -> log := "b" :: !log))));
+  E.run e;
+  Alcotest.(check (list string)) "chained" [ "a"; "b" ] (List.rev !log);
+  Alcotest.(check (float 0.0)) "time 2" 2.0 (E.now e)
+
+let test_run_until () =
+  let e = E.create () in
+  let fired = ref [] in
+  List.iter
+    (fun d -> ignore (E.schedule e ~delay:d (fun () -> fired := d :: !fired)))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  E.run ~until:2.5 e;
+  Alcotest.(check (list (float 0.0))) "only early events" [ 1.0; 2.0 ]
+    (List.rev !fired);
+  Alcotest.(check (float 0.0)) "clock at limit" 2.5 (E.now e);
+  E.run e;
+  Alcotest.(check int) "rest fire later" 4 (List.length !fired)
+
+let test_run_until_inclusive () =
+  let e = E.create () in
+  let fired = ref false in
+  ignore (E.schedule e ~delay:2.0 (fun () -> fired := true));
+  E.run ~until:2.0 e;
+  Alcotest.(check bool) "event exactly at limit fires" true !fired
+
+let test_max_events () =
+  let e = E.create () in
+  let count = ref 0 in
+  let rec loop () =
+    incr count;
+    ignore (E.schedule e ~delay:1.0 loop)
+  in
+  ignore (E.schedule e ~delay:1.0 loop);
+  E.run ~max_events:10 e;
+  Alcotest.(check int) "stopped by budget" 10 !count
+
+let test_past_scheduling_rejected () =
+  let e = E.create () in
+  ignore (E.schedule e ~delay:5.0 (fun () -> ()));
+  E.run e;
+  Alcotest.(check bool) "negative delay" true
+    (try
+       ignore (E.schedule e ~delay:(-1.0) (fun () -> ()));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "past absolute time" true
+    (try
+       ignore (E.schedule_at e ~time:1.0 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Timers ------------------------------------------------------------ *)
+
+let test_periodic_timer () =
+  let e = E.create () in
+  let ticks = ref [] in
+  let t = T.every e ~period:10.0 (fun () -> ticks := E.now e :: !ticks) in
+  E.run ~until:35.0 e;
+  T.stop t;
+  Alcotest.(check (list (float 0.0))) "three ticks" [ 10.0; 20.0; 30.0 ]
+    (List.rev !ticks)
+
+let test_periodic_with_start () =
+  let e = E.create () in
+  let ticks = ref 0 in
+  ignore (T.every e ~start:1.0 ~period:10.0 (fun () -> incr ticks));
+  E.run ~until:22.0 e;
+  Alcotest.(check int) "ticks at 1, 11, 21" 3 !ticks
+
+let test_timer_stop () =
+  let e = E.create () in
+  let ticks = ref 0 in
+  let t = T.every e ~period:1.0 (fun () -> incr ticks) in
+  ignore (E.schedule e ~delay:3.5 (fun () -> T.stop t));
+  E.run ~until:10.0 e;
+  Alcotest.(check int) "stopped after 3 ticks" 3 !ticks;
+  Alcotest.(check bool) "inactive" false (T.active t)
+
+let test_timer_stop_from_own_callback () =
+  let e = E.create () in
+  let ticks = ref 0 in
+  let tr = ref None in
+  let t =
+    T.every e ~period:1.0 (fun () ->
+        incr ticks;
+        if !ticks = 2 then T.stop (Option.get !tr))
+  in
+  tr := Some t;
+  E.run ~until:10.0 e;
+  Alcotest.(check int) "self-stop works" 2 !ticks
+
+let test_oneshot () =
+  let e = E.create () in
+  let fired = ref 0 in
+  ignore (T.after e ~delay:2.0 (fun () -> incr fired));
+  E.run ~until:10.0 e;
+  Alcotest.(check int) "exactly once" 1 !fired
+
+let test_watchdog_expires () =
+  let e = E.create () in
+  let fired = ref [] in
+  ignore (T.watchdog e ~timeout:5.0 (fun () -> fired := E.now e :: !fired));
+  E.run ~until:20.0 e;
+  Alcotest.(check (list (float 0.0))) "fired once at 5" [ 5.0 ] !fired
+
+let test_watchdog_fed () =
+  let e = E.create () in
+  let fired = ref [] in
+  let w = T.watchdog e ~timeout:5.0 (fun () -> fired := E.now e :: !fired) in
+  (* Feed at 3 and 6: expiry moves to 11. *)
+  ignore (E.schedule e ~delay:3.0 (fun () -> T.feed w));
+  ignore (E.schedule e ~delay:6.0 (fun () -> T.feed w));
+  E.run ~until:30.0 e;
+  Alcotest.(check (list (float 0.0))) "postponed to 11" [ 11.0 ] !fired
+
+let test_watchdog_rearms_after_firing () =
+  let e = E.create () in
+  let fired = ref [] in
+  let w = T.watchdog e ~timeout:5.0 (fun () -> fired := E.now e :: !fired) in
+  ignore (E.schedule e ~delay:8.0 (fun () -> T.feed w));
+  E.run ~until:30.0 e;
+  Alcotest.(check (list (float 0.0))) "fires, then re-armed by feed"
+    [ 5.0; 13.0 ] (List.rev !fired)
+
+(* ---- Heap -------------------------------------------------------------- *)
+
+let test_heap_ordering () =
+  let h = Eventsim.Heap.create () in
+  List.iteri (fun i k -> Eventsim.Heap.push h k i (int_of_float k))
+    [ 5.0; 1.0; 3.0; 1.0; 4.0 ];
+  let popped = ref [] in
+  let rec drain () =
+    match Eventsim.Heap.pop h with
+    | Some (k, seq, _) ->
+        popped := (k, seq) :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "keys ascending, seq breaks ties"
+    [ (1.0, 1); (1.0, 3); (3.0, 2); (4.0, 4); (5.0, 0) ]
+    (List.rev !popped)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops keys in order" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 100) (float_range 0.0 100.0))
+    (fun keys ->
+      let h = Eventsim.Heap.create () in
+      List.iteri (fun i k -> Eventsim.Heap.push h k i ()) keys;
+      let rec drain acc =
+        match Eventsim.Heap.pop h with
+        | Some (k, _, ()) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort compare keys)
+
+let () =
+  Alcotest.run "eventsim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "zero clock" `Quick test_clock_starts_at_zero;
+          Alcotest.test_case "time order" `Quick test_events_fire_in_time_order;
+          Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "schedule from callback" `Quick test_schedule_from_callback;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "until inclusive" `Quick test_run_until_inclusive;
+          Alcotest.test_case "max events" `Quick test_max_events;
+          Alcotest.test_case "past rejected" `Quick test_past_scheduling_rejected;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "periodic" `Quick test_periodic_timer;
+          Alcotest.test_case "custom start" `Quick test_periodic_with_start;
+          Alcotest.test_case "stop" `Quick test_timer_stop;
+          Alcotest.test_case "self stop" `Quick test_timer_stop_from_own_callback;
+          Alcotest.test_case "oneshot" `Quick test_oneshot;
+          Alcotest.test_case "watchdog expires" `Quick test_watchdog_expires;
+          Alcotest.test_case "watchdog fed" `Quick test_watchdog_fed;
+          Alcotest.test_case "watchdog re-arms" `Quick test_watchdog_rearms_after_firing;
+        ] );
+      ( "heap",
+        Alcotest.test_case "ordering" `Quick test_heap_ordering
+        :: List.map QCheck_alcotest.to_alcotest [ prop_heap_sorts ] );
+    ]

@@ -1,0 +1,431 @@
+(* Tests for HBH, the paper's contribution: soft-state tables, the
+   analytic converged tree (SPT property, no duplication), the
+   unicast-cloud constrained variant, and the event-driven Appendix-A
+   protocol, including the figure 5 walk-through. *)
+
+module Det = Experiments.Scenarios.Detour
+module Dup = Experiments.Scenarios.Duplication
+
+let isp_scenario seed n =
+  let g = Topology.Isp.create () in
+  let rng = Stats.Rng.create seed in
+  Workload.Scenario.make rng g ~source:Topology.Isp.source
+    ~candidates:Topology.Isp.receiver_hosts ~n
+
+(* ---- Tables -------------------------------------------------------------- *)
+
+let dl = { Hbh.Tables.t1 = 10.0; t2 = 25.0 }
+
+let test_mft_lifecycle () =
+  let m = Hbh.Tables.Mft.create () in
+  ignore (Hbh.Tables.Mft.add_fresh m dl ~now:0.0 5);
+  Alcotest.(check bool) "member" true (Hbh.Tables.Mft.mem m 5);
+  Alcotest.(check (list int)) "data target" [ 5 ]
+    (Hbh.Tables.Mft.data_targets m ~now:1.0);
+  Alcotest.(check (list int)) "tree target while fresh" [ 5 ]
+    (Hbh.Tables.Mft.tree_targets m ~now:1.0);
+  (* After t1 the entry is stale: data yes, trees no. *)
+  Alcotest.(check (list int)) "stale: data" [ 5 ]
+    (Hbh.Tables.Mft.data_targets m ~now:12.0);
+  Alcotest.(check (list int)) "stale: no trees" []
+    (Hbh.Tables.Mft.tree_targets m ~now:12.0);
+  (* After t2 it is dead. *)
+  Hbh.Tables.Mft.expire m ~now:26.0;
+  Alcotest.(check bool) "gone" false (Hbh.Tables.Mft.mem m 5)
+
+let test_mft_marked_semantics () =
+  let m = Hbh.Tables.Mft.create () in
+  ignore (Hbh.Tables.Mft.add_fresh m dl ~now:0.0 5);
+  Alcotest.(check bool) "mark succeeds" true (Hbh.Tables.Mft.mark m ~now:0.0 5);
+  Alcotest.(check (list int)) "marked: no data" []
+    (Hbh.Tables.Mft.data_targets m ~now:1.0);
+  Alcotest.(check (list int)) "marked: trees flow" [ 5 ]
+    (Hbh.Tables.Mft.tree_targets m ~now:1.0);
+  Alcotest.(check bool) "mark unknown fails" false (Hbh.Tables.Mft.mark m ~now:0.0 9)
+
+let test_mft_refresh_preserves_mark () =
+  let m = Hbh.Tables.Mft.create () in
+  ignore (Hbh.Tables.Mft.add_fresh m dl ~now:0.0 5);
+  ignore (Hbh.Tables.Mft.mark m ~now:0.0 5);
+  Alcotest.(check bool) "refresh ok" true (Hbh.Tables.Mft.refresh m dl ~now:9.0 5);
+  Alcotest.(check (list int)) "still marked" []
+    (Hbh.Tables.Mft.data_targets m ~now:10.0);
+  Alcotest.(check (list int)) "alive past original t2" [ 5 ]
+    (Hbh.Tables.Mft.tree_targets m ~now:18.0)
+
+let test_mft_fusion_add_stale () =
+  let m = Hbh.Tables.Mft.create () in
+  let e = Hbh.Tables.Mft.add_stale m dl ~now:0.0 7 in
+  Alcotest.(check bool) "born stale" true (Hbh.Tables.entry_stale e ~now:0.0);
+  Alcotest.(check (list int)) "stale yet data-forwarding" [ 7 ]
+    (Hbh.Tables.Mft.data_targets m ~now:0.0);
+  (* Join refresh freshens it; a later fusion must keep it fresh. *)
+  ignore (Hbh.Tables.Mft.refresh m dl ~now:1.0 7);
+  let e = Hbh.Tables.Mft.add_stale m dl ~now:2.0 7 in
+  Alcotest.(check bool) "fusion does not downgrade freshness" false
+    (Hbh.Tables.entry_stale e ~now:3.0)
+
+let test_mct_lifecycle () =
+  let c = Hbh.Tables.Mct.create dl ~now:0.0 4 in
+  Alcotest.(check int) "target" 4 (Hbh.Tables.Mct.target c);
+  Alcotest.(check bool) "fresh" false (Hbh.Tables.Mct.stale c ~now:5.0);
+  Alcotest.(check bool) "stale after t1" true (Hbh.Tables.Mct.stale c ~now:11.0);
+  Alcotest.(check bool) "dead after t2" true (Hbh.Tables.Mct.dead c ~now:26.0);
+  Hbh.Tables.Mct.replace c dl ~now:12.0 9;
+  Alcotest.(check int) "replaced" 9 (Hbh.Tables.Mct.target c);
+  Alcotest.(check bool) "fresh again" false (Hbh.Tables.Mct.stale c ~now:13.0)
+
+let test_tables_sweep () =
+  let tb = Hbh.Tables.create () in
+  let ch = Mcast.Channel.fresh ~source:0 in
+  let m = Hbh.Tables.Mft.create () in
+  ignore (Hbh.Tables.Mft.add_fresh m dl ~now:0.0 5);
+  Hbh.Tables.set tb ch (Hbh.Tables.Forwarding m);
+  Alcotest.(check bool) "branching" true (Hbh.Tables.is_branching tb ch);
+  Hbh.Tables.sweep tb ~now:30.0;
+  Alcotest.(check bool) "swept away" false (Hbh.Tables.is_branching tb ch);
+  Alcotest.(check int) "no entries" 0 (Hbh.Tables.mft_entry_count tb)
+
+(* ---- Analytic -------------------------------------------------------------- *)
+
+let test_shortest_path_property () =
+  for seed = 1 to 15 do
+    let s = isp_scenario seed 8 in
+    let g = Routing.Table.graph s.table in
+    let d = Hbh.Analytic.build s.table ~source:s.source ~receivers:s.receivers in
+    List.iter
+      (fun r ->
+        let shortest =
+          Routing.Path.delay g (Routing.Table.path s.table s.source r)
+        in
+        Alcotest.(check (option (float 1e-9)))
+          (Printf.sprintf "seed %d receiver %d shortest delay" seed r)
+          (Some shortest)
+          (Mcast.Distribution.delay d r))
+      s.receivers
+  done
+
+let test_one_copy_per_link () =
+  for seed = 1 to 15 do
+    let s = isp_scenario (30 + seed) 12 in
+    let d = Hbh.Analytic.build s.table ~source:s.source ~receivers:s.receivers in
+    Alcotest.(check int) "stress 1" 1 (Mcast.Distribution.max_stress d);
+    Alcotest.(check int) "cost = distinct links" (Mcast.Distribution.links_used d)
+      (Mcast.Distribution.cost d)
+  done
+
+let test_join_order_independence () =
+  let s = isp_scenario 50 8 in
+  let d1 = Hbh.Analytic.build s.table ~source:s.source ~receivers:s.receivers in
+  let d2 =
+    Hbh.Analytic.build s.table ~source:s.source
+      ~receivers:(List.rev s.receivers)
+  in
+  Alcotest.(check bool) "same tree both orders" true
+    (Mcast.Distribution.equal_shape d1 d2)
+
+let test_delay_never_above_pim_ss () =
+  for seed = 1 to 15 do
+    let s = isp_scenario (60 + seed) 10 in
+    let hbh = Hbh.Analytic.build s.table ~source:s.source ~receivers:s.receivers in
+    let ss = Pim.Pim_ss.build s.table ~source:s.source ~receivers:s.receivers in
+    List.iter
+      (fun r ->
+        let dh = Option.get (Mcast.Distribution.delay hbh r) in
+        let ds = Option.get (Mcast.Distribution.delay ss r) in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d receiver %d" seed r)
+          true (dh <= ds +. 1e-9))
+      s.receivers
+  done
+
+let test_no_duplication_in_fig3 () =
+  Alcotest.(check int) "one copy on the shared link" 1
+    (Dup.hbh_copies_on_shared_link ());
+  Alcotest.(check int) "HBH cost 6" 6 (Dup.hbh_cost ())
+
+let test_branching_nodes () =
+  let tbl = Dup.table () in
+  let nodes =
+    Hbh.Analytic.branching_nodes tbl ~source:Dup.source
+      ~receivers:[ Dup.r1; Dup.r2 ]
+  in
+  (* The two flows diverge at R6 (node 6) only. *)
+  Alcotest.(check (list int)) "divergence at R6" [ 6 ] nodes
+
+let test_analytic_state () =
+  let tbl = Dup.table () in
+  let st =
+    Hbh.Analytic.state tbl ~source:Dup.source ~receivers:[ Dup.r1; Dup.r2 ]
+  in
+  Alcotest.(check int) "one branching router" 1 st.Mcast.Metrics.branching_routers;
+  Alcotest.(check int) "two forwarding entries at it" 2 st.mft_entries;
+  Alcotest.(check bool) "control elsewhere" true (st.mct_entries >= 1)
+
+let test_constrained_equals_ideal_when_all_capable () =
+  for seed = 1 to 10 do
+    let s = isp_scenario (80 + seed) 10 in
+    let a = Hbh.Analytic.build s.table ~source:s.source ~receivers:s.receivers in
+    let b =
+      Hbh.Analytic.build_constrained s.table ~source:s.source
+        ~receivers:s.receivers
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d identical" seed)
+      true
+      (Mcast.Distribution.equal_shape a b)
+  done
+
+let test_constrained_duplicates_at_incapable_divergence () =
+  let tbl = Dup.table () in
+  let g = Routing.Table.graph tbl in
+  (* Make the unique branching point (R6) unicast-only: copies must
+     now be created upstream, loading the shared segment twice. *)
+  Topology.Graph.set_multicast_capable g 6 false;
+  let tbl = Routing.Table.compute g in
+  let d =
+    Hbh.Analytic.build_constrained tbl ~source:Dup.source
+      ~receivers:[ Dup.r1; Dup.r2 ]
+  in
+  let u, v = Dup.shared_link in
+  Alcotest.(check int) "two copies through the unicast cloud" 2
+    (Mcast.Distribution.copies d u v);
+  (* Delays unchanged: still shortest paths. *)
+  Alcotest.(check (option (float 0.0))) "r1 delay" (Some 4.0)
+    (Mcast.Distribution.delay d Dup.r1);
+  Topology.Graph.set_multicast_capable g 6 true
+
+let test_constrained_cost_monotone_in_capability () =
+  let s = isp_scenario 90 10 in
+  let g = Routing.Table.graph s.table in
+  let full =
+    Mcast.Distribution.cost
+      (Hbh.Analytic.build_constrained s.table ~source:s.source
+         ~receivers:s.receivers)
+  in
+  List.iter (fun r -> Topology.Graph.set_multicast_capable g r false)
+    (Topology.Graph.routers g);
+  let none =
+    Mcast.Distribution.cost
+      (Hbh.Analytic.build_constrained s.table ~source:s.source
+         ~receivers:s.receivers)
+  in
+  List.iter (fun r -> Topology.Graph.set_multicast_capable g r true)
+    (Topology.Graph.routers g);
+  Alcotest.(check bool) "no capability costs at least as much" true (none >= full)
+
+(* ---- Event-driven protocol --------------------------------------------------- *)
+
+let test_event_converges_on_detour () =
+  let tbl = Det.table () in
+  let session = Hbh.Protocol.create tbl ~source:Det.source in
+  Hbh.Protocol.subscribe session Det.r1;
+  Hbh.Protocol.subscribe session Det.r2;
+  Hbh.Protocol.converge session;
+  let d = Hbh.Protocol.probe session in
+  let a = Hbh.Analytic.build tbl ~source:Det.source ~receivers:[ Det.r1; Det.r2 ] in
+  Alcotest.(check bool) "event = analytic" true (Mcast.Distribution.equal_shape d a);
+  Alcotest.(check (option (float 0.0))) "r2 served on shortest path" (Some 2.0)
+    (Mcast.Distribution.delay d Det.r2)
+
+let test_event_fig5_third_receiver () =
+  (* The figure 5 walk-through: r3 joins after r1/r2; fusion moves the
+     branch to H3 and everyone still gets shortest-path delivery. *)
+  let tbl = Det.table () in
+  let session = Hbh.Protocol.create tbl ~source:Det.source in
+  Hbh.Protocol.subscribe session Det.r1;
+  Hbh.Protocol.subscribe session Det.r2;
+  Hbh.Protocol.converge session;
+  Hbh.Protocol.subscribe session Det.r3;
+  Hbh.Protocol.converge session;
+  let d = Hbh.Protocol.probe session in
+  let a =
+    Hbh.Analytic.build tbl ~source:Det.source
+      ~receivers:[ Det.r1; Det.r2; Det.r3 ]
+  in
+  Alcotest.(check bool) "converged to ideal" true (Mcast.Distribution.equal_shape d a);
+  (* r1 and r3 share S->R1->R3; the branching node R3 (id 3) holds
+     forwarding state. *)
+  Alcotest.(check bool) "R3 is branching" true
+    (List.mem 3 (Hbh.Protocol.branching_routers session))
+
+let test_event_fusion_resolves_fig3 () =
+  let tbl = Dup.table () in
+  let session = Hbh.Protocol.create tbl ~source:Dup.source in
+  Hbh.Protocol.subscribe session Dup.r1;
+  Hbh.Protocol.subscribe session Dup.r2;
+  Hbh.Protocol.converge session;
+  let d = Hbh.Protocol.probe session in
+  let u, v = Dup.shared_link in
+  Alcotest.(check int) "single copy after fusion" 1 (Mcast.Distribution.copies d u v);
+  Alcotest.(check int) "cost 6" 6 (Mcast.Distribution.cost d)
+
+let test_event_random_isp_convergence () =
+  for seed = 1 to 6 do
+    let s = isp_scenario (700 + seed) ((2 * seed) + 2) in
+    let session = Hbh.Protocol.create s.table ~source:s.source in
+    List.iter (Hbh.Protocol.subscribe session) s.receivers;
+    Hbh.Protocol.converge ~periods:20 session;
+    let d = Hbh.Protocol.probe session in
+    let a = Hbh.Analytic.build s.table ~source:s.source ~receivers:s.receivers in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d exact convergence" seed)
+      true
+      (Mcast.Distribution.equal_shape d a)
+  done
+
+let test_event_departure_prunes_branch () =
+  let tbl = Det.table () in
+  let session = Hbh.Protocol.create tbl ~source:Det.source in
+  Hbh.Protocol.subscribe session Det.r1;
+  Hbh.Protocol.subscribe session Det.r2;
+  Hbh.Protocol.converge session;
+  let before = Hbh.Protocol.probe session in
+  Hbh.Protocol.unsubscribe session Det.r2;
+  Hbh.Protocol.run_for session 2000.0;
+  let after = Hbh.Protocol.probe session in
+  Alcotest.(check (list int)) "r1 remains" [ Det.r1 ]
+    (Mcast.Distribution.receivers after);
+  (* Stability: r1's delay must not change when r2 leaves. *)
+  Alcotest.(check (option (float 0.0))) "r1 delay unchanged"
+    (Mcast.Distribution.delay before Det.r1)
+    (Mcast.Distribution.delay after Det.r1)
+
+let test_event_full_depletion () =
+  let tbl = Det.table () in
+  let session = Hbh.Protocol.create tbl ~source:Det.source in
+  Hbh.Protocol.subscribe session Det.r1;
+  Hbh.Protocol.subscribe session Det.r2;
+  Hbh.Protocol.converge session;
+  Hbh.Protocol.unsubscribe session Det.r1;
+  Hbh.Protocol.unsubscribe session Det.r2;
+  Hbh.Protocol.run_for session 3000.0;
+  let st = Hbh.Protocol.state session in
+  Alcotest.(check int) "all state drained" 0
+    (st.Mcast.Metrics.mft_entries + st.mct_entries)
+
+let test_event_rejoin_after_silence () =
+  (* A receiver whose state is wiped re-joins through the first-join
+     rule (liveness safety valve). *)
+  let tbl = Det.table () in
+  let session = Hbh.Protocol.create tbl ~source:Det.source in
+  Hbh.Protocol.subscribe session Det.r1;
+  Hbh.Protocol.converge ~periods:30 session;
+  let d = Hbh.Protocol.probe session in
+  Alcotest.(check (list int)) "still served after long run" [ Det.r1 ]
+    (Mcast.Distribution.receivers d)
+
+let test_event_unicast_cloud_transparent () =
+  (* Disable the branching router: HBH must still deliver (copies made
+     upstream), demonstrating the incremental-deployment property. *)
+  let g = Dup.graph () in
+  Topology.Graph.set_multicast_capable g 6 false;
+  let tbl = Routing.Table.compute g in
+  let session = Hbh.Protocol.create tbl ~source:Dup.source in
+  Hbh.Protocol.subscribe session Dup.r1;
+  Hbh.Protocol.subscribe session Dup.r2;
+  Hbh.Protocol.converge ~periods:20 session;
+  let d = Hbh.Protocol.probe session in
+  Alcotest.(check (list int)) "both served through the cloud"
+    [ Dup.r1; Dup.r2 ]
+    (Mcast.Distribution.receivers d);
+  let u, v = Dup.shared_link in
+  Alcotest.(check int) "upstream duplication" 2 (Mcast.Distribution.copies d u v)
+
+let test_event_two_channels_share_network () =
+  (* Two sources multicast concurrently over one network (the EXPRESS
+     M-to-N model as M channels); each converges to its own ideal tree
+     without disturbing the other. *)
+  let g = Topology.Isp.create () in
+  let rng = Stats.Rng.create 77 in
+  Workload.Scenario.randomize rng g;
+  let tbl = Routing.Table.compute g in
+  let a = Hbh.Protocol.create tbl ~source:18 in
+  let b = Hbh.Protocol.create_on (Hbh.Protocol.network a) ~source:27 in
+  let recv_a = [ 20; 25; 30 ] and recv_b = [ 21; 25; 33 ] in
+  List.iter (Hbh.Protocol.subscribe a) recv_a;
+  List.iter (Hbh.Protocol.subscribe b) recv_b;
+  Hbh.Protocol.converge ~periods:20 a;
+  (* One shared engine: converging [a] converged [b] too. *)
+  let da = Hbh.Protocol.probe a in
+  Alcotest.(check bool) "channel A ideal" true
+    (Mcast.Distribution.equal_shape da
+       (Hbh.Analytic.build tbl ~source:18 ~receivers:recv_a));
+  let db = Hbh.Protocol.probe b in
+  Alcotest.(check bool) "channel B ideal" true
+    (Mcast.Distribution.equal_shape db
+       (Hbh.Analytic.build tbl ~source:27 ~receivers:recv_b));
+  (* The shared receiver 25 is served by both channels. *)
+  Alcotest.(check bool) "25 in both" true
+    (List.mem 25 (Mcast.Distribution.receivers da)
+    && List.mem 25 (Mcast.Distribution.receivers db))
+
+let test_event_subscribe_validation () =
+  let tbl = Det.table () in
+  let session = Hbh.Protocol.create tbl ~source:Det.source in
+  Alcotest.(check bool) "source cannot subscribe" true
+    (try
+       Hbh.Protocol.subscribe session Det.source;
+       false
+     with Invalid_argument _ -> true);
+  Hbh.Protocol.subscribe session Det.r1;
+  Hbh.Protocol.subscribe session Det.r1;
+  Alcotest.(check (list int)) "idempotent" [ Det.r1 ] (Hbh.Protocol.members session)
+
+let test_event_config_validation () =
+  let tbl = Det.table () in
+  Alcotest.(check bool) "t2 <= t1 rejected" true
+    (try
+       ignore
+         (Hbh.Protocol.create
+            ~config:{ Hbh.Protocol.default_config with t1 = 5.0; t2 = 4.0 }
+            tbl ~source:Det.source);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "hbh"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "mft lifecycle" `Quick test_mft_lifecycle;
+          Alcotest.test_case "marked semantics" `Quick test_mft_marked_semantics;
+          Alcotest.test_case "refresh keeps mark" `Quick test_mft_refresh_preserves_mark;
+          Alcotest.test_case "fusion add_stale" `Quick test_mft_fusion_add_stale;
+          Alcotest.test_case "mct lifecycle" `Quick test_mct_lifecycle;
+          Alcotest.test_case "sweep" `Quick test_tables_sweep;
+        ] );
+      ( "analytic",
+        [
+          Alcotest.test_case "shortest-path delays" `Quick test_shortest_path_property;
+          Alcotest.test_case "one copy per link" `Quick test_one_copy_per_link;
+          Alcotest.test_case "join-order independent" `Quick test_join_order_independence;
+          Alcotest.test_case "beats PIM-SS delay" `Quick test_delay_never_above_pim_ss;
+          Alcotest.test_case "fig 3 resolved" `Quick test_no_duplication_in_fig3;
+          Alcotest.test_case "branching nodes" `Quick test_branching_nodes;
+          Alcotest.test_case "state" `Quick test_analytic_state;
+        ] );
+      ( "constrained",
+        [
+          Alcotest.test_case "equals ideal when capable" `Quick
+            test_constrained_equals_ideal_when_all_capable;
+          Alcotest.test_case "incapable divergence duplicates" `Quick
+            test_constrained_duplicates_at_incapable_divergence;
+          Alcotest.test_case "cost monotone" `Quick test_constrained_cost_monotone_in_capability;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "detour convergence" `Quick test_event_converges_on_detour;
+          Alcotest.test_case "fig 5 third receiver" `Quick test_event_fig5_third_receiver;
+          Alcotest.test_case "fig 3 fusion" `Quick test_event_fusion_resolves_fig3;
+          Alcotest.test_case "random ISP convergence" `Quick test_event_random_isp_convergence;
+          Alcotest.test_case "departure prunes" `Quick test_event_departure_prunes_branch;
+          Alcotest.test_case "full depletion" `Quick test_event_full_depletion;
+          Alcotest.test_case "long-run liveness" `Quick test_event_rejoin_after_silence;
+          Alcotest.test_case "unicast cloud" `Quick test_event_unicast_cloud_transparent;
+          Alcotest.test_case "two channels, one network" `Quick
+            test_event_two_channels_share_network;
+          Alcotest.test_case "subscribe validation" `Quick test_event_subscribe_validation;
+          Alcotest.test_case "config validation" `Quick test_event_config_validation;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* Tests for the IGMP LAN machinery and the paper's aggregation claim
+   (Section 4.1: many receivers behind one border router cost the
+   tree nothing extra). *)
+
+let setup ?(hosts = [ 100; 101; 102 ]) () =
+  let engine = Eventsim.Engine.create () in
+  let rng = Stats.Rng.create 7 in
+  let lan = Igmp.Lan.create engine rng ~router:0 ~hosts in
+  (engine, lan)
+
+let g1 = Mcast.Class_d.of_string "232.0.0.1"
+let g2 = Mcast.Class_d.of_string "232.0.0.2"
+
+let test_join_visible_immediately () =
+  let _, lan = setup () in
+  Igmp.Lan.join lan ~host:100 ~group:g1;
+  Alcotest.(check bool) "router learns group" true (Igmp.Lan.router_has lan g1);
+  Alcotest.(check (list string)) "host membership" [ "232.0.0.1" ]
+    (List.map Mcast.Class_d.to_string (Igmp.Lan.host_groups lan 100))
+
+let test_unknown_host_rejected () =
+  let _, lan = setup () in
+  Alcotest.(check bool) "raises" true
+    (try
+       Igmp.Lan.join lan ~host:999 ~group:g1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_membership_survives_queries () =
+  let engine, lan = setup () in
+  Igmp.Lan.join lan ~host:100 ~group:g1;
+  Eventsim.Engine.run ~until:2000.0 engine;
+  Alcotest.(check bool) "still subscribed after many cycles" true
+    (Igmp.Lan.router_has lan g1)
+
+let test_report_suppression () =
+  (* Ten members of one group: steady-state traffic is ~1 report per
+     query, not 10 — the LAN aggregation the paper relies on. *)
+  let engine = Eventsim.Engine.create () in
+  let rng = Stats.Rng.create 7 in
+  let hosts = List.init 10 (fun i -> 200 + i) in
+  let lan = Igmp.Lan.create engine rng ~router:0 ~hosts in
+  List.iter (fun h -> Igmp.Lan.join lan ~host:h ~group:g1) hosts;
+  let after_joins = Igmp.Lan.reports_sent lan in
+  Eventsim.Engine.run ~until:(125.0 *. 20.0) engine;
+  let queries = Igmp.Lan.queries_sent lan in
+  let steady_reports = Igmp.Lan.reports_sent lan - after_joins in
+  Alcotest.(check bool) "about one report per query" true
+    (steady_reports <= queries + 2);
+  Alcotest.(check bool) "still subscribed" true (Igmp.Lan.router_has lan g1)
+
+let test_leave_with_remaining_member () =
+  let engine, lan = setup () in
+  Igmp.Lan.join lan ~host:100 ~group:g1;
+  Igmp.Lan.join lan ~host:101 ~group:g1;
+  Eventsim.Engine.run ~until:50.0 engine;
+  Igmp.Lan.leave lan ~host:100 ~group:g1;
+  Eventsim.Engine.run ~until:300.0 engine;
+  Alcotest.(check bool) "group survives (101 answered the query)" true
+    (Igmp.Lan.router_has lan g1)
+
+let test_last_member_leave () =
+  let engine, lan = setup () in
+  Igmp.Lan.join lan ~host:100 ~group:g1;
+  Eventsim.Engine.run ~until:50.0 engine;
+  Igmp.Lan.leave lan ~host:100 ~group:g1;
+  (* After the group-specific query window, the group must be gone. *)
+  Eventsim.Engine.run ~until:60.0 engine;
+  Alcotest.(check bool) "group dropped promptly" false (Igmp.Lan.router_has lan g1)
+
+let test_multiple_groups_independent () =
+  let engine, lan = setup () in
+  Igmp.Lan.join lan ~host:100 ~group:g1;
+  Igmp.Lan.join lan ~host:101 ~group:g2;
+  Eventsim.Engine.run ~until:400.0 engine;
+  Alcotest.(check (list string)) "both tracked" [ "232.0.0.1"; "232.0.0.2" ]
+    (List.map Mcast.Class_d.to_string (Igmp.Lan.router_groups lan));
+  Igmp.Lan.leave lan ~host:101 ~group:g2;
+  Eventsim.Engine.run ~until:500.0 engine;
+  Alcotest.(check (list string)) "g2 gone, g1 stays" [ "232.0.0.1" ]
+    (List.map Mcast.Class_d.to_string (Igmp.Lan.router_groups lan))
+
+let test_rejoin_after_leave () =
+  let engine, lan = setup () in
+  Igmp.Lan.join lan ~host:100 ~group:g1;
+  Eventsim.Engine.run ~until:30.0 engine;
+  Igmp.Lan.leave lan ~host:100 ~group:g1;
+  Eventsim.Engine.run ~until:60.0 engine;
+  Igmp.Lan.join lan ~host:100 ~group:g1;
+  Eventsim.Engine.run ~until:600.0 engine;
+  Alcotest.(check bool) "re-joined" true (Igmp.Lan.router_has lan g1)
+
+(* ---- The aggregation claim ------------------------------------------------ *)
+
+let test_extra_receivers_behind_one_router_cost_only_stubs () =
+  (* Section 4.1: "The presence of one or many receivers attached to a
+     border router ... does not influence the cost of the tree" —
+     additional members behind an already-subscribed router add only
+     their own access stubs; the network tree is untouched. *)
+  let b = Topology.Builder.create () in
+  ignore (Topology.Builder.add_routers b 18);
+  List.iter
+    (fun (u, v) -> Topology.Builder.add_link b u v ())
+    [ (* reuse the ISP wiring shape: two-level backbone *)
+      (0, 12); (0, 13); (1, 13); (1, 14); (2, 14); (2, 15); (3, 15); (3, 16);
+      (4, 16); (4, 17); (5, 17); (5, 12); (6, 12); (6, 13); (7, 13); (7, 14);
+      (8, 14); (8, 15); (9, 15); (9, 16); (10, 16); (10, 17); (11, 17); (11, 12);
+      (12, 13); (13, 14); (14, 15); (15, 16); (16, 17); (17, 12);
+    ];
+  Topology.Builder.attach_host_per_router b;
+  (* Three extra hosts behind router 5. *)
+  let extras =
+    List.init 3 (fun _ -> Topology.Builder.add_host b ~router:5 ())
+  in
+  let g = Topology.Builder.build b in
+  let rng = Stats.Rng.create 4 in
+  Topology.Graph.randomize_costs g rng ~lo:1 ~hi:10;
+  let table = Routing.Table.compute g in
+  let source = 18 (* host of router 0 *) in
+  let r5_host = 23 (* original host of router 5 *) in
+  let base =
+    Hbh.Analytic.build table ~source ~receivers:[ r5_host; 25; 30 ]
+  in
+  let crowded =
+    Hbh.Analytic.build table ~source ~receivers:((r5_host :: extras) @ [ 25; 30 ])
+  in
+  (* Cost grows exactly by the extra access links, nothing else. *)
+  Alcotest.(check int) "only stub links added"
+    (Mcast.Distribution.cost base + List.length extras)
+    (Mcast.Distribution.cost crowded);
+  (* Every network link carries the same load in both trees. *)
+  List.iter
+    (fun ((u, v), n) ->
+      if Topology.Graph.is_router g u && Topology.Graph.is_router g v then
+        Alcotest.(check int)
+          (Printf.sprintf "network link %d->%d" u v)
+          n
+          (Mcast.Distribution.copies crowded u v))
+    (Mcast.Distribution.link_loads base)
+
+let () =
+  Alcotest.run "igmp"
+    [
+      ( "lan",
+        [
+          Alcotest.test_case "join visible" `Quick test_join_visible_immediately;
+          Alcotest.test_case "unknown host" `Quick test_unknown_host_rejected;
+          Alcotest.test_case "membership survives" `Quick test_membership_survives_queries;
+          Alcotest.test_case "report suppression" `Quick test_report_suppression;
+          Alcotest.test_case "leave with remaining" `Quick test_leave_with_remaining_member;
+          Alcotest.test_case "last member leave" `Quick test_last_member_leave;
+          Alcotest.test_case "multiple groups" `Quick test_multiple_groups_independent;
+          Alcotest.test_case "rejoin" `Quick test_rejoin_after_leave;
+        ] );
+      ( "aggregation",
+        [
+          Alcotest.test_case "extra members cost only stubs" `Quick
+            test_extra_receivers_behind_one_router_cost_only_stubs;
+        ] );
+    ]

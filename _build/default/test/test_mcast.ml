@@ -1,0 +1,219 @@
+(* Tests for multicast common types: class-D addresses, channels,
+   distributions and metrics, membership. *)
+
+let test_class_d_validation () =
+  Alcotest.(check bool) "224.0.0.0 ok" true (Mcast.Class_d.is_class_d 0xE0000000l);
+  Alcotest.(check bool) "239.255.255.255 ok" true
+    (Mcast.Class_d.is_class_d 0xEFFFFFFFl);
+  Alcotest.(check bool) "223.x rejected" false (Mcast.Class_d.is_class_d 0xDFFFFFFFl);
+  Alcotest.(check bool) "240.x rejected" false (Mcast.Class_d.is_class_d 0xF0000000l);
+  Alcotest.(check bool) "of_int32 raises" true
+    (try
+       ignore (Mcast.Class_d.of_int32 0x0A000001l);
+       false
+     with Invalid_argument _ -> true)
+
+let test_class_d_string_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "roundtrip" s
+        (Mcast.Class_d.to_string (Mcast.Class_d.of_string s)))
+    [ "224.0.0.1"; "232.1.2.3"; "239.255.255.255" ]
+
+let test_class_d_bad_strings () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("reject " ^ s) true
+        (try
+           ignore (Mcast.Class_d.of_string s);
+           false
+         with Invalid_argument _ -> true))
+    [ "10.0.0.1"; "224.0.0"; "224.0.0.256"; "not-an-ip"; "224.0.0.1.2" ]
+
+let test_class_d_allocator () =
+  let a = Mcast.Class_d.allocator () in
+  let g1 = Mcast.Class_d.allocate a in
+  let g2 = Mcast.Class_d.allocate a in
+  Alcotest.(check bool) "distinct" false (Mcast.Class_d.equal g1 g2);
+  Alcotest.(check bool) "ssm range" true (Mcast.Class_d.is_ssm_range g1);
+  Alcotest.(check string) "first is 232.0.0.1" "232.0.0.1"
+    (Mcast.Class_d.to_string g1)
+
+let test_channel_identity () =
+  let c1 = Mcast.Channel.fresh ~source:5 in
+  let c2 = Mcast.Channel.fresh ~source:5 in
+  Alcotest.(check bool) "same source, distinct groups" false
+    (Mcast.Channel.equal c1 c2);
+  Alcotest.(check bool) "equal to itself" true (Mcast.Channel.equal c1 c1);
+  Alcotest.(check int) "source kept" 5 (Mcast.Channel.source c1)
+
+let test_channel_containers () =
+  let c1 = Mcast.Channel.fresh ~source:1 in
+  let c2 = Mcast.Channel.fresh ~source:2 in
+  let m = Mcast.Channel.Map.(empty |> add c1 "a" |> add c2 "b") in
+  Alcotest.(check (option string)) "map lookup" (Some "a")
+    (Mcast.Channel.Map.find_opt c1 m);
+  let tbl = Mcast.Channel.Tbl.create 4 in
+  Mcast.Channel.Tbl.replace tbl c2 42;
+  Alcotest.(check (option int)) "tbl lookup" (Some 42)
+    (Mcast.Channel.Tbl.find_opt tbl c2);
+  Alcotest.(check (option int)) "tbl miss" None (Mcast.Channel.Tbl.find_opt tbl c1)
+
+(* ---- Distribution ------------------------------------------------------ *)
+
+let test_distribution_cost () =
+  let d = Mcast.Distribution.create ~source:0 in
+  Mcast.Distribution.add_copy d 0 1;
+  Mcast.Distribution.add_copy d 0 1;
+  Mcast.Distribution.add_copy d 1 2;
+  Alcotest.(check int) "cost counts copies" 3 (Mcast.Distribution.cost d);
+  Alcotest.(check int) "links used" 2 (Mcast.Distribution.links_used d);
+  Alcotest.(check int) "duplicated links" 1 (Mcast.Distribution.duplicated_links d);
+  Alcotest.(check int) "max stress" 2 (Mcast.Distribution.max_stress d);
+  Alcotest.(check int) "copies on 0->1" 2 (Mcast.Distribution.copies d 0 1);
+  Alcotest.(check int) "direction matters" 0 (Mcast.Distribution.copies d 1 0)
+
+let test_distribution_delivery () =
+  let d = Mcast.Distribution.create ~source:0 in
+  Mcast.Distribution.deliver d ~receiver:7 ~delay:4.0;
+  Mcast.Distribution.deliver d ~receiver:9 ~delay:6.0;
+  Alcotest.(check (list int)) "receivers" [ 7; 9 ] (Mcast.Distribution.receivers d);
+  Alcotest.(check (float 1e-9)) "avg" 5.0 (Mcast.Distribution.avg_delay d);
+  Alcotest.(check (float 1e-9)) "max" 6.0 (Mcast.Distribution.max_delay d)
+
+let test_distribution_duplicate_delivery () =
+  let d = Mcast.Distribution.create ~source:0 in
+  Mcast.Distribution.deliver d ~receiver:7 ~delay:4.0;
+  Mcast.Distribution.deliver d ~receiver:7 ~delay:2.0;
+  Alcotest.(check int) "dup counted" 1 (Mcast.Distribution.duplicate_deliveries d);
+  Alcotest.(check (option (float 0.0))) "earliest wins" (Some 2.0)
+    (Mcast.Distribution.delay d 7)
+
+let test_distribution_add_path () =
+  let g =
+    Topology.Graph.make
+      ~kinds:(Array.make 3 Topology.Graph.Router)
+      ~links:[ (0, 1, 2, 9); (1, 2, 3, 9) ]
+  in
+  let d = Mcast.Distribution.create ~source:0 in
+  let delay = Mcast.Distribution.add_path d g [ 0; 1; 2 ] in
+  Alcotest.(check (float 0.0)) "path delay" 5.0 delay;
+  Alcotest.(check int) "cost" 2 (Mcast.Distribution.cost d)
+
+let test_distribution_equal_shape () =
+  let mk () =
+    let d = Mcast.Distribution.create ~source:0 in
+    Mcast.Distribution.add_copy d 0 1;
+    Mcast.Distribution.deliver d ~receiver:3 ~delay:1.0;
+    d
+  in
+  Alcotest.(check bool) "equal" true
+    (Mcast.Distribution.equal_shape (mk ()) (mk ()));
+  let d2 = mk () in
+  Mcast.Distribution.add_copy d2 0 1;
+  Alcotest.(check bool) "copy count differs" false
+    (Mcast.Distribution.equal_shape (mk ()) d2)
+
+let test_metrics_of_distribution () =
+  let d = Mcast.Distribution.create ~source:0 in
+  Mcast.Distribution.add_copy d 0 1;
+  Mcast.Distribution.add_copy d 1 2;
+  Mcast.Distribution.deliver d ~receiver:2 ~delay:5.0;
+  let m = Mcast.Metrics.of_distribution d in
+  Alcotest.(check int) "cost" 2 m.cost;
+  Alcotest.(check int) "receivers" 1 m.receivers;
+  Alcotest.(check (float 0.0)) "avg delay" 5.0 m.avg_delay
+
+(* ---- Membership -------------------------------------------------------- *)
+
+let membership () =
+  let g = Topology.Isp.create () in
+  let ch = Mcast.Channel.fresh ~source:Topology.Isp.source in
+  (g, Mcast.Membership.create g ch)
+
+let test_membership_join_leave () =
+  let _, m = membership () in
+  Mcast.Membership.join m 20;
+  Mcast.Membership.join m 25;
+  Mcast.Membership.join m 20;
+  Alcotest.(check (list int)) "members" [ 20; 25 ] (Mcast.Membership.members m);
+  Alcotest.(check int) "size" 2 (Mcast.Membership.size m);
+  Mcast.Membership.leave m 20;
+  Alcotest.(check bool) "left" false (Mcast.Membership.is_member m 20);
+  Mcast.Membership.leave m 20 (* idempotent *)
+
+let test_membership_rejects_routers_and_source () =
+  let _, m = membership () in
+  Alcotest.(check bool) "router rejected" true
+    (try
+       Mcast.Membership.join m 0;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "source rejected" true
+    (try
+       Mcast.Membership.join m Topology.Isp.source;
+       false
+     with Invalid_argument _ -> true)
+
+let test_membership_designated_routers () =
+  let g, m = membership () in
+  Mcast.Membership.join m 20;
+  Mcast.Membership.join m 25;
+  let expected =
+    List.sort_uniq compare
+      [ Topology.Graph.router_of_host g 20; Topology.Graph.router_of_host g 25 ]
+  in
+  Alcotest.(check (list int)) "designated routers" expected
+    (Mcast.Membership.subscribed_routers m);
+  Alcotest.(check (list int)) "members behind" [ 20 ]
+    (Mcast.Membership.members_behind m (Topology.Graph.router_of_host g 20))
+
+(* ---- Properties --------------------------------------------------------- *)
+
+let prop_distribution_cost_is_sum =
+  QCheck.Test.make ~name:"cost equals sum of per-link copies" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 50) (pair (int_range 0 9) (int_range 0 9)))
+    (fun links ->
+      let d = Mcast.Distribution.create ~source:0 in
+      List.iter (fun (u, v) -> if u <> v then Mcast.Distribution.add_copy d u v) links;
+      let sum =
+        List.fold_left
+          (fun acc ((u, v), _) -> acc + Mcast.Distribution.copies d u v)
+          0
+          (Mcast.Distribution.link_loads d)
+      in
+      sum = Mcast.Distribution.cost d)
+
+let () =
+  Alcotest.run "mcast"
+    [
+      ( "class_d",
+        [
+          Alcotest.test_case "validation" `Quick test_class_d_validation;
+          Alcotest.test_case "string roundtrip" `Quick test_class_d_string_roundtrip;
+          Alcotest.test_case "bad strings" `Quick test_class_d_bad_strings;
+          Alcotest.test_case "allocator" `Quick test_class_d_allocator;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "identity" `Quick test_channel_identity;
+          Alcotest.test_case "containers" `Quick test_channel_containers;
+        ] );
+      ( "distribution",
+        [
+          Alcotest.test_case "cost accounting" `Quick test_distribution_cost;
+          Alcotest.test_case "delivery" `Quick test_distribution_delivery;
+          Alcotest.test_case "duplicate delivery" `Quick test_distribution_duplicate_delivery;
+          Alcotest.test_case "add_path" `Quick test_distribution_add_path;
+          Alcotest.test_case "equal_shape" `Quick test_distribution_equal_shape;
+          Alcotest.test_case "metrics" `Quick test_metrics_of_distribution;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "join/leave" `Quick test_membership_join_leave;
+          Alcotest.test_case "rejections" `Quick test_membership_rejects_routers_and_source;
+          Alcotest.test_case "designated routers" `Quick test_membership_designated_routers;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_distribution_cost_is_sum ] );
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the packet-level network simulator: hop-by-hop delivery,
+   handler interception, accounting, TTL, sinks and traces. *)
+
+module G = Topology.Graph
+module Net = Netsim.Network
+module Pkt = Netsim.Packet
+
+type payload = Ping | Probe of int
+
+let line_network () =
+  (* 0 - 1 - 2 - 3 with distinct directed delays. *)
+  let g =
+    G.make
+      ~kinds:(Array.make 4 G.Router)
+      ~links:[ (0, 1, 2, 5); (1, 2, 3, 5); (2, 3, 4, 5) ]
+  in
+  let table = Routing.Table.compute g in
+  let engine = Eventsim.Engine.create () in
+  (engine, Net.create engine table)
+
+let test_delivery_and_delay () =
+  let engine, net = line_network () in
+  let got = ref None in
+  Net.install net 3 (fun _ node p ->
+      if p.Pkt.dst = node then begin
+        got := Some (Eventsim.Engine.now engine -. p.Pkt.born);
+        Net.Consume
+      end
+      else Net.Forward);
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  Alcotest.(check (option (float 0.0))) "sum of directed delays" (Some 9.0) !got
+
+let test_reverse_direction_delay () =
+  let engine, net = line_network () in
+  let got = ref None in
+  Net.install net 0 (fun _ node p ->
+      if p.Pkt.dst = node then begin
+        got := Some (Eventsim.Engine.now engine -. p.Pkt.born);
+        Net.Consume
+      end
+      else Net.Forward);
+  Net.originate net ~src:3 ~dst:0 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  Alcotest.(check (option (float 0.0))) "reverse costs differ" (Some 15.0) !got
+
+let test_handler_sees_transit () =
+  let engine, net = line_network () in
+  let seen = ref [] in
+  List.iter
+    (fun n ->
+      Net.install net n (fun _ node _ ->
+          seen := node :: !seen;
+          Net.Forward))
+    [ 1; 2 ];
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  Alcotest.(check (list int)) "every hop inspected" [ 1; 2 ] (List.rev !seen)
+
+let test_consume_stops_forwarding () =
+  let engine, net = line_network () in
+  let reached_3 = ref false in
+  Net.install net 1 (fun _ _ _ -> Net.Consume);
+  Net.install net 3 (fun _ _ _ ->
+      reached_3 := true;
+      Net.Consume);
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  Alcotest.(check bool) "intercepted at 1" false !reached_3;
+  Alcotest.(check int) "consumed counter" 1 (Net.counters net).Net.consumed
+
+let test_data_accounting () =
+  let engine, net = line_network () in
+  Net.set_sink net 3 true;
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Data (Probe 1);
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Data (Probe 2);
+  Eventsim.Engine.run engine;
+  Alcotest.(check (list (pair (pair int int) int)))
+    "two copies per link"
+    [ ((0, 1), 2); ((1, 2), 2); ((2, 3), 2) ]
+    (Net.data_link_loads net);
+  Alcotest.(check int) "two deliveries" 2 (List.length (Net.data_deliveries net));
+  Net.reset_data_accounting net;
+  Alcotest.(check int) "reset clears" 0 (List.length (Net.data_link_loads net))
+
+let test_control_not_in_data_loads () =
+  let engine, net = line_network () in
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  Alcotest.(check int) "no data loads" 0 (List.length (Net.data_link_loads net));
+  Alcotest.(check int) "control hops counted" 3 (Net.counters net).Net.control_hops
+
+let test_sink_gates_delivery_recording () =
+  let engine, net = line_network () in
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Data (Probe 1);
+  Eventsim.Engine.run engine;
+  Alcotest.(check int) "router without sink: no delivery" 0
+    (List.length (Net.data_deliveries net));
+  Net.set_sink net 3 true;
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Data (Probe 2);
+  Eventsim.Engine.run engine;
+  Alcotest.(check int) "sink records" 1 (List.length (Net.data_deliveries net))
+
+let test_host_is_implicit_sink () =
+  let b = Topology.Builder.create () in
+  let r0 = Topology.Builder.add_router b in
+  let r1 = Topology.Builder.add_router b in
+  Topology.Builder.add_link b r0 r1 ();
+  let h = Topology.Builder.add_host b ~router:r1 () in
+  let g = Topology.Builder.build b in
+  let table = Routing.Table.compute g in
+  let engine = Eventsim.Engine.create () in
+  let net = Net.create engine table in
+  Net.originate net ~src:r0 ~dst:h ~kind:Pkt.Data (Probe 1);
+  Eventsim.Engine.run engine;
+  Alcotest.(check int) "host delivery recorded" 1
+    (List.length (Net.data_deliveries net))
+
+let test_ttl_expiry () =
+  let g =
+    G.make
+      ~kinds:(Array.make 4 G.Router)
+      ~links:[ (0, 1, 1, 1); (1, 2, 1, 1); (2, 3, 1, 1) ]
+  in
+  let tbl = Routing.Table.compute g in
+  let eng = Eventsim.Engine.create () in
+  let nt = Net.create ~default_ttl:1 eng tbl in
+  Net.originate nt ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run eng;
+  Alcotest.(check int) "dropped by ttl" 1 (Net.counters nt).Net.dropped_ttl
+
+let test_unreachable_drop () =
+  let g =
+    G.make ~kinds:(Array.make 3 G.Router) ~links:[ (0, 1, 1, 1) ]
+  in
+  let tbl = Routing.Table.compute g in
+  let eng = Eventsim.Engine.create () in
+  let net = Net.create eng tbl in
+  Net.originate net ~src:0 ~dst:2 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run eng;
+  Alcotest.(check int) "unreachable counted" 1
+    (Net.counters net).Net.dropped_unreachable
+
+let test_self_addressed_loopback () =
+  let engine, net = line_network () in
+  let got = ref false in
+  Net.install net 0 (fun _ node p ->
+      if p.Pkt.dst = node then got := true;
+      Net.Consume);
+  Net.originate net ~src:0 ~dst:0 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  Alcotest.(check bool) "handler sees own packet" true !got
+
+let test_rewrite_preserves_born () =
+  let engine, net = line_network () in
+  let end_delay = ref None in
+  (* Node 2 rewrites data addressed to it toward 3, as a branching
+     router would; delivery delay must span the whole trip. *)
+  Net.install net 2 (fun nt node p ->
+      if p.Pkt.dst = node then begin
+        Net.emit nt ~at:node (Pkt.rewrite p ~src:node ~dst:3 ());
+        Net.Consume
+      end
+      else Net.Forward);
+  Net.install net 3 (fun _ node p ->
+      if p.Pkt.dst = node then begin
+        end_delay := Some (Eventsim.Engine.now engine -. p.Pkt.born);
+        Net.Consume
+      end
+      else Net.Forward);
+  Net.originate net ~src:0 ~dst:2 ~kind:Pkt.Data (Probe 9);
+  Eventsim.Engine.run engine;
+  Alcotest.(check (option (float 0.0))) "cumulative delay" (Some 9.0) !end_delay
+
+let test_via_tracks_last_hop () =
+  let engine, net = line_network () in
+  let vias = ref [] in
+  List.iter
+    (fun n ->
+      Net.install net n (fun _ _ p ->
+          vias := p.Pkt.via :: !vias;
+          Net.Forward))
+    [ 1; 2; 3 ];
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  Alcotest.(check (list int)) "previous hop at each arrival" [ 0; 1; 2 ]
+    (List.rev !vias)
+
+let test_chain_handlers () =
+  let engine, net = line_network () in
+  let seen = ref [] in
+  Net.install net 1 (fun _ _ p ->
+      match p.Pkt.payload with
+      | Ping ->
+          seen := "first" :: !seen;
+          Net.Consume
+      | Probe _ -> Net.Forward);
+  Net.chain net 1 (fun _ _ p ->
+      match p.Pkt.payload with
+      | Probe _ ->
+          seen := "second" :: !seen;
+          Net.Consume
+      | Ping -> Net.Forward);
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control (Probe 1);
+  Eventsim.Engine.run engine;
+  Alcotest.(check (list string)) "each handler claims its own traffic"
+    [ "first"; "second" ] (List.rev !seen)
+
+let test_trace_capacity () =
+  let tr = Netsim.Trace.create ~enabled:true ~capacity:3 () in
+  for i = 1 to 5 do
+    Netsim.Trace.record tr ~time:(float_of_int i) ~node:0 (string_of_int i)
+  done;
+  Alcotest.(check int) "bounded" 3 (Netsim.Trace.length tr);
+  let entries = Netsim.Trace.entries tr in
+  Alcotest.(check string) "oldest dropped" "3" (match entries with (_, _, m) :: _ -> m | [] -> "")
+
+let test_trace_disabled_is_free () =
+  let tr = Netsim.Trace.create () in
+  Netsim.Trace.record tr ~time:1.0 ~node:0 "x";
+  Alcotest.(check int) "nothing recorded" 0 (Netsim.Trace.length tr)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "forwarding",
+        [
+          Alcotest.test_case "delivery and delay" `Quick test_delivery_and_delay;
+          Alcotest.test_case "reverse delay differs" `Quick test_reverse_direction_delay;
+          Alcotest.test_case "transit inspection" `Quick test_handler_sees_transit;
+          Alcotest.test_case "consume stops" `Quick test_consume_stops_forwarding;
+          Alcotest.test_case "self-addressed loopback" `Quick test_self_addressed_loopback;
+          Alcotest.test_case "rewrite preserves born" `Quick test_rewrite_preserves_born;
+          Alcotest.test_case "via tracks last hop" `Quick test_via_tracks_last_hop;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "data loads and deliveries" `Quick test_data_accounting;
+          Alcotest.test_case "control not counted as data" `Quick
+            test_control_not_in_data_loads;
+          Alcotest.test_case "sink gating" `Quick test_sink_gates_delivery_recording;
+          Alcotest.test_case "host implicit sink" `Quick test_host_is_implicit_sink;
+          Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry;
+          Alcotest.test_case "unreachable" `Quick test_unreachable_drop;
+        ] );
+      ( "chaining",
+        [ Alcotest.test_case "handlers compose" `Quick test_chain_handlers ] );
+      ( "trace",
+        [
+          Alcotest.test_case "capacity bound" `Quick test_trace_capacity;
+          Alcotest.test_case "disabled free" `Quick test_trace_disabled_is_free;
+        ] );
+    ]

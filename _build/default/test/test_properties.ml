@@ -1,0 +1,218 @@
+(* Property-based cross-protocol invariants, exercised on randomized
+   topologies (random-connected, Waxman, grid) with randomized
+   asymmetric costs and receiver sets — the deep safety net under the
+   figure sweeps. *)
+
+let count = 60
+
+(* A random scenario on a random topology family. *)
+let scenario_of_seed seed =
+  let rng = Stats.Rng.create seed in
+  let g =
+    match seed mod 3 with
+    | 0 ->
+        let n = 8 + Stats.Rng.int rng 20 in
+        Topology.Generators.random_connected rng ~n ~avg_degree:3.0
+    | 1 ->
+        let n = 8 + Stats.Rng.int rng 20 in
+        Topology.Generators.waxman rng ~n
+    | _ ->
+        Topology.Generators.grid
+          ~rows:(2 + Stats.Rng.int rng 3)
+          ~cols:(2 + Stats.Rng.int rng 4)
+          ()
+  in
+  Topology.Graph.randomize_costs g rng ~lo:1 ~hi:10;
+  let table = Routing.Table.compute g in
+  let hosts = Topology.Graph.hosts g in
+  let source = List.nth hosts (Stats.Rng.int rng (List.length hosts)) in
+  let candidates = List.filter (fun h -> h <> source) hosts in
+  let n = 1 + Stats.Rng.int rng (min 10 (List.length candidates)) in
+  let receivers = Workload.Scenario.pick_receivers rng ~candidates ~n in
+  (g, table, source, receivers)
+
+let make name f =
+  QCheck.Test.make ~name ~count QCheck.(int_range 0 100_000) (fun seed ->
+      let g, table, source, receivers = scenario_of_seed seed in
+      f g table source receivers)
+
+let prop_hbh_one_copy_per_link =
+  make "HBH: exactly one copy per used link (any topology)"
+    (fun _ table source receivers ->
+      let d = Hbh.Analytic.build table ~source ~receivers in
+      Mcast.Distribution.max_stress d = 1
+      && Mcast.Distribution.cost d = Mcast.Distribution.links_used d)
+
+let prop_hbh_shortest_delay =
+  make "HBH: every receiver at shortest-path delay" (fun g table source receivers ->
+      let d = Hbh.Analytic.build table ~source ~receivers in
+      List.for_all
+        (fun r ->
+          match Mcast.Distribution.delay d r with
+          | Some delay ->
+              Float.abs
+                (delay -. Routing.Path.delay g (Routing.Table.path table source r))
+              < 1e-9
+          | None -> false)
+        receivers)
+
+let prop_hbh_dominates_all_delays =
+  make "HBH: no protocol beats its average delay"
+    (fun _ table source receivers ->
+      let hbh =
+        Mcast.Distribution.avg_delay (Hbh.Analytic.build table ~source ~receivers)
+      in
+      let others =
+        [
+          Mcast.Distribution.avg_delay
+            (Pim.Pim_ss.build table ~source ~receivers);
+          Mcast.Distribution.avg_delay
+            (Reunite.Analytic.build table ~source ~receivers);
+        ]
+      in
+      List.for_all (fun o -> hbh <= o +. 1e-9) others)
+
+let prop_hbh_constrained_consistent =
+  make "HBH constrained: cost >= ideal, delays identical"
+    (fun g table source receivers ->
+      (* Random capability pattern. *)
+      let rng = Stats.Rng.create (source + 7919) in
+      List.iter
+        (fun r ->
+          Topology.Graph.set_multicast_capable g r (Stats.Rng.bool rng))
+        (Topology.Graph.routers g);
+      let ideal = Hbh.Analytic.build table ~source ~receivers in
+      let constrained = Hbh.Analytic.build_constrained table ~source ~receivers in
+      List.iter
+        (fun r -> Topology.Graph.set_multicast_capable g r true)
+        (Topology.Graph.routers g);
+      Mcast.Distribution.cost constrained >= Mcast.Distribution.cost ideal
+      && List.for_all
+           (fun r ->
+             Mcast.Distribution.delay constrained r
+             = Mcast.Distribution.delay ideal r)
+           receivers)
+
+let prop_pim_ss_is_tree =
+  make "PIM-SS: reverse-SPT union is a tree" (fun _ table source receivers ->
+      let links = Pim.Pim_ss.tree_links table ~source ~receivers in
+      let indeg = Hashtbl.create 16 in
+      List.iter
+        (fun (_, v) ->
+          Hashtbl.replace indeg v
+            (1 + Option.value ~default:0 (Hashtbl.find_opt indeg v)))
+        links;
+      Hashtbl.fold (fun v n acc -> acc && (v = source || n <= 1)) indeg true)
+
+let prop_reunite_serves_everyone =
+  make "REUNITE: every receiver served, any join order"
+    (fun _ table source receivers ->
+      let d = Reunite.Analytic.build table ~source ~receivers in
+      Mcast.Distribution.receivers d = List.sort compare receivers)
+
+let prop_reunite_settle_preserves_delivery =
+  make "REUNITE: settle and stabilize never lose receivers"
+    (fun _ table source receivers ->
+      let t = Reunite.Analytic.create table ~source in
+      List.iter (Reunite.Analytic.join t) receivers;
+      Reunite.Analytic.settle t;
+      Reunite.Analytic.stabilize t;
+      Mcast.Distribution.receivers (Reunite.Analytic.distribution t)
+      = List.sort compare receivers)
+
+let prop_pim_sm_serves_everyone =
+  make "PIM-SM: every receiver served from any RP"
+    (fun g table source receivers ->
+      let rng = Stats.Rng.create (source * 31) in
+      let rp = Stats.Rng.pick rng (Topology.Graph.routers g) in
+      let d = Pim.Pim_sm.build table ~source ~rp ~receivers in
+      Mcast.Distribution.receivers d = List.sort compare receivers)
+
+let prop_all_costs_bounded_by_unicast_star =
+  make "recursive unicast never exceeds per-receiver unicast"
+    (fun _ table source receivers ->
+      (* Sending each receiver its own unicast copy costs the sum of
+         path lengths; every multicast tree must do at least as well. *)
+      let star =
+        List.fold_left
+          (fun acc r ->
+            acc + Routing.Path.hops (Routing.Table.path table source r))
+          0 receivers
+      in
+      Mcast.Distribution.cost (Hbh.Analytic.build table ~source ~receivers)
+      <= star
+      && Mcast.Distribution.cost
+           (Hbh.Analytic.build_constrained table ~source ~receivers)
+         <= star)
+
+let prop_symmetric_costs_collapse_gap =
+  QCheck.Test.make ~name:"symmetric costs: PIM-SS delay = HBH delay" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Stats.Rng.create seed in
+      let n = 8 + Stats.Rng.int rng 15 in
+      let g = Topology.Generators.random_connected rng ~n ~avg_degree:3.0 in
+      Topology.Graph.randomize_costs g rng ~lo:1 ~hi:10;
+      Topology.Graph.symmetrize_costs g;
+      let table = Routing.Table.compute g in
+      let hosts = Topology.Graph.hosts g in
+      let source = List.hd hosts in
+      let receivers =
+        Workload.Scenario.pick_receivers rng
+          ~candidates:(List.tl hosts)
+          ~n:(min 6 (n - 1))
+      in
+      let hbh = Hbh.Analytic.build table ~source ~receivers in
+      let ss = Pim.Pim_ss.build table ~source ~receivers in
+      (* With symmetric costs the reverse path has the forward path's
+         delay, so per-receiver delays agree exactly. *)
+      List.for_all
+        (fun r ->
+          match (Mcast.Distribution.delay hbh r, Mcast.Distribution.delay ss r) with
+          | Some a, Some b -> Float.abs (a -. b) < 1e-9
+          | _ -> false)
+        receivers)
+
+let prop_event_hbh_matches_analytic_small =
+  QCheck.Test.make ~name:"event-driven HBH = analytic (small random nets)"
+    ~count:15
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Stats.Rng.create seed in
+      let n = 5 + Stats.Rng.int rng 8 in
+      let g = Topology.Generators.random_connected rng ~n ~avg_degree:2.5 in
+      Topology.Graph.randomize_costs g rng ~lo:1 ~hi:10;
+      let table = Routing.Table.compute g in
+      let hosts = Topology.Graph.hosts g in
+      let source = List.hd hosts in
+      let receivers =
+        Workload.Scenario.pick_receivers rng
+          ~candidates:(List.tl hosts)
+          ~n:(min 4 (n - 1))
+      in
+      let session = Hbh.Protocol.create table ~source in
+      List.iter (Hbh.Protocol.subscribe session) receivers;
+      Hbh.Protocol.converge ~periods:20 session;
+      let d = Hbh.Protocol.probe session in
+      Mcast.Distribution.equal_shape d
+        (Hbh.Analytic.build table ~source ~receivers))
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "protocol-invariants",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_hbh_one_copy_per_link;
+            prop_hbh_shortest_delay;
+            prop_hbh_dominates_all_delays;
+            prop_hbh_constrained_consistent;
+            prop_pim_ss_is_tree;
+            prop_reunite_serves_everyone;
+            prop_reunite_settle_preserves_delivery;
+            prop_pim_sm_serves_everyone;
+            prop_all_costs_bounded_by_unicast_star;
+            prop_symmetric_costs_collapse_gap;
+            prop_event_hbh_matches_analytic_small;
+          ] );
+    ]

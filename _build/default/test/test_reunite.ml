@@ -1,0 +1,297 @@
+(* Tests for REUNITE: the analytic converged model (capture rules,
+   Section 2.3 pathologies, leave reconvergence) and the event-driven
+   protocol (construction, teardown, orphan collapse). *)
+
+module Det = Experiments.Scenarios.Detour
+module Dup = Experiments.Scenarios.Duplication
+
+let isp_scenario seed n =
+  let g = Topology.Isp.create () in
+  let rng = Stats.Rng.create seed in
+  Workload.Scenario.make rng g ~source:Topology.Isp.source
+    ~candidates:Topology.Isp.receiver_hosts ~n
+
+(* ---- Analytic: figure 2 ------------------------------------------------- *)
+
+let test_first_join_reaches_source () =
+  let t = Reunite.Analytic.create (Det.table ()) ~source:Det.source in
+  Reunite.Analytic.join t Det.r1;
+  Alcotest.(check (option (pair int (list int)))) "source table holds r1"
+    (Some (Det.r1, []))
+    (Reunite.Analytic.mft_of t Det.source)
+
+let test_join_captured_at_mct_node () =
+  let t = Reunite.Analytic.create (Det.table ()) ~source:Det.source in
+  Reunite.Analytic.join t Det.r1;
+  Reunite.Analytic.join t Det.r2;
+  (* R3 (node 3) holds r1's control entry and converts on r2's join. *)
+  Alcotest.(check (option (pair int (list int)))) "R3 branching"
+    (Some (Det.r1, [ Det.r2 ]))
+    (Reunite.Analytic.mft_of t 3)
+
+let test_detour_path_and_delay () =
+  let t = Reunite.Analytic.create (Det.table ()) ~source:Det.source in
+  Reunite.Analytic.join t Det.r1;
+  Reunite.Analytic.join t Det.r2;
+  Alcotest.(check (option (list int))) "r2 on the detour"
+    (Some [ 0; 1; 3; Det.r2 ])
+    (Reunite.Analytic.data_path t Det.r2);
+  let d = Reunite.Analytic.distribution t in
+  Alcotest.(check (option (float 0.0))) "detour delay 3" (Some 3.0)
+    (Mcast.Distribution.delay d Det.r2);
+  Alcotest.(check (option (float 0.0))) "r1 on shortest path" (Some 3.0)
+    (Mcast.Distribution.delay d Det.r1)
+
+let test_join_order_matters () =
+  let build order =
+    let t = Reunite.Analytic.create (Det.table ()) ~source:Det.source in
+    List.iter (Reunite.Analytic.join t) order;
+    Mcast.Distribution.avg_delay (Reunite.Analytic.distribution t)
+  in
+  (* r2 first: r2 joins at S on its shortest path; r1's join is then
+     captured on r1's reverse path.  Different tree than r1-first. *)
+  Alcotest.(check bool) "order changes the tree" true
+    (build [ Det.r1; Det.r2 ] <> build [ Det.r2; Det.r1 ])
+
+let test_leave_reconverges_to_shortest () =
+  let t = Reunite.Analytic.create (Det.table ()) ~source:Det.source in
+  Reunite.Analytic.join t Det.r1;
+  Reunite.Analytic.join t Det.r2;
+  Reunite.Analytic.leave t Det.r1;
+  Alcotest.(check (list int)) "members" [ Det.r2 ] (Reunite.Analytic.members t);
+  Alcotest.(check (option (list int))) "r2 rerouted to shortest"
+    (Some [ 0; 4; Det.r2 ])
+    (Reunite.Analytic.data_path t Det.r2)
+
+let test_leave_nonmember_noop () =
+  let t = Reunite.Analytic.create (Det.table ()) ~source:Det.source in
+  Reunite.Analytic.join t Det.r1;
+  Reunite.Analytic.leave t 999 |> ignore;
+  Alcotest.(check (list int)) "unchanged" [ Det.r1 ] (Reunite.Analytic.members t)
+
+let test_join_idempotent () =
+  let t = Reunite.Analytic.create (Det.table ()) ~source:Det.source in
+  Reunite.Analytic.join t Det.r1;
+  Reunite.Analytic.join t Det.r1;
+  Alcotest.(check (list int)) "one membership" [ Det.r1 ]
+    (Reunite.Analytic.members t)
+
+let test_source_cannot_join () =
+  let t = Reunite.Analytic.create (Det.table ()) ~source:Det.source in
+  Alcotest.(check bool) "raises" true
+    (try
+       Reunite.Analytic.join t Det.source;
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Analytic: figure 3 duplication ------------------------------------- *)
+
+let test_duplication_on_shared_link () =
+  Alcotest.(check int) "two copies on R1->R6" 2
+    (Dup.reunite_copies_on_shared_link ());
+  Alcotest.(check int) "REUNITE cost 7" 7 (Dup.reunite_cost ())
+
+let test_duplication_stress () =
+  let d =
+    Reunite.Analytic.build (Dup.table ()) ~source:Dup.source
+      ~receivers:[ Dup.r1; Dup.r2 ]
+  in
+  Alcotest.(check int) "max stress 2" 2 (Mcast.Distribution.max_stress d);
+  Alcotest.(check int) "one duplicated link" 1
+    (Mcast.Distribution.duplicated_links d)
+
+(* ---- Analytic: randomized invariants ------------------------------------ *)
+
+let test_all_receivers_always_served () =
+  for seed = 1 to 20 do
+    let s = isp_scenario seed ((seed mod 16) + 2) in
+    let d = Reunite.Analytic.build s.table ~source:s.source ~receivers:s.receivers in
+    Alcotest.(check (list int))
+      (Printf.sprintf "seed %d served" seed)
+      (List.sort compare s.receivers)
+      (Mcast.Distribution.receivers d)
+  done
+
+let test_cost_at_least_hbh () =
+  (* REUNITE can only duplicate relative to the ideal forward-SPT
+     union when serving the same receivers along possibly longer
+     routes; its cost is bounded below by the number of links a
+     spanning structure needs... compare against HBH's union size
+     statistically: over many runs the mean is higher. *)
+  let re = Stats.Summary.create () and hbh = Stats.Summary.create () in
+  for seed = 1 to 40 do
+    let s = isp_scenario (300 + seed) 10 in
+    Stats.Summary.add_int re
+      (Mcast.Distribution.cost
+         (Reunite.Analytic.build s.table ~source:s.source ~receivers:s.receivers));
+    Stats.Summary.add_int hbh
+      (Mcast.Distribution.cost
+         (Hbh.Analytic.build s.table ~source:s.source ~receivers:s.receivers))
+  done;
+  Alcotest.(check bool) "REUNITE mean cost above HBH's" true
+    (Stats.Summary.mean re > Stats.Summary.mean hbh)
+
+let test_state_counts_consistent () =
+  let s = isp_scenario 17 10 in
+  let t = Reunite.Analytic.create s.table ~source:s.source in
+  List.iter (Reunite.Analytic.join t) s.receivers;
+  let st = Reunite.Analytic.state t in
+  Alcotest.(check bool) "branching nodes exist for 10 receivers" true
+    (st.Mcast.Metrics.branching_routers >= 1);
+  Alcotest.(check bool) "mft entries >= 2 per branching node" true
+    (st.mft_entries >= 2 * st.branching_routers);
+  Alcotest.(check int) "branching routers listed" st.branching_routers
+    (List.length (Reunite.Analytic.branching_routers t))
+
+let test_settle_idempotent () =
+  let s = isp_scenario 21 8 in
+  let t = Reunite.Analytic.create s.table ~source:s.source in
+  List.iter (Reunite.Analytic.join t) s.receivers;
+  Reunite.Analytic.settle t;
+  let d1 = Reunite.Analytic.distribution t in
+  Reunite.Analytic.settle t;
+  let d2 = Reunite.Analytic.distribution t in
+  Alcotest.(check bool) "fixpoint" true (Mcast.Distribution.equal_shape d1 d2)
+
+let test_stabilize_terminates_and_serves () =
+  for seed = 1 to 10 do
+    let s = isp_scenario (500 + seed) 12 in
+    let t = Reunite.Analytic.create s.table ~source:s.source in
+    List.iter (Reunite.Analytic.join t) s.receivers;
+    Reunite.Analytic.stabilize t;
+    let d = Reunite.Analytic.distribution t in
+    Alcotest.(check (list int))
+      (Printf.sprintf "seed %d stabilized and served" seed)
+      (List.sort compare s.receivers)
+      (Mcast.Distribution.receivers d)
+  done
+
+(* ---- Event-driven protocol ----------------------------------------------- *)
+
+let test_event_matches_analytic_on_detour () =
+  let tbl = Det.table () in
+  let session = Reunite.Protocol.create tbl ~source:Det.source in
+  Reunite.Protocol.subscribe session Det.r1;
+  Reunite.Protocol.run_for session 300.0;
+  Reunite.Protocol.subscribe session Det.r2;
+  Reunite.Protocol.converge session;
+  let event = Reunite.Protocol.probe session in
+  let t = Reunite.Analytic.create tbl ~source:Det.source in
+  Reunite.Analytic.join t Det.r1;
+  Reunite.Analytic.join t Det.r2;
+  Alcotest.(check bool) "identical distribution" true
+    (Mcast.Distribution.equal_shape event (Reunite.Analytic.distribution t))
+
+let test_event_duplication_scenario () =
+  let tbl = Dup.table () in
+  let session = Reunite.Protocol.create tbl ~source:Dup.source in
+  Reunite.Protocol.subscribe session Dup.r1;
+  Reunite.Protocol.run_for session 300.0;
+  Reunite.Protocol.subscribe session Dup.r2;
+  Reunite.Protocol.converge session;
+  let d = Reunite.Protocol.probe session in
+  let u, v = Dup.shared_link in
+  Alcotest.(check int) "two live copies on the shared link" 2
+    (Mcast.Distribution.copies d u v)
+
+let test_event_teardown_on_leave () =
+  let tbl = Det.table () in
+  let session = Reunite.Protocol.create tbl ~source:Det.source in
+  Reunite.Protocol.subscribe session Det.r1;
+  Reunite.Protocol.run_for session 300.0;
+  Reunite.Protocol.subscribe session Det.r2;
+  Reunite.Protocol.converge session;
+  Reunite.Protocol.unsubscribe session Det.r1;
+  Reunite.Protocol.run_for session 2000.0;
+  let d = Reunite.Protocol.probe session in
+  Alcotest.(check (list int)) "only r2 served" [ Det.r2 ]
+    (Mcast.Distribution.receivers d);
+  Alcotest.(check (option (float 0.0))) "r2 back on shortest path" (Some 2.0)
+    (Mcast.Distribution.delay d Det.r2)
+
+let test_event_empty_group_sends_nothing () =
+  let tbl = Det.table () in
+  let session = Reunite.Protocol.create tbl ~source:Det.source in
+  Reunite.Protocol.converge session;
+  let d = Reunite.Protocol.probe session in
+  Alcotest.(check int) "no copies" 0 (Mcast.Distribution.cost d)
+
+let test_event_full_depletion () =
+  (* All receivers leave: every router table must eventually drain. *)
+  let tbl = Det.table () in
+  let session = Reunite.Protocol.create tbl ~source:Det.source in
+  Reunite.Protocol.subscribe session Det.r1;
+  Reunite.Protocol.subscribe session Det.r2;
+  Reunite.Protocol.converge session;
+  Reunite.Protocol.unsubscribe session Det.r1;
+  Reunite.Protocol.unsubscribe session Det.r2;
+  Reunite.Protocol.run_for session 3000.0;
+  let st = Reunite.Protocol.state session in
+  Alcotest.(check int) "no mft entries" 0 st.Mcast.Metrics.mft_entries;
+  Alcotest.(check int) "no mct entries" 0 st.mct_entries;
+  let d = Reunite.Protocol.probe session in
+  Alcotest.(check int) "silent" 0 (Mcast.Distribution.cost d)
+
+let test_event_isp_group_serves_everyone () =
+  let s = isp_scenario 33 8 in
+  let session = Reunite.Protocol.create s.table ~source:s.source in
+  List.iter
+    (fun r ->
+      Reunite.Protocol.subscribe session r;
+      Reunite.Protocol.run_for session 300.0)
+    s.receivers;
+  Reunite.Protocol.converge session;
+  let d = Reunite.Protocol.probe session in
+  Alcotest.(check (list int)) "all served" (List.sort compare s.receivers)
+    (Mcast.Distribution.receivers d)
+
+let test_event_overhead_positive () =
+  let s = isp_scenario 35 4 in
+  let session = Reunite.Protocol.create s.table ~source:s.source in
+  List.iter (Reunite.Protocol.subscribe session) s.receivers;
+  Reunite.Protocol.converge session;
+  Alcotest.(check bool) "control traffic flowed" true
+    (Reunite.Protocol.control_overhead session > 0)
+
+let () =
+  Alcotest.run "reunite"
+    [
+      ( "analytic-detour",
+        [
+          Alcotest.test_case "first join reaches source" `Quick
+            test_first_join_reaches_source;
+          Alcotest.test_case "capture at MCT node" `Quick test_join_captured_at_mct_node;
+          Alcotest.test_case "detour path and delay" `Quick test_detour_path_and_delay;
+          Alcotest.test_case "join order matters" `Quick test_join_order_matters;
+          Alcotest.test_case "leave reconverges" `Quick test_leave_reconverges_to_shortest;
+          Alcotest.test_case "leave non-member" `Quick test_leave_nonmember_noop;
+          Alcotest.test_case "join idempotent" `Quick test_join_idempotent;
+          Alcotest.test_case "source cannot join" `Quick test_source_cannot_join;
+        ] );
+      ( "analytic-duplication",
+        [
+          Alcotest.test_case "shared-link copies" `Quick test_duplication_on_shared_link;
+          Alcotest.test_case "stress metrics" `Quick test_duplication_stress;
+        ] );
+      ( "analytic-random",
+        [
+          Alcotest.test_case "always serves all" `Quick test_all_receivers_always_served;
+          Alcotest.test_case "costlier than HBH" `Quick test_cost_at_least_hbh;
+          Alcotest.test_case "state counts" `Quick test_state_counts_consistent;
+          Alcotest.test_case "settle idempotent" `Quick test_settle_idempotent;
+          Alcotest.test_case "stabilize terminates" `Quick
+            test_stabilize_terminates_and_serves;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "matches analytic (fig 2)" `Quick
+            test_event_matches_analytic_on_detour;
+          Alcotest.test_case "duplication (fig 3)" `Quick test_event_duplication_scenario;
+          Alcotest.test_case "teardown on leave (fig 2b-d)" `Quick
+            test_event_teardown_on_leave;
+          Alcotest.test_case "empty group" `Quick test_event_empty_group_sends_nothing;
+          Alcotest.test_case "full depletion" `Quick test_event_full_depletion;
+          Alcotest.test_case "isp group served" `Quick test_event_isp_group_serves_everyone;
+          Alcotest.test_case "overhead counted" `Quick test_event_overhead_positive;
+        ] );
+    ]

@@ -1,0 +1,350 @@
+(* Tests for unicast routing: Dijkstra against Bellman-Ford and
+   Floyd-Warshall, forwarding consistency, asymmetry measurement. *)
+
+module G = Topology.Graph
+
+let diamond () =
+  (* 0 -- 1 -- 3 and 0 -- 2 -- 3 with asymmetric costs: the cheap way
+     0->3 is via 1, the cheap way 3->0 is via 2. *)
+  G.make
+    ~kinds:(Array.make 4 G.Router)
+    ~links:
+      [
+        (0, 1, 1, 9) (* cheap out, expensive back *);
+        (1, 3, 1, 9);
+        (0, 2, 9, 1);
+        (2, 3, 9, 1);
+      ]
+
+let random_graph seed n =
+  let rng = Stats.Rng.create seed in
+  let g = Topology.Generators.random_connected ~hosts:false rng ~n ~avg_degree:3.0 in
+  G.randomize_costs g rng ~lo:1 ~hi:10;
+  g
+
+(* ---- Dijkstra --------------------------------------------------------- *)
+
+let test_dijkstra_trivial () =
+  let g = diamond () in
+  let t = Routing.Dijkstra.to_dest g 0 in
+  Alcotest.(check int) "self distance" 0 (Routing.Dijkstra.distance t 0);
+  Alcotest.(check bool) "no next hop at dest" true
+    (Routing.Dijkstra.next_hop t 0 = None)
+
+let test_dijkstra_asymmetric_paths () =
+  let g = diamond () in
+  let to3 = Routing.Dijkstra.to_dest g 3 in
+  let to0 = Routing.Dijkstra.to_dest g 0 in
+  Alcotest.(check (list int)) "0 -> 3 via 1" [ 0; 1; 3 ] (Routing.Dijkstra.path to3 0);
+  Alcotest.(check (list int)) "3 -> 0 via 2" [ 3; 2; 0 ] (Routing.Dijkstra.path to0 3);
+  Alcotest.(check int) "forward distance" 2 (Routing.Dijkstra.distance to3 0);
+  Alcotest.(check int) "reverse distance" 2 (Routing.Dijkstra.distance to0 3)
+
+let test_dijkstra_unreachable () =
+  let g =
+    G.make ~kinds:(Array.make 3 G.Router) ~links:[ (0, 1, 1, 1) ]
+  in
+  let t = Routing.Dijkstra.to_dest g 2 in
+  Alcotest.(check bool) "0 cannot reach 2" false (Routing.Dijkstra.reachable t 0);
+  Alcotest.check_raises "path raises"
+    (Invalid_argument "Dijkstra.path: 0 cannot reach 2") (fun () ->
+      ignore (Routing.Dijkstra.path t 0))
+
+let test_dijkstra_tie_break_smallest_id () =
+  (* Two equal-cost next hops 1 and 2 toward 3: hop via 1 chosen. *)
+  let g =
+    G.make
+      ~kinds:(Array.make 4 G.Router)
+      ~links:[ (0, 1, 1, 1); (0, 2, 1, 1); (1, 3, 1, 1); (2, 3, 1, 1) ]
+  in
+  let t = Routing.Dijkstra.to_dest g 3 in
+  Alcotest.(check (option int)) "smallest id wins" (Some 1)
+    (Routing.Dijkstra.next_hop t 0)
+
+let test_dijkstra_matches_bellman_ford () =
+  for seed = 1 to 10 do
+    let g = random_graph seed 30 in
+    let d = Stats.Rng.int (Stats.Rng.create seed) 30 in
+    let dij = Routing.Dijkstra.to_dest g d in
+    let bf = Routing.Bellman_ford.to_dest g d in
+    for u = 0 to 29 do
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d node %d" seed u)
+        bf.dist.(u)
+        (if Routing.Dijkstra.reachable dij u then Routing.Dijkstra.distance dij u
+         else max_int)
+    done
+  done
+
+let test_table_matches_floyd_warshall () =
+  for seed = 1 to 5 do
+    let g = random_graph (100 + seed) 20 in
+    let table = Routing.Table.compute g in
+    let fw = Routing.Floyd_warshall.compute g in
+    for u = 0 to 19 do
+      for v = 0 to 19 do
+        let expected = Routing.Floyd_warshall.distance fw u v in
+        let got =
+          if Routing.Table.reachable table u v then Routing.Table.distance table u v
+          else max_int
+        in
+        Alcotest.(check int) (Printf.sprintf "d(%d,%d)" u v) expected got
+      done
+    done
+  done
+
+(* ---- Table / forwarding consistency ----------------------------------- *)
+
+let test_hop_by_hop_follows_path () =
+  (* Walking next hops one at a time reproduces Table.path exactly —
+     the property that makes the event simulator agree with the
+     analytic builders. *)
+  for seed = 1 to 5 do
+    let g = random_graph (200 + seed) 25 in
+    let table = Routing.Table.compute g in
+    for u = 0 to 24 do
+      for v = 0 to 24 do
+        if u <> v && Routing.Table.reachable table u v then begin
+          let rec walk w acc =
+            if w = v then List.rev acc
+            else
+              match Routing.Table.next_hop table w ~dest:v with
+              | Some next -> walk next (next :: acc)
+              | None -> List.rev acc
+          in
+          Alcotest.(check (list int)) "hop-by-hop = path"
+            (Routing.Table.path table u v)
+            (walk u [ u ])
+        end
+      done
+    done
+  done
+
+let test_path_cost_equals_distance () =
+  let g = random_graph 300 25 in
+  let table = Routing.Table.compute g in
+  for u = 0 to 24 do
+    for v = 0 to 24 do
+      if u <> v then
+        Alcotest.(check int) "sum of link costs = distance"
+          (Routing.Table.distance table u v)
+          (Routing.Path.cost g (Routing.Table.path table u v))
+    done
+  done
+
+(* ---- Path utilities ---------------------------------------------------- *)
+
+let test_path_links () =
+  Alcotest.(check (list (pair int int))) "links" [ (1, 2); (2, 3) ]
+    (Routing.Path.links [ 1; 2; 3 ]);
+  Alcotest.(check (list (pair int int))) "singleton" [] (Routing.Path.links [ 7 ])
+
+let test_path_delay_directional () =
+  let g = diamond () in
+  Alcotest.(check (float 0.0)) "forward" 2.0 (Routing.Path.delay g [ 0; 1; 3 ]);
+  Alcotest.(check (float 0.0)) "backward" 18.0 (Routing.Path.delay g [ 3; 1; 0 ])
+
+let test_path_valid () =
+  let g = diamond () in
+  Alcotest.(check bool) "valid" true (Routing.Path.valid g [ 0; 1; 3 ]);
+  Alcotest.(check bool) "non-adjacent" false (Routing.Path.valid g [ 0; 3 ]);
+  Alcotest.(check bool) "repeated node" false (Routing.Path.valid g [ 0; 1; 0 ])
+
+let test_path_hops () =
+  Alcotest.(check int) "hops" 2 (Routing.Path.hops [ 0; 1; 3 ]);
+  Alcotest.(check int) "empty" 0 (Routing.Path.hops [])
+
+(* ---- Bellman-Ford extras ----------------------------------------------- *)
+
+let test_bellman_ford_iterations_bounded () =
+  let g = random_graph 400 30 in
+  let r = Routing.Bellman_ford.to_dest g 0 in
+  Alcotest.(check bool) "terminates within n+1 rounds" true (r.iterations <= 31)
+
+(* ---- Asymmetry --------------------------------------------------------- *)
+
+let test_asymmetry_symmetric_graph () =
+  let g = Topology.Isp.create () in
+  (* Unit costs: all routes symmetric up to tie-breaking, and the
+     deterministic tie-break is identical in both directions only if
+     paths are unique; measure on unit costs perturbed to be unique. *)
+  G.symmetrize_costs g;
+  let table = Routing.Table.compute g in
+  let r = Routing.Asymmetry.measure table in
+  Alcotest.(check (float 0.0)) "zero delay gap on symmetric costs" 0.0
+    r.mean_delay_gap
+
+let test_asymmetry_random_costs () =
+  let g = Topology.Isp.create () in
+  let rng = Stats.Rng.create 7 in
+  G.randomize_costs g rng ~lo:1 ~hi:10;
+  let table = Routing.Table.compute g in
+  let r = Routing.Asymmetry.measure table in
+  Alcotest.(check bool) "many asymmetric routes" true (r.asymmetric_fraction > 0.2);
+  Alcotest.(check bool) "pairs counted" true (r.pairs = 18 * 17 / 2)
+
+let test_pair_asymmetric_diamond () =
+  let g = diamond () in
+  let table = Routing.Table.compute g in
+  Alcotest.(check bool) "0-3 asymmetric" true
+    (Routing.Asymmetry.pair_asymmetric table 0 3)
+
+(* ---- Link-state IGP ------------------------------------------------------ *)
+
+let converge_ls g =
+  let engine = Eventsim.Engine.create () in
+  let ls = Routing.Link_state.create engine g in
+  Routing.Link_state.start ls;
+  Eventsim.Engine.run engine;
+  (engine, ls)
+
+let test_link_state_converges () =
+  let g = Topology.Isp.create () in
+  let rng = Stats.Rng.create 5 in
+  G.randomize_costs g rng ~lo:1 ~hi:10;
+  let _, ls = converge_ls g in
+  Alcotest.(check bool) "flooding converged" true (Routing.Link_state.converged ls);
+  let s = Routing.Link_state.stats ls in
+  Alcotest.(check int) "one LSA per router" 18 s.lsas_originated;
+  Alcotest.(check bool) "flooding used messages" true (s.messages_sent > 18)
+
+let test_link_state_agrees_with_centralized () =
+  for seed = 1 to 5 do
+    let g = random_graph (500 + seed) 15 in
+    let _, ls = converge_ls g in
+    let table = Routing.Table.compute g in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d distributed = centralized" seed)
+      true
+      (Routing.Link_state.agrees_with_table ls table)
+  done
+
+let test_link_state_host_destinations () =
+  let g = Topology.Isp.create () in
+  let rng = Stats.Rng.create 9 in
+  G.randomize_costs g rng ~lo:1 ~hi:10;
+  let _, ls = converge_ls g in
+  let table = Routing.Table.compute g in
+  (* Routes toward hosts (announced as router stub links) agree too. *)
+  List.iter
+    (fun h ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "next hop of router 5 toward host %d" h)
+        (Routing.Table.next_hop table 5 ~dest:h)
+        (Routing.Link_state.next_hop ls 5 ~dest:h))
+    (G.hosts g)
+
+let test_link_state_reconvergence () =
+  let g = Topology.Isp.create () in
+  let rng = Stats.Rng.create 11 in
+  G.randomize_costs g rng ~lo:1 ~hi:10;
+  let engine, ls = converge_ls g in
+  (* Change a link cost; stale LSDBs disagree until re-origination. *)
+  G.set_cost g 0 12 99;
+  Routing.Link_state.reoriginate ls 0;
+  Eventsim.Engine.run engine;
+  Alcotest.(check bool) "re-converged" true (Routing.Link_state.converged ls);
+  let table = Routing.Table.compute g in
+  Alcotest.(check bool) "agrees after change" true
+    (Routing.Link_state.agrees_with_table ls table)
+
+let test_link_state_distance_matches () =
+  let g = random_graph 600 12 in
+  let _, ls = converge_ls g in
+  let table = Routing.Table.compute g in
+  for u = 0 to 11 do
+    for v = 0 to 11 do
+      let expected =
+        if Routing.Table.reachable table u v then
+          Some (Routing.Table.distance table u v)
+        else None
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "d(%d,%d)" u v)
+        expected
+        (Routing.Link_state.distance ls u v)
+    done
+  done
+
+(* ---- Properties -------------------------------------------------------- *)
+
+let prop_triangle_inequality =
+  QCheck.Test.make ~name:"distances satisfy triangle inequality" ~count:30
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let g = random_graph seed 15 in
+      let table = Routing.Table.compute g in
+      let ok = ref true in
+      for u = 0 to 14 do
+        for v = 0 to 14 do
+          for w = 0 to 14 do
+            let d a b = Routing.Table.distance table a b in
+            if d u v > d u w + d w v then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_path_endpoints =
+  QCheck.Test.make ~name:"paths start and end correctly" ~count:30
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let g = random_graph seed 15 in
+      let table = Routing.Table.compute g in
+      let ok = ref true in
+      for u = 0 to 14 do
+        for v = 0 to 14 do
+          let p = Routing.Table.path table u v in
+          if List.hd p <> u then ok := false;
+          if List.nth p (List.length p - 1) <> v then ok := false;
+          if not (Routing.Path.valid g p) then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "dijkstra",
+        [
+          Alcotest.test_case "trivial" `Quick test_dijkstra_trivial;
+          Alcotest.test_case "asymmetric paths" `Quick test_dijkstra_asymmetric_paths;
+          Alcotest.test_case "unreachable" `Quick test_dijkstra_unreachable;
+          Alcotest.test_case "tie break" `Quick test_dijkstra_tie_break_smallest_id;
+          Alcotest.test_case "matches bellman-ford" `Quick test_dijkstra_matches_bellman_ford;
+          Alcotest.test_case "table matches floyd-warshall" `Quick
+            test_table_matches_floyd_warshall;
+        ] );
+      ( "forwarding",
+        [
+          Alcotest.test_case "hop-by-hop consistency" `Quick test_hop_by_hop_follows_path;
+          Alcotest.test_case "path cost = distance" `Quick test_path_cost_equals_distance;
+        ] );
+      ( "path",
+        [
+          Alcotest.test_case "links" `Quick test_path_links;
+          Alcotest.test_case "directional delay" `Quick test_path_delay_directional;
+          Alcotest.test_case "validity" `Quick test_path_valid;
+          Alcotest.test_case "hops" `Quick test_path_hops;
+        ] );
+      ( "bellman-ford",
+        [ Alcotest.test_case "iteration bound" `Quick test_bellman_ford_iterations_bounded ] );
+      ( "link-state",
+        [
+          Alcotest.test_case "converges" `Quick test_link_state_converges;
+          Alcotest.test_case "agrees with centralized" `Quick
+            test_link_state_agrees_with_centralized;
+          Alcotest.test_case "host destinations" `Quick test_link_state_host_destinations;
+          Alcotest.test_case "reconvergence" `Quick test_link_state_reconvergence;
+          Alcotest.test_case "distances" `Quick test_link_state_distance_matches;
+        ] );
+      ( "asymmetry",
+        [
+          Alcotest.test_case "symmetric graph" `Quick test_asymmetry_symmetric_graph;
+          Alcotest.test_case "random costs" `Quick test_asymmetry_random_costs;
+          Alcotest.test_case "diamond pair" `Quick test_pair_asymmetric_diamond;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_triangle_inequality; prop_path_endpoints ] );
+    ]

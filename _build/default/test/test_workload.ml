@@ -1,0 +1,150 @@
+(* Tests for workload generation: scenario draws and churn
+   schedules. *)
+
+let test_scenario_receivers_valid () =
+  let g = Topology.Isp.create () in
+  let rng = Stats.Rng.create 1 in
+  let s =
+    Workload.Scenario.make rng g ~source:Topology.Isp.source
+      ~candidates:Topology.Isp.receiver_hosts ~n:8
+  in
+  Alcotest.(check int) "eight receivers" 8 (List.length s.receivers);
+  Alcotest.(check int) "distinct" 8
+    (List.length (List.sort_uniq compare s.receivers));
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "candidate" true
+        (List.mem r Topology.Isp.receiver_hosts))
+    s.receivers
+
+let test_scenario_deterministic () =
+  let mk () =
+    let g = Topology.Isp.create () in
+    let rng = Stats.Rng.create 7 in
+    Workload.Scenario.make rng g ~source:Topology.Isp.source
+      ~candidates:Topology.Isp.receiver_hosts ~n:5
+  in
+  let a = mk () and b = mk () in
+  Alcotest.(check (list int)) "same receivers" a.receivers b.receivers;
+  Alcotest.(check int) "same distances"
+    (Routing.Table.distance a.table 0 17)
+    (Routing.Table.distance b.table 0 17)
+
+let test_scenario_too_many_receivers () =
+  let g = Topology.Isp.create () in
+  let rng = Stats.Rng.create 1 in
+  Alcotest.(check bool) "n > candidates rejected" true
+    (try
+       ignore
+         (Workload.Scenario.make rng g ~source:Topology.Isp.source
+            ~candidates:Topology.Isp.receiver_hosts ~n:18);
+       false
+     with Invalid_argument _ -> true)
+
+let test_scenario_cost_range () =
+  let g = Topology.Isp.create () in
+  let rng = Stats.Rng.create 2 in
+  Workload.Scenario.randomize rng g;
+  List.iter
+    (fun (l : Topology.Graph.link) ->
+      Alcotest.(check bool) "within paper range" true
+        (l.cost_uv >= Workload.Scenario.default_cost_lo
+        && l.cost_uv <= Workload.Scenario.default_cost_hi))
+    (Topology.Graph.links g)
+
+(* ---- Churn ----------------------------------------------------------------- *)
+
+let test_flash_crowd () =
+  let rng = Stats.Rng.create 3 in
+  let sched =
+    Workload.Churn.flash_crowd rng ~candidates:[ 10; 11; 12; 13 ] ~n:3
+      ~spacing:5.0
+  in
+  Alcotest.(check int) "three events" 3 (List.length sched);
+  List.iteri
+    (fun i (t, ev) ->
+      Alcotest.(check (float 0.0)) "spaced" (5.0 *. float_of_int (i + 1)) t;
+      match ev with
+      | Workload.Churn.Join _ -> ()
+      | Workload.Churn.Leave _ -> Alcotest.fail "no leaves in a flash crowd")
+    sched
+
+let test_poisson_consistency () =
+  let rng = Stats.Rng.create 4 in
+  let sched =
+    Workload.Churn.poisson rng ~candidates:(List.init 10 (fun i -> 100 + i))
+      ~rate:0.5 ~mean_hold:10.0 ~horizon:200.0
+  in
+  (* Events are time ordered and membership-consistent: no double
+     join, no leave of a non-member. *)
+  let rec check members last = function
+    | [] -> ()
+    | (t, ev) :: rest ->
+        Alcotest.(check bool) "ordered" true (t >= last);
+        Alcotest.(check bool) "within horizon" true (t <= 200.0);
+        (match ev with
+        | Workload.Churn.Join r ->
+            Alcotest.(check bool) "not already member" false (List.mem r members);
+            check (r :: members) t rest
+        | Workload.Churn.Leave r ->
+            Alcotest.(check bool) "was member" true (List.mem r members);
+            check (List.filter (fun m -> m <> r) members) t rest)
+  in
+  Alcotest.(check bool) "schedule non-trivial" true (List.length sched > 5);
+  check [] 0.0 sched
+
+let test_members_at () =
+  let sched =
+    [
+      (1.0, Workload.Churn.Join 5);
+      (2.0, Workload.Churn.Join 6);
+      (3.0, Workload.Churn.Leave 5);
+    ]
+  in
+  Alcotest.(check (list int)) "after t=2" [ 5; 6 ] (Workload.Churn.members_at sched 2.5);
+  Alcotest.(check (list int)) "after t=3" [ 6 ] (Workload.Churn.members_at sched 3.0);
+  Alcotest.(check (list int)) "before anything" [] (Workload.Churn.members_at sched 0.5)
+
+let prop_poisson_leaves_match_joins =
+  QCheck.Test.make ~name:"every leave follows its join" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Stats.Rng.create seed in
+      let sched =
+        Workload.Churn.poisson rng
+          ~candidates:(List.init 5 (fun i -> i))
+          ~rate:1.0 ~mean_hold:5.0 ~horizon:100.0
+      in
+      let ok = ref true in
+      let members = ref [] in
+      List.iter
+        (fun (_, ev) ->
+          match ev with
+          | Workload.Churn.Join r ->
+              if List.mem r !members then ok := false;
+              members := r :: !members
+          | Workload.Churn.Leave r ->
+              if not (List.mem r !members) then ok := false;
+              members := List.filter (fun m -> m <> r) !members)
+        sched;
+      !ok)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "receivers valid" `Quick test_scenario_receivers_valid;
+          Alcotest.test_case "deterministic" `Quick test_scenario_deterministic;
+          Alcotest.test_case "too many receivers" `Quick test_scenario_too_many_receivers;
+          Alcotest.test_case "cost range" `Quick test_scenario_cost_range;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "flash crowd" `Quick test_flash_crowd;
+          Alcotest.test_case "poisson consistency" `Quick test_poisson_consistency;
+          Alcotest.test_case "members_at" `Quick test_members_at;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_poisson_leaves_match_joins ] );
+    ]
