@@ -95,6 +95,17 @@ let event_convergence () =
     Hbh.Protocol.converge session;
     ignore (Hbh.Protocol.probe session)
 
+(* Telemetry substrate: these two must stay in the low nanoseconds —
+   the counters are always-on in the protocol hot paths, and notef on
+   an inactive trace must not pay for formatting. *)
+let obs_counter_incr () =
+  let c = Obs.Metrics.counter Obs.Metrics.default "bench.obs_incr" in
+  fun () -> Obs.Metrics.incr c
+
+let obs_inactive_notef () =
+  let t = Obs.Trace.create ~enabled:false () in
+  fun () -> Obs.Trace.notef t "unrendered %d %s" 42 "payload"
+
 let routing_isp () =
   let g = Topology.Isp.create () in
   let rng = Stats.Rng.create 1 in
@@ -136,6 +147,10 @@ let tests () =
               Pim.Pim_ss.build s.table ~source:s.source ~receivers:s.receivers)));
     Test.make ~name:"HBH event protocol converge+probe (fig 2 topology)"
       (Staged.stage (event_convergence ()));
+    Test.make ~name:"obs: counter incr (always-on hot path)"
+      (Staged.stage (obs_counter_incr ()));
+    Test.make ~name:"obs: notef on inactive trace"
+      (Staged.stage (obs_inactive_notef ()));
   ]
 
 let benchmark () =
@@ -149,31 +164,84 @@ let benchmark () =
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
   Analyze.merge ols instances results
 
-let pp_results ppf results =
+(* Flatten Bechamel's nested result tables into sorted
+   (name, ns_per_run estimate) rows. *)
+let collect results =
   let rows = ref [] in
   Hashtbl.iter
     (fun _ tbl ->
       Hashtbl.iter
         (fun name ols ->
-          let cell =
+          let est =
             match Analyze.OLS.estimates ols with
-            | Some [ est ] ->
-                if est > 1e9 then Printf.sprintf "%10.2f s " (est /. 1e9)
-                else if est > 1e6 then Printf.sprintf "%10.2f ms" (est /. 1e6)
-                else if est > 1e3 then Printf.sprintf "%10.2f us" (est /. 1e3)
-                else Printf.sprintf "%10.0f ns" est
-            | Some _ | None -> "(no estimate)"
+            | Some [ est ] -> Some est
+            | Some _ | None -> None
           in
-          rows := (name, cell) :: !rows)
+          rows := (name, est) :: !rows)
         tbl)
     results;
+  List.sort compare !rows
+
+let pp_rows ppf rows =
   List.iter
-    (fun (name, cell) -> Format.fprintf ppf "  %-52s %s/run@." name cell)
-    (List.sort compare !rows)
+    (fun (name, est) ->
+      let cell =
+        match est with
+        | Some est ->
+            if est > 1e9 then Printf.sprintf "%10.2f s " (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%10.2f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%10.2f us" (est /. 1e3)
+            else Printf.sprintf "%10.0f ns" est
+        | None -> "(no estimate)"
+      in
+      Format.fprintf ppf "  %-52s %s/run@." name cell)
+    rows
+
+(* Machine-readable trajectory: benchmark estimates plus the metrics
+   snapshot the figure regeneration accumulated, so successive PRs can
+   diff performance without scraping tables.  Written to
+   [bench_results.json] (path overridable via HBH_BENCH_JSON; set it
+   to the empty string to skip). *)
+let emit_json rows wall_s =
+  let file =
+    match Sys.getenv_opt "HBH_BENCH_JSON" with
+    | Some "" -> None
+    | Some f -> Some f
+    | None -> Some "bench_results.json"
+  in
+  match file with
+  | None -> ()
+  | Some file ->
+      let benchmarks =
+        List.filter_map
+          (fun (name, est) ->
+            Option.map (fun est -> (name, Obs.Json.Float est)) est)
+          rows
+      in
+      let json =
+        Obs.Json.Obj
+          [
+            ("schema", Obs.Json.String "hbh-bench/1");
+            ("figure_runs", Obs.Json.Int figure_runs);
+            ("wall_s", Obs.Json.Float wall_s);
+            ("ns_per_run", Obs.Json.Obj benchmarks);
+            ( "metrics",
+              Obs.Metrics.snapshot_to_json
+                (Obs.Metrics.snapshot Obs.Metrics.default) );
+          ]
+      in
+      let oc = open_out file in
+      output_string oc (Obs.Json.to_string json);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "wrote %s@." file
 
 let () =
+  let t0 = Sys.time () in
   print_figures ();
   Format.printf "=== Micro-benchmarks (Bechamel, monotonic clock) ===@.@.";
   let results = benchmark () in
-  pp_results Format.std_formatter results;
+  let rows = collect results in
+  pp_rows Format.std_formatter rows;
+  emit_json rows (Sys.time () -. t0);
   Format.printf "@.done.@."

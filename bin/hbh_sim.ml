@@ -20,6 +20,97 @@ let print_group ~csv group =
   if csv then print_string (Stats.Series.to_csv group)
   else Stats.Series.render Format.std_formatter group
 
+(* ---- Observability ---------------------------------------------------- *)
+
+type obs_opts = {
+  trace : int option;
+  trace_verbose : bool;
+  metrics : bool;
+  metrics_json : string option;
+}
+
+let obs_term =
+  let trace =
+    let doc =
+      "Record typed protocol events (joins, tree refreshes, fusions, table \
+       updates) during a companion event-driven run and print the last \
+       $(docv) of them (default 40) after the command's own output."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some 40) (some int) None
+      & info [ "trace" ] ~docv:"N" ~doc)
+  in
+  let trace_verbose =
+    let doc =
+      "With $(b,--trace): also record per-packet forward and duplicate \
+       events (high volume)."
+    in
+    Arg.(value & flag & info [ "trace-verbose" ] ~doc)
+  in
+  let metrics =
+    let doc =
+      "Print the metrics registry snapshot (protocol message counters, \
+       network accounting, delay histogram) and the companion run's engine \
+       profiles."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let metrics_json =
+    let doc = "Write the metrics registry snapshot as JSON to $(docv)." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+  in
+  Term.(
+    const (fun trace trace_verbose metrics metrics_json ->
+        { trace; trace_verbose; metrics; metrics_json })
+    $ trace $ trace_verbose $ metrics $ metrics_json)
+
+(* The figure commands are analytic (no event engine), so protocol
+   message telemetry has nothing to record during them.  When an
+   observability flag is given we therefore also run one event-driven
+   HBH + REUNITE convergence sample on the command's topology
+   ({!Experiments.Common.instrumented_sample}) with profiling on; its
+   counters, typed events and engine profiles join the snapshot. *)
+let with_obs o ~seed ~companion run =
+  if o.trace = None && (not o.metrics) && o.metrics_json = None then run ()
+  else begin
+    let trace = Obs.Trace.create ~enabled:true () in
+    if o.trace_verbose then Obs.Trace.set_verbose trace true;
+    run ();
+    let sample =
+      Experiments.Common.instrumented_sample ~trace ~seed (companion ())
+    in
+    (match o.trace with
+    | None -> ()
+    | Some n ->
+        let evs = Obs.Trace.last trace n in
+        Format.printf
+          "@.== Trace: last %d of %d events (companion run, %d receivers) ==@."
+          (List.length evs) (Obs.Trace.length trace) sample.sample_size;
+        List.iter (fun e -> Format.printf "%a@." Obs.Event.pp e) evs);
+    let snap = Obs.Metrics.snapshot Obs.Metrics.default in
+    if o.metrics then begin
+      Format.printf "@.== Metrics ==@.%a@." Obs.Metrics.pp_snapshot snap;
+      Format.printf "@.== HBH engine profile (companion run) ==@.%a@."
+        Eventsim.Engine.pp_profile sample.hbh_profile;
+      Format.printf "@.== REUNITE engine profile (companion run) ==@.%a@."
+        Eventsim.Engine.pp_profile sample.reunite_profile
+    end;
+    match o.metrics_json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Obs.Json.to_string (Obs.Metrics.snapshot_to_json snap));
+        output_char oc '\n';
+        close_out oc;
+        Format.eprintf "metrics snapshot written to %s@." file
+  end
+
+let isp_companion () = Experiments.Common.isp_config ()
+
 let print_headline label (r : Experiments.Common.result) =
   let h = Experiments.Figures.headline r in
   Format.printf "@.HBH vs REUNITE on the %s: cost advantage %.1f%%, delay advantage %.1f%%@."
@@ -33,130 +124,155 @@ let fig_cmd name figure ~cost ~topo =
        else "average receiver delay")
       (match topo with `Isp -> "ISP topology" | `Rand50 -> "50-node random topology")
   in
-  let run runs seed csv =
-    let result =
+  let run o runs seed csv =
+    let companion () =
       match topo with
-      | `Isp -> Experiments.Figures.isp ~runs ~seed ()
-      | `Rand50 -> Experiments.Figures.rand50 ~runs ~seed ()
+      | `Isp -> Experiments.Common.isp_config ()
+      | `Rand50 -> Experiments.Common.rand50_config ~seed
     in
-    print_group ~csv (if cost then result.cost else result.delay);
-    if not csv then
-      print_headline
-        (match topo with `Isp -> "ISP topology" | `Rand50 -> "random topology")
-        result
+    with_obs o ~seed ~companion (fun () ->
+        let result =
+          match topo with
+          | `Isp -> Experiments.Figures.isp ~runs ~seed ()
+          | `Rand50 -> Experiments.Figures.rand50 ~runs ~seed ()
+        in
+        print_group ~csv (if cost then result.cost else result.delay);
+        if not csv then
+          print_headline
+            (match topo with
+            | `Isp -> "ISP topology"
+            | `Rand50 -> "random topology")
+            result)
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ runs_arg 500 $ seed_arg $ csv_arg)
+    Term.(const run $ obs_term $ runs_arg 500 $ seed_arg $ csv_arg)
 
 let all_cmd =
   let doc = "Reproduce all four evaluation figures (7a, 7b, 8a, 8b)." in
-  let run runs seed csv =
-    let isp = Experiments.Figures.isp ~runs ~seed () in
-    let rand = Experiments.Figures.rand50 ~runs ~seed () in
-    Format.printf "== Figure 7(a) ==@.";
-    print_group ~csv isp.cost;
-    Format.printf "@.== Figure 7(b) ==@.";
-    print_group ~csv rand.cost;
-    Format.printf "@.== Figure 8(a) ==@.";
-    print_group ~csv isp.delay;
-    Format.printf "@.== Figure 8(b) ==@.";
-    print_group ~csv rand.delay;
-    if not csv then begin
-      print_headline "ISP topology" isp;
-      print_headline "random topology" rand
-    end
+  let run o runs seed csv =
+    with_obs o ~seed ~companion:isp_companion (fun () ->
+        let isp = Experiments.Figures.isp ~runs ~seed () in
+        let rand = Experiments.Figures.rand50 ~runs ~seed () in
+        Format.printf "== Figure 7(a) ==@.";
+        print_group ~csv isp.cost;
+        Format.printf "@.== Figure 7(b) ==@.";
+        print_group ~csv rand.cost;
+        Format.printf "@.== Figure 8(a) ==@.";
+        print_group ~csv isp.delay;
+        Format.printf "@.== Figure 8(b) ==@.";
+        print_group ~csv rand.delay;
+        if not csv then begin
+          print_headline "ISP topology" isp;
+          print_headline "random topology" rand
+        end)
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ runs_arg 500 $ seed_arg $ csv_arg)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run $ obs_term $ runs_arg 500 $ seed_arg $ csv_arg)
 
 let stability_cmd =
   let doc =
     "Tree reconfiguration after one member departure (Figure 4's claim)."
   in
-  let run runs seed csv =
-    let result =
-      Experiments.Stability.run ~runs ~seed (Experiments.Common.isp_config ())
-    in
-    let routers, routes = Experiments.Stability.to_groups result in
-    print_group ~csv routers;
-    Format.printf "@.";
-    print_group ~csv routes
+  let run o runs seed csv =
+    with_obs o ~seed ~companion:isp_companion (fun () ->
+        let result =
+          Experiments.Stability.run ~runs ~seed
+            (Experiments.Common.isp_config ())
+        in
+        let routers, routes = Experiments.Stability.to_groups result in
+        print_group ~csv routers;
+        Format.printf "@.";
+        print_group ~csv routes)
   in
   Cmd.v (Cmd.info "stability" ~doc)
-    Term.(const run $ runs_arg 200 $ seed_arg $ csv_arg)
+    Term.(const run $ obs_term $ runs_arg 200 $ seed_arg $ csv_arg)
 
 let state_cmd =
   let doc = "Control-plane state footprint (MCT/MFT entries) vs group size." in
-  let run runs seed csv =
-    let result =
-      Experiments.State.run ~runs ~seed (Experiments.Common.isp_config ())
-    in
-    print_group ~csv result.mft;
-    Format.printf "@.";
-    print_group ~csv result.mct;
-    Format.printf "@.";
-    print_group ~csv result.branching
+  let run o runs seed csv =
+    with_obs o ~seed ~companion:isp_companion (fun () ->
+        let result =
+          Experiments.State.run ~runs ~seed (Experiments.Common.isp_config ())
+        in
+        print_group ~csv result.mft;
+        Format.printf "@.";
+        print_group ~csv result.mct;
+        Format.printf "@.";
+        print_group ~csv result.branching)
   in
   Cmd.v (Cmd.info "state" ~doc)
-    Term.(const run $ runs_arg 200 $ seed_arg $ csv_arg)
+    Term.(const run $ obs_term $ runs_arg 200 $ seed_arg $ csv_arg)
 
 let demo_asymmetry_cmd =
   let doc =
     "Figure 2/5 walk-through: REUNITE serves r2 on a detour; HBH on the \
      shortest path."
   in
-  let run () =
-    let module D = Experiments.Scenarios.Detour in
-    Format.printf "Topology: the Section 2.3 example (S=0, R1..R4=1..4, r1=5, r2=6).@.";
-    (match D.reunite_r2_path () with
-    | Some p -> Format.printf "REUNITE data path to r2: %a@." Routing.Path.pp p
-    | None -> Format.printf "REUNITE data path to r2: (none)@.");
-    Format.printf "HBH data path to r2:     %a@." Routing.Path.pp (D.hbh_r2_path ());
-    Format.printf "Extra delay REUNITE imposes on r2: %.1f time units@."
-      (D.delay_gap ())
+  let run o =
+    with_obs o ~seed:42 ~companion:isp_companion (fun () ->
+        let module D = Experiments.Scenarios.Detour in
+        Format.printf
+          "Topology: the Section 2.3 example (S=0, R1..R4=1..4, r1=5, r2=6).@.";
+        (match D.reunite_r2_path () with
+        | Some p ->
+            Format.printf "REUNITE data path to r2: %a@." Routing.Path.pp p
+        | None -> Format.printf "REUNITE data path to r2: (none)@.");
+        Format.printf "HBH data path to r2:     %a@." Routing.Path.pp
+          (D.hbh_r2_path ());
+        Format.printf "Extra delay REUNITE imposes on r2: %.1f time units@."
+          (D.delay_gap ()))
   in
-  Cmd.v (Cmd.info "demo-asymmetry" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "demo-asymmetry" ~doc) Term.(const run $ obs_term)
 
 let demo_duplication_cmd =
   let doc =
     "Figure 3 walk-through: REUNITE duplicates packets on a shared link; HBH \
      does not."
   in
-  let run () =
-    let module D = Experiments.Scenarios.Duplication in
-    let u, v = D.shared_link in
-    Format.printf "Topology: the Figure 3 example; shared link R1-R6 is (%d,%d).@." u v;
-    Format.printf "Copies on the shared link: REUNITE %d, HBH %d@."
-      (D.reunite_copies_on_shared_link ())
-      (D.hbh_copies_on_shared_link ());
-    Format.printf "Tree cost: REUNITE %d, HBH %d@." (D.reunite_cost ())
-      (D.hbh_cost ())
+  let run o =
+    with_obs o ~seed:42 ~companion:isp_companion (fun () ->
+        let module D = Experiments.Scenarios.Duplication in
+        let u, v = D.shared_link in
+        Format.printf
+          "Topology: the Figure 3 example; shared link R1-R6 is (%d,%d).@." u v;
+        Format.printf "Copies on the shared link: REUNITE %d, HBH %d@."
+          (D.reunite_copies_on_shared_link ())
+          (D.hbh_copies_on_shared_link ());
+        Format.printf "Tree cost: REUNITE %d, HBH %d@." (D.reunite_cost ())
+          (D.hbh_cost ()))
   in
-  Cmd.v (Cmd.info "demo-duplication" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "demo-duplication" ~doc) Term.(const run $ obs_term)
 
 let scaling_cmd =
   let doc =
     "Test the paper's concluding claim: HBH's advantage over REUNITE grows \
      with larger and more connected networks."
   in
-  let run runs seed csv =
-    Format.printf "== Advantage vs connectivity (50 routers, 10 receivers) ==@.";
-    print_group ~csv
-      (Experiments.Scaling.group ~x_label:"avg degree x10"
-         (Experiments.Scaling.connectivity ~runs ~seed ()));
-    Format.printf "@.== Advantage vs network size (degree 4, n/5 receivers) ==@.";
-    print_group ~csv
-      (Experiments.Scaling.group ~x_label:"routers"
-         (Experiments.Scaling.size ~runs ~seed ()))
+  let run o runs seed csv =
+    with_obs o ~seed
+      ~companion:(fun () -> Experiments.Common.rand50_config ~seed)
+      (fun () ->
+        Format.printf
+          "== Advantage vs connectivity (50 routers, 10 receivers) ==@.";
+        print_group ~csv
+          (Experiments.Scaling.group ~x_label:"avg degree x10"
+             (Experiments.Scaling.connectivity ~runs ~seed ()));
+        Format.printf
+          "@.== Advantage vs network size (degree 4, n/5 receivers) ==@.";
+        print_group ~csv
+          (Experiments.Scaling.group ~x_label:"routers"
+             (Experiments.Scaling.size ~runs ~seed ())))
   in
   Cmd.v (Cmd.info "scaling" ~doc)
-    Term.(const run $ runs_arg 150 $ seed_arg $ csv_arg)
+    Term.(const run $ obs_term $ runs_arg 150 $ seed_arg $ csv_arg)
 
 let symmetry_cmd =
   let doc =
     "Ablation: rerun the cost/delay comparison with symmetric link costs — \
      REUNITE's penalty (the paper's thesis) should collapse."
   in
-  let run runs seed csv =
+  let run o runs seed csv =
+    with_obs o ~seed ~companion:isp_companion @@ fun () ->
     let r =
       Experiments.Ablations.symmetry ~runs ~seed (Experiments.Common.isp_config ())
     in
@@ -180,7 +296,7 @@ let symmetry_cmd =
     end
   in
   Cmd.v (Cmd.info "symmetry-ablation" ~doc)
-    Term.(const run $ runs_arg 200 $ seed_arg $ csv_arg)
+    Term.(const run $ obs_term $ runs_arg 200 $ seed_arg $ csv_arg)
 
 let overhead_cmd =
   let doc =
@@ -190,15 +306,17 @@ let overhead_cmd =
   let runs =
     Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N" ~doc:"Runs per size.")
   in
-  let run runs seed csv =
-    let points =
-      Experiments.Ablations.overhead ~runs ~seed
-        ~sizes:[ 2; 4; 8; 12; 16 ]
-        (Experiments.Common.isp_config ())
-    in
-    print_group ~csv (Experiments.Ablations.overhead_group points)
+  let run o runs seed csv =
+    with_obs o ~seed ~companion:isp_companion (fun () ->
+        let points =
+          Experiments.Ablations.overhead ~runs ~seed
+            ~sizes:[ 2; 4; 8; 12; 16 ]
+            (Experiments.Common.isp_config ())
+        in
+        print_group ~csv (Experiments.Ablations.overhead_group points))
   in
-  Cmd.v (Cmd.info "overhead" ~doc) Term.(const run $ runs $ seed_arg $ csv_arg)
+  Cmd.v (Cmd.info "overhead" ~doc)
+    Term.(const run $ obs_term $ runs $ seed_arg $ csv_arg)
 
 let validate_cmd =
   let doc =
@@ -210,21 +328,24 @@ let validate_cmd =
       value & opt int 30
       & info [ "scenarios" ] ~docv:"N" ~doc:"Randomized scenarios per protocol.")
   in
-  let run scenarios seed =
-    let config = Experiments.Common.isp_config () in
-    Format.printf "HBH event vs analytic:     %a@." Experiments.Validate.pp
-      (Experiments.Validate.hbh ~scenarios ~seed config);
-    Format.printf "REUNITE event vs analytic: %a@." Experiments.Validate.pp
-      (Experiments.Validate.reunite ~scenarios ~seed config)
+  let run o scenarios seed =
+    with_obs o ~seed ~companion:isp_companion (fun () ->
+        let config = Experiments.Common.isp_config () in
+        Format.printf "HBH event vs analytic:     %a@." Experiments.Validate.pp
+          (Experiments.Validate.hbh ~scenarios ~seed config);
+        Format.printf "REUNITE event vs analytic: %a@." Experiments.Validate.pp
+          (Experiments.Validate.reunite ~scenarios ~seed config))
   in
-  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ scenarios $ seed_arg)
+  Cmd.v (Cmd.info "validate" ~doc)
+    Term.(const run $ obs_term $ scenarios $ seed_arg)
 
 let rp_ablation_cmd =
   let doc =
     "Ablation: PIM-SM receiver delay under different rendez-vous-point \
      placement strategies, against PIM-SS and HBH."
   in
-  let run runs seed csv =
+  let run o runs seed csv =
+    with_obs o ~seed ~companion:isp_companion @@ fun () ->
     let config = Experiments.Common.isp_config () in
     let strategies =
       [
@@ -264,11 +385,12 @@ let rp_ablation_cmd =
     print_group ~csv group
   in
   Cmd.v (Cmd.info "rp-ablation" ~doc)
-    Term.(const run $ runs_arg 150 $ seed_arg $ csv_arg)
+    Term.(const run $ obs_term $ runs_arg 150 $ seed_arg $ csv_arg)
 
 let asymmetry_cmd =
   let doc = "Measure unicast route asymmetry on the evaluation topologies." in
-  let run seed =
+  let run o seed =
+    with_obs o ~seed ~companion:isp_companion @@ fun () ->
     let rng = Stats.Rng.create seed in
     let show label g =
       Workload.Scenario.randomize rng g;
@@ -287,7 +409,7 @@ let asymmetry_cmd =
     in
     show "50-node random topology" g50
   in
-  Cmd.v (Cmd.info "asymmetry" ~doc) Term.(const run $ seed_arg)
+  Cmd.v (Cmd.info "asymmetry" ~doc) Term.(const run $ obs_term $ seed_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

@@ -31,12 +31,24 @@ let run_protocol name ~subscribe ~unsubscribe ~probe ~run_for schedule =
   Format.printf "all survivors served: %b@."
     (Mcast.Distribution.receivers d = members)
 
+(* Count trace events per label ("join", "tree", "fusion", ...). *)
+let event_census trace =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Obs.Event.t) ->
+      let l = Obs.Event.label e.kind in
+      Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+    (Obs.Trace.events trace);
+  List.sort compare (Hashtbl.fold (fun l n acc -> (l, n) :: acc) tbl [])
+
 let () =
   let rng = Stats.Rng.create 99 in
   let graph = Topology.Isp.create () in
   Workload.Scenario.randomize rng graph;
   let table = Routing.Table.compute graph in
   let source = Topology.Isp.source in
+  (* Both protocols report into one typed trace; engine profiling on. *)
+  let trace = Obs.Trace.create ~enabled:true ~capacity:16384 () in
   let schedule =
     Workload.Churn.poisson rng ~candidates:Topology.Isp.receiver_hosts
       ~rate:0.01 ~mean_hold:1500.0 ~horizon:(horizon -. 1500.0)
@@ -47,7 +59,8 @@ let () =
       Format.printf "  %7.1f  %a@." t Workload.Churn.pp_event ev)
     schedule;
 
-  let hbh = Hbh.Protocol.create table ~source in
+  let hbh = Hbh.Protocol.create ~trace table ~source in
+  Eventsim.Engine.set_profiling (Hbh.Protocol.engine hbh) true;
   run_protocol "HBH"
     ~subscribe:(Hbh.Protocol.subscribe hbh)
     ~unsubscribe:(Hbh.Protocol.unsubscribe hbh)
@@ -55,7 +68,8 @@ let () =
     ~run_for:(Hbh.Protocol.run_for hbh)
     schedule;
 
-  let reunite = Reunite.Protocol.create table ~source in
+  let reunite = Reunite.Protocol.create ~trace table ~source in
+  Eventsim.Engine.set_profiling (Reunite.Protocol.engine reunite) true;
   run_protocol "REUNITE"
     ~subscribe:(Reunite.Protocol.subscribe reunite)
     ~unsubscribe:(Reunite.Protocol.unsubscribe reunite)
@@ -73,4 +87,17 @@ let () =
   Format.printf "@.";
   Stats.Series.render Format.std_formatter routes;
   Format.printf
-    "@.HBH never reroutes a remaining receiver; REUNITE does (Figure 2's r2).@."
+    "@.HBH never reroutes a remaining receiver; REUNITE does (Figure 2's r2).@.";
+
+  (* What the telemetry layer saw of all the above. *)
+  Format.printf "@.== Telemetry ==@.@.typed events under churn (%d recorded):@."
+    (Obs.Trace.length trace);
+  List.iter
+    (fun (label, n) -> Format.printf "  %-10s %d@." label n)
+    (event_census trace);
+  Format.printf "@.HBH engine: %a@." Eventsim.Engine.pp_profile
+    (Eventsim.Engine.profile (Hbh.Protocol.engine hbh));
+  Format.printf "@.REUNITE engine: %a@." Eventsim.Engine.pp_profile
+    (Eventsim.Engine.profile (Reunite.Protocol.engine reunite));
+  Format.printf "@.metrics registry:@.%a@." Obs.Metrics.pp_snapshot
+    (Obs.Metrics.snapshot Obs.Metrics.default)

@@ -3,6 +3,15 @@ module Pkt = Netsim.Packet
 module Engine = Eventsim.Engine
 module Timer = Eventsim.Timer
 
+(* Control-plane message accounting, always on (pre-registered
+   counters, integer adds). *)
+let m_join = Obs.Metrics.counter Obs.Metrics.default "hbh.join_msgs"
+let m_tree = Obs.Metrics.counter Obs.Metrics.default "hbh.tree_msgs"
+let m_fusion = Obs.Metrics.counter Obs.Metrics.default "hbh.fusion_msgs"
+let m_data = Obs.Metrics.counter Obs.Metrics.default "hbh.data_msgs"
+let m_mft = Obs.Metrics.counter Obs.Metrics.default "hbh.mft_updates"
+let m_mct = Obs.Metrics.counter Obs.Metrics.default "hbh.mct_updates"
+
 type config = {
   join_period : float;
   tree_period : float;
@@ -20,6 +29,7 @@ type t = {
   network : Messages.t Net.t;
   graph : Topology.Graph.t;
   channel : Mcast.Channel.t;
+  ochan : Obs.Event.channel;
   source : int;
   router_tables : (int, Tables.t) Hashtbl.t;
   source_mft : Tables.Mft.t;
@@ -42,8 +52,40 @@ let now t = Engine.now t.engine
 let trace t ~node fmt =
   Netsim.Trace.recordf (Net.trace t.network) ~time:(now t) ~node fmt
 
+let trace_active t = Obs.Trace.active (Net.trace t.network)
+
+(* Record a typed event against this session's channel; callers guard
+   with {!trace_active} so nothing is allocated on a quiet trace. *)
+let ev t ~node ekind =
+  Obs.Trace.event (Net.trace t.network) ~time:(now t) ~node ~channel:t.ochan
+    ekind
+
+let meter t ~from payload =
+  (match payload with
+  | Messages.Join _ -> Obs.Metrics.incr m_join
+  | Messages.Tree _ -> Obs.Metrics.incr m_tree
+  | Messages.Fusion _ -> Obs.Metrics.incr m_fusion
+  | Messages.Data _ -> Obs.Metrics.incr m_data);
+  if trace_active t then
+    match payload with
+    | Messages.Join { member; first; _ } ->
+        ev t ~node:from (Obs.Event.Join { member; first })
+    | Messages.Tree { target; _ } -> ev t ~node:from (Obs.Event.Tree { target })
+    | Messages.Fusion { members; _ } ->
+        ev t ~node:from (Obs.Event.Fusion { members })
+    | Messages.Data _ -> ()
+
 let send t ~from ~dst ~kind payload =
+  meter t ~from payload;
   Net.originate t.network ~src:from ~dst ~kind payload
+
+let mft_ev t ~node ~target op =
+  Obs.Metrics.incr m_mft;
+  if trace_active t then ev t ~node (Obs.Event.Mft_update { target; op })
+
+let mct_ev t ~node ~target op =
+  Obs.Metrics.incr m_mct;
+  if trace_active t then ev t ~node (Obs.Event.Mct_update { target; op })
 
 (* A member refreshes its channel-liveness clock whenever a tree or
    data message of the channel reaches it; if the clock goes silent
@@ -85,6 +127,7 @@ let restamp_tree t ~at (p : Messages.t Pkt.t) ~target =
   let payload =
     Messages.Tree { channel = t.channel; target; from_branch = at }
   in
+  meter t ~from:at payload;
   Net.emit t.network ~at (Pkt.rewrite p ~src:at ~dst:target ~payload ())
 
 let router_handle_join t n (p : Messages.t Pkt.t) ~member ~first =
@@ -95,6 +138,7 @@ let router_handle_join t n (p : Messages.t Pkt.t) ~member ~first =
     | Tables.Forwarding mft when Tables.Mft.mem mft member ->
         (* Rule 3: intercept, refresh, join upstream on own behalf. *)
         ignore (Tables.Mft.refresh mft t.deadlines ~now:(now t) member);
+        mft_ev t ~node:n ~target:member Obs.Event.Refresh;
         trace t ~node:n "intercept join(%d), send join(%d)" member n;
         send t ~from:n ~dst:p.Pkt.dst ~kind:Pkt.Control
           (Messages.Join { channel = t.channel; member = n; first = false });
@@ -118,9 +162,14 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
         (* Rules 2-3: a receiver's tree converges on us; adopt or
            refresh the entry, tell the upstream owner to mark it, and
            push the tree on under our own stamp. *)
-        if Tables.Mft.mem mft target then
-          ignore (Tables.Mft.refresh mft t.deadlines ~now target)
-        else ignore (Tables.Mft.add_fresh mft t.deadlines ~now target);
+        if Tables.Mft.mem mft target then begin
+          ignore (Tables.Mft.refresh mft t.deadlines ~now target);
+          mft_ev t ~node:n ~target Obs.Event.Refresh
+        end
+        else begin
+          ignore (Tables.Mft.add_fresh mft t.deadlines ~now target);
+          mft_ev t ~node:n ~target Obs.Event.Add
+        end;
         send_fusion t ~at:n ~to_branch:from_branch mft;
         restamp_tree t ~at:n p ~target;
         Net.Consume
@@ -130,11 +179,13 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
       else if Tables.Mct.target mct = target then begin
         (* Rule 6. *)
         Tables.Mct.refresh mct t.deadlines ~now;
+        mct_ev t ~node:n ~target Obs.Event.Refresh;
         Net.Forward
       end
       else if Tables.Mct.stale mct ~now then begin
         (* Rule 7: stale control entry superseded by the live flow. *)
         Tables.Mct.replace mct t.deadlines ~now target;
+        mct_ev t ~node:n ~target Obs.Event.Add;
         Net.Forward
       end
       else begin
@@ -143,6 +194,8 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
         let mft = Tables.Mft.create () in
         ignore (Tables.Mft.add_fresh mft t.deadlines ~now (Tables.Mct.target mct));
         ignore (Tables.Mft.add_fresh mft t.deadlines ~now target);
+        mft_ev t ~node:n ~target:(Tables.Mct.target mct) Obs.Event.Add;
+        mft_ev t ~node:n ~target Obs.Event.Add;
         Tables.set tb t.channel (Tables.Forwarding mft);
         send_fusion t ~at:n ~to_branch:from_branch mft;
         restamp_tree t ~at:n p ~target;
@@ -154,6 +207,7 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
         (* Rule 4: first sight of this channel. *)
         Tables.set tb t.channel
           (Tables.Control (Tables.Mct.create t.deadlines ~now target));
+        mct_ev t ~node:n ~target Obs.Event.Add;
         Net.Forward
       end
 
@@ -163,9 +217,15 @@ let router_handle_fusion t n (p : Messages.t Pkt.t) ~members ~sender =
     let tb = tables_of t n in
     (match Tables.find tb t.channel with
     | Tables.Forwarding mft ->
-        List.iter (fun m -> ignore (Tables.Mft.mark mft ~now:(now t) m)) members;
-        if sender <> n then
-          ignore (Tables.Mft.add_stale mft t.deadlines ~now:(now t) sender)
+        List.iter
+          (fun m ->
+            ignore (Tables.Mft.mark mft ~now:(now t) m);
+            mft_ev t ~node:n ~target:m Obs.Event.Mark)
+          members;
+        if sender <> n then begin
+          ignore (Tables.Mft.add_stale mft t.deadlines ~now:(now t) sender);
+          mft_ev t ~node:n ~target:sender Obs.Event.Add
+        end
     | Tables.Control _ | Tables.No_state ->
         (* Fusion for state we no longer hold: drop; soft state heals. *)
         ());
@@ -210,8 +270,10 @@ let source_handler t _net n (p : Messages.t Pkt.t) =
     match p.Pkt.payload with
     | Messages.Join { channel; member; first = _ }
       when Mcast.Channel.equal channel t.channel ->
-        if member <> t.source then
+        if member <> t.source then begin
           ignore (Tables.Mft.add_fresh t.source_mft t.deadlines ~now:(now t) member);
+          mft_ev t ~node:n ~target:member Obs.Event.Add
+        end;
         Net.Consume
     | Messages.Fusion { channel; members; sender }
       when Mcast.Channel.equal channel t.channel ->
@@ -263,6 +325,11 @@ let setup ~config ~network ~channel ~source =
       network;
       graph;
       channel;
+      ochan =
+        {
+          Obs.Event.csrc = Mcast.Channel.source channel;
+          group = Mcast.Class_d.to_int32 (Mcast.Channel.group channel);
+        };
       source;
       router_tables = Hashtbl.create 64;
       source_mft = Tables.Mft.create ();
@@ -284,8 +351,8 @@ let setup ~config ~network ~channel ~source =
   Net.chain network source (source_handler t);
   (* Source tree cycle. *)
   ignore
-    (Timer.every engine ~start:config.tree_period ~period:config.tree_period
-       (fun () ->
+    (Timer.every ~tag:"hbh.tree_cycle" engine ~start:config.tree_period
+       ~period:config.tree_period (fun () ->
          Tables.Mft.expire t.source_mft ~now:(now t);
          List.iter
            (fun x ->
@@ -294,8 +361,8 @@ let setup ~config ~network ~channel ~source =
            (Tables.Mft.tree_targets t.source_mft ~now:(now t))));
   (* Soft-state sweep. *)
   ignore
-    (Timer.every engine ~start:config.tree_period ~period:config.tree_period
-       (fun () ->
+    (Timer.every ~tag:"hbh.sweep" engine ~start:config.tree_period
+       ~period:config.tree_period (fun () ->
          Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now:(now t)) t.router_tables));
   t
 
@@ -325,11 +392,13 @@ let subscribe t r =
       Hashtbl.replace t.member_handler_installed r ();
       Net.chain t.network r (member_handler t)
     end;
+    if trace_active t then ev t ~node:r Obs.Event.Member_join;
     let last_seen = ref (now t) in
     Hashtbl.replace t.member_last_seen r last_seen;
     let first = ref true in
     let timer =
-      Timer.every t.engine ~start:0.0 ~period:t.config.join_period (fun () ->
+      Timer.every ~tag:"hbh.join_timer" t.engine ~start:0.0
+        ~period:t.config.join_period (fun () ->
           (* Channel silent past t2: this membership episode's state
              has decayed somewhere upstream — start a new episode. *)
           if now t -. !last_seen > t.config.t2 then begin
@@ -347,6 +416,7 @@ let subscribe t r =
 
 let unsubscribe t r =
   if List.mem r t.members then begin
+    if trace_active t then ev t ~node:r Obs.Event.Member_leave;
     t.members <- List.filter (fun m -> m <> r) t.members;
     (match Hashtbl.find_opt t.member_timers r with
     | Some timer ->

@@ -1,35 +1,69 @@
-type handle = { mutable cancelled : bool; action : unit -> unit }
+type handle = { mutable cancelled : bool; tag : string; action : unit -> unit }
+
+type tag_stat = { mutable tag_fired : int; sim_times : Obs.Histo.t }
 
 type t = {
   mutable clock : float;
   mutable seq : int;
   mutable fired : int;
   queue : handle Heap.t;
+  (* Profiling (opt-in): per-callback-tag counts and sim-time
+     histograms, plus wall-clock accounting of [run]. *)
+  mutable profiling : bool;
+  tags : (string, tag_stat) Hashtbl.t;
+  mutable run_wall_s : float;
+  mutable runs : int;
 }
 
-let create () = { clock = 0.0; seq = 0; fired = 0; queue = Heap.create () }
+(* Every engine in the process reports fired events here: the
+   always-on integer add that lets any run's metrics dump show how
+   much simulation happened. *)
+let events_fired_total = Obs.Metrics.counter Obs.Metrics.default "engine.events_fired"
+
+let create () =
+  {
+    clock = 0.0;
+    seq = 0;
+    fired = 0;
+    queue = Heap.create ();
+    profiling = false;
+    tags = Hashtbl.create 16;
+    run_wall_s = 0.0;
+    runs = 0;
+  }
 
 let now t = t.clock
 
-let schedule_at t ~time f =
+let schedule_at ?(tag = "") t ~time f =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time
          t.clock);
-  let h = { cancelled = false; action = f } in
+  let h = { cancelled = false; tag; action = f } in
   Heap.push t.queue time t.seq h;
   t.seq <- t.seq + 1;
   h
 
-let schedule t ~delay f =
+let schedule ?tag t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~time:(t.clock +. delay) f
+  schedule_at ?tag t ~time:(t.clock +. delay) f
 
 let cancel h = h.cancelled <- true
 
 let cancelled h = h.cancelled
 
 let pending t = Heap.size t.queue
+
+let set_profiling t b = t.profiling <- b
+let profiling t = t.profiling
+
+let tag_stat t tag =
+  match Hashtbl.find_opt t.tags tag with
+  | Some s -> s
+  | None ->
+      let s = { tag_fired = 0; sim_times = Obs.Histo.create () } in
+      Hashtbl.replace t.tags tag s;
+      s
 
 let rec step t =
   match Heap.pop t.queue with
@@ -39,11 +73,18 @@ let rec step t =
       else begin
         t.clock <- time;
         t.fired <- t.fired + 1;
+        Obs.Metrics.incr events_fired_total;
+        if t.profiling then begin
+          let s = tag_stat t h.tag in
+          s.tag_fired <- s.tag_fired + 1;
+          Obs.Histo.observe s.sim_times time
+        end;
         h.action ();
         true
       end
 
 let run ?until ?max_events t =
+  let wall_start = Sys.time () in
   let budget = ref (match max_events with Some m -> m | None -> max_int) in
   let continue = ref true in
   while !continue && !budget > 0 do
@@ -59,8 +100,46 @@ let run ?until ?max_events t =
   done;
   (* If we stopped on the budget or queue exhaustion with a limit,
      leave the clock where the last event put it. *)
-  match until with
+  (match until with
   | Some limit when Heap.is_empty t.queue && t.clock < limit -> t.clock <- limit
-  | _ -> ()
+  | _ -> ());
+  t.run_wall_s <- t.run_wall_s +. (Sys.time () -. wall_start);
+  t.runs <- t.runs + 1
 
 let events_fired t = t.fired
+
+type tag_profile = { fired : int; sim_time : Obs.Histo.snapshot }
+
+type profile = {
+  events_fired : int;
+  pending : int;
+  run_wall_s : float;
+  runs : int;
+  tags : (string * tag_profile) list;
+}
+
+let profile (t : t) =
+  {
+    events_fired = t.fired;
+    pending = Heap.size t.queue;
+    run_wall_s = t.run_wall_s;
+    runs = t.runs;
+    tags =
+      Hashtbl.fold
+        (fun tag s acc ->
+          (tag, { fired = s.tag_fired; sim_time = Obs.Histo.snapshot s.sim_times })
+          :: acc)
+        t.tags []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+  }
+
+let pp_profile ppf p =
+  Format.fprintf ppf
+    "events_fired=%d pending=%d runs=%d wall=%.3fs@." p.events_fired p.pending
+    p.runs p.run_wall_s;
+  List.iter
+    (fun (tag, tp) ->
+      Format.fprintf ppf "  %-24s fired=%-8d sim-time %a@."
+        (if tag = "" then "(untagged)" else tag)
+        tp.fired Obs.Histo.pp_snapshot tp.sim_time)
+    p.tags

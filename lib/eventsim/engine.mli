@@ -15,11 +15,13 @@ val create : unit -> t
 
 val now : t -> float
 
-val schedule : t -> delay:float -> (unit -> unit) -> handle
+val schedule : ?tag:string -> t -> delay:float -> (unit -> unit) -> handle
 (** [schedule e ~delay f] fires [f] at [now e +. delay].  [delay]
-    must be non-negative. *)
+    must be non-negative.  [tag] labels the callback for the
+    profiling aggregates (see {!set_profiling}); untagged events are
+    grouped together. *)
 
-val schedule_at : t -> time:float -> (unit -> unit) -> handle
+val schedule_at : ?tag:string -> t -> time:float -> (unit -> unit) -> handle
 (** Absolute-time variant; [time] must not be in the past. *)
 
 val cancel : handle -> unit
@@ -42,4 +44,37 @@ val run : ?until:float -> ?max_events:int -> t -> unit
     time)]. *)
 
 val events_fired : t -> int
-(** Total events fired since creation (cancelled events excluded). *)
+(** Total events fired since creation (cancelled events excluded).
+    Every fire also increments the [engine.events_fired] counter of
+    {!Obs.Metrics.default}, aggregating across all engines in the
+    process. *)
+
+(** {1 Profiling}
+
+    Opt-in per-callback-tag accounting: when enabled, each fired
+    event bumps its tag's count and records the simulated time it
+    fired at into a histogram.  [run] wall-clock time is accumulated
+    unconditionally (two clock reads per call). *)
+
+val set_profiling : t -> bool -> unit
+(** Off by default; toggling does not clear collected stats. *)
+
+val profiling : t -> bool
+
+type tag_profile = {
+  fired : int;
+  sim_time : Obs.Histo.snapshot;  (** when (in sim time) the tag fired *)
+}
+
+type profile = {
+  events_fired : int;
+  pending : int;
+  run_wall_s : float;  (** CPU seconds spent inside {!run} *)
+  runs : int;  (** number of {!run} calls *)
+  tags : (string * tag_profile) list;  (** sorted; empty unless profiling *)
+}
+
+val profile : t -> profile
+(** Snapshot of the profiling state; cheap, callable mid-run. *)
+
+val pp_profile : Format.formatter -> profile -> unit

@@ -2,6 +2,7 @@ type kind = Periodic of float | Oneshot | Watchdog of float
 
 type t = {
   engine : Engine.t;
+  tag : string option;
   kind : kind;
   action : unit -> unit;
   mutable handle : Engine.handle option;
@@ -10,13 +11,13 @@ type t = {
 }
 
 let arm t ~delay body =
-  t.handle <- Some (Engine.schedule t.engine ~delay body)
+  t.handle <- Some (Engine.schedule ?tag:t.tag t.engine ~delay body)
 
-let every engine ?start ~period f =
+let every ?tag engine ?start ~period f =
   if period <= 0.0 then invalid_arg "Timer.every: period must be positive";
   let start = match start with Some s -> s | None -> period in
   let t =
-    { engine; kind = Periodic period; action = f; handle = None; stopped = false; deadline = 0.0 }
+    { engine; tag; kind = Periodic period; action = f; handle = None; stopped = false; deadline = 0.0 }
   in
   let rec tick () =
     if not t.stopped then begin
@@ -27,9 +28,9 @@ let every engine ?start ~period f =
   arm t ~delay:start tick;
   t
 
-let after engine ~delay f =
+let after ?tag engine ~delay f =
   let t =
-    { engine; kind = Oneshot; action = f; handle = None; stopped = false; deadline = 0.0 }
+    { engine; tag; kind = Oneshot; action = f; handle = None; stopped = false; deadline = 0.0 }
   in
   arm t ~delay (fun () ->
       if not t.stopped then begin
@@ -38,11 +39,12 @@ let after engine ~delay f =
       end);
   t
 
-let watchdog engine ~timeout f =
+let watchdog ?tag engine ~timeout f =
   if timeout <= 0.0 then invalid_arg "Timer.watchdog: timeout must be positive";
   let t =
     {
       engine;
+      tag;
       kind = Watchdog timeout;
       action = f;
       handle = None;

@@ -4,14 +4,16 @@
 
 type t
 
-val every : Engine.t -> ?start:float -> period:float -> (unit -> unit) -> t
+val every :
+  ?tag:string -> Engine.t -> ?start:float -> period:float -> (unit -> unit) -> t
 (** [every e ~period f] fires [f] every [period] time units, first at
-    [now + start] (default [period]).  [period] must be positive. *)
+    [now + start] (default [period]).  [period] must be positive.
+    [tag] labels the scheduled callbacks for engine profiling. *)
 
-val after : Engine.t -> delay:float -> (unit -> unit) -> t
+val after : ?tag:string -> Engine.t -> delay:float -> (unit -> unit) -> t
 (** One-shot timer. *)
 
-val watchdog : Engine.t -> timeout:float -> (unit -> unit) -> t
+val watchdog : ?tag:string -> Engine.t -> timeout:float -> (unit -> unit) -> t
 (** [watchdog e ~timeout f] fires [f] once, [timeout] after the last
     {!feed} (initially [timeout] from creation).  Feeding postpones
     expiry; after firing, further feeds rearm it. *)

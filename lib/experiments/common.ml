@@ -105,6 +105,73 @@ let sweep ?(protocols = all_protocols) ?(runs = 500) ?(seed = 42)
         (List.map snd delay_series);
   }
 
+(* ---- Instrumented companion run --------------------------------------- *)
+
+type instrumented = {
+  sample_size : int;
+  receivers : int list;
+  hbh_profile : Eventsim.Engine.profile;
+  reunite_profile : Eventsim.Engine.profile;
+}
+
+(* Mirror a run's per-tag event counts into the default registry so a
+   metrics snapshot (and its JSON export) carries the profile. *)
+let fold_profile ~prefix (p : Eventsim.Engine.profile) =
+  List.iter
+    (fun (tag, (tp : Eventsim.Engine.tag_profile)) ->
+      Obs.Metrics.add
+        (Obs.Metrics.counter Obs.Metrics.default
+           (Printf.sprintf "%s.tag.%s" prefix tag))
+        tp.fired)
+    p.tags
+
+let instrumented_sample ?trace ?(seed = 1) ?n (config : config) =
+  let rng = Stats.Rng.create seed in
+  let n =
+    match n with
+    | Some n -> n
+    | None -> (
+        (* Middle of the sweep's size range: big enough to branch. *)
+        match config.sizes with
+        | [] -> 4
+        | l ->
+            let a = Array.of_list l in
+            a.(Array.length a / 2))
+  in
+  let s =
+    Workload.Scenario.make rng config.graph ~source:config.source
+      ~candidates:config.candidates ~n
+  in
+  let hbh_profile =
+    let session = Hbh.Protocol.create ?trace s.table ~source:s.source in
+    Eventsim.Engine.set_profiling (Hbh.Protocol.engine session) true;
+    List.iter (Hbh.Protocol.subscribe session) s.receivers;
+    Hbh.Protocol.converge ~periods:20 session;
+    ignore (Hbh.Protocol.probe session);
+    Eventsim.Engine.profile (Hbh.Protocol.engine session)
+  in
+  let reunite_profile =
+    let session = Reunite.Protocol.create ?trace s.table ~source:s.source in
+    Eventsim.Engine.set_profiling (Reunite.Protocol.engine session) true;
+    List.iter
+      (fun r ->
+        Reunite.Protocol.subscribe session r;
+        Reunite.Protocol.run_for session
+          (3.0 *. Reunite.Protocol.default_config.tree_period))
+      s.receivers;
+    Reunite.Protocol.converge ~periods:2 session;
+    ignore (Reunite.Protocol.probe session);
+    Eventsim.Engine.profile (Reunite.Protocol.engine session)
+  in
+  fold_profile ~prefix:"hbh.engine" hbh_profile;
+  fold_profile ~prefix:"reunite.engine" reunite_profile;
+  {
+    sample_size = n;
+    receivers = List.sort compare s.receivers;
+    hbh_profile;
+    reunite_profile;
+  }
+
 let advantage group ~over ~of_ =
   let ratios = Stats.Series.ratio group ~num:of_ ~den:over in
   match ratios with

@@ -61,3 +61,31 @@ val advantage : Stats.Series.group -> over:string -> of_:string -> float
 (** Mean over group sizes of [1 - of_/over] as a percentage — "HBH
     outperforms REUNITE by N%" in the paper's phrasing.  E.g.
     [advantage g ~over:"REUNITE" ~of_:"HBH"]. *)
+
+(** {1 Instrumented companion run}
+
+    The figure commands are analytic — they build trees with
+    {!build}, never running the event engine — so a metrics snapshot
+    after e.g. [fig7a] holds analytic counters only.  When the CLI's
+    observability flags ask for protocol-level telemetry it runs this
+    companion sample: one event-driven HBH and one REUNITE
+    convergence on the config's topology with engine profiling
+    enabled, which populates the protocol message counters
+    ([hbh.join_msgs], [reunite.join_msgs], ...), the engine counters
+    and, if [trace] is live, the typed event stream. *)
+
+type instrumented = {
+  sample_size : int;  (** receiver-group size of the sample run *)
+  receivers : int list;  (** the sampled receiver set, sorted *)
+  hbh_profile : Eventsim.Engine.profile;
+  reunite_profile : Eventsim.Engine.profile;
+}
+
+val instrumented_sample :
+  ?trace:Netsim.Trace.t -> ?seed:int -> ?n:int -> config -> instrumented
+(** Runs the companion sample on [config]'s topology ([n] defaults to
+    the middle sweep size).  Engine profiling is switched on for both
+    sessions; per-tag fired counts are folded into
+    {!Obs.Metrics.default} as [hbh.engine.tag.*] /
+    [reunite.engine.tag.*] counters so they travel with metric
+    snapshots. *)

@@ -27,6 +27,16 @@ type 'p t = {
 
 and 'p handler = 'p t -> int -> 'p Packet.t -> verdict
 
+(* Always-on registry mirrors of the accounting the paper measures:
+   integer adds on a pre-registered counter, so the hot path pays
+   nothing measurable when nobody reads them. *)
+let m_pkt_copies = Obs.Metrics.counter Obs.Metrics.default "net.pkt_copies"
+let m_ctl_hops = Obs.Metrics.counter Obs.Metrics.default "net.ctl_hops"
+let m_deliveries = Obs.Metrics.counter Obs.Metrics.default "net.deliveries"
+let m_dropped = Obs.Metrics.counter Obs.Metrics.default "net.dropped"
+let h_delivery_delay =
+  Obs.Metrics.histogram Obs.Metrics.default "net.delivery_delay"
+
 let zero_counters =
   {
     originated_data = 0;
@@ -79,15 +89,23 @@ let set_sink t node b =
   if b then Hashtbl.replace t.sinks node () else Hashtbl.remove t.sinks node
 
 let tally_link t (p : 'p Packet.t) u v =
-  match p.kind with
+  (match p.kind with
   | Packet.Data ->
       let key = (u, v) in
       let n =
         match Hashtbl.find_opt t.data_loads key with Some n -> n | None -> 0
       in
       Hashtbl.replace t.data_loads key (n + 1);
-      t.c <- { t.c with data_hops = t.c.data_hops + 1 }
-  | Packet.Control -> t.c <- { t.c with control_hops = t.c.control_hops + 1 }
+      t.c <- { t.c with data_hops = t.c.data_hops + 1 };
+      Obs.Metrics.incr m_pkt_copies
+  | Packet.Control ->
+      t.c <- { t.c with control_hops = t.c.control_hops + 1 };
+      Obs.Metrics.incr m_ctl_hops);
+  (* Per-hop events are high-volume: only under a verbose trace. *)
+  if Obs.Trace.active t.trace && Obs.Trace.verbose t.trace then
+    Obs.Trace.event t.trace ~time:(now t) ~node:u
+      (Obs.Event.Packet_forward
+         { next = v; dst = p.dst; data = p.kind = Packet.Data })
 
 (* Arrival of [p] at [node]; may consume, deliver or forward. *)
 let rec arrive t node (p : 'p Packet.t) =
@@ -97,8 +115,11 @@ let rec arrive t node (p : 'p Packet.t) =
     p.kind = Packet.Data && p.dst = node
     && (Topology.Graph.is_host t.graph node || Hashtbl.mem t.sinks node)
   then begin
-    t.deliveries_rev <- (node, now t -. p.born) :: t.deliveries_rev;
-    t.c <- { t.c with deliveries = t.c.deliveries + 1 }
+    let delay = now t -. p.born in
+    t.deliveries_rev <- (node, delay) :: t.deliveries_rev;
+    t.c <- { t.c with deliveries = t.c.deliveries + 1 };
+    Obs.Metrics.incr m_deliveries;
+    Obs.Histo.observe h_delivery_delay delay
   end;
   let verdict =
     match Hashtbl.find_opt t.handlers node with
@@ -112,7 +133,8 @@ let rec arrive t node (p : 'p Packet.t) =
       else if p.ttl <= 0 then begin
         Trace.recordf t.trace ~time:(now t) ~node "TTL expired (%d->%d)" p.src
           p.dst;
-        t.c <- { t.c with dropped_ttl = t.c.dropped_ttl + 1 }
+        t.c <- { t.c with dropped_ttl = t.c.dropped_ttl + 1 };
+        Obs.Metrics.incr m_dropped
       end
       else begin
         p.ttl <- p.ttl - 1;
@@ -123,13 +145,15 @@ and transmit t node (p : 'p Packet.t) =
   match Routing.Table.next_hop t.table node ~dest:p.dst with
   | None ->
       Trace.recordf t.trace ~time:(now t) ~node "no route to %d" p.dst;
-      t.c <- { t.c with dropped_unreachable = t.c.dropped_unreachable + 1 }
+      t.c <- { t.c with dropped_unreachable = t.c.dropped_unreachable + 1 };
+      Obs.Metrics.incr m_dropped
   | Some next ->
       p.Packet.via <- node;
       tally_link t p node next;
       let delay = Topology.Graph.delay t.graph node next in
       ignore
-        (Eventsim.Engine.schedule t.engine ~delay (fun () -> arrive t next p))
+        (Eventsim.Engine.schedule ~tag:"net.hop" t.engine ~delay (fun () ->
+             arrive t next p))
 
 let originate t ~src ~dst ~kind payload =
   let p =
@@ -140,7 +164,9 @@ let originate t ~src ~dst ~kind payload =
   | Packet.Control ->
       t.c <- { t.c with originated_control = t.c.originated_control + 1 });
   if dst = src then
-    ignore (Eventsim.Engine.schedule t.engine ~delay:0.0 (fun () -> arrive t src p))
+    ignore
+      (Eventsim.Engine.schedule ~tag:"net.hop" t.engine ~delay:0.0 (fun () ->
+           arrive t src p))
   else transmit t src p
 
 let emit t ~at (p : 'p Packet.t) =
@@ -148,8 +174,15 @@ let emit t ~at (p : 'p Packet.t) =
   | Packet.Data -> t.c <- { t.c with originated_data = t.c.originated_data + 1 }
   | Packet.Control ->
       t.c <- { t.c with originated_control = t.c.originated_control + 1 });
+  (* [emit] is how branching routers inject rewritten copies — the
+     duplication event of the recursive-unicast data plane. *)
+  if Obs.Trace.active t.trace && Obs.Trace.verbose t.trace then
+    Obs.Trace.event t.trace ~time:(now t) ~node:at
+      (Obs.Event.Packet_duplicate { dst = p.dst; data = p.kind = Packet.Data });
   if p.dst = at then
-    ignore (Eventsim.Engine.schedule t.engine ~delay:0.0 (fun () -> arrive t at p))
+    ignore
+      (Eventsim.Engine.schedule ~tag:"net.hop" t.engine ~delay:0.0 (fun () ->
+           arrive t at p))
   else transmit t at p
 
 let counters t = t.c

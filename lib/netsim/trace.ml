@@ -1,33 +1,16 @@
-type t = {
-  mutable enabled : bool;
-  capacity : int;
-  entries : (float * int * string) Queue.t;
-}
+type t = Obs.Trace.t
 
-let create ?(enabled = false) ?(capacity = 10_000) () =
-  { enabled; capacity; entries = Queue.create () }
+let create ?enabled ?capacity () = Obs.Trace.create ?enabled ?capacity ()
+let enabled = Obs.Trace.enabled
+let set_enabled = Obs.Trace.set_enabled
+let record t ~time ~node msg = Obs.Trace.note t ~time ~node msg
+let recordf t ~time ~node fmt = Obs.Trace.notef t ~time ~node fmt
 
-let enabled t = t.enabled
-let set_enabled t b = t.enabled <- b
+let entries t =
+  List.map
+    (fun (e : Obs.Event.t) -> (e.time, e.node, Obs.Event.summary e.kind))
+    (Obs.Trace.events t)
 
-let record t ~time ~node msg =
-  if t.enabled then begin
-    if Queue.length t.entries >= t.capacity then ignore (Queue.pop t.entries);
-    Queue.push (time, node, msg) t.entries
-  end
-
-let recordf t ~time ~node fmt =
-  Format.kasprintf
-    (fun msg -> if t.enabled then record t ~time ~node msg)
-    fmt
-
-let entries t = Queue.fold (fun acc e -> e :: acc) [] t.entries |> List.rev
-
-let length t = Queue.length t.entries
-
-let clear t = Queue.clear t.entries
-
-let dump ppf t =
-  List.iter
-    (fun (time, node, msg) -> Format.fprintf ppf "%8.3f  n%-3d  %s@." time node msg)
-    (entries t)
+let length = Obs.Trace.length
+let clear = Obs.Trace.clear
+let dump ppf t = Obs.Trace.dump ppf t

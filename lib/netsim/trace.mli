@@ -1,6 +1,14 @@
-(** Optional event trace for debugging and demonstration binaries. *)
+(** The network's event trace.
 
-type t
+    Since the telemetry refactor this is a thin veneer over
+    {!Obs.Trace}: the type is {e equal} to [Obs.Trace.t], so anything
+    holding a network trace can use the full typed-event API (sinks,
+    {!Obs.Trace.event}, {!Obs.Trace.events}) directly.  The functions
+    here keep the original string-based surface working: [record]ed
+    strings become {!Obs.Event.Note} events and [entries] renders
+    typed events back to strings. *)
+
+type t = Obs.Trace.t
 
 val create : ?enabled:bool -> ?capacity:int -> unit -> t
 (** [capacity] bounds memory: older entries are dropped once exceeded
@@ -15,10 +23,12 @@ val record : t -> time:float -> node:int -> string -> unit
 
 val recordf :
   t -> time:float -> node:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Lazily formats; free when tracing is disabled. *)
+(** Lazily formats; free when tracing is disabled (the format
+    arguments are consumed without running the formatter). *)
 
 val entries : t -> (float * int * string) list
-(** Oldest first. *)
+(** Oldest first; typed events are rendered with
+    {!Obs.Event.summary}. *)
 
 val length : t -> int
 val clear : t -> unit

@@ -1,0 +1,92 @@
+type t = {
+  bounds : float array;
+  counts : int array; (* one per bound, plus counts.(n) = overflow *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let default_buckets =
+  [| 0.5; 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0; 2000.0; 5000.0 |]
+
+let validate bounds =
+  if Array.length bounds = 0 then
+    invalid_arg "Histo.create: need at least one bucket bound";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && bounds.(i - 1) >= b then
+        invalid_arg "Histo.create: bounds must be strictly increasing")
+    bounds
+
+let create ?(buckets = default_buckets) () =
+  validate buckets;
+  {
+    bounds = Array.copy buckets;
+    counts = Array.make (Array.length buckets + 1) 0;
+    count = 0;
+    sum = 0.0;
+    min = nan;
+    max = nan;
+  }
+
+let observe t v =
+  let n = Array.length t.bounds in
+  let i = ref 0 in
+  while !i < n && v > t.bounds.(!i) do
+    incr i
+  done;
+  t.counts.(!i) <- t.counts.(!i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if t.count = 1 then begin
+    t.min <- v;
+    t.max <- v
+  end
+  else begin
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v
+  end
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.min <- nan;
+  t.max <- nan
+
+type snapshot = {
+  buckets : (float * int) list;
+  overflow : int;
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+let snapshot t =
+  {
+    buckets =
+      Array.to_list (Array.mapi (fun i b -> (b, t.counts.(i))) t.bounds);
+    overflow = t.counts.(Array.length t.bounds);
+    count = t.count;
+    sum = t.sum;
+    min = t.min;
+    max = t.max;
+  }
+
+let pp_snapshot ppf s =
+  if s.count = 0 then Format.fprintf ppf "empty"
+  else begin
+    Format.fprintf ppf "count=%d mean=%.3f min=%.3f max=%.3f" s.count
+      (s.sum /. float_of_int s.count)
+      s.min s.max;
+    List.iter
+      (fun (b, c) -> if c > 0 then Format.fprintf ppf " le%g:%d" b c)
+      s.buckets;
+    if s.overflow > 0 then Format.fprintf ppf " inf:%d" s.overflow
+  end

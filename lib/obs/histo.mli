@@ -1,0 +1,45 @@
+(** Fixed-bucket histograms.
+
+    Cumulative-free, allocation-free on the hot path: [observe] is a
+    short linear scan over the bucket bounds plus three mutations.
+    Bounds are fixed at creation — the price of staying cheap enough
+    to leave always-on. *)
+
+type t
+
+val default_buckets : float array
+(** Geometric-ish bounds spanning the simulator's time scales
+    (0.5 … 5000 time units). *)
+
+val create : ?buckets:float array -> unit -> t
+(** [buckets] are upper bounds, strictly increasing; observations
+    above the last bound land in an overflow bucket.  Raises
+    [Invalid_argument] on an empty or non-increasing bound array. *)
+
+val observe : t -> float -> unit
+
+val count : t -> int
+(** Total observations. *)
+
+val sum : t -> float
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val reset : t -> unit
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  buckets : (float * int) list;  (** (upper bound, count) per bucket *)
+  overflow : int;  (** observations above the last bound *)
+  count : int;
+  sum : float;
+  min : float;  (** [nan] when empty *)
+  max : float;  (** [nan] when empty *)
+}
+
+val snapshot : t -> snapshot
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+(** One line: count/mean/min/max plus the non-empty buckets. *)

@@ -1,0 +1,160 @@
+type counter = { mutable n : int }
+type gauge = { mutable v : float }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, Histo.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let default = create ()
+
+let intern tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some x -> x
+  | None ->
+      let x = make () in
+      Hashtbl.replace tbl name x;
+      x
+
+let counter t name = intern t.counters name (fun () -> { n = 0 })
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let value c = c.n
+
+let gauge t name = intern t.gauges name (fun () -> { v = nan })
+let set g v = g.v <- v
+let gauge_value g = g.v
+
+let histogram t ?buckets name =
+  intern t.histograms name (fun () -> Histo.create ?buckets ())
+
+let reset t =
+  Hashtbl.iter (fun _ c -> c.n <- 0) t.counters;
+  Hashtbl.iter (fun _ g -> g.v <- nan) t.gauges;
+  Hashtbl.iter (fun _ h -> Histo.reset h) t.histograms
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * Histo.snapshot) list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun name x acc -> (name, f x) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot (t : t) =
+  {
+    counters = sorted_bindings t.counters (fun c -> c.n);
+    gauges = sorted_bindings t.gauges (fun g -> g.v);
+    histograms = sorted_bindings t.histograms Histo.snapshot;
+  }
+
+let find_counter s name = List.assoc_opt name s.counters
+let find_gauge s name = List.assoc_opt name s.gauges
+
+let pp_snapshot ppf s =
+  let width =
+    List.fold_left
+      (fun w (name, _) -> max w (String.length name))
+      0
+      (s.counters
+      @ List.map (fun (n, _) -> (n, 0)) s.gauges
+      @ List.map (fun (n, _) -> (n, 0)) s.histograms)
+  in
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-*s %d@." width name v)
+    s.counters;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-*s %g@." width name v)
+    s.gauges;
+  List.iter
+    (fun (name, h) ->
+      Format.fprintf ppf "%-*s %a@." width name Histo.pp_snapshot h)
+    s.histograms
+
+let histo_to_json (h : Histo.snapshot) =
+  Json.Obj
+    [
+      ("count", Json.Int h.count);
+      ("sum", Json.Float h.sum);
+      ("min", Json.Float h.min);
+      ("max", Json.Float h.max);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (le, c) -> Json.Obj [ ("le", Json.Float le); ("n", Json.Int c) ])
+             h.buckets) );
+      ("overflow", Json.Int h.overflow);
+    ]
+
+let snapshot_to_json s =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) s.gauges));
+      ( "histograms",
+        Json.Obj (List.map (fun (n, h) -> (n, histo_to_json h)) s.histograms) );
+    ]
+
+let histo_of_json j =
+  let ( let* ) = Option.bind in
+  let* count = Option.bind (Json.member "count" j) Json.to_int in
+  let* sum = Option.bind (Json.member "sum" j) Json.to_float in
+  let min =
+    match Option.bind (Json.member "min" j) Json.to_float with
+    | Some v -> v
+    | None -> nan (* NaN serialises as null *)
+  in
+  let max =
+    match Option.bind (Json.member "max" j) Json.to_float with
+    | Some v -> v
+    | None -> nan
+  in
+  let* overflow = Option.bind (Json.member "overflow" j) Json.to_int in
+  let* bucket_items = Option.bind (Json.member "buckets" j) Json.to_list in
+  let* buckets =
+    List.fold_right
+      (fun item acc ->
+        let* acc = acc in
+        let* le = Option.bind (Json.member "le" item) Json.to_float in
+        let* n = Option.bind (Json.member "n" item) Json.to_int in
+        Some ((le, n) :: acc))
+      bucket_items (Some [])
+  in
+  Some { Histo.buckets; overflow; count; sum; min; max }
+
+let snapshot_of_json j =
+  let ( let* ) = Option.bind in
+  let fields name to_v =
+    match Json.member name j with
+    | Some (Json.Obj l) ->
+        List.fold_right
+          (fun (k, v) acc ->
+            let* acc = acc in
+            let* v = to_v v in
+            Some ((k, v) :: acc))
+          l (Some [])
+    | _ -> None
+  in
+  match
+    let* counters = fields "counters" Json.to_int in
+    let* gauges =
+      fields "gauges" (fun v ->
+          match Json.to_float v with
+          | Some f -> Some f
+          | None -> if v = Json.Null then Some nan else None)
+    in
+    let* histograms = fields "histograms" histo_of_json in
+    Some { counters; gauges; histograms }
+  with
+  | Some s -> Ok s
+  | None -> Error "Metrics.snapshot_of_json: not a snapshot object"

@@ -1,0 +1,72 @@
+(** The metrics registry: named counters, gauges and fixed-bucket
+    histograms.
+
+    Designed to be always-on: updating a registered instrument is an
+    integer/float mutation with no allocation and no lookup — callers
+    register once (module initialisation or session setup) and hold
+    the instrument.  Registration is idempotent: asking twice for the
+    same name returns the same instrument, so independent modules can
+    share a series by name.
+
+    A process-wide {!default} registry is where the protocol stack
+    reports; scoped registries can be created for tests. *)
+
+type t
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry used by the stack's built-in
+    instrumentation ([hbh.*], [reunite.*], [net.*], [engine.*]). *)
+
+(** {1 Instruments} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Register (or fetch) a monotonically increasing integer. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+type gauge
+
+val gauge : t -> string -> gauge
+(** Register (or fetch) a last-value-wins float. *)
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+(** [nan] until first set. *)
+
+val histogram : t -> ?buckets:float array -> string -> Histo.t
+(** Register (or fetch) a histogram; [buckets] only applies on first
+    registration. *)
+
+val reset : t -> unit
+(** Zero every instrument (counters to 0, gauges to [nan], histograms
+    emptied).  Instruments stay registered — held references remain
+    valid. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * Histo.snapshot) list;
+}
+
+val snapshot : t -> snapshot
+
+val find_counter : snapshot -> string -> int option
+val find_gauge : snapshot -> string -> float option
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+(** Aligned [name value] lines, counters then gauges then
+    histograms. *)
+
+val snapshot_to_json : snapshot -> Json.t
+
+val snapshot_of_json : Json.t -> (snapshot, string) result
+(** Inverse of {!snapshot_to_json} (modulo float printing
+    precision). *)

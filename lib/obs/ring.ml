@@ -1,0 +1,55 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int; (* index of the oldest entry *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; head = 0; len = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.len
+
+let push t x =
+  let cap = Array.length t.buf in
+  if t.len < cap then begin
+    t.buf.((t.head + t.len) mod cap) <- Some x;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* Full: overwrite the oldest slot and advance the head. *)
+    t.buf.(t.head) <- Some x;
+    t.head <- (t.head + 1) mod cap
+  end
+
+let iter f t =
+  let cap = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    match t.buf.((t.head + i) mod cap) with
+    | Some x -> f x
+    | None -> ()
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let last t n =
+  let n = min n t.len in
+  let cap = Array.length t.buf in
+  let out = ref [] in
+  for i = t.len - 1 downto t.len - n do
+    match t.buf.((t.head + i) mod cap) with
+    | Some x -> out := x :: !out
+    | None -> ()
+  done;
+  !out
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0

@@ -1,0 +1,30 @@
+(** Fixed-capacity ring buffer: O(1) push, oldest entry evicted when
+    full.  The storage backing every bounded trace. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Entries currently held, [<= capacity]. *)
+
+val push : 'a t -> 'a -> unit
+(** Appends; silently drops the oldest entry once at capacity. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Oldest first. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val last : 'a t -> int -> 'a list
+(** [last t n]: the most recent [min n (length t)] entries, oldest of
+    them first. *)
+
+val clear : 'a t -> unit

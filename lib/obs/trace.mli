@@ -1,0 +1,68 @@
+(** The event trace: a bounded ring of typed {!Event.t}s plus
+    pluggable sinks.
+
+    Two independent outputs: when [enabled], events are retained in
+    the ring (for post-run inspection and dumps); sinks, if attached,
+    see every event as it happens regardless of the ring flag
+    (streaming export).  When neither is on the trace is {e inactive}
+    and recording is a no-op — callers on hot paths should guard
+    event {e construction} with {!active} so a quiet trace costs one
+    branch and zero allocation.
+
+    Packet-level events (one per link traversal) are high-volume and
+    would evict the interesting control-plane events from the ring;
+    producers of such events additionally guard on {!verbose}. *)
+
+type t
+
+type sink = Event.t -> unit
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** Ring retention off by default; [capacity] bounds memory (default
+    10_000 events, oldest evicted first). *)
+
+val enabled : t -> bool
+(** Ring retention. *)
+
+val set_enabled : t -> bool -> unit
+
+val verbose : t -> bool
+(** Whether per-packet events should be emitted (default false). *)
+
+val set_verbose : t -> bool -> unit
+
+val on_event : t -> sink -> unit
+(** Attach a streaming sink; sinks stack and fire in attachment
+    order.  Exceptions from sinks propagate to the recorder. *)
+
+val active : t -> bool
+(** [enabled t || sinks attached] — guard event construction on this. *)
+
+val record : t -> Event.t -> unit
+(** Feed sinks and, when {!enabled}, retain in the ring.  No-op when
+    {!active} is false. *)
+
+val event : t -> time:float -> node:int -> ?channel:Event.channel -> Event.kind -> unit
+(** [record] convenience wrapping {!Event.make}. *)
+
+val note : t -> time:float -> node:int -> string -> unit
+(** Record a free-form {!Event.Note}. *)
+
+val notef :
+  t -> time:float -> node:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Like {!note} with lazy formatting: when the trace is inactive the
+    format arguments are consumed without rendering — genuinely free,
+    the formatter never runs. *)
+
+val events : t -> Event.t list
+(** Ring contents, oldest first. *)
+
+val last : t -> int -> Event.t list
+(** The [n] most recent ring events, oldest of them first. *)
+
+val length : t -> int
+val capacity : t -> int
+val clear : t -> unit
+
+val dump : Format.formatter -> t -> unit
+(** Every retained event, one per line, oldest first. *)

@@ -3,6 +3,13 @@ module Pkt = Netsim.Packet
 module Engine = Eventsim.Engine
 module Timer = Eventsim.Timer
 
+(* Control-plane message accounting, always on. *)
+let m_join = Obs.Metrics.counter Obs.Metrics.default "reunite.join_msgs"
+let m_tree = Obs.Metrics.counter Obs.Metrics.default "reunite.tree_msgs"
+let m_data = Obs.Metrics.counter Obs.Metrics.default "reunite.data_msgs"
+let m_mft = Obs.Metrics.counter Obs.Metrics.default "reunite.mft_updates"
+let m_mct = Obs.Metrics.counter Obs.Metrics.default "reunite.mct_updates"
+
 type config = {
   join_period : float;
   tree_period : float;
@@ -20,6 +27,7 @@ type t = {
   network : Messages.t Net.t;
   graph : Topology.Graph.t;
   channel : Mcast.Channel.t;
+  ochan : Obs.Event.channel;
   source : int;
   router_tables : (int, Tables.t) Hashtbl.t;
   mutable source_mft : Tables.Mft.t option;
@@ -40,8 +48,35 @@ let now t = Engine.now t.engine
 let trace t ~node fmt =
   Netsim.Trace.recordf (Net.trace t.network) ~time:(now t) ~node fmt
 
+let trace_active t = Obs.Trace.active (Net.trace t.network)
+
+let ev t ~node ekind =
+  Obs.Trace.event (Net.trace t.network) ~time:(now t) ~node ~channel:t.ochan
+    ekind
+
+let meter t ~from payload =
+  (match payload with
+  | Messages.Join _ -> Obs.Metrics.incr m_join
+  | Messages.Tree _ -> Obs.Metrics.incr m_tree
+  | Messages.Data _ -> Obs.Metrics.incr m_data);
+  if trace_active t then
+    match payload with
+    | Messages.Join { member; _ } ->
+        ev t ~node:from (Obs.Event.Join { member; first = false })
+    | Messages.Tree { target; _ } -> ev t ~node:from (Obs.Event.Tree { target })
+    | Messages.Data _ -> ()
+
 let send t ~from ~dst ~kind payload =
+  meter t ~from payload;
   Net.originate t.network ~src:from ~dst ~kind payload
+
+let mft_ev t ~node ~target op =
+  Obs.Metrics.incr m_mft;
+  if trace_active t then ev t ~node (Obs.Event.Mft_update { target; op })
+
+let mct_ev t ~node ~target op =
+  Obs.Metrics.incr m_mct;
+  if trace_active t then ev t ~node (Obs.Event.Mct_update { target; op })
 
 let tables_of t n =
   match Hashtbl.find_opt t.router_tables n with
@@ -76,6 +111,7 @@ let router_handle_join t n ~member =
         if Tables.entry_stale (Tables.Mft.dst mft) ~now:nw then Net.Forward
         else begin
           ignore (Tables.Mft.refresh mft t.deadlines ~now:nw member);
+          mft_ev t ~node:n ~target:member Obs.Event.Refresh;
           Net.Consume
         end
       else if relays_member then
@@ -89,6 +125,7 @@ let router_handle_join t n ~member =
       else begin
         trace t ~node:n "capture join(%d) at branching node" member;
         Tables.Mft.add_receiver mft t.deadlines ~now:nw member;
+        mft_ev t ~node:n ~target:member Obs.Event.Add;
         Net.Consume
       end
   | None -> (
@@ -108,6 +145,9 @@ let router_handle_join t n ~member =
                   member dst;
                 let mft = Tables.Mft.create t.deadlines ~now:nw ~dst in
                 Tables.Mft.add_receiver mft t.deadlines ~now:nw member;
+                mft_ev t ~node:n ~target:dst Obs.Event.Add;
+                mft_ev t ~node:n ~target:member Obs.Event.Add;
+                mct_ev t ~node:n ~target:dst Obs.Event.Remove;
                 Tables.Mct.remove mct dst;
                 if Tables.Mct.dead mct ~now:nw then st.Tables.mct <- None;
                 st.Tables.mft <- Some mft;
@@ -127,7 +167,10 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~marked ~epoch =
   in
   if is_fork_point then begin
     let mft = Option.get st.Tables.mft in
-    if marked then Tables.Mft.stale_dst mft ~now:nw
+    if marked then begin
+      Tables.Mft.stale_dst mft ~now:nw;
+      mft_ev t ~node:n ~target Obs.Event.Mark
+    end
     else if Tables.Mft.should_fork mft ~epoch then begin
       (* A genuinely new epoch from the source: learn the upstream
          interface, refresh the dst entry and fork the tree to every
@@ -162,13 +205,16 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~marked ~epoch =
       (match st.Tables.mct with
       | Some mct ->
           Tables.Mct.remove mct target;
+          mct_ev t ~node:n ~target Obs.Event.Remove;
           if Tables.Mct.dead mct ~now:nw then st.Tables.mct <- None
       | None -> ())
     end
     else if not in_mft then begin
-      match st.Tables.mct with
+      (match st.Tables.mct with
       | Some mct -> Tables.Mct.add mct t.deadlines ~now:nw target
-      | None -> st.Tables.mct <- Some (Tables.Mct.create t.deadlines ~now:nw target)
+      | None ->
+          st.Tables.mct <- Some (Tables.Mct.create t.deadlines ~now:nw target));
+      mct_ev t ~node:n ~target Obs.Event.Add
     end;
     Net.Forward
   end
@@ -210,10 +256,15 @@ let source_handler t _net n (p : Messages.t Pkt.t) =
           (match t.source_mft with
           | None ->
               t.source_mft <-
-                Some (Tables.Mft.create t.deadlines ~now:(now t) ~dst:member)
+                Some (Tables.Mft.create t.deadlines ~now:(now t) ~dst:member);
+              mft_ev t ~node:n ~target:member Obs.Event.Add
           | Some mft ->
-              if not (Tables.Mft.refresh mft t.deadlines ~now:(now t) member)
-              then Tables.Mft.add_receiver mft t.deadlines ~now:(now t) member);
+              if Tables.Mft.refresh mft t.deadlines ~now:(now t) member then
+                mft_ev t ~node:n ~target:member Obs.Event.Refresh
+              else begin
+                Tables.Mft.add_receiver mft t.deadlines ~now:(now t) member;
+                mft_ev t ~node:n ~target:member Obs.Event.Add
+              end);
         Net.Consume
     | (Messages.Tree { channel; _ } | Messages.Data { channel; _ })
       when Mcast.Channel.equal channel t.channel ->
@@ -270,6 +321,11 @@ let setup ~config ~network ~channel ~source =
       network;
       graph;
       channel;
+      ochan =
+        {
+          Obs.Event.csrc = Mcast.Channel.source channel;
+          group = Mcast.Class_d.to_int32 (Mcast.Channel.group channel);
+        };
       source;
       router_tables = Hashtbl.create 64;
       source_mft = None;
@@ -286,11 +342,11 @@ let setup ~config ~network ~channel ~source =
     (Topology.Graph.routers graph);
   Net.chain network source (source_handler t);
   ignore
-    (Timer.every engine ~start:config.tree_period ~period:config.tree_period
-       (fun () -> source_tick t));
+    (Timer.every engine ~tag:"reunite.source_tick" ~start:config.tree_period
+       ~period:config.tree_period (fun () -> source_tick t));
   ignore
-    (Timer.every engine ~start:config.tree_period ~period:config.tree_period
-       (fun () ->
+    (Timer.every engine ~tag:"reunite.sweep" ~start:config.tree_period
+       ~period:config.tree_period (fun () ->
          Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now:(now t)) t.router_tables));
   t
 
@@ -314,8 +370,10 @@ let subscribe t r =
   if not (List.mem r t.members) then begin
     t.members <- r :: t.members;
     Net.set_sink t.network r true;
+    if trace_active t then ev t ~node:r Obs.Event.Member_join;
     let timer =
-      Timer.every t.engine ~start:0.0 ~period:t.config.join_period (fun () ->
+      Timer.every t.engine ~tag:"reunite.join_timer" ~start:0.0
+        ~period:t.config.join_period (fun () ->
           send t ~from:r ~dst:t.source ~kind:Pkt.Control
             (Messages.Join { channel = t.channel; member = r }))
     in
@@ -325,6 +383,7 @@ let subscribe t r =
 let unsubscribe t r =
   if List.mem r t.members then begin
     t.members <- List.filter (fun m -> m <> r) t.members;
+    if trace_active t then ev t ~node:r Obs.Event.Member_leave;
     (match Hashtbl.find_opt t.member_timers r with
     | Some timer ->
         Timer.stop timer;

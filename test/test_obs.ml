@@ -1,0 +1,249 @@
+(* Tests for the telemetry subsystem: ring-buffer eviction, metric
+   instrument semantics, JSON round-trips, the lazy-formatting trace,
+   and an end-to-end assertion that an ISP-scenario HBH run reports
+   into the default registry and trace. *)
+
+(* ---- Ring buffer ------------------------------------------------------- *)
+
+let test_ring_eviction () =
+  let r = Obs.Ring.create ~capacity:3 in
+  Alcotest.(check int) "capacity" 3 (Obs.Ring.capacity r);
+  List.iter (Obs.Ring.push r) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "length capped" 3 (Obs.Ring.length r);
+  Alcotest.(check (list int)) "oldest evicted first" [ 3; 4; 5 ]
+    (Obs.Ring.to_list r);
+  Alcotest.(check (list int)) "last n, oldest-of-them first" [ 4; 5 ]
+    (Obs.Ring.last r 2);
+  Alcotest.(check (list int)) "last over-asks clamps" [ 3; 4; 5 ]
+    (Obs.Ring.last r 10);
+  Alcotest.(check int) "fold sees survivors" 12
+    (Obs.Ring.fold (fun acc x -> acc + x) 0 r);
+  Obs.Ring.clear r;
+  Alcotest.(check int) "clear empties" 0 (Obs.Ring.length r);
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (Obs.Ring.create ~capacity:0))
+
+let test_ring_partial () =
+  let r = Obs.Ring.create ~capacity:4 in
+  Obs.Ring.push r "a";
+  Obs.Ring.push r "b";
+  Alcotest.(check (list string)) "unfilled keeps all" [ "a"; "b" ]
+    (Obs.Ring.to_list r)
+
+(* ---- Metrics instruments ----------------------------------------------- *)
+
+let test_counter_semantics () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "x.count" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Metrics.value c);
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Obs.Metrics.value c);
+  (* Interning: same name returns the same instrument. *)
+  let c' = Obs.Metrics.counter reg "x.count" in
+  Obs.Metrics.incr c';
+  Alcotest.(check int) "interned by name" 43 (Obs.Metrics.value c);
+  Obs.Metrics.reset reg;
+  Alcotest.(check int) "reset zeroes, reference stays live" 0
+    (Obs.Metrics.value c)
+
+let test_gauge_semantics () =
+  let reg = Obs.Metrics.create () in
+  let g = Obs.Metrics.gauge reg "x.level" in
+  Alcotest.(check bool) "nan until set" true
+    (Float.is_nan (Obs.Metrics.gauge_value g));
+  Obs.Metrics.set g 2.5;
+  Obs.Metrics.set g 7.0;
+  Alcotest.(check (float 0.0)) "last value wins" 7.0
+    (Obs.Metrics.gauge_value g)
+
+let test_histogram_semantics () =
+  let h = Obs.Histo.create ~buckets:[| 1.0; 10.0; 100.0 |] () in
+  List.iter (Obs.Histo.observe h) [ 0.5; 5.0; 5.0; 50.0; 5000.0 ];
+  Alcotest.(check int) "count" 5 (Obs.Histo.count h);
+  Alcotest.(check (float 1e-9)) "sum" 5060.5 (Obs.Histo.sum h);
+  let s = Obs.Histo.snapshot h in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "bucket counts"
+    [ (1.0, 1); (10.0, 2); (100.0, 1) ]
+    s.Obs.Histo.buckets;
+  Alcotest.(check int) "overflow" 1 s.Obs.Histo.overflow;
+  Alcotest.(check (float 0.0)) "min" 0.5 s.Obs.Histo.min;
+  Alcotest.(check (float 0.0)) "max" 5000.0 s.Obs.Histo.max;
+  Obs.Histo.reset h;
+  Alcotest.(check int) "reset" 0 (Obs.Histo.count h)
+
+(* ---- JSON -------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let j =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.String "a \"quoted\"\n\tstring \\ with escapes");
+        ("i", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 2.5);
+        ("b", Obs.Json.Bool true);
+        ("n", Obs.Json.Null);
+        ("l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Int 2 ]);
+      ]
+  in
+  match Obs.Json.of_string (Obs.Json.to_string j) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j' ->
+      Alcotest.(check string) "print-parse-print stable"
+        (Obs.Json.to_string j) (Obs.Json.to_string j');
+      Alcotest.(check (option int)) "member access" (Some (-42))
+        Obs.Json.(Option.bind (member "i" j') to_int)
+
+let test_json_rejects_garbage () =
+  let bad s =
+    match Obs.Json.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  List.iter bad [ ""; "{"; "[1,]"; "tru"; "\"unterminated"; "{1: 2}"; "1 2" ]
+
+let test_snapshot_json_roundtrip () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "proto.msgs" in
+  Obs.Metrics.add c 17;
+  Obs.Metrics.set (Obs.Metrics.gauge reg "load") 0.75;
+  let h = Obs.Metrics.histogram reg ~buckets:[| 1.0; 10.0 |] "delay" in
+  List.iter (Obs.Histo.observe h) [ 0.2; 3.0; 99.0 ];
+  let snap = Obs.Metrics.snapshot reg in
+  let json = Obs.Metrics.snapshot_to_json snap in
+  match Obs.Json.of_string (Obs.Json.to_string json) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok j -> (
+      match Obs.Metrics.snapshot_of_json j with
+      | Error e -> Alcotest.failf "snapshot decode failed: %s" e
+      | Ok snap' ->
+          Alcotest.(check (list (pair string int)))
+            "counters round-trip" snap.Obs.Metrics.counters
+            snap'.Obs.Metrics.counters;
+          Alcotest.(check (list (pair string (float 1e-9))))
+            "gauges round-trip" snap.Obs.Metrics.gauges
+            snap'.Obs.Metrics.gauges;
+          let hist s =
+            List.map
+              (fun (n, (h : Obs.Histo.snapshot)) ->
+                (n, (h.buckets, h.overflow, h.count)))
+              s.Obs.Metrics.histograms
+          in
+          Alcotest.(
+            check
+              (list
+                 (pair string
+                    (triple (list (pair (float 0.0) int)) int int))))
+            "histograms round-trip" (hist snap) (hist snap'))
+
+(* ---- Trace ------------------------------------------------------------- *)
+
+let test_notef_short_circuit () =
+  let t = Obs.Trace.create ~enabled:false () in
+  let rendered = ref false in
+  let spy ppf = Format.fprintf ppf "%b" (rendered := true; !rendered) in
+  Obs.Trace.notef t ~time:1.0 ~node:0 "spy: %t" spy;
+  Alcotest.(check bool) "inactive trace never formats" false !rendered;
+  Alcotest.(check int) "nothing recorded" 0 (Obs.Trace.length t);
+  Obs.Trace.set_enabled t true;
+  Obs.Trace.notef t ~time:2.0 ~node:0 "spy: %t" spy;
+  Alcotest.(check bool) "active trace formats" true !rendered;
+  Alcotest.(check int) "note recorded" 1 (Obs.Trace.length t)
+
+let test_sink_without_ring () =
+  let t = Obs.Trace.create ~enabled:false () in
+  Alcotest.(check bool) "disabled, no sink: inactive" false
+    (Obs.Trace.active t);
+  let seen = ref [] in
+  Obs.Trace.on_event t (fun e -> seen := e :: !seen);
+  Alcotest.(check bool) "sink makes it active" true (Obs.Trace.active t);
+  Obs.Trace.event t ~time:3.0 ~node:7 Obs.Event.Member_join;
+  Alcotest.(check int) "sink saw the event" 1 (List.length !seen);
+  Alcotest.(check int) "ring stayed empty (not enabled)" 0
+    (Obs.Trace.length t)
+
+let test_ring_bound_and_order () =
+  let t = Obs.Trace.create ~enabled:true ~capacity:2 () in
+  for i = 1 to 3 do
+    Obs.Trace.event t ~time:(float_of_int i) ~node:i Obs.Event.Member_join
+  done;
+  match Obs.Trace.events t with
+  | [ a; b ] ->
+      Alcotest.(check (float 0.0)) "oldest surviving" 2.0 a.Obs.Event.time;
+      Alcotest.(check (float 0.0)) "newest" 3.0 b.Obs.Event.time
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+
+(* ---- End to end: ISP-scenario HBH run reports into obs ------------------ *)
+
+let count_kind trace pred =
+  List.length (List.filter (fun (e : Obs.Event.t) -> pred e.kind) (Obs.Trace.events trace))
+
+let test_hbh_isp_run_reports () =
+  Obs.Metrics.reset Obs.Metrics.default;
+  let g = Topology.Isp.create () in
+  let rng = Stats.Rng.create 7 in
+  Workload.Scenario.randomize rng g;
+  let table = Routing.Table.compute g in
+  let trace = Obs.Trace.create ~enabled:true ~capacity:65536 () in
+  let session = Hbh.Protocol.create ~trace table ~source:Topology.Isp.source in
+  let receivers =
+    List.filteri (fun i _ -> i mod 3 = 0) Topology.Isp.receiver_hosts
+  in
+  List.iter (Hbh.Protocol.subscribe session) receivers;
+  Hbh.Protocol.converge session;
+  let d = Hbh.Protocol.probe session in
+  Alcotest.(check (list int)) "tree serves the receivers"
+    (List.sort compare receivers)
+    (Mcast.Distribution.receivers d);
+  let joins = count_kind trace (function Obs.Event.Join _ -> true | _ -> false) in
+  let trees = count_kind trace (function Obs.Event.Tree _ -> true | _ -> false) in
+  Alcotest.(check bool) "join events recorded" true (joins > 0);
+  Alcotest.(check bool) "tree events recorded" true (trees > 0);
+  let snap = Obs.Metrics.snapshot Obs.Metrics.default in
+  let counter name =
+    match Obs.Metrics.find_counter snap name with
+    | Some n -> n
+    | None -> Alcotest.failf "counter %s missing from snapshot" name
+  in
+  Alcotest.(check bool) "hbh.join_msgs > 0" true (counter "hbh.join_msgs" > 0);
+  Alcotest.(check bool) "hbh.tree_msgs > 0" true (counter "hbh.tree_msgs" > 0);
+  Alcotest.(check int) "engine.events_fired counter tracks the engine"
+    (Eventsim.Engine.events_fired (Hbh.Protocol.engine session))
+    (counter "engine.events_fired")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "eviction order" `Quick test_ring_eviction;
+          Alcotest.test_case "partial fill" `Quick test_ring_partial;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_semantics;
+          Alcotest.test_case "gauge" `Quick test_gauge_semantics;
+          Alcotest.test_case "histogram" `Quick test_histogram_semantics;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "value round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "metrics snapshot round-trip" `Quick
+            test_snapshot_json_roundtrip;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "notef short-circuits" `Quick
+            test_notef_short_circuit;
+          Alcotest.test_case "sink without ring" `Quick test_sink_without_ring;
+          Alcotest.test_case "bounded, ordered" `Quick test_ring_bound_and_order;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "ISP HBH run reports" `Quick
+            test_hbh_isp_run_reports;
+        ] );
+    ]
