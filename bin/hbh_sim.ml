@@ -208,8 +208,8 @@ let demo_asymmetry_cmd =
     "Figure 2/5 walk-through: REUNITE serves r2 on a detour; HBH on the \
      shortest path."
   in
-  let run o =
-    with_obs o ~seed:42 ~companion:isp_companion (fun () ->
+  let run o seed =
+    with_obs o ~seed ~companion:isp_companion (fun () ->
         let module D = Experiments.Scenarios.Detour in
         Format.printf
           "Topology: the Section 2.3 example (S=0, R1..R4=1..4, r1=5, r2=6).@.";
@@ -222,15 +222,15 @@ let demo_asymmetry_cmd =
         Format.printf "Extra delay REUNITE imposes on r2: %.1f time units@."
           (D.delay_gap ()))
   in
-  Cmd.v (Cmd.info "demo-asymmetry" ~doc) Term.(const run $ obs_term)
+  Cmd.v (Cmd.info "demo-asymmetry" ~doc) Term.(const run $ obs_term $ seed_arg)
 
 let demo_duplication_cmd =
   let doc =
     "Figure 3 walk-through: REUNITE duplicates packets on a shared link; HBH \
      does not."
   in
-  let run o =
-    with_obs o ~seed:42 ~companion:isp_companion (fun () ->
+  let run o seed =
+    with_obs o ~seed ~companion:isp_companion (fun () ->
         let module D = Experiments.Scenarios.Duplication in
         let u, v = D.shared_link in
         Format.printf
@@ -241,7 +241,7 @@ let demo_duplication_cmd =
         Format.printf "Tree cost: REUNITE %d, HBH %d@." (D.reunite_cost ())
           (D.hbh_cost ()))
   in
-  Cmd.v (Cmd.info "demo-duplication" ~doc) Term.(const run $ obs_term)
+  Cmd.v (Cmd.info "demo-duplication" ~doc) Term.(const run $ obs_term $ seed_arg)
 
 let scaling_cmd =
   let doc =
@@ -411,6 +411,81 @@ let asymmetry_cmd =
   in
   Cmd.v (Cmd.info "asymmetry" ~doc) Term.(const run $ obs_term $ seed_arg)
 
+let faults_cmd =
+  let doc =
+    "Fault-injection recovery experiment: HBH vs REUNITE vs PIM-SSM through \
+     a mid-tree router crash (with restart), a tree-link failure (with \
+     restoration) and a 30% loss burst, with routing reconvergence after \
+     each topology change.  Deterministic in $(b,--seed): equal seeds \
+     reproduce the report and the metrics snapshot bit for bit."
+  in
+  let metrics_json =
+    let doc = "Write the metrics registry snapshot as JSON to $(docv)." in
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+  in
+  let scenario =
+    let doc =
+      "Run a single scenario ($(docv) is $(b,crash), $(b,link-down) or \
+       $(b,loss-burst)) instead of all three."
+    in
+    let scenario_conv =
+      Arg.enum
+        (List.map
+           (fun s -> (Experiments.Faults.scenario_name s, s))
+           Experiments.Faults.all_scenarios)
+    in
+    Arg.(value & opt (some scenario_conv) None & info [ "scenario" ] ~docv:"S" ~doc)
+  in
+  let run seed metrics_json scenario =
+    let scenarios =
+      match scenario with
+      | None -> Experiments.Faults.all_scenarios
+      | Some s -> [ s ]
+    in
+    let outcomes = Experiments.Faults.run ~seed ~scenarios () in
+    Experiments.Faults.pp_outcomes Format.std_formatter outcomes;
+    let crash_ok =
+      List.filter
+        (fun (o : Experiments.Faults.outcome) ->
+          o.scenario = Experiments.Faults.Crash
+          && o.proto = Experiments.Faults.P_hbh)
+        outcomes
+    in
+    List.iter
+      (fun (o : Experiments.Faults.outcome) ->
+        let r = o.report in
+        Format.printf
+          "@.HBH after the %s crash (%s): %s within the %.0f budget (ttr %s, \
+           %d lost, %d duplicated)@."
+          o.target o.topology
+          (if
+             r.Fault.Recovery.recovered
+             && match r.Fault.Recovery.max_time_to_repair with
+                | Some ttr -> ttr <= o.budget
+                | None -> false
+           then "re-delivered to all receivers"
+           else "DID NOT recover")
+          o.budget
+          (match r.Fault.Recovery.max_time_to_repair with
+          | Some ttr -> Printf.sprintf "%.0f" ttr
+          | None -> "-")
+          r.Fault.Recovery.total_lost r.Fault.Recovery.total_duplicated)
+      crash_ok;
+    match metrics_json with
+    | None -> ()
+    | Some file ->
+        let snap = Obs.Metrics.snapshot Obs.Metrics.default in
+        let oc = open_out file in
+        output_string oc (Obs.Json.to_string (Obs.Metrics.snapshot_to_json snap));
+        output_char oc '\n';
+        close_out oc;
+        Format.eprintf "metrics snapshot written to %s@." file
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(const run $ seed_arg $ metrics_json $ scenario)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -419,10 +494,9 @@ let () =
     Cmd.info "hbh_sim" ~version:"1.0.0"
       ~doc:"Reproduction of the SIGCOMM'01 Hop-By-Hop multicast evaluation"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group ~default info
-          [
+  let group =
+    Cmd.group ~default info
+      [
             fig_cmd "fig7a" "7(a)" ~cost:true ~topo:`Isp;
             fig_cmd "fig7b" "7(b)" ~cost:true ~topo:`Rand50;
             fig_cmd "fig8a" "8(a)" ~cost:false ~topo:`Isp;
@@ -436,6 +510,31 @@ let () =
             scaling_cmd;
             symmetry_cmd;
             overhead_cmd;
-            asymmetry_cmd;
-            validate_cmd;
-          ]))
+        asymmetry_cmd;
+        validate_cmd;
+        faults_cmd;
+      ]
+  in
+  (* Unknown subcommands or flags: one-line usage on stderr, exit 2
+     (scripts distinguish "bad invocation" from a failing run). *)
+  let err_buf = Buffer.create 256 in
+  let err_fmt = Format.formatter_of_buffer err_buf in
+  match Cmd.eval_value ~err:err_fmt group with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term) ->
+      Format.pp_print_flush err_fmt ();
+      let msg = String.trim (Buffer.contents err_buf) in
+      let first_line =
+        match String.index_opt msg '\n' with
+        | Some i -> String.sub msg 0 i
+        | None -> msg
+      in
+      if first_line <> "" then prerr_endline first_line;
+      prerr_endline
+        "usage: hbh_sim COMMAND [--seed N] [--runs N] [--csv] [--metrics-json \
+         FILE] (try 'hbh_sim --help')";
+      exit 2
+  | Error `Exn ->
+      Format.pp_print_flush err_fmt ();
+      prerr_string (Buffer.contents err_buf);
+      exit Cmd.Exit.internal_error

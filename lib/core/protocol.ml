@@ -11,6 +11,8 @@ let m_fusion = Obs.Metrics.counter Obs.Metrics.default "hbh.fusion_msgs"
 let m_data = Obs.Metrics.counter Obs.Metrics.default "hbh.data_msgs"
 let m_mft = Obs.Metrics.counter Obs.Metrics.default "hbh.mft_updates"
 let m_mct = Obs.Metrics.counter Obs.Metrics.default "hbh.mct_updates"
+let m_crash_wipes = Obs.Metrics.counter Obs.Metrics.default "hbh.crash_wipes"
+let m_route_changes = Obs.Metrics.counter Obs.Metrics.default "hbh.route_changes"
 
 type config = {
   join_period : float;
@@ -38,6 +40,15 @@ type t = {
   member_last_seen : (int, float ref) Hashtbl.t;
   member_handler_installed : (int, unit) Hashtbl.t;
   mutable data_seq : int;
+  (* Loop damping.  Faults can leave the MFT entry graph momentarily
+     cyclic (a restarted router re-learns a peer that still holds a
+     stale entry pointing back); without a guard each lap of such a
+     cycle would regenerate messages and the exchange grows
+     exponentially.  In healthy (acyclic) operation both guards are
+     no-ops: a router regenerates trees once per period and sees each
+     data sequence number exactly once. *)
+  tree_emit_at : (int, float) Hashtbl.t;  (* router -> last rule-1 emit *)
+  data_seen : (int, int) Hashtbl.t;  (* router -> highest seq re-emitted *)
 }
 
 let engine t = t.engine
@@ -154,8 +165,17 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
   | Tables.Forwarding mft ->
       if p.Pkt.dst = n then begin
         (* Rule 1: the tree message was for us; regenerate one per
-           non-stale entry. *)
-        emit_trees t ~at:n mft;
+           non-stale entry — at most once per half tree period, so a
+           transiently cyclic entry graph cannot amplify (the guard
+           never fires in healthy operation: the upstream owner sends
+           us one tree per period). *)
+        let last =
+          Option.value ~default:neg_infinity (Hashtbl.find_opt t.tree_emit_at n)
+        in
+        if now -. last >= 0.5 *. t.config.tree_period then begin
+          Hashtbl.replace t.tree_emit_at n now;
+          emit_trees t ~at:n mft
+        end;
         Net.Consume
       end
       else begin
@@ -219,7 +239,7 @@ let router_handle_fusion t n (p : Messages.t Pkt.t) ~members ~sender =
     | Tables.Forwarding mft ->
         List.iter
           (fun m ->
-            ignore (Tables.Mft.mark mft ~now:(now t) m);
+            ignore (Tables.Mft.mark mft t.deadlines ~now:(now t) m);
             mft_ev t ~node:n ~target:m Obs.Event.Mark)
           members;
         if sender <> n then begin
@@ -232,16 +252,23 @@ let router_handle_fusion t n (p : Messages.t Pkt.t) ~members ~sender =
     Net.Consume
   end
 
-let router_handle_data t n (p : Messages.t Pkt.t) =
+let router_handle_data t n (p : Messages.t Pkt.t) ~seq =
   if p.Pkt.dst <> n then Net.Forward
   else begin
     member_seen t n;
     let tb = tables_of t n in
     (match Tables.find tb t.channel with
     | Tables.Forwarding mft ->
-        List.iter
-          (fun x -> Net.emit t.network ~at:n (Pkt.rewrite p ~src:n ~dst:x ()))
-          (Tables.Mft.data_targets mft ~now:(now t))
+        (* Re-emit each sequence number once: a healthy tree delivers
+           every packet here exactly once anyway, and the guard stops
+           a transiently cyclic entry graph from circulating copies. *)
+        let seen = Option.value ~default:0 (Hashtbl.find_opt t.data_seen n) in
+        if seq > seen then begin
+          Hashtbl.replace t.data_seen n seq;
+          List.iter
+            (fun x -> Net.emit t.network ~at:n (Pkt.rewrite p ~src:n ~dst:x ()))
+            (Tables.Mft.data_targets mft ~now:(now t))
+        end
     | Tables.Control _ | Tables.No_state -> ());
     Net.Consume
   end
@@ -257,8 +284,8 @@ let router_handler t _net n (p : Messages.t Pkt.t) =
   | Messages.Fusion { channel; members; sender }
     when Mcast.Channel.equal channel t.channel ->
       router_handle_fusion t n p ~members ~sender
-  | Messages.Data { channel; _ } when Mcast.Channel.equal channel t.channel ->
-      router_handle_data t n p
+  | Messages.Data { channel; seq } when Mcast.Channel.equal channel t.channel ->
+      router_handle_data t n p ~seq
   | Messages.Join _ | Messages.Tree _ | Messages.Fusion _ | Messages.Data _ ->
       Net.Forward
 
@@ -278,7 +305,7 @@ let source_handler t _net n (p : Messages.t Pkt.t) =
     | Messages.Fusion { channel; members; sender }
       when Mcast.Channel.equal channel t.channel ->
         List.iter
-          (fun m -> ignore (Tables.Mft.mark t.source_mft ~now:(now t) m))
+          (fun m -> ignore (Tables.Mft.mark t.source_mft t.deadlines ~now:(now t) m))
           members;
         if sender <> t.source then
           ignore (Tables.Mft.add_stale t.source_mft t.deadlines ~now:(now t) sender);
@@ -338,6 +365,8 @@ let setup ~config ~network ~channel ~source =
       member_last_seen = Hashtbl.create 16;
       member_handler_installed = Hashtbl.create 16;
       data_seq = 0;
+      tree_emit_at = Hashtbl.create 16;
+      data_seen = Hashtbl.create 16;
     }
   in
   (* Agents on every multicast-capable router (the source gets its own
@@ -364,6 +393,23 @@ let setup ~config ~network ~channel ~source =
     (Timer.every ~tag:"hbh.sweep" engine ~start:config.tree_period
        ~period:config.tree_period (fun () ->
          Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now:(now t)) t.router_tables));
+  (* A crash wipes the node's volatile soft state; recovery then
+     happens purely through the join/tree refresh cycle.  The handler
+     stays chained (the network skips handlers of down nodes), so a
+     restarted router resumes as a blank slate. *)
+  Net.on_node_event network (fun ~up n ->
+      if not up then begin
+        Obs.Metrics.incr m_crash_wipes;
+        if n = source then Tables.Mft.clear t.source_mft
+        else Hashtbl.remove t.router_tables n;
+        Hashtbl.remove t.tree_emit_at n;
+        Hashtbl.remove t.data_seen n;
+        trace t ~node:n "crash: HBH state wiped"
+      end);
+  (* Unicast reconvergence needs no explicit protocol action — every
+     forwarding decision re-reads the routing table — but sessions
+     account for it so overhead inflation can be attributed. *)
+  Net.on_route_change network (fun () -> Obs.Metrics.incr m_route_changes);
   t
 
 let create ?(config = default_config) ?trace ?channel table ~source =
@@ -435,6 +481,8 @@ let run_for t d = Engine.run ~until:(now t +. d) t.engine
 let converge ?(periods = 12) t =
   run_for t (float_of_int periods *. t.config.tree_period)
 
+let data_seq t = t.data_seq
+
 let send_data t =
   t.data_seq <- t.data_seq + 1;
   let payload = Messages.Data { channel = t.channel; seq = t.data_seq } in
@@ -479,6 +527,8 @@ let state t =
     branching_routers = !branching;
     on_tree_routers = !on_tree;
   }
+
+let source_table t = t.source_mft
 
 let router_tables t n =
   match Hashtbl.find_opt t.router_tables n with

@@ -83,6 +83,11 @@ val probe : t -> Mcast.Distribution.t
 val send_data : t -> unit
 (** Fire-and-forget data packet (no accounting reset). *)
 
+val data_seq : t -> int
+(** Sequence number of the last data packet sent (0 initially); each
+    {!send_data} increments it, so callers can correlate sends with
+    the deliveries observed via {!Netsim.Network.on_delivery}. *)
+
 (** {1 Inspection} *)
 
 val state : t -> Mcast.Metrics.state
@@ -90,6 +95,11 @@ val state : t -> Mcast.Metrics.state
 
 val router_tables : t -> int -> Tables.t
 (** Raises [Invalid_argument] for nodes without an agent. *)
+
+val source_table : t -> Tables.Mft.t
+(** The source's own forwarding table (first-hop receivers and
+    branching nodes); kept alive by join messages alone, so
+    suppressing joins lets its entries age through t1/t2. *)
 
 val branching_routers : t -> int list
 

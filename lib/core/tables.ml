@@ -2,13 +2,14 @@ type deadlines = { t1 : float; t2 : float }
 
 type entry = {
   node : int;
-  mutable marked : bool;
+  mutable marked_until : float;
   mutable fresh_until : float;
   mutable expires_at : float;
 }
 
 let entry_stale e ~now = now >= e.fresh_until
 let entry_dead e ~now = now >= e.expires_at
+let entry_marked e ~now = now < e.marked_until
 
 module Mft = struct
   type t = (int, entry) Hashtbl.t
@@ -27,7 +28,12 @@ module Mft = struct
         e
     | None ->
         let e =
-          { node = n; marked = false; fresh_until = now +. dl.t1; expires_at = now +. dl.t2 }
+          {
+            node = n;
+            marked_until = neg_infinity;
+            fresh_until = now +. dl.t1;
+            expires_at = now +. dl.t2;
+          }
         in
         Hashtbl.replace t n e;
         e
@@ -43,7 +49,12 @@ module Mft = struct
         e
     | None ->
         let e =
-          { node = n; marked = false; fresh_until = now; expires_at = now +. dl.t2 }
+          {
+            node = n;
+            marked_until = neg_infinity;
+            fresh_until = now;
+            expires_at = now +. dl.t2;
+          }
         in
         Hashtbl.replace t n e;
         e
@@ -56,10 +67,17 @@ module Mft = struct
         true
     | None -> false
 
-  let mark t ~now:_ n =
+  (* The mark is soft state like everything else: it stands for a
+     downstream branching node's claim over the member, a claim only
+     valid while the tree/fusion cycle that produced it keeps running
+     — so it decays at t1 unless re-asserted by the next fusion.  A
+     permanent mark would outlive the topology that justified it:
+     after a reroute and return, both candidate branching children
+     end up marked and the router goes dark for data. *)
+  let mark t dl ~now n =
     match Hashtbl.find_opt t n with
     | Some e ->
-        e.marked <- true;
+        e.marked_until <- now +. dl.t1;
         true
     | None -> false
 
@@ -74,7 +92,8 @@ module Mft = struct
 
   let data_targets t ~now =
     live t ~now
-    |> List.filter_map (fun e -> if e.marked then None else Some e.node)
+    |> List.filter_map (fun e ->
+           if entry_marked e ~now then None else Some e.node)
     |> List.sort compare
 
   let tree_targets t ~now =
@@ -84,6 +103,8 @@ module Mft = struct
     |> List.sort compare
 
   let members t = Hashtbl.fold (fun n _ acc -> n :: acc) t [] |> List.sort compare
+
+  let clear (t : t) = Hashtbl.reset t
 
   let entries t =
     Hashtbl.fold (fun _ e acc -> e :: acc) t []

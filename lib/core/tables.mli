@@ -5,21 +5,26 @@
     but no longer generating downstream tree messages; when [t2]
     expires it is destroyed.  An entry may additionally be {e marked}
     (by a fusion): marked entries forward tree messages but not data.
-    Timers are realized as absolute deadlines compared against the
-    simulation clock, with an explicit {!expire} sweep. *)
+    The mark is itself soft state with a t1 lifetime — the periodic
+    fusion cycle re-asserts it, and it lapses when the downstream
+    branching node that claimed the member stops doing so (e.g. after
+    routing moved the tree elsewhere).  Timers are realized as
+    absolute deadlines compared against the simulation clock, with an
+    explicit {!expire} sweep. *)
 
 type deadlines = { t1 : float; t2 : float }
 (** Relative validity durations, [0 < t1 < t2]. *)
 
 type entry = private {
   node : int;  (** the receiver or downstream branching node *)
-  mutable marked : bool;
+  mutable marked_until : float;  (** absolute mark-decay deadline *)
   mutable fresh_until : float;  (** absolute t1 deadline *)
   mutable expires_at : float;  (** absolute t2 deadline *)
 }
 
 val entry_stale : entry -> now:float -> bool
 val entry_dead : entry -> now:float -> bool
+val entry_marked : entry -> now:float -> bool
 
 (** {1 Multicast forwarding table (branching routers)} *)
 
@@ -45,11 +50,12 @@ module Mft : sig
   (** Join-style refresh: restart both timers, keep [marked].  False
       if absent. *)
 
-  val mark : t -> now:float -> int -> bool
-  (** Set [marked] on an existing entry {e without} touching t2 (a
-      marked entry not refreshed by joins must die — that is how the
-      Figure 5 walk-through sheds the source's direct receiver
-      entries).  False if absent. *)
+  val mark : t -> deadlines -> now:float -> int -> bool
+  (** Mark an existing entry for t1 {e without} touching t2 (a marked
+      entry not refreshed by joins must die — that is how the Figure 5
+      walk-through sheds the source's direct receiver entries).  The
+      mark lapses at t1 unless a later fusion renews it.  False if
+      absent. *)
 
   val expire : t -> now:float -> unit
   (** Drop dead entries. *)
@@ -64,6 +70,9 @@ module Mft : sig
 
   val members : t -> int list
   (** All live entry nodes, ascending (the fusion payload). *)
+
+  val clear : t -> unit
+  (** Drop every entry (a crashed node's volatile memory). *)
 
   val entries : t -> entry list
   (** All entries (dead ones included until swept), ascending by

@@ -1,0 +1,394 @@
+(* The fault-recovery experiment: HBH vs REUNITE vs PIM-SSM under an
+   identical fault plan, measuring time-to-repair, deliveries lost,
+   duplicates and control-overhead inflation.  Everything is
+   deterministic in (topology seed, fault seed): two invocations with
+   the same seeds produce bit-identical reports. *)
+
+module G = Topology.Graph
+module Engine = Eventsim.Engine
+module Timer = Eventsim.Timer
+module Net = Netsim.Network
+
+type scenario = Crash | Link_failure | Loss_burst
+
+let all_scenarios = [ Crash; Link_failure; Loss_burst ]
+
+let scenario_name = function
+  | Crash -> "crash"
+  | Link_failure -> "link-down"
+  | Loss_burst -> "loss-burst"
+
+type proto = P_hbh | P_reunite | P_pim_ssm
+
+let all_protos = [ P_hbh; P_reunite; P_pim_ssm ]
+
+let proto_name = function
+  | P_hbh -> "HBH"
+  | P_reunite -> "REUNITE"
+  | P_pim_ssm -> "PIM-SSM"
+
+(* ---- Fault-target selection (topology-only, protocol-neutral) ---- *)
+
+(* The transit router crossed by the most receivers' unicast paths
+   from the source — "mid-tree".  The source's own attachment router
+   is avoided when any alternative exists (crashing it disconnects
+   everything, which measures the restart timer rather than the
+   protocol).  Ties break to the smallest id. *)
+let pick_crash_router table ~source ~receivers =
+  let g = Routing.Table.graph table in
+  let counts = Hashtbl.create 16 in
+  let bump n =
+    Hashtbl.replace counts n (1 + Option.value ~default:0 (Hashtbl.find_opt counts n))
+  in
+  List.iter
+    (fun r ->
+      match Routing.Table.path table source r with
+      | _ :: interior -> (
+          match List.rev interior with
+          | _ :: rev_interior ->
+              List.iter (fun n -> if G.is_router g n then bump n) rev_interior
+          | [] -> ())
+      | [] -> ())
+    receivers;
+  let src_router =
+    if G.is_host g source then Some (G.router_of_host g source) else Some source
+  in
+  let best =
+    Hashtbl.fold
+      (fun n c best ->
+        let preferred = Some n <> src_router in
+        match best with
+        | None -> Some (n, c, preferred)
+        | Some (bn, bc, bp) ->
+            if
+              (preferred, c, -n) > (bp, bc, -bn)
+            then Some (n, c, preferred)
+            else Some (bn, bc, bp))
+      counts None
+  in
+  match best with
+  | Some (n, _, _) -> n
+  | None -> invalid_arg "Faults.pick_crash_router: no transit router"
+
+(* The router-router link carrying the most receivers' paths; failing
+   it forces reconvergence onto an alternate route (host access links
+   are excluded — they have no alternative). *)
+let pick_tree_link table ~source ~receivers =
+  let g = Routing.Table.graph table in
+  let counts = Hashtbl.create 16 in
+  let canon u v = if u <= v then (u, v) else (v, u) in
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+        if G.is_router g a && G.is_router g b then begin
+          let k = canon a b in
+          Hashtbl.replace counts k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+        end;
+        walk rest
+    | _ -> ()
+  in
+  List.iter (fun r -> walk (Routing.Table.path table source r)) receivers;
+  let best =
+    Hashtbl.fold
+      (fun k c best ->
+        match best with
+        | None -> Some (k, c)
+        | Some (bk, bc) -> if (c, (-1 * fst k, -1 * snd k)) > (bc, (-1 * fst bk, -1 * snd bk)) then Some (k, c) else Some (bk, bc))
+      counts None
+  in
+  match best with
+  | Some ((u, v), _) -> (u, v)
+  | None -> invalid_arg "Faults.pick_tree_link: no router-router tree link"
+
+(* ---- Per-protocol driver ----------------------------------------- *)
+
+(* Monomorphic closure bundle so one runner drives all three stacks. *)
+type ops = {
+  engine : Engine.t;
+  subscribe : int -> unit;
+  converge : unit -> unit;
+  run_until : float -> unit;
+  send_probe : unit -> int;  (* sends one data packet; its seq, or 0 *)
+  install_delivery : (now:float -> receiver:int -> seq:int -> unit) -> unit;
+  control : unit -> int;
+  counters : unit -> Net.counters;
+  install_plan : seed:int -> Fault.Plan.t -> unit;
+  t2 : float;  (* the protocol's slowest soft-state deadline *)
+}
+
+let hbh_ops graph ~source =
+  let table = Routing.Table.compute graph in
+  let s = Hbh.Protocol.create table ~source in
+  let net = Hbh.Protocol.network s in
+  let cfg = Hbh.Protocol.default_config in
+  {
+    engine = Hbh.Protocol.engine s;
+    subscribe = Hbh.Protocol.subscribe s;
+    converge = (fun () -> Hbh.Protocol.converge ~periods:12 s);
+    run_until =
+      (fun u -> Engine.run ~until:u (Hbh.Protocol.engine s));
+    send_probe =
+      (fun () ->
+        let b = Hbh.Protocol.data_seq s in
+        Hbh.Protocol.send_data s;
+        let a = Hbh.Protocol.data_seq s in
+        if a > b then a else 0);
+    install_delivery =
+      (fun f ->
+        Net.on_delivery net (fun ~now ~node p ->
+            match p.Netsim.Packet.payload with
+            | Hbh.Messages.Data { seq; _ } -> f ~now ~receiver:node ~seq
+            | _ -> ()));
+    control = (fun () -> Hbh.Protocol.control_overhead s);
+    counters = (fun () -> Net.counters net);
+    install_plan =
+      (fun ~seed plan -> ignore (Fault.Injector.install ~seed net plan));
+    t2 = cfg.t2;
+  }
+
+let reunite_ops graph ~source =
+  let table = Routing.Table.compute graph in
+  let s = Reunite.Protocol.create table ~source in
+  let net = Reunite.Protocol.network s in
+  let cfg = Reunite.Protocol.default_config in
+  {
+    engine = Reunite.Protocol.engine s;
+    subscribe = Reunite.Protocol.subscribe s;
+    converge = (fun () -> Reunite.Protocol.converge ~periods:12 s);
+    run_until = (fun u -> Engine.run ~until:u (Reunite.Protocol.engine s));
+    send_probe =
+      (fun () ->
+        let b = Reunite.Protocol.data_seq s in
+        Reunite.Protocol.send_data s;
+        let a = Reunite.Protocol.data_seq s in
+        if a > b then a else 0);
+    install_delivery =
+      (fun f ->
+        Net.on_delivery net (fun ~now ~node p ->
+            match p.Netsim.Packet.payload with
+            | Reunite.Messages.Data { seq; _ } -> f ~now ~receiver:node ~seq
+            | _ -> ()));
+    control = (fun () -> Reunite.Protocol.control_overhead s);
+    counters = (fun () -> Net.counters net);
+    install_plan =
+      (fun ~seed plan -> ignore (Fault.Injector.install ~seed net plan));
+    t2 = cfg.t2;
+  }
+
+let pim_ops graph ~source =
+  let table = Routing.Table.compute graph in
+  let s = Pim.Ssm.create table ~source in
+  let net = Pim.Ssm.network s in
+  {
+    engine = Pim.Ssm.engine s;
+    subscribe = Pim.Ssm.subscribe s;
+    converge = (fun () -> Pim.Ssm.converge ~periods:12 s);
+    run_until = (fun u -> Engine.run ~until:u (Pim.Ssm.engine s));
+    send_probe =
+      (fun () ->
+        let b = Pim.Ssm.data_seq s in
+        Pim.Ssm.send_data s;
+        let a = Pim.Ssm.data_seq s in
+        if a > b then a else 0);
+    install_delivery =
+      (fun f ->
+        Net.on_delivery net (fun ~now ~node p ->
+            match p.Netsim.Packet.payload with
+            | Pim.Ssm.Data { seq; _ } -> f ~now ~receiver:node ~seq
+            | _ -> ()));
+    control = (fun () -> Pim.Ssm.control_overhead s);
+    counters = (fun () -> Net.counters net);
+    install_plan =
+      (fun ~seed plan -> ignore (Fault.Injector.install ~seed net plan));
+    (* PIM's slowest deadline is the oif holdtime; report against the
+       same 2*t2 budget as the soft-state protocols for comparability. *)
+    t2 = Hbh.Protocol.default_config.t2;
+  }
+
+let ops_of proto graph ~source =
+  match proto with
+  | P_hbh -> hbh_ops graph ~source
+  | P_reunite -> reunite_ops graph ~source
+  | P_pim_ssm -> pim_ops graph ~source
+
+(* ---- Scenario timings -------------------------------------------- *)
+
+let fault_at = 300.0 (* pre-fault window: three control periods *)
+let repair_at = fault_at +. 400.0 (* restart / restore instant *)
+let reconverge_delay = 30.0 (* failure-detection delay before reroute *)
+let probe_period = 50.0
+let delivery_slack = 300.0
+
+let plan_of scenario ~crash_node ~link =
+  let u, v = link in
+  match scenario with
+  | Crash ->
+      Fault.Plan.make
+        [
+          (fault_at, Fault.Plan.Crash { node = crash_node });
+          (fault_at +. reconverge_delay, Fault.Plan.Reconverge);
+          (repair_at, Fault.Plan.Restart { node = crash_node });
+          (repair_at +. reconverge_delay, Fault.Plan.Reconverge);
+        ]
+  | Link_failure ->
+      Fault.Plan.make
+        [
+          (fault_at, Fault.Plan.Link_down { u; v });
+          (fault_at +. reconverge_delay, Fault.Plan.Reconverge);
+          (repair_at, Fault.Plan.Link_up { u; v });
+          (repair_at +. reconverge_delay, Fault.Plan.Reconverge);
+        ]
+  | Loss_burst ->
+      Fault.Plan.make
+        [
+          (fault_at, Fault.Plan.Loss_all { rate = 0.3 });
+          (repair_at, Fault.Plan.Loss_all { rate = 0.0 });
+        ]
+
+type outcome = {
+  topology : string;
+  scenario : scenario;
+  proto : proto;
+  target : string;  (* crashed router or failed link *)
+  budget : float;  (* the 2*t2 repair budget *)
+  report : Fault.Recovery.report;
+  fault_drops : int;  (* loss + link-down + node-down drops *)
+}
+
+let run_one proto ~topology ~graph ~source ~receivers ~scenario ~crash_node
+    ~link ~seed =
+  let ops = ops_of proto (G.copy graph) ~source in
+  List.iter ops.subscribe receivers;
+  ops.converge ();
+  let recov = Fault.Recovery.create ~receivers in
+  ops.install_delivery (fun ~now ~receiver ~seq ->
+      Fault.Recovery.note_delivery recov ~now ~receiver ~seq);
+  let t0 = Engine.now ops.engine in
+  let horizon = fault_at +. (2.0 *. ops.t2) +. delivery_slack in
+  let probe_until = horizon -. delivery_slack in
+  Fault.Recovery.note_control recov ~now:t0 ~hops:(ops.control ());
+  ignore
+    (Timer.every ~tag:"fault.probe" ops.engine ~start:0.0 ~period:probe_period
+       (fun () ->
+         let nw = Engine.now ops.engine in
+         if nw -. t0 <= probe_until then begin
+           let seq = ops.send_probe () in
+           if seq > 0 then Fault.Recovery.note_send recov ~now:nw ~seq
+         end));
+  ignore
+    (Engine.schedule ~tag:"fault.sample" ops.engine ~delay:fault_at (fun () ->
+         Fault.Recovery.note_control recov ~now:(Engine.now ops.engine)
+           ~hops:(ops.control ())));
+  ops.install_plan ~seed (plan_of scenario ~crash_node ~link);
+  Fault.Recovery.note_fault recov ~now:(t0 +. fault_at);
+  let before = ops.counters () in
+  ops.run_until (t0 +. horizon);
+  Fault.Recovery.note_control recov ~now:(Engine.now ops.engine)
+    ~hops:(ops.control ());
+  let after = ops.counters () in
+  let fault_drops =
+    after.Net.dropped_loss - before.Net.dropped_loss
+    + after.Net.dropped_link_down - before.Net.dropped_link_down
+    + after.Net.dropped_node_down - before.Net.dropped_node_down
+  in
+  let target =
+    match scenario with
+    | Crash -> Printf.sprintf "router %d" crash_node
+    | Link_failure ->
+        let u, v = link in
+        Printf.sprintf "link %d-%d" u v
+    | Loss_burst -> "30% loss everywhere"
+  in
+  {
+    topology;
+    scenario;
+    proto;
+    target;
+    budget = 2.0 *. ops.t2;
+    report = Fault.Recovery.report recov;
+    fault_drops;
+  }
+
+(* ---- The experiment ---------------------------------------------- *)
+
+let metric_prefix o =
+  Printf.sprintf "fault.exp.%s.%s.%s"
+    (match o.topology with "ISP topology" -> "isp" | _ -> "rand50")
+    (scenario_name o.scenario)
+    (String.lowercase_ascii (proto_name o.proto))
+
+let run_config ?(scenarios = all_scenarios) ?(protocols = all_protos) ~seed
+    ~n (config : Common.config) =
+  let rng = Stats.Rng.create seed in
+  let s =
+    Workload.Scenario.make rng config.Common.graph ~source:config.Common.source
+      ~candidates:config.Common.candidates ~n
+  in
+  let receivers = List.sort compare s.Workload.Scenario.receivers in
+  let crash_node =
+    pick_crash_router s.Workload.Scenario.table ~source:s.Workload.Scenario.source
+      ~receivers
+  in
+  let link =
+    pick_tree_link s.Workload.Scenario.table ~source:s.Workload.Scenario.source
+      ~receivers
+  in
+  List.concat_map
+    (fun scenario ->
+      List.map
+        (fun proto ->
+          let o =
+            run_one proto ~topology:config.Common.label
+              ~graph:config.Common.graph ~source:s.Workload.Scenario.source
+              ~receivers ~scenario ~crash_node ~link ~seed
+          in
+          Fault.Recovery.export ~prefix:(metric_prefix o) Obs.Metrics.default
+            o.report;
+          o)
+        protocols)
+    scenarios
+
+let run ?(seed = 42) ?scenarios ?protocols () =
+  let isp = Common.isp_config () in
+  let rand50 = Common.rand50_config ~seed in
+  run_config ?scenarios ?protocols ~seed ~n:8 isp
+  @ run_config ?scenarios ?protocols ~seed ~n:15 rand50
+
+(* ---- Rendering --------------------------------------------------- *)
+
+let row (o : outcome) =
+  let r = o.report in
+  let fmt_opt = function None -> "-" | Some v -> Printf.sprintf "%.0f" v in
+  [
+    o.topology;
+    scenario_name o.scenario;
+    proto_name o.proto;
+    o.target;
+    (if r.Fault.Recovery.recovered then "yes" else "NO");
+    fmt_opt r.Fault.Recovery.max_time_to_repair;
+    Printf.sprintf "%.0f" o.budget;
+    string_of_int r.Fault.Recovery.total_lost;
+    string_of_int r.Fault.Recovery.total_duplicated;
+    string_of_int o.fault_drops;
+    (if Float.is_finite r.Fault.Recovery.overhead_inflation then
+       Printf.sprintf "%.2f" r.Fault.Recovery.overhead_inflation
+     else "-");
+  ]
+
+let headers =
+  [
+    "topology";
+    "scenario";
+    "protocol";
+    "fault";
+    "recovered";
+    "ttr";
+    "budget";
+    "lost";
+    "dup";
+    "drops";
+    "ctl-infl";
+  ]
+
+let pp_outcomes ppf outcomes =
+  Stats.Table.render ppf ~headers (List.map row outcomes)

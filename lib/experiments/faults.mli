@@ -1,0 +1,66 @@
+(** The fault-recovery experiment: HBH, REUNITE and PIM-SSM driven
+    through identical fault plans — a mid-tree router crash with
+    restart, a tree-link failure with restoration (both with routing
+    reconvergence shortly after each topology change), and a 30%
+    everywhere loss burst — while a sequenced probe stream measures
+    per-receiver time-to-repair, lost and duplicated deliveries and
+    control-overhead inflation.
+
+    Everything is deterministic in [seed]: two runs with the same seed
+    produce identical outcomes (the acceptance criterion behind
+    [hbh_sim faults --seed N]). *)
+
+type scenario = Crash | Link_failure | Loss_burst
+
+val all_scenarios : scenario list
+val scenario_name : scenario -> string
+
+type proto = P_hbh | P_reunite | P_pim_ssm
+
+val all_protos : proto list
+val proto_name : proto -> string
+
+type outcome = {
+  topology : string;
+  scenario : scenario;
+  proto : proto;
+  target : string;  (** crashed router / failed link / loss rate *)
+  budget : float;  (** the [2 * t2] repair budget *)
+  report : Fault.Recovery.report;
+  fault_drops : int;  (** loss + link-down + node-down drops *)
+}
+
+val pick_crash_router :
+  Routing.Table.t -> source:int -> receivers:int list -> int
+(** The transit router crossed by the most receivers' unicast paths —
+    the "mid-tree" crash target (the source's attachment router is
+    avoided when alternatives exist). *)
+
+val pick_tree_link :
+  Routing.Table.t -> source:int -> receivers:int list -> int * int
+(** The router-router link carrying the most receivers' paths. *)
+
+val run_config :
+  ?scenarios:scenario list ->
+  ?protocols:proto list ->
+  seed:int ->
+  n:int ->
+  Common.config ->
+  outcome list
+(** Run every (scenario, protocol) pair on one topology with [n]
+    receivers; recovery metrics are exported to
+    {!Obs.Metrics.default} under [fault.exp.<topo>.<scenario>.<proto>]
+    prefixes. *)
+
+val run :
+  ?seed:int ->
+  ?scenarios:scenario list ->
+  ?protocols:proto list ->
+  unit ->
+  outcome list
+(** The full experiment: ISP topology (8 receivers) and the 50-node
+    random topology (15 receivers). *)
+
+val headers : string list
+val row : outcome -> string list
+val pp_outcomes : Format.formatter -> outcome list -> unit

@@ -1,0 +1,143 @@
+module Net = Netsim.Network
+module Engine = Eventsim.Engine
+module G = Topology.Graph
+
+let m_directives = Obs.Metrics.counter Obs.Metrics.default "fault.directives"
+let m_link_downs = Obs.Metrics.counter Obs.Metrics.default "fault.link_downs"
+let m_link_ups = Obs.Metrics.counter Obs.Metrics.default "fault.link_ups"
+let m_crashes = Obs.Metrics.counter Obs.Metrics.default "fault.crashes"
+let m_restarts = Obs.Metrics.counter Obs.Metrics.default "fault.restarts"
+let m_loss_changes = Obs.Metrics.counter Obs.Metrics.default "fault.loss_changes"
+let m_partitions = Obs.Metrics.counter Obs.Metrics.default "fault.partitions"
+
+type 'p t = {
+  net : 'p Net.t;
+  graph : G.t;
+  (* Down-cause refcounts per undirected link: an explicit Link_down
+     is one cause, each crashed endpoint is another.  A link is
+     operational iff it has no causes, so a restart does not revive a
+     link that was also failed explicitly. *)
+  causes : (int * int, int) Hashtbl.t;
+  crashed : (int, unit) Hashtbl.t;
+}
+
+let create ?seed net =
+  (match seed with
+  | Some s -> Net.set_fault_rng net (Stats.Rng.create s)
+  | None -> ());
+  {
+    net;
+    graph = Net.graph net;
+    causes = Hashtbl.create 16;
+    crashed = Hashtbl.create 8;
+  }
+
+let network t = t.net
+
+let canon u v = if u <= v then (u, v) else (v, u)
+
+let trace_link t ~up u v =
+  let trace = Net.trace t.net in
+  if Obs.Trace.active trace then
+    Obs.Trace.event trace ~time:(Net.now t.net) ~node:u
+      (if up then Obs.Event.Link_up { u; v } else Obs.Event.Link_down { u; v })
+
+let add_cause t u v =
+  let k = canon u v in
+  let c = Option.value ~default:0 (Hashtbl.find_opt t.causes k) in
+  Hashtbl.replace t.causes k (c + 1);
+  if c = 0 then begin
+    Net.set_link_up t.net u v false;
+    Obs.Metrics.incr m_link_downs;
+    trace_link t ~up:false u v
+  end
+
+let remove_cause t u v =
+  let k = canon u v in
+  match Hashtbl.find_opt t.causes k with
+  | None -> ()
+  | Some c when c <= 1 ->
+      Hashtbl.remove t.causes k;
+      Net.set_link_up t.net u v true;
+      Obs.Metrics.incr m_link_ups;
+      trace_link t ~up:true u v
+  | Some c -> Hashtbl.replace t.causes k (c - 1)
+
+(* Links with exactly one endpoint inside the island: the partition
+   cut.  Membership lists are tiny, List.mem is fine. *)
+let cut_links g island =
+  List.filter_map
+    (fun (l : G.link) ->
+      match (List.mem l.u island, List.mem l.v island) with
+      | true, false | false, true -> Some (l.u, l.v)
+      | _ -> None)
+    (G.links g)
+
+let snapshot_next_hops table =
+  let n = G.node_count (Routing.Table.graph table) in
+  let m = Array.make (n * n) (-2) in
+  for u = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      m.((u * n) + d) <-
+        (match Routing.Table.next_hop table u ~dest:d with
+        | None -> -1
+        | Some h -> h)
+    done
+  done;
+  m
+
+let reconverge net =
+  let table = Net.table net in
+  let before = snapshot_next_hops table in
+  Routing.Table.refresh table;
+  let after = snapshot_next_hops table in
+  let changed = ref 0 in
+  Array.iteri (fun i b -> if after.(i) <> b then incr changed) before;
+  Net.route_changed net ~changed:!changed;
+  !changed
+
+let apply t (action : Plan.action) =
+  Obs.Metrics.incr m_directives;
+  match action with
+  | Plan.Loss { u; v; rate } ->
+      Obs.Metrics.incr m_loss_changes;
+      Net.set_loss t.net ~u ~v rate
+  | Plan.Loss_all { rate } ->
+      Obs.Metrics.incr m_loss_changes;
+      Net.set_default_loss t.net rate
+  | Plan.Link_down { u; v } -> add_cause t u v
+  | Plan.Link_up { u; v } -> remove_cause t u v
+  | Plan.Crash { node } ->
+      if not (Hashtbl.mem t.crashed node) then begin
+        Hashtbl.replace t.crashed node ();
+        Obs.Metrics.incr m_crashes;
+        Net.set_node_up t.net node false;
+        List.iter (fun w -> add_cause t node w) (G.neighbors t.graph node)
+      end
+  | Plan.Restart { node } ->
+      if Hashtbl.mem t.crashed node then begin
+        Hashtbl.remove t.crashed node;
+        Obs.Metrics.incr m_restarts;
+        List.iter (fun w -> remove_cause t node w) (G.neighbors t.graph node);
+        Net.set_node_up t.net node true
+      end
+  | Plan.Partition { island } ->
+      Obs.Metrics.incr m_partitions;
+      List.iter (fun (u, v) -> add_cause t u v) (cut_links t.graph island)
+  | Plan.Heal { island } ->
+      List.iter (fun (u, v) -> remove_cause t u v) (cut_links t.graph island)
+  | Plan.Reconverge -> ignore (reconverge t.net)
+
+let schedule t plan =
+  let engine = Net.engine t.net in
+  List.iter
+    (fun (d : Plan.directive) ->
+      ignore
+        (Engine.schedule ~tag:"fault.directive" engine ~delay:d.at (fun () ->
+             apply t d.action)))
+    (Plan.directives plan)
+
+let install ?seed net plan =
+  let t = create ?seed net in
+  schedule t plan;
+  t

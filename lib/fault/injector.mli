@@ -1,0 +1,35 @@
+(** Applies a {!Plan} to a running network.
+
+    The injector owns the bookkeeping that makes fault combinations
+    compose: per-link down-cause refcounts (an explicit link failure
+    and a crashed endpoint each count as one cause, so restarting a
+    node does not revive a link that was also failed explicitly), the
+    crashed-node set, and routing reconvergence with its change
+    count. *)
+
+type 'p t
+
+val create : ?seed:int -> 'p Netsim.Network.t -> 'p t
+(** [seed], when given, seeds the network's fault RNG
+    ({!Netsim.Network.set_fault_rng}) so Bernoulli losses are
+    reproducible from [(plan, seed)]. *)
+
+val install : ?seed:int -> 'p Netsim.Network.t -> Plan.t -> 'p t
+(** [create] + [schedule]: directive times are relative to the current
+    simulated time. *)
+
+val schedule : 'p t -> Plan.t -> unit
+(** Schedule every directive on the network's engine, relative to
+    now.  May be called repeatedly (e.g. to append a repair phase). *)
+
+val apply : 'p t -> Plan.action -> unit
+(** Apply one action immediately at the current simulated time. *)
+
+val network : 'p t -> 'p Netsim.Network.t
+
+val reconverge : 'p Netsim.Network.t -> int
+(** Recompute the unicast forwarding plane against the current
+    topology ({!Routing.Table.refresh}), announce it to the protocols
+    ({!Netsim.Network.route_changed}) and return the number of
+    next-hop decisions that changed.  Standalone: usable without an
+    injector (the property tests drive it directly). *)

@@ -1,0 +1,60 @@
+type action =
+  | Loss of { u : int; v : int; rate : float }
+  | Loss_all of { rate : float }
+  | Link_down of { u : int; v : int }
+  | Link_up of { u : int; v : int }
+  | Crash of { node : int }
+  | Restart of { node : int }
+  | Partition of { island : int list }
+  | Heal of { island : int list }
+  | Reconverge
+
+type directive = { at : float; action : action }
+
+type t = directive list
+
+let validate_action = function
+  | Loss { rate; _ } | Loss_all { rate } ->
+      if rate < 0.0 || rate > 1.0 then
+        invalid_arg (Printf.sprintf "Fault.Plan: loss rate %g outside [0,1]" rate)
+  | Partition { island } | Heal { island } ->
+      if island = [] then invalid_arg "Fault.Plan: empty partition island"
+  | Link_down _ | Link_up _ | Crash _ | Restart _ | Reconverge -> ()
+
+let make directives =
+  List.iter
+    (fun (at, action) ->
+      if at < 0.0 then
+        invalid_arg (Printf.sprintf "Fault.Plan: directive at negative time %g" at);
+      validate_action action)
+    directives;
+  List.stable_sort
+    (fun a b -> compare a.at b.at)
+    (List.map (fun (at, action) -> { at; action }) directives)
+
+let directives t = t
+
+let duration = function
+  | [] -> 0.0
+  | l -> (List.nth l (List.length l - 1)).at
+
+let pp_action ppf = function
+  | Loss { u; v; rate } ->
+      Format.fprintf ppf "loss %d->%d %.1f%%" u v (100.0 *. rate)
+  | Loss_all { rate } -> Format.fprintf ppf "loss * %.1f%%" (100.0 *. rate)
+  | Link_down { u; v } -> Format.fprintf ppf "link %d-%d down" u v
+  | Link_up { u; v } -> Format.fprintf ppf "link %d-%d up" u v
+  | Crash { node } -> Format.fprintf ppf "crash %d" node
+  | Restart { node } -> Format.fprintf ppf "restart %d" node
+  | Partition { island } ->
+      Format.fprintf ppf "partition [%s]"
+        (String.concat "," (List.map string_of_int island))
+  | Heal { island } ->
+      Format.fprintf ppf "heal [%s]"
+        (String.concat "," (List.map string_of_int island))
+  | Reconverge -> Format.fprintf ppf "reconverge"
+
+let pp ppf t =
+  List.iter
+    (fun d -> Format.fprintf ppf "@%g %a@." d.at pp_action d.action)
+    t

@@ -1,0 +1,44 @@
+(** The fault-plan DSL: a reproducible scenario is a list of timed
+    directives, so that (plan, seed) fully determines a faulty run.
+
+    Times are simulated-time instants relative to the moment the plan
+    is installed (see {!Injector.install}). *)
+
+type action =
+  | Loss of { u : int; v : int; rate : float }
+      (** Set the Bernoulli loss rate of the directed [u -> v]
+          traversal (0 clears it). *)
+  | Loss_all of { rate : float }
+      (** Background loss rate on every directed link. *)
+  | Link_down of { u : int; v : int }  (** Fail a link, both directions. *)
+  | Link_up of { u : int; v : int }  (** Restore a failed link. *)
+  | Crash of { node : int }
+      (** The node goes down: its soft state is wiped (protocol
+          sessions listen for this), its incident links drop, and all
+          traffic touching it is lost. *)
+  | Restart of { node : int }
+      (** The node comes back blank; incident links are restored. *)
+  | Partition of { island : int list }
+      (** Fail every link with exactly one endpoint in [island]. *)
+  | Heal of { island : int list }  (** Restore the island's cut links. *)
+  | Reconverge
+      (** Recompute the unicast routing table against the current
+          topology and notify the protocols — explicit routing
+          reconvergence (also available automatically after a delay,
+          see {!Injector.install}). *)
+
+type directive = { at : float; action : action }
+
+type t
+(** A plan: directives ordered by time. *)
+
+val make : (float * action) list -> t
+(** Sorts by time (stable).  Raises [Invalid_argument] on negative
+    times, out-of-range loss rates or empty islands. *)
+
+val directives : t -> directive list
+val duration : t -> float
+(** Time of the last directive (0 for the empty plan). *)
+
+val pp_action : Format.formatter -> action -> unit
+val pp : Format.formatter -> t -> unit

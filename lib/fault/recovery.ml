@@ -1,0 +1,166 @@
+type t = {
+  receivers : int list;
+  sends : (int, float) Hashtbl.t;  (* seq -> send time *)
+  got : (int * int, int) Hashtbl.t;  (* (receiver, seq) -> copies *)
+  first_repair : (int, float) Hashtbl.t;  (* receiver -> delivery time *)
+  mutable fault_time : float option;
+  mutable control : (float * int) list;  (* (time, cumulative hops), newest first *)
+}
+
+let create ~receivers =
+  {
+    receivers = List.sort_uniq compare receivers;
+    sends = Hashtbl.create 256;
+    got = Hashtbl.create 1024;
+    first_repair = Hashtbl.create 16;
+    fault_time = None;
+    control = [];
+  }
+
+let receivers t = t.receivers
+let fault_time t = t.fault_time
+
+let note_send t ~now ~seq =
+  if not (Hashtbl.mem t.sends seq) then Hashtbl.replace t.sends seq now
+
+let note_fault t ~now =
+  match t.fault_time with
+  | Some tf when tf <= now -> ()
+  | _ -> t.fault_time <- Some now
+
+let note_control t ~now ~hops = t.control <- (now, hops) :: t.control
+
+let note_delivery t ~now ~receiver ~seq =
+  let k = (receiver, seq) in
+  Hashtbl.replace t.got k (1 + Option.value ~default:0 (Hashtbl.find_opt t.got k));
+  (* Repair = first delivery of a sequence number that was *sent*
+     after the fault: copies already in flight when the fault hit do
+     not prove the tree healed. *)
+  match t.fault_time with
+  | Some tf when not (Hashtbl.mem t.first_repair receiver) -> (
+      match Hashtbl.find_opt t.sends seq with
+      | Some sent when sent >= tf -> Hashtbl.replace t.first_repair receiver now
+      | _ -> ())
+  | _ -> ()
+
+type receiver_outcome = {
+  receiver : int;
+  time_to_repair : float option;
+  lost : int;
+  duplicated : int;
+}
+
+type report = {
+  fault_time : float option;
+  outcomes : receiver_outcome list;
+  recovered : bool;
+  max_time_to_repair : float option;
+  total_lost : int;
+  total_duplicated : int;
+  sent_after_fault : int;
+  overhead_inflation : float;
+}
+
+(* Post-fault control rate over pre-fault control rate, from the
+   cumulative-hop samples bracketing the fault.  nan when there are
+   not enough samples on both sides (or a zero-rate baseline). *)
+let inflation (t : t) =
+  match t.fault_time with
+  | None -> nan
+  | Some tf -> (
+      let samples = List.sort compare t.control in
+      match samples with
+      | [] | [ _ ] -> nan
+      | (t0, h0) :: _ -> (
+          let pre = List.filter (fun (tm, _) -> tm <= tf) samples in
+          match (List.rev pre, List.rev samples) with
+          | (tp, hp) :: _, (te, he) :: _
+            when tp -. t0 > 0.0 && te -. tp > 0.0 ->
+              let pre_rate = float_of_int (hp - h0) /. (tp -. t0) in
+              let post_rate = float_of_int (he - hp) /. (te -. tp) in
+              if pre_rate > 0.0 then post_rate /. pre_rate else nan
+          | _ -> nan))
+
+let report (t : t) =
+  let tf = t.fault_time in
+  let outcomes =
+    List.map
+      (fun r ->
+        let time_to_repair =
+          match tf with
+          | None -> None
+          | Some f ->
+              Option.map (fun d -> d -. f) (Hashtbl.find_opt t.first_repair r)
+        in
+        let lost =
+          match tf with
+          | None -> 0
+          | Some f ->
+              Hashtbl.fold
+                (fun seq sent acc ->
+                  if sent >= f && not (Hashtbl.mem t.got (r, seq)) then acc + 1
+                  else acc)
+                t.sends 0
+        in
+        let duplicated =
+          Hashtbl.fold
+            (fun (r', _) n acc -> if r' = r && n > 1 then acc + (n - 1) else acc)
+            t.got 0
+        in
+        { receiver = r; time_to_repair; lost; duplicated })
+      t.receivers
+  in
+  let ttrs = List.filter_map (fun o -> o.time_to_repair) outcomes in
+  {
+    fault_time = tf;
+    outcomes;
+    recovered =
+      tf <> None
+      && outcomes <> []
+      && List.for_all (fun o -> o.time_to_repair <> None) outcomes;
+    max_time_to_repair =
+      (match ttrs with [] -> None | l -> Some (List.fold_left max 0.0 l));
+    total_lost = List.fold_left (fun a o -> a + o.lost) 0 outcomes;
+    total_duplicated = List.fold_left (fun a o -> a + o.duplicated) 0 outcomes;
+    sent_after_fault =
+      (match tf with
+      | None -> 0
+      | Some f ->
+          Hashtbl.fold
+            (fun _ sent acc -> if sent >= f then acc + 1 else acc)
+            t.sends 0);
+    overhead_inflation = inflation t;
+  }
+
+let export ?(prefix = "fault.recovery") registry r =
+  let gauge name v =
+    if Float.is_finite v then
+      Obs.Metrics.set (Obs.Metrics.gauge registry (prefix ^ "." ^ name)) v
+  in
+  gauge "recovered" (if r.recovered then 1.0 else 0.0);
+  (match r.max_time_to_repair with
+  | Some v -> gauge "time_to_repair_max" v
+  | None -> ());
+  gauge "lost_deliveries" (float_of_int r.total_lost);
+  gauge "duplicate_deliveries" (float_of_int r.total_duplicated);
+  gauge "sent_after_fault" (float_of_int r.sent_after_fault);
+  gauge "overhead_inflation" r.overhead_inflation;
+  let histo = Obs.Metrics.histogram registry (prefix ^ ".time_to_repair") in
+  List.iter
+    (fun o ->
+      match o.time_to_repair with
+      | Some v -> Obs.Histo.observe histo v
+      | None -> ())
+    r.outcomes
+
+let pp_report ppf r =
+  let pp_opt ppf = function
+    | None -> Format.pp_print_string ppf "-"
+    | Some v -> Format.fprintf ppf "%g" v
+  in
+  Format.fprintf ppf
+    "recovered=%b ttr_max=%a lost=%d dup=%d sent_after=%d inflation=%a"
+    r.recovered pp_opt r.max_time_to_repair r.total_lost r.total_duplicated
+    r.sent_after_fault pp_opt
+    (if Float.is_finite r.overhead_inflation then Some r.overhead_inflation
+     else None)

@@ -1,0 +1,66 @@
+(** Recovery metrics: how fast and how cleanly a protocol re-delivers
+    after a fault.
+
+    Protocol-agnostic: the experiment feeds it sequenced probe sends
+    ({!note_send}), per-receiver deliveries ({!note_delivery}, wired
+    through {!Netsim.Network.on_delivery}), the instant the first
+    fault hit ({!note_fault}), and cumulative control-hop samples
+    ({!note_control}) to measure overhead inflation.
+
+    Time-to-repair for a receiver is the delay from the fault to its
+    first delivery of a probe {e sent after} the fault — copies
+    already in flight when the fault hit do not prove the tree
+    healed.  Lost deliveries count post-fault probes that never
+    arrived, so stop the probe stream at least a delivery horizon
+    before reading the {!report}. *)
+
+type t
+
+val create : receivers:int list -> t
+val receivers : t -> int list
+
+val note_send : t -> now:float -> seq:int -> unit
+(** First call per [seq] wins (retransmissions keep the original
+    send time). *)
+
+val note_delivery : t -> now:float -> receiver:int -> seq:int -> unit
+val note_fault : t -> now:float -> unit
+(** Idempotent: keeps the earliest fault time. *)
+
+val note_control : t -> now:float -> hops:int -> unit
+(** Sample the cumulative control-hop counter.  At least one sample
+    before the fault and one after (plus the initial one) are needed
+    for {!report}'s [overhead_inflation] to be finite. *)
+
+val fault_time : t -> float option
+
+type receiver_outcome = {
+  receiver : int;
+  time_to_repair : float option;  (** [None]: never repaired *)
+  lost : int;  (** post-fault probes never delivered here *)
+  duplicated : int;  (** extra copies beyond the first, whole run *)
+}
+
+type report = {
+  fault_time : float option;
+  outcomes : receiver_outcome list;
+  recovered : bool;  (** every receiver repaired *)
+  max_time_to_repair : float option;  (** slowest repaired receiver *)
+  total_lost : int;
+  total_duplicated : int;
+  sent_after_fault : int;
+  overhead_inflation : float;
+      (** post-fault control rate / pre-fault rate; [nan] when not
+          measurable *)
+}
+
+val report : t -> report
+
+val export : ?prefix:string -> Obs.Metrics.t -> report -> unit
+(** Publish as gauges ([<prefix>.recovered], [.time_to_repair_max],
+    [.lost_deliveries], [.duplicate_deliveries], [.sent_after_fault],
+    [.overhead_inflation]) plus a [<prefix>.time_to_repair] histogram
+    of per-receiver repair times.  Non-finite values are skipped.
+    Default prefix ["fault.recovery"]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -9,8 +9,32 @@ type counters = {
   consumed : int;
   dropped_ttl : int;
   dropped_unreachable : int;
+  dropped_loss : int;
+  dropped_link_down : int;
+  dropped_node_down : int;
+  dropped_filtered : int;
   sunk_at_dst : int;
 }
+
+(* The hot path mutates these in place; {!counters} takes an immutable
+   snapshot on demand (cold). *)
+type mut_counters = {
+  mutable m_originated_data : int;
+  mutable m_originated_control : int;
+  mutable m_data_hops : int;
+  mutable m_control_hops : int;
+  mutable m_deliveries : int;
+  mutable m_consumed : int;
+  mutable m_dropped_ttl : int;
+  mutable m_dropped_unreachable : int;
+  mutable m_dropped_loss : int;
+  mutable m_dropped_link_down : int;
+  mutable m_dropped_node_down : int;
+  mutable m_dropped_filtered : int;
+  mutable m_sunk_at_dst : int;
+}
+
+type drop_reason = Loss | Link_failed | Node_failed | Filtered
 
 type 'p t = {
   engine : Eventsim.Engine.t;
@@ -22,7 +46,19 @@ type 'p t = {
   sinks : (int, unit) Hashtbl.t;
   data_loads : (int * int, int) Hashtbl.t;
   mutable deliveries_rev : (int * float) list;
-  mutable c : counters;
+  c : mut_counters;
+  (* Fault state.  [faults_on] stays false until the first fault API
+     call, so a fault-free simulation pays one boolean test per hop
+     and nothing else. *)
+  mutable faults_on : bool;
+  loss : (int * int, float) Hashtbl.t;
+  mutable default_loss : float;
+  down_nodes : (int, unit) Hashtbl.t;
+  mutable fault_rng : Stats.Rng.t option;
+  mutable drop_filter : ('p Packet.t -> bool) option;
+  mutable node_listeners : (up:bool -> int -> unit) list;
+  mutable route_listeners : (unit -> unit) list;
+  mutable delivery_listeners : (now:float -> node:int -> 'p Packet.t -> unit) list;
 }
 
 and 'p handler = 'p t -> int -> 'p Packet.t -> verdict
@@ -34,20 +70,26 @@ let m_pkt_copies = Obs.Metrics.counter Obs.Metrics.default "net.pkt_copies"
 let m_ctl_hops = Obs.Metrics.counter Obs.Metrics.default "net.ctl_hops"
 let m_deliveries = Obs.Metrics.counter Obs.Metrics.default "net.deliveries"
 let m_dropped = Obs.Metrics.counter Obs.Metrics.default "net.dropped"
+let m_dropped_fault = Obs.Metrics.counter Obs.Metrics.default "net.dropped_fault"
+let m_reconverges = Obs.Metrics.counter Obs.Metrics.default "net.reconvergences"
 let h_delivery_delay =
   Obs.Metrics.histogram Obs.Metrics.default "net.delivery_delay"
 
-let zero_counters =
+let zero_counters () =
   {
-    originated_data = 0;
-    originated_control = 0;
-    data_hops = 0;
-    control_hops = 0;
-    deliveries = 0;
-    consumed = 0;
-    dropped_ttl = 0;
-    dropped_unreachable = 0;
-    sunk_at_dst = 0;
+    m_originated_data = 0;
+    m_originated_control = 0;
+    m_data_hops = 0;
+    m_control_hops = 0;
+    m_deliveries = 0;
+    m_consumed = 0;
+    m_dropped_ttl = 0;
+    m_dropped_unreachable = 0;
+    m_dropped_loss = 0;
+    m_dropped_link_down = 0;
+    m_dropped_node_down = 0;
+    m_dropped_filtered = 0;
+    m_sunk_at_dst = 0;
   }
 
 let create ?(default_ttl = 255) ?trace engine table =
@@ -62,7 +104,16 @@ let create ?(default_ttl = 255) ?trace engine table =
     sinks = Hashtbl.create 16;
     data_loads = Hashtbl.create 256;
     deliveries_rev = [];
-    c = zero_counters;
+    c = zero_counters ();
+    faults_on = false;
+    loss = Hashtbl.create 16;
+    default_loss = 0.0;
+    down_nodes = Hashtbl.create 8;
+    fault_rng = None;
+    drop_filter = None;
+    node_listeners = [];
+    route_listeners = [];
+    delivery_listeners = [];
   }
 
 let engine t = t.engine
@@ -88,6 +139,107 @@ let handled t node = Hashtbl.mem t.handlers node
 let set_sink t node b =
   if b then Hashtbl.replace t.sinks node () else Hashtbl.remove t.sinks node
 
+(* ---- Fault surface ---------------------------------------------------- *)
+
+let set_fault_rng t rng = t.fault_rng <- Some rng
+
+let rng_of t =
+  match t.fault_rng with
+  | Some r -> r
+  | None ->
+      (* Deterministic default stream; sessions wanting seed isolation
+         call {!set_fault_rng}. *)
+      let r = Stats.Rng.create 0 in
+      t.fault_rng <- Some r;
+      r
+
+let set_loss t ~u ~v rate =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Network.set_loss: bad rate";
+  if rate = 0.0 then Hashtbl.remove t.loss (u, v)
+  else begin
+    Hashtbl.replace t.loss (u, v) rate;
+    t.faults_on <- true
+  end
+
+let loss t ~u ~v =
+  match Hashtbl.find_opt t.loss (u, v) with
+  | Some r -> r
+  | None -> t.default_loss
+
+let set_default_loss t rate =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg "Network.set_default_loss: bad rate";
+  t.default_loss <- rate;
+  if rate > 0.0 then t.faults_on <- true
+
+let set_drop_filter t f =
+  t.drop_filter <- f;
+  if f <> None then t.faults_on <- true
+
+let set_link_up t u v b =
+  Topology.Graph.set_link_up t.graph u v b;
+  if not b then t.faults_on <- true
+
+let node_up t n = not (Hashtbl.mem t.down_nodes n)
+
+let on_node_event t f = t.node_listeners <- t.node_listeners @ [ f ]
+let on_route_change t f = t.route_listeners <- t.route_listeners @ [ f ]
+let on_delivery t f = t.delivery_listeners <- t.delivery_listeners @ [ f ]
+
+let set_node_up t n b =
+  let changed =
+    if b then Hashtbl.mem t.down_nodes n
+    else not (Hashtbl.mem t.down_nodes n)
+  in
+  if changed then begin
+    if b then Hashtbl.remove t.down_nodes n
+    else begin
+      Hashtbl.replace t.down_nodes n ();
+      t.faults_on <- true
+    end;
+    if Obs.Trace.active t.trace then
+      Obs.Trace.event t.trace ~time:(now t) ~node:n
+        (if b then Obs.Event.Node_restart else Obs.Event.Node_crash);
+    List.iter (fun f -> f ~up:b n) t.node_listeners
+  end
+
+let route_changed t ~changed =
+  Obs.Metrics.incr m_reconverges;
+  if Obs.Trace.active t.trace then
+    Obs.Trace.event t.trace ~time:(now t) ~node:(-1)
+      (Obs.Event.Route_reconverge { changed });
+  List.iter (fun f -> f ()) t.route_listeners
+
+let reason_label = function
+  | Loss -> "loss"
+  | Link_failed -> "link-down"
+  | Node_failed -> "node-down"
+  | Filtered -> "filtered"
+
+let fault_drop t ~at ~next reason (p : 'p Packet.t) =
+  (match reason with
+  | Loss -> t.c.m_dropped_loss <- t.c.m_dropped_loss + 1
+  | Link_failed -> t.c.m_dropped_link_down <- t.c.m_dropped_link_down + 1
+  | Node_failed -> t.c.m_dropped_node_down <- t.c.m_dropped_node_down + 1
+  | Filtered -> t.c.m_dropped_filtered <- t.c.m_dropped_filtered + 1);
+  Obs.Metrics.incr m_dropped;
+  Obs.Metrics.incr m_dropped_fault;
+  (* Bernoulli losses track traffic volume; keep them off the ring
+     unless verbose.  Structural drops (dead link/node) are rare and
+     are exactly what a fault investigation wants to see. *)
+  if
+    Obs.Trace.active t.trace
+    && (reason <> Loss || Obs.Trace.verbose t.trace)
+  then
+    Obs.Trace.event t.trace ~time:(now t) ~node:at
+      (Obs.Event.Packet_lost
+         {
+           next;
+           dst = p.dst;
+           data = p.kind = Packet.Data;
+           reason = reason_label reason;
+         })
+
 let tally_link t (p : 'p Packet.t) u v =
   (match p.kind with
   | Packet.Data ->
@@ -96,10 +248,10 @@ let tally_link t (p : 'p Packet.t) u v =
         match Hashtbl.find_opt t.data_loads key with Some n -> n | None -> 0
       in
       Hashtbl.replace t.data_loads key (n + 1);
-      t.c <- { t.c with data_hops = t.c.data_hops + 1 };
+      t.c.m_data_hops <- t.c.m_data_hops + 1;
       Obs.Metrics.incr m_pkt_copies
   | Packet.Control ->
-      t.c <- { t.c with control_hops = t.c.control_hops + 1 };
+      t.c.m_control_hops <- t.c.m_control_hops + 1;
       Obs.Metrics.incr m_ctl_hops);
   (* Per-hop events are high-volume: only under a verbose trace. *)
   if Obs.Trace.active t.trace && Obs.Trace.verbose t.trace then
@@ -109,60 +261,99 @@ let tally_link t (p : 'p Packet.t) u v =
 
 (* Arrival of [p] at [node]; may consume, deliver or forward. *)
 let rec arrive t node (p : 'p Packet.t) =
-  (* Data reaching the host it is addressed to is a delivery, whether
-     or not an application handler also looks at it. *)
-  if
-    p.kind = Packet.Data && p.dst = node
-    && (Topology.Graph.is_host t.graph node || Hashtbl.mem t.sinks node)
-  then begin
-    let delay = now t -. p.born in
-    t.deliveries_rev <- (node, delay) :: t.deliveries_rev;
-    t.c <- { t.c with deliveries = t.c.deliveries + 1 };
-    Obs.Metrics.incr m_deliveries;
-    Obs.Histo.observe h_delivery_delay delay
-  end;
-  let verdict =
-    match Hashtbl.find_opt t.handlers node with
-    | Some h -> h t node p
-    | None -> Forward
-  in
-  match verdict with
-  | Consume -> t.c <- { t.c with consumed = t.c.consumed + 1 }
-  | Forward ->
-      if p.dst = node then t.c <- { t.c with sunk_at_dst = t.c.sunk_at_dst + 1 }
-      else if p.ttl <= 0 then begin
-        Trace.recordf t.trace ~time:(now t) ~node "TTL expired (%d->%d)" p.src
-          p.dst;
-        t.c <- { t.c with dropped_ttl = t.c.dropped_ttl + 1 };
-        Obs.Metrics.incr m_dropped
-      end
-      else begin
-        p.ttl <- p.ttl - 1;
-        transmit t node p
-      end
+  if t.faults_on && not (node_up t node) then
+    (* A crashed node neither delivers, consumes nor forwards. *)
+    fault_drop t ~at:node ~next:node Node_failed p
+  else begin
+    (* Data reaching the host it is addressed to is a delivery, whether
+       or not an application handler also looks at it. *)
+    if
+      p.kind = Packet.Data && p.dst = node
+      && (Topology.Graph.is_host t.graph node || Hashtbl.mem t.sinks node)
+    then begin
+      let delay = now t -. p.born in
+      t.deliveries_rev <- (node, delay) :: t.deliveries_rev;
+      t.c.m_deliveries <- t.c.m_deliveries + 1;
+      Obs.Metrics.incr m_deliveries;
+      Obs.Histo.observe h_delivery_delay delay;
+      List.iter
+        (fun f -> f ~now:(now t) ~node p)
+        t.delivery_listeners
+    end;
+    let verdict =
+      match Hashtbl.find_opt t.handlers node with
+      | Some h -> h t node p
+      | None -> Forward
+    in
+    match verdict with
+    | Consume -> t.c.m_consumed <- t.c.m_consumed + 1
+    | Forward ->
+        if p.dst = node then t.c.m_sunk_at_dst <- t.c.m_sunk_at_dst + 1
+        else if p.ttl <= 0 then begin
+          Trace.recordf t.trace ~time:(now t) ~node "TTL expired (%d->%d)"
+            p.src p.dst;
+          t.c.m_dropped_ttl <- t.c.m_dropped_ttl + 1;
+          Obs.Metrics.incr m_dropped
+        end
+        else begin
+          p.ttl <- p.ttl - 1;
+          transmit t node p
+        end
+  end
 
 and transmit t node (p : 'p Packet.t) =
-  match Routing.Table.next_hop t.table node ~dest:p.dst with
-  | None ->
-      Trace.recordf t.trace ~time:(now t) ~node "no route to %d" p.dst;
-      t.c <- { t.c with dropped_unreachable = t.c.dropped_unreachable + 1 };
-      Obs.Metrics.incr m_dropped
-  | Some next ->
-      p.Packet.via <- node;
-      tally_link t p node next;
-      let delay = Topology.Graph.delay t.graph node next in
-      ignore
-        (Eventsim.Engine.schedule ~tag:"net.hop" t.engine ~delay (fun () ->
-             arrive t next p))
+  if t.faults_on && not (node_up t node) then
+    fault_drop t ~at:node ~next:node Node_failed p
+  else
+    match Routing.Table.next_hop t.table node ~dest:p.dst with
+    | None ->
+        Trace.recordf t.trace ~time:(now t) ~node "no route to %d" p.dst;
+        t.c.m_dropped_unreachable <- t.c.m_dropped_unreachable + 1;
+        Obs.Metrics.incr m_dropped
+    | Some next ->
+        if t.faults_on && faulted_out t node next p then ()
+        else begin
+          p.Packet.via <- node;
+          tally_link t p node next;
+          let delay = Topology.Graph.delay t.graph node next in
+          ignore
+            (Eventsim.Engine.schedule ~tag:"net.hop" t.engine ~delay (fun () ->
+                 arrive t next p))
+        end
+
+(* Decide whether the [node -> next] traversal is killed by an
+   injected fault; performs the drop accounting itself when so.
+   Order: filters (message-class suppression, never on the wire),
+   dead link (nothing transmits), then Bernoulli loss — the copy was
+   transmitted, so it {e does} consume the link, then vanishes. *)
+and faulted_out t node next (p : 'p Packet.t) =
+  match t.drop_filter with
+  | Some f when f p ->
+      fault_drop t ~at:node ~next Filtered p;
+      true
+  | _ ->
+      if not (Topology.Graph.link_up t.graph node next) then begin
+        fault_drop t ~at:node ~next Link_failed p;
+        true
+      end
+      else
+        let rate = loss t ~u:node ~v:next in
+        if rate > 0.0 && Stats.Rng.float (rng_of t) 1.0 < rate then begin
+          p.Packet.via <- node;
+          tally_link t p node next;
+          fault_drop t ~at:node ~next Loss p;
+          true
+        end
+        else false
 
 let originate t ~src ~dst ~kind payload =
   let p =
     Packet.make ~src ~dst ~kind ~born:(now t) ~ttl:t.default_ttl payload
   in
   (match kind with
-  | Packet.Data -> t.c <- { t.c with originated_data = t.c.originated_data + 1 }
+  | Packet.Data -> t.c.m_originated_data <- t.c.m_originated_data + 1
   | Packet.Control ->
-      t.c <- { t.c with originated_control = t.c.originated_control + 1 });
+      t.c.m_originated_control <- t.c.m_originated_control + 1);
   if dst = src then
     ignore
       (Eventsim.Engine.schedule ~tag:"net.hop" t.engine ~delay:0.0 (fun () ->
@@ -171,9 +362,9 @@ let originate t ~src ~dst ~kind payload =
 
 let emit t ~at (p : 'p Packet.t) =
   (match p.kind with
-  | Packet.Data -> t.c <- { t.c with originated_data = t.c.originated_data + 1 }
+  | Packet.Data -> t.c.m_originated_data <- t.c.m_originated_data + 1
   | Packet.Control ->
-      t.c <- { t.c with originated_control = t.c.originated_control + 1 });
+      t.c.m_originated_control <- t.c.m_originated_control + 1);
   (* [emit] is how branching routers inject rewritten copies — the
      duplication event of the recursive-unicast data plane. *)
   if Obs.Trace.active t.trace && Obs.Trace.verbose t.trace then
@@ -185,7 +376,22 @@ let emit t ~at (p : 'p Packet.t) =
            arrive t at p))
   else transmit t at p
 
-let counters t = t.c
+let counters t =
+  {
+    originated_data = t.c.m_originated_data;
+    originated_control = t.c.m_originated_control;
+    data_hops = t.c.m_data_hops;
+    control_hops = t.c.m_control_hops;
+    deliveries = t.c.m_deliveries;
+    consumed = t.c.m_consumed;
+    dropped_ttl = t.c.m_dropped_ttl;
+    dropped_unreachable = t.c.m_dropped_unreachable;
+    dropped_loss = t.c.m_dropped_loss;
+    dropped_link_down = t.c.m_dropped_link_down;
+    dropped_node_down = t.c.m_dropped_node_down;
+    dropped_filtered = t.c.m_dropped_filtered;
+    sunk_at_dst = t.c.m_sunk_at_dst;
+  }
 
 let data_link_loads t =
   Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.data_loads []

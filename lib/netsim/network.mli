@@ -57,6 +57,74 @@ val set_sink : 'p t -> int -> bool -> unit
 val uninstall : 'p t -> int -> unit
 val handled : 'p t -> int -> bool
 
+(** {1 Fault injection}
+
+    All fault state is off by default and costs one boolean test per
+    hop until the first fault call.  Faults are deterministic: the
+    Bernoulli loss draws come from the generator given to
+    {!set_fault_rng} (a fixed default stream otherwise). *)
+
+val set_fault_rng : 'p t -> Stats.Rng.t -> unit
+(** The stream that decides per-packet Bernoulli losses. *)
+
+val set_loss : 'p t -> u:int -> v:int -> float -> unit
+(** Per-directed-link loss probability for the [u -> v] traversal
+    (rate 0 removes the entry).  A lost copy {e is} transmitted — it
+    counts as a link traversal and a data-load copy — and then never
+    arrives. *)
+
+val loss : 'p t -> u:int -> v:int -> float
+(** Effective loss rate of a directed link (falls back to the default
+    rate). *)
+
+val set_default_loss : 'p t -> float -> unit
+(** Background loss rate applied to every directed link without an
+    explicit {!set_loss} entry. *)
+
+val set_drop_filter : 'p t -> ('p Packet.t -> bool) option -> unit
+(** A predicate consulted before every transmission; [true] drops the
+    packet (counted as [dropped_filtered], never put on the wire).
+    This is the message-class suppression hook the soft-state expiry
+    tests use ("drop every join"). *)
+
+val set_link_up : 'p t -> int -> int -> bool -> unit
+(** Fail ([false]) or restore ([true]) the undirected link — mutates
+    the shared topology {e and} arms the per-hop fault check, so
+    traffic forwarded onto a failed link is counted as
+    [dropped_link_down] (a bare {!Topology.Graph.set_link_up} leaves
+    the fast path armed off and the failure invisible).  Routing is
+    {e not} recomputed: packets keep following the stale next hops and
+    die on the dead link until {!Routing.Table.refresh} +
+    {!route_changed} — exactly the detection-lag window the fault
+    experiments measure. *)
+
+val set_node_up : 'p t -> int -> bool -> unit
+(** Crash ([false]) or restart ([true]) a node.  A down node neither
+    receives, delivers, consumes nor forwards: everything touching it
+    is dropped as [dropped_node_down].  Handlers stay installed but
+    are not consulted.  State transitions fire the {!on_node_event}
+    listeners (protocol sessions use this to wipe the node's soft
+    state, modelling the loss of volatile router memory) and record a
+    typed crash/restart trace event. *)
+
+val node_up : 'p t -> int -> bool
+
+val on_node_event : 'p t -> (up:bool -> int -> unit) -> unit
+(** Observe crash/restart transitions; listeners stack and fire in
+    registration order. *)
+
+val route_changed : 'p t -> changed:int -> unit
+(** Announce that the routing table was recomputed ([changed] =
+    number of next-hop decisions that differ).  Fires the
+    {!on_route_change} listeners and records a typed
+    [Route_reconverge] event — call after {!Routing.Table.refresh}. *)
+
+val on_route_change : 'p t -> (unit -> unit) -> unit
+
+val on_delivery : 'p t -> (now:float -> node:int -> 'p Packet.t -> unit) -> unit
+(** Observe every data delivery as it happens (the recovery-metrics
+    hook: the payload still carries its sequence number). *)
+
 val originate :
   'p t -> src:int -> dst:int -> kind:Packet.kind -> 'p -> unit
 (** Emit a fresh packet from node [src] toward [dst] at the current
@@ -79,10 +147,16 @@ type counters = {
   consumed : int;  (** packets absorbed by handlers *)
   dropped_ttl : int;
   dropped_unreachable : int;
+  dropped_loss : int;  (** Bernoulli losses (transmitted, never arrived) *)
+  dropped_link_down : int;  (** forwarded onto a failed link *)
+  dropped_node_down : int;  (** touched a crashed node *)
+  dropped_filtered : int;  (** suppressed by the drop filter *)
   sunk_at_dst : int;  (** packets that reached [dst] with no handler claim *)
 }
 
 val counters : 'p t -> counters
+(** Immutable snapshot of the accounting (the network mutates its
+    counters in place on the hot path). *)
 
 val data_link_loads : 'p t -> ((int * int) * int) list
 (** Copies per directed link since the last {!reset_data_accounting},

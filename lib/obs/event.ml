@@ -12,6 +12,12 @@ type kind =
   | Mct_update of { target : int; op : table_op }
   | Member_join
   | Member_leave
+  | Packet_lost of { next : int; dst : int; data : bool; reason : string }
+  | Link_down of { u : int; v : int }
+  | Link_up of { u : int; v : int }
+  | Node_crash
+  | Node_restart
+  | Route_reconverge of { changed : int }
   | Note of string
 
 type t = {
@@ -33,6 +39,12 @@ let label = function
   | Mct_update _ -> "mct"
   | Member_join -> "member-join"
   | Member_leave -> "member-leave"
+  | Packet_lost _ -> "pkt-lost"
+  | Link_down _ -> "link-down"
+  | Link_up _ -> "link-up"
+  | Node_crash -> "crash"
+  | Node_restart -> "restart"
+  | Route_reconverge _ -> "reconverge"
   | Note _ -> "note"
 
 let op_name = function
@@ -68,6 +80,16 @@ let summary = function
       Printf.sprintf "mct %s target=%d" (op_name op) target
   | Member_join -> "member joined"
   | Member_leave -> "member left"
+  | Packet_lost { next; dst; data; reason } ->
+      Printf.sprintf "lost %s ->%d dst=%d (%s)"
+        (if data then "data" else "ctrl")
+        next dst reason
+  | Link_down { u; v } -> Printf.sprintf "link %d-%d down" u v
+  | Link_up { u; v } -> Printf.sprintf "link %d-%d up" u v
+  | Node_crash -> "node crashed"
+  | Node_restart -> "node restarted"
+  | Route_reconverge { changed } ->
+      Printf.sprintf "routing reconverged (%d next-hops changed)" changed
   | Note s -> s
 
 let pp ppf e =
@@ -106,6 +128,13 @@ let to_json e =
     | Mft_update { target; op } | Mct_update { target; op } ->
         [ ("target", Json.Int target); ("op", Json.String (op_name op)) ]
     | Member_join | Member_leave -> []
+    | Packet_lost { next; dst; data; reason } ->
+        [ ("next", Json.Int next); ("dst", Json.Int dst);
+          ("data", Json.Bool data); ("reason", Json.String reason) ]
+    | Link_down { u; v } | Link_up { u; v } ->
+        [ ("u", Json.Int u); ("v", Json.Int v) ]
+    | Node_crash | Node_restart -> []
+    | Route_reconverge { changed } -> [ ("changed", Json.Int changed) ]
     | Note s -> [ ("msg", Json.String s) ]
   in
   Json.Obj (base @ channel @ detail)

@@ -34,6 +34,18 @@ type kind =
   | Mct_update of { target : int; op : table_op }
   | Member_join  (** The node subscribed to the channel. *)
   | Member_leave
+  | Packet_lost of { next : int; dst : int; data : bool; reason : string }
+      (** A packet bound for [dst] was dropped at this node; [reason]
+          is the simulator's drop class (["loss"], ["link-down"],
+          ["node-down"], ["filtered"]). *)
+  | Link_down of { u : int; v : int }  (** Fault injection: link failed. *)
+  | Link_up of { u : int; v : int }  (** Fault injection: link restored. *)
+  | Node_crash  (** The node went down, losing all protocol state. *)
+  | Node_restart  (** The node came back blank. *)
+  | Route_reconverge of { changed : int }
+      (** The unicast forwarding plane was recomputed; [changed]
+          counts (node, destination) next-hop decisions that
+          differ. *)
   | Note of string  (** Free-form message (legacy string traces). *)
 
 type t = {
@@ -48,7 +60,8 @@ val make : time:float -> node:int -> ?channel:channel -> kind -> t
 val label : kind -> string
 (** Stable lowercase tag: ["join"], ["tree"], ["fusion"],
     ["pkt-fwd"], ["pkt-dup"], ["mft"], ["mct"], ["member-join"],
-    ["member-leave"], ["note"]. *)
+    ["member-leave"], ["pkt-lost"], ["link-down"], ["link-up"],
+    ["crash"], ["restart"], ["reconverge"], ["note"]. *)
 
 val summary : kind -> string
 (** The event body rendered as the legacy one-line message (without

@@ -1,0 +1,277 @@
+module Net = Netsim.Network
+module Pkt = Netsim.Packet
+module Engine = Eventsim.Engine
+module Timer = Eventsim.Timer
+
+let m_join = Obs.Metrics.counter Obs.Metrics.default "pim.ssm_join_msgs"
+let m_data = Obs.Metrics.counter Obs.Metrics.default "pim.ssm_data_msgs"
+let m_oif = Obs.Metrics.counter Obs.Metrics.default "pim.ssm_oif_updates"
+let m_crash_wipes = Obs.Metrics.counter Obs.Metrics.default "pim.ssm_crash_wipes"
+
+type msg =
+  | Join of { channel : Mcast.Channel.t }
+  | Data of { channel : Mcast.Channel.t; seq : int }
+
+type config = { join_period : float; holdtime : float }
+
+let default_config = { join_period = 100.0; holdtime = 350.0 }
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  network : msg Net.t;
+  graph : Topology.Graph.t;
+  channel : Mcast.Channel.t;
+  ochan : Obs.Event.channel;
+  source : int;
+  (* (S,G) state: per node, the downstream neighbors joins arrived
+     from, each with its holdtime deadline. *)
+  oifs : (int, (int, float) Hashtbl.t) Hashtbl.t;
+  (* Highest data seq fanned out per node: the loop damper.  Data
+     copies are unicast-addressed to oif neighbors and may arrive
+     through an asymmetric path, so an interface RPF check is not
+     expressible here; accepting each seq once per node gives the
+     same guarantee (transient oif cycles cannot amplify). *)
+  data_seen : (int, int) Hashtbl.t;
+  mutable members : int list;
+  member_timers : (int, Timer.t) Hashtbl.t;
+  member_handler_installed : (int, unit) Hashtbl.t;
+  mutable data_seq : int;
+}
+
+let engine t = t.engine
+let network t = t.network
+let channel t = t.channel
+let source t = t.source
+let members t = List.sort compare t.members
+let now t = Engine.now t.engine
+
+let trace_active t = Obs.Trace.active (Net.trace t.network)
+
+let ev t ~node ekind =
+  Obs.Trace.event (Net.trace t.network) ~time:(now t) ~node ~channel:t.ochan
+    ekind
+
+let oifs_of t n =
+  match Hashtbl.find_opt t.oifs n with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 4 in
+      Hashtbl.replace t.oifs n h;
+      h
+
+let live_oifs t n =
+  match Hashtbl.find_opt t.oifs n with
+  | None -> []
+  | Some h ->
+      let nw = now t in
+      Hashtbl.fold (fun d exp acc -> if exp > nw then d :: acc else acc) h []
+      |> List.sort compare
+
+(* The upstream (RPF) neighbor of [n] for the channel's source;
+   [None] at the source itself or when partitioned away from it. *)
+let rpf_neighbor t n =
+  if n = t.source then None
+  else Routing.Table.next_hop (Net.table t.network) n ~dest:t.source
+
+let send_join t ~from =
+  match rpf_neighbor t from with
+  | None -> ()
+  | Some up ->
+      Obs.Metrics.incr m_join;
+      if trace_active t then
+        ev t ~node:from (Obs.Event.Join { member = from; first = false });
+      Net.originate t.network ~src:from ~dst:up ~kind:Pkt.Control
+        (Join { channel = t.channel })
+
+(* One handler for routers, the source and member hosts alike.  Joins
+   are intercepted at {e every} router hop (real PIM processes a join
+   on each interface it crosses): the router records the previous hop
+   as an oif and sends its own join RPF-upstream, so oif entries
+   always point at physical neighbors.  Data fans out along the
+   recorded oifs, each copy unicast-addressed to its neighbor. *)
+let handler t _net n (p : msg Pkt.t) =
+  match p.Pkt.payload with
+  | Join { channel }
+    when Mcast.Channel.equal channel t.channel
+         && (p.Pkt.dst = n || Topology.Graph.multicast_capable t.graph n) ->
+      if p.Pkt.via <> n then begin
+        let h = oifs_of t n in
+        let fresh = not (Hashtbl.mem h p.Pkt.via) in
+        Hashtbl.replace h p.Pkt.via (now t +. t.config.holdtime);
+        Obs.Metrics.incr m_oif;
+        if fresh && trace_active t then
+          ev t ~node:n
+            (Obs.Event.Mft_update { target = p.Pkt.via; op = Obs.Event.Add })
+      end;
+      (* Propagate hop by hop toward the source (join suppression is
+         deliberately not modelled: every refresh travels the whole
+         reverse path, PIM's periodic-join overhead). *)
+      if n <> t.source then send_join t ~from:n;
+      Net.Consume
+  | Data { channel; seq }
+    when Mcast.Channel.equal channel t.channel && p.Pkt.dst = n ->
+      let seen =
+        Option.value ~default:0 (Hashtbl.find_opt t.data_seen n)
+      in
+      if seq > seen then begin
+        Hashtbl.replace t.data_seen n seq;
+        (* No incoming-interface exclusion: an asymmetric unicast
+           path can arrive through an oif neighbor, and skipping it
+           would starve that subtree.  The seq dedup above already
+           stops any bounce-back. *)
+        List.iter
+          (fun d ->
+            Obs.Metrics.incr m_data;
+            Net.emit t.network ~at:n
+              (Pkt.rewrite p ~src:n ~dst:d
+                 ~payload:(Data { channel = t.channel; seq })
+                 ()))
+          (live_oifs t n)
+      end;
+      Net.Consume
+  | Join _ | Data _ -> Net.Forward
+
+let setup ~config ~network ~channel ~source =
+  if config.join_period <= 0.0 || config.holdtime <= config.join_period then
+    invalid_arg "Pim.Ssm.create: need 0 < join_period < holdtime";
+  let engine = Net.engine network in
+  let graph = Routing.Table.graph (Net.table network) in
+  let t =
+    {
+      config;
+      engine;
+      network;
+      graph;
+      channel;
+      ochan =
+        {
+          Obs.Event.csrc = Mcast.Channel.source channel;
+          group = Mcast.Class_d.to_int32 (Mcast.Channel.group channel);
+        };
+      source;
+      oifs = Hashtbl.create 64;
+      data_seen = Hashtbl.create 64;
+      members = [];
+      member_timers = Hashtbl.create 16;
+      member_handler_installed = Hashtbl.create 16;
+      data_seq = 0;
+    }
+  in
+  List.iter
+    (fun r ->
+      if r <> source && Topology.Graph.multicast_capable graph r then
+        Net.chain network r (handler t))
+    (Topology.Graph.routers graph);
+  Net.chain network source (handler t);
+  (* Holdtime sweep: drop expired oif entries so state size reflects
+     the live tree. *)
+  ignore
+    (Timer.every ~tag:"pim.sweep" engine ~start:config.join_period
+       ~period:config.join_period (fun () ->
+         let nw = now t in
+         Hashtbl.iter
+           (fun _ h ->
+             let dead =
+               Hashtbl.fold
+                 (fun d exp acc -> if exp <= nw then d :: acc else acc)
+                 h []
+             in
+             List.iter (Hashtbl.remove h) dead)
+           t.oifs));
+  (* A crash drops the node's (S,G) state; the periodic joins rebuild
+     it through RPF re-join once the node (or a route around it) is
+     back. *)
+  Net.on_node_event network (fun ~up n ->
+      if not up then begin
+        Obs.Metrics.incr m_crash_wipes;
+        Hashtbl.remove t.oifs n;
+        Hashtbl.remove t.data_seen n
+      end);
+  t
+
+let create ?(config = default_config) ?trace ?channel table ~source =
+  let engine = Engine.create () in
+  let network = Net.create ?trace engine table in
+  let channel =
+    match channel with Some c -> c | None -> Mcast.Channel.fresh ~source
+  in
+  setup ~config ~network ~channel ~source
+
+let create_on ?(config = default_config) ?channel network ~source =
+  let channel =
+    match channel with Some c -> c | None -> Mcast.Channel.fresh ~source
+  in
+  setup ~config ~network ~channel ~source
+
+let subscribe t r =
+  if r = t.source then invalid_arg "Pim.Ssm.subscribe: the source cannot join";
+  if not (List.mem r t.members) then begin
+    t.members <- r :: t.members;
+    Net.set_sink t.network r true;
+    if
+      Topology.Graph.is_host t.graph r
+      && not (Hashtbl.mem t.member_handler_installed r)
+    then begin
+      Hashtbl.replace t.member_handler_installed r ();
+      Net.chain t.network r (handler t)
+    end;
+    if trace_active t then ev t ~node:r Obs.Event.Member_join;
+    let timer =
+      Timer.every ~tag:"pim.join_timer" t.engine ~start:0.0
+        ~period:t.config.join_period (fun () -> send_join t ~from:r)
+    in
+    Hashtbl.replace t.member_timers r timer
+  end
+
+let unsubscribe t r =
+  if List.mem r t.members then begin
+    t.members <- List.filter (fun m -> m <> r) t.members;
+    if trace_active t then ev t ~node:r Obs.Event.Member_leave;
+    (match Hashtbl.find_opt t.member_timers r with
+    | Some timer ->
+        Timer.stop timer;
+        Hashtbl.remove t.member_timers r
+    | None -> ());
+    Net.set_sink t.network r false
+  end
+
+let run_for t d = Engine.run ~until:(now t +. d) t.engine
+
+let converge ?(periods = 12) t =
+  run_for t (float_of_int periods *. t.config.join_period)
+
+let data_seq t = t.data_seq
+
+let send_data t =
+  t.data_seq <- t.data_seq + 1;
+  let seq = t.data_seq in
+  List.iter
+    (fun d ->
+      Obs.Metrics.incr m_data;
+      Net.originate t.network ~src:t.source ~dst:d ~kind:Pkt.Data
+        (Data { channel = t.channel; seq }))
+    (live_oifs t t.source)
+
+let probe t =
+  Net.reset_data_accounting t.network;
+  send_data t;
+  run_for t (Float.max 500.0 (2.0 *. t.config.join_period));
+  let dist = Mcast.Distribution.create ~source:t.source in
+  List.iter
+    (fun ((u, v), n) ->
+      for _ = 1 to n do
+        Mcast.Distribution.add_copy dist u v
+      done)
+    (Net.data_link_loads t.network);
+  List.iter
+    (fun (r, d) -> Mcast.Distribution.deliver dist ~receiver:r ~delay:d)
+    (Net.data_deliveries t.network);
+  dist
+
+let state_size t =
+  Hashtbl.fold (fun _ h acc -> acc + Hashtbl.length h) t.oifs 0
+
+let control_overhead t = (Net.counters t.network).Net.control_hops
+
+let debug_oifs t n = live_oifs t n

@@ -1,0 +1,77 @@
+(** Event-driven PIM-SSM (source-specific multicast) over the packet
+    simulator — the IP-multicast baseline for the fault-recovery
+    experiments, complementing the analytic {!Pim_ss} tree builder.
+
+    Receivers periodically send (S,G) joins toward the source; each
+    join travels hop by hop along the {e reverse} shortest path (RPF),
+    installing at every router an outgoing-interface entry for the
+    neighbor it arrived from, with a holdtime.  Data fans out along
+    the recorded oifs, one copy per downstream neighbor, with an RPF
+    check on the incoming interface.
+
+    Recovery story (contrast with HBH/REUNITE's tree refresh): after
+    a failure plus unicast reconvergence, the very next periodic join
+    travels the {e new} reverse path and re-installs state there; the
+    orphaned branch ages out when its holdtime lapses. *)
+
+type msg =
+  | Join of { channel : Mcast.Channel.t }
+  | Data of { channel : Mcast.Channel.t; seq : int }
+
+type config = {
+  join_period : float;  (** periodic join refresh interval *)
+  holdtime : float;  (** oif entry lifetime (> join_period) *)
+}
+
+val default_config : config
+(** join period 100, holdtime 350 — comparable to the HBH/REUNITE
+    t1 deadline so the protocols' state decays on similar scales. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?trace:Netsim.Trace.t ->
+  ?channel:Mcast.Channel.t ->
+  Routing.Table.t ->
+  source:int ->
+  t
+
+val create_on :
+  ?config:config ->
+  ?channel:Mcast.Channel.t ->
+  msg Netsim.Network.t ->
+  source:int ->
+  t
+(** Run over an existing network (shared engine and forwarding
+    plane); handlers are chained behind those already installed. *)
+
+val engine : t -> Eventsim.Engine.t
+val network : t -> msg Netsim.Network.t
+val channel : t -> Mcast.Channel.t
+val source : t -> int
+
+val subscribe : t -> int -> unit
+val unsubscribe : t -> int -> unit
+val members : t -> int list
+
+val run_for : t -> float -> unit
+val converge : ?periods:int -> t -> unit
+
+val send_data : t -> unit
+(** One data packet from the source down the current (S,G) tree. *)
+
+val data_seq : t -> int
+(** Sequence number of the last data packet sent (0 initially). *)
+
+val probe : t -> Mcast.Distribution.t
+(** Reset accounting, send one data packet, run a delivery horizon
+    and return the measured distribution. *)
+
+val state_size : t -> int
+(** Total (S,G) oif entries across all nodes right now. *)
+
+val control_overhead : t -> int
+
+val debug_oifs : t -> int -> int list
+(** Live oif entries of a node (diagnostics). *)

@@ -9,6 +9,9 @@ let m_tree = Obs.Metrics.counter Obs.Metrics.default "reunite.tree_msgs"
 let m_data = Obs.Metrics.counter Obs.Metrics.default "reunite.data_msgs"
 let m_mft = Obs.Metrics.counter Obs.Metrics.default "reunite.mft_updates"
 let m_mct = Obs.Metrics.counter Obs.Metrics.default "reunite.mct_updates"
+let m_crash_wipes = Obs.Metrics.counter Obs.Metrics.default "reunite.crash_wipes"
+let m_route_changes =
+  Obs.Metrics.counter Obs.Metrics.default "reunite.route_changes"
 
 type config = {
   join_period : float;
@@ -348,6 +351,16 @@ let setup ~config ~network ~channel ~source =
     (Timer.every engine ~tag:"reunite.sweep" ~start:config.tree_period
        ~period:config.tree_period (fun () ->
          Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now:(now t)) t.router_tables));
+  (* Crash recovery is pure soft state: wipe the node's RCT/MFT and
+     let the periodic join/tree cycle rebuild it after restart. *)
+  Net.on_node_event network (fun ~up n ->
+      if not up then begin
+        Obs.Metrics.incr m_crash_wipes;
+        if n = source then t.source_mft <- None
+        else Hashtbl.remove t.router_tables n;
+        trace t ~node:n "crash: REUNITE state wiped"
+      end);
+  Net.on_route_change network (fun () -> Obs.Metrics.incr m_route_changes);
   t
 
 let create ?(config = default_config) ?trace ?channel table ~source =
@@ -396,6 +409,8 @@ let run_for t d = Engine.run ~until:(now t +. d) t.engine
 
 let converge ?(periods = 12) t =
   run_for t (float_of_int periods *. t.config.tree_period)
+
+let data_seq t = t.data_seq
 
 let send_data t =
   match t.source_mft with
@@ -460,6 +475,8 @@ let branching_routers t =
   |> List.sort compare
 
 let control_overhead t = (Net.counters t.network).Net.control_hops
+
+let source_table t = t.source_mft
 
 let router_tables t n =
   match Hashtbl.find_opt t.router_tables n with

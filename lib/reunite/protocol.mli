@@ -51,9 +51,17 @@ val run_for : t -> float -> unit
 val converge : ?periods:int -> t -> unit
 
 val probe : t -> Mcast.Distribution.t
+
 val send_data : t -> unit
+val data_seq : t -> int
+(** Sequence number of the last data packet sent (0 initially);
+    unchanged when {!send_data} had no tree to send down. *)
 
 val state : t -> Mcast.Metrics.state
 val branching_routers : t -> int list
 val control_overhead : t -> int
 val router_tables : t -> int -> Tables.t
+
+val source_table : t -> Tables.Mft.t option
+(** The source's own MFT ([None] before the first join or after it
+    decayed); kept alive by join messages alone. *)

@@ -80,7 +80,7 @@ let to_dest g d =
       (* Relax every in-edge u -> v: a path u -> v -> ... -> d. *)
       List.iter
         (fun u ->
-          if not settled.(u) then begin
+          if (not settled.(u)) && G.link_up g u v then begin
             let c = G.cost g u v in
             let cand = dist.(v) + c in
             if cand < dist.(u) then begin
@@ -100,8 +100,10 @@ let to_dest g d =
       let best = ref (-1) in
       List.iter
         (fun v ->
-          if dist.(v) < max_int && dist.(v) + G.cost g u v = dist.(u) then
-            if !best = -1 || v < !best then best := v)
+          if
+            dist.(v) < max_int && G.link_up g u v
+            && dist.(v) + G.cost g u v = dist.(u)
+          then if !best = -1 || v < !best then best := v)
         (G.neighbors g u);
       next.(u) <- !best
     end

@@ -4,6 +4,9 @@ let compute g =
   let n = Topology.Graph.node_count g in
   { graph = g; trees = Array.init n (fun d -> Dijkstra.to_dest g d) }
 
+let refresh t =
+  Array.iteri (fun d _ -> t.trees.(d) <- Dijkstra.to_dest t.graph d) t.trees
+
 let graph t = t.graph
 
 let in_tree t d =

@@ -6,7 +6,15 @@
 type t
 
 val compute : Topology.Graph.t -> t
-(** Runs Dijkstra once per destination. *)
+(** Runs Dijkstra once per destination.  Links whose
+    {!Topology.Graph.link_up} flag is false are treated as absent. *)
+
+val refresh : t -> unit
+(** Recompute every in-tree in place against the current state of the
+    graph (mutated costs, failed or restored links) — unicast routing
+    reconvergence.  Holders of the table (the packet simulator, the
+    protocol sessions) observe the new forwarding plane on their next
+    {!next_hop} lookup. *)
 
 val graph : t -> Topology.Graph.t
 

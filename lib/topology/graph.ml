@@ -8,6 +8,7 @@ type link = {
   mutable cost_vu : int;
   mutable delay_uv : float;
   mutable delay_vu : float;
+  mutable up : bool;
 }
 
 type t = {
@@ -107,6 +108,16 @@ let set_cost g u v c =
 let set_delay g u v d =
   let l = directed_link g u v in
   if l.u = u then l.delay_uv <- d else l.delay_vu <- d
+
+let link_up g u v = (directed_link g u v).up
+
+let set_link_up g u v b = (directed_link g u v).up <- b
+
+let all_links_up g = Array.for_all (fun l -> l.up) g.link_arr
+
+let down_links g =
+  Array.fold_left (fun acc l -> if l.up then acc else (l.u, l.v) :: acc) [] g.link_arr
+  |> List.rev
 
 let router_of_host g h =
   if not (is_host g h) then
@@ -225,6 +236,7 @@ let make ~kinds ~links =
              cost_vu = cvu;
              delay_uv = float_of_int cuv;
              delay_vu = float_of_int cvu;
+             up = true;
            })
          links)
   in

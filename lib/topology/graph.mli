@@ -28,6 +28,7 @@ type link = private {
   mutable cost_vu : int;  (** routing metric in direction [v -> u] *)
   mutable delay_uv : float;  (** propagation delay in direction [u -> v] *)
   mutable delay_vu : float;  (** propagation delay in direction [v -> u] *)
+  mutable up : bool;  (** operational state; failed links carry nothing *)
 }
 
 (** {1 Accessors} *)
@@ -77,6 +78,21 @@ val set_cost : t -> int -> int -> int -> unit
 (** [set_cost g u v c] sets the metric of direction [u -> v]. *)
 
 val set_delay : t -> int -> int -> float -> unit
+
+val link_up : t -> int -> int -> bool
+(** Operational state of the link joining [u] and [v] (both
+    directions fail together).  Raises [Invalid_argument] if no such
+    link exists. *)
+
+val set_link_up : t -> int -> int -> bool -> unit
+(** Fail or restore a link.  Routing ({!Routing.Table.compute} /
+    [refresh]) treats down links as absent; the packet simulator
+    drops traffic forwarded onto one. *)
+
+val all_links_up : t -> bool
+
+val down_links : t -> (int * int) list
+(** Currently failed links as [(u, v)] endpoint pairs, link order. *)
 
 val router_of_host : t -> int -> int
 (** The unique router a host attaches to.  Raises [Invalid_argument]

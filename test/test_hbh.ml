@@ -36,22 +36,29 @@ let test_mft_lifecycle () =
 let test_mft_marked_semantics () =
   let m = Hbh.Tables.Mft.create () in
   ignore (Hbh.Tables.Mft.add_fresh m dl ~now:0.0 5);
-  Alcotest.(check bool) "mark succeeds" true (Hbh.Tables.Mft.mark m ~now:0.0 5);
+  Alcotest.(check bool) "mark succeeds" true (Hbh.Tables.Mft.mark m dl ~now:0.0 5);
   Alcotest.(check (list int)) "marked: no data" []
     (Hbh.Tables.Mft.data_targets m ~now:1.0);
   Alcotest.(check (list int)) "marked: trees flow" [ 5 ]
     (Hbh.Tables.Mft.tree_targets m ~now:1.0);
-  Alcotest.(check bool) "mark unknown fails" false (Hbh.Tables.Mft.mark m ~now:0.0 9)
+  Alcotest.(check bool) "mark unknown fails" false (Hbh.Tables.Mft.mark m dl ~now:0.0 9)
 
 let test_mft_refresh_preserves_mark () =
   let m = Hbh.Tables.Mft.create () in
   ignore (Hbh.Tables.Mft.add_fresh m dl ~now:0.0 5);
-  ignore (Hbh.Tables.Mft.mark m ~now:0.0 5);
+  ignore (Hbh.Tables.Mft.mark m dl ~now:0.0 5);
   Alcotest.(check bool) "refresh ok" true (Hbh.Tables.Mft.refresh m dl ~now:9.0 5);
   Alcotest.(check (list int)) "still marked" []
-    (Hbh.Tables.Mft.data_targets m ~now:10.0);
+    (Hbh.Tables.Mft.data_targets m ~now:9.5);
   Alcotest.(check (list int)) "alive past original t2" [ 5 ]
-    (Hbh.Tables.Mft.tree_targets m ~now:18.0)
+    (Hbh.Tables.Mft.tree_targets m ~now:18.0);
+  (* The mark is itself soft state: unless a later fusion re-asserts
+     it, it lapses at its own t1 and data flows again. *)
+  Alcotest.(check (list int)) "mark decays at t1" [ 5 ]
+    (Hbh.Tables.Mft.data_targets m ~now:10.0);
+  ignore (Hbh.Tables.Mft.mark m dl ~now:10.0 5);
+  Alcotest.(check (list int)) "re-marked" []
+    (Hbh.Tables.Mft.data_targets m ~now:11.0)
 
 let test_mft_fusion_add_stale () =
   let m = Hbh.Tables.Mft.create () in

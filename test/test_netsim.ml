@@ -141,6 +141,61 @@ let test_unreachable_drop () =
   Alcotest.(check int) "unreachable counted" 1
     (Net.counters net).Net.dropped_unreachable
 
+(* ---- Fault injection -------------------------------------------------- *)
+
+let test_bernoulli_loss_drop () =
+  let engine, net = line_network () in
+  Net.set_fault_rng net (Stats.Rng.create 11);
+  Net.set_loss net ~u:1 ~v:2 1.0;
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  let c = Net.counters net in
+  Alcotest.(check int) "lost on the wire" 1 c.Net.dropped_loss;
+  (* Rate 0 removes the entry and traffic flows again. *)
+  Net.set_loss net ~u:1 ~v:2 0.0;
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  Alcotest.(check int) "no further losses" 1 (Net.counters net).Net.dropped_loss
+
+let test_link_down_drop () =
+  let engine, net = line_network () in
+  Net.set_link_up net 1 2 false;
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  Alcotest.(check int) "dead link counted" 1
+    (Net.counters net).Net.dropped_link_down
+
+let test_node_down_drop_and_events () =
+  let engine, net = line_network () in
+  let transitions = ref [] in
+  Net.on_node_event net (fun ~up n -> transitions := (up, n) :: !transitions);
+  Net.set_node_up net 2 false;
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  Alcotest.(check int) "crashed node drops traffic" 1
+    (Net.counters net).Net.dropped_node_down;
+  Net.set_node_up net 2 true;
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  Alcotest.(check int) "restart restores forwarding" 1
+    (Net.counters net).Net.dropped_node_down;
+  Alcotest.(check (list (pair bool int)))
+    "crash then restart observed" [ (false, 2); (true, 2) ]
+    (List.rev !transitions)
+
+let test_drop_filter () =
+  let engine, net = line_network () in
+  Net.set_drop_filter net (Some (fun p -> p.Pkt.kind = Pkt.Control));
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  Alcotest.(check int) "suppressed before the wire" 1
+    (Net.counters net).Net.dropped_filtered;
+  Net.set_drop_filter net None;
+  Net.originate net ~src:0 ~dst:3 ~kind:Pkt.Control Ping;
+  Eventsim.Engine.run engine;
+  Alcotest.(check int) "filter removal restores flow" 1
+    (Net.counters net).Net.dropped_filtered
+
 let test_self_addressed_loopback () =
   let engine, net = line_network () in
   let got = ref false in
@@ -243,6 +298,14 @@ let () =
           Alcotest.test_case "host implicit sink" `Quick test_host_is_implicit_sink;
           Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry;
           Alcotest.test_case "unreachable" `Quick test_unreachable_drop;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "bernoulli loss" `Quick test_bernoulli_loss_drop;
+          Alcotest.test_case "link down" `Quick test_link_down_drop;
+          Alcotest.test_case "node crash/restart" `Quick
+            test_node_down_drop_and_events;
+          Alcotest.test_case "drop filter" `Quick test_drop_filter;
         ] );
       ( "chaining",
         [ Alcotest.test_case "handlers compose" `Quick test_chain_handlers ] );

@@ -197,6 +197,51 @@ let prop_event_hbh_matches_analytic_small =
       Mcast.Distribution.equal_shape d
         (Hbh.Analytic.build table ~source ~receivers))
 
+let prop_hbh_recovers_from_link_failure =
+  QCheck.Test.make
+    ~name:"HBH: any single link failure + restore heals within 2*t2" ~count:10
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g, table, source, receivers = scenario_of_seed seed in
+      let session = Hbh.Protocol.create table ~source in
+      List.iter (Hbh.Protocol.subscribe session) receivers;
+      Hbh.Protocol.converge ~periods:12 session;
+      let net = Hbh.Protocol.network session in
+      (* A router-router link actually carried by the tree, so the
+         failure bites; host access links are excluded (no reroute
+         exists for them). *)
+      let tree_links =
+        List.concat_map
+          (fun r ->
+            let rec edges = function
+              | a :: (b :: _ as rest)
+                when Topology.Graph.is_router g a && Topology.Graph.is_router g b
+                ->
+                  (min a b, max a b) :: edges rest
+              | _ :: rest -> edges rest
+              | [] -> []
+            in
+            edges (Routing.Table.path table source r))
+          receivers
+        |> List.sort_uniq compare
+      in
+      match tree_links with
+      | [] -> true (* degenerate star: nothing to fail *)
+      | links ->
+          let pick = Stats.Rng.create (seed + 7919) in
+          let u, v = List.nth links (Stats.Rng.int pick (List.length links)) in
+          let cfg = Hbh.Protocol.default_config in
+          let inj = Fault.Injector.create net in
+          Fault.Injector.apply inj (Fault.Plan.Link_down { u; v });
+          ignore (Fault.Injector.reconverge net);
+          Hbh.Protocol.run_for session (2.0 *. cfg.t1);
+          Fault.Injector.apply inj (Fault.Plan.Link_up { u; v });
+          ignore (Fault.Injector.reconverge net);
+          Hbh.Protocol.run_for session (2.0 *. cfg.t2);
+          let d = Hbh.Protocol.probe session in
+          Mcast.Distribution.receivers d = List.sort compare receivers
+          && Mcast.Distribution.max_stress d = 1)
+
 let () =
   Alcotest.run "properties"
     [
@@ -213,6 +258,7 @@ let () =
             prop_pim_sm_serves_everyone;
             prop_all_costs_bounded_by_unicast_star;
             prop_symmetric_costs_collapse_gap;
+            prop_hbh_recovers_from_link_failure;
             prop_event_hbh_matches_analytic_small;
           ] );
     ]
