@@ -106,19 +106,68 @@ let obs_inactive_notef () =
   let t = Obs.Trace.create ~enabled:false () in
   fun () -> Obs.Trace.notef t "unrendered %d %s" 42 "payload"
 
+(* [Table.compute] is lazy now: force every tree so these two still
+   measure the full all-pairs computation they are named after. *)
 let routing_isp () =
   let g = Topology.Isp.create () in
   let rng = Stats.Rng.create 1 in
   fun () ->
     Workload.Scenario.randomize rng g;
-    ignore (Routing.Table.compute g)
+    Routing.Table.force_all (Routing.Table.compute g)
 
 let routing_rand50 () =
   let rng = Stats.Rng.create 1 in
   let g = Topology.Generators.random_connected rng ~n:50 ~avg_degree:8.6 in
   fun () ->
     Workload.Scenario.randomize rng g;
-    ignore (Routing.Table.compute g)
+    Routing.Table.force_all (Routing.Table.compute g)
+
+(* Routing fast path: a degree-4 random graph with 32 destinations in
+   use, the worst-case link (the one crossing the most live in-trees)
+   picked in setup.  [routing_query] measures a warm-cache next-hop
+   lookup; [routing_reconverge] one full flap cycle — fail the link,
+   targeted invalidation, restore service to the live destinations,
+   restore the link (full invalidation: improvements can move any
+   route), restore service again. *)
+let fastpath_setup n =
+  let rng = Stats.Rng.create (42 + n) in
+  let g =
+    Topology.Generators.random_connected ~hosts:false rng ~n ~avg_degree:4.0
+  in
+  Topology.Graph.randomize_costs g rng ~lo:1 ~hi:10;
+  let table = Routing.Table.compute g in
+  let dests = Array.init (min 32 n) (fun i -> i * n / min 32 n) in
+  Array.iter (fun d -> ignore (Routing.Table.in_tree table d)) dests;
+  let u, v, _ =
+    List.fold_left
+      (fun ((_, _, best) as acc) (l : Topology.Graph.link) ->
+        let c = List.length (Routing.Table.using_edge table l.u l.v) in
+        if c > best then (l.u, l.v, c) else acc)
+      (-1, -1, -1)
+      (Topology.Graph.links g)
+  in
+  (g, table, dests, u, v)
+
+let routing_query n =
+  let _, table, dests, _, _ = fastpath_setup n in
+  let k = Array.length dests in
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    ignore (Routing.Table.next_hop table (!i mod n) ~dest:dests.(!i mod k))
+
+let routing_reconverge n =
+  let g, table, dests, u, v = fastpath_setup n in
+  let requery () =
+    Array.iter (fun d -> ignore (Routing.Table.in_tree table d)) dests
+  in
+  fun () ->
+    Topology.Graph.set_link_up g u v false;
+    ignore (Routing.Table.invalidate_edge table u v);
+    requery ();
+    Topology.Graph.set_link_up g u v true;
+    Routing.Table.invalidate_all table;
+    requery ()
 
 let tests () =
   let isp = Experiments.Common.isp_config () in
@@ -152,6 +201,18 @@ let tests () =
     Test.make ~name:"obs: notef on inactive trace"
       (Staged.stage (obs_inactive_notef ()));
   ]
+  @ List.concat_map
+      (fun n ->
+        [
+          Test.make
+            ~name:(Printf.sprintf "routing fast path: warm query (n=%d)" n)
+            (Staged.stage (routing_query n));
+          Test.make
+            ~name:
+              (Printf.sprintf "routing fast path: flap reconverge (n=%d)" n)
+            (Staged.stage (routing_reconverge n));
+        ])
+      [ 50; 200; 500; 1000 ]
 
 let benchmark () =
   let ols =

@@ -1,6 +1,12 @@
 type 'a entry = { key : float; seq : int; value : 'a }
 
-type 'a t = { mutable arr : 'a entry array; mutable size : int }
+(* Slots hold options so vacated cells release their entry — and the
+   closure it captures — to the GC at once.  The scheduler's heap
+   lives as long as the run: with plain entry slots every popped event
+   would be retained until its cell happened to be overwritten, and a
+   drained heap would pin the last high-water-mark's worth of
+   closures forever. *)
+type 'a t = { mutable arr : 'a entry option array; mutable size : int }
 
 let create () = { arr = [||]; size = 0 }
 
@@ -9,6 +15,8 @@ let size h = h.size
 let is_empty h = h.size = 0
 
 let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let get h i = match h.arr.(i) with Some e -> e | None -> assert false
 
 let swap h i j =
   let tmp = h.arr.(i) in
@@ -19,48 +27,42 @@ let ensure_capacity h =
   let cap = Array.length h.arr in
   if h.size = cap then begin
     let ncap = max 8 (2 * cap) in
-    let arr = Array.make ncap h.arr.(0) in
+    let arr = Array.make ncap None in
     Array.blit h.arr 0 arr 0 cap;
     h.arr <- arr
   end
 
 let push h key seq value =
-  let e = { key; seq; value } in
-  if Array.length h.arr = 0 then begin
-    h.arr <- Array.make 8 e;
-    h.size <- 1
-  end
-  else begin
-    ensure_capacity h;
-    h.arr.(h.size) <- e;
-    h.size <- h.size + 1;
-    let i = ref (h.size - 1) in
-    while !i > 0 && less h.arr.(!i) h.arr.((!i - 1) / 2) do
-      swap h !i ((!i - 1) / 2);
-      i := (!i - 1) / 2
-    done
-  end
+  ensure_capacity h;
+  h.arr.(h.size) <- Some { key; seq; value };
+  h.size <- h.size + 1;
+  let i = ref (h.size - 1) in
+  while !i > 0 && less (get h !i) (get h ((!i - 1) / 2)) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
 
 let peek h =
   if h.size = 0 then None
   else
-    let e = h.arr.(0) in
+    let e = get h 0 in
     Some (e.key, e.seq, e.value)
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.arr.(0) in
+    let top = get h 0 in
     h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.arr.(0) <- h.arr.(h.size);
+    if h.size > 0 then h.arr.(0) <- h.arr.(h.size);
+    h.arr.(h.size) <- None;
+    if h.size > 1 then begin
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < h.size && less h.arr.(l) h.arr.(!smallest) then smallest := l;
-        if r < h.size && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if l < h.size && less (get h l) (get h !smallest) then smallest := l;
+        if r < h.size && less (get h r) (get h !smallest) then smallest := r;
         if !smallest = !i then continue := false
         else begin
           swap h !i !smallest;
@@ -71,4 +73,6 @@ let pop h =
     Some (top.key, top.seq, top.value)
   end
 
-let clear h = h.size <- 0
+let clear h =
+  Array.fill h.arr 0 h.size None;
+  h.size <- 0

@@ -19,6 +19,9 @@ val push : 'a t -> float -> int -> 'a -> unit
 val peek : 'a t -> (float * int * 'a) option
 
 val pop : 'a t -> (float * int * 'a) option
-(** Removes and returns the minimum element. *)
+(** Removes and returns the minimum element.  The vacated slot is
+    released: the heap never retains a reference to a popped value. *)
 
 val clear : 'a t -> unit
+(** Empties the heap and releases every held value (capacity is
+    kept). *)

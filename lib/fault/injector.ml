@@ -73,28 +73,7 @@ let cut_links g island =
       | _ -> None)
     (G.links g)
 
-let snapshot_next_hops table =
-  let n = G.node_count (Routing.Table.graph table) in
-  let m = Array.make (n * n) (-2) in
-  for u = 0 to n - 1 do
-    for d = 0 to n - 1 do
-      m.((u * n) + d) <-
-        (match Routing.Table.next_hop table u ~dest:d with
-        | None -> -1
-        | Some h -> h)
-    done
-  done;
-  m
-
-let reconverge net =
-  let table = Net.table net in
-  let before = snapshot_next_hops table in
-  Routing.Table.refresh table;
-  let after = snapshot_next_hops table in
-  let changed = ref 0 in
-  Array.iteri (fun i b -> if after.(i) <> b then incr changed) before;
-  Net.route_changed net ~changed:!changed;
-  !changed
+let reconverge net = Net.reconverge net
 
 let apply t (action : Plan.action) =
   Obs.Metrics.incr m_directives;

@@ -28,8 +28,10 @@ val apply : 'p t -> Plan.action -> unit
 val network : 'p t -> 'p Netsim.Network.t
 
 val reconverge : 'p Netsim.Network.t -> int
-(** Recompute the unicast forwarding plane against the current
-    topology ({!Routing.Table.refresh}), announce it to the protocols
-    ({!Netsim.Network.route_changed}) and return the number of
-    next-hop decisions that changed.  Standalone: usable without an
-    injector (the property tests drive it directly). *)
+(** Reconverge the unicast forwarding plane onto the current topology
+    (alias of {!Netsim.Network.reconverge}): invalidates only the
+    cached routes the recorded link failures could have moved —
+    restores fall back to every cached destination — announces the
+    change to the protocols and returns the number of next-hop
+    decisions that changed.  Standalone: usable without an injector
+    (the property tests drive it directly). *)

@@ -59,6 +59,10 @@ type 'p t = {
   mutable node_listeners : (up:bool -> int -> unit) list;
   mutable route_listeners : (unit -> unit) list;
   mutable delivery_listeners : (now:float -> node:int -> 'p Packet.t -> unit) list;
+  (* Link changes since the last {!reconverge}: downed links support
+     targeted invalidation; any restore forces a full one. *)
+  mutable pending_down : (int * int) list;
+  mutable pending_restore : bool;
 }
 
 and 'p handler = 'p t -> int -> 'p Packet.t -> verdict
@@ -114,6 +118,8 @@ let create ?(default_ttl = 255) ?trace engine table =
     node_listeners = [];
     route_listeners = [];
     delivery_listeners = [];
+    pending_down = [];
+    pending_restore = false;
   }
 
 let engine t = t.engine
@@ -177,8 +183,19 @@ let set_drop_filter t f =
   if f <> None then t.faults_on <- true
 
 let set_link_up t u v b =
+  (* Materialize any not-yet-computed routes against the pre-change
+     topology first: packets must keep following stale next hops until
+     {!reconverge}, even toward destinations first looked up after the
+     change (the table is lazy; an uncached in-tree would otherwise be
+     built against the mutated graph and skip the detection-lag
+     window). *)
+  Routing.Table.force_all t.table;
   Topology.Graph.set_link_up t.graph u v b;
-  if not b then t.faults_on <- true
+  if b then t.pending_restore <- true
+  else begin
+    t.faults_on <- true;
+    t.pending_down <- (u, v) :: t.pending_down
+  end
 
 let node_up t n = not (Hashtbl.mem t.down_nodes n)
 
@@ -209,6 +226,44 @@ let route_changed t ~changed =
     Obs.Trace.event t.trace ~time:(now t) ~node:(-1)
       (Obs.Event.Route_reconverge { changed });
   List.iter (fun f -> f ()) t.route_listeners
+
+let reconverge t =
+  let table = t.table in
+  let n = Topology.Graph.node_count t.graph in
+  (* Destinations whose forwarding could have changed.  Only downed
+     links support targeted invalidation: a restore (or a change made
+     behind our back, e.g. direct cost mutation) can improve any
+     route, so those fall back to every cached destination.  Uncached
+     destinations need no bookkeeping — they rebuild from the current
+     graph on first use. *)
+  let targeted = (not t.pending_restore) && t.pending_down <> [] in
+  let affected =
+    if targeted then
+      List.sort_uniq compare
+        (List.concat_map
+           (fun (u, v) -> Routing.Table.using_edge table u v)
+           t.pending_down)
+    else List.filter (Routing.Table.cached table) (List.init n Fun.id)
+  in
+  let snapshot d =
+    Array.init n (fun u ->
+        match Routing.Table.next_hop table u ~dest:d with
+        | None -> -1
+        | Some h -> h)
+  in
+  let before = List.map (fun d -> (d, snapshot d)) affected in
+  if targeted then List.iter (Routing.Table.invalidate_dest table) affected
+  else Routing.Table.invalidate_all table;
+  t.pending_down <- [];
+  t.pending_restore <- false;
+  let changed = ref 0 in
+  List.iter
+    (fun (d, old) ->
+      let fresh = snapshot d in
+      Array.iteri (fun u h -> if fresh.(u) <> h then incr changed) old)
+    before;
+  route_changed t ~changed:!changed;
+  !changed
 
 let reason_label = function
   | Loss -> "loss"

@@ -94,9 +94,10 @@ val set_link_up : 'p t -> int -> int -> bool -> unit
     [dropped_link_down] (a bare {!Topology.Graph.set_link_up} leaves
     the fast path armed off and the failure invisible).  Routing is
     {e not} recomputed: packets keep following the stale next hops and
-    die on the dead link until {!Routing.Table.refresh} +
-    {!route_changed} — exactly the detection-lag window the fault
-    experiments measure. *)
+    die on the dead link until {!reconverge} — exactly the
+    detection-lag window the fault experiments measure.  The change is
+    recorded so that {!reconverge} can invalidate only the affected
+    cached routes. *)
 
 val set_node_up : 'p t -> int -> bool -> unit
 (** Crash ([false]) or restart ([true]) a node.  A down node neither
@@ -113,11 +114,24 @@ val on_node_event : 'p t -> (up:bool -> int -> unit) -> unit
 (** Observe crash/restart transitions; listeners stack and fire in
     registration order. *)
 
+val reconverge : 'p t -> int
+(** Reconverge unicast routing onto the current topology and announce
+    it ({!route_changed}); returns the number of next-hop decisions
+    that changed among the destinations in use.  Link failures since
+    the last call invalidate only the cached in-trees that crossed
+    them ({!Routing.Table.invalidate_edge} semantics); a restore — or
+    a call with no recorded link change, e.g. after direct cost
+    mutations — falls back to invalidating every cached destination.
+    Either way only destinations that were actually cached are
+    recomputed for the change count; the rest rebuild lazily on their
+    next lookup. *)
+
 val route_changed : 'p t -> changed:int -> unit
 (** Announce that the routing table was recomputed ([changed] =
     number of next-hop decisions that differ).  Fires the
     {!on_route_change} listeners and records a typed
-    [Route_reconverge] event — call after {!Routing.Table.refresh}. *)
+    [Route_reconverge] event — {!reconverge} calls this for you;
+    call it directly only after refreshing the table yourself. *)
 
 val on_route_change : 'p t -> (unit -> unit) -> unit
 

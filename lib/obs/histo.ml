@@ -32,20 +32,32 @@ let create ?(buckets = default_buckets) () =
 
 let observe t v =
   let n = Array.length t.bounds in
-  let i = ref 0 in
-  while !i < n && v > t.bounds.(!i) do
-    incr i
-  done;
-  t.counts.(!i) <- t.counts.(!i) + 1;
-  t.count <- t.count + 1;
-  t.sum <- t.sum +. v;
-  if t.count = 1 then begin
-    t.min <- v;
-    t.max <- v
+  if Float.is_nan v then begin
+    (* NaN compares false against every bound, so the scan below would
+       file it in the first bucket — and one NaN would poison sum, min
+       and max forever.  Park it in overflow and leave the moments
+       untouched. *)
+    t.counts.(n) <- t.counts.(n) + 1;
+    t.count <- t.count + 1
   end
   else begin
-    if v < t.min then t.min <- v;
-    if v > t.max then t.max <- v
+    let i = ref 0 in
+    while !i < n && v > t.bounds.(!i) do
+      incr i
+    done;
+    t.counts.(!i) <- t.counts.(!i) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    (* min is the "no finite sample yet" sentinel: reset/create leave
+       it NaN and NaN observations never reach this branch. *)
+    if Float.is_nan t.min then begin
+      t.min <- v;
+      t.max <- v
+    end
+    else begin
+      if v < t.min then t.min <- v;
+      if v > t.max then t.max <- v
+    end
   end
 
 let count t = t.count

@@ -17,6 +17,9 @@ val create : ?buckets:float array -> unit -> t
     [Invalid_argument] on an empty or non-increasing bound array. *)
 
 val observe : t -> float -> unit
+(** NaN observations are counted in the overflow bucket and excluded
+    from [sum], [min] and [max] — one bad sample must not poison the
+    moments. *)
 
 val count : t -> int
 (** Total observations. *)

@@ -110,6 +110,36 @@ let to_dest g d =
   done;
   { dest = d; dist; next }
 
+(* Destination-rooted SPF over an explicit in-edge index:
+   [in_edges.(v)] lists [(u, cost)] for every directed edge [u -> v].
+   This is the engine behind {!Link_state}'s LSDB routing — the index
+   is built once per LSDB generation and reused across destinations,
+   and the heap replaces the O(n^2) selection scan. *)
+let spf_in_edges ~n ~dest in_edges =
+  if dest < 0 || dest >= n then invalid_arg "Dijkstra.spf_in_edges: bad destination";
+  let dist = Array.make n max_int in
+  let settled = Array.make n false in
+  let heap = Heap.create (2 * n) in
+  dist.(dest) <- 0;
+  Heap.push heap 0 dest;
+  while not (Heap.is_empty heap) do
+    let key, v = Heap.pop heap in
+    if not settled.(v) && key = dist.(v) then begin
+      settled.(v) <- true;
+      List.iter
+        (fun (u, cost) ->
+          if not settled.(u) then begin
+            let cand = dist.(v) + cost in
+            if cand < dist.(u) then begin
+              dist.(u) <- cand;
+              Heap.push heap cand u
+            end
+          end)
+        in_edges.(v)
+    end
+  done;
+  dist
+
 let reachable t u = t.dist.(u) < max_int
 
 let distance t u =

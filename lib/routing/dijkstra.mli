@@ -24,6 +24,15 @@ val to_dest : Topology.Graph.t -> int -> in_tree
 (** [to_dest g d] runs Dijkstra over the reversed directed graph
     rooted at [d]. *)
 
+val spf_in_edges : n:int -> dest:int -> (int * int) list array -> int array
+(** [spf_in_edges ~n ~dest in_edges] is the distance of every node to
+    [dest] over an explicit directed-edge index: [in_edges.(v)] lists
+    [(u, cost)] for every edge [u -> v].  [max_int] marks unreachable
+    nodes.  Shares {!to_dest}'s binary-heap relaxation (identical
+    distances), but takes the index instead of a graph so callers with
+    their own view of the topology — {!Link_state}'s per-router LSDBs —
+    can build the index once and sweep destinations. *)
+
 val reachable : in_tree -> int -> bool
 val distance : in_tree -> int -> int
 (** Raises [Invalid_argument] if unreachable. *)

@@ -8,6 +8,16 @@ type lsa = {
 
 type router_state = { lsdb : (int, lsa) Hashtbl.t }
 
+(* Per-router SPF memo, keyed by the LSDB generation it was built
+   against: [in_edges] is the router's directed-edge index (rebuilt
+   once per generation, shared across destinations) and [dists] the
+   destination-rooted distance arrays computed so far. *)
+type spf_cache = {
+  mutable cache_gen : int;
+  mutable in_edges : (int * int) list array;
+  dists : (int, int array) Hashtbl.t;
+}
+
 type stats = {
   lsas_originated : int;
   messages_sent : int;
@@ -20,10 +30,17 @@ type t = {
   routers : int list;
   states : (int, router_state) Hashtbl.t;
   seqs : (int, int) Hashtbl.t; (* latest sequence per origin *)
+  caches : (int, spf_cache) Hashtbl.t;
+  mutable generation : int; (* bumped on every LSDB change anywhere *)
   mutable originated : int;
   mutable messages : int;
   mutable last_change : float;
 }
+
+let m_spf = Obs.Metrics.counter Obs.Metrics.default "routing.lsdb_spf_runs"
+let m_hits = Obs.Metrics.counter Obs.Metrics.default "routing.lsdb_cache_hits"
+let m_rebuilds =
+  Obs.Metrics.counter Obs.Metrics.default "routing.lsdb_index_rebuilds"
 
 let create engine graph =
   let routers = G.routers graph in
@@ -37,6 +54,8 @@ let create engine graph =
     routers;
     states;
     seqs = Hashtbl.create 16;
+    caches = Hashtbl.create 16;
+    generation = 0;
     originated = 0;
     messages = 0;
     last_change = 0.0;
@@ -54,6 +73,10 @@ let install t x lsa =
   | Some _ | None ->
       Hashtbl.replace st.lsdb lsa.origin lsa;
       t.last_change <- Eventsim.Engine.now t.engine;
+      (* Any LSDB change anywhere invalidates every router's SPF memo
+         (a single global generation keeps the hot path to one integer
+         compare per query). *)
+      t.generation <- t.generation + 1;
       true
 
 let rec flood t ~from lsa =
@@ -103,14 +126,12 @@ let stats t =
     converged_at = t.last_change;
   }
 
-(* Destination-rooted SPF over router [r]'s LSDB, mirroring
-   {!Dijkstra.to_dest}'s relaxation and tie-break so the two agree
-   exactly once flooding has converged.  Returns the distance of every
-   node to [dest] in r's view. *)
-let lsdb_dist_to t r dest =
+(* Router [r]'s directed-edge index from its advertised out-links.
+   Hosts advertise nothing; give each host its graph out-link so
+   host-sourced paths (the channel source) resolve too. *)
+let build_in_edges t r =
   let st = Hashtbl.find t.states r in
   let n = G.node_count t.graph in
-  (* In-edges per node, from the advertised directed out-links. *)
   let in_edges = Array.make n [] in
   Hashtbl.iter
     (fun _ lsa ->
@@ -118,40 +139,45 @@ let lsdb_dist_to t r dest =
         (fun (nb, cost) -> in_edges.(nb) <- (lsa.origin, cost) :: in_edges.(nb))
         lsa.out_links)
     st.lsdb;
-  (* Hosts advertise nothing; give each host its graph out-link so
-     host-sourced paths (the channel source) resolve too. *)
   List.iter
     (fun h ->
       match G.neighbors t.graph h with
       | [ rtr ] -> in_edges.(rtr) <- (h, G.cost t.graph h rtr) :: in_edges.(rtr)
       | _ -> ())
     (G.hosts t.graph);
-  let dist = Array.make n max_int in
-  let settled = Array.make n false in
-  dist.(dest) <- 0;
-  (* Simple O(n^2) Dijkstra — LSDB views are per-query and graphs are
-     small. *)
-  let rec loop () =
-    let best = ref (-1) in
-    for u = 0 to n - 1 do
-      if (not settled.(u)) && dist.(u) < max_int
-         && (!best = -1 || dist.(u) < dist.(!best))
-      then best := u
-    done;
-    if !best >= 0 then begin
-      settled.(!best) <- true;
-      List.iter
-        (fun (u, cost) ->
-          if (not settled.(u)) && dist.(!best) <> max_int then begin
-            let cand = dist.(!best) + cost in
-            if cand < dist.(u) then dist.(u) <- cand
-          end)
-        in_edges.(!best);
-      loop ()
-    end
-  in
-  loop ();
-  dist
+  in_edges
+
+let cache_of t r =
+  match Hashtbl.find_opt t.caches r with
+  | Some c -> c
+  | None ->
+      let c = { cache_gen = -1; in_edges = [||]; dists = Hashtbl.create 16 } in
+      Hashtbl.replace t.caches r c;
+      c
+
+(* Destination-rooted SPF over router [r]'s LSDB, mirroring
+   {!Dijkstra.to_dest}'s relaxation so the two agree exactly once
+   flooding has converged.  Returns the distance of every node to
+   [dest] in r's view, memoized per (router, LSDB generation). *)
+let lsdb_dist_to t r dest =
+  let c = cache_of t r in
+  if c.cache_gen <> t.generation then begin
+    c.in_edges <- build_in_edges t r;
+    Hashtbl.reset c.dists;
+    c.cache_gen <- t.generation;
+    Obs.Metrics.incr m_rebuilds
+  end;
+  match Hashtbl.find_opt c.dists dest with
+  | Some dist ->
+      Obs.Metrics.incr m_hits;
+      dist
+  | None ->
+      Obs.Metrics.incr m_spf;
+      let dist =
+        Dijkstra.spf_in_edges ~n:(G.node_count t.graph) ~dest c.in_edges
+      in
+      Hashtbl.replace c.dists dest dist;
+      dist
 
 let distance t r dest =
   let dist = lsdb_dist_to t r dest in

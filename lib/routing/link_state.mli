@@ -13,7 +13,18 @@
     The test suite checks the distributed result against the
     centralized one — the evidence that simulating on {!Table} is
     sound — and the reconvergence entry points let cost changes be
-    studied. *)
+    studied.
+
+    {b SPF caching.}  Every query (next hop, distance) runs SPF over
+    the router's LSDB view.  Those runs are memoized per router and
+    keyed by a global LSDB generation counter, bumped whenever any
+    router installs a newer advertisement: a query after new flooding
+    rebuilds that router's in-edge index once and recomputes only the
+    destinations actually asked for.  Direct graph mutations (costs,
+    link state) are observed when the owning router {!reoriginate}s —
+    which is how the protocol learns of them anyway.  Cache traffic is
+    accounted in {!Obs.Metrics.default} under [routing.lsdb_spf_runs],
+    [routing.lsdb_cache_hits] and [routing.lsdb_index_rebuilds]. *)
 
 type t
 

@@ -1,18 +1,86 @@
-type t = { graph : Topology.Graph.t; trees : Dijkstra.in_tree array }
+(* Lazy, memoized forwarding plane.
+
+   An in-tree is computed the first time its destination is queried
+   and cached until invalidated.  Invalidation is the reconvergence
+   primitive: [invalidate_edge] inspects the cached trees and dirties
+   only the destinations whose tree actually crossed the changed link
+   — exact for links that got worse (cost increase, link down), which
+   is the common fault-injection case — while [invalidate_all] covers
+   changes that can only improve routes (cost decrease, link restore),
+   where any destination might want the new edge. *)
+
+type t = {
+  graph : Topology.Graph.t;
+  trees : Dijkstra.in_tree option array;
+}
+
+(* Always-on cache accounting: the scaling experiments read these to
+   show how much SPF work laziness avoids. *)
+let m_spf = Obs.Metrics.counter Obs.Metrics.default "routing.spf_runs"
+let m_hits = Obs.Metrics.counter Obs.Metrics.default "routing.cache_hits"
+let m_invalidated =
+  Obs.Metrics.counter Obs.Metrics.default "routing.invalidations"
 
 let compute g =
-  let n = Topology.Graph.node_count g in
-  { graph = g; trees = Array.init n (fun d -> Dijkstra.to_dest g d) }
-
-let refresh t =
-  Array.iteri (fun d _ -> t.trees.(d) <- Dijkstra.to_dest t.graph d) t.trees
+  { graph = g; trees = Array.make (Topology.Graph.node_count g) None }
 
 let graph t = t.graph
 
 let in_tree t d =
   if d < 0 || d >= Array.length t.trees then
     invalid_arg "Table.in_tree: bad destination";
-  t.trees.(d)
+  match t.trees.(d) with
+  | Some tree ->
+      Obs.Metrics.incr m_hits;
+      tree
+  | None ->
+      Obs.Metrics.incr m_spf;
+      let tree = Dijkstra.to_dest t.graph d in
+      t.trees.(d) <- Some tree;
+      tree
+
+let cached t d = d >= 0 && d < Array.length t.trees && t.trees.(d) <> None
+
+let force_all t =
+  Array.iteri (fun d _ -> ignore (in_tree t d)) t.trees
+
+let invalidate_dest t d =
+  if d < 0 || d >= Array.length t.trees then
+    invalid_arg "Table.invalidate_dest: bad destination";
+  if t.trees.(d) <> None then begin
+    Obs.Metrics.incr m_invalidated;
+    t.trees.(d) <- None
+  end
+
+let invalidate_all t =
+  Array.iteri
+    (fun d tree ->
+      if tree <> None then begin
+        Obs.Metrics.incr m_invalidated;
+        t.trees.(d) <- None
+      end)
+    t.trees
+
+let refresh = invalidate_all
+
+let using_edge t u v =
+  let n = Array.length t.trees in
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg "Table.using_edge: bad endpoint";
+  let used = ref [] in
+  for d = n - 1 downto 0 do
+    match t.trees.(d) with
+    | Some tree ->
+        if tree.Dijkstra.next.(u) = v || tree.Dijkstra.next.(v) = u then
+          used := d :: !used
+    | None -> ()
+  done;
+  !used
+
+let invalidate_edge t u v =
+  let dirty = using_edge t u v in
+  List.iter (invalidate_dest t) dirty;
+  dirty
 
 let next_hop t u ~dest = Dijkstra.next_hop (in_tree t dest) u
 

@@ -1,25 +1,75 @@
-(** All-pairs unicast forwarding state: one {!Dijkstra.in_tree} per
-    destination, i.e. the converged forwarding plane of the whole
-    network.  Recomputed whenever link costs change (the sweeps redraw
-    costs every run). *)
+(** All-pairs unicast forwarding state, computed lazily: one
+    {!Dijkstra.in_tree} per destination, built on first query and
+    memoized.  Queries against a cached destination are array reads;
+    the SPF cost is paid once per (destination, invalidation).
+
+    {b Cache semantics.}  Each cached in-tree is a snapshot of the
+    graph {e at the time it was computed}.  Mutating the graph (costs,
+    link or node state) does not touch existing trees — that staleness
+    is exactly the paper's "routing has not reconverged yet" window —
+    but a destination queried for the {e first} time after a mutation
+    sees the current graph.  Callers model reconvergence by
+    invalidating:
+
+    - {!invalidate_edge} after a change that can only make the link
+      {e worse} (cost increase, link failure): it dirties only the
+      destinations whose cached tree actually crossed the link, which
+      is exact — an in-tree not using a worsened link is still optimal
+      and keeps its tie-breaks.
+    - {!invalidate_all} after a change that can {e improve} a link
+      (cost decrease, link restore) or any bulk cost redraw: every
+      destination might want the new edge, so everything is dirtied.
+
+    Cache traffic is accounted in {!Obs.Metrics.default} under
+    [routing.spf_runs], [routing.cache_hits] and
+    [routing.invalidations]. *)
 
 type t
 
 val compute : Topology.Graph.t -> t
-(** Runs Dijkstra once per destination.  Links whose
-    {!Topology.Graph.link_up} flag is false are treated as absent. *)
+(** O(nodes) setup; no shortest-path work until the first query.
+    Links whose {!Topology.Graph.link_up} flag is false are treated as
+    absent when a tree is (re)computed. *)
+
+val force_all : t -> unit
+(** Materialize every in-tree now — the eager baseline the scaling
+    benchmarks compare against, and a way to pre-pay all SPF cost
+    before a latency-sensitive phase. *)
 
 val refresh : t -> unit
-(** Recompute every in-tree in place against the current state of the
-    graph (mutated costs, failed or restored links) — unicast routing
-    reconvergence.  Holders of the table (the packet simulator, the
-    protocol sessions) observe the new forwarding plane on their next
-    {!next_hop} lookup. *)
+(** Alias of {!invalidate_all}, kept for callers of the historical
+    eager API: the next query per destination recomputes against the
+    current graph. *)
+
+val invalidate_all : t -> unit
+(** Drop every cached tree.  Required after changes that can improve
+    a route: cost decreases, link restores, bulk cost redraws. *)
+
+val invalidate_dest : t -> int -> unit
+(** Drop one destination's cached tree. *)
+
+val invalidate_edge : t -> int -> int -> int list
+(** [invalidate_edge t u v] drops exactly the cached trees that cross
+    the link joining [u] and [v] (in either direction) and returns the
+    destinations dropped.  Sound only for changes that made the link
+    worse (cost increase or failure); see the cache semantics above.
+    Destinations never computed are unaffected — they rebuild from the
+    current graph on demand. *)
+
+val using_edge : t -> int -> int -> int list
+(** The destinations whose {e cached} tree crosses the link joining
+    [u] and [v], without invalidating — lets a caller snapshot the old
+    next hops (e.g. to count reconvergence changes) before dropping
+    them. *)
+
+val cached : t -> int -> bool
+(** Whether a destination's in-tree is currently materialized. *)
 
 val graph : t -> Topology.Graph.t
 
 val in_tree : t -> int -> Dijkstra.in_tree
-(** The in-tree of a destination. *)
+(** The in-tree of a destination (computing and caching it if
+    needed). *)
 
 val next_hop : t -> int -> dest:int -> int option
 (** [next_hop t u ~dest] is the forwarding decision of node [u] for a

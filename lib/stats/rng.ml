@@ -74,16 +74,42 @@ let shuffle t a =
 
 let sample t k n =
   if k < 0 || k > n then invalid_arg "Rng.sample: need 0 <= k <= n";
-  (* Partial Fisher–Yates: shuffle only the first [k] slots. *)
-  let a = Array.init n (fun i -> i) in
-  for i = 0 to k - 1 do
-    let j = i + int t (n - i) in
-    let tmp = a.(i) in
-    a.(i) <- a.(j);
-    a.(j) <- tmp
-  done;
-  Array.to_list (Array.sub a 0 k)
+  if n <= 1024 || 4 * k >= n then begin
+    (* Partial Fisher–Yates: shuffle only the first [k] slots. *)
+    let a = Array.init n (fun i -> i) in
+    for i = 0 to k - 1 do
+      let j = i + int t (n - i) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done;
+    Array.to_list (Array.sub a 0 k)
+  end
+  else begin
+    (* The same partial Fisher–Yates over a sparse displacement map
+       (absent key = still holds its own index), so k ≪ n costs O(k)
+       instead of materialising all n slots.  Draw sequence and output
+       are bit-identical to the dense branch: iteration i reads slot
+       j = i + int t (n - i) and parks slot i's occupant there, and
+       slots below i are never read again. *)
+    let m = Hashtbl.create (2 * k) in
+    let get i = Option.value ~default:i (Hashtbl.find_opt m i) in
+    let out = Array.make k 0 in
+    for i = 0 to k - 1 do
+      let j = i + int t (n - i) in
+      let vj = get j in
+      Hashtbl.replace m j (get i);
+      out.(i) <- vj
+    done;
+    Array.to_list out
+  end
 
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"
-  | l -> List.nth l (int t (List.length l))
+  | l ->
+      (* One traversal (list to array) and an O(1) index — the old
+         List.length + List.nth walked the list twice.  Exactly one
+         [int] draw regardless of length (even 1), as before, so
+         seeded draw sequences are unchanged. *)
+      let a = Array.of_list l in
+      a.(int t (Array.length a))

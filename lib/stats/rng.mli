@@ -48,9 +48,11 @@ val shuffle : t -> 'a array -> unit
 
 val sample : t -> int -> int -> int list
 (** [sample t k n] draws [k] distinct integers uniformly from
-    [\[0, n)], in random order.  Raises [Invalid_argument] if
+    [\[0, n)], in random order.  Costs O(k) when [k] is small
+    relative to [n] (O(n) otherwise); the result for a given seed
+    does not depend on which path ran.  Raises [Invalid_argument] if
     [k > n] or [k < 0]. *)
 
 val pick : t -> 'a list -> 'a
-(** Uniform choice from a non-empty list.  Raises [Invalid_argument]
-    on an empty list. *)
+(** Uniform choice from a non-empty list; always consumes exactly one
+    draw.  Raises [Invalid_argument] on an empty list. *)

@@ -195,6 +195,28 @@ let test_heap_ordering () =
     [ (1.0, 1); (1.0, 3); (3.0, 2); (4.0, 4); (5.0, 0) ]
     (List.rev !popped)
 
+(* Regression: pop and clear used to leave the vacated slots live, so
+   the heap kept popped payloads (and whatever their closures
+   captured) reachable until the cell was overwritten. *)
+let test_heap_releases_payloads () =
+  let h = Eventsim.Heap.create () in
+  let w = Weak.create 2 in
+  let fill () =
+    let a = ref 1 and b = ref 2 in
+    Eventsim.Heap.push h 1.0 0 a;
+    Eventsim.Heap.push h 2.0 1 b;
+    Weak.set w 0 (Some a);
+    Weak.set w 1 (Some b)
+  in
+  fill ();
+  ignore (Eventsim.Heap.pop h);
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" true (Weak.get w 0 = None);
+  Alcotest.(check bool) "queued payload retained" true (Weak.get w 1 <> None);
+  Eventsim.Heap.clear h;
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared payload collected" true (Weak.get w 1 = None)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops keys in order" ~count:200
     QCheck.(list_of_size Gen.(0 -- 100) (float_range 0.0 100.0))
@@ -237,5 +259,7 @@ let () =
         ] );
       ( "heap",
         Alcotest.test_case "ordering" `Quick test_heap_ordering
+        :: Alcotest.test_case "releases payloads" `Quick
+             test_heap_releases_payloads
         :: List.map QCheck_alcotest.to_alcotest [ prop_heap_sorts ] );
     ]

@@ -58,6 +58,27 @@ let test_gauge_semantics () =
   Alcotest.(check (float 0.0)) "last value wins" 7.0
     (Obs.Metrics.gauge_value g)
 
+(* Regression: a NaN observation used to land in the first bucket (it
+   compares false against every bound) and poison sum/min/max for the
+   histogram's remaining lifetime. *)
+let test_histogram_nan_quarantined () =
+  let h = Obs.Histo.create ~buckets:[| 1.0; 10.0 |] () in
+  Obs.Histo.observe h nan;
+  Obs.Histo.observe h 0.5;
+  Obs.Histo.observe h nan;
+  let s = Obs.Histo.snapshot h in
+  Alcotest.(check int) "all observations counted" 3 s.Obs.Histo.count;
+  Alcotest.(check int) "NaNs quarantined in overflow" 2 s.Obs.Histo.overflow;
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "finite sample in its bucket"
+    [ (1.0, 1); (10.0, 0) ]
+    s.Obs.Histo.buckets;
+  Alcotest.(check (float 1e-9)) "sum unpoisoned" 0.5 s.Obs.Histo.sum;
+  Alcotest.(check (float 0.0)) "min unpoisoned" 0.5 s.Obs.Histo.min;
+  Alcotest.(check (float 0.0)) "max unpoisoned" 0.5 s.Obs.Histo.max;
+  Alcotest.(check (float 1e-9)) "mean over all samples" (0.5 /. 3.0)
+    (Obs.Histo.mean h)
+
 let test_histogram_semantics () =
   let h = Obs.Histo.create ~buckets:[| 1.0; 10.0; 100.0 |] () in
   List.iter (Obs.Histo.observe h) [ 0.5; 5.0; 5.0; 50.0; 5000.0 ];
@@ -226,6 +247,7 @@ let () =
           Alcotest.test_case "counter" `Quick test_counter_semantics;
           Alcotest.test_case "gauge" `Quick test_gauge_semantics;
           Alcotest.test_case "histogram" `Quick test_histogram_semantics;
+          Alcotest.test_case "histogram NaN" `Quick test_histogram_nan_quarantined;
         ] );
       ( "json",
         [

@@ -302,6 +302,100 @@ let prop_path_endpoints =
       done;
       !ok)
 
+(* The lazy table's contract: after any mix of queries, link flaps
+   (edge-targeted invalidation on failures and cost increases, full
+   invalidation on restores and arbitrary cost redraws) the surviving
+   cache answers exactly like a table computed from scratch on the
+   current graph. *)
+let prop_lazy_table_matches_fresh =
+  QCheck.Test.make ~name:"lazy table = from-scratch after any mutations"
+    ~count:30
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let n = 12 in
+      let g = random_graph seed n in
+      let rng = Stats.Rng.create (seed + 1) in
+      let table = Routing.Table.compute g in
+      let ok = ref true in
+      let check_all () =
+        let fresh = Routing.Table.compute g in
+        for d = 0 to n - 1 do
+          for u = 0 to n - 1 do
+            if
+              Routing.Table.next_hop table u ~dest:d
+              <> Routing.Table.next_hop fresh u ~dest:d
+            then ok := false
+          done
+        done
+      in
+      let random_link () =
+        let links = G.links g in
+        List.nth links (Stats.Rng.int rng (List.length links))
+      in
+      for step = 1 to 25 do
+        (match Stats.Rng.int rng 5 with
+        | 0 -> ignore (Routing.Table.in_tree table (Stats.Rng.int rng n))
+        | 1 ->
+            let l = random_link () in
+            if l.G.up then begin
+              G.set_link_up g l.G.u l.G.v false;
+              ignore (Routing.Table.invalidate_edge table l.G.u l.G.v)
+            end
+        | 2 -> (
+            match G.down_links g with
+            | [] -> ()
+            | (u, v) :: _ ->
+                (* A restore can improve any route: full invalidation
+                   is the documented requirement. *)
+                G.set_link_up g u v true;
+                Routing.Table.invalidate_all table)
+        | 3 ->
+            (* Worsening a cost keeps edge-targeted invalidation
+               exact. *)
+            let l = random_link () in
+            G.set_cost g l.G.u l.G.v
+              (G.cost g l.G.u l.G.v + 1 + Stats.Rng.int rng 5);
+            ignore (Routing.Table.invalidate_edge table l.G.u l.G.v)
+        | _ ->
+            let l = random_link () in
+            G.set_cost g l.G.u l.G.v (1 + Stats.Rng.int rng 10);
+            Routing.Table.invalidate_all table);
+        if step mod 5 = 0 then check_all ()
+      done;
+      check_all ();
+      !ok)
+
+let prop_link_state_cache_consistent =
+  QCheck.Test.make ~name:"LSDB SPF cache consistent across refloods"
+    ~count:15
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let n = 10 in
+      let g = random_graph seed n in
+      let engine, ls = converge_ls g in
+      let rng = Stats.Rng.create (seed + 2) in
+      let ok = ref true in
+      for _ = 1 to 3 do
+        (* Warm every router's memo, then invalidate it by changing a
+           cost and reflooding: stale cached SPF answers would split
+           the routers from the centralized table. *)
+        for r = 0 to n - 1 do
+          for d = 0 to n - 1 do
+            ignore (Routing.Link_state.next_hop ls r ~dest:d)
+          done
+        done;
+        let links = G.links g in
+        let l = List.nth links (Stats.Rng.int rng (List.length links)) in
+        G.set_cost g l.G.u l.G.v (1 + Stats.Rng.int rng 10);
+        Routing.Link_state.reoriginate ls l.G.u;
+        Eventsim.Engine.run engine;
+        if
+          not
+            (Routing.Link_state.agrees_with_table ls (Routing.Table.compute g))
+        then ok := false
+      done;
+      !ok)
+
 let () =
   Alcotest.run "routing"
     [
@@ -346,5 +440,10 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_triangle_inequality; prop_path_endpoints ] );
+          [
+            prop_triangle_inequality;
+            prop_path_endpoints;
+            prop_lazy_table_matches_fresh;
+            prop_link_state_cache_consistent;
+          ] );
     ]

@@ -110,6 +110,52 @@ let test_rng_shuffle_permutes () =
   Alcotest.(check (list int)) "same multiset" (List.init 20 Fun.id)
     (List.sort compare (Array.to_list a))
 
+(* Pinned draws: these exact values must survive refactors of pick
+   and sample — simulation results are reproduced from seeds alone. *)
+let test_rng_pick_pinned () =
+  let t = Stats.Rng.create 7 in
+  Alcotest.(check (list int))
+    "seeded picks stable" [ 30; 50; 10; 30; 50; 10 ]
+    (List.init 6 (fun _ -> Stats.Rng.pick t [ 10; 20; 30; 40; 50 ]));
+  (* A singleton pick still consumes exactly one draw, so the stream
+     position afterwards is part of the contract. *)
+  let t = Stats.Rng.create 7 in
+  Alcotest.(check int) "singleton" 99 (Stats.Rng.pick t [ 99 ]);
+  Alcotest.(check int) "stream position after singleton" 14
+    (Stats.Rng.int t 100)
+
+let test_rng_sample_pinned () =
+  Alcotest.(check (list int))
+    "dense path stable" [ 7; 3; 1; 0; 4 ]
+    (Stats.Rng.sample (Stats.Rng.create 11) 5 9);
+  Alcotest.(check (list int))
+    "sparse path stable"
+    [ 4710; 2159; 3573; 4197; 2165; 4529; 3597; 3198 ]
+    (Stats.Rng.sample (Stats.Rng.create 11) 8 5000)
+
+(* The dense partial Fisher-Yates, replicated verbatim: the sparse
+   (hash-map) branch sample takes for k << n must be draw-for-draw and
+   element-for-element identical to it. *)
+let dense_sample seed k n =
+  let t = Stats.Rng.create seed in
+  let a = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + Stats.Rng.int t (n - i) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list (Array.sub a 0 k)
+
+let test_rng_sample_sparse_matches_dense () =
+  List.iter
+    (fun (seed, k, n) ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d k=%d n=%d" seed k n)
+        (dense_sample seed k n)
+        (Stats.Rng.sample (Stats.Rng.create seed) k n))
+    [ (11, 8, 5000); (0, 1, 2000); (99, 255, 4096); (5, 0, 1500); (3, 64, 100_000) ]
+
 let test_rng_pick () =
   let rng = Stats.Rng.create 31 in
   for _ = 1 to 50 do
@@ -293,6 +339,10 @@ let () =
           Alcotest.test_case "sample invalid" `Quick test_rng_sample_invalid;
           Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
           Alcotest.test_case "pick" `Quick test_rng_pick;
+          Alcotest.test_case "pick pinned" `Quick test_rng_pick_pinned;
+          Alcotest.test_case "sample pinned" `Quick test_rng_sample_pinned;
+          Alcotest.test_case "sample sparse = dense" `Quick
+            test_rng_sample_sparse_matches_dense;
         ] );
       ( "summary",
         [
