@@ -16,6 +16,30 @@ let csv_arg =
   let doc = "Emit CSV instead of an aligned table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+(* One converter shared by every subcommand that takes [--protocol]:
+   unknown values are rejected the same way everywhere, with the known
+   names listed in the error. *)
+let protocol_assoc =
+  List.combine
+    (List.map
+       (fun p -> String.lowercase_ascii (Experiments.Faults.proto_name p))
+       Experiments.Faults.all_protos)
+    Experiments.Faults.all_protos
+
+let protocol_names = List.map fst protocol_assoc
+
+let protocols_arg =
+  let doc =
+    Printf.sprintf
+      "Restrict the run to protocol $(docv) (one of %s); repeatable. \
+       Default: every protocol the subcommand supports."
+      (String.concat ", " (List.map (fun n -> "$(b," ^ n ^ ")") protocol_names))
+  in
+  Arg.(
+    value
+    & opt_all (enum protocol_assoc) []
+    & info [ "protocol" ] ~docv:"P" ~doc)
+
 let print_group ~csv group =
   if csv then print_string (Stats.Series.to_csv group)
   else Stats.Series.render Format.std_formatter group
@@ -383,16 +407,40 @@ let validate_cmd =
       value & opt int 30
       & info [ "scenarios" ] ~docv:"N" ~doc:"Randomized scenarios per protocol.")
   in
-  let run o scenarios seed =
-    with_obs o ~seed ~companion:isp_companion (fun () ->
-        let config = Experiments.Common.isp_config () in
-        Format.printf "HBH event vs analytic:     %a@." Experiments.Validate.pp
-          (Experiments.Validate.hbh ~scenarios ~seed config);
-        Format.printf "REUNITE event vs analytic: %a@." Experiments.Validate.pp
-          (Experiments.Validate.reunite ~scenarios ~seed config))
+  let run o scenarios seed protocols =
+    let protocols =
+      match protocols with
+      | [] -> [ Experiments.Faults.P_hbh; Experiments.Faults.P_reunite ]
+      | ps -> ps
+    in
+    match
+      List.find_opt (fun p -> p = Experiments.Faults.P_pim_ssm) protocols
+    with
+    | Some _ ->
+        `Error
+          ( false,
+            "validate has no analytic PIM-SSM oracle; --protocol must be \
+             hbh or reunite" )
+    | None ->
+        with_obs o ~seed ~companion:isp_companion (fun () ->
+            let config = Experiments.Common.isp_config () in
+            List.iter
+              (fun p ->
+                match p with
+                | Experiments.Faults.P_hbh ->
+                    Format.printf "HBH event vs analytic:     %a@."
+                      Experiments.Validate.pp
+                      (Experiments.Validate.hbh ~scenarios ~seed config)
+                | Experiments.Faults.P_reunite ->
+                    Format.printf "REUNITE event vs analytic: %a@."
+                      Experiments.Validate.pp
+                      (Experiments.Validate.reunite ~scenarios ~seed config)
+                | Experiments.Faults.P_pim_ssm -> ())
+              protocols);
+        `Ok ()
   in
   Cmd.v (Cmd.info "validate" ~doc)
-    Term.(const run $ obs_term $ scenarios $ seed_arg)
+    Term.(ret (const run $ obs_term $ scenarios $ seed_arg $ protocols_arg))
 
 let rp_ablation_cmd =
   let doc =
@@ -493,13 +541,16 @@ let faults_cmd =
     in
     Arg.(value & opt (some scenario_conv) None & info [ "scenario" ] ~docv:"S" ~doc)
   in
-  let run seed metrics_json scenario =
+  let run seed metrics_json scenario protocols =
     let scenarios =
       match scenario with
       | None -> Experiments.Faults.all_scenarios
       | Some s -> [ s ]
     in
-    let outcomes = Experiments.Faults.run ~seed ~scenarios () in
+    let protocols =
+      match protocols with [] -> Experiments.Faults.all_protos | ps -> ps
+    in
+    let outcomes = Experiments.Faults.run ~seed ~scenarios ~protocols () in
     Experiments.Faults.pp_outcomes Format.std_formatter outcomes;
     let crash_ok =
       List.filter
@@ -539,7 +590,7 @@ let faults_cmd =
         Format.eprintf "metrics snapshot written to %s@." file
   in
   Cmd.v (Cmd.info "faults" ~doc)
-    Term.(const run $ seed_arg $ metrics_json $ scenario)
+    Term.(const run $ seed_arg $ metrics_json $ scenario $ protocols_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -585,9 +636,10 @@ let () =
         | None -> msg
       in
       if first_line <> "" then prerr_endline first_line;
-      prerr_endline
-        "usage: hbh_sim COMMAND [--seed N] [--runs N] [--csv] [--metrics-json \
-         FILE] (try 'hbh_sim --help')";
+      Printf.eprintf
+        "usage: hbh_sim COMMAND [--seed N] [--runs N] [--csv] [--protocol \
+         %s] [--metrics-json FILE] (try 'hbh_sim --help')\n"
+        (String.concat "|" protocol_names);
       exit 2
   | Error `Exn ->
       Format.pp_print_flush err_fmt ();

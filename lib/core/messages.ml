@@ -1,18 +1,22 @@
-type t =
-  | Join of { channel : Mcast.Channel.t; member : int; first : bool }
-  | Tree of { channel : Mcast.Channel.t; target : int; from_branch : int }
-  | Fusion of { channel : Mcast.Channel.t; members : int list; sender : int }
+type fusion = { members : int list; sender : int }
+
+type ('jx, 'tx, 'extra) gen = ('jx, 'tx, 'extra) Proto.Messages.t =
+  | Join of { channel : Mcast.Channel.t; member : int; ext : 'jx }
+  | Tree of { channel : Mcast.Channel.t; target : int; ext : 'tx }
   | Data of { channel : Mcast.Channel.t; seq : int }
+  | Extra of { channel : Mcast.Channel.t; extra : 'extra }
+
+type t = (bool, int, fusion) gen
 
 let pp ppf = function
-  | Join { channel; member; first } ->
+  | Join { channel; member; ext = first } ->
       Format.fprintf ppf "join%s(%a, %d)"
         (if first then "!" else "")
         Mcast.Channel.pp channel member
-  | Tree { channel; target; from_branch } ->
+  | Tree { channel; target; ext = from_branch } ->
       Format.fprintf ppf "tree(%a, %d)@@%d" Mcast.Channel.pp channel target
         from_branch
-  | Fusion { channel; members; sender } ->
+  | Extra { channel; extra = { members; sender } } ->
       Format.fprintf ppf "fusion(%a, [%a])<-%d" Mcast.Channel.pp channel
         (Format.pp_print_list
            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")

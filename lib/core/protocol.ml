@@ -1,18 +1,5 @@
 module Net = Netsim.Network
 module Pkt = Netsim.Packet
-module Engine = Eventsim.Engine
-module Timer = Eventsim.Timer
-
-(* Control-plane message accounting, always on (pre-registered
-   counters, integer adds). *)
-let m_join = Obs.Metrics.counter Obs.Metrics.default "hbh.join_msgs"
-let m_tree = Obs.Metrics.counter Obs.Metrics.default "hbh.tree_msgs"
-let m_fusion = Obs.Metrics.counter Obs.Metrics.default "hbh.fusion_msgs"
-let m_data = Obs.Metrics.counter Obs.Metrics.default "hbh.data_msgs"
-let m_mft = Obs.Metrics.counter Obs.Metrics.default "hbh.mft_updates"
-let m_mct = Obs.Metrics.counter Obs.Metrics.default "hbh.mct_updates"
-let m_crash_wipes = Obs.Metrics.counter Obs.Metrics.default "hbh.crash_wipes"
-let m_route_changes = Obs.Metrics.counter Obs.Metrics.default "hbh.route_changes"
 
 type config = {
   join_period : float;
@@ -24,22 +11,12 @@ type config = {
 let default_config =
   { join_period = 100.0; tree_period = 100.0; t1 = 250.0; t2 = 550.0 }
 
-type t = {
-  config : config;
+type state = {
   deadlines : Tables.deadlines;
-  engine : Engine.t;
-  network : Messages.t Net.t;
-  graph : Topology.Graph.t;
-  channel : Mcast.Channel.t;
-  ochan : Obs.Event.channel;
-  source : int;
   router_tables : (int, Tables.t) Hashtbl.t;
   source_mft : Tables.Mft.t;
-  mutable members : int list;
-  member_timers : (int, Timer.t) Hashtbl.t;
   member_last_seen : (int, float ref) Hashtbl.t;
-  member_handler_installed : (int, unit) Hashtbl.t;
-  mutable data_seq : int;
+  member_first : (int, bool ref) Hashtbl.t;
   (* Loop damping.  Faults can leave the MFT entry graph momentarily
      cyclic (a restarted router re-learns a peer that still holds a
      stale entry pointing back); without a guard each lap of such a
@@ -51,52 +28,64 @@ type t = {
   data_seen : (int, int) Hashtbl.t;  (* router -> highest seq re-emitted *)
 }
 
-let engine t = t.engine
-let network t = t.network
-let channel t = t.channel
-let config t = t.config
-let source t = t.source
-let members t = List.sort compare t.members
+module S = Proto.Session.Make (struct
+  let name = "hbh"
+  let label = "HBH"
 
-let now t = Engine.now t.engine
+  type nonrec config = config
 
-let trace t ~node fmt =
-  Netsim.Trace.recordf (Net.trace t.network) ~time:(now t) ~node fmt
+  let default_config = default_config
 
-let trace_active t = Obs.Trace.active (Net.trace t.network)
+  let validate c =
+    if c.t1 <= 0.0 || c.t2 <= c.t1 then
+      invalid_arg "Protocol.create: need 0 < t1 < t2"
 
-(* Record a typed event against this session's channel; callers guard
-   with {!trace_active} so nothing is allocated on a quiet trace. *)
-let ev t ~node ekind =
-  Obs.Trace.event (Net.trace t.network) ~time:(now t) ~node ~channel:t.ochan
-    ekind
+  let join_period c = c.join_period
+  let control_period c = c.tree_period
 
-let meter t ~from payload =
-  (match payload with
-  | Messages.Join _ -> Obs.Metrics.incr m_join
-  | Messages.Tree _ -> Obs.Metrics.incr m_tree
-  | Messages.Fusion _ -> Obs.Metrics.incr m_fusion
-  | Messages.Data _ -> Obs.Metrics.incr m_data);
-  if trace_active t then
-    match payload with
-    | Messages.Join { member; first; _ } ->
-        ev t ~node:from (Obs.Event.Join { member; first })
-    | Messages.Tree { target; _ } -> ev t ~node:from (Obs.Event.Tree { target })
-    | Messages.Fusion { members; _ } ->
-        ev t ~node:from (Obs.Event.Fusion { members })
-    | Messages.Data _ -> ()
+  type msg = Messages.t
 
-let send t ~from ~dst ~kind payload =
-  meter t ~from payload;
-  Net.originate t.network ~src:from ~dst ~kind payload
+  let channel_of = Proto.Messages.channel
+  let kind_of = Proto.Messages.kind
+  let extra_counter = Some "fusion_msgs"
+
+  let trace_event = function
+    | Messages.Join { member; ext = first; _ } ->
+        Some (Obs.Event.Join { member; first })
+    | Messages.Tree { target; _ } -> Some (Obs.Event.Tree { target })
+    | Messages.Extra { extra = { Messages.members; _ }; _ } ->
+        Some (Obs.Event.Fusion { members })
+    | Messages.Data _ -> None
+
+  type nonrec state = state
+
+  let create_state c =
+    {
+      deadlines = { Tables.t1 = c.t1; t2 = c.t2 };
+      router_tables = Hashtbl.create 64;
+      source_mft = Tables.Mft.create ();
+      member_last_seen = Hashtbl.create 16;
+      member_first = Hashtbl.create 16;
+      tree_emit_at = Hashtbl.create 16;
+      data_seen = Hashtbl.create 16;
+    }
+end)
+
+(* The session IS the public API surface; only [create]/[create_on]
+   (hooks baked in) and the protocol-specific inspectors below are
+   redefined. *)
+include S
+
+let m_mft = S.counter "mft_updates"
+let m_mct = S.counter "mct_updates"
 
 let mft_ev t ~node ~target op =
   Obs.Metrics.incr m_mft;
-  if trace_active t then ev t ~node (Obs.Event.Mft_update { target; op })
+  if S.trace_active t then S.ev t ~node (Obs.Event.Mft_update { target; op })
 
 let mct_ev t ~node ~target op =
   Obs.Metrics.incr m_mct;
-  if trace_active t then ev t ~node (Obs.Event.Mct_update { target; op })
+  if S.trace_active t then S.ev t ~node (Obs.Event.Mct_update { target; op })
 
 (* A member refreshes its channel-liveness clock whenever a tree or
    data message of the channel reaches it; if the clock goes silent
@@ -105,63 +94,67 @@ let mct_ev t ~node ~target op =
    branch — the soft-state self-heal of every recursive-unicast
    protocol. *)
 let member_seen t n =
-  match Hashtbl.find_opt t.member_last_seen n with
-  | Some cell -> cell := now t
+  match Hashtbl.find_opt (S.state t).member_last_seen n with
+  | Some cell -> cell := S.now t
   | None -> ()
 
 (* ---- Appendix A: router message processing -------------------------- *)
 
 let tables_of t n =
-  match Hashtbl.find_opt t.router_tables n with
+  let st = S.state t in
+  match Hashtbl.find_opt st.router_tables n with
   | Some tb -> tb
   | None ->
       let tb = Tables.create () in
-      Hashtbl.replace t.router_tables n tb;
+      Hashtbl.replace st.router_tables n tb;
       tb
 
 let emit_trees t ~at mft =
   List.iter
     (fun x ->
-      send t ~from:at ~dst:x ~kind:Pkt.Control
-        (Messages.Tree { channel = t.channel; target = x; from_branch = at }))
-    (Tables.Mft.tree_targets mft ~now:(now t))
+      S.send t ~from:at ~dst:x ~kind:Pkt.Control
+        (Messages.Tree { channel = S.channel t; target = x; ext = at }))
+    (Tables.Mft.tree_targets mft ~now:(S.now t))
 
 let send_fusion t ~at ~to_branch mft =
   if to_branch <> at then
-    send t ~from:at ~dst:to_branch ~kind:Pkt.Control
-      (Messages.Fusion
-         { channel = t.channel; members = Tables.Mft.members mft; sender = at })
+    S.send t ~from:at ~dst:to_branch ~kind:Pkt.Control
+      (Messages.Extra
+         {
+           channel = S.channel t;
+           extra = { members = Tables.Mft.members mft; sender = at };
+         })
 
 (* Re-stamp a tree message as owned by [at] and push it on toward its
    target (Appendix A tree rules 2-3 and 8). *)
 let restamp_tree t ~at (p : Messages.t Pkt.t) ~target =
-  let payload =
-    Messages.Tree { channel = t.channel; target; from_branch = at }
-  in
-  meter t ~from:at payload;
-  Net.emit t.network ~at (Pkt.rewrite p ~src:at ~dst:target ~payload ())
+  let payload = Messages.Tree { channel = S.channel t; target; ext = at } in
+  S.meter t ~from:at payload;
+  Net.emit (S.network t) ~at (Pkt.rewrite p ~src:at ~dst:target ~payload ())
 
 let router_handle_join t n (p : Messages.t Pkt.t) ~member ~first =
   if first then Net.Forward
   else begin
+    let st = S.state t in
     let tb = tables_of t n in
-    match Tables.find tb t.channel with
+    match Tables.find tb (S.channel t) with
     | Tables.Forwarding mft when Tables.Mft.mem mft member ->
         (* Rule 3: intercept, refresh, join upstream on own behalf. *)
-        ignore (Tables.Mft.refresh mft t.deadlines ~now:(now t) member);
+        ignore (Tables.Mft.refresh mft st.deadlines ~now:(S.now t) member);
         mft_ev t ~node:n ~target:member Obs.Event.Refresh;
-        trace t ~node:n "intercept join(%d), send join(%d)" member n;
-        send t ~from:n ~dst:p.Pkt.dst ~kind:Pkt.Control
-          (Messages.Join { channel = t.channel; member = n; first = false });
+        S.notef t ~node:n "intercept join(%d), send join(%d)" member n;
+        S.send t ~from:n ~dst:p.Pkt.dst ~kind:Pkt.Control
+          (Messages.Join { channel = S.channel t; member = n; ext = false });
         Net.Consume
     | Tables.Forwarding _ | Tables.Control _ | Tables.No_state -> Net.Forward
   end
 
 let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
+  let st = S.state t in
   let tb = tables_of t n in
-  let now = now t in
+  let now = S.now t in
   if p.Pkt.dst = n then member_seen t n;
-  match Tables.find tb t.channel with
+  match Tables.find tb (S.channel t) with
   | Tables.Forwarding mft ->
       if p.Pkt.dst = n then begin
         (* Rule 1: the tree message was for us; regenerate one per
@@ -170,10 +163,11 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
            never fires in healthy operation: the upstream owner sends
            us one tree per period). *)
         let last =
-          Option.value ~default:neg_infinity (Hashtbl.find_opt t.tree_emit_at n)
+          Option.value ~default:neg_infinity
+            (Hashtbl.find_opt st.tree_emit_at n)
         in
-        if now -. last >= 0.5 *. t.config.tree_period then begin
-          Hashtbl.replace t.tree_emit_at n now;
+        if now -. last >= 0.5 *. (S.config t).tree_period then begin
+          Hashtbl.replace st.tree_emit_at n now;
           emit_trees t ~at:n mft
         end;
         Net.Consume
@@ -183,11 +177,11 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
            refresh the entry, tell the upstream owner to mark it, and
            push the tree on under our own stamp. *)
         if Tables.Mft.mem mft target then begin
-          ignore (Tables.Mft.refresh mft t.deadlines ~now target);
+          ignore (Tables.Mft.refresh mft st.deadlines ~now target);
           mft_ev t ~node:n ~target Obs.Event.Refresh
         end
         else begin
-          ignore (Tables.Mft.add_fresh mft t.deadlines ~now target);
+          ignore (Tables.Mft.add_fresh mft st.deadlines ~now target);
           mft_ev t ~node:n ~target Obs.Event.Add
         end;
         send_fusion t ~at:n ~to_branch:from_branch mft;
@@ -198,13 +192,13 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
       if p.Pkt.dst = n then Net.Consume
       else if Tables.Mct.target mct = target then begin
         (* Rule 6. *)
-        Tables.Mct.refresh mct t.deadlines ~now;
+        Tables.Mct.refresh mct st.deadlines ~now;
         mct_ev t ~node:n ~target Obs.Event.Refresh;
         Net.Forward
       end
       else if Tables.Mct.stale mct ~now then begin
         (* Rule 7: stale control entry superseded by the live flow. *)
-        Tables.Mct.replace mct t.deadlines ~now target;
+        Tables.Mct.replace mct st.deadlines ~now target;
         mct_ev t ~node:n ~target Obs.Event.Add;
         Net.Forward
       end
@@ -212,11 +206,11 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
         (* Rule 8: second receiver relayed through us - become a
            branching node and fuse upstream. *)
         let mft = Tables.Mft.create () in
-        ignore (Tables.Mft.add_fresh mft t.deadlines ~now (Tables.Mct.target mct));
-        ignore (Tables.Mft.add_fresh mft t.deadlines ~now target);
+        ignore (Tables.Mft.add_fresh mft st.deadlines ~now (Tables.Mct.target mct));
+        ignore (Tables.Mft.add_fresh mft st.deadlines ~now target);
         mft_ev t ~node:n ~target:(Tables.Mct.target mct) Obs.Event.Add;
         mft_ev t ~node:n ~target Obs.Event.Add;
-        Tables.set tb t.channel (Tables.Forwarding mft);
+        Tables.set tb (S.channel t) (Tables.Forwarding mft);
         send_fusion t ~at:n ~to_branch:from_branch mft;
         restamp_tree t ~at:n p ~target;
         Net.Consume
@@ -225,8 +219,8 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
       if p.Pkt.dst = n then Net.Consume
       else begin
         (* Rule 4: first sight of this channel. *)
-        Tables.set tb t.channel
-          (Tables.Control (Tables.Mct.create t.deadlines ~now target));
+        Tables.set tb (S.channel t)
+          (Tables.Control (Tables.Mct.create st.deadlines ~now target));
         mct_ev t ~node:n ~target Obs.Event.Add;
         Net.Forward
       end
@@ -234,16 +228,17 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
 let router_handle_fusion t n (p : Messages.t Pkt.t) ~members ~sender =
   if p.Pkt.dst <> n then Net.Forward
   else begin
+    let st = S.state t in
     let tb = tables_of t n in
-    (match Tables.find tb t.channel with
+    (match Tables.find tb (S.channel t) with
     | Tables.Forwarding mft ->
         List.iter
           (fun m ->
-            ignore (Tables.Mft.mark mft t.deadlines ~now:(now t) m);
+            ignore (Tables.Mft.mark mft st.deadlines ~now:(S.now t) m);
             mft_ev t ~node:n ~target:m Obs.Event.Mark)
           members;
         if sender <> n then begin
-          ignore (Tables.Mft.add_stale mft t.deadlines ~now:(now t) sender);
+          ignore (Tables.Mft.add_stale mft st.deadlines ~now:(S.now t) sender);
           mft_ev t ~node:n ~target:sender Obs.Event.Add
         end
     | Tables.Control _ | Tables.No_state ->
@@ -256,295 +251,177 @@ let router_handle_data t n (p : Messages.t Pkt.t) ~seq =
   if p.Pkt.dst <> n then Net.Forward
   else begin
     member_seen t n;
+    let st = S.state t in
     let tb = tables_of t n in
-    (match Tables.find tb t.channel with
+    (match Tables.find tb (S.channel t) with
     | Tables.Forwarding mft ->
         (* Re-emit each sequence number once: a healthy tree delivers
            every packet here exactly once anyway, and the guard stops
            a transiently cyclic entry graph from circulating copies. *)
-        let seen = Option.value ~default:0 (Hashtbl.find_opt t.data_seen n) in
+        let seen = Option.value ~default:0 (Hashtbl.find_opt st.data_seen n) in
         if seq > seen then begin
-          Hashtbl.replace t.data_seen n seq;
+          Hashtbl.replace st.data_seen n seq;
           List.iter
-            (fun x -> Net.emit t.network ~at:n (Pkt.rewrite p ~src:n ~dst:x ()))
-            (Tables.Mft.data_targets mft ~now:(now t))
+            (fun x ->
+              Net.emit (S.network t) ~at:n (Pkt.rewrite p ~src:n ~dst:x ()))
+            (Tables.Mft.data_targets mft ~now:(S.now t))
         end
     | Tables.Control _ | Tables.No_state -> ());
     Net.Consume
   end
 
-let router_handler t _net n (p : Messages.t Pkt.t) =
+let router_handler t n (p : Messages.t Pkt.t) =
   match p.Pkt.payload with
-  | Messages.Join { channel; member; first } when Mcast.Channel.equal channel t.channel
-    ->
+  | Messages.Join { member; ext = first; _ } ->
       router_handle_join t n p ~member ~first
-  | Messages.Tree { channel; target; from_branch }
-    when Mcast.Channel.equal channel t.channel ->
+  | Messages.Tree { target; ext = from_branch; _ } ->
       router_handle_tree t n p ~target ~from_branch
-  | Messages.Fusion { channel; members; sender }
-    when Mcast.Channel.equal channel t.channel ->
+  | Messages.Extra { extra = { Messages.members; sender }; _ } ->
       router_handle_fusion t n p ~members ~sender
-  | Messages.Data { channel; seq } when Mcast.Channel.equal channel t.channel ->
-      router_handle_data t n p ~seq
-  | Messages.Join _ | Messages.Tree _ | Messages.Fusion _ | Messages.Data _ ->
-      Net.Forward
+  | Messages.Data { seq; _ } -> router_handle_data t n p ~seq
 
 (* ---- Source agent ---------------------------------------------------- *)
 
-let source_handler t _net n (p : Messages.t Pkt.t) =
+let source_handler t n (p : Messages.t Pkt.t) =
   if p.Pkt.dst <> n then Net.Forward
-  else
-    match p.Pkt.payload with
-    | Messages.Join { channel; member; first = _ }
-      when Mcast.Channel.equal channel t.channel ->
-        if member <> t.source then begin
-          ignore (Tables.Mft.add_fresh t.source_mft t.deadlines ~now:(now t) member);
+  else begin
+    let st = S.state t in
+    (match p.Pkt.payload with
+    | Messages.Join { member; _ } ->
+        if member <> S.source t then begin
+          ignore
+            (Tables.Mft.add_fresh st.source_mft st.deadlines ~now:(S.now t)
+               member);
           mft_ev t ~node:n ~target:member Obs.Event.Add
-        end;
-        Net.Consume
-    | Messages.Fusion { channel; members; sender }
-      when Mcast.Channel.equal channel t.channel ->
+        end
+    | Messages.Extra { extra = { Messages.members; sender }; _ } ->
         List.iter
-          (fun m -> ignore (Tables.Mft.mark t.source_mft t.deadlines ~now:(now t) m))
+          (fun m ->
+            ignore (Tables.Mft.mark st.source_mft st.deadlines ~now:(S.now t) m))
           members;
-        if sender <> t.source then
-          ignore (Tables.Mft.add_stale t.source_mft t.deadlines ~now:(now t) sender);
-        Net.Consume
-    | Messages.Tree { channel; _ } | Messages.Data { channel; _ }
-      when Mcast.Channel.equal channel t.channel ->
-        Net.Consume
-    | Messages.Join _ | Messages.Fusion _ | Messages.Tree _ | Messages.Data _ ->
-        Net.Forward
+        if sender <> S.source t then
+          ignore
+            (Tables.Mft.add_stale st.source_mft st.deadlines ~now:(S.now t)
+               sender)
+    | Messages.Tree _ | Messages.Data _ -> ());
+    Net.Consume
+  end
 
 (* ---- Member (receiver) agent ----------------------------------------- *)
 
 (* Installed at member hosts; router members reuse the router handler,
    which calls {!member_seen} on its own. *)
-let member_handler t _net n (p : Messages.t Pkt.t) =
+let member_handler t n (p : Messages.t Pkt.t) =
   if p.Pkt.dst <> n then Net.Forward
-  else
-    match p.Pkt.payload with
-    | Messages.Tree { channel; _ } | Messages.Data { channel; _ }
-      when Mcast.Channel.equal channel t.channel ->
-        member_seen t n;
-        Net.Consume
-    | Messages.Join { channel; _ } | Messages.Fusion { channel; _ }
-      when Mcast.Channel.equal channel t.channel ->
-        Net.Consume
-    | Messages.Join _ | Messages.Tree _ | Messages.Fusion _ | Messages.Data _ ->
-        (* Another channel's traffic: leave it to that channel's
-           handler further down the chain. *)
-        Net.Forward
-
-(* ---- Session --------------------------------------------------------- *)
-
-let setup ~config ~network ~channel ~source =
-  if config.t1 <= 0.0 || config.t2 <= config.t1 then
-    invalid_arg "Protocol.create: need 0 < t1 < t2";
-  let engine = Net.engine network in
-  let table = Net.table network in
-  let graph = Routing.Table.graph table in
-  let t =
-    {
-      config;
-      deadlines = { Tables.t1 = config.t1; t2 = config.t2 };
-      engine;
-      network;
-      graph;
-      channel;
-      ochan =
-        {
-          Obs.Event.csrc = Mcast.Channel.source channel;
-          group = Mcast.Class_d.to_int32 (Mcast.Channel.group channel);
-        };
-      source;
-      router_tables = Hashtbl.create 64;
-      source_mft = Tables.Mft.create ();
-      members = [];
-      member_timers = Hashtbl.create 16;
-      member_last_seen = Hashtbl.create 16;
-      member_handler_installed = Hashtbl.create 16;
-      data_seq = 0;
-      tree_emit_at = Hashtbl.create 16;
-      data_seen = Hashtbl.create 16;
-    }
-  in
-  (* Agents on every multicast-capable router (the source gets its own
-     handler even when it is a router); chaining lets several channels
-     share one network. *)
-  List.iter
-    (fun r ->
-      if r <> source && Topology.Graph.multicast_capable graph r then
-        Net.chain network r (router_handler t))
-    (Topology.Graph.routers graph);
-  Net.chain network source (source_handler t);
-  (* Source tree cycle. *)
-  ignore
-    (Timer.every ~tag:"hbh.tree_cycle" engine ~start:config.tree_period
-       ~period:config.tree_period (fun () ->
-         Tables.Mft.expire t.source_mft ~now:(now t);
-         List.iter
-           (fun x ->
-             send t ~from:source ~dst:x ~kind:Pkt.Control
-               (Messages.Tree { channel = t.channel; target = x; from_branch = source }))
-           (Tables.Mft.tree_targets t.source_mft ~now:(now t))));
-  (* Soft-state sweep. *)
-  ignore
-    (Timer.every ~tag:"hbh.sweep" engine ~start:config.tree_period
-       ~period:config.tree_period (fun () ->
-         Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now:(now t)) t.router_tables));
-  (* A crash wipes the node's volatile soft state; recovery then
-     happens purely through the join/tree refresh cycle.  The handler
-     stays chained (the network skips handlers of down nodes), so a
-     restarted router resumes as a blank slate. *)
-  Net.on_node_event network (fun ~up n ->
-      if not up then begin
-        Obs.Metrics.incr m_crash_wipes;
-        if n = source then Tables.Mft.clear t.source_mft
-        else Hashtbl.remove t.router_tables n;
-        Hashtbl.remove t.tree_emit_at n;
-        Hashtbl.remove t.data_seen n;
-        trace t ~node:n "crash: HBH state wiped"
-      end);
-  (* Unicast reconvergence needs no explicit protocol action — every
-     forwarding decision re-reads the routing table — but sessions
-     account for it so overhead inflation can be attributed. *)
-  Net.on_route_change network (fun () -> Obs.Metrics.incr m_route_changes);
-  t
-
-let create ?(config = default_config) ?trace ?channel table ~source =
-  let engine = Engine.create () in
-  let network = Net.create ?trace engine table in
-  let channel =
-    match channel with Some c -> c | None -> Mcast.Channel.fresh ~source
-  in
-  setup ~config ~network ~channel ~source
-
-let create_on ?(config = default_config) ?channel network ~source =
-  let channel =
-    match channel with Some c -> c | None -> Mcast.Channel.fresh ~source
-  in
-  setup ~config ~network ~channel ~source
-
-let subscribe t r =
-  if r = t.source then invalid_arg "Protocol.subscribe: the source cannot join";
-  if not (List.mem r t.members) then begin
-    t.members <- r :: t.members;
-    Net.set_sink t.network r true;
-    if
-      Topology.Graph.is_host t.graph r
-      && not (Hashtbl.mem t.member_handler_installed r)
-    then begin
-      Hashtbl.replace t.member_handler_installed r ();
-      Net.chain t.network r (member_handler t)
-    end;
-    if trace_active t then ev t ~node:r Obs.Event.Member_join;
-    let last_seen = ref (now t) in
-    Hashtbl.replace t.member_last_seen r last_seen;
-    let first = ref true in
-    let timer =
-      Timer.every ~tag:"hbh.join_timer" t.engine ~start:0.0
-        ~period:t.config.join_period (fun () ->
-          (* Channel silent past t2: this membership episode's state
-             has decayed somewhere upstream — start a new episode. *)
-          if now t -. !last_seen > t.config.t2 then begin
-            trace t ~node:r "channel silent, rejoining";
-            first := true;
-            last_seen := now t
-          end;
-          let f = !first in
-          first := false;
-          send t ~from:r ~dst:t.source ~kind:Pkt.Control
-            (Messages.Join { channel = t.channel; member = r; first = f }))
-    in
-    Hashtbl.replace t.member_timers r timer
+  else begin
+    (match p.Pkt.payload with
+    | Messages.Tree _ | Messages.Data _ -> member_seen t n
+    | Messages.Join _ | Messages.Extra _ -> ());
+    Net.Consume
   end
 
-let unsubscribe t r =
-  if List.mem r t.members then begin
-    if trace_active t then ev t ~node:r Obs.Event.Member_leave;
-    t.members <- List.filter (fun m -> m <> r) t.members;
-    (match Hashtbl.find_opt t.member_timers r with
-    | Some timer ->
-        Timer.stop timer;
-        Hashtbl.remove t.member_timers r
-    | None -> ());
-    Hashtbl.remove t.member_last_seen r;
-    (* The chained member handler stays installed; with the member
-       gone it forwards everything (the liveness map no longer has the
-       node), so it is inert. *)
-    Net.set_sink t.network r false
-  end
+(* ---- Session hooks --------------------------------------------------- *)
 
-let run_for t d = Engine.run ~until:(now t +. d) t.engine
-
-let converge ?(periods = 12) t =
-  run_for t (float_of_int periods *. t.config.tree_period)
-
-let data_seq t = t.data_seq
-
-let send_data t =
-  t.data_seq <- t.data_seq + 1;
-  let payload = Messages.Data { channel = t.channel; seq = t.data_seq } in
-  Tables.Mft.expire t.source_mft ~now:(now t);
+(* Source tree cycle. *)
+let tick t =
+  let st = S.state t in
+  Tables.Mft.expire st.source_mft ~now:(S.now t);
   List.iter
-    (fun x -> send t ~from:t.source ~dst:x ~kind:Pkt.Data payload)
-    (Tables.Mft.data_targets t.source_mft ~now:(now t))
+    (fun x ->
+      S.send t ~from:(S.source t) ~dst:x ~kind:Pkt.Control
+        (Messages.Tree { channel = S.channel t; target = x; ext = S.source t }))
+    (Tables.Mft.tree_targets st.source_mft ~now:(S.now t))
 
-let probe t =
-  Net.reset_data_accounting t.network;
-  send_data t;
-  run_for t (Float.max 500.0 (2.0 *. t.config.tree_period));
-  let dist = Mcast.Distribution.create ~source:t.source in
-  List.iter
-    (fun ((u, v), n) ->
-      for _ = 1 to n do
-        Mcast.Distribution.add_copy dist u v
-      done)
-    (Net.data_link_loads t.network);
-  List.iter
-    (fun (r, d) -> Mcast.Distribution.deliver dist ~receiver:r ~delay:d)
-    (Net.data_deliveries t.network);
-  dist
+let join_tick t ~member =
+  let st = S.state t in
+  match
+    ( Hashtbl.find_opt st.member_last_seen member,
+      Hashtbl.find_opt st.member_first member )
+  with
+  | Some last_seen, Some first ->
+      (* Channel silent past t2: this membership episode's state has
+         decayed somewhere upstream — start a new episode. *)
+      if S.now t -. !last_seen > (S.config t).t2 then begin
+        S.notef t ~node:member "channel silent, rejoining";
+        first := true;
+        last_seen := S.now t
+      end;
+      let f = !first in
+      first := false;
+      S.send t ~from:member ~dst:(S.source t) ~kind:Pkt.Control
+        (Messages.Join { channel = S.channel t; member; ext = f })
+  | _ -> ()
 
-let state t =
-  Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now:(now t)) t.router_tables;
-  let mct = ref 0 and mft = ref 0 and branching = ref 0 and on_tree = ref 0 in
-  Hashtbl.iter
-    (fun n tb ->
-      if Topology.Graph.is_router t.graph n then begin
-        let c = Tables.mct_count tb in
-        let f = Tables.mft_entry_count tb in
-        mct := !mct + c;
-        mft := !mft + f;
-        if Tables.is_branching tb t.channel then incr branching;
-        if c > 0 || f > 0 then incr on_tree
-      end)
-    t.router_tables;
+let hooks =
   {
-    Mcast.Metrics.mct_entries = !mct;
-    mft_entries = !mft;
-    branching_routers = !branching;
-    on_tree_routers = !on_tree;
+    S.router = router_handler;
+    source_agent = source_handler;
+    member_agent = Some member_handler;
+    tick = Some tick;
+    sweep =
+      (fun t ~now ->
+        Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now) (S.state t).router_tables);
+    state_size =
+      (fun t ->
+        let st = S.state t in
+        Hashtbl.fold
+          (fun _ tb acc ->
+            acc + Tables.mct_count tb + Tables.mft_entry_count tb)
+          st.router_tables
+          (Tables.Mft.size st.source_mft));
+    crash_wipe =
+      (fun t n ->
+        let st = S.state t in
+        if n = S.source t then Tables.Mft.clear st.source_mft
+        else Hashtbl.remove st.router_tables n;
+        Hashtbl.remove st.tree_emit_at n;
+        Hashtbl.remove st.data_seen n);
+    join_tick;
+    on_subscribe =
+      (fun t r ->
+        let st = S.state t in
+        Hashtbl.replace st.member_last_seen r (ref (S.now t));
+        Hashtbl.replace st.member_first r (ref true));
+    on_unsubscribe =
+      (fun t r ->
+        let st = S.state t in
+        Hashtbl.remove st.member_last_seen r;
+        Hashtbl.remove st.member_first r);
+    send_data =
+      (fun t ->
+        let st = S.state t in
+        let payload =
+          Messages.Data { channel = S.channel t; seq = S.next_seq t }
+        in
+        Tables.Mft.expire st.source_mft ~now:(S.now t);
+        List.iter
+          (fun x -> S.send t ~from:(S.source t) ~dst:x ~kind:Pkt.Data payload)
+          (Tables.Mft.data_targets st.source_mft ~now:(S.now t)));
   }
 
-let source_table t = t.source_mft
+(* ---- Public API ------------------------------------------------------- *)
+
+let create ?config ?trace ?channel table ~source =
+  S.create ?config ?trace ?channel hooks table ~source
+
+let create_on ?config ?channel network ~source =
+  S.create_on ?config ?channel hooks network ~source
+
+let state t =
+  S.metrics_state t ~tables:(S.state t).router_tables ~sweep:Tables.sweep
+    ~mct_count:Tables.mct_count ~mft_count:Tables.mft_entry_count
+    ~is_branching:(fun tb -> Tables.is_branching tb (S.channel t))
+
+let source_table t = (S.state t).source_mft
 
 let router_tables t n =
-  match Hashtbl.find_opt t.router_tables n with
+  match Hashtbl.find_opt (S.state t).router_tables n with
   | Some tb -> tb
   | None ->
-      if n = t.source || not (Net.handled t.network n) then
+      if n = S.source t || not (Net.handled (S.network t) n) then
         invalid_arg (Printf.sprintf "Protocol.router_tables: no agent at %d" n)
       else tables_of t n
 
 let branching_routers t =
-  Hashtbl.fold
-    (fun n tb acc ->
-      if Tables.is_branching tb t.channel && Topology.Graph.is_router t.graph n
-      then n :: acc
-      else acc)
-    t.router_tables []
-  |> List.sort compare
-
-let control_overhead t = (Net.counters t.network).Net.control_hops
+  S.branching_routers t ~tables:(S.state t).router_tables
+    ~is_branching:(fun tb -> Tables.is_branching tb (S.channel t))

@@ -32,7 +32,7 @@ type t
 
 val create :
   ?config:config ->
-  ?trace:Netsim.Trace.t ->
+  ?trace:Obs.Trace.t ->
   ?channel:Mcast.Channel.t ->
   Routing.Table.t ->
   source:int ->

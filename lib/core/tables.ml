@@ -1,135 +1,39 @@
-type deadlines = { t1 : float; t2 : float }
+module Ss = Proto.Softstate
 
-type entry = {
+type deadlines = Ss.deadlines = { t1 : float; t2 : float }
+
+type entry = Ss.entry = private {
   node : int;
+  seq : int;
   mutable marked_until : float;
   mutable fresh_until : float;
   mutable expires_at : float;
 }
 
-let entry_stale e ~now = now >= e.fresh_until
-let entry_dead e ~now = now >= e.expires_at
-let entry_marked e ~now = now < e.marked_until
+let entry_stale = Ss.entry_stale
+let entry_dead = Ss.entry_dead
+let entry_marked = Ss.entry_marked
 
 module Mft = struct
-  type t = (int, entry) Hashtbl.t
+  include Ss.Table
 
-  let create () : t = Hashtbl.create 8
-
-  let is_empty t = Hashtbl.length t = 0
-  let mem t n = Hashtbl.mem t n
-  let find t n = Hashtbl.find_opt t n
-
-  let add_fresh t dl ~now n =
-    match Hashtbl.find_opt t n with
-    | Some e ->
-        e.fresh_until <- now +. dl.t1;
-        e.expires_at <- now +. dl.t2;
-        e
-    | None ->
-        let e =
-          {
-            node = n;
-            marked_until = neg_infinity;
-            fresh_until = now +. dl.t1;
-            expires_at = now +. dl.t2;
-          }
-        in
-        Hashtbl.replace t n e;
-        e
-
-  let add_stale t dl ~now n =
-    match Hashtbl.find_opt t n with
-    | Some e ->
-        (* Fusion rule 4: t2 refreshed, t1 "kept expired" — i.e. left
-           alone: a fusion never freshens t1, but it must not expire a
-           t1 that joins are keeping alive either (that would starve
-           the downstream branching node of its tree messages). *)
-        e.expires_at <- now +. dl.t2;
-        e
-    | None ->
-        let e =
-          {
-            node = n;
-            marked_until = neg_infinity;
-            fresh_until = now;
-            expires_at = now +. dl.t2;
-          }
-        in
-        Hashtbl.replace t n e;
-        e
-
-  let refresh t dl ~now n =
-    match Hashtbl.find_opt t n with
-    | Some e ->
-        e.fresh_until <- now +. dl.t1;
-        e.expires_at <- now +. dl.t2;
-        true
-    | None -> false
-
-  (* The mark is soft state like everything else: it stands for a
-     downstream branching node's claim over the member, a claim only
-     valid while the tree/fusion cycle that produced it keeps running
-     — so it decays at t1 unless re-asserted by the next fusion.  A
-     permanent mark would outlive the topology that justified it:
-     after a reroute and return, both candidate branching children
-     end up marked and the router goes dark for data. *)
-  let mark t dl ~now n =
-    match Hashtbl.find_opt t n with
-    | Some e ->
-        e.marked_until <- now +. dl.t1;
-        true
-    | None -> false
-
-  let expire t ~now =
-    let dead =
-      Hashtbl.fold (fun n e acc -> if entry_dead e ~now then n :: acc else acc) t []
-    in
-    List.iter (Hashtbl.remove t) dead
-
-  let live t ~now =
-    Hashtbl.fold (fun _ e acc -> if entry_dead e ~now then acc else e :: acc) t []
-
-  let data_targets t ~now =
-    live t ~now
-    |> List.filter_map (fun e ->
-           if entry_marked e ~now then None else Some e.node)
-    |> List.sort compare
-
-  let tree_targets t ~now =
-    live t ~now
-    |> List.filter_map (fun e ->
-           if entry_stale e ~now then None else Some e.node)
-    |> List.sort compare
-
-  let members t = Hashtbl.fold (fun n _ acc -> n :: acc) t [] |> List.sort compare
-
-  let clear (t : t) = Hashtbl.reset t
-
-  let entries t =
-    Hashtbl.fold (fun _ e acc -> e :: acc) t []
-    |> List.sort (fun a b -> compare a.node b.node)
-
-  let size t = Hashtbl.length t
+  (* HBH vocabulary over the generic table: tree messages go to the
+     non-stale entries, the fusion payload lists every entry node. *)
+  let tree_targets = fresh_targets
+  let members = nodes
 end
 
 module Mct = struct
-  type t = { mutable target : int; mutable fresh_until : float; mutable expires_at : float }
+  (* The single-entry control table is a detached softstate entry in a
+     mutable slot: replace swaps in a fresh entry for the new target. *)
+  type t = { mutable e : entry }
 
-  let create dl ~now target =
-    { target; fresh_until = now +. dl.t1; expires_at = now +. dl.t2 }
-
-  let target t = t.target
-  let stale t ~now = now >= t.fresh_until
-  let dead t ~now = now >= t.expires_at
-
-  let refresh t dl ~now =
-    t.fresh_until <- now +. dl.t1;
-    t.expires_at <- now +. dl.t2
-
-  let replace t dl ~now target =
-    t.target <- target;
-    refresh t dl ~now
+  let create dl ~now target = { e = Ss.entry dl ~now target }
+  let target t = t.e.node
+  let stale t ~now = entry_stale t.e ~now
+  let dead t ~now = entry_dead t.e ~now
+  let refresh t dl ~now = Ss.refresh_entry t.e dl ~now
+  let replace t dl ~now target = t.e <- Ss.entry dl ~now target
 end
 
 type channel_state =

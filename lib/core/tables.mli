@@ -1,4 +1,5 @@
-(** HBH soft-state tables (Section 3.1).
+(** HBH soft-state tables (Section 3.1), as a vocabulary over the
+    runtime's generic {!Proto.Softstate} table.
 
     Every entry carries the two timers of the paper: when [t1]
     expires the entry goes {e stale} — still used for data forwarding
@@ -10,13 +11,14 @@
     branching node that claimed the member stops doing so (e.g. after
     routing moved the tree elsewhere).  Timers are realized as
     absolute deadlines compared against the simulation clock, with an
-    explicit {!expire} sweep. *)
+    explicit {!Mft.expire} sweep. *)
 
-type deadlines = { t1 : float; t2 : float }
+type deadlines = Proto.Softstate.deadlines = { t1 : float; t2 : float }
 (** Relative validity durations, [0 < t1 < t2]. *)
 
-type entry = private {
+type entry = Proto.Softstate.entry = private {
   node : int;  (** the receiver or downstream branching node *)
+  seq : int;  (** table install order *)
   mutable marked_until : float;  (** absolute mark-decay deadline *)
   mutable fresh_until : float;  (** absolute t1 deadline *)
   mutable expires_at : float;  (** absolute t2 deadline *)
@@ -69,7 +71,7 @@ module Mft : sig
       included), ascending. *)
 
   val members : t -> int list
-  (** All live entry nodes, ascending (the fusion payload). *)
+  (** All entry nodes, ascending (the fusion payload). *)
 
   val clear : t -> unit
   (** Drop every entry (a crashed node's volatile memory). *)

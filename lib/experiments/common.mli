@@ -71,7 +71,7 @@ val advantage : Stats.Series.group -> over:string -> of_:string -> float
     companion sample: one event-driven HBH and one REUNITE
     convergence on the config's topology with engine profiling
     enabled, which populates the protocol message counters
-    ([hbh.join_msgs], [reunite.join_msgs], ...), the engine counters
+    ([proto.hbh.join_msgs], [proto.reunite.join_msgs], ...), the engine counters
     and, if [trace] is live, the typed event stream. *)
 
 type instrumented = {
@@ -82,7 +82,7 @@ type instrumented = {
 }
 
 val instrumented_sample :
-  ?trace:Netsim.Trace.t -> ?seed:int -> ?n:int -> config -> instrumented
+  ?trace:Obs.Trace.t -> ?seed:int -> ?n:int -> config -> instrumented
 (** Runs the companion sample on [config]'s topology ([n] defaults to
     the middle sweep size).  Engine profiling is switched on for both
     sessions; per-tag fired counts are folded into

@@ -40,6 +40,29 @@ val pick_tree_link :
   Routing.Table.t -> source:int -> receivers:int list -> int * int
 (** The router-router link carrying the most receivers' paths. *)
 
+type ops = {
+  engine : Eventsim.Engine.t;
+  subscribe : int -> unit;
+  converge : unit -> unit;
+  run_until : float -> unit;
+  send_probe : unit -> int;  (** sends one data packet; its seq, or 0 *)
+  install_delivery : (now:float -> receiver:int -> seq:int -> unit) -> unit;
+  control : unit -> int;
+  counters : unit -> Netsim.Network.counters;
+  install_plan : seed:int -> Fault.Plan.t -> unit;
+  t2 : float;  (** the protocol's slowest soft-state deadline *)
+}
+(** Monomorphic closure bundle over one protocol session so a single
+    runner (or an external equivalence harness) can drive all three
+    stacks identically. *)
+
+val ops_of : proto -> Topology.Graph.t -> source:int -> ops
+(** Fresh session for [proto] on (a private copy of) [graph]. *)
+
+val plan_of : scenario -> crash_node:int -> link:int * int -> Fault.Plan.t
+(** The canonical fault plan for a scenario (crash+restart, link
+    down+up, or loss burst) on the chosen targets. *)
+
 val run_config :
   ?scenarios:scenario list ->
   ?protocols:proto list ->

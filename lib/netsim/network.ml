@@ -41,7 +41,7 @@ type 'p t = {
   table : Routing.Table.t;
   graph : Topology.Graph.t;
   default_ttl : int;
-  trace : Trace.t;
+  trace : Obs.Trace.t;
   handlers : (int, 'p handler) Hashtbl.t;
   sinks : (int, unit) Hashtbl.t;
   data_loads : (int * int, int) Hashtbl.t;
@@ -97,7 +97,7 @@ let zero_counters () =
   }
 
 let create ?(default_ttl = 255) ?trace engine table =
-  let trace = match trace with Some t -> t | None -> Trace.create () in
+  let trace = match trace with Some t -> t | None -> Obs.Trace.create () in
   {
     engine;
     table;
@@ -345,7 +345,7 @@ let rec arrive t node (p : 'p Packet.t) =
     | Forward ->
         if p.dst = node then t.c.m_sunk_at_dst <- t.c.m_sunk_at_dst + 1
         else if p.ttl <= 0 then begin
-          Trace.recordf t.trace ~time:(now t) ~node "TTL expired (%d->%d)"
+          Obs.Trace.notef t.trace ~time:(now t) ~node "TTL expired (%d->%d)"
             p.src p.dst;
           t.c.m_dropped_ttl <- t.c.m_dropped_ttl + 1;
           Obs.Metrics.incr m_dropped
@@ -362,7 +362,7 @@ and transmit t node (p : 'p Packet.t) =
   else
     match Routing.Table.next_hop t.table node ~dest:p.dst with
     | None ->
-        Trace.recordf t.trace ~time:(now t) ~node "no route to %d" p.dst;
+        Obs.Trace.notef t.trace ~time:(now t) ~node "no route to %d" p.dst;
         t.c.m_dropped_unreachable <- t.c.m_dropped_unreachable + 1;
         Obs.Metrics.incr m_dropped
     | Some next ->

@@ -25,7 +25,7 @@ type 'p handler = 'p t -> int -> 'p Packet.t -> verdict
 
 val create :
   ?default_ttl:int ->
-  ?trace:Trace.t ->
+  ?trace:Obs.Trace.t ->
   Eventsim.Engine.t ->
   Routing.Table.t ->
   'p t
@@ -34,7 +34,7 @@ val create :
 val engine : 'p t -> Eventsim.Engine.t
 val graph : 'p t -> Topology.Graph.t
 val table : 'p t -> Routing.Table.t
-val trace : 'p t -> Trace.t
+val trace : 'p t -> Obs.Trace.t
 val now : 'p t -> float
 
 val install : 'p t -> int -> 'p handler -> unit

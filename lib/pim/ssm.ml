@@ -1,88 +1,104 @@
 module Net = Netsim.Network
 module Pkt = Netsim.Packet
-module Engine = Eventsim.Engine
-module Timer = Eventsim.Timer
+module Ss = Proto.Softstate
 
-let m_join = Obs.Metrics.counter Obs.Metrics.default "pim.ssm_join_msgs"
-let m_data = Obs.Metrics.counter Obs.Metrics.default "pim.ssm_data_msgs"
-let m_oif = Obs.Metrics.counter Obs.Metrics.default "pim.ssm_oif_updates"
-let m_crash_wipes = Obs.Metrics.counter Obs.Metrics.default "pim.ssm_crash_wipes"
-
-type msg =
-  | Join of { channel : Mcast.Channel.t }
+type ('jx, 'tx, 'extra) gen = ('jx, 'tx, 'extra) Proto.Messages.t =
+  | Join of { channel : Mcast.Channel.t; member : int; ext : 'jx }
+  | Tree of { channel : Mcast.Channel.t; target : int; ext : 'tx }
   | Data of { channel : Mcast.Channel.t; seq : int }
+  | Extra of { channel : Mcast.Channel.t; extra : 'extra }
+
+type msg = (unit, Proto.Messages.nothing, Proto.Messages.nothing) gen
 
 type config = { join_period : float; holdtime : float }
 
 let default_config = { join_period = 100.0; holdtime = 350.0 }
 
-type t = {
-  config : config;
-  engine : Engine.t;
-  network : msg Net.t;
-  graph : Topology.Graph.t;
-  channel : Mcast.Channel.t;
-  ochan : Obs.Event.channel;
-  source : int;
+type state = {
+  (* PIM's degenerate deadline ladder: an oif entry is live exactly
+     until its holdtime lapses, with no separate stale phase. *)
+  dl : Ss.deadlines;
   (* (S,G) state: per node, the downstream neighbors joins arrived
      from, each with its holdtime deadline. *)
-  oifs : (int, (int, float) Hashtbl.t) Hashtbl.t;
+  oifs : (int, Ss.Table.t) Hashtbl.t;
   (* Highest data seq fanned out per node: the loop damper.  Data
      copies are unicast-addressed to oif neighbors and may arrive
      through an asymmetric path, so an interface RPF check is not
      expressible here; accepting each seq once per node gives the
      same guarantee (transient oif cycles cannot amplify). *)
   data_seen : (int, int) Hashtbl.t;
-  mutable members : int list;
-  member_timers : (int, Timer.t) Hashtbl.t;
-  member_handler_installed : (int, unit) Hashtbl.t;
-  mutable data_seq : int;
 }
 
-let engine t = t.engine
-let network t = t.network
-let channel t = t.channel
-let source t = t.source
-let members t = List.sort compare t.members
-let now t = Engine.now t.engine
+module S = Proto.Session.Make (struct
+  let name = "pim_ssm"
+  let label = "PIM-SSM"
 
-let trace_active t = Obs.Trace.active (Net.trace t.network)
+  type nonrec config = config
 
-let ev t ~node ekind =
-  Obs.Trace.event (Net.trace t.network) ~time:(now t) ~node ~channel:t.ochan
-    ekind
+  let default_config = default_config
+
+  let validate c =
+    if c.join_period <= 0.0 || c.holdtime <= c.join_period then
+      invalid_arg "Pim.Ssm.create: need 0 < join_period < holdtime"
+
+  let join_period c = c.join_period
+  let control_period c = c.join_period
+
+  type nonrec msg = msg
+
+  let channel_of = Proto.Messages.channel
+  let kind_of = Proto.Messages.kind
+  let extra_counter = None
+
+  let trace_event (m : msg) =
+    match m with
+    | Join { member; _ } -> Some (Obs.Event.Join { member; first = false })
+    | Data _ -> None
+    | Tree { ext = _; _ } -> .
+    | Extra { extra = _; _ } -> .
+
+  type nonrec state = state
+
+  let create_state c =
+    {
+      dl = { Ss.t1 = c.holdtime; t2 = c.holdtime };
+      oifs = Hashtbl.create 64;
+      data_seen = Hashtbl.create 64;
+    }
+end)
+
+(* The session IS the public API surface; only [create]/[create_on]
+   (hooks baked in) and the oif inspectors below are redefined. *)
+include S
+
+let m_oif = S.counter "oif_updates"
 
 let oifs_of t n =
-  match Hashtbl.find_opt t.oifs n with
-  | Some h -> h
+  let st = S.state t in
+  match Hashtbl.find_opt st.oifs n with
+  | Some tbl -> tbl
   | None ->
-      let h = Hashtbl.create 4 in
-      Hashtbl.replace t.oifs n h;
-      h
+      let tbl = Ss.Table.create () in
+      Hashtbl.replace st.oifs n tbl;
+      tbl
 
 let live_oifs t n =
-  match Hashtbl.find_opt t.oifs n with
+  match Hashtbl.find_opt (S.state t).oifs n with
   | None -> []
-  | Some h ->
-      let nw = now t in
-      Hashtbl.fold (fun d exp acc -> if exp > nw then d :: acc else acc) h []
-      |> List.sort compare
+  | Some tbl -> Ss.Table.live_nodes tbl ~now:(S.now t)
 
 (* The upstream (RPF) neighbor of [n] for the channel's source;
    [None] at the source itself or when partitioned away from it. *)
 let rpf_neighbor t n =
-  if n = t.source then None
-  else Routing.Table.next_hop (Net.table t.network) n ~dest:t.source
+  if n = S.source t then None
+  else Routing.Table.next_hop (Net.table (S.network t)) n ~dest:(S.source t)
 
 let send_join t ~from =
   match rpf_neighbor t from with
   | None -> ()
   | Some up ->
-      Obs.Metrics.incr m_join;
-      if trace_active t then
-        ev t ~node:from (Obs.Event.Join { member = from; first = false });
-      Net.originate t.network ~src:from ~dst:up ~kind:Pkt.Control
-        (Join { channel = t.channel })
+      S.send t ~from ~dst:up ~kind:Pkt.Control
+        (Join { channel = S.channel t; member = from; ext = () })
 
 (* One handler for routers, the source and member hosts alike.  Joins
    are intercepted at {e every} router hop (real PIM processes a join
@@ -90,188 +106,89 @@ let send_join t ~from =
    as an oif and sends its own join RPF-upstream, so oif entries
    always point at physical neighbors.  Data fans out along the
    recorded oifs, each copy unicast-addressed to its neighbor. *)
-let handler t _net n (p : msg Pkt.t) =
+let handler t n (p : msg Pkt.t) =
   match p.Pkt.payload with
-  | Join { channel }
-    when Mcast.Channel.equal channel t.channel
-         && (p.Pkt.dst = n || Topology.Graph.multicast_capable t.graph n) ->
+  | Join _
+    when p.Pkt.dst = n || Topology.Graph.multicast_capable (S.graph t) n ->
       if p.Pkt.via <> n then begin
-        let h = oifs_of t n in
-        let fresh = not (Hashtbl.mem h p.Pkt.via) in
-        Hashtbl.replace h p.Pkt.via (now t +. t.config.holdtime);
+        let tbl = oifs_of t n in
+        let fresh = not (Ss.Table.mem tbl p.Pkt.via) in
+        ignore
+          (Ss.Table.add_fresh tbl (S.state t).dl ~now:(S.now t) p.Pkt.via);
         Obs.Metrics.incr m_oif;
-        if fresh && trace_active t then
-          ev t ~node:n
+        if fresh && S.trace_active t then
+          S.ev t ~node:n
             (Obs.Event.Mft_update { target = p.Pkt.via; op = Obs.Event.Add })
       end;
       (* Propagate hop by hop toward the source (join suppression is
          deliberately not modelled: every refresh travels the whole
          reverse path, PIM's periodic-join overhead). *)
-      if n <> t.source then send_join t ~from:n;
+      if n <> S.source t then send_join t ~from:n;
       Net.Consume
-  | Data { channel; seq }
-    when Mcast.Channel.equal channel t.channel && p.Pkt.dst = n ->
-      let seen =
-        Option.value ~default:0 (Hashtbl.find_opt t.data_seen n)
-      in
+  | Data { seq; _ } when p.Pkt.dst = n ->
+      let st = S.state t in
+      let seen = Option.value ~default:0 (Hashtbl.find_opt st.data_seen n) in
       if seq > seen then begin
-        Hashtbl.replace t.data_seen n seq;
+        Hashtbl.replace st.data_seen n seq;
         (* No incoming-interface exclusion: an asymmetric unicast
            path can arrive through an oif neighbor, and skipping it
            would starve that subtree.  The seq dedup above already
            stops any bounce-back. *)
         List.iter
           (fun d ->
-            Obs.Metrics.incr m_data;
-            Net.emit t.network ~at:n
-              (Pkt.rewrite p ~src:n ~dst:d
-                 ~payload:(Data { channel = t.channel; seq })
-                 ()))
+            let payload = Data { channel = S.channel t; seq } in
+            S.meter t ~from:n payload;
+            Net.emit (S.network t) ~at:n
+              (Pkt.rewrite p ~src:n ~dst:d ~payload ()))
           (live_oifs t n)
       end;
       Net.Consume
   | Join _ | Data _ -> Net.Forward
+  | Tree { ext = _; _ } -> .
+  | Extra { extra = _; _ } -> .
 
-let setup ~config ~network ~channel ~source =
-  if config.join_period <= 0.0 || config.holdtime <= config.join_period then
-    invalid_arg "Pim.Ssm.create: need 0 < join_period < holdtime";
-  let engine = Net.engine network in
-  let graph = Routing.Table.graph (Net.table network) in
-  let t =
-    {
-      config;
-      engine;
-      network;
-      graph;
-      channel;
-      ochan =
-        {
-          Obs.Event.csrc = Mcast.Channel.source channel;
-          group = Mcast.Class_d.to_int32 (Mcast.Channel.group channel);
-        };
-      source;
-      oifs = Hashtbl.create 64;
-      data_seen = Hashtbl.create 64;
-      members = [];
-      member_timers = Hashtbl.create 16;
-      member_handler_installed = Hashtbl.create 16;
-      data_seq = 0;
-    }
-  in
-  List.iter
-    (fun r ->
-      if r <> source && Topology.Graph.multicast_capable graph r then
-        Net.chain network r (handler t))
-    (Topology.Graph.routers graph);
-  Net.chain network source (handler t);
-  (* Holdtime sweep: drop expired oif entries so state size reflects
-     the live tree. *)
-  ignore
-    (Timer.every ~tag:"pim.sweep" engine ~start:config.join_period
-       ~period:config.join_period (fun () ->
-         let nw = now t in
-         Hashtbl.iter
-           (fun _ h ->
-             let dead =
-               Hashtbl.fold
-                 (fun d exp acc -> if exp <= nw then d :: acc else acc)
-                 h []
-             in
-             List.iter (Hashtbl.remove h) dead)
-           t.oifs));
-  (* A crash drops the node's (S,G) state; the periodic joins rebuild
-     it through RPF re-join once the node (or a route around it) is
-     back. *)
-  Net.on_node_event network (fun ~up n ->
-      if not up then begin
-        Obs.Metrics.incr m_crash_wipes;
-        Hashtbl.remove t.oifs n;
-        Hashtbl.remove t.data_seen n
-      end);
-  t
+let hooks =
+  {
+    S.router = handler;
+    source_agent = handler;
+    member_agent = Some handler;
+    tick = None;
+    (* Holdtime sweep: drop expired oif entries so state size reflects
+       the live tree. *)
+    sweep =
+      (fun t ~now ->
+        Hashtbl.iter (fun _ tbl -> Ss.Table.expire tbl ~now) (S.state t).oifs);
+    state_size =
+      (fun t ->
+        Hashtbl.fold
+          (fun _ tbl acc -> acc + Ss.Table.size tbl)
+          (S.state t).oifs 0);
+    (* A crash drops the node's (S,G) state; the periodic joins rebuild
+       it through RPF re-join once the node (or a route around it) is
+       back. *)
+    crash_wipe =
+      (fun t n ->
+        let st = S.state t in
+        Hashtbl.remove st.oifs n;
+        Hashtbl.remove st.data_seen n);
+    join_tick = (fun t ~member -> send_join t ~from:member);
+    on_subscribe = (fun _ _ -> ());
+    on_unsubscribe = (fun _ _ -> ());
+    send_data =
+      (fun t ->
+        let seq = S.next_seq t in
+        List.iter
+          (fun d ->
+            S.send t ~from:(S.source t) ~dst:d ~kind:Pkt.Data
+              (Data { channel = S.channel t; seq }))
+          (live_oifs t (S.source t)));
+  }
 
-let create ?(config = default_config) ?trace ?channel table ~source =
-  let engine = Engine.create () in
-  let network = Net.create ?trace engine table in
-  let channel =
-    match channel with Some c -> c | None -> Mcast.Channel.fresh ~source
-  in
-  setup ~config ~network ~channel ~source
+let create ?config ?trace ?channel table ~source =
+  S.create ?config ?trace ?channel hooks table ~source
 
-let create_on ?(config = default_config) ?channel network ~source =
-  let channel =
-    match channel with Some c -> c | None -> Mcast.Channel.fresh ~source
-  in
-  setup ~config ~network ~channel ~source
+let create_on ?config ?channel network ~source =
+  S.create_on ?config ?channel hooks network ~source
 
-let subscribe t r =
-  if r = t.source then invalid_arg "Pim.Ssm.subscribe: the source cannot join";
-  if not (List.mem r t.members) then begin
-    t.members <- r :: t.members;
-    Net.set_sink t.network r true;
-    if
-      Topology.Graph.is_host t.graph r
-      && not (Hashtbl.mem t.member_handler_installed r)
-    then begin
-      Hashtbl.replace t.member_handler_installed r ();
-      Net.chain t.network r (handler t)
-    end;
-    if trace_active t then ev t ~node:r Obs.Event.Member_join;
-    let timer =
-      Timer.every ~tag:"pim.join_timer" t.engine ~start:0.0
-        ~period:t.config.join_period (fun () -> send_join t ~from:r)
-    in
-    Hashtbl.replace t.member_timers r timer
-  end
-
-let unsubscribe t r =
-  if List.mem r t.members then begin
-    t.members <- List.filter (fun m -> m <> r) t.members;
-    if trace_active t then ev t ~node:r Obs.Event.Member_leave;
-    (match Hashtbl.find_opt t.member_timers r with
-    | Some timer ->
-        Timer.stop timer;
-        Hashtbl.remove t.member_timers r
-    | None -> ());
-    Net.set_sink t.network r false
-  end
-
-let run_for t d = Engine.run ~until:(now t +. d) t.engine
-
-let converge ?(periods = 12) t =
-  run_for t (float_of_int periods *. t.config.join_period)
-
-let data_seq t = t.data_seq
-
-let send_data t =
-  t.data_seq <- t.data_seq + 1;
-  let seq = t.data_seq in
-  List.iter
-    (fun d ->
-      Obs.Metrics.incr m_data;
-      Net.originate t.network ~src:t.source ~dst:d ~kind:Pkt.Data
-        (Data { channel = t.channel; seq }))
-    (live_oifs t t.source)
-
-let probe t =
-  Net.reset_data_accounting t.network;
-  send_data t;
-  run_for t (Float.max 500.0 (2.0 *. t.config.join_period));
-  let dist = Mcast.Distribution.create ~source:t.source in
-  List.iter
-    (fun ((u, v), n) ->
-      for _ = 1 to n do
-        Mcast.Distribution.add_copy dist u v
-      done)
-    (Net.data_link_loads t.network);
-  List.iter
-    (fun (r, d) -> Mcast.Distribution.deliver dist ~receiver:r ~delay:d)
-    (Net.data_deliveries t.network);
-  dist
-
-let state_size t =
-  Hashtbl.fold (fun _ h acc -> acc + Hashtbl.length h) t.oifs 0
-
-let control_overhead t = (Net.counters t.network).Net.control_hops
-
+let state_size t = hooks.S.state_size t
 let debug_oifs t n = live_oifs t n

@@ -14,9 +14,17 @@
     travels the {e new} reverse path and re-installs state there; the
     orphaned branch ages out when its holdtime lapses. *)
 
-type msg =
-  | Join of { channel : Mcast.Channel.t }
+type ('jx, 'tx, 'extra) gen = ('jx, 'tx, 'extra) Proto.Messages.t =
+  | Join of { channel : Mcast.Channel.t; member : int; ext : 'jx }
+  | Tree of { channel : Mcast.Channel.t; target : int; ext : 'tx }
   | Data of { channel : Mcast.Channel.t; seq : int }
+  | Extra of { channel : Mcast.Channel.t; extra : 'extra }
+(** {!Proto.Messages.t} re-exported so the constructors live in this
+    namespace. *)
+
+type msg = (unit, Proto.Messages.nothing, Proto.Messages.nothing) gen
+(** PIM-SSM only speaks joins ([member] is the hop that sent the
+    refresh) and data; the tree and extra classes are uninhabited. *)
 
 type config = {
   join_period : float;  (** periodic join refresh interval *)
@@ -31,7 +39,7 @@ type t
 
 val create :
   ?config:config ->
-  ?trace:Netsim.Trace.t ->
+  ?trace:Obs.Trace.t ->
   ?channel:Mcast.Channel.t ->
   Routing.Table.t ->
   source:int ->

@@ -1,0 +1,21 @@
+type nothing = |
+
+type ('jx, 'tx, 'extra) t =
+  | Join of { channel : Mcast.Channel.t; member : int; ext : 'jx }
+  | Tree of { channel : Mcast.Channel.t; target : int; ext : 'tx }
+  | Data of { channel : Mcast.Channel.t; seq : int }
+  | Extra of { channel : Mcast.Channel.t; extra : 'extra }
+
+type kind = Join_msg | Tree_msg | Data_msg | Extra_msg
+
+let channel = function
+  | Join { channel; _ } -> channel
+  | Tree { channel; _ } -> channel
+  | Data { channel; _ } -> channel
+  | Extra { channel; _ } -> channel
+
+let kind = function
+  | Join _ -> Join_msg
+  | Tree _ -> Tree_msg
+  | Data _ -> Data_msg
+  | Extra _ -> Extra_msg

@@ -1,0 +1,317 @@
+module Net = Netsim.Network
+module Pkt = Netsim.Packet
+module Engine = Eventsim.Engine
+module Timer = Eventsim.Timer
+
+module type PROTOCOL = sig
+  val name : string
+  val label : string
+
+  type config
+
+  val default_config : config
+  val validate : config -> unit
+  val join_period : config -> float
+  val control_period : config -> float
+
+  type msg
+
+  val channel_of : msg -> Mcast.Channel.t
+  val kind_of : msg -> Messages.kind
+  val extra_counter : string option
+  val trace_event : msg -> Obs.Event.kind option
+
+  type state
+
+  val create_state : config -> state
+end
+
+module Make (P : PROTOCOL) = struct
+  let counter name =
+    Obs.Metrics.counter Obs.Metrics.default
+      (Printf.sprintf "proto.%s.%s" P.name name)
+
+  let gauge name =
+    Obs.Metrics.gauge Obs.Metrics.default
+      (Printf.sprintf "proto.%s.%s" P.name name)
+
+  (* Per-class control-overhead accounting, always on (pre-registered
+     counters, integer adds) — one namespace across every protocol. *)
+  let m_join = counter "join_msgs"
+  let m_tree = counter "tree_msgs"
+  let m_data = counter "data_msgs"
+  let m_extra = Option.map counter P.extra_counter
+  let m_crash_wipes = counter "crash_wipes"
+  let m_route_changes = counter "route_changes"
+  let g_state = gauge "state_entries"
+
+  let tag suffix = Printf.sprintf "proto.%s.%s" P.name suffix
+
+  type t = {
+    config : P.config;
+    engine : Engine.t;
+    network : P.msg Net.t;
+    graph : Topology.Graph.t;
+    channel : Mcast.Channel.t;
+    ochan : Obs.Event.channel;
+    source : int;
+    state : P.state;
+    hooks : hooks;
+    mutable members : int list;
+    member_timers : (int, Timer.t) Hashtbl.t;
+    member_handler_installed : (int, unit) Hashtbl.t;
+    mutable data_seq : int;
+  }
+
+  and handler = t -> int -> P.msg Pkt.t -> Net.verdict
+
+  and hooks = {
+    router : handler;
+        (** chained at every multicast-capable router except the
+            source *)
+    source_agent : handler;  (** chained at the source node *)
+    member_agent : handler option;
+        (** chained at member {e hosts} on first subscribe (router
+            members are covered by [router]) *)
+    tick : (t -> unit) option;
+        (** periodic source-side control cycle (HBH tree cycle,
+            REUNITE source tick), every control period *)
+    sweep : t -> now:float -> unit;  (** periodic soft-state expiry *)
+    state_size : t -> int;
+        (** live soft-state entries, sampled into the
+            [proto.<name>.state_entries] gauge after each sweep *)
+    crash_wipe : t -> int -> unit;
+        (** wipe the node's volatile protocol state *)
+    join_tick : t -> member:int -> unit;
+        (** one member's periodic join, every join period *)
+    on_subscribe : t -> int -> unit;
+    on_unsubscribe : t -> int -> unit;
+    send_data : t -> unit;
+  }
+
+  let engine t = t.engine
+  let network t = t.network
+  let graph t = t.graph
+  let channel t = t.channel
+  let ochan t = t.ochan
+  let config t = t.config
+  let source t = t.source
+  let state t = t.state
+  let members t = List.sort compare t.members
+  let now t = Engine.now t.engine
+  let data_seq t = t.data_seq
+
+  let next_seq t =
+    t.data_seq <- t.data_seq + 1;
+    t.data_seq
+
+  let trace_active t = Obs.Trace.active (Net.trace t.network)
+
+  (* Record a typed event against this session's channel; callers
+     guard with {!trace_active} so nothing is allocated on a quiet
+     trace. *)
+  let ev t ~node ekind =
+    Obs.Trace.event (Net.trace t.network) ~time:(now t) ~node ~channel:t.ochan
+      ekind
+
+  let notef t ~node fmt =
+    Obs.Trace.notef (Net.trace t.network) ~time:(now t) ~node fmt
+
+  let meter t ~from payload =
+    (match P.kind_of payload with
+    | Messages.Join_msg -> Obs.Metrics.incr m_join
+    | Messages.Tree_msg -> Obs.Metrics.incr m_tree
+    | Messages.Data_msg -> Obs.Metrics.incr m_data
+    | Messages.Extra_msg -> (
+        match m_extra with Some c -> Obs.Metrics.incr c | None -> ()));
+    if trace_active t then
+      match P.trace_event payload with
+      | Some ekind -> ev t ~node:from ekind
+      | None -> ()
+
+  let send t ~from ~dst ~kind payload =
+    meter t ~from payload;
+    Net.originate t.network ~src:from ~dst ~kind payload
+
+  (* Foreign channels fall through to the next chained handler before
+     the protocol sees the packet — how several channels (or several
+     protocols) share one network. *)
+  let own_channel t (h : handler) : P.msg Net.handler =
+   fun _net n p ->
+    if Mcast.Channel.equal (P.channel_of p.Pkt.payload) t.channel then h t n p
+    else Net.Forward
+
+  let attach ~config ~hooks ~network ~channel ~source =
+    P.validate config;
+    let engine = Net.engine network in
+    let graph = Net.graph network in
+    let t =
+      {
+        config;
+        engine;
+        network;
+        graph;
+        channel;
+        ochan =
+          {
+            Obs.Event.csrc = Mcast.Channel.source channel;
+            group = Mcast.Class_d.to_int32 (Mcast.Channel.group channel);
+          };
+        source;
+        state = P.create_state config;
+        hooks;
+        members = [];
+        member_timers = Hashtbl.create 16;
+        member_handler_installed = Hashtbl.create 16;
+        data_seq = 0;
+      }
+    in
+    (* Agents on every multicast-capable router (the source gets its
+       own agent even when it is a router); chaining lets several
+       sessions share one network. *)
+    List.iter
+      (fun r ->
+        if r <> source && Topology.Graph.multicast_capable graph r then
+          Net.chain network r (own_channel t hooks.router))
+      (Topology.Graph.routers graph);
+    Net.chain network source (own_channel t hooks.source_agent);
+    (* Periodic control cycle, then the soft-state sweep: both on the
+       control period, tick first so a cycle's refreshes land before
+       the expiry pass at the same instant. *)
+    let period = P.control_period config in
+    (match hooks.tick with
+    | Some f ->
+        ignore
+          (Timer.every ~tag:(tag "tick") engine ~start:period ~period (fun () ->
+               f t))
+    | None -> ());
+    ignore
+      (Timer.every ~tag:(tag "sweep") engine ~start:period ~period (fun () ->
+           hooks.sweep t ~now:(now t);
+           Obs.Metrics.set g_state (float_of_int (hooks.state_size t))));
+    (* A crash wipes the node's volatile soft state; recovery then
+       happens purely through the periodic join/refresh cycle.  The
+       agent stays chained (the network skips handlers of down
+       nodes), so a restarted node resumes as a blank slate. *)
+    Net.on_node_event network (fun ~up n ->
+        if not up then begin
+          Obs.Metrics.incr m_crash_wipes;
+          hooks.crash_wipe t n;
+          notef t ~node:n "crash: %s state wiped" P.label
+        end);
+    (* Unicast reconvergence needs no generic protocol action — every
+       forwarding decision re-reads the routing table — but sessions
+       account for it so overhead inflation can be attributed. *)
+    Net.on_route_change network (fun () -> Obs.Metrics.incr m_route_changes);
+    t
+
+  let fresh_channel ~source = function
+    | Some c -> c
+    | None -> Mcast.Channel.fresh ~source
+
+  let create ?(config = P.default_config) ?trace ?channel hooks table ~source =
+    let engine = Engine.create () in
+    let network = Net.create ?trace engine table in
+    attach ~config ~hooks ~network
+      ~channel:(fresh_channel ~source channel)
+      ~source
+
+  let create_on ?(config = P.default_config) ?channel hooks network ~source =
+    attach ~config ~hooks ~network
+      ~channel:(fresh_channel ~source channel)
+      ~source
+
+  let subscribe t r =
+    if r = t.source then
+      invalid_arg (Printf.sprintf "%s.subscribe: the source cannot join" P.label);
+    if not (List.mem r t.members) then begin
+      t.members <- r :: t.members;
+      Net.set_sink t.network r true;
+      (match t.hooks.member_agent with
+      | Some h ->
+          if
+            Topology.Graph.is_host t.graph r
+            && not (Hashtbl.mem t.member_handler_installed r)
+          then begin
+            Hashtbl.replace t.member_handler_installed r ();
+            Net.chain t.network r (own_channel t h)
+          end
+      | None -> ());
+      if trace_active t then ev t ~node:r Obs.Event.Member_join;
+      t.hooks.on_subscribe t r;
+      let timer =
+        Timer.every ~tag:(tag "join") t.engine ~start:0.0
+          ~period:(P.join_period t.config) (fun () ->
+            t.hooks.join_tick t ~member:r)
+      in
+      Hashtbl.replace t.member_timers r timer
+    end
+
+  let unsubscribe t r =
+    if List.mem r t.members then begin
+      if trace_active t then ev t ~node:r Obs.Event.Member_leave;
+      t.members <- List.filter (fun m -> m <> r) t.members;
+      (match Hashtbl.find_opt t.member_timers r with
+      | Some timer ->
+          Timer.stop timer;
+          Hashtbl.remove t.member_timers r
+      | None -> ());
+      t.hooks.on_unsubscribe t r;
+      (* Any chained member agent stays installed; with the member
+         gone it forwards everything, so it is inert. *)
+      Net.set_sink t.network r false
+    end
+
+  let run_for t d = Engine.run ~until:(now t +. d) t.engine
+
+  let converge ?(periods = 12) t =
+    run_for t (float_of_int periods *. P.control_period t.config)
+
+  let send_data t = t.hooks.send_data t
+
+  let probe t =
+    Net.reset_data_accounting t.network;
+    send_data t;
+    run_for t (Float.max 500.0 (2.0 *. P.control_period t.config));
+    let dist = Mcast.Distribution.create ~source:t.source in
+    List.iter
+      (fun ((u, v), n) ->
+        for _ = 1 to n do
+          Mcast.Distribution.add_copy dist u v
+        done)
+      (Net.data_link_loads t.network);
+    List.iter
+      (fun (r, d) -> Mcast.Distribution.deliver dist ~receiver:r ~delay:d)
+      (Net.data_deliveries t.network);
+    dist
+
+  let control_overhead t = (Net.counters t.network).Net.control_hops
+
+  let metrics_state t ~tables ~sweep ~mct_count ~mft_count ~is_branching =
+    Hashtbl.iter (fun _ tb -> sweep tb ~now:(now t)) tables;
+    let mct = ref 0 and mft = ref 0 and branching = ref 0 and on_tree = ref 0 in
+    Hashtbl.iter
+      (fun n tb ->
+        if Topology.Graph.is_router t.graph n then begin
+          let c = mct_count tb and f = mft_count tb in
+          mct := !mct + c;
+          mft := !mft + f;
+          if is_branching tb then incr branching;
+          if c > 0 || f > 0 then incr on_tree
+        end)
+      tables;
+    {
+      Mcast.Metrics.mct_entries = !mct;
+      mft_entries = !mft;
+      branching_routers = !branching;
+      on_tree_routers = !on_tree;
+    }
+
+  let branching_routers t ~tables ~is_branching =
+    Hashtbl.fold
+      (fun n tb acc ->
+        if is_branching tb && Topology.Graph.is_router t.graph n then n :: acc
+        else acc)
+      tables []
+    |> List.sort compare
+end

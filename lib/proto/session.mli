@@ -1,0 +1,192 @@
+(** The per-router session core of the protocol runtime.
+
+    [Make (P)] owns everything the three protocol stacks used to
+    duplicate: handler installation over the topology, the periodic
+    control/sweep timers, per-member join timers, the crash-wipe and
+    restart lifecycle wired to the network's node-event listeners,
+    route-change accounting, and uniform control-overhead metering
+    under the [proto.<name>.*] metric namespace.  A protocol supplies
+    its packet-level behavior as a {!Make.hooks} record of closures
+    over its own soft state; the session decides {e when} and
+    {e where} they run.
+
+    Ordering is part of the contract — handlers chain in
+    [Topology.Graph.routers] order with the source last, the control
+    tick fires before the sweep at coincident instants, and listeners
+    register in a fixed sequence — so seeded runs replay bit-identically
+    across protocol ports. *)
+
+module type PROTOCOL = sig
+  val name : string
+  (** Metric/timer namespace component, e.g. ["hbh"]. *)
+
+  val label : string
+  (** Human-facing name used in error messages and trace notes,
+      e.g. ["HBH"]. *)
+
+  type config
+
+  val default_config : config
+
+  val validate : config -> unit
+  (** Raise [Invalid_argument] on a nonsensical configuration. *)
+
+  val join_period : config -> float
+  (** Period of each member's join timer. *)
+
+  val control_period : config -> float
+  (** Period of the source control cycle and the soft-state sweep. *)
+
+  type msg
+
+  val channel_of : msg -> Mcast.Channel.t
+  val kind_of : msg -> Messages.kind
+
+  val extra_counter : string option
+  (** Name for the {!Messages.Extra_msg} class counter (e.g. HBH's
+      ["fusion_msgs"]); [None] if the protocol has no extra class. *)
+
+  val trace_event : msg -> Obs.Event.kind option
+  (** Typed trace event recorded at the originator when the trace is
+      active. *)
+
+  type state
+  (** The protocol's soft state (tables, dedup caches, ...). *)
+
+  val create_state : config -> state
+end
+
+module Make (P : PROTOCOL) : sig
+  type t
+
+  type handler = t -> int -> P.msg Netsim.Packet.t -> Netsim.Network.verdict
+  (** Like {!Netsim.Network.handler}, but handed the session instead
+      of the raw network.  Handlers only ever see packets on the
+      session's own channel — the session pre-filters, so protocols
+      need no channel guards (and no unreachable catch-all arms). *)
+
+  type hooks = {
+    router : handler;
+        (** chained at every multicast-capable router except the
+            source *)
+    source_agent : handler;  (** chained at the source node *)
+    member_agent : handler option;
+        (** chained at member {e hosts} on first subscribe (router
+            members are covered by [router]) *)
+    tick : (t -> unit) option;
+        (** periodic source-side control cycle (HBH tree cycle,
+            REUNITE source tick), every control period *)
+    sweep : t -> now:float -> unit;  (** periodic soft-state expiry *)
+    state_size : t -> int;
+        (** live soft-state entries, sampled into the
+            [proto.<name>.state_entries] gauge after each sweep *)
+    crash_wipe : t -> int -> unit;
+        (** wipe the node's volatile protocol state *)
+    join_tick : t -> member:int -> unit;
+        (** one member's periodic join, every join period *)
+    on_subscribe : t -> int -> unit;
+    on_unsubscribe : t -> int -> unit;
+    send_data : t -> unit;
+  }
+
+  val counter : string -> Obs.Metrics.counter
+  (** A counter in this protocol's [proto.<name>.*] namespace, for
+      protocol-specific instrumentation (table update counts etc.). *)
+
+  val create :
+    ?config:P.config ->
+    ?trace:Obs.Trace.t ->
+    ?channel:Mcast.Channel.t ->
+    hooks ->
+    Routing.Table.t ->
+    source:int ->
+    t
+  (** Fresh engine and network, agents installed, timers armed. *)
+
+  val create_on :
+    ?config:P.config ->
+    ?channel:Mcast.Channel.t ->
+    hooks ->
+    P.msg Netsim.Network.t ->
+    source:int ->
+    t
+  (** Attach a session to an existing network (shared-infrastructure
+      experiments). *)
+
+  (** {1 Membership} *)
+
+  val subscribe : t -> int -> unit
+  (** Raises [Invalid_argument] for the source. Idempotent. *)
+
+  val unsubscribe : t -> int -> unit
+
+  val members : t -> int list
+  (** Ascending. *)
+
+  (** {1 Driving} *)
+
+  val run_for : t -> float -> unit
+  val converge : ?periods:int -> t -> unit
+
+  val send_data : t -> unit
+  (** The protocol's [send_data] hook. *)
+
+  val probe : t -> Mcast.Distribution.t
+  (** Reset data accounting, send one data packet, run long enough
+      for delivery, and collect the distribution. *)
+
+  (** {1 Accessors} *)
+
+  val engine : t -> Eventsim.Engine.t
+  val network : t -> P.msg Netsim.Network.t
+  val graph : t -> Topology.Graph.t
+  val channel : t -> Mcast.Channel.t
+  val ochan : t -> Obs.Event.channel
+  val config : t -> P.config
+  val source : t -> int
+  val state : t -> P.state
+  val now : t -> float
+  val data_seq : t -> int
+
+  val control_overhead : t -> int
+  (** Control-plane hop count from the network counters. *)
+
+  val metrics_state :
+    t ->
+    tables:(int, 'tb) Hashtbl.t ->
+    sweep:('tb -> now:float -> unit) ->
+    mct_count:('tb -> int) ->
+    mft_count:('tb -> int) ->
+    is_branching:('tb -> bool) ->
+    Mcast.Metrics.state
+  (** Uniform state-size summary over a per-router table map: sweeps
+      every table first, then counts control (MCT) and forwarding
+      (MFT) entries, branching routers and on-tree routers — routers
+      only, hosts excluded. *)
+
+  val branching_routers :
+    t -> tables:(int, 'tb) Hashtbl.t -> is_branching:('tb -> bool) -> int list
+  (** Branching routers under the same conventions, ascending. *)
+
+  (** {1 For protocol hook bodies} *)
+
+  val next_seq : t -> int
+  (** Bump and return the data sequence number. *)
+
+  val meter : t -> from:int -> P.msg -> unit
+  (** Count the message against its class counter and record its
+      trace event — for sends that bypass {!send} (e.g. in-flight
+      rewrites via [Netsim.Network.emit]). *)
+
+  val send : t -> from:int -> dst:int -> kind:Netsim.Packet.kind -> P.msg -> unit
+  (** {!meter} + [Netsim.Network.originate]. *)
+
+  val trace_active : t -> bool
+
+  val ev : t -> node:int -> Obs.Event.kind -> unit
+  (** Record a typed event on this session's channel; guard with
+      {!trace_active} at call sites that would otherwise allocate. *)
+
+  val notef :
+    t -> node:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
+end

@@ -1,0 +1,144 @@
+type deadlines = { t1 : float; t2 : float }
+
+type entry = {
+  node : int;
+  seq : int;
+  mutable marked_until : float;
+  mutable fresh_until : float;
+  mutable expires_at : float;
+}
+
+let entry_stale e ~now = now >= e.fresh_until
+let entry_dead e ~now = now >= e.expires_at
+let entry_marked e ~now = now < e.marked_until
+
+let entry dl ~now node =
+  {
+    node;
+    seq = 0;
+    marked_until = neg_infinity;
+    fresh_until = now +. dl.t1;
+    expires_at = now +. dl.t2;
+  }
+
+let refresh_entry e dl ~now =
+  e.fresh_until <- now +. dl.t1;
+  e.expires_at <- now +. dl.t2
+
+let force_stale e ~now = e.fresh_until <- Float.min e.fresh_until now
+
+module Table = struct
+  type t = { tbl : (int, entry) Hashtbl.t; mutable next_seq : int }
+
+  let create () = { tbl = Hashtbl.create 8; next_seq = 0 }
+
+  let size t = Hashtbl.length t.tbl
+  let is_empty t = size t = 0
+  let mem t n = Hashtbl.mem t.tbl n
+  let find t n = Hashtbl.find_opt t.tbl n
+
+  let insert t dl ~now ~stale n =
+    let e =
+      {
+        node = n;
+        seq = t.next_seq;
+        marked_until = neg_infinity;
+        fresh_until = (if stale then now else now +. dl.t1);
+        expires_at = now +. dl.t2;
+      }
+    in
+    t.next_seq <- t.next_seq + 1;
+    Hashtbl.replace t.tbl n e;
+    e
+
+  let add_fresh t dl ~now n =
+    match Hashtbl.find_opt t.tbl n with
+    | Some e ->
+        refresh_entry e dl ~now;
+        e
+    | None -> insert t dl ~now ~stale:false n
+
+  let add_stale t dl ~now n =
+    match Hashtbl.find_opt t.tbl n with
+    | Some e ->
+        (* t2 refreshed, t1 "kept expired" — i.e. left alone: a
+           stale-style refresh never freshens t1, but it must not
+           expire a t1 that fresh-style refreshes are keeping alive
+           either. *)
+        e.expires_at <- now +. dl.t2;
+        e
+    | None -> insert t dl ~now ~stale:true n
+
+  let refresh t dl ~now n =
+    match Hashtbl.find_opt t.tbl n with
+    | Some e ->
+        refresh_entry e dl ~now;
+        true
+    | None -> false
+
+  (* The mark is soft state like everything else: it decays at t1
+     unless re-asserted.  t2 is deliberately untouched — a marked
+     entry not refreshed through the fresh path must die. *)
+  let mark t dl ~now n =
+    match Hashtbl.find_opt t.tbl n with
+    | Some e ->
+        e.marked_until <- now +. dl.t1;
+        true
+    | None -> false
+
+  let remove t n = Hashtbl.remove t.tbl n
+  let clear t = Hashtbl.reset t.tbl
+
+  let expire t ~now =
+    let dead =
+      Hashtbl.fold
+        (fun n e acc -> if entry_dead e ~now then n :: acc else acc)
+        t.tbl []
+    in
+    List.iter (Hashtbl.remove t.tbl) dead
+
+  let all_dead t ~now =
+    Hashtbl.fold (fun _ e acc -> acc && entry_dead e ~now) t.tbl true
+
+  let nodes t =
+    Hashtbl.fold (fun n _ acc -> n :: acc) t.tbl [] |> List.sort compare
+
+  let entries t =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+    |> List.sort (fun a b -> compare a.node b.node)
+
+  let in_order t =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+    |> List.sort (fun a b -> compare a.seq b.seq)
+
+  let live t ~now =
+    Hashtbl.fold
+      (fun _ e acc -> if entry_dead e ~now then acc else e :: acc)
+      t.tbl []
+
+  let live_nodes t ~now =
+    live t ~now |> List.map (fun e -> e.node) |> List.sort compare
+
+  let data_targets t ~now =
+    live t ~now
+    |> List.filter_map (fun e -> if entry_marked e ~now then None else Some e.node)
+    |> List.sort compare
+
+  let fresh_targets t ~now =
+    live t ~now
+    |> List.filter_map (fun e -> if entry_stale e ~now then None else Some e.node)
+    |> List.sort compare
+
+  let live_in_order t ~now =
+    in_order t |> List.filter (fun e -> not (entry_dead e ~now))
+
+  let mem_live t ~now n =
+    match Hashtbl.find_opt t.tbl n with
+    | Some e -> not (entry_dead e ~now)
+    | None -> false
+
+  let first_fresh t ~now =
+    live_in_order t ~now
+    |> List.find_opt (fun e -> not (entry_stale e ~now))
+    |> Option.map (fun e -> e.node)
+end

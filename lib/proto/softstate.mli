@@ -1,0 +1,107 @@
+(** The generic TTL'd soft-state table of the protocol runtime.
+
+    Every entry carries the paper's two absolute deadlines: when [t1]
+    expires the entry goes {e stale} (still usable, no longer
+    refreshed downstream); when [t2] expires it is {e dead} and the
+    next {!Table.expire} sweep destroys it.  An entry may additionally
+    be {e marked} — a timed claim with a t1 lifetime that decays
+    unless re-asserted.  One parameterization covers all three
+    protocol stacks:
+
+    - HBH MFTs use the full ladder: fresh/stale insertions, join-style
+      {!Table.refresh}, fusion-style {!Table.mark}, and the
+      data/tree target projections.
+    - REUNITE receiver and control tables use install-order iteration
+      ({!Table.in_order}, {!Table.first_fresh}) with detached
+      {!entry} values for the dst slot.
+    - PIM-SSM oif maps degenerate to [t1 = t2 = holdtime]: an entry is
+      live exactly until its holdtime deadline. *)
+
+type deadlines = { t1 : float; t2 : float }
+(** Relative validity durations, [0 < t1 <= t2]. *)
+
+type entry = private {
+  node : int;  (** the neighbor, receiver or downstream branch *)
+  seq : int;  (** table install order (0 for detached entries) *)
+  mutable marked_until : float;  (** absolute mark-decay deadline *)
+  mutable fresh_until : float;  (** absolute t1 deadline *)
+  mutable expires_at : float;  (** absolute t2 deadline *)
+}
+
+val entry_stale : entry -> now:float -> bool
+val entry_dead : entry -> now:float -> bool
+val entry_marked : entry -> now:float -> bool
+
+val entry : deadlines -> now:float -> int -> entry
+(** A detached fresh entry (not owned by any table) — e.g. REUNITE's
+    dst slot. *)
+
+val refresh_entry : entry -> deadlines -> now:float -> unit
+(** Restart both deadlines. *)
+
+val force_stale : entry -> now:float -> unit
+(** Pull the t1 deadline back to [now] (never extends it). *)
+
+module Table : sig
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+  val is_empty : t -> bool
+  val mem : t -> int -> bool
+  val find : t -> int -> entry option
+
+  val add_fresh : t -> deadlines -> now:float -> int -> entry
+  (** Insert a fresh unmarked entry, or restart both deadlines of an
+      existing one (its mark survives). *)
+
+  val add_stale : t -> deadlines -> now:float -> int -> entry
+  (** Insert an entry born with t1 already expired, or refresh only
+      the t2 of an existing one — t1 is "kept expired", never
+      downgraded (HBH fusion rules 3-4). *)
+
+  val refresh : t -> deadlines -> now:float -> int -> bool
+  (** Restart both deadlines of an existing entry; false if absent. *)
+
+  val mark : t -> deadlines -> now:float -> int -> bool
+  (** Set the timed mark (t1 lifetime) on an existing entry without
+      touching t2; false if absent. *)
+
+  val remove : t -> int -> unit
+  val clear : t -> unit
+
+  val expire : t -> now:float -> unit
+  (** Drop dead entries. *)
+
+  val all_dead : t -> now:float -> bool
+  (** Every entry dead (vacuously true when empty). *)
+
+  val nodes : t -> int list
+  (** All entry nodes (dead included until swept), ascending. *)
+
+  val entries : t -> entry list
+  (** All entries, ascending by node. *)
+
+  val in_order : t -> entry list
+  (** All entries, install order. *)
+
+  val live : t -> now:float -> entry list
+  (** Non-dead entries, unspecified order. *)
+
+  val live_nodes : t -> now:float -> int list
+  (** Non-dead entry nodes, ascending. *)
+
+  val data_targets : t -> now:float -> int list
+  (** Live and unmarked (stale included), ascending. *)
+
+  val fresh_targets : t -> now:float -> int list
+  (** Live and not stale (marked included), ascending. *)
+
+  val live_in_order : t -> now:float -> entry list
+  (** Non-dead entries, install order. *)
+
+  val mem_live : t -> now:float -> int -> bool
+
+  val first_fresh : t -> now:float -> int option
+  (** The oldest-installed live, non-stale entry's node. *)
+end

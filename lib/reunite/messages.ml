@@ -1,19 +1,21 @@
-type t =
-  | Join of { channel : Mcast.Channel.t; member : int }
-  | Tree of {
-      channel : Mcast.Channel.t;
-      target : int;
-      marked : bool;
-      epoch : int;
-    }
-  | Data of { channel : Mcast.Channel.t; seq : int }
+type tree_info = { marked : bool; epoch : int }
 
-let pp ppf = function
-  | Join { channel; member } ->
+type ('jx, 'tx, 'extra) gen = ('jx, 'tx, 'extra) Proto.Messages.t =
+  | Join of { channel : Mcast.Channel.t; member : int; ext : 'jx }
+  | Tree of { channel : Mcast.Channel.t; target : int; ext : 'tx }
+  | Data of { channel : Mcast.Channel.t; seq : int }
+  | Extra of { channel : Mcast.Channel.t; extra : 'extra }
+
+type t = (unit, tree_info, Proto.Messages.nothing) gen
+
+let pp ppf (m : t) =
+  match m with
+  | Join { channel; member; _ } ->
       Format.fprintf ppf "join(%a, %d)" Mcast.Channel.pp channel member
-  | Tree { channel; target; marked; epoch } ->
+  | Tree { channel; target; ext = { marked; epoch } } ->
       Format.fprintf ppf "%stree(%a, %d)#%d"
         (if marked then "marked-" else "")
         Mcast.Channel.pp channel target epoch
   | Data { channel; seq } ->
       Format.fprintf ppf "data(%a, #%d)" Mcast.Channel.pp channel seq
+  | Extra { extra = _; _ } -> .

@@ -1,17 +1,5 @@
 module Net = Netsim.Network
 module Pkt = Netsim.Packet
-module Engine = Eventsim.Engine
-module Timer = Eventsim.Timer
-
-(* Control-plane message accounting, always on. *)
-let m_join = Obs.Metrics.counter Obs.Metrics.default "reunite.join_msgs"
-let m_tree = Obs.Metrics.counter Obs.Metrics.default "reunite.tree_msgs"
-let m_data = Obs.Metrics.counter Obs.Metrics.default "reunite.data_msgs"
-let m_mft = Obs.Metrics.counter Obs.Metrics.default "reunite.mft_updates"
-let m_mct = Obs.Metrics.counter Obs.Metrics.default "reunite.mct_updates"
-let m_crash_wipes = Obs.Metrics.counter Obs.Metrics.default "reunite.crash_wipes"
-let m_route_changes =
-  Obs.Metrics.counter Obs.Metrics.default "reunite.route_changes"
 
 type config = {
   join_period : float;
@@ -23,78 +11,85 @@ type config = {
 let default_config =
   { join_period = 100.0; tree_period = 100.0; t1 = 250.0; t2 = 550.0 }
 
-type t = {
-  config : config;
+type state = {
   deadlines : Tables.deadlines;
-  engine : Engine.t;
-  network : Messages.t Net.t;
-  graph : Topology.Graph.t;
-  channel : Mcast.Channel.t;
-  ochan : Obs.Event.channel;
-  source : int;
   router_tables : (int, Tables.t) Hashtbl.t;
   mutable source_mft : Tables.Mft.t option;
   mutable epoch : int;
-  mutable members : int list;
-  member_timers : (int, Timer.t) Hashtbl.t;
-  mutable data_seq : int;
 }
 
-let engine t = t.engine
-let network t = t.network
-let channel t = t.channel
-let source t = t.source
-let members t = List.sort compare t.members
+module S = Proto.Session.Make (struct
+  let name = "reunite"
+  let label = "REUNITE"
 
-let now t = Engine.now t.engine
+  type nonrec config = config
 
-let trace t ~node fmt =
-  Netsim.Trace.recordf (Net.trace t.network) ~time:(now t) ~node fmt
+  let default_config = default_config
 
-let trace_active t = Obs.Trace.active (Net.trace t.network)
+  let validate c =
+    if c.t1 <= 0.0 || c.t2 <= c.t1 then
+      invalid_arg "Reunite.Protocol.create: need 0 < t1 < t2"
 
-let ev t ~node ekind =
-  Obs.Trace.event (Net.trace t.network) ~time:(now t) ~node ~channel:t.ochan
-    ekind
+  let join_period c = c.join_period
+  let control_period c = c.tree_period
 
-let meter t ~from payload =
-  (match payload with
-  | Messages.Join _ -> Obs.Metrics.incr m_join
-  | Messages.Tree _ -> Obs.Metrics.incr m_tree
-  | Messages.Data _ -> Obs.Metrics.incr m_data);
-  if trace_active t then
-    match payload with
+  type msg = Messages.t
+
+  let channel_of = Proto.Messages.channel
+  let kind_of = Proto.Messages.kind
+  let extra_counter = None
+
+  let trace_event (m : msg) =
+    match m with
     | Messages.Join { member; _ } ->
-        ev t ~node:from (Obs.Event.Join { member; first = false })
-    | Messages.Tree { target; _ } -> ev t ~node:from (Obs.Event.Tree { target })
-    | Messages.Data _ -> ()
+        Some (Obs.Event.Join { member; first = false })
+    | Messages.Tree { target; _ } -> Some (Obs.Event.Tree { target })
+    | Messages.Data _ -> None
+    | Messages.Extra { extra = _; _ } -> .
 
-let send t ~from ~dst ~kind payload =
-  meter t ~from payload;
-  Net.originate t.network ~src:from ~dst ~kind payload
+  type nonrec state = state
+
+  let create_state c =
+    {
+      deadlines = { Tables.t1 = c.t1; t2 = c.t2 };
+      router_tables = Hashtbl.create 64;
+      source_mft = None;
+      epoch = 0;
+    }
+end)
+
+(* The session IS the public API surface; only [create]/[create_on]
+   (hooks baked in) and the protocol-specific inspectors below are
+   redefined. *)
+include S
+
+let m_mft = S.counter "mft_updates"
+let m_mct = S.counter "mct_updates"
 
 let mft_ev t ~node ~target op =
   Obs.Metrics.incr m_mft;
-  if trace_active t then ev t ~node (Obs.Event.Mft_update { target; op })
+  if S.trace_active t then S.ev t ~node (Obs.Event.Mft_update { target; op })
 
 let mct_ev t ~node ~target op =
   Obs.Metrics.incr m_mct;
-  if trace_active t then ev t ~node (Obs.Event.Mct_update { target; op })
+  if S.trace_active t then S.ev t ~node (Obs.Event.Mct_update { target; op })
 
 let tables_of t n =
-  match Hashtbl.find_opt t.router_tables n with
+  let st = S.state t in
+  match Hashtbl.find_opt st.router_tables n with
   | Some tb -> tb
   | None ->
       let tb = Tables.create () in
-      Hashtbl.replace t.router_tables n tb;
+      Hashtbl.replace st.router_tables n tb;
       tb
 
 (* ---- Router message processing --------------------------------------- *)
 
 let router_handle_join t n ~member =
+  let dl = (S.state t).deadlines in
   let tb = tables_of t n in
-  let nw = now t in
-  let st = Tables.find tb t.channel in
+  let nw = S.now t in
+  let st = Tables.find tb (S.channel t) in
   let relays_member =
     match st.Tables.mct with
     | Some mct -> Tables.Mct.mem mct ~now:nw member
@@ -113,7 +108,7 @@ let router_handle_join t n ~member =
       else if Tables.Mft.mem mft member then
         if Tables.entry_stale (Tables.Mft.dst mft) ~now:nw then Net.Forward
         else begin
-          ignore (Tables.Mft.refresh mft t.deadlines ~now:nw member);
+          ignore (Tables.Mft.refresh mft dl ~now:nw member);
           mft_ev t ~node:n ~target:member Obs.Event.Refresh;
           Net.Consume
         end
@@ -126,8 +121,8 @@ let router_handle_join t n ~member =
            toward the source (Figure 2(c)). *)
         Net.Forward
       else begin
-        trace t ~node:n "capture join(%d) at branching node" member;
-        Tables.Mft.add_receiver mft t.deadlines ~now:nw member;
+        S.notef t ~node:n "capture join(%d) at branching node" member;
+        Tables.Mft.add_receiver mft dl ~now:nw member;
         mft_ev t ~node:n ~target:member Obs.Event.Add;
         Net.Consume
       end
@@ -144,10 +139,10 @@ let router_handle_join t n ~member =
                    relayed receiver moves from the MCT into the MFT as
                    dst, the joiner becomes the first receiver entry,
                    the other control entries stay. *)
-                trace t ~node:n "capture join(%d): becoming branching (dst=%d)"
-                  member dst;
-                let mft = Tables.Mft.create t.deadlines ~now:nw ~dst in
-                Tables.Mft.add_receiver mft t.deadlines ~now:nw member;
+                S.notef t ~node:n
+                  "capture join(%d): becoming branching (dst=%d)" member dst;
+                let mft = Tables.Mft.create dl ~now:nw ~dst in
+                Tables.Mft.add_receiver mft dl ~now:nw member;
                 mft_ev t ~node:n ~target:dst Obs.Event.Add;
                 mft_ev t ~node:n ~target:member Obs.Event.Add;
                 mct_ev t ~node:n ~target:dst Obs.Event.Remove;
@@ -160,9 +155,10 @@ let router_handle_join t n ~member =
    branching router's dst is replicated to its receiver entries while
    the original continues. *)
 let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~marked ~epoch =
+  let dl = (S.state t).deadlines in
   let tb = tables_of t n in
-  let nw = now t in
-  let st = Tables.find tb t.channel in
+  let nw = S.now t in
+  let st = Tables.find tb (S.channel t) in
   let is_fork_point =
     match st.Tables.mft with
     | Some mft -> (Tables.Mft.dst mft).node = target
@@ -180,16 +176,19 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~marked ~epoch =
          receiver entry.  Replayed or looping epochs neither refresh
          nor fork, so orphaned branching structures decay. *)
       Tables.Mft.set_upstream mft p.Pkt.via;
-      ignore (Tables.Mft.refresh mft t.deadlines ~now:nw target);
+      ignore (Tables.Mft.refresh mft dl ~now:nw target);
       List.iter
         (fun (e : Tables.entry) ->
-          send t ~from:n ~dst:e.node ~kind:Pkt.Control
+          S.send t ~from:n ~dst:e.node ~kind:Pkt.Control
             (Messages.Tree
                {
-                 channel = t.channel;
+                 channel = S.channel t;
                  target = e.node;
-                 marked = Tables.entry_stale e ~now:nw;
-                 epoch;
+                 ext =
+                   {
+                     Messages.marked = Tables.entry_stale e ~now:nw;
+                     epoch;
+                   };
                }))
         (Tables.Mft.receivers mft)
     end;
@@ -205,18 +204,17 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~marked ~epoch =
     in
     if marked then begin
       (* Teardown: "destroys any r1 MCT entries". *)
-      (match st.Tables.mct with
+      match st.Tables.mct with
       | Some mct ->
           Tables.Mct.remove mct target;
           mct_ev t ~node:n ~target Obs.Event.Remove;
           if Tables.Mct.dead mct ~now:nw then st.Tables.mct <- None
-      | None -> ())
+      | None -> ()
     end
     else if not in_mft then begin
       (match st.Tables.mct with
-      | Some mct -> Tables.Mct.add mct t.deadlines ~now:nw target
-      | None ->
-          st.Tables.mct <- Some (Tables.Mct.create t.deadlines ~now:nw target));
+      | Some mct -> Tables.Mct.add mct dl ~now:nw target
+      | None -> st.Tables.mct <- Some (Tables.Mct.create dl ~now:nw target));
       mct_ev t ~node:n ~target Obs.Event.Add
     end;
     Net.Forward
@@ -224,265 +222,158 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~marked ~epoch =
 
 let router_handle_data t n (p : Messages.t Pkt.t) =
   let tb = tables_of t n in
-  match (Tables.find tb t.channel).Tables.mft with
+  match (Tables.find tb (S.channel t)).Tables.mft with
   | Some mft
     when (Tables.Mft.dst mft).node = p.Pkt.dst
          && Tables.Mft.from_upstream mft ~via:p.Pkt.via ->
       List.iter
         (fun (e : Tables.entry) ->
-          Net.emit t.network ~at:n (Pkt.rewrite p ~src:n ~dst:e.node ()))
+          Net.emit (S.network t) ~at:n (Pkt.rewrite p ~src:n ~dst:e.node ()))
         (Tables.Mft.receivers mft);
       Net.Forward
   | Some _ | None -> Net.Forward
 
-let router_handler t _net n (p : Messages.t Pkt.t) =
+let router_handler t n (p : Messages.t Pkt.t) =
   match p.Pkt.payload with
-  | Messages.Join { channel; member } when Mcast.Channel.equal channel t.channel
-    ->
-      router_handle_join t n ~member
-  | Messages.Tree { channel; target; marked; epoch }
-    when Mcast.Channel.equal channel t.channel ->
+  | Messages.Join { member; _ } -> router_handle_join t n ~member
+  | Messages.Tree { target; ext = { Messages.marked; epoch }; _ } ->
       router_handle_tree t n p ~target ~marked ~epoch
-  | Messages.Data { channel; _ } when Mcast.Channel.equal channel t.channel ->
-      router_handle_data t n p
-  | Messages.Join _ | Messages.Tree _ | Messages.Data _ -> Net.Forward
+  | Messages.Data _ -> router_handle_data t n p
+  | Messages.Extra { extra = _; _ } -> .
 
 (* ---- Source agent ----------------------------------------------------- *)
 
-let source_handler t _net n (p : Messages.t Pkt.t) =
+let source_handler t n (p : Messages.t Pkt.t) =
   if p.Pkt.dst <> n then Net.Forward
-  else
-    match p.Pkt.payload with
-    | Messages.Join { channel; member }
-      when Mcast.Channel.equal channel t.channel ->
-        if member <> t.source then
-          (match t.source_mft with
+  else begin
+    let st = S.state t in
+    (match p.Pkt.payload with
+    | Messages.Join { member; _ } ->
+        if member <> S.source t then (
+          match st.source_mft with
           | None ->
-              t.source_mft <-
-                Some (Tables.Mft.create t.deadlines ~now:(now t) ~dst:member);
+              st.source_mft <-
+                Some (Tables.Mft.create st.deadlines ~now:(S.now t) ~dst:member);
               mft_ev t ~node:n ~target:member Obs.Event.Add
           | Some mft ->
-              if Tables.Mft.refresh mft t.deadlines ~now:(now t) member then
+              if Tables.Mft.refresh mft st.deadlines ~now:(S.now t) member then
                 mft_ev t ~node:n ~target:member Obs.Event.Refresh
               else begin
-                Tables.Mft.add_receiver mft t.deadlines ~now:(now t) member;
+                Tables.Mft.add_receiver mft st.deadlines ~now:(S.now t) member;
                 mft_ev t ~node:n ~target:member Obs.Event.Add
-              end);
-        Net.Consume
-    | (Messages.Tree { channel; _ } | Messages.Data { channel; _ })
-      when Mcast.Channel.equal channel t.channel ->
-        Net.Consume
-    | Messages.Join _ | Messages.Tree _ | Messages.Data _ ->
-        (* Another channel's traffic: fall through the handler chain. *)
-        Net.Forward
+              end)
+    | Messages.Tree _ | Messages.Data _ -> ()
+    | Messages.Extra { extra = _; _ } -> .);
+    Net.Consume
+  end
 
-(* ---- Session ---------------------------------------------------------- *)
+(* ---- Session hooks ----------------------------------------------------- *)
 
 let source_tick t =
-  match t.source_mft with
+  let st = S.state t in
+  match st.source_mft with
   | None -> ()
   | Some mft ->
-      let nw = now t in
+      let nw = S.now t in
       Tables.Mft.expire mft ~now:nw;
       ignore (Tables.Mft.promote mft ~now:nw);
-      if Tables.Mft.dead mft ~now:nw then t.source_mft <- None
+      if Tables.Mft.dead mft ~now:nw then st.source_mft <- None
       else begin
-        t.epoch <- t.epoch + 1;
+        st.epoch <- st.epoch + 1;
+        let tree (e : Tables.entry) =
+          Messages.Tree
+            {
+              channel = S.channel t;
+              target = e.node;
+              ext =
+                {
+                  Messages.marked = Tables.entry_stale e ~now:nw;
+                  epoch = st.epoch;
+                };
+            }
+        in
         let dst = Tables.Mft.dst mft in
-        send t ~from:t.source ~dst:dst.node ~kind:Pkt.Control
-          (Messages.Tree
-             {
-               channel = t.channel;
-               target = dst.node;
-               marked = Tables.entry_stale dst ~now:nw;
-               epoch = t.epoch;
-             });
+        S.send t ~from:(S.source t) ~dst:dst.node ~kind:Pkt.Control (tree dst);
         List.iter
           (fun (e : Tables.entry) ->
-            send t ~from:t.source ~dst:e.node ~kind:Pkt.Control
-              (Messages.Tree
-                 {
-                   channel = t.channel;
-                   target = e.node;
-                   marked = Tables.entry_stale e ~now:nw;
-                   epoch = t.epoch;
-                 }))
+            S.send t ~from:(S.source t) ~dst:e.node ~kind:Pkt.Control (tree e))
           (Tables.Mft.receivers mft)
       end
 
-let setup ~config ~network ~channel ~source =
-  if config.t1 <= 0.0 || config.t2 <= config.t1 then
-    invalid_arg "Reunite.Protocol.create: need 0 < t1 < t2";
-  let engine = Net.engine network in
-  let table = Net.table network in
-  let graph = Routing.Table.graph table in
-  let t =
-    {
-      config;
-      deadlines = { Tables.t1 = config.t1; t2 = config.t2 };
-      engine;
-      network;
-      graph;
-      channel;
-      ochan =
-        {
-          Obs.Event.csrc = Mcast.Channel.source channel;
-          group = Mcast.Class_d.to_int32 (Mcast.Channel.group channel);
-        };
-      source;
-      router_tables = Hashtbl.create 64;
-      source_mft = None;
-      epoch = 0;
-      members = [];
-      member_timers = Hashtbl.create 16;
-      data_seq = 0;
-    }
-  in
-  List.iter
-    (fun r ->
-      if r <> source && Topology.Graph.multicast_capable graph r then
-        Net.chain network r (router_handler t))
-    (Topology.Graph.routers graph);
-  Net.chain network source (source_handler t);
-  ignore
-    (Timer.every engine ~tag:"reunite.source_tick" ~start:config.tree_period
-       ~period:config.tree_period (fun () -> source_tick t));
-  ignore
-    (Timer.every engine ~tag:"reunite.sweep" ~start:config.tree_period
-       ~period:config.tree_period (fun () ->
-         Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now:(now t)) t.router_tables));
-  (* Crash recovery is pure soft state: wipe the node's RCT/MFT and
-     let the periodic join/tree cycle rebuild it after restart. *)
-  Net.on_node_event network (fun ~up n ->
-      if not up then begin
-        Obs.Metrics.incr m_crash_wipes;
-        if n = source then t.source_mft <- None
-        else Hashtbl.remove t.router_tables n;
-        trace t ~node:n "crash: REUNITE state wiped"
-      end);
-  Net.on_route_change network (fun () -> Obs.Metrics.incr m_route_changes);
-  t
-
-let create ?(config = default_config) ?trace ?channel table ~source =
-  let engine = Engine.create () in
-  let network = Net.create ?trace engine table in
-  let channel =
-    match channel with Some c -> c | None -> Mcast.Channel.fresh ~source
-  in
-  setup ~config ~network ~channel ~source
-
-let create_on ?(config = default_config) ?channel network ~source =
-  let channel =
-    match channel with Some c -> c | None -> Mcast.Channel.fresh ~source
-  in
-  setup ~config ~network ~channel ~source
-
-let subscribe t r =
-  if r = t.source then
-    invalid_arg "Reunite.Protocol.subscribe: the source cannot join";
-  if not (List.mem r t.members) then begin
-    t.members <- r :: t.members;
-    Net.set_sink t.network r true;
-    if trace_active t then ev t ~node:r Obs.Event.Member_join;
-    let timer =
-      Timer.every t.engine ~tag:"reunite.join_timer" ~start:0.0
-        ~period:t.config.join_period (fun () ->
-          send t ~from:r ~dst:t.source ~kind:Pkt.Control
-            (Messages.Join { channel = t.channel; member = r }))
-    in
-    Hashtbl.replace t.member_timers r timer
-  end
-
-let unsubscribe t r =
-  if List.mem r t.members then begin
-    t.members <- List.filter (fun m -> m <> r) t.members;
-    if trace_active t then ev t ~node:r Obs.Event.Member_leave;
-    (match Hashtbl.find_opt t.member_timers r with
-    | Some timer ->
-        Timer.stop timer;
-        Hashtbl.remove t.member_timers r
-    | None -> ());
-    Net.set_sink t.network r false
-  end
-
-let run_for t d = Engine.run ~until:(now t +. d) t.engine
-
-let converge ?(periods = 12) t =
-  run_for t (float_of_int periods *. t.config.tree_period)
-
-let data_seq t = t.data_seq
-
-let send_data t =
-  match t.source_mft with
-  | None -> ()
-  | Some mft ->
-      t.data_seq <- t.data_seq + 1;
-      let payload = Messages.Data { channel = t.channel; seq = t.data_seq } in
-      let nw = now t in
-      Tables.Mft.expire mft ~now:nw;
-      let dst = Tables.Mft.dst mft in
-      if not (Tables.entry_dead dst ~now:nw) then
-        send t ~from:t.source ~dst:dst.node ~kind:Pkt.Data payload;
-      List.iter
-        (fun (e : Tables.entry) ->
-          send t ~from:t.source ~dst:e.node ~kind:Pkt.Data payload)
-        (Tables.Mft.receivers mft)
-
-let probe t =
-  Net.reset_data_accounting t.network;
-  send_data t;
-  run_for t (Float.max 500.0 (2.0 *. t.config.tree_period));
-  let dist = Mcast.Distribution.create ~source:t.source in
-  List.iter
-    (fun ((u, v), n) ->
-      for _ = 1 to n do
-        Mcast.Distribution.add_copy dist u v
-      done)
-    (Net.data_link_loads t.network);
-  List.iter
-    (fun (r, d) -> Mcast.Distribution.deliver dist ~receiver:r ~delay:d)
-    (Net.data_deliveries t.network);
-  dist
-
-let state t =
-  Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now:(now t)) t.router_tables;
-  let mct = ref 0 and mft = ref 0 and branching = ref 0 and on_tree = ref 0 in
-  Hashtbl.iter
-    (fun n tb ->
-      if Topology.Graph.is_router t.graph n then begin
-        let c = Tables.mct_count tb in
-        let f = Tables.mft_entry_count tb in
-        mct := !mct + c;
-        mft := !mft + f;
-        if Tables.is_branching tb t.channel then incr branching;
-        if c > 0 || f > 0 then incr on_tree
-      end)
-    t.router_tables;
+let hooks =
   {
-    Mcast.Metrics.mct_entries = !mct;
-    mft_entries = !mft;
-    branching_routers = !branching;
-    on_tree_routers = !on_tree;
+    S.router = router_handler;
+    source_agent = source_handler;
+    member_agent = None;
+    tick = Some source_tick;
+    sweep =
+      (fun t ~now ->
+        Hashtbl.iter (fun _ tb -> Tables.sweep tb ~now) (S.state t).router_tables);
+    state_size =
+      (fun t ->
+        let st = S.state t in
+        Hashtbl.fold
+          (fun _ tb acc ->
+            acc + Tables.mct_count tb + Tables.mft_entry_count tb)
+          st.router_tables
+          (match st.source_mft with
+          | Some mft -> Tables.Mft.size mft
+          | None -> 0));
+    crash_wipe =
+      (fun t n ->
+        let st = S.state t in
+        if n = S.source t then st.source_mft <- None
+        else Hashtbl.remove st.router_tables n);
+    join_tick =
+      (fun t ~member ->
+        S.send t ~from:member ~dst:(S.source t) ~kind:Pkt.Control
+          (Messages.Join { channel = S.channel t; member; ext = () }));
+    on_subscribe = (fun _ _ -> ());
+    on_unsubscribe = (fun _ _ -> ());
+    send_data =
+      (fun t ->
+        let st = S.state t in
+        match st.source_mft with
+        | None -> ()
+        | Some mft ->
+            let payload =
+              Messages.Data { channel = S.channel t; seq = S.next_seq t }
+            in
+            let nw = S.now t in
+            Tables.Mft.expire mft ~now:nw;
+            let dst = Tables.Mft.dst mft in
+            if not (Tables.entry_dead dst ~now:nw) then
+              S.send t ~from:(S.source t) ~dst:dst.node ~kind:Pkt.Data payload;
+            List.iter
+              (fun (e : Tables.entry) ->
+                S.send t ~from:(S.source t) ~dst:e.node ~kind:Pkt.Data payload)
+              (Tables.Mft.receivers mft));
   }
 
+(* ---- Public API -------------------------------------------------------- *)
+
+let create ?config ?trace ?channel table ~source =
+  S.create ?config ?trace ?channel hooks table ~source
+
+let create_on ?config ?channel network ~source =
+  S.create_on ?config ?channel hooks network ~source
+
+let state t =
+  S.metrics_state t ~tables:(S.state t).router_tables ~sweep:Tables.sweep
+    ~mct_count:Tables.mct_count ~mft_count:Tables.mft_entry_count
+    ~is_branching:(fun tb -> Tables.is_branching tb (S.channel t))
+
 let branching_routers t =
-  Hashtbl.fold
-    (fun n tb acc ->
-      if Tables.is_branching tb t.channel && Topology.Graph.is_router t.graph n
-      then n :: acc
-      else acc)
-    t.router_tables []
-  |> List.sort compare
+  S.branching_routers t ~tables:(S.state t).router_tables
+    ~is_branching:(fun tb -> Tables.is_branching tb (S.channel t))
 
-let control_overhead t = (Net.counters t.network).Net.control_hops
-
-let source_table t = t.source_mft
+let source_table t = (S.state t).source_mft
 
 let router_tables t n =
-  match Hashtbl.find_opt t.router_tables n with
+  match Hashtbl.find_opt (S.state t).router_tables n with
   | Some tb -> tb
   | None ->
-      if n = t.source || not (Net.handled t.network n) then
+      if n = S.source t || not (Net.handled (S.network t) n) then
         invalid_arg
           (Printf.sprintf "Reunite.Protocol.router_tables: no agent at %d" n)
       else tables_of t n

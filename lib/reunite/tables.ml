@@ -1,36 +1,38 @@
-type deadlines = { t1 : float; t2 : float }
+module Ss = Proto.Softstate
 
-type entry = {
+type deadlines = Ss.deadlines = { t1 : float; t2 : float }
+
+type entry = Ss.entry = private {
   node : int;
+  seq : int;
+  mutable marked_until : float;
   mutable fresh_until : float;
   mutable expires_at : float;
 }
 
-let entry_stale e ~now = now >= e.fresh_until
-let entry_dead e ~now = now >= e.expires_at
-
-let fresh_entry dl ~now node =
-  { node; fresh_until = now +. dl.t1; expires_at = now +. dl.t2 }
+let entry_stale = Ss.entry_stale
+let entry_dead = Ss.entry_dead
 
 module Mft = struct
+  (* The dst slot is a detached softstate entry; the receiver entries
+     data is rewritten to live in a generic table. *)
   type t = {
     mutable dst : entry;
-    tbl : (int, entry) Hashtbl.t;
+    tbl : Ss.Table.t;
     mutable last_fork_epoch : int;
     mutable upstream : int;
   }
 
   let create dl ~now ~dst =
     {
-      dst = fresh_entry dl ~now dst;
-      tbl = Hashtbl.create 8;
+      dst = Ss.entry dl ~now dst;
+      tbl = Ss.Table.create ();
       last_fork_epoch = -1;
       upstream = -1;
     }
 
   let upstream t = t.upstream
   let set_upstream t n = t.upstream <- n
-
   let from_upstream t ~via = t.upstream = -1 || t.upstream = via
 
   let should_fork t ~epoch =
@@ -41,101 +43,61 @@ module Mft = struct
     else false
 
   let dst t = t.dst
+  let receivers t = Ss.Table.entries t.tbl
+  let receiver_nodes t = Ss.Table.nodes t.tbl
+  let mem t n = t.dst.node = n || Ss.Table.mem t.tbl n
 
-  let receivers t =
-    Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
-    |> List.sort (fun a b -> compare a.node b.node)
-
-  let receiver_nodes t = List.map (fun e -> e.node) (receivers t)
-
-  let mem t n = t.dst.node = n || Hashtbl.mem t.tbl n
-
-  let add_receiver t dl ~now n =
-    match Hashtbl.find_opt t.tbl n with
-    | Some e ->
-        e.fresh_until <- now +. dl.t1;
-        e.expires_at <- now +. dl.t2
-    | None -> Hashtbl.replace t.tbl n (fresh_entry dl ~now n)
+  let add_receiver t dl ~now n = ignore (Ss.Table.add_fresh t.tbl dl ~now n)
 
   let refresh t dl ~now n =
     if t.dst.node = n then begin
-      t.dst.fresh_until <- now +. dl.t1;
-      t.dst.expires_at <- now +. dl.t2;
+      Ss.refresh_entry t.dst dl ~now;
       true
     end
-    else
-      match Hashtbl.find_opt t.tbl n with
-      | Some e ->
-          e.fresh_until <- now +. dl.t1;
-          e.expires_at <- now +. dl.t2;
-          true
-      | None -> false
+    else Ss.Table.refresh t.tbl dl ~now n
 
-  let stale_dst t ~now = t.dst.fresh_until <- Float.min t.dst.fresh_until now
-
-  let expire t ~now =
-    let dead =
-      Hashtbl.fold
-        (fun n e acc -> if entry_dead e ~now then n :: acc else acc)
-        t.tbl []
-    in
-    List.iter (Hashtbl.remove t.tbl) dead
-
-  let dead t ~now =
-    entry_dead t.dst ~now
-    && Hashtbl.fold (fun _ e acc -> acc && entry_dead e ~now) t.tbl true
+  let stale_dst t ~now = Ss.force_stale t.dst ~now
+  let expire t ~now = Ss.Table.expire t.tbl ~now
+  let dead t ~now = entry_dead t.dst ~now && Ss.Table.all_dead t.tbl ~now
 
   let promote t ~now =
     if entry_dead t.dst ~now then begin
       expire t ~now;
       match receivers t with
       | e :: _ ->
-          Hashtbl.remove t.tbl e.node;
+          Ss.Table.remove t.tbl e.node;
           t.dst <- e;
           true
       | [] -> false
     end
     else false
 
-  let size t = 1 + Hashtbl.length t.tbl
+  let size t = 1 + Ss.Table.size t.tbl
 end
 
 (* Multi-entry control table: one entry per receiver whose flow is
    relayed through this router (Figure 3's R6 holds both r1 and r2).
-   Entries keep their install order — the oldest fresh entry becomes
-   the dst when a captured join turns the router into a branching
-   node. *)
+   Entries keep their install order — the generic table's sequence
+   numbers — and the oldest fresh entry becomes the dst when a
+   captured join turns the router into a branching node. *)
 module Mct = struct
-  type t = { mutable entries : entry list (* install order *) }
+  type t = Ss.Table.t
 
-  let create dl ~now target = { entries = [ fresh_entry dl ~now target ] }
+  let create dl ~now target =
+    let t = Ss.Table.create () in
+    ignore (Ss.Table.add_fresh t dl ~now target);
+    t
 
-  let live t ~now = List.filter (fun e -> not (entry_dead e ~now)) t.entries
+  let targets t ~now =
+    List.map (fun (e : entry) -> e.node) (Ss.Table.live_in_order t ~now)
 
-  let targets t ~now = List.map (fun e -> e.node) (live t ~now)
-
-  let mem t ~now target = List.exists (fun e -> e.node = target) (live t ~now)
-
-  let add t dl ~now target =
-    match List.find_opt (fun e -> e.node = target) t.entries with
-    | Some e ->
-        e.fresh_until <- now +. dl.t1;
-        e.expires_at <- now +. dl.t2
-    | None -> t.entries <- t.entries @ [ fresh_entry dl ~now target ]
-
-  let remove t target =
-    t.entries <- List.filter (fun e -> e.node <> target) t.entries
-
-  let first_fresh t ~now =
-    List.find_opt (fun e -> not (entry_stale e ~now)) (live t ~now)
-    |> Option.map (fun e -> e.node)
-
-  let expire t ~now =
-    t.entries <- List.filter (fun e -> not (entry_dead e ~now)) t.entries
-
-  let dead t ~now = live t ~now = []
-
-  let size t = List.length t.entries
+  let mem t ~now target = Ss.Table.mem_live t ~now target
+  let add t dl ~now target = ignore (Ss.Table.add_fresh t dl ~now target)
+  let remove t target = Ss.Table.remove t target
+  let first_fresh t ~now = Ss.Table.first_fresh t ~now
+  let expire t ~now = Ss.Table.expire t ~now
+  let dead t ~now = Ss.Table.all_dead t ~now
+  let size t = Ss.Table.size t
 end
 
 (* A router may hold control entries for transit flows alongside a
@@ -182,14 +144,12 @@ let sweep t ~now =
 
 let mct_count t =
   Mcast.Channel.Tbl.fold
-    (fun _ s acc ->
-      match s.mct with Some m -> acc + Mct.size m | None -> acc)
+    (fun _ s acc -> match s.mct with Some m -> acc + Mct.size m | None -> acc)
     t 0
 
 let mft_entry_count t =
   Mcast.Channel.Tbl.fold
-    (fun _ s acc ->
-      match s.mft with Some m -> acc + Mft.size m | None -> acc)
+    (fun _ s acc -> match s.mft with Some m -> acc + Mft.size m | None -> acc)
     t 0
 
 let is_branching t ch =

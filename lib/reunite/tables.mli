@@ -1,4 +1,5 @@
-(** REUNITE soft-state tables.
+(** REUNITE soft-state tables, as a vocabulary over the runtime's
+    generic {!Proto.Softstate} table.
 
     An MFT holds one [dst] entry (the first receiver that joined in
     the subtree — data arriving here is addressed to it) plus the
@@ -7,10 +8,12 @@
     no longer captures joins, which is what lets remaining receivers
     re-join closer to the source after a departure (Figure 2(c)). *)
 
-type deadlines = { t1 : float; t2 : float }
+type deadlines = Proto.Softstate.deadlines = { t1 : float; t2 : float }
 
-type entry = private {
+type entry = Proto.Softstate.entry = private {
   node : int;
+  seq : int;  (** table install order *)
+  mutable marked_until : float;  (** unused by REUNITE *)
   mutable fresh_until : float;
   mutable expires_at : float;
 }

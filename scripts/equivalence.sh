@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Output-equivalence oracle for the proto runtime port.
+#
+# Two seeded driver runs are pinned against goldens captured before the
+# refactor:
+#   * `hbh_sim faults --seed 42` is bit-identical (full output).
+#   * `hbh_sim scaling --large --sizes 50,200` is pinned on its
+#     deterministic projection: router count and SPF work columns plus
+#     the route-equivalence verdict.  Wall-clock columns (seconds,
+#     speedup, per-query ns) are excluded.
+#
+# Prints one `output-equivalence: <run> OK|MISMATCH` line per run and
+# exits nonzero on any mismatch.  CI greps for the OK lines.
+set -u
+cd "$(dirname "$0")/.."
+
+run() { dune exec bin/hbh_sim.exe -- "$@" 2>/dev/null; }
+
+status=0
+
+if run faults --seed 42 | diff -u test/golden/faults-seed42.golden -; then
+  echo "output-equivalence: faults OK"
+else
+  status=1
+  echo "output-equivalence: faults MISMATCH"
+fi
+
+if run scaling --large --sizes 50,200 \
+    | awk '$1 ~ /^[0-9]+$/ { print $1, $5, $6 } /route-equivalence/ { print }' \
+    | diff -u test/golden/scaling-large.golden -; then
+  echo "output-equivalence: scaling OK"
+else
+  status=1
+  echo "output-equivalence: scaling MISMATCH"
+fi
+
+exit $status

@@ -263,18 +263,22 @@ let test_chain_handlers () =
     [ "first"; "second" ] (List.rev !seen)
 
 let test_trace_capacity () =
-  let tr = Netsim.Trace.create ~enabled:true ~capacity:3 () in
+  let tr = Obs.Trace.create ~enabled:true ~capacity:3 () in
   for i = 1 to 5 do
-    Netsim.Trace.record tr ~time:(float_of_int i) ~node:0 (string_of_int i)
+    Obs.Trace.note tr ~time:(float_of_int i) ~node:0 (string_of_int i)
   done;
-  Alcotest.(check int) "bounded" 3 (Netsim.Trace.length tr);
-  let entries = Netsim.Trace.entries tr in
-  Alcotest.(check string) "oldest dropped" "3" (match entries with (_, _, m) :: _ -> m | [] -> "")
+  Alcotest.(check int) "bounded" 3 (Obs.Trace.length tr);
+  let first_summary =
+    match Obs.Trace.events tr with
+    | (e : Obs.Event.t) :: _ -> Obs.Event.summary e.kind
+    | [] -> ""
+  in
+  Alcotest.(check string) "oldest dropped" "3" first_summary
 
 let test_trace_disabled_is_free () =
-  let tr = Netsim.Trace.create () in
-  Netsim.Trace.record tr ~time:1.0 ~node:0 "x";
-  Alcotest.(check int) "nothing recorded" 0 (Netsim.Trace.length tr)
+  let tr = Obs.Trace.create () in
+  Obs.Trace.note tr ~time:1.0 ~node:0 "x";
+  Alcotest.(check int) "nothing recorded" 0 (Obs.Trace.length tr)
 
 let () =
   Alcotest.run "netsim"

@@ -228,8 +228,8 @@ let test_hbh_isp_run_reports () =
     | Some n -> n
     | None -> Alcotest.failf "counter %s missing from snapshot" name
   in
-  Alcotest.(check bool) "hbh.join_msgs > 0" true (counter "hbh.join_msgs" > 0);
-  Alcotest.(check bool) "hbh.tree_msgs > 0" true (counter "hbh.tree_msgs" > 0);
+  Alcotest.(check bool) "proto.hbh.join_msgs > 0" true (counter "proto.hbh.join_msgs" > 0);
+  Alcotest.(check bool) "proto.hbh.tree_msgs > 0" true (counter "proto.hbh.tree_msgs" > 0);
   Alcotest.(check int) "engine.events_fired counter tracks the engine"
     (Eventsim.Engine.events_fired (Hbh.Protocol.engine session))
     (counter "engine.events_fired")

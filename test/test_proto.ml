@@ -1,0 +1,178 @@
+(* Tests for the shared protocol runtime (lib/proto).
+
+   Two halves:
+
+   1. Unit tests for [Proto.Softstate] — the generic two-deadline
+      soft-state table: refresh ladders, timed marks, expiry sweeps and
+      install-order iteration.  (Added with the runtime itself.)
+
+   2. A seeded trace-equivalence oracle: on both paper topologies (ISP
+      and the 50-node random graph), each protocol runs a fixed
+      subscribe / converge / probe / crash / restart script and every
+      data delivery is folded into a digest.  The digests below were
+      captured BEFORE the protocols were ported onto [Proto.Session];
+      the port must not move a single packet. *)
+
+module Engine = Eventsim.Engine
+module Faults = Experiments.Faults
+module Common = Experiments.Common
+module Ss = Proto.Softstate
+
+(* ---- Softstate unit tests ---------------------------------------- *)
+
+let dl = { Ss.t1 = 10.0; t2 = 25.0 }
+
+let test_expiry_ladder () =
+  let tb = Ss.Table.create () in
+  let e = Ss.Table.add_fresh tb dl ~now:0.0 7 in
+  Alcotest.(check bool) "fresh before t1" false (Ss.entry_stale e ~now:9.9);
+  Alcotest.(check bool) "stale at t1" true (Ss.entry_stale e ~now:10.0);
+  Alcotest.(check bool) "not yet dead" false (Ss.entry_dead e ~now:24.9);
+  Alcotest.(check bool) "dead at t2" true (Ss.entry_dead e ~now:25.0);
+  Ss.Table.expire tb ~now:24.9;
+  Alcotest.(check int) "survives sweep before t2" 1 (Ss.Table.size tb);
+  Ss.Table.expire tb ~now:25.0;
+  Alcotest.(check int) "swept at t2" 0 (Ss.Table.size tb)
+
+let test_refresh_restarts_deadlines () =
+  let tb = Ss.Table.create () in
+  ignore (Ss.Table.add_fresh tb dl ~now:0.0 3);
+  Alcotest.(check bool) "refresh hits" true (Ss.Table.refresh tb dl ~now:20.0 3);
+  let e = Option.get (Ss.Table.find tb 3) in
+  Alcotest.(check bool) "fresh again" false (Ss.entry_stale e ~now:29.9);
+  Alcotest.(check bool) "t2 pushed out" false (Ss.entry_dead e ~now:44.9);
+  Alcotest.(check bool) "dies at the new t2" true (Ss.entry_dead e ~now:45.0);
+  Alcotest.(check bool) "refresh misses absent" false
+    (Ss.Table.refresh tb dl ~now:0.0 99)
+
+let test_stale_insert_keeps_t1_expired () =
+  let tb = Ss.Table.create () in
+  let e = Ss.Table.add_stale tb dl ~now:0.0 4 in
+  Alcotest.(check bool) "born stale" true (Ss.entry_stale e ~now:0.0);
+  ignore (Ss.Table.add_stale tb dl ~now:5.0 4);
+  Alcotest.(check bool) "re-add never downgrades t1" true
+    (Ss.entry_stale e ~now:5.0);
+  Alcotest.(check bool) "but t2 is refreshed" false (Ss.entry_dead e ~now:29.9)
+
+let test_timed_mark_decays () =
+  let tb = Ss.Table.create () in
+  let e = Ss.Table.add_fresh tb dl ~now:0.0 5 in
+  Alcotest.(check bool) "born unmarked" false (Ss.entry_marked e ~now:0.0);
+  Alcotest.(check bool) "mark hits" true (Ss.Table.mark tb dl ~now:0.0 5);
+  Alcotest.(check bool) "marked inside t1" true (Ss.entry_marked e ~now:9.9);
+  Alcotest.(check bool) "mark decays at t1" false (Ss.entry_marked e ~now:10.0);
+  Alcotest.(check (list int)) "data skips marked" []
+    (Ss.Table.data_targets tb ~now:5.0);
+  Alcotest.(check (list int)) "tree refresh keeps marked" [ 5 ]
+    (Ss.Table.fresh_targets tb ~now:5.0);
+  Alcotest.(check bool) "mark misses absent" false
+    (Ss.Table.mark tb dl ~now:0.0 99)
+
+let test_install_order_projections () =
+  let tb = Ss.Table.create () in
+  ignore (Ss.Table.add_fresh tb dl ~now:0.0 9);
+  ignore (Ss.Table.add_fresh tb dl ~now:1.0 2);
+  ignore (Ss.Table.add_fresh tb dl ~now:2.0 6);
+  Alcotest.(check (list int)) "nodes ascending" [ 2; 6; 9 ] (Ss.Table.nodes tb);
+  Alcotest.(check (list int)) "install order" [ 9; 2; 6 ]
+    (List.map (fun (e : Ss.entry) -> e.Ss.node) (Ss.Table.in_order tb));
+  Alcotest.(check (option int)) "oldest fresh" (Some 9)
+    (Ss.Table.first_fresh tb ~now:5.0);
+  Ss.Table.remove tb 9;
+  Alcotest.(check (option int)) "next oldest after removal" (Some 2)
+    (Ss.Table.first_fresh tb ~now:5.0)
+
+let softstate_tests =
+  [
+    Alcotest.test_case "stale at t1, dead at t2, swept" `Quick test_expiry_ladder;
+    Alcotest.test_case "refresh restarts both deadlines" `Quick
+      test_refresh_restarts_deadlines;
+    Alcotest.test_case "stale insert never downgrades t1" `Quick
+      test_stale_insert_keeps_t1_expired;
+    Alcotest.test_case "timed marks decay and gate data" `Quick
+      test_timed_mark_decays;
+    Alcotest.test_case "install-order projections" `Quick
+      test_install_order_projections;
+  ]
+
+(* ---- Seeded trace equivalence ------------------------------------ *)
+
+let probe_until = 700.0
+let horizon = 1000.0
+
+let fingerprint proto (config : Common.config) ~n =
+  let rng = Stats.Rng.create 42 in
+  let s =
+    Workload.Scenario.make rng config.graph ~source:config.source
+      ~candidates:config.candidates ~n
+  in
+  let receivers = List.sort compare s.Workload.Scenario.receivers in
+  let crash_node =
+    Faults.pick_crash_router s.Workload.Scenario.table
+      ~source:s.Workload.Scenario.source ~receivers
+  in
+  let link =
+    Faults.pick_tree_link s.Workload.Scenario.table
+      ~source:s.Workload.Scenario.source ~receivers
+  in
+  let ops =
+    Faults.ops_of proto
+      (Topology.Graph.copy config.graph)
+      ~source:s.Workload.Scenario.source
+  in
+  let buf = Buffer.create 4096 in
+  ops.Faults.install_delivery (fun ~now ~receiver ~seq ->
+      Buffer.add_string buf (Printf.sprintf "%.6f:%d:%d;" now receiver seq));
+  List.iter ops.Faults.subscribe receivers;
+  ops.Faults.converge ();
+  let t0 = Engine.now ops.Faults.engine in
+  ignore
+    (Eventsim.Timer.every ~tag:"proto.test.probe" ops.Faults.engine ~start:0.0
+       ~period:50.0 (fun () ->
+         if Engine.now ops.Faults.engine -. t0 <= probe_until then
+           ignore (ops.Faults.send_probe ())));
+  ops.Faults.install_plan ~seed:42 (Faults.plan_of Faults.Crash ~crash_node ~link);
+  ops.Faults.run_until (t0 +. horizon);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Delivery digests pinned from the pre-port protocol stacks. *)
+let pinned =
+  [
+    ("HBH/isp", "551aa82a7f9efa03b0281858fc026e43");
+    ("REUNITE/isp", "ee27797b75ab575901a4dc7114460b89");
+    ("PIM-SSM/isp", "38bb2b3e8257dd584c05a587eba39fc2");
+    ("HBH/rand50", "95886c1b4570958ca1bda9c7857fef69");
+    ("REUNITE/rand50", "22bf739acf5665ab24e0d26777401740");
+    ("PIM-SSM/rand50", "7438e27eea86080251f6f390e3377698");
+  ]
+
+let check_fingerprint proto config ~topo ~n () =
+  let key = Printf.sprintf "%s/%s" (Faults.proto_name proto) topo in
+  let got = fingerprint proto config ~n in
+  Alcotest.(check string) key (List.assoc key pinned) got
+
+let equivalence_tests =
+  let isp = Common.isp_config () in
+  let rand50 = Common.rand50_config ~seed:42 in
+  List.map
+    (fun (proto, config, topo, n) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s deliveries unchanged on %s" (Faults.proto_name proto)
+           topo)
+        `Quick
+        (check_fingerprint proto config ~topo ~n))
+    [
+      (Faults.P_hbh, isp, "isp", 8);
+      (Faults.P_reunite, isp, "isp", 8);
+      (Faults.P_pim_ssm, isp, "isp", 8);
+      (Faults.P_hbh, rand50, "rand50", 15);
+      (Faults.P_reunite, rand50, "rand50", 15);
+      (Faults.P_pim_ssm, rand50, "rand50", 15);
+    ]
+
+let () =
+  Alcotest.run "proto"
+    [
+      ("softstate", softstate_tests);
+      ("trace-equivalence", equivalence_tests);
+    ]
