@@ -95,6 +95,26 @@ let event_convergence () =
     Hbh.Protocol.converge session;
     ignore (Hbh.Protocol.probe session)
 
+(* Checkpoint/restore: the explorer's inner loop.  One iteration
+   snapshots the whole stack (protocol soft state + network + event
+   queue + injector world state) and immediately rewinds to it — the
+   price the verifier pays per branch instead of re-running a
+   prefix. *)
+let verif_snapshot_roundtrip () =
+  let graph = Topology.Isp.create () in
+  let sut =
+    Verif.Sut.make ~candidates:Topology.Isp.receiver_hosts Verif.Sut.Hbh
+      (Routing.Table.compute graph)
+      ~source:Topology.Isp.source
+  in
+  List.iter
+    (fun m -> Verif.Scenario.apply sut (Verif.Scenario.Join m))
+    [ 19; 28; 33 ];
+  ignore (Verif.Scenario.quiesce sut);
+  fun () ->
+    let restore = sut.Verif.Sut.save () in
+    restore ()
+
 (* Telemetry substrate: these two must stay in the low nanoseconds —
    the counters are always-on in the protocol hot paths, and notef on
    an inactive trace must not pay for formatting. *)
@@ -196,6 +216,8 @@ let tests () =
               Pim.Pim_ss.build s.table ~source:s.source ~receivers:s.receivers)));
     Test.make ~name:"HBH event protocol converge+probe (fig 2 topology)"
       (Staged.stage (event_convergence ()));
+    Test.make ~name:"verif: checkpoint+restore (ISP HBH, 3 members)"
+      (Staged.stage (verif_snapshot_roundtrip ()));
     Test.make ~name:"obs: counter incr (always-on hot path)"
       (Staged.stage (obs_counter_incr ()));
     Test.make ~name:"obs: notef on inactive trace"

@@ -69,6 +69,22 @@ module S = Proto.Session.Make (struct
       tree_emit_at = Hashtbl.create 16;
       data_seen = Hashtbl.create 16;
     }
+
+  let copy_tbl copy_v src =
+    let c = Hashtbl.create (max 8 (Hashtbl.length src)) in
+    Hashtbl.iter (fun k v -> Hashtbl.replace c k (copy_v v)) src;
+    c
+
+  let copy_state st =
+    {
+      deadlines = st.deadlines;
+      router_tables = copy_tbl Tables.copy st.router_tables;
+      source_mft = Tables.Mft.copy st.source_mft;
+      member_last_seen = copy_tbl (fun r -> ref !r) st.member_last_seen;
+      member_first = copy_tbl (fun r -> ref !r) st.member_first;
+      tree_emit_at = copy_tbl Fun.id st.tree_emit_at;
+      data_seen = copy_tbl Fun.id st.data_seen;
+    }
 end)
 
 (* The session IS the public API surface; only [create]/[create_on]
@@ -425,3 +441,7 @@ let router_tables t n =
 let branching_routers t =
   S.branching_routers t ~tables:(S.state t).router_tables
     ~is_branching:(fun tb -> Tables.is_branching tb (S.channel t))
+
+let all_tables t =
+  Hashtbl.fold (fun n tb acc -> (n, tb) :: acc) (S.state t).router_tables []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -103,5 +103,20 @@ val source_table : t -> Tables.Mft.t
 
 val branching_routers : t -> int list
 
+val all_tables : t -> (int * Tables.t) list
+(** Every router's table set, ascending by node (the verification
+    layer's state-digest input).  The source is not included; read its
+    table via {!source_table}. *)
+
 val control_overhead : t -> int
 (** Control-message link traversals so far. *)
+
+(** {1 Checkpoint / restore}
+
+    See {!Proto.Session.Make.snapshot}: captures protocol soft state,
+    membership and the whole underlying network/engine. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

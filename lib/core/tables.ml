@@ -34,6 +34,8 @@ module Mct = struct
   let dead t ~now = entry_dead t.e ~now
   let refresh t dl ~now = Ss.refresh_entry t.e dl ~now
   let replace t dl ~now target = t.e <- Ss.entry dl ~now target
+  let entry t = t.e
+  let copy t = { e = Ss.copy_entry t.e }
 end
 
 type channel_state =
@@ -86,3 +88,17 @@ let mft_entry_count t =
 
 let is_branching t ch =
   match find t ch with Forwarding _ -> true | No_state | Control _ -> false
+
+let copy (t : t) : t =
+  let c = Mcast.Channel.Tbl.create (max 4 (Mcast.Channel.Tbl.length t)) in
+  Mcast.Channel.Tbl.iter
+    (fun ch state ->
+      let state' =
+        match state with
+        | No_state -> No_state
+        | Control m -> Control (Mct.copy m)
+        | Forwarding m -> Forwarding (Mft.copy m)
+      in
+      Mcast.Channel.Tbl.replace c ch state')
+    t;
+  c

@@ -81,6 +81,9 @@ module Mft : sig
       node — for inspection and tests. *)
 
   val size : t -> int
+
+  val copy : t -> t
+  (** Deep copy (independent entries) — checkpoint support. *)
 end
 
 (** {1 Multicast control table (non-branching routers)} *)
@@ -97,6 +100,12 @@ module Mct : sig
   val dead : t -> now:float -> bool
   val refresh : t -> deadlines -> now:float -> unit
   val replace : t -> deadlines -> now:float -> int -> unit
+
+  val entry : t -> entry
+  (** The single underlying entry — for inspection (state digests). *)
+
+  val copy : t -> t
+  (** Deep copy — checkpoint support. *)
 end
 
 (** {1 Per-channel state of one router} *)
@@ -119,3 +128,6 @@ val channels : t -> Mcast.Channel.t list
 val mct_count : t -> int
 val mft_entry_count : t -> int
 val is_branching : t -> Mcast.Channel.t -> bool
+
+val copy : t -> t
+(** Deep copy of every channel's state — checkpoint support. *)

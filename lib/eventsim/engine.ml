@@ -108,6 +108,45 @@ let run ?until ?max_events t =
 
 let events_fired t = t.fired
 
+let pending_with_tag t tag =
+  let n = ref 0 in
+  Heap.iter (fun h -> if (not h.cancelled) && h.tag = tag then incr n) t.queue;
+  !n
+
+(* ---- Checkpoint / restore --------------------------------------------- *)
+
+(* Handle records are shared between the queue and whoever scheduled
+   them (timers keep theirs to cancel later), so a snapshot saves each
+   pending handle's [cancelled] flag alongside the queue itself and a
+   restore resets the flags in place — the shared references then
+   observe the restored state.  Profiling aggregates are deliberately
+   not restored: they are observability, not simulation state. *)
+type snapshot = {
+  s_clock : float;
+  s_seq : int;
+  s_fired : int;
+  s_queue : handle Heap.t;
+  s_flags : (handle * bool) list;
+}
+
+let snapshot t =
+  let flags = ref [] in
+  Heap.iter (fun h -> flags := (h, h.cancelled) :: !flags) t.queue;
+  {
+    s_clock = t.clock;
+    s_seq = t.seq;
+    s_fired = t.fired;
+    s_queue = Heap.snapshot t.queue;
+    s_flags = !flags;
+  }
+
+let restore t s =
+  t.clock <- s.s_clock;
+  t.seq <- s.s_seq;
+  t.fired <- s.s_fired;
+  Heap.restore t.queue s.s_queue;
+  List.iter (fun (h, c) -> h.cancelled <- c) s.s_flags
+
 type tag_profile = { fired : int; sim_time : Obs.Histo.snapshot }
 
 type profile = {

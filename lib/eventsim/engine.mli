@@ -49,6 +49,30 @@ val events_fired : t -> int
     {!Obs.Metrics.default}, aggregating across all engines in the
     process. *)
 
+val pending_with_tag : t -> string -> int
+(** Queued, non-cancelled events carrying the given tag (O(pending) —
+    the verification layer uses it to find instants with no in-flight
+    packets). *)
+
+(** {1 Checkpoint / restore}
+
+    A snapshot captures the clock, the scheduling sequence counter,
+    the fired count, the full event queue (closures shared, heap
+    order and FIFO tie-breaks preserved) and each pending event's
+    cancellation flag.  Restoring puts all of that back — including
+    the flags, reset {e in place} on the shared handle records, so
+    references held outside the queue (timers) observe the restored
+    state.  Events scheduled after the snapshot simply disappear.
+    Profiling aggregates are observability, not simulation state, and
+    are not restored. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** A snapshot may be restored any number of times. *)
+
 (** {1 Profiling}
 
     Opt-in per-callback-tag accounting: when enabled, each fired

@@ -76,3 +76,19 @@ let pop h =
 let clear h =
   Array.fill h.arr 0 h.size None;
   h.size <- 0
+
+let iter f h =
+  for i = 0 to h.size - 1 do
+    f (get h i).value
+  done
+
+(* Entries are immutable records, so a copy of the live prefix of the
+   slot array is a complete checkpoint of the queue (heap shape, keys
+   and FIFO tie-break sequence numbers included). *)
+let snapshot h = { arr = Array.sub h.arr 0 h.size; size = h.size }
+
+let restore h s =
+  (* Copy again so one snapshot supports any number of restores even
+     after later heap operations shuffle the array in place. *)
+  h.arr <- Array.sub s.arr 0 s.size;
+  h.size <- s.size

@@ -25,3 +25,15 @@ val pop : 'a t -> (float * int * 'a) option
 val clear : 'a t -> unit
 (** Empties the heap and releases every held value (capacity is
     kept). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Visit every queued value, in unspecified (array) order. *)
+
+val snapshot : 'a t -> 'a t
+(** A detached checkpoint of the queue: heap order, keys and
+    tie-break sequence numbers are all preserved.  Values are shared,
+    not copied. *)
+
+val restore : 'a t -> 'a t -> unit
+(** [restore h s] resets [h] to the state captured by [snapshot]
+    ([s]); the snapshot stays valid for further restores. *)

@@ -88,6 +88,24 @@ let feed t =
       end
   | Periodic _ | Oneshot -> ()
 
+(* A timer's whole mutable footprint.  The saved handle is the one
+   whose event sits in the engine queue at snapshot time; restoring it
+   alongside an [Engine.restore] means a later [stop] cancels exactly
+   the pending event again. *)
+type snap = {
+  s_handle : Engine.handle option;
+  s_stopped : bool;
+  s_deadline : float;
+}
+
+let save t =
+  { s_handle = t.handle; s_stopped = t.stopped; s_deadline = t.deadline }
+
+let restore t s =
+  t.handle <- s.s_handle;
+  t.stopped <- s.s_stopped;
+  t.deadline <- s.s_deadline
+
 let stop t =
   t.stopped <- true;
   match t.handle with

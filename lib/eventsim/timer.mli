@@ -26,3 +26,16 @@ val stop : t -> unit
 (** Idempotent; the timer never fires again. *)
 
 val active : t -> bool
+
+(** {1 Checkpoint / restore}
+
+    A timer's mutable footprint (stopped flag, watchdog deadline,
+    current engine handle).  Only meaningful together with
+    {!Engine.snapshot}/{!Engine.restore} of the engine the timer runs
+    on: the saved handle refers to the event pending at snapshot
+    time. *)
+
+type snap
+
+val save : t -> snap
+val restore : t -> snap -> unit

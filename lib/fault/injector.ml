@@ -19,6 +19,10 @@ type 'p t = {
      link that was also failed explicitly. *)
   causes : (int * int, int) Hashtbl.t;
   crashed : (int, unit) Hashtbl.t;
+  (* Membership hooks: how Join/Leave directives reach the protocol
+     session (the injector is protocol-agnostic). *)
+  mutable subscribe : (int -> unit) option;
+  mutable unsubscribe : (int -> unit) option;
 }
 
 let create ?seed net =
@@ -30,9 +34,15 @@ let create ?seed net =
     graph = Net.graph net;
     causes = Hashtbl.create 16;
     crashed = Hashtbl.create 8;
+    subscribe = None;
+    unsubscribe = None;
   }
 
 let network t = t.net
+
+let set_membership t ~subscribe ~unsubscribe =
+  t.subscribe <- Some subscribe;
+  t.unsubscribe <- Some unsubscribe
 
 let canon u v = if u <= v then (u, v) else (v, u)
 
@@ -106,6 +116,33 @@ let apply t (action : Plan.action) =
   | Plan.Heal { island } ->
       List.iter (fun (u, v) -> remove_cause t u v) (cut_links t.graph island)
   | Plan.Reconverge -> ignore (reconverge t.net)
+  | Plan.Join { member } -> (
+      match t.subscribe with
+      | Some f -> f member
+      | None ->
+          invalid_arg "Fault.Injector: Join directive without membership hooks")
+  | Plan.Leave { member } -> (
+      match t.unsubscribe with
+      | Some f -> f member
+      | None ->
+          invalid_arg "Fault.Injector: Leave directive without membership hooks")
+
+(* The cause refcounts and crashed set are part of the world state:
+   checkpointing explorers must save them alongside the network, or a
+   restored branch sees stale causes and re-applied crash/link
+   directives silently no-op. *)
+type snap = {
+  s_causes : (int * int, int) Hashtbl.t;
+  s_crashed : (int, unit) Hashtbl.t;
+}
+
+let save t = { s_causes = Hashtbl.copy t.causes; s_crashed = Hashtbl.copy t.crashed }
+
+let restore t s =
+  Hashtbl.reset t.causes;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.causes k v) s.s_causes;
+  Hashtbl.reset t.crashed;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.crashed k v) s.s_crashed
 
 let schedule t plan =
   let engine = Net.engine t.net in

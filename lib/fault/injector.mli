@@ -23,9 +23,29 @@ val schedule : 'p t -> Plan.t -> unit
     now.  May be called repeatedly (e.g. to append a repair phase). *)
 
 val apply : 'p t -> Plan.action -> unit
-(** Apply one action immediately at the current simulated time. *)
+(** Apply one action immediately at the current simulated time.
+    Raises [Invalid_argument] on a {!Plan.Join}/{!Plan.Leave} action
+    when no membership hooks are installed. *)
+
+val set_membership :
+  'p t -> subscribe:(int -> unit) -> unsubscribe:(int -> unit) -> unit
+(** Wire {!Plan.Join}/{!Plan.Leave} directives to a protocol session's
+    membership calls, making churn expressible in a plan. *)
 
 val network : 'p t -> 'p Netsim.Network.t
+
+(** {1 Checkpoint / restore}
+
+    The down-cause refcounts and crashed set are world state: a
+    checkpointing explorer ({!Netsim.Network.snapshot}) must carry
+    them along, or a restored branch sees stale causes and re-applied
+    crash/link directives silently no-op. *)
+
+type snap
+
+val save : 'p t -> snap
+val restore : 'p t -> snap -> unit
+(** A [snap] may be restored any number of times. *)
 
 val reconverge : 'p Netsim.Network.t -> int
 (** Reconverge the unicast forwarding plane onto the current topology

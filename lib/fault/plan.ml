@@ -8,6 +8,8 @@ type action =
   | Partition of { island : int list }
   | Heal of { island : int list }
   | Reconverge
+  | Join of { member : int }
+  | Leave of { member : int }
 
 type directive = { at : float; action : action }
 
@@ -19,7 +21,9 @@ let validate_action = function
         invalid_arg (Printf.sprintf "Fault.Plan: loss rate %g outside [0,1]" rate)
   | Partition { island } | Heal { island } ->
       if island = [] then invalid_arg "Fault.Plan: empty partition island"
-  | Link_down _ | Link_up _ | Crash _ | Restart _ | Reconverge -> ()
+  | Link_down _ | Link_up _ | Crash _ | Restart _ | Reconverge | Join _
+  | Leave _ ->
+      ()
 
 let make directives =
   List.iter
@@ -53,8 +57,83 @@ let pp_action ppf = function
       Format.fprintf ppf "heal [%s]"
         (String.concat "," (List.map string_of_int island))
   | Reconverge -> Format.fprintf ppf "reconverge"
+  | Join { member } -> Format.fprintf ppf "join %d" member
+  | Leave { member } -> Format.fprintf ppf "leave %d" member
 
 let pp ppf t =
   List.iter
     (fun d -> Format.fprintf ppf "@%g %a@." d.at pp_action d.action)
     t
+
+(* ---- Replayable text form --------------------------------------------- *)
+
+(* One directive per line, [@<time> <action> <args...>]; blank lines
+   and [#] comments are ignored on parse.  This is the on-disk format
+   of the golden counterexample fixtures, so it must round-trip. *)
+
+let action_to_string = function
+  | Loss { u; v; rate } -> Printf.sprintf "loss %d %d %g" u v rate
+  | Loss_all { rate } -> Printf.sprintf "loss-all %g" rate
+  | Link_down { u; v } -> Printf.sprintf "link-down %d %d" u v
+  | Link_up { u; v } -> Printf.sprintf "link-up %d %d" u v
+  | Crash { node } -> Printf.sprintf "crash %d" node
+  | Restart { node } -> Printf.sprintf "restart %d" node
+  | Partition { island } ->
+      "partition " ^ String.concat "," (List.map string_of_int island)
+  | Heal { island } ->
+      "heal " ^ String.concat "," (List.map string_of_int island)
+  | Reconverge -> "reconverge"
+  | Join { member } -> Printf.sprintf "join %d" member
+  | Leave { member } -> Printf.sprintf "leave %d" member
+
+let to_string t =
+  String.concat ""
+    (List.map
+       (fun d -> Printf.sprintf "@%g %s\n" d.at (action_to_string d.action))
+       t)
+
+let parse_island s = List.map int_of_string (String.split_on_char ',' s)
+
+let parse_action s =
+  match String.split_on_char ' ' s with
+  | [ "loss"; u; v; r ] ->
+      Loss
+        { u = int_of_string u; v = int_of_string v; rate = float_of_string r }
+  | [ "loss-all"; r ] -> Loss_all { rate = float_of_string r }
+  | [ "link-down"; u; v ] ->
+      Link_down { u = int_of_string u; v = int_of_string v }
+  | [ "link-up"; u; v ] -> Link_up { u = int_of_string u; v = int_of_string v }
+  | [ "crash"; n ] -> Crash { node = int_of_string n }
+  | [ "restart"; n ] -> Restart { node = int_of_string n }
+  | [ "partition"; island ] -> Partition { island = parse_island island }
+  | [ "heal"; island ] -> Heal { island = parse_island island }
+  | [ "reconverge" ] -> Reconverge
+  | [ "join"; m ] -> Join { member = int_of_string m }
+  | [ "leave"; m ] -> Leave { member = int_of_string m }
+  | _ -> failwith "unknown action"
+
+let parse_directive line =
+  if String.length line < 2 || line.[0] <> '@' then failwith "missing @time";
+  match String.index_opt line ' ' with
+  | None -> failwith "missing action"
+  | Some i ->
+      let at = float_of_string (String.sub line 1 (i - 1)) in
+      let action =
+        parse_action (String.sub line (i + 1) (String.length line - i - 1))
+      in
+      (at, action)
+
+let of_string s =
+  let directives =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then None
+           else
+             match parse_directive line with
+             | d -> Some d
+             | exception (Failure msg | Invalid_argument msg) ->
+                 invalid_arg
+                   (Printf.sprintf "Fault.Plan.of_string: %s in %S" msg line))
+  in
+  make directives

@@ -26,6 +26,12 @@ type action =
           topology and notify the protocols — explicit routing
           reconvergence (also available automatically after a delay,
           see {!Injector.install}). *)
+  | Join of { member : int }
+      (** A receiver subscribes to the channel.  Requires membership
+          hooks ({!Injector.set_membership}); the verification layer's
+          scenarios use this so a whole counterexample — churn
+          included — is one replayable plan. *)
+  | Leave of { member : int }  (** A receiver unsubscribes. *)
 
 type directive = { at : float; action : action }
 
@@ -42,3 +48,14 @@ val duration : t -> float
 
 val pp_action : Format.formatter -> action -> unit
 val pp : Format.formatter -> t -> unit
+
+(** {1 Replayable text form}
+
+    One directive per line, [@<time> <action> <args...>]; blank lines
+    and [#] comments are ignored on parse.  The on-disk format of the
+    golden counterexample fixtures: [of_string (to_string p)] is [p]. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Raises [Invalid_argument] on a malformed line. *)

@@ -63,6 +63,13 @@ type 'p t = {
      targeted invalidation; any restore forces a full one. *)
   mutable pending_down : (int * int) list;
   mutable pending_restore : bool;
+  (* In-flight registry: every scheduled hop records the packet its
+     queued closure will read on arrival, keyed by a fresh id the
+     closure removes before delivering.  Packets are mutable (ttl,
+     via), so a checkpoint must capture — and a restore rewind — the
+     fields of exactly the packets sitting in the event queue. *)
+  inflight : (int, 'p Packet.t) Hashtbl.t;
+  mutable flight_seq : int;
 }
 
 and 'p handler = 'p t -> int -> 'p Packet.t -> verdict
@@ -120,6 +127,8 @@ let create ?(default_ttl = 255) ?trace engine table =
     delivery_listeners = [];
     pending_down = [];
     pending_restore = false;
+    inflight = Hashtbl.create 32;
+    flight_seq = 0;
   }
 
 let engine t = t.engine
@@ -315,7 +324,16 @@ let tally_link t (p : 'p Packet.t) u v =
          { next = v; dst = p.dst; data = p.kind = Packet.Data })
 
 (* Arrival of [p] at [node]; may consume, deliver or forward. *)
-let rec arrive t node (p : 'p Packet.t) =
+let rec hop t ~delay ~next (p : 'p Packet.t) =
+  let id = t.flight_seq in
+  t.flight_seq <- id + 1;
+  Hashtbl.replace t.inflight id p;
+  ignore
+    (Eventsim.Engine.schedule ~tag:"net.hop" t.engine ~delay (fun () ->
+         Hashtbl.remove t.inflight id;
+         arrive t next p))
+
+and arrive t node (p : 'p Packet.t) =
   if t.faults_on && not (node_up t node) then
     (* A crashed node neither delivers, consumes nor forwards. *)
     fault_drop t ~at:node ~next:node Node_failed p
@@ -371,9 +389,7 @@ and transmit t node (p : 'p Packet.t) =
           p.Packet.via <- node;
           tally_link t p node next;
           let delay = Topology.Graph.delay t.graph node next in
-          ignore
-            (Eventsim.Engine.schedule ~tag:"net.hop" t.engine ~delay (fun () ->
-                 arrive t next p))
+          hop t ~delay ~next p
         end
 
 (* Decide whether the [node -> next] traversal is killed by an
@@ -409,11 +425,7 @@ let originate t ~src ~dst ~kind payload =
   | Packet.Data -> t.c.m_originated_data <- t.c.m_originated_data + 1
   | Packet.Control ->
       t.c.m_originated_control <- t.c.m_originated_control + 1);
-  if dst = src then
-    ignore
-      (Eventsim.Engine.schedule ~tag:"net.hop" t.engine ~delay:0.0 (fun () ->
-           arrive t src p))
-  else transmit t src p
+  if dst = src then hop t ~delay:0.0 ~next:src p else transmit t src p
 
 let emit t ~at (p : 'p Packet.t) =
   (match p.kind with
@@ -425,11 +437,7 @@ let emit t ~at (p : 'p Packet.t) =
   if Obs.Trace.active t.trace && Obs.Trace.verbose t.trace then
     Obs.Trace.event t.trace ~time:(now t) ~node:at
       (Obs.Event.Packet_duplicate { dst = p.dst; data = p.kind = Packet.Data });
-  if p.dst = at then
-    ignore
-      (Eventsim.Engine.schedule ~tag:"net.hop" t.engine ~delay:0.0 (fun () ->
-           arrive t at p))
-  else transmit t at p
+  if p.dst = at then hop t ~delay:0.0 ~next:at p else transmit t at p
 
 let counters t =
   {
@@ -457,3 +465,127 @@ let data_deliveries t = List.rev t.deliveries_rev
 let reset_data_accounting t =
   Hashtbl.reset t.data_loads;
   t.deliveries_rev <- []
+
+(* ---- Checkpoint / restore --------------------------------------------- *)
+
+type 'p snapshot = {
+  s_engine : Eventsim.Engine.snapshot;
+  s_links : Topology.Graph.link_state;
+  s_counters : mut_counters;
+  s_handlers : (int, 'p handler) Hashtbl.t;
+  s_sinks : (int, unit) Hashtbl.t;
+  s_data_loads : (int * int, int) Hashtbl.t;
+  s_deliveries_rev : (int * float) list;
+  s_faults_on : bool;
+  s_loss : (int * int, float) Hashtbl.t;
+  s_default_loss : float;
+  s_down_nodes : (int, unit) Hashtbl.t;
+  s_fault_rng : Stats.Rng.t option;
+  s_drop_filter : ('p Packet.t -> bool) option;
+  s_node_listeners : (up:bool -> int -> unit) list;
+  s_route_listeners : (unit -> unit) list;
+  s_delivery_listeners : (now:float -> node:int -> 'p Packet.t -> unit) list;
+  s_inflight : (int * 'p Packet.t * int * int) list; (* id, pkt, ttl, via *)
+  s_flight_seq : int;
+}
+
+let copy_counters c =
+  {
+    m_originated_data = c.m_originated_data;
+    m_originated_control = c.m_originated_control;
+    m_data_hops = c.m_data_hops;
+    m_control_hops = c.m_control_hops;
+    m_deliveries = c.m_deliveries;
+    m_consumed = c.m_consumed;
+    m_dropped_ttl = c.m_dropped_ttl;
+    m_dropped_unreachable = c.m_dropped_unreachable;
+    m_dropped_loss = c.m_dropped_loss;
+    m_dropped_link_down = c.m_dropped_link_down;
+    m_dropped_node_down = c.m_dropped_node_down;
+    m_dropped_filtered = c.m_dropped_filtered;
+    m_sunk_at_dst = c.m_sunk_at_dst;
+  }
+
+let blit_counters ~from ~into =
+  into.m_originated_data <- from.m_originated_data;
+  into.m_originated_control <- from.m_originated_control;
+  into.m_data_hops <- from.m_data_hops;
+  into.m_control_hops <- from.m_control_hops;
+  into.m_deliveries <- from.m_deliveries;
+  into.m_consumed <- from.m_consumed;
+  into.m_dropped_ttl <- from.m_dropped_ttl;
+  into.m_dropped_unreachable <- from.m_dropped_unreachable;
+  into.m_dropped_loss <- from.m_dropped_loss;
+  into.m_dropped_link_down <- from.m_dropped_link_down;
+  into.m_dropped_node_down <- from.m_dropped_node_down;
+  into.m_dropped_filtered <- from.m_dropped_filtered;
+  into.m_sunk_at_dst <- from.m_sunk_at_dst
+
+let snapshot t =
+  (* A checkpoint inside the routing detection-lag window cannot be
+     captured: the table caches stale next hops against an older graph
+     that a restore could not reproduce.  Callers reconverge first. *)
+  if t.pending_down <> [] || t.pending_restore then
+    invalid_arg
+      "Network.snapshot: pending topology change; call reconverge first";
+  {
+    s_engine = Eventsim.Engine.snapshot t.engine;
+    s_links = Topology.Graph.save_links t.graph;
+    s_counters = copy_counters t.c;
+    s_handlers = Hashtbl.copy t.handlers;
+    s_sinks = Hashtbl.copy t.sinks;
+    s_data_loads = Hashtbl.copy t.data_loads;
+    s_deliveries_rev = t.deliveries_rev;
+    s_faults_on = t.faults_on;
+    s_loss = Hashtbl.copy t.loss;
+    s_default_loss = t.default_loss;
+    s_down_nodes = Hashtbl.copy t.down_nodes;
+    s_fault_rng = Option.map Stats.Rng.copy t.fault_rng;
+    s_drop_filter = t.drop_filter;
+    s_node_listeners = t.node_listeners;
+    s_route_listeners = t.route_listeners;
+    s_delivery_listeners = t.delivery_listeners;
+    s_inflight =
+      Hashtbl.fold
+        (fun id p acc -> (id, p, p.Packet.ttl, p.Packet.via) :: acc)
+        t.inflight [];
+    s_flight_seq = t.flight_seq;
+  }
+
+let restore_tbl dst src =
+  Hashtbl.reset dst;
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
+
+let restore t s =
+  Eventsim.Engine.restore t.engine s.s_engine;
+  Topology.Graph.restore_links t.graph s.s_links;
+  blit_counters ~from:s.s_counters ~into:t.c;
+  restore_tbl t.handlers s.s_handlers;
+  restore_tbl t.sinks s.s_sinks;
+  restore_tbl t.data_loads s.s_data_loads;
+  t.deliveries_rev <- s.s_deliveries_rev;
+  t.faults_on <- s.s_faults_on;
+  restore_tbl t.loss s.s_loss;
+  t.default_loss <- s.s_default_loss;
+  restore_tbl t.down_nodes s.s_down_nodes;
+  (* Copy in this direction too, so one snapshot supports repeated
+     restores with identical draws each time. *)
+  t.fault_rng <- Option.map Stats.Rng.copy s.s_fault_rng;
+  t.drop_filter <- s.s_drop_filter;
+  t.node_listeners <- s.s_node_listeners;
+  t.route_listeners <- s.s_route_listeners;
+  t.delivery_listeners <- s.s_delivery_listeners;
+  Hashtbl.reset t.inflight;
+  List.iter
+    (fun (id, p, ttl, via) ->
+      p.Packet.ttl <- ttl;
+      p.Packet.via <- via;
+      Hashtbl.replace t.inflight id p)
+    s.s_inflight;
+  t.flight_seq <- s.s_flight_seq;
+  t.pending_down <- [];
+  t.pending_restore <- false;
+  (* The snapshot was taken at a routing-converged point (enforced
+     above); a full invalidation is the identity there, and it frees
+     any cache built against post-snapshot topology. *)
+  Routing.Table.invalidate_all t.table

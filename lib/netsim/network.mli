@@ -184,3 +184,26 @@ val data_deliveries : 'p t -> (int * float) list
 val reset_data_accounting : 'p t -> unit
 (** Clears link loads and deliveries (not the global counters): call
     before injecting a probe packet to measure one distribution. *)
+
+(** {1 Checkpoint / restore}
+
+    A snapshot captures the whole simulation state reachable from the
+    network: the engine (clock and event queue), the topology's
+    mutable link state, the accounting counters, handler/sink/fault
+    tables, the fault RNG (copied, so restored runs redraw the same
+    losses), and the mutable [ttl]/[via] fields of every in-flight
+    packet referenced by a queued hop event.  Restoring rewinds all of
+    it in place and invalidates the routing cache (the snapshot point
+    is routing-converged, so that is the identity there).  Trace and
+    {!Obs.Metrics} output are observability, not simulation state, and
+    are not rewound.  One snapshot may be restored any number of
+    times. *)
+
+type 'p snapshot
+
+val snapshot : 'p t -> 'p snapshot
+(** Raises [Invalid_argument] if a topology change is pending
+    ({!set_link_up} since the last {!reconverge}): the stale-route
+    detection-lag window cannot be captured — reconverge first. *)
+
+val restore : 'p t -> 'p snapshot -> unit

@@ -65,6 +65,11 @@ module S = Proto.Session.Make (struct
       oifs = Hashtbl.create 64;
       data_seen = Hashtbl.create 64;
     }
+
+  let copy_state st =
+    let oifs = Hashtbl.create (max 8 (Hashtbl.length st.oifs)) in
+    Hashtbl.iter (fun n tbl -> Hashtbl.replace oifs n (Ss.Table.copy tbl)) st.oifs;
+    { dl = st.dl; oifs; data_seen = Hashtbl.copy st.data_seen }
 end)
 
 (* The session IS the public API surface; only [create]/[create_on]
@@ -192,3 +197,9 @@ let create_on ?config ?channel network ~source =
 
 let state_size t = hooks.S.state_size t
 let debug_oifs t n = live_oifs t n
+
+let all_oifs t =
+  Hashtbl.fold
+    (fun n tbl acc -> (n, Ss.Table.entries tbl) :: acc)
+    (S.state t).oifs []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -83,3 +83,18 @@ val control_overhead : t -> int
 
 val debug_oifs : t -> int -> int list
 (** Live oif entries of a node (diagnostics). *)
+
+val all_oifs : t -> (int * Proto.Softstate.entry list) list
+(** Every node's oif entries (dead ones included until swept),
+    ascending by node — the verification layer's state-digest
+    input. *)
+
+(** {1 Checkpoint / restore}
+
+    See {!Proto.Session.Make.snapshot}: captures protocol soft state,
+    membership and the whole underlying network/engine. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

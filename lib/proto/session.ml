@@ -24,6 +24,7 @@ module type PROTOCOL = sig
   type state
 
   val create_state : config -> state
+  val copy_state : state -> state
 end
 
 module Make (P : PROTOCOL) = struct
@@ -55,7 +56,7 @@ module Make (P : PROTOCOL) = struct
     channel : Mcast.Channel.t;
     ochan : Obs.Event.channel;
     source : int;
-    state : P.state;
+    mutable state : P.state;
     hooks : hooks;
     mutable members : int list;
     member_timers : (int, Timer.t) Hashtbl.t;
@@ -314,4 +315,54 @@ module Make (P : PROTOCOL) = struct
         else acc)
       tables []
     |> List.sort compare
+
+  (* ---- Checkpoint / restore ------------------------------------------ *)
+
+  (* Everything mutable the session owns on top of the network: the
+     protocol state (deep-copied — every hook body reads it through
+     [state t] at call time, so reassigning the field redirects them
+     all), membership, the per-member join timers (whose pending
+     engine events the network snapshot already holds — saving each
+     timer's handle keeps a post-restore [unsubscribe] cancelling
+     exactly the right event), and the member-agent install set. *)
+  type snapshot = {
+    s_state : P.state;
+    s_members : int list;
+    s_data_seq : int;
+    s_net : P.msg Net.snapshot;
+    s_timers : (int * Timer.t * Timer.snap) list;
+    s_agents : int list;
+  }
+
+  let snapshot t =
+    {
+      s_state = P.copy_state t.state;
+      s_members = t.members;
+      s_data_seq = t.data_seq;
+      s_net = Net.snapshot t.network;
+      s_timers =
+        Hashtbl.fold
+          (fun m tm acc -> (m, tm, Timer.save tm) :: acc)
+          t.member_timers [];
+      s_agents =
+        Hashtbl.fold (fun m () acc -> m :: acc) t.member_handler_installed [];
+    }
+
+  let restore t s =
+    Net.restore t.network s.s_net;
+    (* Copy again on the way out so one snapshot restores any number
+       of times without the live run mutating it. *)
+    t.state <- P.copy_state s.s_state;
+    t.members <- s.s_members;
+    t.data_seq <- s.s_data_seq;
+    Hashtbl.reset t.member_timers;
+    List.iter
+      (fun (m, tm, snap) ->
+        Timer.restore tm snap;
+        Hashtbl.replace t.member_timers m tm)
+      s.s_timers;
+    Hashtbl.reset t.member_handler_installed;
+    List.iter
+      (fun m -> Hashtbl.replace t.member_handler_installed m ())
+      s.s_agents
 end

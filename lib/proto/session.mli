@@ -54,6 +54,10 @@ module type PROTOCOL = sig
   (** The protocol's soft state (tables, dedup caches, ...). *)
 
   val create_state : config -> state
+
+  val copy_state : state -> state
+  (** Deep copy for checkpointing: the copy must share no mutable
+      structure with the original. *)
 end
 
 module Make (P : PROTOCOL) : sig
@@ -167,6 +171,25 @@ module Make (P : PROTOCOL) : sig
   val branching_routers :
     t -> tables:(int, 'tb) Hashtbl.t -> is_branching:('tb -> bool) -> int list
   (** Branching routers under the same conventions, ascending. *)
+
+  (** {1 Checkpoint / restore}
+
+      A snapshot captures the session's protocol state (via
+      [P.copy_state]), membership, per-member join timers and data
+      sequence, {e plus} the underlying network/engine state through
+      {!Netsim.Network.snapshot} — so restoring rewinds the whole
+      simulation this session runs in.  With several sessions sharing
+      one network, snapshot/restore them together (each session's
+      restore re-restores the shared network).  Restoring invalidates
+      the routing cache; take snapshots at routing-converged points
+      (enforced: the network snapshot raises otherwise). *)
+
+  type snapshot
+
+  val snapshot : t -> snapshot
+
+  val restore : t -> snapshot -> unit
+  (** A snapshot may be restored any number of times. *)
 
   (** {1 For protocol hook bodies} *)
 

@@ -10,7 +10,15 @@ type entry = {
 
 let entry_stale e ~now = now >= e.fresh_until
 let entry_dead e ~now = now >= e.expires_at
-let entry_marked e ~now = now < e.marked_until
+
+(* Verification-only fault knob: with [freeze_marks] set, a mark never
+   decays — the pre-PR2 bug the systematic explorer is expected to
+   rediscover (permanent marks blackhole data after reroute-and-
+   return).  Off in every normal run. *)
+let freeze_marks = ref false
+
+let entry_marked e ~now =
+  if !freeze_marks then e.marked_until > neg_infinity else now < e.marked_until
 
 let entry dl ~now node =
   {
@@ -26,6 +34,15 @@ let refresh_entry e dl ~now =
   e.expires_at <- now +. dl.t2
 
 let force_stale e ~now = e.fresh_until <- Float.min e.fresh_until now
+
+let copy_entry e =
+  {
+    node = e.node;
+    seq = e.seq;
+    marked_until = e.marked_until;
+    fresh_until = e.fresh_until;
+    expires_at = e.expires_at;
+  }
 
 module Table = struct
   type t = { tbl : (int, entry) Hashtbl.t; mutable next_seq : int }
@@ -88,6 +105,15 @@ module Table = struct
 
   let remove t n = Hashtbl.remove t.tbl n
   let clear t = Hashtbl.reset t.tbl
+
+  (* Deep copy: independent entry records (entries are mutable) and
+     the same install-order counter, so every projection — including
+     [in_order] and [first_fresh] — is preserved exactly.  This is the
+     checkpoint primitive of the verification layer. *)
+  let copy t =
+    let c = { tbl = Hashtbl.create (max 8 (Hashtbl.length t.tbl)); next_seq = t.next_seq } in
+    Hashtbl.iter (fun n e -> Hashtbl.replace c.tbl n (copy_entry e)) t.tbl;
+    c
 
   let expire t ~now =
     let dead =

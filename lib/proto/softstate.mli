@@ -32,6 +32,16 @@ val entry_stale : entry -> now:float -> bool
 val entry_dead : entry -> now:float -> bool
 val entry_marked : entry -> now:float -> bool
 
+val freeze_marks : bool ref
+(** Verification-only fault injection: while set, marks never decay
+    (the pre-fault-subsystem bug — permanent marks blackhole data
+    after reroute-and-return).  [Verif] sets it to demonstrate that
+    the explorer catches and shrinks the resulting failure; it must
+    stay [false] in every normal run. *)
+
+val copy_entry : entry -> entry
+(** Independent copy of a (mutable) entry — checkpoint primitive. *)
+
 val entry : deadlines -> now:float -> int -> entry
 (** A detached fresh entry (not owned by any table) — e.g. REUNITE's
     dst slot. *)
@@ -69,6 +79,10 @@ module Table : sig
 
   val remove : t -> int -> unit
   val clear : t -> unit
+
+  val copy : t -> t
+  (** Deep copy: independent entry records, identical install-order
+      counter — every projection of the copy matches the original. *)
 
   val expire : t -> now:float -> unit
   (** Drop dead entries. *)

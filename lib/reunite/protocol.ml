@@ -56,6 +56,18 @@ module S = Proto.Session.Make (struct
       source_mft = None;
       epoch = 0;
     }
+
+  let copy_state st =
+    let tables = Hashtbl.create (max 8 (Hashtbl.length st.router_tables)) in
+    Hashtbl.iter
+      (fun n tb -> Hashtbl.replace tables n (Tables.copy tb))
+      st.router_tables;
+    {
+      deadlines = st.deadlines;
+      router_tables = tables;
+      source_mft = Option.map Tables.Mft.copy st.source_mft;
+      epoch = st.epoch;
+    }
 end)
 
 (* The session IS the public API surface; only [create]/[create_on]
@@ -377,3 +389,7 @@ let router_tables t n =
         invalid_arg
           (Printf.sprintf "Reunite.Protocol.router_tables: no agent at %d" n)
       else tables_of t n
+
+let all_tables t =
+  Hashtbl.fold (fun n tb acc -> (n, tb) :: acc) (S.state t).router_tables []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

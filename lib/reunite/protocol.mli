@@ -65,3 +65,17 @@ val router_tables : t -> int -> Tables.t
 val source_table : t -> Tables.Mft.t option
 (** The source's own MFT ([None] before the first join or after it
     decayed); kept alive by join messages alone. *)
+
+val all_tables : t -> (int * Tables.t) list
+(** Every router's table set, ascending by node (the verification
+    layer's state-digest input); the source is not included. *)
+
+(** {1 Checkpoint / restore}
+
+    See {!Proto.Session.Make.snapshot}: captures protocol soft state,
+    membership and the whole underlying network/engine. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

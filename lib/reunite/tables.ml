@@ -73,6 +73,14 @@ module Mft = struct
     else false
 
   let size t = 1 + Ss.Table.size t.tbl
+
+  let copy t =
+    {
+      dst = Ss.copy_entry t.dst;
+      tbl = Ss.Table.copy t.tbl;
+      last_fork_epoch = t.last_fork_epoch;
+      upstream = t.upstream;
+    }
 end
 
 (* Multi-entry control table: one entry per receiver whose flow is
@@ -98,6 +106,8 @@ module Mct = struct
   let expire t ~now = Ss.Table.expire t ~now
   let dead t ~now = Ss.Table.all_dead t ~now
   let size t = Ss.Table.size t
+  let entries t = Ss.Table.entries t
+  let copy t = Ss.Table.copy t
 end
 
 (* A router may hold control entries for transit flows alongside a
@@ -156,3 +166,15 @@ let is_branching t ch =
   match Mcast.Channel.Tbl.find_opt t ch with
   | Some { mft = Some _; _ } -> true
   | Some { mft = None; _ } | None -> false
+
+let copy (t : t) : t =
+  let c = Mcast.Channel.Tbl.create (max 4 (Mcast.Channel.Tbl.length t)) in
+  Mcast.Channel.Tbl.iter
+    (fun ch state ->
+      Mcast.Channel.Tbl.replace c ch
+        {
+          mct = Option.map Mct.copy state.mct;
+          mft = Option.map Mft.copy state.mft;
+        })
+    t;
+  c

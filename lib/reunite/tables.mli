@@ -74,6 +74,9 @@ module Mft : sig
       promotion happened. *)
 
   val size : t -> int
+
+  val copy : t -> t
+  (** Deep copy (independent entries) — checkpoint support. *)
 end
 
 (** Multi-entry control table: one entry per receiver whose flow is
@@ -97,6 +100,13 @@ module Mct : sig
   val expire : t -> now:float -> unit
   val dead : t -> now:float -> bool
   val size : t -> int
+
+  val entries : t -> entry list
+  (** All entries, ascending by node — for inspection (state
+      digests). *)
+
+  val copy : t -> t
+  (** Deep copy — checkpoint support. *)
 end
 
 (** A router may hold control entries for transit flows alongside a
@@ -120,3 +130,6 @@ val sweep : t -> now:float -> unit
 val mct_count : t -> int
 val mft_entry_count : t -> int
 val is_branching : t -> Mcast.Channel.t -> bool
+
+val copy : t -> t
+(** Deep copy of every channel's state — checkpoint support. *)

@@ -182,6 +182,39 @@ let map_costs g f =
       l.delay_vu <- float_of_int cvu)
     g.link_arr
 
+(* The graph's full mutable footprint: per-link costs/delays/up flags
+   plus the multicast-capability flags.  Structure (nodes, adjacency)
+   is immutable and shared. *)
+type link_state = {
+  ls_links : (int * int * float * float * bool) array;
+  ls_capable : bool array;
+}
+
+let save_links g =
+  {
+    ls_links =
+      Array.map
+        (fun l -> (l.cost_uv, l.cost_vu, l.delay_uv, l.delay_vu, l.up))
+        g.link_arr;
+    ls_capable = Array.copy g.capable;
+  }
+
+let restore_links g s =
+  if
+    Array.length s.ls_links <> Array.length g.link_arr
+    || Array.length s.ls_capable <> Array.length g.capable
+  then invalid_arg "Graph.restore_links: snapshot from a different graph";
+  Array.iteri
+    (fun i (cuv, cvu, duv, dvu, up) ->
+      let l = g.link_arr.(i) in
+      l.cost_uv <- cuv;
+      l.cost_vu <- cvu;
+      l.delay_uv <- duv;
+      l.delay_vu <- dvu;
+      l.up <- up)
+    s.ls_links;
+  Array.blit s.ls_capable 0 g.capable 0 (Array.length g.capable)
+
 let copy g =
   {
     kinds = Array.copy g.kinds;

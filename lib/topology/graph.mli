@@ -126,6 +126,16 @@ val map_costs : t -> (link -> int * int) -> unit
 val copy : t -> t
 (** Deep copy (independent link records and capability flags). *)
 
+type link_state
+(** The graph's full mutable footprint: per-link costs, delays and
+    operational flags, plus the multicast-capability flags. *)
+
+val save_links : t -> link_state
+
+val restore_links : t -> link_state -> unit
+(** Restore a {!save_links} checkpoint onto the same graph.  Raises
+    [Invalid_argument] if the snapshot's shape does not match. *)
+
 val pp : Format.formatter -> t -> unit
 (** Summary line: node/link counts and degree. *)
 

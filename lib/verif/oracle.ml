@@ -1,0 +1,260 @@
+module G = Topology.Graph
+module R = Routing.Table
+
+type violation = { oracle : string; detail : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s: %s" v.oracle v.detail
+
+(* Per-oracle check/violation counters, created on demand so the
+   metric namespace only contains oracles that actually ran. *)
+let counters : (string, Obs.Metrics.counter * Obs.Metrics.counter) Hashtbl.t =
+  Hashtbl.create 8
+
+let count ~oracle hit =
+  let checks, violations =
+    match Hashtbl.find_opt counters oracle with
+    | Some c -> c
+    | None ->
+        let c =
+          ( Obs.Metrics.counter Obs.Metrics.default
+              (Printf.sprintf "verif.oracle.%s.checks" oracle),
+            Obs.Metrics.counter Obs.Metrics.default
+              (Printf.sprintf "verif.oracle.%s.violations" oracle) )
+        in
+        Hashtbl.replace counters oracle c;
+        c
+  in
+  Obs.Metrics.incr checks;
+  if hit then Obs.Metrics.incr violations
+
+(* ---- Reachability over the current (faulty) topology ------------------- *)
+
+(* BFS over operational links between up nodes: the ground truth the
+   span oracle compares the tree against.  Members the topology has
+   cut off are excused; everyone else must be covered. *)
+let reachable_set (sut : Sut.t) =
+  let g = sut.Sut.graph in
+  let n = G.node_count g in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  if sut.Sut.node_up sut.Sut.source then begin
+    seen.(sut.Sut.source) <- true;
+    Queue.add sut.Sut.source q
+  end;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if (not seen.(v)) && G.link_up g u v && sut.Sut.node_up v then begin
+          seen.(v) <- true;
+          Queue.add v q
+        end)
+      (G.neighbors g u)
+  done;
+  seen
+
+(* ---- Tree structure: loop-free and spans exactly the members ----------- *)
+
+(* Expand the data-plane fan-out graph from the source, following the
+   unicast paths each logical copy takes.  [stack] is the chain of
+   fan-out nodes on the current recursion path: revisiting one is a
+   forwarding loop.  [expanded] memoizes globally for termination —
+   checked only after the loop test, so cycles through
+   already-expanded nodes are still caught. *)
+let tree_check (sut : Sut.t) =
+  let violations = ref [] in
+  let fanout = sut.Sut.fanout () in
+  let targets_of n =
+    match List.assoc_opt n fanout with Some ts -> ts | None -> []
+  in
+  let covered = Hashtbl.create 16 in
+  let expanded = Hashtbl.create 16 in
+  let rec expand n stack =
+    if List.mem n stack then
+      violations :=
+        {
+          oracle = "tree_loop_free";
+          detail =
+            Printf.sprintf "forwarding loop: %s"
+              (String.concat " -> "
+                 (List.rev_map string_of_int (n :: stack)));
+        }
+        :: !violations
+    else if not (Hashtbl.mem expanded n) then begin
+      Hashtbl.replace expanded n ();
+      List.iter (fun dst -> copy ~from:n ~dst ~stack:(n :: stack)) (targets_of n)
+    end
+  and copy ~from ~dst ~stack =
+    if not (R.reachable sut.Sut.table from dst) then
+      violations :=
+        {
+          oracle = "tree_span";
+          detail =
+            Printf.sprintf "copy %d -> %d has no unicast route" from dst;
+        }
+        :: !violations
+    else begin
+      (* REUNITE intercepts through-traffic: interior on-path nodes
+         holding forwarding state fork the copy before it reaches
+         [dst], so they join the expansion too. *)
+      if sut.Sut.intercept_on_path then
+        List.iter
+          (fun hop ->
+            if hop <> from && hop <> dst && targets_of hop <> [] then
+              expand hop stack)
+          (R.path sut.Sut.table from dst);
+      Hashtbl.replace covered dst ();
+      if sut.Sut.node_up dst && targets_of dst <> [] then expand dst stack
+    end
+  in
+  if sut.Sut.node_up sut.Sut.source then expand sut.Sut.source [];
+  (* Span: every reachable member covered, no covered non-member
+     candidate (stale state still attracting data). *)
+  let reachable = reachable_set sut in
+  let members = sut.Sut.members () in
+  List.iter
+    (fun m ->
+      if reachable.(m) && not (Hashtbl.mem covered m) then
+        violations :=
+          {
+            oracle = "tree_span";
+            detail = Printf.sprintf "member %d not covered by the tree" m;
+          }
+          :: !violations)
+    members;
+  List.iter
+    (fun c ->
+      if Hashtbl.mem covered c && not (List.mem c members) then
+        violations :=
+          {
+            oracle = "tree_span";
+            detail = Printf.sprintf "non-member %d still receives data" c;
+          }
+          :: !violations)
+    sut.Sut.candidates;
+  let vs = !violations in
+  count ~oracle:"tree_loop_free"
+    (List.exists (fun v -> v.oracle = "tree_loop_free") vs);
+  count ~oracle:"tree_span" (List.exists (fun v -> v.oracle = "tree_span") vs);
+  vs
+
+(* ---- End-to-end delivery: no blackhole, no duplicate ------------------- *)
+
+(* Actually send a data packet and count arrivals.  The caller must
+   checkpoint around this (it advances the clock and consumes dedup
+   state). *)
+let delivery_check (sut : Sut.t) =
+  let deliveries = sut.Sut.probe () in
+  let per_node = Hashtbl.create 16 in
+  List.iter
+    (fun (n, _) ->
+      Hashtbl.replace per_node n
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_node n)))
+    deliveries;
+  let reachable = reachable_set sut in
+  let members = sut.Sut.members () in
+  let violations = ref [] in
+  List.iter
+    (fun m ->
+      if reachable.(m) then
+        match Option.value ~default:0 (Hashtbl.find_opt per_node m) with
+        | 0 ->
+            violations :=
+              {
+                oracle = "no_blackhole";
+                detail = Printf.sprintf "member %d received no data" m;
+              }
+              :: !violations
+        | 1 -> ()
+        | k ->
+            violations :=
+              {
+                oracle = "no_duplicate";
+                detail = Printf.sprintf "member %d received %d copies" m k;
+              }
+              :: !violations)
+    members;
+  Hashtbl.iter
+    (fun n _ ->
+      if not (List.mem n members) then
+        violations :=
+          {
+            oracle = "no_misdelivery";
+            detail = Printf.sprintf "non-member %d received data" n;
+          }
+          :: !violations)
+    per_node;
+  let vs = !violations in
+  List.iter
+    (fun oracle ->
+      count ~oracle (List.exists (fun v -> v.oracle = oracle) vs))
+    [ "no_blackhole"; "no_duplicate"; "no_misdelivery" ];
+  vs
+
+(* ---- HBH-specific oracles ---------------------------------------------- *)
+
+(* "The first join reaches the source": whenever at least one
+   reachable member exists, the source must hold forwarding state —
+   HBH's join interception must never strand all receivers below a
+   router that cannot reach the source (Section 3.2). *)
+let hbh_first_join (sut : Sut.t) =
+  if sut.Sut.proto <> "hbh" then []
+  else begin
+    let reachable = reachable_set sut in
+    let has_member = List.exists (fun m -> reachable.(m)) (sut.Sut.members ()) in
+    let bad = has_member && not (sut.Sut.source_has_state ()) in
+    count ~oracle:"hbh_first_join" bad;
+    if bad then
+      [
+        {
+          oracle = "hbh_first_join";
+          detail = "members exist but the source holds no forwarding state";
+        };
+      ]
+    else []
+  end
+
+(* "Fusion places the branching router on the unicast path": every
+   branching router actively emitting tree messages must lie on the
+   unicast path between the source and some current member — in
+   either direction, since joins refresh state along reverse paths
+   while fusion installs it along forward paths, and the two can
+   differ under asymmetric link costs. *)
+let hbh_branch_on_path (sut : Sut.t) =
+  if sut.Sut.proto <> "hbh" then []
+  else begin
+    let members = sut.Sut.members () in
+    let on_some_path b =
+      List.exists
+        (fun m ->
+          (R.reachable sut.Sut.table sut.Sut.source m
+          && List.mem b (R.path sut.Sut.table sut.Sut.source m))
+          || (R.reachable sut.Sut.table m sut.Sut.source
+             && List.mem b (R.path sut.Sut.table m sut.Sut.source)))
+        members
+    in
+    let stray =
+      List.filter_map
+        (fun (b, _) ->
+          if sut.Sut.node_up b && not (on_some_path b) then Some b else None)
+        (sut.Sut.branch_nodes ())
+    in
+    count ~oracle:"hbh_branch_on_path" (stray <> []);
+    List.map
+      (fun b ->
+        {
+          oracle = "hbh_branch_on_path";
+          detail =
+            Printf.sprintf
+              "branching router %d is on no source-member unicast path" b;
+        })
+      stray
+  end
+
+(* ---- Combined check ----------------------------------------------------- *)
+
+let structural_check sut =
+  tree_check sut @ hbh_first_join sut @ hbh_branch_on_path sut
+
+let check sut = structural_check sut @ delivery_check sut

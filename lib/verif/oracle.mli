@@ -1,0 +1,42 @@
+(** Protocol oracles: properties every quiescent state must satisfy.
+
+    Structural oracles read the soft-state tables through
+    {!Sut.fanout} and compare them against the routing ground truth;
+    the delivery oracle actually sends a data packet and counts
+    arrivals.  Each check bumps
+    [verif.oracle.<name>.checks]/[.violations] in
+    {!Obs.Metrics.default}. *)
+
+type violation = { oracle : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val tree_check : Sut.t -> violation list
+(** [tree_loop_free]: expanding the data-plane fan-out from the
+    source never revisits a node on the current copy chain.
+    [tree_span]: every topologically-reachable member is covered by
+    the expansion, every copy has a unicast route, and no non-member
+    candidate still receives data (stale state must age out). *)
+
+val delivery_check : Sut.t -> violation list
+(** [no_blackhole] / [no_duplicate] / [no_misdelivery]: one probe
+    packet reaches every reachable member exactly once and nobody
+    else.  {b Mutates the SUT} (clock, dedup state): checkpoint
+    around it. *)
+
+val hbh_first_join : Sut.t -> violation list
+(** HBH only: whenever a reachable member exists, the source holds
+    forwarding state — the first join must always reach the source
+    (Section 3.2).  Empty for other protocols. *)
+
+val hbh_branch_on_path : Sut.t -> violation list
+(** HBH only: every branching router still emitting tree messages
+    lies on the unicast path between the source and some member
+    (forward or reverse — the two differ under asymmetric costs).
+    Fusion must never leave an active branching router off-tree. *)
+
+val structural_check : Sut.t -> violation list
+(** All non-mutating oracles: {!tree_check} + the HBH pair. *)
+
+val check : Sut.t -> violation list
+(** {!structural_check} + {!delivery_check}.  Mutates the SUT. *)

@@ -1,0 +1,241 @@
+module G = Topology.Graph
+module P = Fault.Plan
+
+(* Routing-detection lag: after a topology event the simulation runs
+   this long before reconverging, modeling the failure-detection
+   window (matches the recovery experiments' convention). *)
+let detection_lag = 30.0
+
+type event =
+  | Join of int
+  | Leave of int
+  | Link_down of int * int
+  | Link_up of int * int
+  | Crash of int
+  | Restart of int
+  | Loss_burst of float
+  | Age  (** let soft state decay for one t2 without stimulus *)
+
+let pp_event fmt = function
+  | Join m -> Format.fprintf fmt "join %d" m
+  | Leave m -> Format.fprintf fmt "leave %d" m
+  | Link_down (u, v) -> Format.fprintf fmt "link-down %d-%d" u v
+  | Link_up (u, v) -> Format.fprintf fmt "link-up %d-%d" u v
+  | Crash n -> Format.fprintf fmt "crash %d" n
+  | Restart n -> Format.fprintf fmt "restart %d" n
+  | Loss_burst r -> Format.fprintf fmt "loss-burst %g" r
+  | Age -> Format.fprintf fmt "age"
+
+let pp_events fmt events =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+       pp_event)
+    events
+
+(* ---- Alphabet ----------------------------------------------------------- *)
+
+type alphabet = {
+  joins : int list;  (** candidate members to churn *)
+  links : (int * int) list;  (** links to fail/restore *)
+  crashes : int list;  (** routers to crash/restart *)
+  loss : float option;  (** burst loss rate, when enabled *)
+  age : bool;  (** include the pure-decay event *)
+}
+
+(* A deterministic, seeded slice of the SUT's fault surface: a few
+   churnable members, a few failable core links (never host access
+   links — cutting a member's only link just excuses it from every
+   oracle), a couple of crash candidates.  Small alphabets keep the
+   bounded-depth state space dense enough to revisit states, which is
+   where the dedup pays off. *)
+let default_alphabet ?(joins = 8) ?(links = 5) ?(crashes = 2)
+    ?(loss = Some 0.3) ?(age = true) (sut : Sut.t) ~seed =
+  let rng = Stats.Rng.create seed in
+  let take n xs =
+    let a = Array.of_list xs in
+    Stats.Rng.shuffle rng a;
+    Array.to_list (Array.sub a 0 (min n (Array.length a)))
+  in
+  let hosts = G.hosts sut.Sut.graph in
+  let core_links =
+    List.filter_map
+      (fun (l : G.link) ->
+        if List.mem l.G.u hosts || List.mem l.G.v hosts then None
+        else Some (l.G.u, l.G.v))
+      (G.links sut.Sut.graph)
+  in
+  let routers =
+    List.filter
+      (fun n -> (not (List.mem n hosts)) && n <> sut.Sut.source)
+      (List.init (G.node_count sut.Sut.graph) Fun.id)
+  in
+  {
+    joins = List.sort compare (take joins sut.Sut.candidates);
+    links = List.sort compare (take links core_links);
+    crashes = List.sort compare (take crashes routers);
+    loss;
+    age;
+  }
+
+let of_churn (schedule : (float * Workload.Churn.event) list) =
+  List.map
+    (fun (_, ev) ->
+      match ev with
+      | Workload.Churn.Join m -> Join m
+      | Workload.Churn.Leave m -> Leave m)
+    schedule
+
+(* Events applicable from the current state: churn is phrased
+   absolutely (join only non-members, leave only members), topology
+   events only in the direction that changes something.  This keeps
+   the alphabet's branching factor honest and every event meaningful
+   — though [apply] itself tolerates no-ops, which ddmin relies on. *)
+let enabled (sut : Sut.t) (a : alphabet) =
+  let members = sut.Sut.members () in
+  let joins =
+    List.filter_map
+      (fun m -> if List.mem m members then None else Some (Join m))
+      a.joins
+  and leaves =
+    List.filter_map
+      (fun m -> if List.mem m members then Some (Leave m) else None)
+      a.joins
+  and link_events =
+    List.map
+      (fun (u, v) ->
+        if G.link_up sut.Sut.graph u v then Link_down (u, v) else Link_up (u, v))
+      a.links
+  and crash_events =
+    List.map
+      (fun n -> if sut.Sut.node_up n then Crash n else Restart n)
+      a.crashes
+  and loss_events =
+    match a.loss with Some r -> [ Loss_burst r ] | None -> []
+  and age_events = if a.age then [ Age ] else [] in
+  joins @ leaves @ link_events @ crash_events @ loss_events @ age_events
+
+(* ---- Applying events ---------------------------------------------------- *)
+
+(* Every arm is a no-op when the event does not apply (subscribe is
+   idempotent, link causes refcount, crash/restart guard) — ddmin
+   replays arbitrary subsequences, so this must never raise. *)
+let apply (sut : Sut.t) = function
+  | Join m -> sut.Sut.inject (P.Join { member = m })
+  | Leave m -> sut.Sut.inject (P.Leave { member = m })
+  | Link_down (u, v) ->
+      sut.Sut.inject (P.Link_down { u; v });
+      sut.Sut.run_for detection_lag;
+      ignore (sut.Sut.reconverge ())
+  | Link_up (u, v) ->
+      sut.Sut.inject (P.Link_up { u; v });
+      sut.Sut.run_for detection_lag;
+      ignore (sut.Sut.reconverge ())
+  | Crash n ->
+      sut.Sut.inject (P.Crash { node = n });
+      sut.Sut.run_for detection_lag;
+      ignore (sut.Sut.reconverge ())
+  | Restart n ->
+      sut.Sut.inject (P.Restart { node = n });
+      sut.Sut.run_for detection_lag;
+      ignore (sut.Sut.reconverge ())
+  | Loss_burst rate ->
+      sut.Sut.set_default_loss rate;
+      sut.Sut.run_for (2.0 *. sut.Sut.control_period);
+      sut.Sut.set_default_loss 0.0
+  | Age -> sut.Sut.run_for sut.Sut.t2
+
+(* ---- Quiescence --------------------------------------------------------- *)
+
+(* Run refresh windows until the canonical digest is stable across
+   TWO consecutive windows (three equal samples).  Decaying entries
+   keep crossing digest buckets until they die, so stability
+   genuinely means settled; the double window guards against the
+   one-window coincidence where a stray in-flight refresh (e.g. the
+   last join sent just before a leave) shifts a deadline by exactly
+   one window's worth of decay, making two successive samples digest
+   equal mid-decay.  Budget: 4*t2 of simulated time — if the digest
+   still changes then, the protocol is oscillating (itself
+   reportable). *)
+let quiesce ?(budget_factor = 4.0) (sut : Sut.t) =
+  let budget = budget_factor *. sut.Sut.t2 in
+  let window = sut.Sut.control_period in
+  let start = sut.Sut.now () in
+  let rec go stable prev =
+    sut.Sut.run_for window;
+    let d = Sut.state_digest sut in
+    let elapsed = sut.Sut.now () -. start in
+    let stable = if d = prev then stable + 1 else 0 in
+    if stable >= 2 then Some elapsed
+    else if elapsed > budget then None
+    else go stable d
+  in
+  go 0 (Sut.state_digest sut)
+
+(* ---- Plans: serialization and replay ------------------------------------ *)
+
+(* Enough spacing for the slowest event (Age = t2, plus settle time):
+   each event gets its own well-separated slot, so a replayed plan
+   reproduces "apply, settle, apply, ..." even though the plan format
+   only records instants. *)
+let slot = 2200.0
+
+let to_plan events =
+  let directives = ref [] in
+  let t = ref 0.0 in
+  let push action = directives := (!t, action) :: !directives in
+  List.iter
+    (fun ev ->
+      (match ev with
+      | Join m -> push (P.Join { member = m })
+      | Leave m -> push (P.Leave { member = m })
+      | Link_down (u, v) ->
+          push (P.Link_down { u; v });
+          directives := (!t +. detection_lag, P.Reconverge) :: !directives
+      | Link_up (u, v) ->
+          push (P.Link_up { u; v });
+          directives := (!t +. detection_lag, P.Reconverge) :: !directives
+      | Crash n ->
+          push (P.Crash { node = n });
+          directives := (!t +. detection_lag, P.Reconverge) :: !directives
+      | Restart n ->
+          push (P.Restart { node = n });
+          directives := (!t +. detection_lag, P.Reconverge) :: !directives
+      | Loss_burst r ->
+          push (P.Loss_all { rate = r });
+          directives := (!t +. 200.0, P.Loss_all { rate = 0.0 }) :: !directives
+      | Age -> ());
+      t := !t +. slot)
+    events;
+  P.make (List.rev !directives)
+
+(* Replay a plan against a live SUT, honoring directive times; then
+   settle and run the oracles once at the end state.  This is what
+   the golden counterexample fixtures go through. *)
+let replay_plan (sut : Sut.t) plan =
+  let t0 = sut.Sut.now () in
+  List.iter
+    (fun (d : P.directive) ->
+      let target = t0 +. d.P.at in
+      let dt = target -. sut.Sut.now () in
+      if dt > 0.0 then sut.Sut.run_for dt;
+      sut.Sut.inject d.P.action)
+    (P.directives plan);
+  ignore (quiesce sut);
+  Oracle.check sut
+
+(* Replay an event list (apply + settle after each event), reporting
+   the first violating oracle set encountered at any quiescent point.
+   Used by the shrinker's test function. *)
+let replay_events (sut : Sut.t) events =
+  let rec go = function
+    | [] -> []
+    | ev :: rest -> (
+        apply sut ev;
+        ignore (quiesce sut);
+        let restore = sut.Sut.save () in
+        let vs = Oracle.check sut in
+        restore ();
+        match vs with [] -> go rest | vs -> vs)
+  in
+  go events

@@ -1,0 +1,77 @@
+(** Scenario events: the explorer's alphabet, how each event drives
+    the SUT, the quiescence test, and the bridge to replayable
+    {!Fault.Plan} fixtures. *)
+
+type event =
+  | Join of int
+  | Leave of int
+  | Link_down of int * int
+  | Link_up of int * int
+  | Crash of int
+  | Restart of int
+  | Loss_burst of float
+      (** background Bernoulli loss for two refresh periods, then
+          clear — exercises lost control messages *)
+  | Age  (** run one t2 with no stimulus: pure soft-state decay *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_events : Format.formatter -> event list -> unit
+
+type alphabet = {
+  joins : int list;
+  links : (int * int) list;
+  crashes : int list;
+  loss : float option;
+  age : bool;
+}
+
+val default_alphabet :
+  ?joins:int ->
+  ?links:int ->
+  ?crashes:int ->
+  ?loss:float option ->
+  ?age:bool ->
+  Sut.t ->
+  seed:int ->
+  alphabet
+(** A deterministic seeded slice of the SUT's fault surface: [joins]
+    churnable members, [links] failable {e core} links (host access
+    links are excluded — cutting a member off merely excuses it from
+    the oracles), [crashes] non-source routers. *)
+
+val of_churn : (float * Workload.Churn.event) list -> event list
+(** Project a {!Workload.Churn.schedule}'s membership events into
+    scenario events (times are dropped; the explorer re-paces). *)
+
+val enabled : Sut.t -> alphabet -> event list
+(** The alphabet instantiated against the current state: joins for
+    non-members, leaves for members, each link/node in the direction
+    that changes it. *)
+
+val apply : Sut.t -> event -> unit
+(** Drive one event.  Topology events run a detection lag then
+    reconverge; loss bursts self-clear.  Every arm is a no-op when it
+    does not apply — the shrinker replays arbitrary subsequences. *)
+
+val quiesce : ?budget_factor:float -> Sut.t -> float option
+(** Run refresh windows until the canonical state digest is stable
+    across two consecutive windows (three equal samples — one window
+    can coincide mid-decay when a stray in-flight refresh shifts a
+    deadline by exactly one window); [Some elapsed] on success, [None]
+    if still changing after [budget_factor * t2] (default 4) of
+    simulated time — a protocol oscillation. *)
+
+val to_plan : event list -> Fault.Plan.t
+(** Serialize an event sequence as a timed plan (one well-separated
+    slot per event; topology events carry their [Reconverge]; [Age]
+    is a pure time gap).  With {!replay_plan} this is the golden
+    counterexample format. *)
+
+val replay_plan : Sut.t -> Fault.Plan.t -> Oracle.violation list
+(** Run a plan's directives at their recorded times, settle, then run
+    every oracle once on the end state. *)
+
+val replay_events : Sut.t -> event list -> Oracle.violation list
+(** Apply each event, settle, check all oracles (checkpointing around
+    the mutating ones); stop at the first violating quiescent point.
+    The shrinker's test function. *)

@@ -1,0 +1,71 @@
+(* Delta-debugging (ddmin) over event sequences.
+
+   The test replays a candidate subsequence against a FRESH SUT (the
+   caller supplies the factory) — not a checkpoint — so the minimized
+   sequence is guaranteed to reproduce from a cold start, which is
+   what makes it a committable golden fixture.  A candidate passes
+   when replay produces a violation of the same oracle as the
+   original counterexample (any detail: shrinking may change which
+   member or router exhibits the bug, the property class must
+   survive). *)
+
+let m_shrink_tests =
+  Obs.Metrics.counter Obs.Metrics.default "verif.shrink.replays"
+
+let reproduces ~make_sut ~oracles events =
+  Obs.Metrics.incr m_shrink_tests;
+  let sut = make_sut () in
+  let vs = Scenario.replay_events sut events in
+  List.exists (fun (v : Oracle.violation) -> List.mem v.Oracle.oracle oracles) vs
+
+(* Classic ddmin: try removing chunks at a falling granularity until
+   1-minimal (no single event can be removed). *)
+let ddmin ~test events =
+  let rec go events n =
+    let len = List.length events in
+    if len <= 1 then events
+    else begin
+      let chunk = max 1 (len / n) in
+      let rec chunks i acc xs =
+        match xs with
+        | [] -> List.rev acc
+        | _ ->
+            let take = min chunk (List.length xs) in
+            let rec split k xs =
+              if k = 0 then ([], xs)
+              else
+                match xs with
+                | [] -> ([], [])
+                | x :: rest ->
+                    let a, b = split (k - 1) rest in
+                    (x :: a, b)
+            in
+            let c, rest = split take xs in
+            chunks (i + 1) (c :: acc) rest
+      in
+      let parts = chunks 0 [] events in
+      (* Complements first (drop one chunk): greatest progress per
+         replay when most events are irrelevant. *)
+      let rec try_complements before = function
+        | [] -> None
+        | c :: after ->
+            let candidate = List.concat (List.rev_append before after) in
+            if candidate <> [] && test candidate then Some candidate
+            else try_complements (c :: before) after
+      in
+      match try_complements [] parts with
+      | Some candidate -> go candidate (max 2 (n - 1))
+      | None ->
+          if chunk <= 1 then events (* 1-minimal *)
+          else go events (min len (2 * n))
+    end
+  in
+  if test events then go events 2 else events
+
+let minimize ~make_sut (cx : Explore.counterexample) =
+  let oracles =
+    List.sort_uniq compare
+      (List.map (fun (v : Oracle.violation) -> v.Oracle.oracle) cx.Explore.violations)
+  in
+  let test events = reproduces ~make_sut ~oracles events in
+  ddmin ~test cx.Explore.events

@@ -1,0 +1,18 @@
+(** Counterexample minimization by delta debugging (ddmin).
+
+    Candidates replay against a {e fresh} SUT from the caller's
+    factory — never a checkpoint — so the minimized sequence
+    reproduces from a cold start and can be committed as a golden
+    {!Fault.Plan} fixture.  A candidate reproduces when it violates
+    the {e same oracle} as the original counterexample (details may
+    shift while shrinking). *)
+
+val ddmin : test:(Scenario.event list -> bool) -> Scenario.event list -> Scenario.event list
+(** Generic ddmin to a 1-minimal sequence (removing any single event
+    makes [test] fail).  Returns the input unchanged if it does not
+    pass [test]. *)
+
+val minimize :
+  make_sut:(unit -> Sut.t) -> Explore.counterexample -> Scenario.event list
+(** Minimize a counterexample's event path, preserving its oracle
+    class.  Each replay bumps [verif.shrink.replays]. *)

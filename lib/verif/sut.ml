@@ -1,0 +1,407 @@
+module Net = Netsim.Network
+module G = Topology.Graph
+module Ss = Proto.Softstate
+
+(* The system under test, as a monomorphic closure bundle: the three
+   protocol stacks have distinct message types (so distinct network
+   and session types), but the explorer only needs a fixed verb set —
+   drive time, churn members, inject faults, checkpoint, digest, and
+   expose the logical data-plane fan-out for the structural oracles.
+   Wrapping each session in closures erases the message type without
+   an existential. *)
+type t = {
+  proto : string;
+  graph : G.t;
+  table : Routing.Table.t;
+  source : int;
+  candidates : int list;  (** hosts the scenarios may subscribe *)
+  control_period : float;
+  t2 : float;
+  subscribe : int -> unit;
+  unsubscribe : int -> unit;
+  members : unit -> int list;
+  node_up : int -> bool;
+  now : unit -> float;
+  run_for : float -> unit;
+  save : unit -> unit -> unit;
+      (** checkpoint; the returned thunk restores it (any number of
+          times) *)
+  inject : Fault.Plan.action -> unit;
+      (** apply one plan action now (membership hooks wired) *)
+  reconverge : unit -> int;
+  set_default_loss : float -> unit;
+  probe : unit -> (int * float) list;
+      (** send one data packet, run a delivery horizon, return the
+          [(receiver, delay)] deliveries it produced *)
+  dump_tables : unit -> string;
+      (** canonical soft-state dump (see {!state_digest}) *)
+  fanout : unit -> (int * int list) list;
+      (** data-plane fan-out: each node holding forwarding state with
+          the targets it currently copies data to, ascending *)
+  intercept_on_path : bool;
+      (** REUNITE-style: forwarding state forks traffic {e passing
+          through} the node; false means only traffic addressed to the
+          node fans out (HBH, PIM-SSM) *)
+  source_has_state : unit -> bool;
+      (** the source holds live forwarding state for the channel *)
+  branch_nodes : unit -> (int * int list) list;
+      (** HBH only: branching routers with their non-stale entry
+          nodes; [[]] for other protocols *)
+}
+
+(* ---- Canonical state digests ------------------------------------------ *)
+
+(* Soft-state deadlines are absolute; canonicalize to [deadline - now]
+   bucketed coarsely so two states reached along different schedules
+   (whose refresh phases differ by less than a bucket) digest
+   equally.  A decaying entry crosses a bucket boundary every 25 time
+   units, so the digest keeps changing until the entry dies — which is
+   exactly what makes digest-stability a sound quiescence test (state
+   that is still draining never looks settled).
+
+   Deadlines already in the past are clamped to one token: an entry
+   that is permanently stale-but-refreshed (HBH's fusion rule keeps
+   t1 expired while renewing t2, so [fresh_until] recedes without
+   bound) behaves identically whether it lapsed 50 or 500 time units
+   ago, and an unclamped remainder would keep the digest churning —
+   and quiescence unreachable — in a perfectly steady tree. *)
+let bucket ~now deadline =
+  max (-1) (int_of_float (Float.round ((deadline -. now) /. 25.0)))
+
+(* The mark is summarized as a boolean through [entry_marked] — not a
+   bucketed remaining time — so a frozen mark (the injectable
+   mark-decay bug) yields a stable digest instead of blocking
+   quiescence forever. *)
+let entry_token ~now (e : Ss.entry) =
+  Printf.sprintf "%d%s:f%d:e%d;" e.Ss.node
+    (if Ss.entry_marked e ~now then "M" else "")
+    (bucket ~now e.Ss.fresh_until)
+    (bucket ~now e.Ss.expires_at)
+
+let entries_token ~now b entries =
+  List.iter (fun e -> Buffer.add_string b (entry_token ~now e)) entries
+
+let state_digest sut =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (String.concat "," (List.map string_of_int (sut.members ())));
+  Buffer.add_char b '|';
+  List.iter
+    (fun (u, v) -> Buffer.add_string b (Printf.sprintf "%d-%d;" u v))
+    (G.down_links sut.graph);
+  Buffer.add_char b '|';
+  for n = 0 to G.node_count sut.graph - 1 do
+    if not (sut.node_up n) then Buffer.add_string b (string_of_int n ^ ";")
+  done;
+  Buffer.add_char b '|';
+  Buffer.add_string b (sut.dump_tables ());
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ---- Shared wiring ----------------------------------------------------- *)
+
+let default_candidates graph ~source =
+  List.filter (fun h -> h <> source) (G.hosts graph)
+
+let probe_net net ~send_data ~run_for ~control_period () =
+  Net.reset_data_accounting net;
+  send_data ();
+  run_for (Float.max 500.0 (2.0 *. control_period));
+  Net.data_deliveries net
+
+let injector net ~subscribe ~unsubscribe =
+  let inj = Fault.Injector.create net in
+  Fault.Injector.set_membership inj ~subscribe ~unsubscribe;
+  inj
+
+(* ---- Per-protocol constructors ---------------------------------------- *)
+
+let of_hbh ?candidates (p : Hbh.Protocol.t) =
+  let module P = Hbh.Protocol in
+  let net = P.network p in
+  let graph = Net.graph net in
+  let source = P.source p in
+  let channel = P.channel p in
+  let cfg = P.config p in
+  let now () = Eventsim.Engine.now (P.engine p) in
+  let mft_dump b mft =
+    entries_token ~now:(now ()) b (Hbh.Tables.Mft.entries mft)
+  in
+  let dump_tables () =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "src:";
+    mft_dump b (P.source_table p);
+    List.iter
+      (fun (n, tb) ->
+        match Hbh.Tables.find tb channel with
+        | Hbh.Tables.No_state -> ()
+        | Hbh.Tables.Control mct ->
+            Buffer.add_string b (Printf.sprintf "|%d:C:" n);
+            Buffer.add_string b
+              (entry_token ~now:(now ()) (Hbh.Tables.Mct.entry mct))
+        | Hbh.Tables.Forwarding mft ->
+            Buffer.add_string b (Printf.sprintf "|%d:F:" n);
+            mft_dump b mft)
+      (P.all_tables p);
+    Buffer.contents b
+  in
+  let fanout () =
+    let nw = now () in
+    let src_targets = Hbh.Tables.Mft.data_targets (P.source_table p) ~now:nw in
+    let branches =
+      List.filter_map
+        (fun (n, tb) ->
+          match Hbh.Tables.find tb channel with
+          | Hbh.Tables.Forwarding mft ->
+              Some (n, Hbh.Tables.Mft.data_targets mft ~now:nw)
+          | Hbh.Tables.Control _ | Hbh.Tables.No_state -> None)
+        (P.all_tables p)
+    in
+    (source, src_targets) :: branches
+  in
+  let branch_nodes () =
+    let nw = now () in
+    List.filter_map
+      (fun (n, tb) ->
+        match Hbh.Tables.find tb channel with
+        | Hbh.Tables.Forwarding mft -> (
+            match Hbh.Tables.Mft.tree_targets mft ~now:nw with
+            | [] -> None
+            | ts -> Some (n, ts))
+        | Hbh.Tables.Control _ | Hbh.Tables.No_state -> None)
+      (P.all_tables p)
+  in
+  let inj = injector net ~subscribe:(P.subscribe p) ~unsubscribe:(P.unsubscribe p) in
+  {
+    proto = "hbh";
+    graph;
+    table = Net.table net;
+    source;
+    candidates =
+      (match candidates with
+      | Some c -> c
+      | None -> default_candidates graph ~source);
+    control_period = cfg.P.tree_period;
+    t2 = cfg.P.t2;
+    subscribe = P.subscribe p;
+    unsubscribe = P.unsubscribe p;
+    members = (fun () -> P.members p);
+    node_up = Net.node_up net;
+    now;
+    run_for = P.run_for p;
+    save =
+      (fun () ->
+        let s = P.snapshot p in
+        let fs = Fault.Injector.save inj in
+        fun () ->
+          P.restore p s;
+          Fault.Injector.restore inj fs);
+    inject = Fault.Injector.apply inj;
+    reconverge = (fun () -> Net.reconverge net);
+    set_default_loss = Net.set_default_loss net;
+    probe =
+      probe_net net
+        ~send_data:(fun () -> P.send_data p)
+        ~run_for:(P.run_for p) ~control_period:cfg.P.tree_period;
+    dump_tables;
+    fanout;
+    intercept_on_path = false;
+    source_has_state =
+      (fun () -> Hbh.Tables.Mft.entries (P.source_table p) <> []);
+    branch_nodes;
+  }
+
+let of_reunite ?candidates (p : Reunite.Protocol.t) =
+  let module P = Reunite.Protocol in
+  let net = P.network p in
+  let graph = Net.graph net in
+  let source = P.source p in
+  let channel = P.channel p in
+  let now () = Eventsim.Engine.now (P.engine p) in
+  let cfg = P.default_config in
+  let control_period = cfg.P.tree_period and t2 = cfg.P.t2 in
+  let mft_dump b (mft : Reunite.Tables.Mft.t) =
+    let nw = now () in
+    Buffer.add_string b "d";
+    Buffer.add_string b (entry_token ~now:nw (Reunite.Tables.Mft.dst mft));
+    Buffer.add_string b (Printf.sprintf "u%d:" (Reunite.Tables.Mft.upstream mft));
+    entries_token ~now:nw b (Reunite.Tables.Mft.receivers mft)
+  in
+  let dump_tables () =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "src:";
+    (match P.source_table p with
+    | None -> Buffer.add_string b "-"
+    | Some mft -> mft_dump b mft);
+    List.iter
+      (fun (n, tb) ->
+        let st = Reunite.Tables.find tb channel in
+        (match st.Reunite.Tables.mct with
+        | None -> ()
+        | Some mct ->
+            Buffer.add_string b (Printf.sprintf "|%d:C:" n);
+            entries_token ~now:(now ()) b (Reunite.Tables.Mct.entries mct));
+        match st.Reunite.Tables.mft with
+        | None -> ()
+        | Some mft ->
+            Buffer.add_string b (Printf.sprintf "|%d:F:" n);
+            mft_dump b mft)
+      (P.all_tables p);
+    Buffer.contents b
+  in
+  let fanout () =
+    let nw = now () in
+    let src_targets =
+      match P.source_table p with
+      | None -> []
+      | Some mft ->
+          let dst = Reunite.Tables.Mft.dst mft in
+          (if Reunite.Tables.entry_dead dst ~now:nw then []
+           else [ dst.Ss.node ])
+          @ Reunite.Tables.Mft.receiver_nodes mft
+    in
+    let branches =
+      List.filter_map
+        (fun (n, tb) ->
+          match (Reunite.Tables.find tb channel).Reunite.Tables.mft with
+          | Some mft -> (
+              match Reunite.Tables.Mft.receiver_nodes mft with
+              | [] -> None
+              | rs -> Some (n, rs))
+          | None -> None)
+        (P.all_tables p)
+    in
+    (source, src_targets) :: branches
+  in
+  let inj = injector net ~subscribe:(P.subscribe p) ~unsubscribe:(P.unsubscribe p) in
+  {
+    proto = "reunite";
+    graph;
+    table = Net.table net;
+    source;
+    candidates =
+      (match candidates with
+      | Some c -> c
+      | None -> default_candidates graph ~source);
+    control_period;
+    t2;
+    subscribe = P.subscribe p;
+    unsubscribe = P.unsubscribe p;
+    members = (fun () -> P.members p);
+    node_up = Net.node_up net;
+    now;
+    run_for = P.run_for p;
+    save =
+      (fun () ->
+        let s = P.snapshot p in
+        let fs = Fault.Injector.save inj in
+        fun () ->
+          P.restore p s;
+          Fault.Injector.restore inj fs);
+    inject = Fault.Injector.apply inj;
+    reconverge = (fun () -> Net.reconverge net);
+    set_default_loss = Net.set_default_loss net;
+    probe =
+      probe_net net
+        ~send_data:(fun () -> P.send_data p)
+        ~run_for:(P.run_for p) ~control_period;
+    dump_tables;
+    fanout;
+    intercept_on_path = true;
+    source_has_state = (fun () -> P.source_table p <> None);
+    branch_nodes = (fun () -> []);
+  }
+
+let of_pim ?candidates (p : Pim.Ssm.t) =
+  let module P = Pim.Ssm in
+  let net = P.network p in
+  let graph = Net.graph net in
+  let source = P.source p in
+  let now () = Eventsim.Engine.now (P.engine p) in
+  let cfg = P.default_config in
+  let control_period = cfg.P.join_period and holdtime = cfg.P.holdtime in
+  let dump_tables () =
+    let b = Buffer.create 256 in
+    List.iter
+      (fun (n, entries) ->
+        if entries <> [] then begin
+          Buffer.add_string b (Printf.sprintf "|%d:" n);
+          entries_token ~now:(now ()) b entries
+        end)
+      (P.all_oifs p);
+    Buffer.contents b
+  in
+  let fanout () =
+    let nw = now () in
+    List.filter_map
+      (fun (n, entries) ->
+        match
+          List.filter_map
+            (fun (e : Ss.entry) ->
+              if Ss.entry_dead e ~now:nw then None else Some e.Ss.node)
+            entries
+        with
+        | [] -> None
+        | ts -> Some (n, ts))
+      (P.all_oifs p)
+  in
+  let inj = injector net ~subscribe:(P.subscribe p) ~unsubscribe:(P.unsubscribe p) in
+  {
+    proto = "pim-ssm";
+    graph;
+    table = Net.table net;
+    source;
+    candidates =
+      (match candidates with
+      | Some c -> c
+      | None -> default_candidates graph ~source);
+    control_period;
+    t2 = holdtime;
+    subscribe = P.subscribe p;
+    unsubscribe = P.unsubscribe p;
+    members = (fun () -> P.members p);
+    node_up = Net.node_up net;
+    now;
+    run_for = P.run_for p;
+    save =
+      (fun () ->
+        let s = P.snapshot p in
+        let fs = Fault.Injector.save inj in
+        fun () ->
+          P.restore p s;
+          Fault.Injector.restore inj fs);
+    inject = Fault.Injector.apply inj;
+    reconverge = (fun () -> Net.reconverge net);
+    set_default_loss = Net.set_default_loss net;
+    probe =
+      probe_net net
+        ~send_data:(fun () -> P.send_data p)
+        ~run_for:(P.run_for p) ~control_period;
+    dump_tables;
+    fanout;
+    intercept_on_path = false;
+    source_has_state =
+      (fun () ->
+        List.exists (fun (n, _) -> n = source) (fanout ()));
+    branch_nodes = (fun () -> []);
+  }
+
+(* ---- Convenience factory ----------------------------------------------- *)
+
+type protocol = Hbh | Reunite | Pim_ssm
+
+let protocol_of_string = function
+  | "hbh" -> Hbh
+  | "reunite" -> Reunite
+  | "pim" | "pim-ssm" | "pim_ssm" -> Pim_ssm
+  | s -> invalid_arg (Printf.sprintf "Verif.Sut: unknown protocol %S" s)
+
+let protocol_name = function
+  | Hbh -> "hbh"
+  | Reunite -> "reunite"
+  | Pim_ssm -> "pim-ssm"
+
+let make ?candidates protocol table ~source =
+  match protocol with
+  | Hbh -> of_hbh ?candidates (Hbh.Protocol.create table ~source)
+  | Reunite -> of_reunite ?candidates (Reunite.Protocol.create table ~source)
+  | Pim_ssm -> of_pim ?candidates (Pim.Ssm.create table ~source)

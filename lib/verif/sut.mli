@@ -1,0 +1,97 @@
+(** The system under test, seen through the verification layer's
+    eyes: a protocol session reduced to the fixed verb set the
+    explorer and oracles need — drive time, churn members, inject
+    faults, checkpoint/restore, digest state, and expose the logical
+    data-plane fan-out.
+
+    The three protocol stacks have distinct message types (hence
+    distinct network and session types); bundling closures over one
+    concrete session erases that type without an existential, and the
+    explorer stays monomorphic. *)
+
+type t = {
+  proto : string;  (** "hbh", "reunite" or "pim-ssm" *)
+  graph : Topology.Graph.t;
+  table : Routing.Table.t;
+  source : int;
+  candidates : int list;
+      (** hosts scenarios may subscribe (every host but the source by
+          default) *)
+  control_period : float;  (** refresh period — the quiescence window *)
+  t2 : float;  (** state-destruction deadline — bounds the settle budget *)
+  subscribe : int -> unit;
+  unsubscribe : int -> unit;
+  members : unit -> int list;
+  node_up : int -> bool;
+  now : unit -> float;
+  run_for : float -> unit;
+  save : unit -> unit -> unit;
+      (** checkpoint now; the returned thunk restores it, any number
+          of times.  Raises [Invalid_argument] while a topology change
+          awaits reconvergence (see {!Netsim.Network.snapshot}). *)
+  inject : Fault.Plan.action -> unit;
+      (** apply one plan action at the current instant; membership
+          hooks are pre-wired, so [Join]/[Leave] work *)
+  reconverge : unit -> int;
+  set_default_loss : float -> unit;
+  probe : unit -> (int * float) list;
+      (** send one data packet, run a delivery horizon, return its
+          [(receiver, delay)] deliveries.  Mutates the clock and the
+          dedup state: explorers must checkpoint around it. *)
+  dump_tables : unit -> string;
+      (** canonical soft-state dump — the protocol-specific part of
+          {!state_digest} *)
+  fanout : unit -> (int * int list) list;
+      (** data-plane fan-out: each node holding forwarding state,
+          with the targets it currently copies data to *)
+  intercept_on_path : bool;
+      (** REUNITE-style: forwarding state forks traffic {e passing
+          through} the node, so the tree oracle must expand interior
+          path nodes too.  False for HBH and PIM-SSM (state acts only
+          on traffic addressed to the node). *)
+  source_has_state : unit -> bool;
+      (** the source holds live forwarding state for the channel —
+          input to the HBH "first join reaches the source" oracle *)
+  branch_nodes : unit -> (int * int list) list;
+      (** HBH only: branching routers with non-stale entries (their
+          tree targets) — input to the fusion-placement oracle; [[]]
+          for the other protocols *)
+}
+
+(** {1 Canonical state digests} *)
+
+val state_digest : t -> string
+(** MD5 hex over (members, down links, crashed nodes, soft-state
+    tables).  Soft-state deadlines are canonicalized to
+    coarsely-bucketed {e remaining} times, so states reached along
+    different schedules digest equally once settled — and a state
+    still draining (entries decaying toward expiry) keeps changing
+    digest, which is what makes digest stability a sound quiescence
+    test.  Monotonic bookkeeping (sequence numbers, epochs,
+    last-seen clocks) is deliberately excluded. *)
+
+val entry_token : now:float -> Proto.Softstate.entry -> string
+(** One entry's digest token: node, boolean marked flag, bucketed
+    remaining freshness and lifetime.  Exposed for tests. *)
+
+(** {1 Constructors}
+
+    Each wraps a live session created with its default config (the
+    periods baked into [control_period]/[t2] are read from the
+    protocol's defaults where the session does not expose its own). *)
+
+val of_hbh : ?candidates:int list -> Hbh.Protocol.t -> t
+val of_reunite : ?candidates:int list -> Reunite.Protocol.t -> t
+val of_pim : ?candidates:int list -> Pim.Ssm.t -> t
+
+type protocol = Hbh | Reunite | Pim_ssm
+
+val protocol_of_string : string -> protocol
+(** Accepts "hbh", "reunite", "pim", "pim-ssm".  Raises
+    [Invalid_argument] otherwise. *)
+
+val protocol_name : protocol -> string
+
+val make : ?candidates:int list -> protocol -> Routing.Table.t -> source:int -> t
+(** Create a fresh session of the given protocol on the routing table
+    and wrap it. *)

@@ -199,7 +199,8 @@ let prop_event_hbh_matches_analytic_small =
 
 let prop_hbh_recovers_from_link_failure =
   QCheck.Test.make
-    ~name:"HBH: any single link failure + restore heals within 4*t2" ~count:10
+    ~name:"HBH: any single link failure + restore heals by detected quiescence"
+    ~count:10
     QCheck.(int_range 0 100_000)
     (fun seed ->
       let g, table, source, receivers = scenario_of_seed seed in
@@ -237,11 +238,29 @@ let prop_hbh_recovers_from_link_failure =
           Hbh.Protocol.run_for session (2.0 *. cfg.t1);
           Fault.Injector.apply inj (Fault.Plan.Link_up { u; v });
           ignore (Fault.Injector.reconverge net);
-          (* 2*t2 is not always enough: on grid topologies the
-             abandoned branch's soft state can need a third refresh
-             period to expire (seen at input 33155 on the seed code
-             too — the old bound was flaky, not wrong only here). *)
-          Hbh.Protocol.run_for session (4.0 *. cfg.t2);
+          (* Run until the verification layer's quiescence detector
+             sees the soft state settle (canonical digest stable
+             across refresh windows), instead of a blind fixed wait.
+             The budget is derived, not guessed: an abandoned branch
+             drains one hop per t2 in the worst case — a stale
+             entry's final tree messages re-refresh its downstream
+             entry just before it dies — so total drain is bounded by
+             the branch depth, itself bounded by the router count.
+             The old heuristic burned a flat 4*t2 on every run, which
+             both over-waits on the common shallow case and is
+             exceeded by deep refresh chains; detection waits exactly
+             as long as the drain takes and turns a genuinely
+             non-converging state into a failure instead of a silent
+             half-wait. *)
+          let sut = Verif.Sut.of_hbh session in
+          let routers = List.length (Topology.Graph.routers g) in
+          let budget_factor = float_of_int (routers + 2) in
+          (match Verif.Scenario.quiesce ~budget_factor sut with
+          | Some _ -> ()
+          | None ->
+              QCheck.Test.fail_reportf
+                "soft state still churning %g*t2 after link restore"
+                budget_factor);
           let d = Hbh.Protocol.probe session in
           Mcast.Distribution.receivers d = List.sort compare receivers
           && Mcast.Distribution.max_stress d = 1)

@@ -1,0 +1,217 @@
+(* The verification layer: checkpoint/restore soundness, explorer
+   determinism, the injected-bug pipeline (find, minimize, golden
+   replay). *)
+
+let isp_sut protocol () =
+  let graph = Topology.Isp.create () in
+  Verif.Sut.make ~candidates:Topology.Isp.receiver_hosts protocol
+    (Routing.Table.compute graph)
+    ~source:Topology.Isp.source
+
+let rand50_sut protocol ~seed () =
+  let cfg = Experiments.Common.rand50_config ~seed in
+  Verif.Sut.make ~candidates:cfg.Experiments.Common.candidates protocol
+    (Routing.Table.compute cfg.Experiments.Common.graph)
+    ~source:cfg.Experiments.Common.source
+
+let all_protocols = [ Verif.Sut.Hbh; Verif.Sut.Reunite; Verif.Sut.Pim_ssm ]
+
+(* ---- Snapshot round-trip (qcheck) -------------------------------------- *)
+
+(* save -> mutate -> restore -> re-run must be bit-identical (digest
+   equality) to running the suffix without the detour, and to a fresh
+   session replaying the same history.  Exercised for every protocol
+   on both paper topologies. *)
+let snapshot_cases (sut : Verif.Sut.t) rng =
+  let pick xs = List.nth xs (Stats.Rng.int rng (List.length xs)) in
+  let member () = pick sut.Verif.Sut.candidates in
+  let prefix = [ Verif.Scenario.Join (member ()) ] in
+  let detour =
+    [
+      Verif.Scenario.Join (member ());
+      pick
+        [
+          Verif.Scenario.Loss_burst 0.3;
+          Verif.Scenario.Age;
+          Verif.Scenario.Join (member ());
+        ];
+    ]
+  in
+  let suffix =
+    [ pick [ Verif.Scenario.Join (member ()); Verif.Scenario.Age ] ]
+  in
+  (prefix, detour, suffix)
+
+let run_events sut events =
+  List.iter
+    (fun ev ->
+      Verif.Scenario.apply sut ev;
+      ignore (Verif.Scenario.quiesce sut))
+    events
+
+let prop_snapshot_roundtrip name make_sut =
+  QCheck.Test.make ~name ~count:4
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      List.for_all
+        (fun protocol ->
+          let rng = Stats.Rng.create seed in
+          let sut = make_sut protocol () in
+          ignore (Verif.Scenario.quiesce sut);
+          let prefix, detour, suffix = snapshot_cases sut rng in
+          run_events sut prefix;
+          let at_save = Verif.Sut.state_digest sut in
+          let restore = sut.Verif.Sut.save () in
+          (* mutate: wander off, then rewind *)
+          run_events sut detour;
+          restore ();
+          let after_restore = Verif.Sut.state_digest sut in
+          (* re-run the suffix from the restored state *)
+          run_events sut suffix;
+          let replayed = Verif.Sut.state_digest sut in
+          (* a second restore from the same snapshot must work too *)
+          restore ();
+          run_events sut suffix;
+          let replayed_again = Verif.Sut.state_digest sut in
+          (* fresh session, same history, no snapshot involved *)
+          let fresh = make_sut protocol () in
+          ignore (Verif.Scenario.quiesce fresh);
+          run_events fresh prefix;
+          run_events fresh suffix;
+          let fresh_digest = Verif.Sut.state_digest fresh in
+          after_restore = at_save
+          && replayed = replayed_again
+          && replayed = fresh_digest)
+        all_protocols)
+
+(* ---- Explorer determinism ---------------------------------------------- *)
+
+let test_explorer_deterministic () =
+  let outcome () =
+    let config =
+      { Verif.Explore.default_config with depth = 3; max_states = 120 }
+    in
+    Verif.Explore.run ~config (isp_sut Verif.Sut.Hbh ())
+  in
+  let a = outcome () and b = outcome () in
+  Alcotest.(check int) "states" a.Verif.Explore.states b.Verif.Explore.states;
+  Alcotest.(check int)
+    "transitions" a.Verif.Explore.transitions b.Verif.Explore.transitions;
+  Alcotest.(check int)
+    "counterexamples"
+    (List.length a.Verif.Explore.counterexamples)
+    (List.length b.Verif.Explore.counterexamples)
+
+(* ---- Clean protocols pass the oracles ---------------------------------- *)
+
+let test_oracles_clean () =
+  List.iter
+    (fun protocol ->
+      let sut = isp_sut protocol () in
+      ignore (Verif.Scenario.quiesce sut);
+      run_events sut
+        [ Verif.Scenario.Join 19; Verif.Scenario.Join 28; Verif.Scenario.Join 33 ];
+      let restore = sut.Verif.Sut.save () in
+      let vs = Verif.Oracle.check sut in
+      restore ();
+      Alcotest.(check int)
+        (Printf.sprintf "%s: no violations" sut.Verif.Sut.proto)
+        0 (List.length vs))
+    all_protocols
+
+(* ---- Injected bug: find, minimize, stay small -------------------------- *)
+
+let with_frozen_marks f =
+  Proto.Softstate.freeze_marks := true;
+  Fun.protect ~finally:(fun () -> Proto.Softstate.freeze_marks := false) f
+
+let test_injected_bug_caught_and_shrunk () =
+  with_frozen_marks @@ fun () ->
+  let make_sut = isp_sut Verif.Sut.Hbh in
+  let config = { Verif.Explore.default_config with depth = 4 } in
+  let o = Verif.Explore.run ~config (make_sut ()) in
+  (* the acceptance bar: a real state space, and the planted bug found *)
+  Alcotest.(check bool)
+    "explores >= 1000 distinct states" true
+    (o.Verif.Explore.states >= 1000);
+  Alcotest.(check bool)
+    "counterexample found" true
+    (o.Verif.Explore.counterexamples <> []);
+  let cx = List.hd o.Verif.Explore.counterexamples in
+  let minimal = Verif.Shrink.minimize ~make_sut cx in
+  Alcotest.(check bool)
+    (Format.asprintf "shrunk to <= 6 events (got %a)" Verif.Scenario.pp_events
+       minimal)
+    true
+    (List.length minimal <= 6);
+  (* the minimized sequence still reproduces from a cold start *)
+  let vs = Verif.Scenario.replay_events (make_sut ()) minimal in
+  Alcotest.(check bool) "minimal sequence reproduces" true (vs <> [])
+
+(* ---- Golden counterexample fixtures ------------------------------------ *)
+
+let read_file path =
+  (* dune runtest runs with cwd = test dir; dune exec from the root *)
+  let path = if Sys.file_exists path then path else "test/" ^ path in
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden_mark_decay () =
+  let plan = Fault.Plan.of_string (read_file "golden/hbh-mark-decay.plan") in
+  (* text form round-trips *)
+  let reparsed = Fault.Plan.of_string (Fault.Plan.to_string plan) in
+  Alcotest.(check int)
+    "round-trip directive count"
+    (List.length (Fault.Plan.directives plan))
+    (List.length (Fault.Plan.directives reparsed));
+  (* with the bug planted, the fixture reproduces the violation *)
+  let vs =
+    with_frozen_marks (fun () ->
+        Verif.Scenario.replay_plan (isp_sut Verif.Sut.Hbh ()) plan)
+  in
+  Alcotest.(check bool) "buggy replay violates" true (vs <> []);
+  Alcotest.(check bool)
+    "blackhole among violations" true
+    (List.exists
+       (fun (v : Verif.Oracle.violation) ->
+         v.Verif.Oracle.oracle = "no_blackhole")
+       vs);
+  (* on the fixed protocol the same plan is clean: the fixture is a
+     regression tripwire, not a permanent failure *)
+  let vs = Verif.Scenario.replay_plan (isp_sut Verif.Sut.Hbh ()) plan in
+  Alcotest.(check int) "clean replay passes" 0 (List.length vs)
+
+let () =
+  Alcotest.run "verif"
+    [
+      ( "snapshot",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_snapshot_roundtrip
+              "snapshot save/mutate/restore/re-run = fresh run (ISP)"
+              (fun p () -> isp_sut p ());
+            prop_snapshot_roundtrip
+              "snapshot save/mutate/restore/re-run = fresh run (rand50)"
+              (fun p () -> rand50_sut p ~seed:7 ());
+          ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "deterministic in seed" `Quick
+            test_explorer_deterministic;
+          Alcotest.test_case "clean protocols pass all oracles" `Quick
+            test_oracles_clean;
+        ] );
+      ( "shrinking",
+        [
+          Alcotest.test_case "injected mark-decay bug found and minimized"
+            `Slow test_injected_bug_caught_and_shrunk;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "mark-decay fixture loads and replays" `Quick
+            test_golden_mark_decay;
+        ] );
+    ]
