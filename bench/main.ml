@@ -319,12 +319,81 @@ let emit_json rows wall_s =
       close_out oc;
       Format.printf "wrote %s@." file
 
+(* ---- Part 3: dormant-telemetry overhead budget --------------------------- *)
+
+(* The telemetry left always-on in the hot paths is counters and
+   histogram observations; traces, spans, timelines and monitors are
+   pay-for-use and cost nothing until attached.  Budget: the dormant
+   instruments may cost at most 2% of a fig7b sample.  There is no
+   instrument-free build to A/B against, so the overhead is measured
+   by construction: meter how many metric updates one sample actually
+   performs (registry deltas), price each update kind on the very
+   instrument path, and set the total against the sample's own wall
+   time.  HBH_BENCH_OVERHEAD=1 runs only this check and exits 1 over
+   budget, so CI can gate on it without paying for the full harness. *)
+
+let time_ns_per ~iters f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let metric_updates () =
+  let s = Obs.Metrics.snapshot Obs.Metrics.default in
+  ( List.fold_left (fun acc (_, v) -> acc + v) 0 s.Obs.Metrics.counters,
+    List.fold_left
+      (fun acc (_, (h : Obs.Histo.snapshot)) -> acc + h.Obs.Histo.count)
+      0 s.Obs.Metrics.histograms )
+
+let overhead_check () =
+  let rand = Experiments.Common.rand50_config ~seed:42 in
+  let sample = figure_sample rand 45 in
+  for _ = 1 to 5 do
+    sample ()
+  done;
+  let sample_ns = time_ns_per ~iters:40 sample in
+  let c0, h0 = metric_updates () in
+  sample ();
+  let c1, h1 = metric_updates () in
+  let ctr_ops = c1 - c0 and histo_ops = h1 - h0 in
+  let c = Obs.Metrics.counter Obs.Metrics.default "bench.overhead.probe" in
+  let incr_ns =
+    time_ns_per ~iters:20_000_000 (fun () -> Obs.Metrics.incr c)
+  in
+  let h = Obs.Metrics.histogram Obs.Metrics.default "bench.overhead.histo" in
+  let x = ref 0.3 in
+  let observe_ns =
+    time_ns_per ~iters:5_000_000 (fun () ->
+        x := !x +. 1.7;
+        if !x > 5000. then x := 0.3;
+        Obs.Histo.observe h !x)
+  in
+  let cost_ns =
+    (float_of_int ctr_ops *. incr_ns) +. (float_of_int histo_ops *. observe_ns)
+  in
+  let pct = 100. *. cost_ns /. sample_ns in
+  Format.printf "fig7b sample (RAND50, n=45, 4 protocols): %.2f ms/run@."
+    (sample_ns /. 1e6);
+  Format.printf
+    "dormant telemetry per sample: %d counter incrs x %.1f ns + %d histogram \
+     observes x %.1f ns = %.1f us@."
+    ctr_ops incr_ns histo_ops observe_ns (cost_ns /. 1e3);
+  if pct > 2.0 then begin
+    Format.printf "observability-overhead: OVER BUDGET (%.3f%% > 2%%)@." pct;
+    exit 1
+  end
+  else Format.printf "observability-overhead: OK (%.3f%% <= 2%% budget)@." pct
+
 let () =
-  let t0 = Sys.time () in
-  print_figures ();
-  Format.printf "=== Micro-benchmarks (Bechamel, monotonic clock) ===@.@.";
-  let results = benchmark () in
-  let rows = collect results in
-  pp_rows Format.std_formatter rows;
-  emit_json rows (Sys.time () -. t0);
-  Format.printf "@.done.@."
+  match Sys.getenv_opt "HBH_BENCH_OVERHEAD" with
+  | Some "1" -> overhead_check ()
+  | _ ->
+      let t0 = Sys.time () in
+      print_figures ();
+      Format.printf "=== Micro-benchmarks (Bechamel, monotonic clock) ===@.@.";
+      let results = benchmark () in
+      let rows = collect results in
+      pp_rows Format.std_formatter rows;
+      emit_json rows (Sys.time () -. t0);
+      Format.printf "@.done.@."

@@ -114,6 +114,11 @@ let with_obs o ~seed ~companion run =
         Format.printf
           "@.== Trace: last %d of %d events (companion run, %d receivers) ==@."
           (List.length evs) (Obs.Trace.length trace) sample.sample_size;
+        if Obs.Trace.dropped trace > 0 then
+          Format.printf
+            "(ring truncated: %d older events dropped, high water %d)@."
+            (Obs.Trace.dropped trace)
+            (Obs.Trace.high_water trace);
         List.iter (fun e -> Format.printf "%a@." Obs.Event.pp e) evs);
     let snap = Obs.Metrics.snapshot Obs.Metrics.default in
     if o.metrics then begin
@@ -541,7 +546,44 @@ let faults_cmd =
     in
     Arg.(value & opt (some scenario_conv) None & info [ "scenario" ] ~docv:"S" ~doc)
   in
-  let run seed metrics_json scenario protocols =
+  let timeline =
+    let doc =
+      "Sample per-case recovery timelines (repaired receivers, deliveries, \
+       control hops) every $(docv) simulated time units (default 50) and \
+       print them after the report."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some 50.0) (some float) None
+      & info [ "timeline" ] ~docv:"DT" ~doc)
+  in
+  let timeline_ndjson =
+    let doc =
+      "Write the sampled timelines as NDJSON (one row per sample, tagged \
+       with its case) to $(docv); implies $(b,--timeline)."
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "timeline-ndjson" ] ~docv:"FILE" ~doc)
+  in
+  let monitor =
+    let doc =
+      "Arm runtime invariant monitors (loop freedom, coverage, HBH \
+       first-join and fusion placement) on every case and report confirmed \
+       violations.  Monitors are pure observation: outcomes are identical \
+       with or without them."
+    in
+    Arg.(value & flag & info [ "monitor" ] ~doc)
+  in
+  let openmetrics =
+    let doc =
+      "Write the metrics registry in OpenMetrics text format to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "openmetrics" ] ~docv:"FILE" ~doc)
+  in
+  let run seed metrics_json scenario protocols timeline timeline_ndjson monitor
+      openmetrics =
     let scenarios =
       match scenario with
       | None -> Experiments.Faults.all_scenarios
@@ -550,7 +592,25 @@ let faults_cmd =
     let protocols =
       match protocols with [] -> Experiments.Faults.all_protos | ps -> ps
     in
-    let outcomes = Experiments.Faults.run ~seed ~scenarios ~protocols () in
+    let timeline_dt =
+      match (timeline, timeline_ndjson) with
+      | Some dt, _ -> Some dt
+      | None, Some _ -> Some 50.0
+      | None, None -> None
+    in
+    let instrument =
+      if timeline_dt = None && not monitor then None
+      else
+        Some
+          {
+            Experiments.Faults.i_timeline = timeline_dt;
+            i_monitor = monitor;
+          }
+    in
+    let outcomes, obs =
+      Experiments.Faults.run_observed ?instrument ~seed ~scenarios ~protocols
+        ()
+    in
     Experiments.Faults.pp_outcomes Format.std_formatter outcomes;
     let crash_ok =
       List.filter
@@ -579,6 +639,63 @@ let faults_cmd =
           | None -> "-")
           r.Fault.Recovery.total_lost r.Fault.Recovery.total_duplicated)
       crash_ok;
+    (* Everything below is flag-gated: the default report stays
+       bit-identical to the pinned golden. *)
+    if instrument <> None then begin
+      Format.printf "@.== Time-to-repair spans ==@.";
+      List.iter
+        (fun (c : Experiments.Faults.case_obs) ->
+          Format.printf "%-32s %a@." c.Experiments.Faults.c_label
+            Obs.Span.pp_stats
+            (Obs.Span.stats ~name:"repair" c.Experiments.Faults.c_spans))
+        obs
+    end;
+    if timeline_dt <> None then
+      List.iter
+        (fun (c : Experiments.Faults.case_obs) ->
+          match c.Experiments.Faults.c_timeline with
+          | None -> ()
+          | Some tl ->
+              Format.printf "@.== Timeline: %s ==@.%a"
+                c.Experiments.Faults.c_label Obs.Timeline.pp tl)
+        obs;
+    if monitor then begin
+      Format.printf "@.== Invariant monitors ==@.";
+      let total =
+        List.fold_left
+          (fun acc (c : Experiments.Faults.case_obs) ->
+            match c.Experiments.Faults.c_monitor with
+            | None -> acc
+            | Some m ->
+                Format.printf "%a@." Verif.Monitor.pp_summary m;
+                acc + Verif.Monitor.violation_count m)
+          0 obs
+      in
+      Format.printf "monitors: %d violations@." total
+    end;
+    (match timeline_ndjson with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        List.iter
+          (fun (c : Experiments.Faults.case_obs) ->
+            match c.Experiments.Faults.c_timeline with
+            | None -> ()
+            | Some tl ->
+                output_string oc
+                  (Obs.Timeline.to_ndjson
+                     ~tags:[ ("case", c.Experiments.Faults.c_label) ]
+                     tl))
+          obs;
+        close_out oc;
+        Format.eprintf "timelines written to %s@." file);
+    (match openmetrics with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Obs.Openmetrics.of_metrics Obs.Metrics.default);
+        close_out oc;
+        Format.eprintf "openmetrics written to %s@." file);
     match metrics_json with
     | None -> ()
     | Some file ->
@@ -590,7 +707,46 @@ let faults_cmd =
         Format.eprintf "metrics snapshot written to %s@." file
   in
   Cmd.v (Cmd.info "faults" ~doc)
-    Term.(const run $ seed_arg $ metrics_json $ scenario $ protocols_arg)
+    Term.(
+      const run $ seed_arg $ metrics_json $ scenario $ protocols_arg $ timeline
+      $ timeline_ndjson $ monitor $ openmetrics)
+
+let report_cmd =
+  let doc =
+    "Render the convergence report as markdown: the fault-recovery table, \
+     per-case time-to-repair span quantiles, join-latency quantiles \
+     (subscribe on a live stream to first packet), sampled recovery \
+     timelines and the runtime invariant monitors' verdict.  Deterministic \
+     in $(b,--seed)."
+  in
+  let out =
+    let doc = "Write the markdown to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let interval =
+    let doc = "Timeline sampling interval (simulated time units)." in
+    Arg.(value & opt float 50.0 & info [ "interval" ] ~docv:"DT" ~doc)
+  in
+  let run seed out interval =
+    let instrument =
+      {
+        Experiments.Faults.i_timeline = Some interval;
+        i_monitor = true;
+      }
+    in
+    let outcomes, obs = Experiments.Faults.run_observed ~instrument ~seed () in
+    let join_latency = Experiments.Faults.measure_join_latency ~seed () in
+    let md = Experiments.Report.markdown ~seed ~outcomes ~obs ~join_latency () in
+    match out with
+    | None -> print_string md
+    | Some file ->
+        let oc = open_out file in
+        output_string oc md;
+        close_out oc;
+        Format.eprintf "report written to %s@." file
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ seed_arg $ out $ interval)
 
 (* ---- Systematic verification ------------------------------------------ *)
 
@@ -763,6 +919,9 @@ let print_usage () =
   Printf.eprintf
     "usage: hbh_sim COMMAND [--seed N] [--runs N] [--csv] [--protocol %s] \
      [--metrics-json FILE]\n\
+    \       hbh_sim faults [--timeline[=DT]] [--timeline-ndjson FILE] \
+     [--monitor] [--openmetrics FILE] [--scenario S]\n\
+    \       hbh_sim report [--out FILE] [--interval DT] [--seed N]\n\
     \       hbh_sim verify --protocol hbh|reunite|pim [--depth N] \
      [--states N] [--topology isp|rand50] [--seed N] [--json FILE] \
      [--inject-bug mark-decay] [--no-shrink]\n\
@@ -793,6 +952,7 @@ let () =
         asymmetry_cmd;
         validate_cmd;
         faults_cmd;
+        report_cmd;
         verify_cmd;
       ]
   in

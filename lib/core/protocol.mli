@@ -88,6 +88,11 @@ val data_seq : t -> int
     {!send_data} increments it, so callers can correlate sends with
     the deliveries observed via {!Netsim.Network.on_delivery}. *)
 
+val spans : t -> Obs.Span.t
+(** Causal spans recorded by the session runtime — the ["join"]
+    family measures subscribe-on-a-live-stream to first delivery
+    (see {!Proto.Session.Make.spans}). *)
+
 (** {1 Inspection} *)
 
 val state : t -> Mcast.Metrics.state

@@ -114,6 +114,9 @@ type ops = {
   counters : unit -> Net.counters;
   install_plan : seed:int -> Fault.Plan.t -> unit;
   t2 : float;  (* the protocol's slowest soft-state deadline *)
+  make_sut : unit -> Verif.Sut.t;
+      (* wrap the live session for the runtime invariant monitors *)
+  session_spans : unit -> Obs.Span.t;  (* the session's causal spans *)
 }
 
 let hbh_ops graph ~source =
@@ -144,6 +147,8 @@ let hbh_ops graph ~source =
     install_plan =
       (fun ~seed plan -> ignore (Fault.Injector.install ~seed net plan));
     t2 = cfg.t2;
+    make_sut = (fun () -> Verif.Sut.of_hbh s);
+    session_spans = (fun () -> Hbh.Protocol.spans s);
   }
 
 let reunite_ops graph ~source =
@@ -173,6 +178,8 @@ let reunite_ops graph ~source =
     install_plan =
       (fun ~seed plan -> ignore (Fault.Injector.install ~seed net plan));
     t2 = cfg.t2;
+    make_sut = (fun () -> Verif.Sut.of_reunite s);
+    session_spans = (fun () -> Reunite.Protocol.spans s);
   }
 
 let pim_ops graph ~source =
@@ -203,6 +210,8 @@ let pim_ops graph ~source =
     (* PIM's slowest deadline is the oif holdtime; report against the
        same 2*t2 budget as the soft-state protocols for comparability. *)
     t2 = Hbh.Protocol.default_config.t2;
+    make_sut = (fun () -> Verif.Sut.of_pim s);
+    session_spans = (fun () -> Pim.Ssm.spans s);
   }
 
 let ops_of proto graph ~source =
@@ -255,17 +264,72 @@ type outcome = {
   fault_drops : int;  (* loss + link-down + node-down drops *)
 }
 
-let run_one proto ~topology ~graph ~source ~receivers ~scenario ~crash_node
-    ~link ~seed =
+(* What to observe while a case runs.  Observation is strictly
+   read-only — timeline probes and monitor checks read state and
+   schedule only their own timer events — so an instrumented run's
+   outcomes are identical to a plain one's. *)
+type instrument = {
+  i_timeline : float option;  (* sampling interval *)
+  i_monitor : bool;
+}
+
+type case_obs = {
+  c_label : string;  (* "<topology>/<scenario>/<protocol>" *)
+  c_timeline : Obs.Timeline.t option;
+  c_monitor : Verif.Monitor.t option;
+  c_spans : Obs.Span.t;  (* this case's "repair" spans *)
+}
+
+let case_label ~topology ~scenario ~proto =
+  Printf.sprintf "%s/%s/%s" topology (scenario_name scenario) (proto_name proto)
+
+let run_one ?instrument proto ~topology ~graph ~source ~receivers ~scenario
+    ~crash_node ~link ~seed =
   let ops = ops_of proto (G.copy graph) ~source in
   List.iter ops.subscribe receivers;
   ops.converge ();
-  let recov = Fault.Recovery.create ~receivers in
+  let spans = Obs.Span.create () in
+  let recov = Fault.Recovery.create ~spans ~receivers () in
   ops.install_delivery (fun ~now ~receiver ~seq ->
       Fault.Recovery.note_delivery recov ~now ~receiver ~seq);
   let t0 = Engine.now ops.engine in
   let horizon = fault_at +. (2.0 *. ops.t2) +. delivery_slack in
   let probe_until = horizon -. delivery_slack in
+  let obs =
+    match instrument with
+    | None -> None
+    | Some i ->
+        let timeline =
+          match i.i_timeline with
+          | None -> None
+          | Some interval ->
+              let tl = Obs.Timeline.create ~interval () in
+              Obs.Timeline.add_probe tl "repaired" (fun () ->
+                  float_of_int (Fault.Recovery.repaired_count recov));
+              Obs.Timeline.add_probe tl "deliveries" (fun () ->
+                  float_of_int (Fault.Recovery.delivery_count recov));
+              Obs.Timeline.add_probe tl "control_hops" (fun () ->
+                  float_of_int (ops.control ()));
+              ignore
+                (Timer.every ~tag:"obs.timeline" ops.engine ~start:0.0
+                   ~period:interval (fun () ->
+                     let nw = Engine.now ops.engine in
+                     if nw -. t0 <= horizon then
+                       Obs.Timeline.sample tl ~now:(nw -. t0)));
+              Some tl
+        in
+        let monitor =
+          if i.i_monitor then Some (Verif.Monitor.attach (ops.make_sut ()))
+          else None
+        in
+        Some
+          {
+            c_label = case_label ~topology ~scenario ~proto;
+            c_timeline = timeline;
+            c_monitor = monitor;
+            c_spans = spans;
+          }
+  in
   Fault.Recovery.note_control recov ~now:t0 ~hops:(ops.control ());
   ignore
     (Timer.every ~tag:"fault.probe" ops.engine ~start:0.0 ~period:probe_period
@@ -299,15 +363,31 @@ let run_one proto ~topology ~graph ~source ~receivers ~scenario ~crash_node
         Printf.sprintf "link %d-%d" u v
     | Loss_burst -> "30% loss everywhere"
   in
-  {
-    topology;
-    scenario;
-    proto;
-    target;
-    budget = 2.0 *. ops.t2;
-    report = Fault.Recovery.report recov;
-    fault_drops;
-  }
+  (match obs with
+  | Some { c_monitor = Some m; _ } -> Verif.Monitor.stop m
+  | _ -> ());
+  (* Per-protocol time-to-repair distribution, always on: the labeled
+     family aggregates across topologies and scenarios. *)
+  let h_ttr =
+    Obs.Metrics.histogram_l Obs.Metrics.default "span.time_to_repair"
+      (Obs.Labels.v [ ("protocol", String.lowercase_ascii (proto_name proto)) ])
+  in
+  List.iter
+    (fun (o : Fault.Recovery.receiver_outcome) ->
+      match o.Fault.Recovery.time_to_repair with
+      | Some v -> Obs.Histo.observe h_ttr v
+      | None -> ())
+    (Fault.Recovery.report recov).Fault.Recovery.outcomes;
+  ( {
+      topology;
+      scenario;
+      proto;
+      target;
+      budget = 2.0 *. ops.t2;
+      report = Fault.Recovery.report recov;
+      fault_drops;
+    },
+    obs )
 
 (* ---- The experiment ---------------------------------------------- *)
 
@@ -317,8 +397,8 @@ let metric_prefix o =
     (scenario_name o.scenario)
     (String.lowercase_ascii (proto_name o.proto))
 
-let run_config ?(scenarios = all_scenarios) ?(protocols = all_protos) ~seed
-    ~n (config : Common.config) =
+let run_config ?instrument ?(scenarios = all_scenarios)
+    ?(protocols = all_protos) ~seed ~n (config : Common.config) =
   let rng = Stats.Rng.create seed in
   let s =
     Workload.Scenario.make rng config.Common.graph ~source:config.Common.source
@@ -337,22 +417,113 @@ let run_config ?(scenarios = all_scenarios) ?(protocols = all_protos) ~seed
     (fun scenario ->
       List.map
         (fun proto ->
-          let o =
-            run_one proto ~topology:config.Common.label
+          let o, obs =
+            run_one ?instrument proto ~topology:config.Common.label
               ~graph:config.Common.graph ~source:s.Workload.Scenario.source
               ~receivers ~scenario ~crash_node ~link ~seed
           in
           Fault.Recovery.export ~prefix:(metric_prefix o) Obs.Metrics.default
             o.report;
-          o)
+          (o, obs))
         protocols)
     scenarios
 
-let run ?(seed = 42) ?scenarios ?protocols () =
+let run_observed ?instrument ?(seed = 42) ?scenarios ?protocols () =
+  (* Scope the registry to this run: a multi-seed sweep must not
+     accumulate the previous invocation's counts. *)
+  Obs.Metrics.reset Obs.Metrics.default;
   let isp = Common.isp_config () in
   let rand50 = Common.rand50_config ~seed in
-  run_config ?scenarios ?protocols ~seed ~n:8 isp
-  @ run_config ?scenarios ?protocols ~seed ~n:15 rand50
+  let pairs =
+    run_config ?instrument ?scenarios ?protocols ~seed ~n:8 isp
+    @ run_config ?instrument ?scenarios ?protocols ~seed ~n:15 rand50
+  in
+  (List.map fst pairs, List.filter_map snd pairs)
+
+let run ?seed ?scenarios ?protocols () =
+  fst (run_observed ?seed ?scenarios ?protocols ())
+
+(* ---- Join latency under a live stream ----------------------------- *)
+
+(* The paper's join-latency question: with the stream already
+   flowing, how long from a member's subscribe to its first packet?
+   One fresh session per protocol, the tree anchored by one member,
+   then the remaining receivers join one at a time — each join opens
+   a session span that closes at that member's first delivery. *)
+
+let join_warmup = 400.0 (* anchor member + stream settle before joins *)
+let join_stagger = 200.0 (* gap between successive joins *)
+
+type join_latency = {
+  jl_topology : string;
+  jl_proto : proto;
+  jl_stats : Obs.Span.stats;
+}
+
+let measure_join_latency_config ?(protocols = all_protos) ~seed ~n
+    (config : Common.config) =
+  let rng = Stats.Rng.create seed in
+  let s =
+    Workload.Scenario.make rng config.Common.graph ~source:config.Common.source
+      ~candidates:config.Common.candidates ~n
+  in
+  let receivers = List.sort compare s.Workload.Scenario.receivers in
+  List.map
+    (fun proto ->
+      let ops =
+        ops_of proto (G.copy config.Common.graph)
+          ~source:s.Workload.Scenario.source
+      in
+      (match receivers with
+      | first :: rest ->
+          ops.subscribe first;
+          ignore
+            (Timer.every ~tag:"fault.probe" ops.engine ~start:probe_period
+               ~period:probe_period (fun () -> ignore (ops.send_probe ())));
+          List.iteri
+            (fun i r ->
+              ignore
+                (Engine.schedule ~tag:"obs.join" ops.engine
+                   ~delay:(join_warmup +. (float_of_int i *. join_stagger))
+                   (fun () -> ops.subscribe r)))
+            rest
+      | [] -> ());
+      ops.run_until
+        (join_warmup
+        +. (float_of_int (List.length receivers) *. join_stagger)
+        +. (2.0 *. ops.t2));
+      {
+        jl_topology = config.Common.label;
+        jl_proto = proto;
+        jl_stats = Obs.Span.stats ~name:"join" (ops.session_spans ());
+      })
+    protocols
+
+let measure_join_latency ?(seed = 42) ?protocols () =
+  let isp = Common.isp_config () in
+  let rand50 = Common.rand50_config ~seed in
+  measure_join_latency_config ?protocols ~seed ~n:8 isp
+  @ measure_join_latency_config ?protocols ~seed ~n:15 rand50
+
+let jl_headers =
+  [ "topology"; "protocol"; "joins"; "mean"; "p50"; "p95"; "p99"; "max" ]
+
+let jl_row jl =
+  let s = jl.jl_stats in
+  let f v = if Float.is_nan v then "-" else Printf.sprintf "%.0f" v in
+  [
+    jl.jl_topology;
+    proto_name jl.jl_proto;
+    string_of_int s.Obs.Span.n;
+    f s.Obs.Span.mean;
+    f s.Obs.Span.p50;
+    f s.Obs.Span.p95;
+    f s.Obs.Span.p99;
+    f s.Obs.Span.max;
+  ]
+
+let pp_join_latency ppf jls =
+  Stats.Table.render ppf ~headers:jl_headers (List.map jl_row jls)
 
 (* ---- Rendering --------------------------------------------------- *)
 

@@ -8,7 +8,9 @@
 
     Everything is deterministic in [seed]: two runs with the same seed
     produce identical outcomes (the acceptance criterion behind
-    [hbh_sim faults --seed N]). *)
+    [hbh_sim faults --seed N]).  [run] resets the default metrics
+    registry on entry, so each run's snapshot stands alone — running
+    the suite twice yields the same snapshot as running it once. *)
 
 type scenario = Crash | Link_failure | Loss_burst
 
@@ -51,6 +53,10 @@ type ops = {
   counters : unit -> Netsim.Network.counters;
   install_plan : seed:int -> Fault.Plan.t -> unit;
   t2 : float;  (** the protocol's slowest soft-state deadline *)
+  make_sut : unit -> Verif.Sut.t;
+      (** wrap the live session for runtime invariant monitors *)
+  session_spans : unit -> Obs.Span.t;
+      (** the session's causal spans (the ["join"] family) *)
 }
 (** Monomorphic closure bundle over one protocol session so a single
     runner (or an external equivalence harness) can drive all three
@@ -63,17 +69,52 @@ val plan_of : scenario -> crash_node:int -> link:int * int -> Fault.Plan.t
 (** The canonical fault plan for a scenario (crash+restart, link
     down+up, or loss burst) on the chosen targets. *)
 
+(** {1 Observation}
+
+    Instrumentation is strictly read-only: timeline probes and
+    monitor checks read state and schedule only their own timer
+    events, so an instrumented run's outcomes — and the default
+    stdout — are identical to a plain run's. *)
+
+type instrument = {
+  i_timeline : float option;  (** sampling interval, when wanted *)
+  i_monitor : bool;  (** arm {!Verif.Monitor} per case *)
+}
+
+type case_obs = {
+  c_label : string;  (** ["<topology>/<scenario>/<protocol>"] *)
+  c_timeline : Obs.Timeline.t option;
+      (** per-interval recovery curve: repaired receivers, distinct
+          deliveries, cumulative control hops — times relative to the
+          case's converged start *)
+  c_monitor : Verif.Monitor.t option;  (** stopped, ready to summarize *)
+  c_spans : Obs.Span.t;  (** the case's ["repair"] spans *)
+}
+
 val run_config :
+  ?instrument:instrument ->
   ?scenarios:scenario list ->
   ?protocols:proto list ->
   seed:int ->
   n:int ->
   Common.config ->
-  outcome list
+  (outcome * case_obs option) list
 (** Run every (scenario, protocol) pair on one topology with [n]
     receivers; recovery metrics are exported to
     {!Obs.Metrics.default} under [fault.exp.<topo>.<scenario>.<proto>]
-    prefixes. *)
+    prefixes, and per-receiver repair times additionally feed the
+    labeled [span.time_to_repair{protocol="..."}] histogram. *)
+
+val run_observed :
+  ?instrument:instrument ->
+  ?seed:int ->
+  ?scenarios:scenario list ->
+  ?protocols:proto list ->
+  unit ->
+  outcome list * case_obs list
+(** The full experiment: ISP topology (8 receivers) and the 50-node
+    random topology (15 receivers).  Resets {!Obs.Metrics.default} on
+    entry so each invocation's metrics stand alone. *)
 
 val run :
   ?seed:int ->
@@ -81,9 +122,30 @@ val run :
   ?protocols:proto list ->
   unit ->
   outcome list
-(** The full experiment: ISP topology (8 receivers) and the 50-node
-    random topology (15 receivers). *)
+(** {!run_observed} without instrumentation, outcomes only. *)
 
 val headers : string list
 val row : outcome -> string list
 val pp_outcomes : Format.formatter -> outcome list -> unit
+
+(** {1 Join latency}
+
+    The paper's join-latency question, measured with spans: with the
+    stream already flowing (anchored by one member), each remaining
+    receiver joins one at a time; its span runs from subscribe to its
+    first delivered packet. *)
+
+type join_latency = {
+  jl_topology : string;
+  jl_proto : proto;
+  jl_stats : Obs.Span.stats;  (** exact quantiles over joins *)
+}
+
+val measure_join_latency_config :
+  ?protocols:proto list -> seed:int -> n:int -> Common.config -> join_latency list
+
+val measure_join_latency :
+  ?seed:int -> ?protocols:proto list -> unit -> join_latency list
+(** Both evaluation topologies (8 and 15 receivers, like {!run}). *)
+
+val pp_join_latency : Format.formatter -> join_latency list -> unit

@@ -1,7 +1,9 @@
 let isp ?runs ?seed () =
+  Obs.Metrics.reset Obs.Metrics.default;
   Common.sweep ?runs ?seed (Common.isp_config ())
 
 let rand50 ?runs ?seed () =
+  Obs.Metrics.reset Obs.Metrics.default;
   let seed = Option.value ~default:42 seed in
   Common.sweep ?runs ~seed (Common.rand50_config ~seed)
 

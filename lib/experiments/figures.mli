@@ -3,7 +3,11 @@
     Figures 7(a,b) and 8(a,b) come from the same two Monte-Carlo
     sweeps — one per topology — reporting respectively the average
     tree cost (packet copies) and the average receiver delay, for
-    PIM-SM, PIM-SS, REUNITE and HBH, as the group size varies. *)
+    PIM-SM, PIM-SS, REUNITE and HBH, as the group size varies.
+
+    Each sweep resets the default metrics registry on entry, so its
+    snapshot stands alone: two consecutive sweeps report the same
+    numbers as one. *)
 
 val isp : ?runs:int -> ?seed:int -> unit -> Common.result
 (** The ISP-topology sweep behind figures 7(a) and 8(a). *)

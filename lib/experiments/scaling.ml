@@ -33,6 +33,7 @@ let advantage ~runs ~seed ~n_routers ~avg_degree ~receivers:k =
 
 let connectivity ?(runs = 150) ?(seed = 42)
     ?(degrees = [ 3.0; 4.0; 6.0; 8.0; 10.0 ]) () =
+  Obs.Metrics.reset Obs.Metrics.default;
   List.map
     (fun d ->
       let cost, delay =
@@ -46,6 +47,7 @@ let connectivity ?(runs = 150) ?(seed = 42)
     degrees
 
 let size ?(runs = 150) ?(seed = 42) ?(sizes = [ 20; 50; 100; 150 ]) () =
+  Obs.Metrics.reset Obs.Metrics.default;
   List.map
     (fun n ->
       let cost, delay =
@@ -161,6 +163,7 @@ let fastpath_one ~seed ~flaps ~live n =
 
 let large ?(seed = 42) ?(flaps = 5) ?(live = 32)
     ?(sizes = [ 50; 200; 500; 1000 ]) () =
+  Obs.Metrics.reset Obs.Metrics.default;
   List.map (fun n -> fastpath_one ~seed ~flaps ~live n) sizes
 
 let fastpath_to_json points =

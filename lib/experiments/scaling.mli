@@ -9,7 +9,10 @@
       "more connected" axis (the paper's two data points are degree
       3.3 and 8.6).
     - {!size}: average degree fixed at 4, router count swept — the
-      "larger" axis. *)
+      "larger" axis.
+
+    Every sweep resets the default metrics registry on entry, so its
+    snapshot stands alone. *)
 
 type point = {
   x : int;  (** degree×10 for connectivity, router count for size *)

@@ -5,9 +5,14 @@ type t = {
   first_repair : (int, float) Hashtbl.t;  (* receiver -> delivery time *)
   mutable fault_time : float option;
   mutable control : (float * int) list;  (* (time, cumulative hops), newest first *)
+  spans : Obs.Span.t option;
+      (* when wired, one "repair" span per receiver brackets
+         fault -> first proof of healing *)
 }
 
-let create ~receivers =
+let repair_span = "repair"
+
+let create ?spans ~receivers () =
   {
     receivers = List.sort_uniq compare receivers;
     sends = Hashtbl.create 256;
@@ -15,6 +20,7 @@ let create ~receivers =
     first_repair = Hashtbl.create 16;
     fault_time = None;
     control = [];
+    spans;
   }
 
 let receivers t = t.receivers
@@ -24,9 +30,19 @@ let note_send t ~now ~seq =
   if not (Hashtbl.mem t.sends seq) then Hashtbl.replace t.sends seq now
 
 let note_fault t ~now =
-  match t.fault_time with
+  (match t.fault_time with
   | Some tf when tf <= now -> ()
-  | _ -> t.fault_time <- Some now
+  | _ -> t.fault_time <- Some now);
+  match t.spans with
+  | Some spans ->
+      List.iter
+        (fun r ->
+          if
+            (not (Hashtbl.mem t.first_repair r))
+            && not (Obs.Span.is_open spans repair_span ~key:r)
+          then Obs.Span.start spans repair_span ~key:r ~now)
+        t.receivers
+  | None -> ()
 
 let note_control t ~now ~hops = t.control <- (now, hops) :: t.control
 
@@ -39,9 +55,17 @@ let note_delivery t ~now ~receiver ~seq =
   match t.fault_time with
   | Some tf when not (Hashtbl.mem t.first_repair receiver) -> (
       match Hashtbl.find_opt t.sends seq with
-      | Some sent when sent >= tf -> Hashtbl.replace t.first_repair receiver now
+      | Some sent when sent >= tf ->
+          Hashtbl.replace t.first_repair receiver now;
+          (match t.spans with
+          | Some spans ->
+              ignore (Obs.Span.finish spans repair_span ~key:receiver ~now)
+          | None -> ())
       | _ -> ())
   | _ -> ()
+
+let repaired_count t = Hashtbl.length t.first_repair
+let delivery_count t = Hashtbl.length t.got
 
 type receiver_outcome = {
   receiver : int;

@@ -16,8 +16,20 @@
 
 type t
 
-val create : receivers:int list -> t
+val create : ?spans:Obs.Span.t -> receivers:int list -> unit -> t
+(** [spans], when given, records one ["repair"] span per receiver:
+    opened at {!note_fault}, closed at the receiver's first
+    post-fault delivery — so a span store shared across cases
+    accumulates an exact time-to-repair distribution. *)
+
 val receivers : t -> int list
+
+val repaired_count : t -> int
+(** Receivers whose first post-fault delivery has been seen — the
+    monotone recovery curve a timeline samples. *)
+
+val delivery_count : t -> int
+(** Distinct (receiver, seq) deliveries observed so far. *)
 
 val note_send : t -> now:float -> seq:int -> unit
 (** First call per [seq] wins (retransmissions keep the original

@@ -18,6 +18,7 @@ type kind =
   | Node_crash
   | Node_restart
   | Route_reconverge of { changed : int }
+  | Invariant_violation of { oracle : string; detail : string }
   | Note of string
 
 type t = {
@@ -45,6 +46,7 @@ let label = function
   | Node_crash -> "crash"
   | Node_restart -> "restart"
   | Route_reconverge _ -> "reconverge"
+  | Invariant_violation _ -> "invariant"
   | Note _ -> "note"
 
 let op_name = function
@@ -90,6 +92,8 @@ let summary = function
   | Node_restart -> "node restarted"
   | Route_reconverge { changed } ->
       Printf.sprintf "routing reconverged (%d next-hops changed)" changed
+  | Invariant_violation { oracle; detail } ->
+      Printf.sprintf "VIOLATION %s: %s" oracle detail
   | Note s -> s
 
 let pp ppf e =
@@ -135,6 +139,8 @@ let to_json e =
         [ ("u", Json.Int u); ("v", Json.Int v) ]
     | Node_crash | Node_restart -> []
     | Route_reconverge { changed } -> [ ("changed", Json.Int changed) ]
+    | Invariant_violation { oracle; detail } ->
+        [ ("oracle", Json.String oracle); ("detail", Json.String detail) ]
     | Note s -> [ ("msg", Json.String s) ]
   in
   Json.Obj (base @ channel @ detail)

@@ -46,6 +46,11 @@ type kind =
       (** The unicast forwarding plane was recomputed; [changed]
           counts (node, destination) next-hop decisions that
           differ. *)
+  | Invariant_violation of { oracle : string; detail : string }
+      (** A runtime invariant monitor confirmed an oracle violation
+          (loop in the tree, uncovered member, ...) during an
+          ordinary run — the structured evidence behind
+          [obs.monitor.violations]. *)
   | Note of string  (** Free-form message (legacy string traces). *)
 
 type t = {
@@ -61,7 +66,8 @@ val label : kind -> string
 (** Stable lowercase tag: ["join"], ["tree"], ["fusion"],
     ["pkt-fwd"], ["pkt-dup"], ["mft"], ["mct"], ["member-join"],
     ["member-leave"], ["pkt-lost"], ["link-down"], ["link-up"],
-    ["crash"], ["restart"], ["reconverge"], ["note"]. *)
+    ["crash"], ["restart"], ["reconverge"], ["invariant"],
+    ["note"]. *)
 
 val summary : kind -> string
 (** The event body rendered as the legacy one-line message (without

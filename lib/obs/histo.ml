@@ -91,12 +91,67 @@ let snapshot t =
     max = t.max;
   }
 
+(* Interpolated quantile from the bucket counts.  The rank'th
+   observation (1-based, rank = ceil(q * count)) is located in its
+   bucket, then linearly interpolated between the bucket's bounds —
+   the classic fixed-bucket estimate, exact at bucket edges.  The
+   estimate is clamped to the observed [min, max] so a handful of
+   samples in a wide bucket cannot produce a value outside the data.
+   Ranks landing in the overflow bucket return [max] (NaN-quarantined
+   samples also live there, so the top tail is only ever reported as
+   "at least max"). *)
+let quantile (s : snapshot) q =
+  if s.count = 0 || Float.is_nan q then nan
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = Float.max 1.0 (Float.round (q *. float_of_int s.count)) in
+    let rec locate lower cum = function
+      | [] -> s.max (* overflow bucket *)
+      | (upper, c) :: rest ->
+          let cum' = cum + c in
+          if float_of_int cum' >= rank && c > 0 then begin
+            let frac =
+              (rank -. float_of_int cum) /. float_of_int c
+            in
+            let lo = if Float.is_nan lower then Float.min s.min upper else lower in
+            let v = lo +. (frac *. (upper -. lo)) in
+            Float.max s.min (Float.min s.max v)
+          end
+          else locate upper cum' rest
+    in
+    locate nan 0 s.buckets
+  end
+
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_min : float;
+  s_max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summary (s : snapshot) =
+  {
+    s_count = s.count;
+    s_mean = (if s.count = 0 then nan else s.sum /. float_of_int s.count);
+    s_min = s.min;
+    s_max = s.max;
+    p50 = quantile s 0.50;
+    p95 = quantile s 0.95;
+    p99 = quantile s 0.99;
+  }
+
 let pp_snapshot ppf s =
   if s.count = 0 then Format.fprintf ppf "empty"
   else begin
-    Format.fprintf ppf "count=%d mean=%.3f min=%.3f max=%.3f" s.count
+    let sm = summary s in
+    Format.fprintf ppf
+      "count=%d mean=%.3f min=%.3f max=%.3f p50=%.3f p95=%.3f p99=%.3f"
+      s.count
       (s.sum /. float_of_int s.count)
-      s.min s.max;
+      s.min s.max sm.p50 sm.p95 sm.p99;
     List.iter
       (fun (b, c) -> if c > 0 then Format.fprintf ppf " le%g:%d" b c)
       s.buckets;

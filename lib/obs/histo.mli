@@ -44,5 +44,26 @@ type snapshot = {
 
 val snapshot : t -> snapshot
 
+val quantile : snapshot -> float -> float
+(** [quantile s q] estimates the [q]-quantile ([0 <= q <= 1]) by
+    linear interpolation within the bucket holding the target rank,
+    clamped to the observed [[min, max]].  Ranks falling in the
+    overflow bucket report [max] (a lower bound on the true tail —
+    NaN-quarantined samples live there too).  [nan] when empty. *)
+
+type summary = {
+  s_count : int;
+  s_mean : float;  (** [nan] when empty *)
+  s_min : float;
+  s_max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summary : snapshot -> summary
+(** Moments plus interpolated p50/p95/p99 (see {!quantile}). *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit
-(** One line: count/mean/min/max plus the non-empty buckets. *)
+(** One line: count/mean/min/max/p50/p95/p99 plus the non-empty
+    buckets. *)

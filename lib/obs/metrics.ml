@@ -5,6 +5,10 @@ type t = {
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, Histo.t) Hashtbl.t;
+  (* Series keys are the label-encoded names ([name{k="v"}]); this
+     side table remembers each key's (base name, label set) so
+     exporters can group families without re-parsing. *)
+  series : (string, string * Labels.t) Hashtbl.t;
 }
 
 let create () =
@@ -12,29 +16,43 @@ let create () =
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
+    series = Hashtbl.create 32;
   }
 
 let default = create ()
 
-let intern tbl name make =
-  match Hashtbl.find_opt tbl name with
+let intern t tbl name labels make =
+  let key = Labels.series_name name labels in
+  match Hashtbl.find_opt tbl key with
   | Some x -> x
   | None ->
       let x = make () in
-      Hashtbl.replace tbl name x;
+      Hashtbl.replace tbl key x;
+      Hashtbl.replace t.series key (name, labels);
       x
 
-let counter t name = intern t.counters name (fun () -> { n = 0 })
+let counter_l t name labels =
+  intern t t.counters name labels (fun () -> { n = 0 })
+
+let counter t name = counter_l t name Labels.empty
 let incr c = c.n <- c.n + 1
 let add c k = c.n <- c.n + k
 let value c = c.n
 
-let gauge t name = intern t.gauges name (fun () -> { v = nan })
+let gauge_l t name labels = intern t t.gauges name labels (fun () -> { v = nan })
+let gauge t name = gauge_l t name Labels.empty
 let set g v = g.v <- v
 let gauge_value g = g.v
 
-let histogram t ?buckets name =
-  intern t.histograms name (fun () -> Histo.create ?buckets ())
+let histogram_l t ?buckets name labels =
+  intern t t.histograms name labels (fun () -> Histo.create ?buckets ())
+
+let histogram t ?buckets name = histogram_l t ?buckets name Labels.empty
+
+let decompose t key =
+  match Hashtbl.find_opt t.series key with
+  | Some d -> d
+  | None -> (key, Labels.empty)
 
 let reset t =
   Hashtbl.iter (fun _ c -> c.n <- 0) t.counters;
@@ -57,6 +75,21 @@ let snapshot (t : t) =
     gauges = sorted_bindings t.gauges (fun g -> g.v);
     histograms = sorted_bindings t.histograms Histo.snapshot;
   }
+
+type 'v series = { base : string; labels : Labels.t; value : 'v }
+
+let series_of t bindings =
+  List.map
+    (fun (key, value) ->
+      let base, labels = decompose t key in
+      { base; labels; value })
+    bindings
+
+let counter_series t = series_of t (sorted_bindings t.counters (fun c -> c.n))
+let gauge_series t = series_of t (sorted_bindings t.gauges (fun g -> g.v))
+
+let histogram_series t =
+  series_of t (sorted_bindings t.histograms Histo.snapshot)
 
 let find_counter s name = List.assoc_opt name s.counters
 let find_gauge s name = List.assoc_opt name s.gauges
@@ -88,6 +121,9 @@ let histo_to_json (h : Histo.snapshot) =
       ("sum", Json.Float h.sum);
       ("min", Json.Float h.min);
       ("max", Json.Float h.max);
+      ("p50", Json.Float (Histo.quantile h 0.50));
+      ("p95", Json.Float (Histo.quantile h 0.95));
+      ("p99", Json.Float (Histo.quantile h 0.99));
       ( "buckets",
         Json.List
           (List.map

@@ -43,10 +43,29 @@ val histogram : t -> ?buckets:float array -> string -> Histo.t
 (** Register (or fetch) a histogram; [buckets] only applies on first
     registration. *)
 
+(** {1 Labeled series}
+
+    A labeled instrument is one series of a family: same base name,
+    distinguished by a canonical {!Labels.t} (e.g.
+    [span.join_latency{protocol="hbh"}]).  Identity is (name, label
+    set) — label construction order never splits a series.  Labeled
+    series appear in snapshots under their encoded
+    [name{k="v",...}] key, sorted with everything else. *)
+
+val counter_l : t -> string -> Labels.t -> counter
+val gauge_l : t -> string -> Labels.t -> gauge
+val histogram_l : t -> ?buckets:float array -> string -> Labels.t -> Histo.t
+
+val decompose : t -> string -> string * Labels.t
+(** Recover (base name, label set) from a snapshot key registered in
+    this registry; unlabeled keys decompose to themselves and
+    {!Labels.empty}. *)
+
 val reset : t -> unit
 (** Zero every instrument (counters to 0, gauges to [nan], histograms
     emptied).  Instruments stay registered — held references remain
-    valid. *)
+    valid.  Experiment entry points call this so each run's snapshot
+    stands alone instead of accumulating across a sweep. *)
 
 (** {1 Snapshots} *)
 
@@ -57,6 +76,15 @@ type snapshot = {
 }
 
 val snapshot : t -> snapshot
+
+type 'v series = { base : string; labels : Labels.t; value : 'v }
+
+val counter_series : t -> int series list
+(** Every counter with its decomposed (base, labels), sorted by
+    encoded key — what the OpenMetrics exporter walks. *)
+
+val gauge_series : t -> float series list
+val histogram_series : t -> Histo.snapshot series list
 
 val find_counter : snapshot -> string -> int option
 val find_gauge : snapshot -> string -> float option

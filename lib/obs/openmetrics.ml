@@ -1,0 +1,120 @@
+(* OpenMetrics text exposition for a Metrics registry.
+
+   Counters render as <name>_total, histograms as the cumulative
+   _bucket/_sum/_count triple, gauges verbatim; metric names have
+   dots mapped to underscores (dots are not legal in OpenMetrics
+   names, and our registry is dot-namespaced).  Families are grouped
+   so a labeled family emits one TYPE line followed by every series.
+   The output ends with "# EOF" per the spec. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let render_labels labels extra =
+  let pairs =
+    List.map (fun (k, v) -> (k, v)) (Labels.bindings labels) @ extra
+  in
+  match pairs with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (Labels.escape_value v))
+             pairs)
+      ^ "}"
+
+(* %.17g-style float that round-trips; integers print bare. *)
+let float_str v =
+  if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let group_families series =
+  (* series is sorted by encoded key; group consecutive equal bases
+     while preserving order of first appearance. *)
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (s : _ Metrics.series) ->
+      match Hashtbl.find_opt tbl s.Metrics.base with
+      | Some l -> l := s :: !l
+      | None ->
+          Hashtbl.replace tbl s.Metrics.base (ref [ s ]);
+          order := s.Metrics.base :: !order)
+    series;
+  List.rev_map (fun base -> (base, List.rev !(Hashtbl.find tbl base))) !order
+
+let of_metrics m =
+  let b = Buffer.create 4096 in
+  let meta name typ =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ)
+  in
+  List.iter
+    (fun (base, series) ->
+      let name = sanitize base in
+      meta name "counter";
+      List.iter
+        (fun (s : int Metrics.series) ->
+          Buffer.add_string b
+            (Printf.sprintf "%s_total%s %d\n" name
+               (render_labels s.Metrics.labels [])
+               s.Metrics.value))
+        series)
+    (group_families (Metrics.counter_series m));
+  List.iter
+    (fun (base, series) ->
+      let live =
+        List.filter
+          (fun (s : float Metrics.series) -> not (Float.is_nan s.Metrics.value))
+          series
+      in
+      if live <> [] then begin
+        let name = sanitize base in
+        meta name "gauge";
+        List.iter
+          (fun (s : float Metrics.series) ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %s\n" name
+                 (render_labels s.Metrics.labels [])
+                 (float_str s.Metrics.value)))
+          live
+      end)
+    (group_families (Metrics.gauge_series m));
+  List.iter
+    (fun (base, series) ->
+      let name = sanitize base in
+      meta name "histogram";
+      List.iter
+        (fun (s : Histo.snapshot Metrics.series) ->
+          let h = s.Metrics.value in
+          let labels = s.Metrics.labels in
+          let cum = ref 0 in
+          List.iter
+            (fun (le, n) ->
+              cum := !cum + n;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" name
+                   (render_labels labels [ ("le", float_str le) ])
+                   !cum))
+            h.Histo.buckets;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" name
+               (render_labels labels [ ("le", "+Inf") ])
+               h.Histo.count);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" name (render_labels labels [])
+               (float_str h.Histo.sum));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" name (render_labels labels [])
+               h.Histo.count))
+        series)
+    (group_families (Metrics.histogram_series m));
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

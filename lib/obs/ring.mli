@@ -11,8 +11,17 @@ val capacity : 'a t -> int
 val length : 'a t -> int
 (** Entries currently held, [<= capacity]. *)
 
+val dropped : 'a t -> int
+(** Entries evicted (oldest-first) since creation or the last
+    {!clear} — the truncation the ring's bound has cost so far. *)
+
+val high_water : 'a t -> int
+(** Maximum {!length} reached since creation or the last {!clear};
+    [high_water t < capacity t] proves the bound never bit. *)
+
 val push : 'a t -> 'a -> unit
-(** Appends; silently drops the oldest entry once at capacity. *)
+(** Appends; drops the oldest entry once at capacity (counted in
+    {!dropped}). *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 (** Oldest first. *)
@@ -28,3 +37,4 @@ val last : 'a t -> int -> 'a list
     them first. *)
 
 val clear : 'a t -> unit
+(** Empties the ring and resets {!dropped} and {!high_water}. *)

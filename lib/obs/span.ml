@@ -1,0 +1,122 @@
+(* Causal spans: an operation that starts at one simulated instant
+   and finishes at another — a member's join converging, a fault
+   being repaired.  Spans are keyed by (name, key) so concurrent
+   members never collide; durations are kept exactly (not bucketed)
+   so quantiles are precise, and completion order is deterministic
+   under a seeded run. *)
+
+type t = {
+  open_spans : (string * int, float) Hashtbl.t;
+  mutable completed : (string * int * float * float) list;
+  (* (name, key, started, duration), newest first *)
+  mutable n_completed : int;
+  mutable n_opened : int;
+  mutable n_dropped : int;
+}
+
+let create () =
+  {
+    open_spans = Hashtbl.create 16;
+    completed = [];
+    n_completed = 0;
+    n_opened = 0;
+    n_dropped = 0;
+  }
+
+let start t name ~key ~now =
+  let id = (name, key) in
+  (* Re-starting an in-flight span abandons the first attempt: the
+     newer episode supersedes it (e.g. leave + rejoin before the
+     first join ever completed). *)
+  if Hashtbl.mem t.open_spans id then t.n_dropped <- t.n_dropped + 1
+  else t.n_opened <- t.n_opened + 1;
+  Hashtbl.replace t.open_spans id now
+
+let is_open t name ~key = Hashtbl.mem t.open_spans (name, key)
+
+let finish t name ~key ~now =
+  let id = (name, key) in
+  match Hashtbl.find_opt t.open_spans id with
+  | None -> None
+  | Some started ->
+      Hashtbl.remove t.open_spans id;
+      let d = now -. started in
+      t.completed <- (name, key, started, d) :: t.completed;
+      t.n_completed <- t.n_completed + 1;
+      Some d
+
+let drop t name ~key =
+  let id = (name, key) in
+  if Hashtbl.mem t.open_spans id then begin
+    Hashtbl.remove t.open_spans id;
+    t.n_dropped <- t.n_dropped + 1;
+    true
+  end
+  else false
+
+let drop_all_open t =
+  let n = Hashtbl.length t.open_spans in
+  Hashtbl.reset t.open_spans;
+  t.n_dropped <- t.n_dropped + n;
+  n
+
+let open_count t = Hashtbl.length t.open_spans
+let opened t = t.n_opened
+let completed_count t = t.n_completed
+let dropped t = t.n_dropped
+
+let completed ?name t =
+  let sel =
+    match name with None -> fun _ -> true | Some n -> fun (m, _, _, _) -> m = n
+  in
+  List.rev (List.filter sel t.completed)
+
+let durations ?name t =
+  List.map (fun (_, _, _, d) -> d) (completed ?name t)
+
+type stats = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+(* Exact quantiles over the recorded durations (nearest-rank). *)
+let stats ?name t =
+  match durations ?name t with
+  | [] ->
+      { n = 0; mean = nan; min = nan; max = nan; p50 = nan; p95 = nan; p99 = nan }
+  | ds ->
+      let a = Array.of_list ds in
+      Array.sort compare a;
+      let n = Array.length a in
+      let q p =
+        let rank = int_of_float (ceil (p *. float_of_int n)) in
+        a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+      in
+      let sum = Array.fold_left ( +. ) 0.0 a in
+      {
+        n;
+        mean = sum /. float_of_int n;
+        min = a.(0);
+        max = a.(n - 1);
+        p50 = q 0.50;
+        p95 = q 0.95;
+        p99 = q 0.99;
+      }
+
+let pp_stats ppf s =
+  if s.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.3f min=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f"
+      s.n s.mean s.min s.p50 s.p95 s.p99 s.max
+
+let clear t =
+  Hashtbl.reset t.open_spans;
+  t.completed <- [];
+  t.n_completed <- 0;
+  t.n_opened <- 0;
+  t.n_dropped <- 0

@@ -1,0 +1,71 @@
+(** Causal spans over simulated time.
+
+    A span is a named operation with a start and an end instant —
+    member 7's join converging, the repair after a link failure —
+    keyed by an integer (usually the node id) so many can be in
+    flight at once.  Durations are recorded exactly, so the
+    summary quantiles are precise rather than bucket-interpolated,
+    and under a seeded run the whole record is reproducible.
+
+    The open/close discipline is checkable: {!opened} =
+    {!completed_count} + {!open_count}, with abandoned attempts
+    accounted separately in {!dropped}. *)
+
+type t
+
+val create : unit -> t
+
+val start : t -> string -> key:int -> now:float -> unit
+(** Open span [(name, key)] at [now].  Re-starting an already-open
+    span abandons the first attempt (counted in {!dropped}) and
+    restarts the clock — the newer episode supersedes it. *)
+
+val finish : t -> string -> key:int -> now:float -> float option
+(** Close the span and return its duration; [None] when no such span
+    is open (closing is idempotent by construction). *)
+
+val drop : t -> string -> key:int -> bool
+(** Abandon an open span without recording a duration (e.g. the
+    member unsubscribed before its join completed).  Returns whether
+    a span was actually open. *)
+
+val is_open : t -> string -> key:int -> bool
+
+val drop_all_open : t -> int
+(** Abandon every open span (counted in {!dropped}); returns how many
+    there were.  Called when a checkpoint restore invalidates
+    in-flight operations. *)
+
+(** {1 Accounting} *)
+
+val open_count : t -> int
+val opened : t -> int  (** Spans ever started (excluding restarts). *)
+
+val completed_count : t -> int
+val dropped : t -> int
+
+val completed : ?name:string -> t -> (string * int * float * float) list
+(** Completed spans as [(name, key, started, duration)], completion
+    order; [?name] filters to one family. *)
+
+val durations : ?name:string -> t -> float list
+
+(** {1 Summaries} *)
+
+type stats = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val stats : ?name:string -> t -> stats
+(** Exact nearest-rank quantiles over the completed durations; all
+    fields [nan] when [n = 0]. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val clear : t -> unit

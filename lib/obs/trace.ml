@@ -37,6 +37,8 @@ let events t = Ring.to_list t.ring
 let last t n = Ring.last t.ring n
 let length t = Ring.length t.ring
 let capacity t = Ring.capacity t.ring
+let dropped t = Ring.dropped t.ring
+let high_water t = Ring.high_water t.ring
 let clear t = Ring.clear t.ring
 
 let dump ppf t = Ring.iter (fun e -> Format.fprintf ppf "%a@." Event.pp e) t.ring

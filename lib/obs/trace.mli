@@ -62,6 +62,15 @@ val last : t -> int -> Event.t list
 
 val length : t -> int
 val capacity : t -> int
+
+val dropped : t -> int
+(** Ring truncation: events evicted since creation/{!clear}.  Report
+    this alongside dumps so a bounded trace never silently lies about
+    completeness. *)
+
+val high_water : t -> int
+(** Maximum ring occupancy since creation/{!clear}. *)
+
 val clear : t -> unit
 
 val dump : Format.formatter -> t -> unit

@@ -72,6 +72,10 @@ val send_data : t -> unit
 val data_seq : t -> int
 (** Sequence number of the last data packet sent (0 initially). *)
 
+val spans : t -> Obs.Span.t
+(** Causal spans recorded by the session runtime (the ["join"]
+    latency family; see {!Proto.Session.Make.spans}). *)
+
 val probe : t -> Mcast.Distribution.t
 (** Reset accounting, send one data packet, run a delivery horizon
     and return the measured distribution. *)

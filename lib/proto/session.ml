@@ -46,6 +46,13 @@ module Make (P : PROTOCOL) = struct
   let m_route_changes = counter "route_changes"
   let g_state = gauge "state_entries"
 
+  (* Join latency (subscribe on a live stream -> first data delivery),
+     one labeled series per protocol so cross-protocol comparison
+     reads straight out of the registry. *)
+  let h_join_latency =
+    Obs.Metrics.histogram_l Obs.Metrics.default "span.join_latency"
+      (Obs.Labels.v [ ("protocol", P.name) ])
+
   let tag suffix = Printf.sprintf "proto.%s.%s" P.name suffix
 
   type t = {
@@ -62,6 +69,7 @@ module Make (P : PROTOCOL) = struct
     member_timers : (int, Timer.t) Hashtbl.t;
     member_handler_installed : (int, unit) Hashtbl.t;
     mutable data_seq : int;
+    spans : Obs.Span.t;
   }
 
   and handler = t -> int -> P.msg Pkt.t -> Net.verdict
@@ -101,6 +109,8 @@ module Make (P : PROTOCOL) = struct
   let members t = List.sort compare t.members
   let now t = Engine.now t.engine
   let data_seq t = t.data_seq
+  let spans t = t.spans
+  let join_span = "join"
 
   let next_seq t =
     t.data_seq <- t.data_seq + 1;
@@ -165,6 +175,7 @@ module Make (P : PROTOCOL) = struct
         member_timers = Hashtbl.create 16;
         member_handler_installed = Hashtbl.create 16;
         data_seq = 0;
+        spans = Obs.Span.create ();
       }
     in
     (* Agents on every multicast-capable router (the source gets its
@@ -204,6 +215,19 @@ module Make (P : PROTOCOL) = struct
        forwarding decision re-reads the routing table — but sessions
        account for it so overhead inflation can be attributed. *)
     Net.on_route_change network (fun () -> Obs.Metrics.incr m_route_changes);
+    (* Close a member's open join span on its first data delivery for
+       this channel — the span only exists when the member subscribed
+       while the stream was already live, so the duration is the
+       paper's join latency (subscribe -> first packet heard). *)
+    Net.on_delivery network (fun ~now ~node p ->
+        if
+          Obs.Span.open_count t.spans > 0
+          && P.kind_of p.Pkt.payload = Messages.Data_msg
+          && Mcast.Channel.equal (P.channel_of p.Pkt.payload) t.channel
+        then
+          match Obs.Span.finish t.spans join_span ~key:node ~now with
+          | Some d -> Obs.Histo.observe h_join_latency d
+          | None -> ());
     t
 
   let fresh_channel ~source = function
@@ -239,6 +263,10 @@ module Make (P : PROTOCOL) = struct
           end
       | None -> ());
       if trace_active t then ev t ~node:r Obs.Event.Member_join;
+      (* Join latency is only defined against a live stream: a member
+         joining before the source ever sent data would just measure
+         time-to-first-send. *)
+      if t.data_seq > 0 then Obs.Span.start t.spans join_span ~key:r ~now:(now t);
       t.hooks.on_subscribe t r;
       let timer =
         Timer.every ~tag:(tag "join") t.engine ~start:0.0
@@ -251,6 +279,7 @@ module Make (P : PROTOCOL) = struct
   let unsubscribe t r =
     if List.mem r t.members then begin
       if trace_active t then ev t ~node:r Obs.Event.Member_leave;
+      ignore (Obs.Span.drop t.spans join_span ~key:r);
       t.members <- List.filter (fun m -> m <> r) t.members;
       (match Hashtbl.find_opt t.member_timers r with
       | Some timer ->
@@ -349,6 +378,8 @@ module Make (P : PROTOCOL) = struct
     }
 
   let restore t s =
+    (* In-flight spans refer to the timeline being discarded. *)
+    ignore (Obs.Span.drop_all_open t.spans);
     Net.restore t.network s.s_net;
     (* Copy again on the way out so one snapshot restores any number
        of times without the live run mutating it. *)

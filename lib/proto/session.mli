@@ -152,6 +152,14 @@ module Make (P : PROTOCOL) : sig
   val now : t -> float
   val data_seq : t -> int
 
+  val spans : t -> Obs.Span.t
+  (** The session's causal spans.  The session itself records one
+      family, ["join"]: opened when a member subscribes while the
+      stream is live ([data_seq > 0]), closed at that member's first
+      data delivery (also observed into the
+      [span.join_latency{protocol="<name>"}] histogram), dropped on
+      unsubscribe or checkpoint restore. *)
+
   val control_overhead : t -> int
   (** Control-plane hop count from the network counters. *)
 

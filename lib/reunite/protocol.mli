@@ -57,6 +57,10 @@ val data_seq : t -> int
 (** Sequence number of the last data packet sent (0 initially);
     unchanged when {!send_data} had no tree to send down. *)
 
+val spans : t -> Obs.Span.t
+(** Causal spans recorded by the session runtime (the ["join"]
+    latency family; see {!Proto.Session.Make.spans}). *)
+
 val state : t -> Mcast.Metrics.state
 val branching_routers : t -> int list
 val control_overhead : t -> int

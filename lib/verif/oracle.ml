@@ -71,16 +71,25 @@ let tree_check (sut : Sut.t) =
   let covered = Hashtbl.create 16 in
   let expanded = Hashtbl.create 16 in
   let rec expand n stack =
-    if List.mem n stack then
-      violations :=
-        {
-          oracle = "tree_loop_free";
-          detail =
-            Printf.sprintf "forwarding loop: %s"
-              (String.concat " -> "
-                 (List.rev_map string_of_int (n :: stack)));
-        }
-        :: !violations
+    if List.mem n stack then begin
+      (* A revisit is a packet loop only for protocols that flood
+         along installed tree hops (HBH, PIM).  Under recursive
+         unicast (REUNITE) every copy is addressed to a receiver and a
+         node forks a given epoch at most once, so the cycle cannot
+         circulate packets — it is the duplicate-link-traversal
+         anomaly the paper charges REUNITE with, a cost inflation the
+         delivery oracles meter, not a loop. *)
+      if not sut.Sut.intercept_on_path then
+        violations :=
+          {
+            oracle = "tree_loop_free";
+            detail =
+              Printf.sprintf "forwarding loop: %s"
+                (String.concat " -> "
+                   (List.rev_map string_of_int (n :: stack)));
+          }
+          :: !violations
+    end
     else if not (Hashtbl.mem expanded n) then begin
       Hashtbl.replace expanded n ();
       List.iter (fun dst -> copy ~from:n ~dst ~stack:(n :: stack)) (targets_of n)

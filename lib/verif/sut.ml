@@ -17,6 +17,10 @@ type t = {
   candidates : int list;  (** hosts the scenarios may subscribe *)
   control_period : float;
   t2 : float;
+  engine : Eventsim.Engine.t;
+      (** the session's engine — lets monitors arm their own periodic
+          probes alongside the protocol's timers *)
+  trace : Obs.Trace.t;  (** the session network's trace sink *)
   subscribe : int -> unit;
   unsubscribe : int -> unit;
   members : unit -> int list;
@@ -182,6 +186,8 @@ let of_hbh ?candidates (p : Hbh.Protocol.t) =
       | None -> default_candidates graph ~source);
     control_period = cfg.P.tree_period;
     t2 = cfg.P.t2;
+    engine = P.engine p;
+    trace = Net.trace net;
     subscribe = P.subscribe p;
     unsubscribe = P.unsubscribe p;
     members = (fun () -> P.members p);
@@ -284,6 +290,8 @@ let of_reunite ?candidates (p : Reunite.Protocol.t) =
       | None -> default_candidates graph ~source);
     control_period;
     t2;
+    engine = P.engine p;
+    trace = Net.trace net;
     subscribe = P.subscribe p;
     unsubscribe = P.unsubscribe p;
     members = (fun () -> P.members p);
@@ -356,6 +364,8 @@ let of_pim ?candidates (p : Pim.Ssm.t) =
       | None -> default_candidates graph ~source);
     control_period;
     t2 = holdtime;
+    engine = P.engine p;
+    trace = Net.trace net;
     subscribe = P.subscribe p;
     unsubscribe = P.unsubscribe p;
     members = (fun () -> P.members p);

@@ -19,6 +19,12 @@ type t = {
           default) *)
   control_period : float;  (** refresh period — the quiescence window *)
   t2 : float;  (** state-destruction deadline — bounds the settle budget *)
+  engine : Eventsim.Engine.t;
+      (** the session's engine — lets runtime monitors arm periodic
+          probes alongside the protocol's own timers *)
+  trace : Obs.Trace.t;
+      (** the session network's trace sink (where monitors record
+          violation events) *)
   subscribe : int -> unit;
   unsubscribe : int -> unit;
   members : unit -> int list;

@@ -31,6 +31,23 @@ let test_ring_partial () =
   Alcotest.(check (list string)) "unfilled keeps all" [ "a"; "b" ]
     (Obs.Ring.to_list r)
 
+(* Truncation is accounted, not silent: evictions are counted and the
+   high-water mark proves (or disproves) that the bound ever bit. *)
+let test_ring_truncation_accounting () =
+  let r = Obs.Ring.create ~capacity:3 in
+  Obs.Ring.push r 1;
+  Obs.Ring.push r 2;
+  Alcotest.(check int) "no drops while unfilled" 0 (Obs.Ring.dropped r);
+  Alcotest.(check int) "high water tracks length" 2 (Obs.Ring.high_water r);
+  List.iter (Obs.Ring.push r) [ 3; 4; 5 ];
+  Alcotest.(check int) "two oldest evicted" 2 (Obs.Ring.dropped r);
+  Alcotest.(check int) "high water pegged at capacity" 3 (Obs.Ring.high_water r);
+  Alcotest.(check (list int)) "survivors unchanged" [ 3; 4; 5 ]
+    (Obs.Ring.to_list r);
+  Obs.Ring.clear r;
+  Alcotest.(check int) "clear resets dropped" 0 (Obs.Ring.dropped r);
+  Alcotest.(check int) "clear resets high water" 0 (Obs.Ring.high_water r)
+
 (* ---- Metrics instruments ----------------------------------------------- *)
 
 let test_counter_semantics () =
@@ -94,6 +111,233 @@ let test_histogram_semantics () =
   Alcotest.(check (float 0.0)) "max" 5000.0 s.Obs.Histo.max;
   Obs.Histo.reset h;
   Alcotest.(check int) "reset" 0 (Obs.Histo.count h)
+
+(* A histogram's summary interpolates quantiles from its buckets:
+   with 100 uniform samples over (0, 100] and bounds every 10, the
+   estimates must land within one bucket width of the exact ranks. *)
+let test_histogram_quantiles () =
+  let h =
+    Obs.Histo.create ~buckets:(Array.init 10 (fun i -> float_of_int ((i + 1) * 10))) ()
+  in
+  for i = 1 to 100 do
+    Obs.Histo.observe h (float_of_int i)
+  done;
+  let s = Obs.Histo.summary (Obs.Histo.snapshot h) in
+  Alcotest.(check int) "count" 100 s.Obs.Histo.s_count;
+  Alcotest.(check (float 10.0)) "p50 near 50" 50.0 s.Obs.Histo.p50;
+  Alcotest.(check (float 10.0)) "p95 near 95" 95.0 s.Obs.Histo.p95;
+  Alcotest.(check (float 10.0)) "p99 near 99" 99.0 s.Obs.Histo.p99;
+  Alcotest.(check bool) "quantiles ordered" true
+    (s.Obs.Histo.p50 <= s.Obs.Histo.p95 && s.Obs.Histo.p95 <= s.Obs.Histo.p99);
+  Alcotest.(check bool) "clamped to observed range" true
+    (s.Obs.Histo.p99 <= s.Obs.Histo.s_max)
+
+(* ---- Labeled series ----------------------------------------------------- *)
+
+let test_labels_canonical () =
+  (* Construction order never distinguishes two series. *)
+  let reg = Obs.Metrics.create () in
+  let ab = Obs.Labels.v [ ("a", "1"); ("b", "2") ] in
+  let ba = Obs.Labels.v [ ("b", "2"); ("a", "1") ] in
+  Alcotest.(check bool) "order-insensitive equality" true (Obs.Labels.equal ab ba);
+  Alcotest.(check string) "one registry key"
+    (Obs.Labels.series_name "req" ab)
+    (Obs.Labels.series_name "req" ba);
+  let c1 = Obs.Metrics.counter_l reg "req" ab in
+  let c2 = Obs.Metrics.counter_l reg "req" ba in
+  Obs.Metrics.incr c1;
+  Obs.Metrics.incr c2;
+  Alcotest.(check int) "same series interned" 2 (Obs.Metrics.value c1);
+  let other = Obs.Metrics.counter_l reg "req" (Obs.Labels.v [ ("a", "2"); ("b", "2") ]) in
+  Alcotest.(check int) "different values split the series" 0
+    (Obs.Metrics.value other);
+  (* The encoded snapshot key decomposes back to (base, labels). *)
+  let base, labels = Obs.Metrics.decompose reg (Obs.Labels.series_name "req" ab) in
+  Alcotest.(check string) "decompose base" "req" base;
+  Alcotest.(check bool) "decompose labels" true (Obs.Labels.equal ab labels);
+  let snap = Obs.Metrics.snapshot reg in
+  Alcotest.(check (option int)) "snapshot carries the encoded key" (Some 2)
+    (Obs.Metrics.find_counter snap "req{a=\"1\",b=\"2\"}")
+
+let test_labels_validation () =
+  Alcotest.check_raises "duplicate key"
+    (Invalid_argument "Labels.make: duplicate label key \"a\"") (fun () ->
+      ignore (Obs.Labels.make [ ("a", "1"); ("a", "2") ]));
+  Alcotest.check_raises "invalid key"
+    (Invalid_argument "Labels.make: invalid label key \"0bad\"") (fun () ->
+      ignore (Obs.Labels.make [ ("0bad", "1") ]));
+  Alcotest.(check string) "values escaped in render" "{k=\"x\\\"y\\\\z\"}"
+    (Obs.Labels.render (Obs.Labels.v [ ("k", "x\"y\\z") ]));
+  Alcotest.(check string) "empty set renders empty" ""
+    (Obs.Labels.render Obs.Labels.empty)
+
+(* ---- Timeline ----------------------------------------------------------- *)
+
+(* Two identical probe schedules must produce byte-identical series
+   and NDJSON — the reproducibility the seeded fault curves rely on. *)
+let test_timeline_determinism () =
+  let build () =
+    let tl = Obs.Timeline.create ~interval:10.0 () in
+    let x = ref 0 in
+    Obs.Timeline.add_probe tl "x" (fun () -> float_of_int !x);
+    Obs.Timeline.add_probe tl "xx" (fun () -> float_of_int (!x * !x));
+    for i = 0 to 4 do
+      x := i + 1;
+      Obs.Timeline.sample tl ~now:(10.0 *. float_of_int i)
+    done;
+    tl
+  in
+  let a = build () and b = build () in
+  Alcotest.(check (list string)) "columns in registration order" [ "x"; "xx" ]
+    (Obs.Timeline.columns a);
+  Alcotest.(check int) "one row per sample" 5 (Obs.Timeline.length a);
+  let nd t = Obs.Timeline.to_ndjson ~tags:[ ("case", "t") ] t in
+  Alcotest.(check string) "NDJSON bit-identical across runs" (nd a) (nd b);
+  (match Obs.Timeline.rows a with
+  | (t0, r0) :: _ ->
+      Alcotest.(check (float 0.0)) "rows oldest first" 0.0 t0;
+      Alcotest.(check (float 0.0)) "probe read at sample time" 1.0 r0.(0)
+  | [] -> Alcotest.fail "no rows");
+  (* Every NDJSON line is a self-contained JSON object with the tag. *)
+  let lines = String.split_on_char '\n' (nd a) in
+  let lines = List.filter (fun l -> l <> "") lines in
+  Alcotest.(check int) "one line per row" 5 (List.length lines);
+  List.iteri
+    (fun i line ->
+      match Obs.Json.of_string line with
+      | Error e -> Alcotest.failf "row %d is not JSON: %s" i e
+      | Ok j ->
+          Alcotest.(check (option string)) "tag present" (Some "t")
+            Obs.Json.(Option.bind (member "case" j) to_string_opt);
+          Alcotest.(check (option (float 0.0))) "probe field"
+            (Some (float_of_int ((i + 1) * (i + 1))))
+            Obs.Json.(Option.bind (member "xx" j) to_float))
+    lines;
+  Obs.Timeline.clear a;
+  Alcotest.(check int) "clear drops rows" 0 (Obs.Timeline.length a);
+  Obs.Timeline.sample a ~now:99.0;
+  Alcotest.(check int) "probes survive clear" 1 (Obs.Timeline.length a)
+
+let test_timeline_registration_guards () =
+  let tl = Obs.Timeline.create () in
+  Obs.Timeline.add_probe tl "x" (fun () -> 0.0);
+  Alcotest.check_raises "duplicate probe"
+    (Invalid_argument "Timeline.add_probe: duplicate probe \"x\"") (fun () ->
+      Obs.Timeline.add_probe tl "x" (fun () -> 1.0));
+  Obs.Timeline.sample tl ~now:0.0;
+  Alcotest.check_raises "no probes after sampling"
+    (Invalid_argument "Timeline.add_probe: timeline already has samples")
+    (fun () -> Obs.Timeline.add_probe tl "y" (fun () -> 1.0));
+  Alcotest.check_raises "interval must be positive"
+    (Invalid_argument "Timeline.create: interval must be positive") (fun () ->
+      ignore (Obs.Timeline.create ~interval:0.0 ()))
+
+(* ---- Spans -------------------------------------------------------------- *)
+
+let test_span_balance () =
+  let s = Obs.Span.create () in
+  Obs.Span.start s "join" ~key:1 ~now:10.0;
+  Obs.Span.start s "join" ~key:2 ~now:10.0;
+  Obs.Span.start s "join" ~key:3 ~now:12.0;
+  Alcotest.(check int) "three in flight" 3 (Obs.Span.open_count s);
+  Alcotest.(check (option (float 1e-9))) "finish returns the duration"
+    (Some 15.0)
+    (Obs.Span.finish s "join" ~key:1 ~now:25.0);
+  Alcotest.(check (option (float 0.0))) "closing is idempotent" None
+    (Obs.Span.finish s "join" ~key:1 ~now:30.0);
+  Alcotest.(check bool) "drop abandons an open span" true
+    (Obs.Span.drop s "join" ~key:2);
+  Alcotest.(check bool) "drop without an open span is a no-op" false
+    (Obs.Span.drop s "join" ~key:2);
+  (* A re-start abandons the first attempt and restarts the clock. *)
+  Obs.Span.start s "join" ~key:3 ~now:20.0;
+  Alcotest.(check (option (float 1e-9))) "restart superseded the clock"
+    (Some 10.0)
+    (Obs.Span.finish s "join" ~key:3 ~now:30.0);
+  Obs.Span.start s "join" ~key:4 ~now:31.0;
+  Obs.Span.start s "graft" ~key:4 ~now:31.0;
+  Alcotest.(check int) "restore abandons all in flight" 2
+    (Obs.Span.drop_all_open s);
+  (* The books balance: every first-start either completed, is still
+     open, or was abandoned (restarts count as abandonments of the
+     superseded attempt, not as new opens). *)
+  Alcotest.(check int) "opened (first starts)" 5 (Obs.Span.opened s);
+  Alcotest.(check int) "completed" 2 (Obs.Span.completed_count s);
+  Alcotest.(check int) "open" 0 (Obs.Span.open_count s);
+  Alcotest.(check int) "dropped (incl. one restart)" 4 (Obs.Span.dropped s);
+  Alcotest.(check int) "opened + restarts = completed + open + dropped" (5 + 1)
+    (Obs.Span.completed_count s + Obs.Span.open_count s + Obs.Span.dropped s);
+  (* Exact nearest-rank stats over the two completed durations. *)
+  let st = Obs.Span.stats ~name:"join" s in
+  Alcotest.(check int) "stats n" 2 st.Obs.Span.n;
+  Alcotest.(check (float 1e-9)) "mean" 12.5 st.Obs.Span.mean;
+  Alcotest.(check (float 0.0)) "p50 nearest-rank" 10.0 st.Obs.Span.p50;
+  Alcotest.(check (float 0.0)) "p95 nearest-rank" 15.0 st.Obs.Span.p95;
+  Alcotest.(check (float 0.0)) "max" 15.0 st.Obs.Span.max;
+  Alcotest.(check int) "empty family reports n=0" 0
+    (Obs.Span.stats ~name:"nope" s).Obs.Span.n
+
+(* ---- OpenMetrics exporter ----------------------------------------------- *)
+
+let test_openmetrics_exposition () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.add (Obs.Metrics.counter reg "proto.msgs") 3;
+  Obs.Metrics.add
+    (Obs.Metrics.counter_l reg "proto.msgs" (Obs.Labels.v [ ("protocol", "hbh") ]))
+    2;
+  Obs.Metrics.set (Obs.Metrics.gauge reg "load") 0.5;
+  ignore (Obs.Metrics.gauge reg "never.set");
+  let h = Obs.Metrics.histogram reg ~buckets:[| 1.0; 10.0 |] "delay" in
+  List.iter (Obs.Histo.observe h) [ 0.5; 5.0; 99.0 ];
+  let out = Obs.Openmetrics.of_metrics reg in
+  let lines = String.split_on_char '\n' out in
+  let has l = List.mem l lines in
+  List.iter
+    (fun l -> Alcotest.(check bool) (Printf.sprintf "emits %S" l) true (has l))
+    [
+      "# TYPE proto_msgs counter";
+      "proto_msgs_total 3";
+      "proto_msgs_total{protocol=\"hbh\"} 2";
+      "# TYPE load gauge";
+      "load 0.5";
+      "# TYPE delay histogram";
+      "delay_bucket{le=\"1\"} 1";
+      "delay_bucket{le=\"10\"} 2";
+      "delay_bucket{le=\"+Inf\"} 3";
+      "delay_sum 104.5";
+      "delay_count 3";
+      "# EOF";
+    ];
+  Alcotest.(check bool) "unset gauges are skipped" false
+    (List.exists (fun l -> String.length l >= 9 && String.sub l 0 9 = "never_set") lines);
+  Alcotest.(check bool) "EOF terminates the document" true
+    (match List.rev lines with "" :: "# EOF" :: _ -> true | _ -> false)
+
+(* ---- Per-run metric scoping --------------------------------------------- *)
+
+(* The registry is scoped per experiment invocation: running the same
+   seeded experiment twice must leave exactly the state one run
+   leaves — nothing accumulates across runs. *)
+let test_two_runs_equal_one_run () =
+  let run () =
+    ignore
+      (Experiments.Faults.run ~seed:42 ~scenarios:[ Experiments.Faults.Crash ]
+         ~protocols:[ Experiments.Faults.P_hbh ] ());
+    Obs.Metrics.snapshot Obs.Metrics.default
+  in
+  let once = run () in
+  let twice = run () in
+  Alcotest.(check (list (pair string int)))
+    "counters identical" once.Obs.Metrics.counters twice.Obs.Metrics.counters;
+  Alcotest.(check int) "histogram count identical"
+    (List.length once.Obs.Metrics.histograms)
+    (List.length twice.Obs.Metrics.histograms);
+  List.iter2
+    (fun (n1, (h1 : Obs.Histo.snapshot)) (n2, (h2 : Obs.Histo.snapshot)) ->
+      Alcotest.(check string) "histogram name" n1 n2;
+      Alcotest.(check int) (n1 ^ " count") h1.Obs.Histo.count h2.Obs.Histo.count;
+      Alcotest.(check (float 0.0)) (n1 ^ " sum") h1.Obs.Histo.sum h2.Obs.Histo.sum)
+    once.Obs.Metrics.histograms twice.Obs.Metrics.histograms
 
 (* ---- JSON -------------------------------------------------------------- *)
 
@@ -241,6 +485,8 @@ let () =
         [
           Alcotest.test_case "eviction order" `Quick test_ring_eviction;
           Alcotest.test_case "partial fill" `Quick test_ring_partial;
+          Alcotest.test_case "truncation accounting" `Quick
+            test_ring_truncation_accounting;
         ] );
       ( "metrics",
         [
@@ -248,6 +494,31 @@ let () =
           Alcotest.test_case "gauge" `Quick test_gauge_semantics;
           Alcotest.test_case "histogram" `Quick test_histogram_semantics;
           Alcotest.test_case "histogram NaN" `Quick test_histogram_nan_quarantined;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "two runs equal one run" `Quick
+            test_two_runs_equal_one_run;
+        ] );
+      ( "labels",
+        [
+          Alcotest.test_case "canonical identity" `Quick test_labels_canonical;
+          Alcotest.test_case "validation and rendering" `Quick
+            test_labels_validation;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "sampling determinism" `Quick
+            test_timeline_determinism;
+          Alcotest.test_case "registration guards" `Quick
+            test_timeline_registration_guards;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "open/close balance" `Quick test_span_balance;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "text exposition" `Quick
+            test_openmetrics_exposition;
         ] );
       ( "json",
         [

@@ -197,6 +197,23 @@ let prop_event_hbh_matches_analytic_small =
       Mcast.Distribution.equal_shape d
         (Hbh.Analytic.build table ~source ~receivers))
 
+(* Router-router links actually carried by the tree, so a failure
+   bites; host access links are excluded (no reroute exists for
+   them). *)
+let tree_core_links g table ~source ~receivers =
+  List.concat_map
+    (fun r ->
+      let rec edges = function
+        | a :: (b :: _ as rest)
+          when Topology.Graph.is_router g a && Topology.Graph.is_router g b ->
+            (min a b, max a b) :: edges rest
+        | _ :: rest -> edges rest
+        | [] -> []
+      in
+      edges (Routing.Table.path table source r))
+    receivers
+  |> List.sort_uniq compare
+
 let prop_hbh_recovers_from_link_failure =
   QCheck.Test.make
     ~name:"HBH: any single link failure + restore heals by detected quiescence"
@@ -208,24 +225,7 @@ let prop_hbh_recovers_from_link_failure =
       List.iter (Hbh.Protocol.subscribe session) receivers;
       Hbh.Protocol.converge ~periods:12 session;
       let net = Hbh.Protocol.network session in
-      (* A router-router link actually carried by the tree, so the
-         failure bites; host access links are excluded (no reroute
-         exists for them). *)
-      let tree_links =
-        List.concat_map
-          (fun r ->
-            let rec edges = function
-              | a :: (b :: _ as rest)
-                when Topology.Graph.is_router g a && Topology.Graph.is_router g b
-                ->
-                  (min a b, max a b) :: edges rest
-              | _ :: rest -> edges rest
-              | [] -> []
-            in
-            edges (Routing.Table.path table source r))
-          receivers
-        |> List.sort_uniq compare
-      in
+      let tree_links = tree_core_links g table ~source ~receivers in
       match tree_links with
       | [] -> true (* degenerate star: nothing to fail *)
       | links ->
@@ -265,6 +265,42 @@ let prop_hbh_recovers_from_link_failure =
           Mcast.Distribution.receivers d = List.sort compare receivers
           && Mcast.Distribution.max_stress d = 1)
 
+(* The ROADMAP mutual-capture pathology, caught in an ordinary run:
+   replay the link-failure property's qcheck input 71643 — link 5-17
+   on a 22-router random topology — with a runtime monitor attached
+   instead of the model checker.  The restore leaves two HBH branch
+   routers holding each other in their MFTs, a forwarding loop that
+   mutual refreshing keeps alive forever; the loop-freedom probe must
+   confirm it from a plain run.  (A tripwire, not a pin: when the
+   pathology is fixed, the recovery property covers this input and
+   this test should assert zero confirmations instead.) *)
+let test_monitor_flags_mutual_capture () =
+  let seed = 71643 in
+  let g, table, source, receivers = scenario_of_seed seed in
+  let session = Hbh.Protocol.create table ~source in
+  List.iter (Hbh.Protocol.subscribe session) receivers;
+  Hbh.Protocol.converge ~periods:12 session;
+  let net = Hbh.Protocol.network session in
+  let tree_links = tree_core_links g table ~source ~receivers in
+  let pick = Stats.Rng.create (seed + 7919) in
+  let u, v = List.nth tree_links (Stats.Rng.int pick (List.length tree_links)) in
+  Alcotest.(check (pair int int)) "the ROADMAP repro link" (5, 17) (u, v);
+  let mon = Verif.Monitor.attach (Verif.Sut.of_hbh session) in
+  let cfg = Hbh.Protocol.default_config in
+  let inj = Fault.Injector.create net in
+  Fault.Injector.apply inj (Fault.Plan.Link_down { u; v });
+  ignore (Fault.Injector.reconverge net);
+  Hbh.Protocol.run_for session (2.0 *. cfg.Hbh.Protocol.t1);
+  Fault.Injector.apply inj (Fault.Plan.Link_up { u; v });
+  ignore (Fault.Injector.reconverge net);
+  Hbh.Protocol.run_for session (8.0 *. cfg.Hbh.Protocol.t2);
+  Verif.Monitor.stop mon;
+  Alcotest.(check bool) "loop-freedom violation confirmed" true
+    (List.exists
+       (fun (c : Verif.Monitor.confirmed) ->
+         c.Verif.Monitor.violation.Verif.Oracle.oracle = "tree_loop_free")
+       (Verif.Monitor.violations mon))
+
 let () =
   Alcotest.run "properties"
     [
@@ -284,4 +320,9 @@ let () =
             prop_hbh_recovers_from_link_failure;
             prop_event_hbh_matches_analytic_small;
           ] );
+      ( "runtime-monitor",
+        [
+          Alcotest.test_case "monitor flags the 71643 mutual-capture loop"
+            `Quick test_monitor_flags_mutual_capture;
+        ] );
     ]

@@ -119,6 +119,49 @@ let test_oracles_clean () =
         0 (List.length vs))
     all_protocols
 
+(* ---- Runtime monitors: healthy runs never fire -------------------------- *)
+
+(* The monitor's debounce claim, as a property: membership churn is
+   the healthy case — leaves decay over t2, joins fill in over a
+   control period — so probes at the default t2 cadence may observe a
+   transient at most twice in a row and must never confirm.  Any
+   confirmed violation on a churn-only run is a monitor false
+   positive (or a real protocol bug), both failures. *)
+let prop_monitor_healthy_never_fires =
+  QCheck.Test.make ~name:"monitor: churn-only runs never confirm a violation"
+    ~count:5
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      List.for_all
+        (fun protocol ->
+          List.for_all
+            (fun make_sut ->
+              let sut : Verif.Sut.t = make_sut protocol () in
+              ignore (Verif.Scenario.quiesce sut);
+              let mon = Verif.Monitor.attach sut in
+              let rng = Stats.Rng.create seed in
+              let pick xs = List.nth xs (Stats.Rng.int rng (List.length xs)) in
+              for _ = 1 to 4 do
+                let ev =
+                  match Stats.Rng.int rng 3 with
+                  | 0 -> Verif.Scenario.Join (pick sut.Verif.Sut.candidates)
+                  | 1 -> Verif.Scenario.Leave (pick sut.Verif.Sut.candidates)
+                  | _ -> Verif.Scenario.Age
+                in
+                Verif.Scenario.apply sut ev;
+                ignore (Verif.Scenario.quiesce sut)
+              done;
+              Verif.Monitor.stop mon;
+              if Verif.Monitor.checks mon = 0 then
+                QCheck.Test.fail_report "monitor never probed";
+              if Verif.Monitor.violation_count mon > 0 then
+                QCheck.Test.fail_reportf "%s: healthy run confirmed %d violation(s)"
+                  sut.Verif.Sut.proto
+                  (Verif.Monitor.violation_count mon);
+              true)
+            [ (fun p () -> isp_sut p ()); (fun p () -> rand50_sut p ~seed:7 ()) ])
+        all_protocols)
+
 (* ---- Injected bug: find, minimize, stay small -------------------------- *)
 
 let with_frozen_marks f =
@@ -204,6 +247,9 @@ let () =
           Alcotest.test_case "clean protocols pass all oracles" `Quick
             test_oracles_clean;
         ] );
+      ( "monitor",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_monitor_healthy_never_fires ] );
       ( "shrinking",
         [
           Alcotest.test_case "injected mark-decay bug found and minimized"
