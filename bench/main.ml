@@ -385,9 +385,84 @@ let overhead_check () =
   end
   else Format.printf "observability-overhead: OK (%.3f%% <= 2%% budget)@." pct
 
+(* ---- Part 4: adversarial-delivery overhead budget ------------------------ *)
+
+(* The hostile scheduler (jitter, reordering, duplication, burst
+   loss — lib/netsim's adversarial delivery queue) must be
+   pay-for-use: with no knobs set, every directed-link traversal
+   pays exactly one option match ([hostile = None]) before the
+   polite FIFO path.  Same by-construction method as the telemetry
+   budget: count the hops one sample actually performs, price the
+   disarmed check on the very instrument path, and set the product
+   against the sample's own wall time.  The reference sample is
+   event-driven (an HBH convergence + probe window on the fig7b
+   topology) because that is the surface that pays the check at all
+   — the analytic fig7b sample performs zero network hops, so its
+   overhead is identically zero. *)
+let adversarial_overhead_check () =
+  let config = Experiments.Common.rand50_config ~seed:42 in
+  let rng = Stats.Rng.create 42 in
+  let s =
+    Workload.Scenario.make rng config.Experiments.Common.graph
+      ~source:config.Experiments.Common.source
+      ~candidates:config.Experiments.Common.candidates ~n:15
+  in
+  let receivers = List.sort compare s.Workload.Scenario.receivers in
+  let module F = Experiments.Faults in
+  let sample () =
+    let ops =
+      F.ops_of F.P_hbh
+        (Topology.Graph.copy config.Experiments.Common.graph)
+        ~source:s.Workload.Scenario.source
+    in
+    List.iter ops.F.subscribe receivers;
+    ops.F.converge ();
+    let t0 = Eventsim.Engine.now ops.F.engine in
+    ignore
+      (Eventsim.Timer.every ~tag:"bench.probe" ops.F.engine ~start:0.0
+         ~period:50.0 (fun () ->
+           if Eventsim.Engine.now ops.F.engine -. t0 <= 700.0 then
+             ignore (ops.F.send_probe ())));
+    ops.F.run_until (t0 +. 1000.0);
+    let c = ops.F.counters () in
+    c.Netsim.Network.data_hops + c.Netsim.Network.control_hops
+  in
+  for _ = 1 to 3 do
+    ignore (sample ())
+  done;
+  let hops = sample () in
+  let sample_ns = time_ns_per ~iters:10 (fun () -> ignore (sample ())) in
+  let table =
+    Routing.Table.compute
+      (Topology.Graph.copy config.Experiments.Common.graph)
+  in
+  let probe_session =
+    Hbh.Protocol.create table ~source:s.Workload.Scenario.source
+  in
+  let net = Hbh.Protocol.network probe_session in
+  let sink = ref false in
+  let check_ns =
+    time_ns_per ~iters:20_000_000 (fun () ->
+        sink := Netsim.Network.hostile_active net)
+  in
+  ignore !sink;
+  let cost_ns = float_of_int hops *. check_ns in
+  let pct = 100. *. cost_ns /. sample_ns in
+  Format.printf
+    "adversarial delivery disarmed: %d hops x %.2f ns option check = %.1f us \
+     against a %.2f ms event-driven HBH sample@."
+    hops check_ns (cost_ns /. 1e3) (sample_ns /. 1e6);
+  if pct > 2.0 then begin
+    Format.printf "adversarial-overhead: OVER BUDGET (%.3f%% > 2%%)@." pct;
+    exit 1
+  end
+  else Format.printf "adversarial-overhead: OK (%.3f%% <= 2%% budget)@." pct
+
 let () =
   match Sys.getenv_opt "HBH_BENCH_OVERHEAD" with
-  | Some "1" -> overhead_check ()
+  | Some "1" ->
+      overhead_check ();
+      adversarial_overhead_check ()
   | _ ->
       let t0 = Sys.time () in
       print_figures ();

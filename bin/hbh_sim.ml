@@ -584,6 +584,13 @@ let faults_cmd =
   in
   let run seed metrics_json scenario protocols timeline timeline_ndjson monitor
       openmetrics =
+    match timeline with
+    | Some dt when (not (Float.is_finite dt)) || dt <= 0.0 ->
+        `Error
+          ( false,
+            "faults: --timeline needs a positive sampling interval (simulated \
+             time units)" )
+    | _ ->
     let scenarios =
       match scenario with
       | None -> Experiments.Faults.all_scenarios
@@ -696,7 +703,7 @@ let faults_cmd =
         output_string oc (Obs.Openmetrics.of_metrics Obs.Metrics.default);
         close_out oc;
         Format.eprintf "openmetrics written to %s@." file);
-    match metrics_json with
+    (match metrics_json with
     | None -> ()
     | Some file ->
         let snap = Obs.Metrics.snapshot Obs.Metrics.default in
@@ -704,12 +711,124 @@ let faults_cmd =
         output_string oc (Obs.Json.to_string (Obs.Metrics.snapshot_to_json snap));
         output_char oc '\n';
         close_out oc;
-        Format.eprintf "metrics snapshot written to %s@." file
+        Format.eprintf "metrics snapshot written to %s@." file);
+    `Ok ()
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
-      const run $ seed_arg $ metrics_json $ scenario $ protocols_arg $ timeline
-      $ timeline_ndjson $ monitor $ openmetrics)
+      ret
+        (const run $ seed_arg $ metrics_json $ scenario $ protocols_arg
+       $ timeline $ timeline_ndjson $ monitor $ openmetrics))
+
+let soak_cmd =
+  let doc =
+    "Long-horizon hostile-network soak: each protocol runs $(b,--hours) \
+     simulated hours of sustained membership churn under a seeded hostile \
+     delivery stream — per-hop jitter, bounded reordering, duplication, \
+     burst loss, a control-plane drop window and one named partition/heal \
+     cycle with routing reconvergence — with the runtime invariant \
+     monitors armed throughout.  Exits 1 on any confirmed monitor \
+     violation or unhealed outage.  Deterministic in $(b,--seed): equal \
+     seeds reproduce the output bit for bit."
+  in
+  let hours =
+    let doc = "Simulated hours per protocol (fractions allowed)." in
+    Arg.(value & opt float 2.0 & info [ "hours" ] ~docv:"H" ~doc)
+  in
+  let timeline_ndjson =
+    let doc =
+      "Write each protocol's soak timeline (deliveries, control hops, \
+       member count, confirmed violations per 100 time units) as NDJSON to \
+       $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "timeline-ndjson" ] ~docv:"FILE" ~doc)
+  in
+  let openmetrics =
+    let doc =
+      "Write the metrics registry in OpenMetrics text format to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "openmetrics" ] ~docv:"FILE" ~doc)
+  in
+  let run seed hours protocols timeline_ndjson openmetrics =
+    if (not (Float.is_finite hours)) || hours <= 0.0 then
+      `Error
+        (false, "soak: --hours must be a positive number of simulated hours")
+    else if hours *. 3600.0 < Experiments.Soak.min_horizon then
+      `Error
+        ( false,
+          Printf.sprintf
+            "soak: --hours %g leaves no room for a partition/heal cycle \
+             (need at least %g simulated hours)"
+            hours
+            (Experiments.Soak.min_horizon /. 3600.0) )
+    else begin
+      let protocols =
+        match protocols with [] -> Experiments.Faults.all_protos | ps -> ps
+      in
+      let results = Experiments.Soak.run ~seed ~protocols ~hours () in
+      Format.printf
+        "soak: %.2f simulated hours per protocol, seed %d, ISP topology@.@."
+        hours seed;
+      Experiments.Soak.pp_results Format.std_formatter results;
+      List.iter
+        (fun (r : Experiments.Soak.result) ->
+          if r.r_violations <> [] then begin
+            Format.printf "@.%s confirmed violations:@."
+              (Experiments.Faults.proto_name r.r_proto);
+            List.iter
+              (fun (c : Verif.Monitor.confirmed) ->
+                Format.printf "  t=%.0f %a@." c.Verif.Monitor.time
+                  Verif.Oracle.pp_violation c.Verif.Monitor.violation)
+              r.r_violations
+          end;
+          if r.r_unhealed <> [] then
+            Format.printf "@.%s unhealed outages: %s@."
+              (Experiments.Faults.proto_name r.r_proto)
+              (String.concat ", " (List.map string_of_int r.r_unhealed)))
+        results;
+      let total =
+        List.fold_left
+          (fun acc (r : Experiments.Soak.result) ->
+            acc + List.length r.r_violations)
+          0 results
+      in
+      Format.printf "@.monitors: %d violations@." total;
+      (match timeline_ndjson with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          List.iter
+            (fun (r : Experiments.Soak.result) ->
+              output_string oc
+                (Obs.Timeline.to_ndjson
+                   ~tags:
+                     [
+                       ( "case",
+                         "soak/" ^ Experiments.Faults.proto_name r.r_proto );
+                     ]
+                   r.r_timeline))
+            results;
+          close_out oc;
+          Format.eprintf "timelines written to %s@." file);
+      (match openmetrics with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (Obs.Openmetrics.of_metrics Obs.Metrics.default);
+          close_out oc;
+          Format.eprintf "openmetrics written to %s@." file);
+      if List.exists Experiments.Soak.failed results then exit 1;
+      `Ok ()
+    end
+  in
+  Cmd.v (Cmd.info "soak" ~doc)
+    Term.(
+      ret
+        (const run $ seed_arg $ hours $ protocols_arg $ timeline_ndjson
+       $ openmetrics))
 
 let report_cmd =
   let doc =
@@ -921,6 +1040,8 @@ let print_usage () =
      [--metrics-json FILE]\n\
     \       hbh_sim faults [--timeline[=DT]] [--timeline-ndjson FILE] \
      [--monitor] [--openmetrics FILE] [--scenario S]\n\
+    \       hbh_sim soak [--hours H] [--timeline-ndjson FILE] \
+     [--openmetrics FILE] [--protocol P] [--seed N]\n\
     \       hbh_sim report [--out FILE] [--interval DT] [--seed N]\n\
     \       hbh_sim verify --protocol hbh|reunite|pim [--depth N] \
      [--states N] [--topology isp|rand50] [--seed N] [--json FILE] \
@@ -952,6 +1073,7 @@ let () =
         asymmetry_cmd;
         validate_cmd;
         faults_cmd;
+        soak_cmd;
         report_cmd;
         verify_cmd;
       ]

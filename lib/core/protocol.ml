@@ -154,14 +154,27 @@ let router_handle_join t n (p : Messages.t Pkt.t) ~member ~first =
     let st = S.state t in
     let tb = tables_of t n in
     match Tables.find tb (S.channel t) with
-    | Tables.Forwarding mft when Tables.Mft.mem mft member ->
-        (* Rule 3: intercept, refresh, join upstream on own behalf. *)
-        ignore (Tables.Mft.refresh mft st.deadlines ~now:(S.now t) member);
-        mft_ev t ~node:n ~target:member Obs.Event.Refresh;
-        S.notef t ~node:n "intercept join(%d), send join(%d)" member n;
-        S.send t ~from:n ~dst:p.Pkt.dst ~kind:Pkt.Control
-          (Messages.Join { channel = S.channel t; member = n; ext = false });
-        Net.Consume
+    | Tables.Forwarding mft when Tables.Mft.mem mft member -> (
+        (* Rule 3: intercept, refresh, join upstream on own behalf —
+           but only when the entry carries forward-path evidence from
+           the current route epoch (DESIGN.md §6b).  After a
+           reconvergence the tree may have moved off this router while
+           the entry lingers as soft state; refreshing it from
+           intercepted joins would keep a zombie branch alive forever
+           (the mutual-capture pathology).  Letting the join pass
+           upstream instead re-anchors the member on the live tree,
+           and the unvalidated entry decays at its own t1/t2. *)
+        match Tables.Mft.find mft member with
+        | Some e when e.Tables.epoch >= S.route_epoch t ->
+            ignore (Tables.Mft.refresh mft st.deadlines ~now:(S.now t) member);
+            mft_ev t ~node:n ~target:member Obs.Event.Refresh;
+            S.notef t ~node:n "intercept join(%d), send join(%d)" member n;
+            S.send t ~from:n ~dst:p.Pkt.dst ~kind:Pkt.Control
+              (Messages.Join { channel = S.channel t; member = n; ext = false });
+            Net.Consume
+        | _ ->
+            S.notef t ~node:n "join(%d) bypasses stale-epoch entry" member;
+            Net.Forward)
     | Tables.Forwarding _ | Tables.Control _ | Tables.No_state -> Net.Forward
   end
 
@@ -191,7 +204,11 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
       else begin
         (* Rules 2-3: a receiver's tree converges on us; adopt or
            refresh the entry, tell the upstream owner to mark it, and
-           push the tree on under our own stamp. *)
+           push the tree on under our own stamp.  A converging tree is
+           proof the current unicast routing runs through us — stamp
+           the entry with the present route epoch so join
+           interception keeps trusting it (DESIGN.md §6b). *)
+        let epoch = S.route_epoch t in
         if Tables.Mft.mem mft target then begin
           ignore (Tables.Mft.refresh mft st.deadlines ~now target);
           mft_ev t ~node:n ~target Obs.Event.Refresh
@@ -200,6 +217,7 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
           ignore (Tables.Mft.add_fresh mft st.deadlines ~now target);
           mft_ev t ~node:n ~target Obs.Event.Add
         end;
+        Option.iter (fun e -> Tables.stamp e ~epoch) (Tables.Mft.find mft target);
         send_fusion t ~at:n ~to_branch:from_branch mft;
         restamp_tree t ~at:n p ~target;
         Net.Consume
@@ -220,10 +238,15 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~from_branch =
       end
       else begin
         (* Rule 8: second receiver relayed through us - become a
-           branching node and fuse upstream. *)
+           branching node and fuse upstream.  Both entries are born
+           out of trees flowing through us right now — stamp them
+           with the current route epoch. *)
+        let epoch = S.route_epoch t in
         let mft = Tables.Mft.create () in
-        ignore (Tables.Mft.add_fresh mft st.deadlines ~now (Tables.Mct.target mct));
-        ignore (Tables.Mft.add_fresh mft st.deadlines ~now target);
+        Tables.stamp
+          (Tables.Mft.add_fresh mft st.deadlines ~now (Tables.Mct.target mct))
+          ~epoch;
+        Tables.stamp (Tables.Mft.add_fresh mft st.deadlines ~now target) ~epoch;
         mft_ev t ~node:n ~target:(Tables.Mct.target mct) Obs.Event.Add;
         mft_ev t ~node:n ~target Obs.Event.Add;
         Tables.set tb (S.channel t) (Tables.Forwarding mft);
@@ -305,9 +328,12 @@ let source_handler t n (p : Messages.t Pkt.t) =
     (match p.Pkt.payload with
     | Messages.Join { member; _ } ->
         if member <> S.source t then begin
-          ignore
+          (* A join that reached the source travelled the current
+             unicast paths end to end — forward-path evidence. *)
+          Tables.stamp
             (Tables.Mft.add_fresh st.source_mft st.deadlines ~now:(S.now t)
-               member);
+               member)
+            ~epoch:(S.route_epoch t);
           mft_ev t ~node:n ~target:member Obs.Event.Add
         end
     | Messages.Extra { extra = { Messages.members; sender }; _ } ->

@@ -8,11 +8,13 @@ type entry = Ss.entry = private {
   mutable marked_until : float;
   mutable fresh_until : float;
   mutable expires_at : float;
+  mutable epoch : int;
 }
 
 let entry_stale = Ss.entry_stale
 let entry_dead = Ss.entry_dead
 let entry_marked = Ss.entry_marked
+let stamp = Ss.stamp
 
 module Mft = struct
   include Ss.Table

@@ -22,11 +22,22 @@ type entry = Proto.Softstate.entry = private {
   mutable marked_until : float;  (** absolute mark-decay deadline *)
   mutable fresh_until : float;  (** absolute t1 deadline *)
   mutable expires_at : float;  (** absolute t2 deadline *)
+  mutable epoch : int;
+      (** route epoch of the last forward-path validation (see
+          {!stamp}); 0 until first stamped *)
 }
 
 val entry_stale : entry -> now:float -> bool
 val entry_dead : entry -> now:float -> bool
 val entry_marked : entry -> now:float -> bool
+
+val stamp : entry -> epoch:int -> unit
+(** Record forward-path evidence at the given route epoch (monotone).
+    Tree processing stamps the entries the converging tree message
+    validates; the join-interception rule then refuses to refresh
+    entries the current routing no longer supports
+    ([entry.epoch < route_epoch]) — the freshness guard of
+    DESIGN.md §6b. *)
 
 (** {1 Multicast forwarding table (branching routers)} *)
 

@@ -9,6 +9,7 @@ let m_crashes = Obs.Metrics.counter Obs.Metrics.default "fault.crashes"
 let m_restarts = Obs.Metrics.counter Obs.Metrics.default "fault.restarts"
 let m_loss_changes = Obs.Metrics.counter Obs.Metrics.default "fault.loss_changes"
 let m_partitions = Obs.Metrics.counter Obs.Metrics.default "fault.partitions"
+let m_hostile = Obs.Metrics.counter Obs.Metrics.default "fault.hostile_changes"
 
 type 'p t = {
   net : 'p Net.t;
@@ -19,6 +20,10 @@ type 'p t = {
      link that was also failed explicitly. *)
   causes : (int * int, int) Hashtbl.t;
   crashed : (int, unit) Hashtbl.t;
+  (* Named partitions remember the exact links they cut, so the
+     matching heal restores precisely those even if the graph's link
+     state moved underneath (a crash on the island boundary, say). *)
+  partitions : (string, (int * int) list) Hashtbl.t;
   (* Membership hooks: how Join/Leave directives reach the protocol
      session (the injector is protocol-agnostic). *)
   mutable subscribe : (int -> unit) option;
@@ -34,6 +39,7 @@ let create ?seed net =
     graph = Net.graph net;
     causes = Hashtbl.create 16;
     crashed = Hashtbl.create 8;
+    partitions = Hashtbl.create 4;
     subscribe = None;
     unsubscribe = None;
   }
@@ -115,6 +121,46 @@ let apply t (action : Plan.action) =
       List.iter (fun (u, v) -> add_cause t u v) (cut_links t.graph island)
   | Plan.Heal { island } ->
       List.iter (fun (u, v) -> remove_cause t u v) (cut_links t.graph island)
+  | Plan.Partition_named { name; island } ->
+      if not (Hashtbl.mem t.partitions name) then begin
+        Obs.Metrics.incr m_partitions;
+        let cut = cut_links t.graph island in
+        Hashtbl.replace t.partitions name cut;
+        List.iter (fun (u, v) -> add_cause t u v) cut
+      end
+  | Plan.Heal_named { name } -> (
+      match Hashtbl.find_opt t.partitions name with
+      | None -> ()
+      | Some cut ->
+          Hashtbl.remove t.partitions name;
+          List.iter (fun (u, v) -> remove_cause t u v) cut)
+  | Plan.Jitter { max_delay } ->
+      Obs.Metrics.incr m_hostile;
+      Net.set_jitter t.net max_delay
+  | Plan.Jitter_link { u; v; max_delay } ->
+      Obs.Metrics.incr m_hostile;
+      Net.set_jitter ~link:(u, v) t.net max_delay
+  | Plan.Reorder { window; prob } ->
+      Obs.Metrics.incr m_hostile;
+      Net.set_reorder t.net ~window ~prob
+  | Plan.Duplicate { prob } ->
+      Obs.Metrics.incr m_hostile;
+      Net.set_duplication t.net prob
+  | Plan.Burst_loss { prob; len } ->
+      Obs.Metrics.incr m_hostile;
+      Net.set_burst_loss t.net ~prob ~len
+  | Plan.Drop_control { prob } ->
+      Obs.Metrics.incr m_hostile;
+      if prob <= 0.0 then Net.set_drop_filter t.net None
+      else begin
+        let net = t.net in
+        Net.set_drop_filter net
+          (Some
+             (fun (p : _ Netsim.Packet.t) ->
+               p.Netsim.Packet.kind = Netsim.Packet.Control
+               && (prob >= 1.0
+                  || Stats.Rng.float (Net.fault_rng net) 1.0 < prob)))
+      end
   | Plan.Reconverge -> ignore (reconverge t.net)
   | Plan.Join { member } -> (
       match t.subscribe with
@@ -134,15 +180,23 @@ let apply t (action : Plan.action) =
 type snap = {
   s_causes : (int * int, int) Hashtbl.t;
   s_crashed : (int, unit) Hashtbl.t;
+  s_partitions : (string, (int * int) list) Hashtbl.t;
 }
 
-let save t = { s_causes = Hashtbl.copy t.causes; s_crashed = Hashtbl.copy t.crashed }
+let save t =
+  {
+    s_causes = Hashtbl.copy t.causes;
+    s_crashed = Hashtbl.copy t.crashed;
+    s_partitions = Hashtbl.copy t.partitions;
+  }
 
 let restore t s =
   Hashtbl.reset t.causes;
   Hashtbl.iter (fun k v -> Hashtbl.replace t.causes k v) s.s_causes;
   Hashtbl.reset t.crashed;
-  Hashtbl.iter (fun k v -> Hashtbl.replace t.crashed k v) s.s_crashed
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.crashed k v) s.s_crashed;
+  Hashtbl.reset t.partitions;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.partitions k v) s.s_partitions
 
 let schedule t plan =
   let engine = Net.engine t.net in

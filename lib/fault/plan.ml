@@ -7,6 +7,14 @@ type action =
   | Restart of { node : int }
   | Partition of { island : int list }
   | Heal of { island : int list }
+  | Partition_named of { name : string; island : int list }
+  | Heal_named of { name : string }
+  | Jitter of { max_delay : float }
+  | Jitter_link of { u : int; v : int; max_delay : float }
+  | Reorder of { window : float; prob : float }
+  | Duplicate of { prob : float }
+  | Burst_loss of { prob : float; len : int }
+  | Drop_control of { prob : float }
   | Reconverge
   | Join of { member : int }
   | Leave of { member : int }
@@ -15,12 +23,36 @@ type directive = { at : float; action : action }
 
 type t = directive list
 
+let check_prob what p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Fault.Plan: %s %g outside [0,1]" what p)
+
+let check_name name =
+  if name = "" || String.exists (fun c -> c = ' ' || c = ',') name then
+    invalid_arg (Printf.sprintf "Fault.Plan: bad partition name %S" name)
+
 let validate_action = function
-  | Loss { rate; _ } | Loss_all { rate } ->
-      if rate < 0.0 || rate > 1.0 then
-        invalid_arg (Printf.sprintf "Fault.Plan: loss rate %g outside [0,1]" rate)
+  | Loss { rate; _ } | Loss_all { rate } -> check_prob "loss rate" rate
   | Partition { island } | Heal { island } ->
       if island = [] then invalid_arg "Fault.Plan: empty partition island"
+  | Partition_named { name; island } ->
+      check_name name;
+      if island = [] then invalid_arg "Fault.Plan: empty partition island"
+  | Heal_named { name } -> check_name name
+  | Jitter { max_delay } | Jitter_link { max_delay; _ } ->
+      if max_delay < 0.0 then
+        invalid_arg
+          (Printf.sprintf "Fault.Plan: negative jitter %g" max_delay)
+  | Reorder { window; prob } ->
+      check_prob "reorder prob" prob;
+      if window < 0.0 then
+        invalid_arg (Printf.sprintf "Fault.Plan: negative window %g" window)
+  | Duplicate { prob } -> check_prob "duplication prob" prob
+  | Burst_loss { prob; len } ->
+      check_prob "burst prob" prob;
+      if len < 0 then
+        invalid_arg (Printf.sprintf "Fault.Plan: negative burst length %d" len)
+  | Drop_control { prob } -> check_prob "drop-control prob" prob
   | Link_down _ | Link_up _ | Crash _ | Restart _ | Reconverge | Join _
   | Leave _ ->
       ()
@@ -56,6 +88,21 @@ let pp_action ppf = function
   | Heal { island } ->
       Format.fprintf ppf "heal [%s]"
         (String.concat "," (List.map string_of_int island))
+  | Partition_named { name; island } ->
+      Format.fprintf ppf "partition %s [%s]" name
+        (String.concat "," (List.map string_of_int island))
+  | Heal_named { name } -> Format.fprintf ppf "heal %s" name
+  | Jitter { max_delay } -> Format.fprintf ppf "jitter %g" max_delay
+  | Jitter_link { u; v; max_delay } ->
+      Format.fprintf ppf "jitter %d->%d %g" u v max_delay
+  | Reorder { window; prob } ->
+      Format.fprintf ppf "reorder w=%g %.1f%%" window (100.0 *. prob)
+  | Duplicate { prob } ->
+      Format.fprintf ppf "duplicate %.1f%%" (100.0 *. prob)
+  | Burst_loss { prob; len } ->
+      Format.fprintf ppf "burst-loss %.1f%% len=%d" (100.0 *. prob) len
+  | Drop_control { prob } ->
+      Format.fprintf ppf "drop-control %.1f%%" (100.0 *. prob)
   | Reconverge -> Format.fprintf ppf "reconverge"
   | Join { member } -> Format.fprintf ppf "join %d" member
   | Leave { member } -> Format.fprintf ppf "leave %d" member
@@ -82,6 +129,17 @@ let action_to_string = function
       "partition " ^ String.concat "," (List.map string_of_int island)
   | Heal { island } ->
       "heal " ^ String.concat "," (List.map string_of_int island)
+  | Partition_named { name; island } ->
+      Printf.sprintf "partition-named %s %s" name
+        (String.concat "," (List.map string_of_int island))
+  | Heal_named { name } -> Printf.sprintf "heal-named %s" name
+  | Jitter { max_delay } -> Printf.sprintf "jitter %g" max_delay
+  | Jitter_link { u; v; max_delay } ->
+      Printf.sprintf "jitter-link %d %d %g" u v max_delay
+  | Reorder { window; prob } -> Printf.sprintf "reorder %g %g" window prob
+  | Duplicate { prob } -> Printf.sprintf "duplicate %g" prob
+  | Burst_loss { prob; len } -> Printf.sprintf "burst-loss %g %d" prob len
+  | Drop_control { prob } -> Printf.sprintf "drop-control %g" prob
   | Reconverge -> "reconverge"
   | Join { member } -> Printf.sprintf "join %d" member
   | Leave { member } -> Printf.sprintf "leave %d" member
@@ -107,6 +165,23 @@ let parse_action s =
   | [ "restart"; n ] -> Restart { node = int_of_string n }
   | [ "partition"; island ] -> Partition { island = parse_island island }
   | [ "heal"; island ] -> Heal { island = parse_island island }
+  | [ "partition-named"; name; island ] ->
+      Partition_named { name; island = parse_island island }
+  | [ "heal-named"; name ] -> Heal_named { name }
+  | [ "jitter"; d ] -> Jitter { max_delay = float_of_string d }
+  | [ "jitter-link"; u; v; d ] ->
+      Jitter_link
+        {
+          u = int_of_string u;
+          v = int_of_string v;
+          max_delay = float_of_string d;
+        }
+  | [ "reorder"; w; p ] ->
+      Reorder { window = float_of_string w; prob = float_of_string p }
+  | [ "duplicate"; p ] -> Duplicate { prob = float_of_string p }
+  | [ "burst-loss"; p; l ] ->
+      Burst_loss { prob = float_of_string p; len = int_of_string l }
+  | [ "drop-control"; p ] -> Drop_control { prob = float_of_string p }
   | [ "reconverge" ] -> Reconverge
   | [ "join"; m ] -> Join { member = int_of_string m }
   | [ "leave"; m ] -> Leave { member = int_of_string m }

@@ -21,6 +21,35 @@ type action =
   | Partition of { island : int list }
       (** Fail every link with exactly one endpoint in [island]. *)
   | Heal of { island : int list }  (** Restore the island's cut links. *)
+  | Partition_named of { name : string; island : int list }
+      (** First-class partition: split the graph into two named sides
+          by failing the island's cut links, {e remembering} exactly
+          which links were cut under [name] so the matching
+          {!Heal_named} restores precisely those — robust against
+          links that fail or heal for other reasons in between.
+          Applying an already-open name is a no-op.  [name] must be
+          non-empty, without spaces or commas. *)
+  | Heal_named of { name : string }
+      (** Restore the links cut by the named partition (no-op for an
+          unknown or already-healed name). *)
+  | Jitter of { max_delay : float }
+      (** Adversarial delivery: max uniform extra delay per hop,
+          network-wide ({!Netsim.Network.set_jitter}). *)
+  | Jitter_link of { u : int; v : int; max_delay : float }
+      (** Per-directed-link jitter override (0 removes it). *)
+  | Reorder of { window : float; prob : float }
+      (** Bounded reordering: with probability [prob] a traversal is
+          held back by up to [window] extra time units. *)
+  | Duplicate of { prob : float }
+      (** Probability that a traversal spawns a duplicate copy. *)
+  | Burst_loss of { prob : float; len : int }
+      (** Correlated loss: each traversal may open a burst eating it
+          and the next [len - 1] traversals of that directed link. *)
+  | Drop_control of { prob : float }
+      (** Control-plane-targeted drop filter: every control packet is
+          dropped with probability [prob] before transmission (data
+          passes).  [prob = 0] removes the filter.  Installs the
+          network's drop filter — replaces any caller-set one. *)
   | Reconverge
       (** Recompute the unicast routing table against the current
           topology and notify the protocols — explicit routing

@@ -4,7 +4,14 @@ type t = {
   got : (int * int, int) Hashtbl.t;  (* (receiver, seq) -> copies *)
   first_repair : (int, float) Hashtbl.t;  (* receiver -> delivery time *)
   mutable fault_time : float option;
+  mutable heal_time : float option;
   mutable control : (float * int) list;  (* (time, cumulative hops), newest first *)
+  (* Degradation-during-fault bookkeeping: when each receiver last
+     heard data, its longest silent gap since the fault, and the
+     latest instant any note_* call observed (the open gap's end). *)
+  last_seen : (int, float) Hashtbl.t;
+  max_gap : (int, float) Hashtbl.t;
+  mutable last_event : float;
   spans : Obs.Span.t option;
       (* when wired, one "repair" span per receiver brackets
          fault -> first proof of healing *)
@@ -19,17 +26,25 @@ let create ?spans ~receivers () =
     got = Hashtbl.create 1024;
     first_repair = Hashtbl.create 16;
     fault_time = None;
+    heal_time = None;
     control = [];
+    last_seen = Hashtbl.create 16;
+    max_gap = Hashtbl.create 16;
+    last_event = 0.0;
     spans;
   }
 
 let receivers t = t.receivers
 let fault_time t = t.fault_time
 
+let touch t now = if now > t.last_event then t.last_event <- now
+
 let note_send t ~now ~seq =
+  touch t now;
   if not (Hashtbl.mem t.sends seq) then Hashtbl.replace t.sends seq now
 
 let note_fault t ~now =
+  touch t now;
   (match t.fault_time with
   | Some tf when tf <= now -> ()
   | _ -> t.fault_time <- Some now);
@@ -44,11 +59,39 @@ let note_fault t ~now =
         t.receivers
   | None -> ()
 
-let note_control t ~now ~hops = t.control <- (now, hops) :: t.control
+(* The repair instant (link back up, partition healed): closes the
+   during-fault window the degradation metrics measure.  Idempotent —
+   the first call wins. *)
+let note_heal t ~now =
+  touch t now;
+  match t.heal_time with
+  | Some th when th <= now -> ()
+  | _ -> t.heal_time <- Some now
+
+let note_control t ~now ~hops =
+  touch t now;
+  t.control <- (now, hops) :: t.control
 
 let note_delivery t ~now ~receiver ~seq =
+  touch t now;
   let k = (receiver, seq) in
   Hashtbl.replace t.got k (1 + Option.value ~default:0 (Hashtbl.find_opt t.got k));
+  (* Outage tracking: a receiver's silent gap since the fault (or
+     since its previous delivery, whichever is later) ends now. *)
+  (match t.fault_time with
+  | Some tf when now >= tf ->
+      let from =
+        match Hashtbl.find_opt t.last_seen receiver with
+        | Some l when l > tf -> l
+        | _ -> tf
+      in
+      let gap = now -. from in
+      let worst =
+        Option.value ~default:0.0 (Hashtbl.find_opt t.max_gap receiver)
+      in
+      if gap > worst then Hashtbl.replace t.max_gap receiver gap
+  | _ -> ());
+  Hashtbl.replace t.last_seen receiver now;
   (* Repair = first delivery of a sequence number that was *sent*
      after the fault: copies already in flight when the fault hit do
      not prove the tree healed. *)
@@ -83,12 +126,16 @@ type report = {
   total_duplicated : int;
   sent_after_fault : int;
   overhead_inflation : float;
+  goodput_floor : float;
+  worst_outage : float;
+  inflation_during_fault : float;
 }
 
-(* Post-fault control rate over pre-fault control rate, from the
-   cumulative-hop samples bracketing the fault.  nan when there are
-   not enough samples on both sides (or a zero-rate baseline). *)
-let inflation (t : t) =
+(* Control rate between the last sample at/before the fault and the
+   last sample at/before [upto], over the pre-fault baseline rate.
+   nan when there are not enough samples on both sides (or a
+   zero-rate baseline). *)
+let rate_ratio (t : t) ~upto =
   match t.fault_time with
   | None -> nan
   | Some tf -> (
@@ -97,13 +144,70 @@ let inflation (t : t) =
       | [] | [ _ ] -> nan
       | (t0, h0) :: _ -> (
           let pre = List.filter (fun (tm, _) -> tm <= tf) samples in
-          match (List.rev pre, List.rev samples) with
+          let win = List.filter (fun (tm, _) -> tm <= upto) samples in
+          match (List.rev pre, List.rev win) with
           | (tp, hp) :: _, (te, he) :: _
             when tp -. t0 > 0.0 && te -. tp > 0.0 ->
               let pre_rate = float_of_int (hp - h0) /. (tp -. t0) in
               let post_rate = float_of_int (he - hp) /. (te -. tp) in
               if pre_rate > 0.0 then post_rate /. pre_rate else nan
           | _ -> nan))
+
+let inflation (t : t) = rate_ratio t ~upto:infinity
+
+(* During-fault control inflation: the same ratio, but the window
+   closes at {!note_heal} — the overhead the members pay while the
+   network is actually broken (e.g. joins beating against a
+   partition), not the repair burst afterwards. *)
+let inflation_during (t : t) =
+  match t.heal_time with None -> inflation t | Some th -> rate_ratio t ~upto:th
+
+(* Goodput floor: over the sequences sent while the fault was active,
+   the worst per-sequence delivery fraction (deliveries / receivers).
+   nan when nothing was sent during the fault. *)
+let goodput_floor (t : t) =
+  match (t.fault_time, t.receivers) with
+  | None, _ | _, [] -> nan
+  | Some tf, receivers ->
+      let upto = match t.heal_time with Some th -> th | None -> infinity in
+      let nr = float_of_int (List.length receivers) in
+      Hashtbl.fold
+        (fun seq sent floor ->
+          if sent >= tf && sent <= upto then begin
+            let got =
+              List.fold_left
+                (fun acc r -> if Hashtbl.mem t.got (r, seq) then acc + 1 else acc)
+                0 receivers
+            in
+            Float.min floor (float_of_int got /. nr)
+          end
+          else floor)
+        t.sends infinity
+      |> fun f -> if Float.is_finite f then f else nan
+
+(* Worst member outage: the longest silent gap any receiver suffered
+   from the fault onward — closed gaps from the delivery log, plus
+   each receiver's still-open gap up to the last observed instant. *)
+let worst_outage (t : t) =
+  match t.fault_time with
+  | None -> nan
+  | Some tf -> (
+      match t.receivers with
+      | [] -> nan
+      | receivers ->
+          List.fold_left
+            (fun worst r ->
+              let closed =
+                Option.value ~default:0.0 (Hashtbl.find_opt t.max_gap r)
+              in
+              let open_from =
+                match Hashtbl.find_opt t.last_seen r with
+                | Some l when l > tf -> l
+                | _ -> tf
+              in
+              let open_gap = Float.max 0.0 (t.last_event -. open_from) in
+              Float.max worst (Float.max closed open_gap))
+            0.0 receivers)
 
 let report (t : t) =
   let tf = t.fault_time in
@@ -154,6 +258,9 @@ let report (t : t) =
             (fun _ sent acc -> if sent >= f then acc + 1 else acc)
             t.sends 0);
     overhead_inflation = inflation t;
+    goodput_floor = goodput_floor t;
+    worst_outage = worst_outage t;
+    inflation_during_fault = inflation_during t;
   }
 
 let export ?(prefix = "fault.recovery") registry r =
@@ -169,6 +276,9 @@ let export ?(prefix = "fault.recovery") registry r =
   gauge "duplicate_deliveries" (float_of_int r.total_duplicated);
   gauge "sent_after_fault" (float_of_int r.sent_after_fault);
   gauge "overhead_inflation" r.overhead_inflation;
+  gauge "goodput_floor" r.goodput_floor;
+  gauge "worst_outage" r.worst_outage;
+  gauge "inflation_during_fault" r.inflation_during_fault;
   let histo = Obs.Metrics.histogram registry (prefix ^ ".time_to_repair") in
   List.iter
     (fun o ->

@@ -39,6 +39,12 @@ val note_delivery : t -> now:float -> receiver:int -> seq:int -> unit
 val note_fault : t -> now:float -> unit
 (** Idempotent: keeps the earliest fault time. *)
 
+val note_heal : t -> now:float -> unit
+(** The repair instant (link restored, partition healed): closes the
+    during-fault window that [goodput_floor] and
+    [inflation_during_fault] measure.  Idempotent — earliest wins.
+    Without it the window extends to the last observation. *)
+
 val note_control : t -> now:float -> hops:int -> unit
 (** Sample the cumulative control-hop counter.  At least one sample
     before the fault and one after (plus the initial one) are needed
@@ -64,6 +70,22 @@ type report = {
   overhead_inflation : float;
       (** post-fault control rate / pre-fault rate; [nan] when not
           measurable *)
+  goodput_floor : float;
+      (** worst per-sequence delivery fraction (deliveries /
+          receivers) among probes sent while the fault was active
+          (fault to {!note_heal}, or to the end of observation);
+          [nan] when nothing was sent during the fault.  1.0 = full
+          goodput throughout the fault, 0.0 = some probe reached
+          nobody. *)
+  worst_outage : float;
+      (** longest silent gap any receiver suffered from the fault
+          onward, including each receiver's still-open gap at the
+          last observed instant; [nan] before any fault *)
+  inflation_during_fault : float;
+      (** control rate between fault and heal over the pre-fault
+          rate — what members pay {e while} the network is broken
+          (e.g. joins beating against a partition); falls back to
+          [overhead_inflation] when no heal was noted *)
 }
 
 val report : t -> report
@@ -71,8 +93,9 @@ val report : t -> report
 val export : ?prefix:string -> Obs.Metrics.t -> report -> unit
 (** Publish as gauges ([<prefix>.recovered], [.time_to_repair_max],
     [.lost_deliveries], [.duplicate_deliveries], [.sent_after_fault],
-    [.overhead_inflation]) plus a [<prefix>.time_to_repair] histogram
-    of per-receiver repair times.  Non-finite values are skipped.
-    Default prefix ["fault.recovery"]. *)
+    [.overhead_inflation], [.goodput_floor], [.worst_outage],
+    [.inflation_during_fault]) plus a [<prefix>.time_to_repair]
+    histogram of per-receiver repair times.  Non-finite values are
+    skipped.  Default prefix ["fault.recovery"]. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -36,6 +36,21 @@ type mut_counters = {
 
 type drop_reason = Loss | Link_failed | Node_failed | Filtered
 
+(* Adversarial delivery knobs.  The record only materializes when a
+   knob is first set (arming [faults_on] with it), so a knob-free run
+   pays one pointer test per hop in {!transmit} and draws nothing from
+   the fault RNG — seeded digests without hostile knobs are unchanged. *)
+type hostile = {
+  mutable h_jitter : float;  (* default max uniform extra delay per hop *)
+  h_jitter_links : (int * int, float) Hashtbl.t;  (* per-link override *)
+  mutable h_reorder_window : float;  (* hold-back bound when reorder fires *)
+  mutable h_reorder_prob : float;
+  mutable h_dup_prob : float;
+  mutable h_burst_prob : float;  (* chance a traversal opens a drop burst *)
+  mutable h_burst_len : int;
+  h_burst_left : (int * int, int) Hashtbl.t;  (* directed link -> drops left *)
+}
+
 type 'p t = {
   engine : Eventsim.Engine.t;
   table : Routing.Table.t;
@@ -56,8 +71,9 @@ type 'p t = {
   down_nodes : (int, unit) Hashtbl.t;
   mutable fault_rng : Stats.Rng.t option;
   mutable drop_filter : ('p Packet.t -> bool) option;
+  mutable hostile : hostile option;
   mutable node_listeners : (up:bool -> int -> unit) list;
-  mutable route_listeners : (unit -> unit) list;
+  mutable route_listeners : (changed:int -> unit) list;
   mutable delivery_listeners : (now:float -> node:int -> 'p Packet.t -> unit) list;
   (* Link changes since the last {!reconverge}: downed links support
      targeted invalidation; any restore forces a full one. *)
@@ -122,6 +138,7 @@ let create ?(default_ttl = 255) ?trace engine table =
     down_nodes = Hashtbl.create 8;
     fault_rng = None;
     drop_filter = None;
+    hostile = None;
     node_listeners = [];
     route_listeners = [];
     delivery_listeners = [];
@@ -168,6 +185,8 @@ let rng_of t =
       t.fault_rng <- Some r;
       r
 
+let fault_rng t = rng_of t
+
 let set_loss t ~u ~v rate =
   if rate < 0.0 || rate > 1.0 then invalid_arg "Network.set_loss: bad rate";
   if rate = 0.0 then Hashtbl.remove t.loss (u, v)
@@ -190,6 +209,63 @@ let set_default_loss t rate =
 let set_drop_filter t f =
   t.drop_filter <- f;
   if f <> None then t.faults_on <- true
+
+(* ---- Adversarial delivery ---------------------------------------------- *)
+
+let hostile_of t =
+  match t.hostile with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_jitter = 0.0;
+          h_jitter_links = Hashtbl.create 8;
+          h_reorder_window = 0.0;
+          h_reorder_prob = 0.0;
+          h_dup_prob = 0.0;
+          h_burst_prob = 0.0;
+          h_burst_len = 0;
+          h_burst_left = Hashtbl.create 8;
+        }
+      in
+      t.hostile <- Some h;
+      t.faults_on <- true;
+      h
+
+let set_jitter ?link t max_delay =
+  if max_delay < 0.0 then invalid_arg "Network.set_jitter: negative jitter";
+  let h = hostile_of t in
+  match link with
+  | None -> h.h_jitter <- max_delay
+  | Some (u, v) ->
+      if max_delay = 0.0 then Hashtbl.remove h.h_jitter_links (u, v)
+      else Hashtbl.replace h.h_jitter_links (u, v) max_delay
+
+let set_reorder t ~window ~prob =
+  if window < 0.0 then invalid_arg "Network.set_reorder: negative window";
+  if prob < 0.0 || prob > 1.0 then invalid_arg "Network.set_reorder: bad prob";
+  let h = hostile_of t in
+  h.h_reorder_window <- window;
+  h.h_reorder_prob <- prob
+
+let set_duplication t prob =
+  if prob < 0.0 || prob > 1.0 then
+    invalid_arg "Network.set_duplication: bad prob";
+  (hostile_of t).h_dup_prob <- prob
+
+let set_burst_loss t ~prob ~len =
+  if prob < 0.0 || prob > 1.0 then
+    invalid_arg "Network.set_burst_loss: bad prob";
+  if len < 0 then invalid_arg "Network.set_burst_loss: negative length";
+  let h = hostile_of t in
+  h.h_burst_prob <- prob;
+  h.h_burst_len <- len;
+  if prob = 0.0 then Hashtbl.reset h.h_burst_left
+
+let hostile_active t =
+  match t.hostile with Some _ -> true | None -> false
+
+let clear_hostile t = t.hostile <- None
 
 let set_link_up t u v b =
   (* Materialize any not-yet-computed routes against the pre-change
@@ -234,7 +310,7 @@ let route_changed t ~changed =
   if Obs.Trace.active t.trace then
     Obs.Trace.event t.trace ~time:(now t) ~node:(-1)
       (Obs.Event.Route_reconverge { changed });
-  List.iter (fun f -> f ()) t.route_listeners
+  List.iter (fun f -> f ~changed) t.route_listeners
 
 let reconverge t =
   let table = t.table in
@@ -383,14 +459,46 @@ and transmit t node (p : 'p Packet.t) =
         Obs.Trace.notef t.trace ~time:(now t) ~node "no route to %d" p.dst;
         t.c.m_dropped_unreachable <- t.c.m_dropped_unreachable + 1;
         Obs.Metrics.incr m_dropped
-    | Some next ->
+    | Some next -> (
         if t.faults_on && faulted_out t node next p then ()
         else begin
           p.Packet.via <- node;
           tally_link t p node next;
           let delay = Topology.Graph.delay t.graph node next in
-          hop t ~delay ~next p
-        end
+          match t.hostile with
+          | None -> hop t ~delay ~next p
+          | Some h -> hostile_hop t h ~delay ~next node p
+        end)
+
+(* One adversarial link traversal: the scheduled delay picks up
+   per-link jitter and an optional reorder hold-back, and the packet
+   may be duplicated in flight (the copy drawing its own delay, so it
+   can overtake the original).  Every draw comes from the fault RNG:
+   a hostile run is a pure function of the seed. *)
+and hostile_delay t (h : hostile) node next base =
+  let d = ref base in
+  let j =
+    if Hashtbl.length h.h_jitter_links = 0 then h.h_jitter
+    else
+      match Hashtbl.find_opt h.h_jitter_links (node, next) with
+      | Some j -> j
+      | None -> h.h_jitter
+  in
+  if j > 0.0 then d := !d +. Stats.Rng.float (rng_of t) j;
+  if
+    h.h_reorder_prob > 0.0
+    && Stats.Rng.float (rng_of t) 1.0 < h.h_reorder_prob
+  then d := !d +. Stats.Rng.float (rng_of t) h.h_reorder_window;
+  !d
+
+and hostile_hop t h ~delay ~next node (p : 'p Packet.t) =
+  hop t ~delay:(hostile_delay t h node next delay) ~next p;
+  if h.h_dup_prob > 0.0 && Stats.Rng.float (rng_of t) 1.0 < h.h_dup_prob
+  then begin
+    let c = Packet.dup p in
+    tally_link t c node next;
+    hop t ~delay:(hostile_delay t h node next delay) ~next c
+  end
 
 (* Decide whether the [node -> next] traversal is killed by an
    injected fault; performs the drop accounting itself when so.
@@ -407,6 +515,15 @@ and faulted_out t node next (p : 'p Packet.t) =
         fault_drop t ~at:node ~next Link_failed p;
         true
       end
+      else if burst_kills t node next then begin
+        (* Burst losses model a correlated outage: the copy consumed
+           the link, then the burst ate it — same accounting as a
+           Bernoulli loss. *)
+        p.Packet.via <- node;
+        tally_link t p node next;
+        fault_drop t ~at:node ~next Loss p;
+        true
+      end
       else
         let rate = loss t ~u:node ~v:next in
         if rate > 0.0 && Stats.Rng.float (rng_of t) 1.0 < rate then begin
@@ -416,6 +533,26 @@ and faulted_out t node next (p : 'p Packet.t) =
           true
         end
         else false
+
+(* Gilbert-Elliott-lite: while a burst is open on the directed link
+   every traversal is eaten; otherwise each traversal may open a new
+   burst of [h_burst_len] further drops. *)
+and burst_kills t node next =
+  match t.hostile with
+  | Some h when h.h_burst_prob > 0.0 ->
+      let k = (node, next) in
+      (match Hashtbl.find_opt h.h_burst_left k with
+      | Some n when n > 0 ->
+          Hashtbl.replace h.h_burst_left k (n - 1);
+          true
+      | _ ->
+          if Stats.Rng.float (rng_of t) 1.0 < h.h_burst_prob then begin
+            if h.h_burst_len > 1 then
+              Hashtbl.replace h.h_burst_left k (h.h_burst_len - 1);
+            true
+          end
+          else false)
+  | _ -> false
 
 let originate t ~src ~dst ~kind payload =
   let p =
@@ -482,8 +619,9 @@ type 'p snapshot = {
   s_down_nodes : (int, unit) Hashtbl.t;
   s_fault_rng : Stats.Rng.t option;
   s_drop_filter : ('p Packet.t -> bool) option;
+  s_hostile : hostile option;
   s_node_listeners : (up:bool -> int -> unit) list;
-  s_route_listeners : (unit -> unit) list;
+  s_route_listeners : (changed:int -> unit) list;
   s_delivery_listeners : (now:float -> node:int -> 'p Packet.t -> unit) list;
   s_inflight : (int * 'p Packet.t * int * int) list; (* id, pkt, ttl, via *)
   s_flight_seq : int;
@@ -521,6 +659,13 @@ let blit_counters ~from ~into =
   into.m_dropped_filtered <- from.m_dropped_filtered;
   into.m_sunk_at_dst <- from.m_sunk_at_dst
 
+let copy_hostile h =
+  {
+    h with
+    h_jitter_links = Hashtbl.copy h.h_jitter_links;
+    h_burst_left = Hashtbl.copy h.h_burst_left;
+  }
+
 let snapshot t =
   (* A checkpoint inside the routing detection-lag window cannot be
      captured: the table caches stale next hops against an older graph
@@ -542,6 +687,7 @@ let snapshot t =
     s_down_nodes = Hashtbl.copy t.down_nodes;
     s_fault_rng = Option.map Stats.Rng.copy t.fault_rng;
     s_drop_filter = t.drop_filter;
+    s_hostile = Option.map copy_hostile t.hostile;
     s_node_listeners = t.node_listeners;
     s_route_listeners = t.route_listeners;
     s_delivery_listeners = t.delivery_listeners;
@@ -572,6 +718,9 @@ let restore t s =
      restores with identical draws each time. *)
   t.fault_rng <- Option.map Stats.Rng.copy s.s_fault_rng;
   t.drop_filter <- s.s_drop_filter;
+  (* Same double-copy as the RNG: the snapshot's hostile state must
+     survive repeated restores unmutated. *)
+  t.hostile <- Option.map copy_hostile s.s_hostile;
   t.node_listeners <- s.s_node_listeners;
   t.route_listeners <- s.s_route_listeners;
   t.delivery_listeners <- s.s_delivery_listeners;

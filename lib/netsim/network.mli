@@ -67,6 +67,12 @@ val handled : 'p t -> int -> bool
 val set_fault_rng : 'p t -> Stats.Rng.t -> unit
 (** The stream that decides per-packet Bernoulli losses. *)
 
+val fault_rng : 'p t -> Stats.Rng.t
+(** The live fault stream (materializing the default if none was
+    set).  Fault machinery wanting probabilistic decisions that stay
+    inside the seeded, checkpointable world — e.g. the injector's
+    control-drop filter — draws from here. *)
+
 val set_loss : 'p t -> u:int -> v:int -> float -> unit
 (** Per-directed-link loss probability for the [u -> v] traversal
     (rate 0 removes the entry).  A lost copy {e is} transmitted — it
@@ -86,6 +92,43 @@ val set_drop_filter : 'p t -> ('p Packet.t -> bool) option -> unit
     packet (counted as [dropped_filtered], never put on the wire).
     This is the message-class suppression hook the soft-state expiry
     tests use ("drop every join"). *)
+
+(** {2 Adversarial delivery}
+
+    A seeded hostile scheduler replacing the polite FIFO link: extra
+    per-hop delay jitter, bounded reordering (a probabilistic
+    hold-back of up to a window), in-flight message duplication and
+    correlated burst loss.  All knobs are off by default; setting any
+    one arms the fault path, and a run with no knobs set draws
+    nothing from the fault RNG — seeded digests are unchanged.  Every
+    hostile decision comes from the {!set_fault_rng} stream, so a
+    hostile run is a pure function of the seed. *)
+
+val set_jitter : ?link:int * int -> 'p t -> float -> unit
+(** Max uniform extra delay added to each hop, network-wide, or for
+    one directed link when [?link] is given (a per-link value of 0
+    removes the override).  Jitter alone already permits reordering
+    bounded by the jitter amplitude. *)
+
+val set_reorder : 'p t -> window:float -> prob:float -> unit
+(** With probability [prob], hold a traversal back by an extra
+    uniform delay in [\[0, window\]] — bounded reordering: later
+    packets on the link overtake the held one. *)
+
+val set_duplication : 'p t -> float -> unit
+(** Probability that a link traversal spawns a second, independently
+    delayed copy of the packet (counted as its own link traversal). *)
+
+val set_burst_loss : 'p t -> prob:float -> len:int -> unit
+(** Correlated loss: each traversal may open a burst ([prob]) that
+    eats it and the next [len - 1] traversals of the same directed
+    link.  [prob = 0] closes any open bursts. *)
+
+val hostile_active : 'p t -> bool
+(** Whether any adversarial knob has ever been set. *)
+
+val clear_hostile : 'p t -> unit
+(** Drop all adversarial knobs (the plain FIFO link again). *)
 
 val set_link_up : 'p t -> int -> int -> bool -> unit
 (** Fail ([false]) or restore ([true]) the undirected link — mutates
@@ -133,7 +176,10 @@ val route_changed : 'p t -> changed:int -> unit
     [Route_reconverge] event — {!reconverge} calls this for you;
     call it directly only after refreshing the table yourself. *)
 
-val on_route_change : 'p t -> (unit -> unit) -> unit
+val on_route_change : 'p t -> (changed:int -> unit) -> unit
+(** Observe reconvergences; [changed = 0] announces a recomputation
+    that altered no next hop (protocol sessions use the distinction
+    to advance their route epoch only on real change). *)
 
 val on_delivery : 'p t -> (now:float -> node:int -> 'p Packet.t -> unit) -> unit
 (** Observe every data delivery as it happens (the recovery-metrics

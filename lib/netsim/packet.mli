@@ -36,4 +36,9 @@ val rewrite : 'p t -> src:int -> dst:int -> ?payload:'p -> unit -> 'p t
     real decapsulating router would re-emit with a fresh IP header;
     we keep the remaining TTL to bound total work. *)
 
+val dup : 'p t -> 'p t
+(** An in-flight duplicate injected by a hostile link: same addresses,
+    payload and remaining TTL, but a {e distinct} mutable record so the
+    two copies age independently. *)
+
 val pp : (Format.formatter -> 'p -> unit) -> Format.formatter -> 'p t -> unit

@@ -118,8 +118,15 @@ let handler t n (p : msg Pkt.t) =
       if p.Pkt.via <> n then begin
         let tbl = oifs_of t n in
         let fresh = not (Ss.Table.mem tbl p.Pkt.via) in
-        ignore
-          (Ss.Table.add_fresh tbl (S.state t).dl ~now:(S.now t) p.Pkt.via);
+        (* Freshness-guard adoption (DESIGN.md §6b) is stamping only:
+           a PIM join is re-routed hop by hop on the *current* RPF
+           paths, so the join that installs or refreshes an oif is
+           itself forward-path evidence — stale-epoch state simply
+           stops being refreshed and dies at holdtime, with nothing
+           to gate. *)
+        Ss.stamp
+          (Ss.Table.add_fresh tbl (S.state t).dl ~now:(S.now t) p.Pkt.via)
+          ~epoch:(S.route_epoch t);
         Obs.Metrics.incr m_oif;
         if fresh && S.trace_active t then
           S.ev t ~node:n

@@ -69,6 +69,13 @@ module Make (P : PROTOCOL) = struct
     member_timers : (int, Timer.t) Hashtbl.t;
     member_handler_installed : (int, unit) Hashtbl.t;
     mutable data_seq : int;
+    (* Generation counter over the unicast routing: bumped on every
+       reconvergence that actually changed a next hop.  Protocols
+       stamp soft-state entries with the epoch of the forward-path
+       evidence that validated them, so refresh paths can tell
+       pre-flap state from state the current routing still supports
+       (the freshness guard, DESIGN.md section 6b). *)
+    mutable route_epoch : int;
     spans : Obs.Span.t;
   }
 
@@ -109,6 +116,7 @@ module Make (P : PROTOCOL) = struct
   let members t = List.sort compare t.members
   let now t = Engine.now t.engine
   let data_seq t = t.data_seq
+  let route_epoch t = t.route_epoch
   let spans t = t.spans
   let join_span = "join"
 
@@ -175,6 +183,7 @@ module Make (P : PROTOCOL) = struct
         member_timers = Hashtbl.create 16;
         member_handler_installed = Hashtbl.create 16;
         data_seq = 0;
+        route_epoch = 0;
         spans = Obs.Span.create ();
       }
     in
@@ -213,8 +222,13 @@ module Make (P : PROTOCOL) = struct
         end);
     (* Unicast reconvergence needs no generic protocol action — every
        forwarding decision re-reads the routing table — but sessions
-       account for it so overhead inflation can be attributed. *)
-    Net.on_route_change network (fun () -> Obs.Metrics.incr m_route_changes);
+       account for it, and a reconvergence that really moved a next
+       hop opens a new route epoch (a no-op recomputation must not:
+       entries would lose their validation for no topological
+       reason). *)
+    Net.on_route_change network (fun ~changed ->
+        Obs.Metrics.incr m_route_changes;
+        if changed > 0 then t.route_epoch <- t.route_epoch + 1);
     (* Close a member's open join span on its first data delivery for
        this channel — the span only exists when the member subscribed
        while the stream was already live, so the duration is the
@@ -358,6 +372,7 @@ module Make (P : PROTOCOL) = struct
     s_state : P.state;
     s_members : int list;
     s_data_seq : int;
+    s_route_epoch : int;
     s_net : P.msg Net.snapshot;
     s_timers : (int * Timer.t * Timer.snap) list;
     s_agents : int list;
@@ -368,6 +383,7 @@ module Make (P : PROTOCOL) = struct
       s_state = P.copy_state t.state;
       s_members = t.members;
       s_data_seq = t.data_seq;
+      s_route_epoch = t.route_epoch;
       s_net = Net.snapshot t.network;
       s_timers =
         Hashtbl.fold
@@ -386,6 +402,7 @@ module Make (P : PROTOCOL) = struct
     t.state <- P.copy_state s.s_state;
     t.members <- s.s_members;
     t.data_seq <- s.s_data_seq;
+    t.route_epoch <- s.s_route_epoch;
     Hashtbl.reset t.member_timers;
     List.iter
       (fun (m, tm, snap) ->

@@ -152,6 +152,15 @@ module Make (P : PROTOCOL) : sig
   val now : t -> float
   val data_seq : t -> int
 
+  val route_epoch : t -> int
+  (** Generation counter over the unicast routing: incremented by
+      every reconvergence that changed at least one next hop.
+      Protocols stamp soft-state entries with the epoch of the
+      forward-path evidence that last validated them (the freshness
+      guard): an entry stamped with an older epoch may be stale
+      tree structure the current routing no longer supports, and
+      refresh paths treat it conservatively. *)
+
   val spans : t -> Obs.Span.t
   (** The session's causal spans.  The session itself records one
       family, ["join"]: opened when a member subscribes while the

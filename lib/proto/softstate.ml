@@ -6,6 +6,7 @@ type entry = {
   mutable marked_until : float;
   mutable fresh_until : float;
   mutable expires_at : float;
+  mutable epoch : int;
 }
 
 let entry_stale e ~now = now >= e.fresh_until
@@ -27,7 +28,10 @@ let entry dl ~now node =
     marked_until = neg_infinity;
     fresh_until = now +. dl.t1;
     expires_at = now +. dl.t2;
+    epoch = 0;
   }
+
+let stamp e ~epoch = if epoch > e.epoch then e.epoch <- epoch
 
 let refresh_entry e dl ~now =
   e.fresh_until <- now +. dl.t1;
@@ -42,6 +46,7 @@ let copy_entry e =
     marked_until = e.marked_until;
     fresh_until = e.fresh_until;
     expires_at = e.expires_at;
+    epoch = e.epoch;
   }
 
 module Table = struct
@@ -62,6 +67,7 @@ module Table = struct
         marked_until = neg_infinity;
         fresh_until = (if stale then now else now +. dl.t1);
         expires_at = now +. dl.t2;
+        epoch = 0;
       }
     in
     t.next_seq <- t.next_seq + 1;

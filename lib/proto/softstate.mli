@@ -26,6 +26,9 @@ type entry = private {
   mutable marked_until : float;  (** absolute mark-decay deadline *)
   mutable fresh_until : float;  (** absolute t1 deadline *)
   mutable expires_at : float;  (** absolute t2 deadline *)
+  mutable epoch : int;
+      (** route epoch of the entry's last forward-path validation
+          (see {!stamp}); 0 until first stamped *)
 }
 
 val entry_stale : entry -> now:float -> bool
@@ -41,6 +44,16 @@ val freeze_marks : bool ref
 
 val copy_entry : entry -> entry
 (** Independent copy of a (mutable) entry — checkpoint primitive. *)
+
+val stamp : entry -> epoch:int -> unit
+(** Record forward-path evidence for this entry at the given route
+    epoch (monotone — an older stamp never overwrites a newer one).
+    Protocols stamp an entry whenever current-routing evidence (a
+    tree message converging on it, a source-received join) proves the
+    entry is consistent with the present unicast paths; the freshness
+    guard then distinguishes entries the current routing still
+    supports ([e.epoch] = session route epoch) from soft state
+    surviving a reroute. *)
 
 val entry : deadlines -> now:float -> int -> entry
 (** A detached fresh entry (not owned by any table) — e.g. REUNITE's

@@ -120,9 +120,18 @@ let router_handle_join t n ~member =
       else if Tables.Mft.mem mft member then
         if Tables.entry_stale (Tables.Mft.dst mft) ~now:nw then Net.Forward
         else begin
-          ignore (Tables.Mft.refresh mft dl ~now:nw member);
-          mft_ev t ~node:n ~target:member Obs.Event.Refresh;
-          Net.Consume
+          (* Freshness guard (DESIGN.md §6b): only refresh a receiver
+             entry the current route epoch has validated — the last
+             tree fork reached it since the last reconvergence that
+             changed paths.  A post-reroute leftover must not be kept
+             alive by the joins it captures; the join passes upstream
+             and the member re-anchors on the live tree. *)
+          match Tables.Mft.find_receiver mft member with
+          | Some e when e.Tables.epoch >= S.route_epoch t ->
+              ignore (Tables.Mft.refresh mft dl ~now:nw member);
+              mft_ev t ~node:n ~target:member Obs.Event.Refresh;
+              Net.Consume
+          | _ -> Net.Forward
         end
       else if relays_member then
         (* The member's flow transits this branching node unforked; it
@@ -135,6 +144,10 @@ let router_handle_join t n ~member =
       else begin
         S.notef t ~node:n "capture join(%d) at branching node" member;
         Tables.Mft.add_receiver mft dl ~now:nw member;
+        (* Born under the routing that delivered this join. *)
+        Option.iter
+          (fun e -> Tables.stamp e ~epoch:(S.route_epoch t))
+          (Tables.Mft.find_receiver mft member);
         mft_ev t ~node:n ~target:member Obs.Event.Add;
         Net.Consume
       end
@@ -154,7 +167,12 @@ let router_handle_join t n ~member =
                 S.notef t ~node:n
                   "capture join(%d): becoming branching (dst=%d)" member dst;
                 let mft = Tables.Mft.create dl ~now:nw ~dst in
+                let epoch = S.route_epoch t in
+                Tables.stamp (Tables.Mft.dst mft) ~epoch;
                 Tables.Mft.add_receiver mft dl ~now:nw member;
+                Option.iter
+                  (fun e -> Tables.stamp e ~epoch)
+                  (Tables.Mft.find_receiver mft member);
                 mft_ev t ~node:n ~target:dst Obs.Event.Add;
                 mft_ev t ~node:n ~target:member Obs.Event.Add;
                 mct_ev t ~node:n ~target:dst Obs.Event.Remove;
@@ -189,8 +207,14 @@ let router_handle_tree t n (p : Messages.t Pkt.t) ~target ~marked ~epoch =
          nor fork, so orphaned branching structures decay. *)
       Tables.Mft.set_upstream mft p.Pkt.via;
       ignore (Tables.Mft.refresh mft dl ~now:nw target);
+      (* The source's tree reached this fork point over the current
+         unicast paths: forward-path evidence for the dst entry and
+         every receiver entry the fork serves (DESIGN.md §6b). *)
+      let repoch = S.route_epoch t in
+      Tables.stamp (Tables.Mft.dst mft) ~epoch:repoch;
       List.iter
         (fun (e : Tables.entry) ->
+          Tables.stamp e ~epoch:repoch;
           S.send t ~from:n ~dst:e.node ~kind:Pkt.Control
             (Messages.Tree
                {
@@ -262,10 +286,24 @@ let source_handler t n (p : Messages.t Pkt.t) =
     (match p.Pkt.payload with
     | Messages.Join { member; _ } ->
         if member <> S.source t then (
+          (* A join that reached the source travelled the current
+             unicast paths end to end — forward-path evidence. *)
+          let epoch = S.route_epoch t in
+          let stamp_member mft =
+            if (Tables.Mft.dst mft).Tables.node = member then
+              Tables.stamp (Tables.Mft.dst mft) ~epoch
+            else
+              Option.iter
+                (fun e -> Tables.stamp e ~epoch)
+                (Tables.Mft.find_receiver mft member)
+          in
           match st.source_mft with
           | None ->
-              st.source_mft <-
-                Some (Tables.Mft.create st.deadlines ~now:(S.now t) ~dst:member);
+              let mft =
+                Tables.Mft.create st.deadlines ~now:(S.now t) ~dst:member
+              in
+              stamp_member mft;
+              st.source_mft <- Some mft;
               mft_ev t ~node:n ~target:member Obs.Event.Add
           | Some mft ->
               if Tables.Mft.refresh mft st.deadlines ~now:(S.now t) member then
@@ -273,7 +311,8 @@ let source_handler t n (p : Messages.t Pkt.t) =
               else begin
                 Tables.Mft.add_receiver mft st.deadlines ~now:(S.now t) member;
                 mft_ev t ~node:n ~target:member Obs.Event.Add
-              end)
+              end;
+              stamp_member mft)
     | Messages.Tree _ | Messages.Data _ -> ()
     | Messages.Extra { extra = _; _ } -> .);
     Net.Consume

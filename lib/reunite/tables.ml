@@ -8,10 +8,12 @@ type entry = Ss.entry = private {
   mutable marked_until : float;
   mutable fresh_until : float;
   mutable expires_at : float;
+  mutable epoch : int;
 }
 
 let entry_stale = Ss.entry_stale
 let entry_dead = Ss.entry_dead
+let stamp = Ss.stamp
 
 module Mft = struct
   (* The dst slot is a detached softstate entry; the receiver entries
@@ -46,6 +48,7 @@ module Mft = struct
   let receivers t = Ss.Table.entries t.tbl
   let receiver_nodes t = Ss.Table.nodes t.tbl
   let mem t n = t.dst.node = n || Ss.Table.mem t.tbl n
+  let find_receiver t n = Ss.Table.find t.tbl n
 
   let add_receiver t dl ~now n = ignore (Ss.Table.add_fresh t.tbl dl ~now n)
 

@@ -16,10 +16,19 @@ type entry = Proto.Softstate.entry = private {
   mutable marked_until : float;  (** unused by REUNITE *)
   mutable fresh_until : float;
   mutable expires_at : float;
+  mutable epoch : int;
+      (** route epoch of the last forward-path validation (see
+          {!Proto.Softstate.stamp}); 0 until first stamped *)
 }
 
 val entry_stale : entry -> now:float -> bool
 val entry_dead : entry -> now:float -> bool
+
+val stamp : entry -> epoch:int -> unit
+(** Record forward-path evidence at the given route epoch (monotone)
+    — the freshness guard of DESIGN.md §6b.  Tree forks stamp the
+    entries they serve; join capture refuses to refresh receiver
+    entries the current routing no longer validates. *)
 
 module Mft : sig
   type t
@@ -50,8 +59,13 @@ module Mft : sig
   (** Live receiver entries, ascending by node. *)
 
   val receiver_nodes : t -> int list
+
   val mem : t -> int -> bool
   (** True if the node is the dst or a receiver entry. *)
+
+  val find_receiver : t -> int -> entry option
+  (** The receiver entry for a node ([dst] excluded) — epoch
+      inspection for the freshness guard. *)
 
   val add_receiver : t -> deadlines -> now:float -> int -> unit
   (** Insert or refresh. *)

@@ -14,6 +14,15 @@ type event =
   | Crash of int
   | Restart of int
   | Loss_burst of float
+  | Reorder_burst of float * float
+      (** bounded reordering (window, prob) for two refresh periods,
+          then clear — control messages overtake each other *)
+  | Dup_burst of float
+      (** duplication probability for two refresh periods, then clear *)
+  | Partition_cycle of int list
+      (** named partition of the island, reconverge, one t2 of
+          isolation, heal, reconverge — a self-contained cycle so the
+          explorer never carries an open partition between states *)
   | Age  (** let soft state decay for one t2 without stimulus *)
 
 let pp_event fmt = function
@@ -24,6 +33,11 @@ let pp_event fmt = function
   | Crash n -> Format.fprintf fmt "crash %d" n
   | Restart n -> Format.fprintf fmt "restart %d" n
   | Loss_burst r -> Format.fprintf fmt "loss-burst %g" r
+  | Reorder_burst (w, p) -> Format.fprintf fmt "reorder w=%g %g" w p
+  | Dup_burst p -> Format.fprintf fmt "dup-burst %g" p
+  | Partition_cycle island ->
+      Format.fprintf fmt "partition-cycle [%s]"
+        (String.concat "," (List.map string_of_int island))
   | Age -> Format.fprintf fmt "age"
 
 let pp_events fmt events =
@@ -40,6 +54,9 @@ type alphabet = {
   links : (int * int) list;  (** links to fail/restore *)
   crashes : int list;  (** routers to crash/restart *)
   loss : float option;  (** burst loss rate, when enabled *)
+  reorder : (float * float) option;  (** reorder burst (window, prob) *)
+  dup : float option;  (** duplication-burst probability *)
+  islands : int list list;  (** partition-cycle islands *)
   age : bool;  (** include the pure-decay event *)
 }
 
@@ -50,7 +67,8 @@ type alphabet = {
    bounded-depth state space dense enough to revisit states, which is
    where the dedup pays off. *)
 let default_alphabet ?(joins = 8) ?(links = 5) ?(crashes = 2)
-    ?(loss = Some 0.3) ?(age = true) (sut : Sut.t) ~seed =
+    ?(loss = Some 0.3) ?(reorder = Some (2.0, 0.3)) ?(dup = Some 0.3)
+    ?(partitions = 1) ?(age = true) (sut : Sut.t) ~seed =
   let rng = Stats.Rng.create seed in
   let take n xs =
     let a = Array.of_list xs in
@@ -75,6 +93,14 @@ let default_alphabet ?(joins = 8) ?(links = 5) ?(crashes = 2)
     links = List.sort compare (take links core_links);
     crashes = List.sort compare (take crashes routers);
     loss;
+    reorder;
+    dup;
+    (* Singleton candidate-host islands: a member (or would-be
+       member) loses all connectivity for a t2, then gets it back —
+       the adversarial shape behind the mutual-capture fix. *)
+    islands =
+      List.map (fun h -> [ h ]) (take partitions sut.Sut.candidates)
+      |> List.sort compare;
     age;
   }
 
@@ -112,8 +138,13 @@ let enabled (sut : Sut.t) (a : alphabet) =
       a.crashes
   and loss_events =
     match a.loss with Some r -> [ Loss_burst r ] | None -> []
+  and reorder_events =
+    match a.reorder with Some (w, p) -> [ Reorder_burst (w, p) ] | None -> []
+  and dup_events = match a.dup with Some p -> [ Dup_burst p ] | None -> []
+  and partition_events = List.map (fun i -> Partition_cycle i) a.islands
   and age_events = if a.age then [ Age ] else [] in
-  joins @ leaves @ link_events @ crash_events @ loss_events @ age_events
+  joins @ leaves @ link_events @ crash_events @ loss_events @ reorder_events
+  @ dup_events @ partition_events @ age_events
 
 (* ---- Applying events ---------------------------------------------------- *)
 
@@ -143,6 +174,22 @@ let apply (sut : Sut.t) = function
       sut.Sut.set_default_loss rate;
       sut.Sut.run_for (2.0 *. sut.Sut.control_period);
       sut.Sut.set_default_loss 0.0
+  | Reorder_burst (window, prob) ->
+      sut.Sut.inject (P.Reorder { window; prob });
+      sut.Sut.run_for (2.0 *. sut.Sut.control_period);
+      sut.Sut.inject (P.Reorder { window = 0.0; prob = 0.0 })
+  | Dup_burst prob ->
+      sut.Sut.inject (P.Duplicate { prob });
+      sut.Sut.run_for (2.0 *. sut.Sut.control_period);
+      sut.Sut.inject (P.Duplicate { prob = 0.0 })
+  | Partition_cycle island ->
+      sut.Sut.inject (P.Partition_named { name = "verif"; island });
+      sut.Sut.run_for detection_lag;
+      ignore (sut.Sut.reconverge ());
+      sut.Sut.run_for sut.Sut.t2;
+      sut.Sut.inject (P.Heal_named { name = "verif" });
+      sut.Sut.run_for detection_lag;
+      ignore (sut.Sut.reconverge ())
   | Age -> sut.Sut.run_for sut.Sut.t2
 
 (* ---- Quiescence --------------------------------------------------------- *)
@@ -204,6 +251,21 @@ let to_plan events =
       | Loss_burst r ->
           push (P.Loss_all { rate = r });
           directives := (!t +. 200.0, P.Loss_all { rate = 0.0 }) :: !directives
+      | Reorder_burst (w, p) ->
+          push (P.Reorder { window = w; prob = p });
+          directives :=
+            (!t +. 200.0, P.Reorder { window = 0.0; prob = 0.0 })
+            :: !directives
+      | Dup_burst p ->
+          push (P.Duplicate { prob = p });
+          directives := (!t +. 200.0, P.Duplicate { prob = 0.0 }) :: !directives
+      | Partition_cycle island ->
+          push (P.Partition_named { name = "verif"; island });
+          directives :=
+            (!t +. detection_lag +. 580.0, P.Reconverge)
+            :: (!t +. detection_lag +. 550.0, P.Heal_named { name = "verif" })
+            :: (!t +. detection_lag, P.Reconverge)
+            :: !directives
       | Age -> ());
       t := !t +. slot)
     events;

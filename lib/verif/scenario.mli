@@ -12,6 +12,16 @@ type event =
   | Loss_burst of float
       (** background Bernoulli loss for two refresh periods, then
           clear — exercises lost control messages *)
+  | Reorder_burst of float * float
+      (** bounded reordering (window, prob) for two refresh periods,
+          then clear — control messages overtake each other *)
+  | Dup_burst of float
+      (** duplication probability for two refresh periods, then
+          clear — every message may arrive twice *)
+  | Partition_cycle of int list
+      (** named partition of the island, reconverge, one t2 of
+          isolation, heal, reconverge — a self-contained cycle (the
+          explorer never carries an open partition between states) *)
   | Age  (** run one t2 with no stimulus: pure soft-state decay *)
 
 val pp_event : Format.formatter -> event -> unit
@@ -22,6 +32,9 @@ type alphabet = {
   links : (int * int) list;
   crashes : int list;
   loss : float option;
+  reorder : (float * float) option;
+  dup : float option;
+  islands : int list list;
   age : bool;
 }
 
@@ -30,6 +43,9 @@ val default_alphabet :
   ?links:int ->
   ?crashes:int ->
   ?loss:float option ->
+  ?reorder:(float * float) option ->
+  ?dup:float option ->
+  ?partitions:int ->
   ?age:bool ->
   Sut.t ->
   seed:int ->
@@ -37,7 +53,9 @@ val default_alphabet :
 (** A deterministic seeded slice of the SUT's fault surface: [joins]
     churnable members, [links] failable {e core} links (host access
     links are excluded — cutting a member off merely excuses it from
-    the oracles), [crashes] non-source routers. *)
+    the oracles), [crashes] non-source routers, plus the hostile
+    delivery bursts (reorder, duplication) and [partitions]
+    singleton-host partition/heal cycles. *)
 
 val of_churn : (float * Workload.Churn.event) list -> event list
 (** Project a {!Workload.Churn.schedule}'s membership events into

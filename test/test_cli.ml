@@ -1,0 +1,91 @@
+(* CLI argument-validation contract: every bad invocation — unknown
+   subcommand, unknown knob, non-positive duration or interval —
+   must exit 2 through the one shared usage printer, so scripts can
+   tell "bad invocation" from "run failed" (exit 1) and "run passed"
+   (exit 0).  Exercised against the real binary, not Cmdliner
+   internals: these are the exact command lines CI and the docs
+   advertise. *)
+
+let exe = Filename.concat (Filename.concat ".." "bin") "hbh_sim.exe"
+
+let run args =
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s >cli_out.txt 2>cli_err.txt" exe args)
+  in
+  let read f =
+    let ic = open_in f in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  (code, read "cli_out.txt", read "cli_err.txt")
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_usage_exit name args ~msg =
+  let code, _, err = run args in
+  Alcotest.(check int) (name ^ ": exit code") 2 code;
+  Alcotest.(check bool)
+    (name ^ ": diagnostic on stderr")
+    true (contains err msg);
+  Alcotest.(check bool)
+    (name ^ ": shared usage printer ran")
+    true
+    (contains err "usage: hbh_sim")
+
+let test_soak_negative_hours () =
+  check_usage_exit "soak --hours=-1" "soak --hours=-1"
+    ~msg:"--hours must be a positive number"
+
+let test_soak_too_short () =
+  check_usage_exit "soak --hours 0.1" "soak --hours 0.1"
+    ~msg:"no room for a partition/heal cycle"
+
+let test_soak_unknown_knob () =
+  check_usage_exit "soak --frobnicate" "soak --frobnicate"
+    ~msg:"unknown option"
+
+let test_faults_bad_timeline () =
+  check_usage_exit "faults --timeline=-5" "faults --timeline=-5"
+    ~msg:"--timeline needs a positive sampling interval"
+
+let test_unknown_subcommand () =
+  check_usage_exit "definitely-not-a-command" "definitely-not-a-command"
+    ~msg:"unknown command"
+
+(* One good invocation end to end: the short soak must complete with
+   silent monitors and exit 0 — the same gate the CI smoke greps. *)
+let test_soak_smoke () =
+  let code, out, _ = run "soak --hours 1 --seed 42 --protocol hbh" in
+  Alcotest.(check int) "soak exit code" 0 code;
+  Alcotest.(check bool)
+    "monitors silent" true
+    (contains out "monitors: 0 violations")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-2 funnel",
+        [
+          Alcotest.test_case "soak rejects negative --hours" `Quick
+            test_soak_negative_hours;
+          Alcotest.test_case "soak rejects a too-short horizon" `Quick
+            test_soak_too_short;
+          Alcotest.test_case "soak rejects unknown knobs" `Quick
+            test_soak_unknown_knob;
+          Alcotest.test_case "faults rejects a non-positive --timeline" `Quick
+            test_faults_bad_timeline;
+          Alcotest.test_case "unknown subcommands funnel to usage" `Quick
+            test_unknown_subcommand;
+        ] );
+      ( "soak smoke",
+        [
+          Alcotest.test_case "1-hour HBH soak passes with silent monitors"
+            `Quick test_soak_smoke;
+        ] );
+    ]

@@ -265,16 +265,19 @@ let prop_hbh_recovers_from_link_failure =
           Mcast.Distribution.receivers d = List.sort compare receivers
           && Mcast.Distribution.max_stress d = 1)
 
-(* The ROADMAP mutual-capture pathology, caught in an ordinary run:
-   replay the link-failure property's qcheck input 71643 — link 5-17
-   on a 22-router random topology — with a runtime monitor attached
-   instead of the model checker.  The restore leaves two HBH branch
-   routers holding each other in their MFTs, a forwarding loop that
-   mutual refreshing keeps alive forever; the loop-freedom probe must
-   confirm it from a plain run.  (A tripwire, not a pin: when the
-   pathology is fixed, the recovery property covers this input and
-   this test should assert zero confirmations instead.) *)
-let test_monitor_flags_mutual_capture () =
+(* The ROADMAP mutual-capture pathology, replayed: the link-failure
+   property's qcheck input 71643 — link 5-17 on a 22-router random
+   topology.  Before the route-epoch freshness guard (DESIGN.md §6b)
+   the restore left two HBH branch routers holding each other in
+   their MFTs, a forwarding loop that mutual refreshing kept alive
+   forever; a runtime monitor confirmed the tree_loop_free violation
+   from a plain run.  With the guard, intercepted joins no longer
+   refresh entries the post-restore routing doesn't validate, so the
+   zombie branch drains: the monitor must stay silent and the member
+   must heal (every receiver served, one copy each).  The golden plan
+   test/golden/hbh-mutual-capture.plan replays the same scenario
+   through the fault DSL. *)
+let test_mutual_capture_heals () =
   let seed = 71643 in
   let g, table, source, receivers = scenario_of_seed seed in
   let session = Hbh.Protocol.create table ~source in
@@ -295,11 +298,44 @@ let test_monitor_flags_mutual_capture () =
   ignore (Fault.Injector.reconverge net);
   Hbh.Protocol.run_for session (8.0 *. cfg.Hbh.Protocol.t2);
   Verif.Monitor.stop mon;
-  Alcotest.(check bool) "loop-freedom violation confirmed" true
-    (List.exists
-       (fun (c : Verif.Monitor.confirmed) ->
-         c.Verif.Monitor.violation.Verif.Oracle.oracle = "tree_loop_free")
-       (Verif.Monitor.violations mon))
+  Alcotest.(check int) "no confirmed monitor violations" 0
+    (List.length (Verif.Monitor.violations mon));
+  let d = Hbh.Protocol.probe session in
+  Alcotest.(check (list int))
+    "every receiver served after restore" (List.sort compare receivers)
+    (Mcast.Distribution.receivers d);
+  Alcotest.(check int) "one copy per receiver" 1 (Mcast.Distribution.max_stress d)
+
+(* The same pathology as a committed fixture: the ddmin-minimal plan
+   (link 5-17 down, one decay window, link up) replayed through the
+   fault DSL against the 71643 scenario.  The guard makes it clean —
+   the file documents what used to break and trips if it ever breaks
+   again. *)
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_mutual_capture_golden_plan () =
+  let plan =
+    Fault.Plan.of_string (read_file "golden/hbh-mutual-capture.plan")
+  in
+  (* the text form round-trips: the fixture stays loadable *)
+  let reparsed = Fault.Plan.of_string (Fault.Plan.to_string plan) in
+  Alcotest.(check int)
+    "round-trip directive count"
+    (List.length (Fault.Plan.directives plan))
+    (List.length (Fault.Plan.directives reparsed));
+  let _, table, source, receivers = scenario_of_seed 71643 in
+  let session = Hbh.Protocol.create table ~source in
+  List.iter (Hbh.Protocol.subscribe session) receivers;
+  Hbh.Protocol.converge ~periods:12 session;
+  let vs = Verif.Scenario.replay_plan (Verif.Sut.of_hbh session) plan in
+  Alcotest.(check (list string))
+    "golden plan replays clean under the freshness guard" []
+    (List.map (fun (v : Verif.Oracle.violation) -> v.Verif.Oracle.oracle) vs)
 
 let () =
   Alcotest.run "properties"
@@ -322,7 +358,10 @@ let () =
           ] );
       ( "runtime-monitor",
         [
-          Alcotest.test_case "monitor flags the 71643 mutual-capture loop"
-            `Quick test_monitor_flags_mutual_capture;
+          Alcotest.test_case
+            "the 71643 mutual-capture input heals under the freshness guard"
+            `Quick test_mutual_capture_heals;
+          Alcotest.test_case "the golden mutual-capture plan replays clean"
+            `Quick test_mutual_capture_golden_plan;
         ] );
     ]

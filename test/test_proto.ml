@@ -135,14 +135,21 @@ let fingerprint proto (config : Common.config) ~n =
   ops.Faults.run_until (t0 +. horizon);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-(* Delivery digests pinned from the pre-port protocol stacks. *)
+(* Delivery digests pinned from the pre-port protocol stacks.  The
+   HBH and REUNITE digests were re-pinned when the route-epoch
+   freshness guard landed (DESIGN.md §6b): the fingerprint script
+   crashes and restarts a router, and post-reconvergence
+   join-interception/capture now defers to the live tree instead of
+   refreshing unvalidated entries.  PIM-SSM digests are untouched —
+   its guard adoption is stamping only (joins are re-routed hop by
+   hop, so join-installed state is always epoch-current). *)
 let pinned =
   [
-    ("HBH/isp", "551aa82a7f9efa03b0281858fc026e43");
-    ("REUNITE/isp", "ee27797b75ab575901a4dc7114460b89");
+    ("HBH/isp", "5049f2068dfff60bf889a02ee4900b11");
+    ("REUNITE/isp", "c23251c05b02f3949f12bcd5731b17e7");
     ("PIM-SSM/isp", "38bb2b3e8257dd584c05a587eba39fc2");
-    ("HBH/rand50", "95886c1b4570958ca1bda9c7857fef69");
-    ("REUNITE/rand50", "22bf739acf5665ab24e0d26777401740");
+    ("HBH/rand50", "d69b5b5d563f1080f336e2f26a3044ab");
+    ("REUNITE/rand50", "a5a9aae50128d3a40f323350acb44c36");
     ("PIM-SSM/rand50", "7438e27eea86080251f6f390e3377698");
   ]
 
