@@ -119,7 +119,7 @@ let verif_snapshot_roundtrip () =
    the counters are always-on in the protocol hot paths, and notef on
    an inactive trace must not pay for formatting. *)
 let obs_counter_incr () =
-  let c = Obs.Metrics.counter Obs.Metrics.default "bench.obs_incr" in
+  let c = Obs.Metrics.counter (Obs.Metrics.default ()) "bench.obs_incr" in
   fun () -> Obs.Metrics.incr c
 
 let obs_inactive_notef () =
@@ -310,7 +310,7 @@ let emit_json rows wall_s =
             ("ns_per_run", Obs.Json.Obj benchmarks);
             ( "metrics",
               Obs.Metrics.snapshot_to_json
-                (Obs.Metrics.snapshot Obs.Metrics.default) );
+                (Obs.Metrics.snapshot (Obs.Metrics.default ())) );
           ]
       in
       let oc = open_out file in
@@ -340,7 +340,7 @@ let time_ns_per ~iters f =
   (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
 
 let metric_updates () =
-  let s = Obs.Metrics.snapshot Obs.Metrics.default in
+  let s = Obs.Metrics.snapshot (Obs.Metrics.default ()) in
   ( List.fold_left (fun acc (_, v) -> acc + v) 0 s.Obs.Metrics.counters,
     List.fold_left
       (fun acc (_, (h : Obs.Histo.snapshot)) -> acc + h.Obs.Histo.count)
@@ -357,11 +357,11 @@ let overhead_check () =
   sample ();
   let c1, h1 = metric_updates () in
   let ctr_ops = c1 - c0 and histo_ops = h1 - h0 in
-  let c = Obs.Metrics.counter Obs.Metrics.default "bench.overhead.probe" in
+  let c = Obs.Metrics.counter (Obs.Metrics.default ()) "bench.overhead.probe" in
   let incr_ns =
     time_ns_per ~iters:20_000_000 (fun () -> Obs.Metrics.incr c)
   in
-  let h = Obs.Metrics.histogram Obs.Metrics.default "bench.overhead.histo" in
+  let h = Obs.Metrics.histogram (Obs.Metrics.default ()) "bench.overhead.histo" in
   let x = ref 0.3 in
   let observe_ns =
     time_ns_per ~iters:5_000_000 (fun () ->
@@ -458,11 +458,140 @@ let adversarial_overhead_check () =
   end
   else Format.printf "adversarial-overhead: OK (%.3f%% <= 2%% budget)@." pct
 
+(* ---- Part 5: hot-path allocation witness --------------------------------- *)
+
+(* The scheduler and the packet network promise an allocation-lean hot
+   path: the heap's steady-state push/pop cycle allocates nothing
+   (parallel arrays, no per-entry boxing), an engine event costs one
+   handle record, and a network hop only its closure + in-flight
+   registration.  Witnessed directly with [Gc.minor_words] deltas —
+   exact for this purpose, since the minor allocator is counted in
+   words — and gated against explicit budgets so a regression (say,
+   someone reboxing the heap entries) fails CI rather than silently
+   landing.  The same operations are also exposed as Bechamel
+   [minor_allocated] cases below for trend visibility. *)
+
+let heap_cycle () =
+  let h = Eventsim.Heap.create ~dummy:(-1) in
+  for i = 0 to 255 do
+    Eventsim.Heap.push h (float_of_int (i land 15)) i i
+  done;
+  let seq = ref 256 in
+  fun () ->
+    let v = Eventsim.Heap.pop_value h in
+    incr seq;
+    Eventsim.Heap.push h (float_of_int (v land 15)) !seq v
+
+let engine_event () =
+  let e = Eventsim.Engine.create () in
+  let nop () = () in
+  fun () ->
+    ignore (Eventsim.Engine.schedule e ~delay:1.0 nop);
+    ignore (Eventsim.Engine.step e)
+
+(* One end-to-end data packet across the ISP topology, no handlers:
+   pure forwarding.  Allocation is reported per link traversal. *)
+let netsim_forward () =
+  let engine = Eventsim.Engine.create () in
+  let graph = Topology.Isp.create () in
+  let table = Routing.Table.compute graph in
+  let net : unit Netsim.Network.t = Netsim.Network.create engine table in
+  let src = Topology.Isp.source in
+  let dst =
+    (* The receiver host whose unicast path from the source is longest:
+       the most hops witnessed per run. *)
+    List.fold_left
+      (fun (best, bh) h ->
+        let n = Routing.Path.hops (Routing.Table.path table src h) in
+        if n > bh then (h, n) else (best, bh))
+      (List.hd Topology.Isp.receiver_hosts, -1)
+      Topology.Isp.receiver_hosts
+    |> fst
+  in
+  let run () =
+    Netsim.Network.originate net ~src ~dst ~kind:Netsim.Packet.Data ();
+    Eventsim.Engine.run engine
+  in
+  let before = (Netsim.Network.counters net).Netsim.Network.data_hops in
+  run ();
+  let hops =
+    (Netsim.Network.counters net).Netsim.Network.data_hops - before
+  in
+  (run, hops)
+
+let words_per ~iters f =
+  for _ = 1 to 1000 do
+    f ()
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int iters
+
+let alloc_budget_check () =
+  let ok = ref true in
+  let case name ~budget words =
+    let pass = words <= budget in
+    if not pass then ok := false;
+    Format.printf "allocation-budget: %-28s %6.1f words/op (budget %g) %s@."
+      name words budget
+      (if pass then "OK" else "OVER")
+  in
+  case "heap push/pop (steady state)" ~budget:2.0
+    (words_per ~iters:1_000_000 (heap_cycle ()));
+  case "engine schedule+fire" ~budget:16.0
+    (words_per ~iters:1_000_000 (engine_event ()));
+  let run, hops = netsim_forward () in
+  case "net hop (transparent fwd)" ~budget:48.0
+    (words_per ~iters:200_000 run /. float_of_int hops);
+  if !ok then Format.printf "allocation-regression: OK@."
+  else begin
+    Format.printf "allocation-regression: OVER BUDGET@.";
+    exit 1
+  end
+
+let alloc_tests () =
+  let run, _hops = netsim_forward () in
+  [
+    Test.make ~name:"alloc: heap push/pop cycle"
+      (Staged.stage (heap_cycle ()));
+    Test.make ~name:"alloc: engine schedule+fire"
+      (Staged.stage (engine_event ()));
+    Test.make ~name:"alloc: net packet end-to-end (ISP)" (Staged.stage run);
+  ]
+
+let alloc_benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ minor_allocated ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let grouped = Test.make_grouped ~name:"hbh" ~fmt:"%s %s" (alloc_tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let pp_alloc_rows ppf rows =
+  List.iter
+    (fun (name, est) ->
+      let cell =
+        match est with
+        | Some est -> Printf.sprintf "%10.1f w " est
+        | None -> "(no estimate)"
+      in
+      Format.fprintf ppf "  %-52s %s/run@." name cell)
+    rows
+
 let () =
   match Sys.getenv_opt "HBH_BENCH_OVERHEAD" with
   | Some "1" ->
       overhead_check ();
-      adversarial_overhead_check ()
+      adversarial_overhead_check ();
+      alloc_budget_check ()
   | _ ->
       let t0 = Sys.time () in
       print_figures ();
@@ -470,5 +599,9 @@ let () =
       let results = benchmark () in
       let rows = collect results in
       pp_rows Format.std_formatter rows;
+      Format.printf
+        "@.=== Hot-path allocations (Bechamel, minor words) ===@.@.";
+      pp_alloc_rows Format.std_formatter (collect (alloc_benchmark ()));
+      alloc_budget_check ();
       emit_json rows (Sys.time () -. t0);
       Format.printf "@.done.@."

@@ -16,6 +16,23 @@ let csv_arg =
   let doc = "Emit CSV instead of an aligned table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+(* Shared by every sweep-shaped subcommand.  The contract (enforced by
+   construction in [Experiments.Sweep] and tested in test_parallel) is
+   that the output is byte-identical for every value of [--jobs]. *)
+let jobs_arg =
+  let doc =
+    "Shard independent runs across $(docv) domains.  Output is \
+     byte-identical to $(b,--jobs 1) — parallelism changes wall time, \
+     never results."
+  in
+  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+
+let check_jobs jobs =
+  if jobs < 1 then begin
+    Printf.eprintf "hbh_sim: --jobs must be >= 1 (got %d)\n" jobs;
+    exit 2
+  end
+
 (* One converter shared by every subcommand that takes [--protocol]:
    unknown values are rejected the same way everywhere, with the known
    names listed in the error. *)
@@ -120,7 +137,7 @@ let with_obs o ~seed ~companion run =
             (Obs.Trace.dropped trace)
             (Obs.Trace.high_water trace);
         List.iter (fun e -> Format.printf "%a@." Obs.Event.pp e) evs);
-    let snap = Obs.Metrics.snapshot Obs.Metrics.default in
+    let snap = Obs.Metrics.snapshot (Obs.Metrics.default ()) in
     if o.metrics then begin
       Format.printf "@.== Metrics ==@.%a@." Obs.Metrics.pp_snapshot snap;
       Format.printf "@.== HBH engine profile (companion run) ==@.%a@."
@@ -153,7 +170,8 @@ let fig_cmd name figure ~cost ~topo =
        else "average receiver delay")
       (match topo with `Isp -> "ISP topology" | `Rand50 -> "50-node random topology")
   in
-  let run o runs seed csv =
+  let run o runs seed jobs csv =
+    check_jobs jobs;
     let companion () =
       match topo with
       | `Isp -> Experiments.Common.isp_config ()
@@ -162,8 +180,8 @@ let fig_cmd name figure ~cost ~topo =
     with_obs o ~seed ~companion (fun () ->
         let result =
           match topo with
-          | `Isp -> Experiments.Figures.isp ~runs ~seed ()
-          | `Rand50 -> Experiments.Figures.rand50 ~runs ~seed ()
+          | `Isp -> Experiments.Figures.isp ~runs ~seed ~jobs ()
+          | `Rand50 -> Experiments.Figures.rand50 ~runs ~seed ~jobs ()
         in
         print_group ~csv (if cost then result.cost else result.delay);
         if not csv then
@@ -174,14 +192,15 @@ let fig_cmd name figure ~cost ~topo =
             result)
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ obs_term $ runs_arg 500 $ seed_arg $ csv_arg)
+    Term.(const run $ obs_term $ runs_arg 500 $ seed_arg $ jobs_arg $ csv_arg)
 
 let all_cmd =
   let doc = "Reproduce all four evaluation figures (7a, 7b, 8a, 8b)." in
-  let run o runs seed csv =
+  let run o runs seed jobs csv =
+    check_jobs jobs;
     with_obs o ~seed ~companion:isp_companion (fun () ->
-        let isp = Experiments.Figures.isp ~runs ~seed () in
-        let rand = Experiments.Figures.rand50 ~runs ~seed () in
+        let isp = Experiments.Figures.isp ~runs ~seed ~jobs () in
+        let rand = Experiments.Figures.rand50 ~runs ~seed ~jobs () in
         Format.printf "== Figure 7(a) ==@.";
         print_group ~csv isp.cost;
         Format.printf "@.== Figure 7(b) ==@.";
@@ -196,7 +215,7 @@ let all_cmd =
         end)
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ obs_term $ runs_arg 500 $ seed_arg $ csv_arg)
+    Term.(const run $ obs_term $ runs_arg 500 $ seed_arg $ jobs_arg $ csv_arg)
 
 let stability_cmd =
   let doc =
@@ -327,7 +346,8 @@ let scaling_cmd =
     let doc = "With $(b,--large): also write the points as JSON to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
-  let run o runs seed csv large sizes json =
+  let run o runs seed jobs csv large sizes json =
+    check_jobs jobs;
     if large then scaling_large ~seed ~sizes ~json
     else begin
       with_obs o ~seed
@@ -337,18 +357,18 @@ let scaling_cmd =
             "== Advantage vs connectivity (50 routers, 10 receivers) ==@.";
           print_group ~csv
             (Experiments.Scaling.group ~x_label:"avg degree x10"
-               (Experiments.Scaling.connectivity ~runs ~seed ()));
+               (Experiments.Scaling.connectivity ~runs ~seed ~jobs ()));
           Format.printf
             "@.== Advantage vs network size (degree 4, n/5 receivers) ==@.";
           print_group ~csv
             (Experiments.Scaling.group ~x_label:"routers"
-               (Experiments.Scaling.size ~runs ~seed ())))
+               (Experiments.Scaling.size ~runs ~seed ~jobs ())))
     end
   in
   Cmd.v (Cmd.info "scaling" ~doc)
     Term.(
-      const run $ obs_term $ runs_arg 150 $ seed_arg $ csv_arg $ large_arg
-      $ sizes_arg $ json_arg)
+      const run $ obs_term $ runs_arg 150 $ seed_arg $ jobs_arg $ csv_arg
+      $ large_arg $ sizes_arg $ json_arg)
 
 let symmetry_cmd =
   let doc =
@@ -582,8 +602,9 @@ let faults_cmd =
     Arg.(
       value & opt (some string) None & info [ "openmetrics" ] ~docv:"FILE" ~doc)
   in
-  let run seed metrics_json scenario protocols timeline timeline_ndjson monitor
-      openmetrics =
+  let run seed jobs metrics_json scenario protocols timeline timeline_ndjson
+      monitor openmetrics =
+    check_jobs jobs;
     match timeline with
     | Some dt when (not (Float.is_finite dt)) || dt <= 0.0 ->
         `Error
@@ -616,7 +637,7 @@ let faults_cmd =
     in
     let outcomes, obs =
       Experiments.Faults.run_observed ?instrument ~seed ~scenarios ~protocols
-        ()
+        ~jobs ()
     in
     Experiments.Faults.pp_outcomes Format.std_formatter outcomes;
     let crash_ok =
@@ -700,13 +721,13 @@ let faults_cmd =
     | None -> ()
     | Some file ->
         let oc = open_out file in
-        output_string oc (Obs.Openmetrics.of_metrics Obs.Metrics.default);
+        output_string oc (Obs.Openmetrics.of_metrics (Obs.Metrics.default ()));
         close_out oc;
         Format.eprintf "openmetrics written to %s@." file);
     (match metrics_json with
     | None -> ()
     | Some file ->
-        let snap = Obs.Metrics.snapshot Obs.Metrics.default in
+        let snap = Obs.Metrics.snapshot (Obs.Metrics.default ()) in
         let oc = open_out file in
         output_string oc (Obs.Json.to_string (Obs.Metrics.snapshot_to_json snap));
         output_char oc '\n';
@@ -717,8 +738,8 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
       ret
-        (const run $ seed_arg $ metrics_json $ scenario $ protocols_arg
-       $ timeline $ timeline_ndjson $ monitor $ openmetrics))
+        (const run $ seed_arg $ jobs_arg $ metrics_json $ scenario
+       $ protocols_arg $ timeline $ timeline_ndjson $ monitor $ openmetrics))
 
 let soak_cmd =
   let doc =
@@ -817,7 +838,7 @@ let soak_cmd =
       | None -> ()
       | Some file ->
           let oc = open_out file in
-          output_string oc (Obs.Openmetrics.of_metrics Obs.Metrics.default);
+          output_string oc (Obs.Openmetrics.of_metrics (Obs.Metrics.default ()));
           close_out oc;
           Format.eprintf "openmetrics written to %s@." file);
       if List.exists Experiments.Soak.failed results then exit 1;
@@ -931,7 +952,8 @@ let verify_cmd =
     let doc = "Report raw counterexamples without ddmin minimization." in
     Arg.(value & flag & info [ "no-shrink" ] ~doc)
   in
-  let run protocol depth states topology seed json inject_bug no_shrink =
+  let run protocol depth states topology seed jobs json inject_bug no_shrink =
+    check_jobs jobs;
     let make_sut () =
       match topology with
       | `Isp ->
@@ -965,7 +987,7 @@ let verify_cmd =
         (fun (cx : Verif.Explore.counterexample) ->
           let events =
             if no_shrink then cx.Verif.Explore.events
-            else Verif.Shrink.minimize ~make_sut cx
+            else Verif.Shrink.minimize ~jobs ~make_sut cx
           in
           (cx, events))
         outcome.Verif.Explore.counterexamples
@@ -1026,7 +1048,7 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
       const run $ protocol_arg $ depth_arg $ states_arg $ topology_arg
-      $ seed_arg $ json_arg $ inject_bug_arg $ no_shrink_arg)
+      $ seed_arg $ jobs_arg $ json_arg $ inject_bug_arg $ no_shrink_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -1036,16 +1058,16 @@ let default =
    single place. *)
 let print_usage () =
   Printf.eprintf
-    "usage: hbh_sim COMMAND [--seed N] [--runs N] [--csv] [--protocol %s] \
-     [--metrics-json FILE]\n\
-    \       hbh_sim faults [--timeline[=DT]] [--timeline-ndjson FILE] \
-     [--monitor] [--openmetrics FILE] [--scenario S]\n\
+    "usage: hbh_sim COMMAND [--seed N] [--runs N] [--jobs N] [--csv] \
+     [--protocol %s] [--metrics-json FILE]\n\
+    \       hbh_sim faults [--jobs N] [--timeline[=DT]] [--timeline-ndjson \
+     FILE] [--monitor] [--openmetrics FILE] [--scenario S]\n\
     \       hbh_sim soak [--hours H] [--timeline-ndjson FILE] \
      [--openmetrics FILE] [--protocol P] [--seed N]\n\
     \       hbh_sim report [--out FILE] [--interval DT] [--seed N]\n\
     \       hbh_sim verify --protocol hbh|reunite|pim [--depth N] \
-     [--states N] [--topology isp|rand50] [--seed N] [--json FILE] \
-     [--inject-bug mark-decay] [--no-shrink]\n\
+     [--states N] [--topology isp|rand50] [--seed N] [--jobs N] \
+     [--json FILE] [--inject-bug mark-decay] [--no-shrink]\n\
      (try 'hbh_sim --help')\n"
     (String.concat "|" protocol_names)
 

@@ -100,4 +100,4 @@ let () =
   Format.printf "@.REUNITE engine: %a@." Eventsim.Engine.pp_profile
     (Eventsim.Engine.profile (Reunite.Protocol.engine reunite));
   Format.printf "@.metrics registry:@.%a@." Obs.Metrics.pp_snapshot
-    (Obs.Metrics.snapshot Obs.Metrics.default)
+    (Obs.Metrics.snapshot (Obs.Metrics.default ()))

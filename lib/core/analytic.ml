@@ -20,10 +20,10 @@ let union_links table ~source ~receivers =
 let tree_links table ~source ~receivers =
   Lset.elements (union_links table ~source ~receivers)
 
-let m_builds = Obs.Metrics.counter Obs.Metrics.default "hbh.analytic_trees"
+let m_builds = Obs.Metrics.hot_counter "hbh.analytic_trees"
 
 let build table ~source ~receivers =
-  Obs.Metrics.incr m_builds;
+  Obs.Metrics.hot_incr m_builds;
   let g = Routing.Table.graph table in
   let dist = Mcast.Distribution.create ~source in
   Lset.iter
@@ -52,7 +52,7 @@ let group_by key l =
   |> List.sort compare
 
 let build_constrained table ~source ~receivers =
-  Obs.Metrics.incr m_builds;
+  Obs.Metrics.hot_incr m_builds;
   let g = Routing.Table.graph table in
   let dist = Mcast.Distribution.create ~source in
   let receivers = dedup receivers in

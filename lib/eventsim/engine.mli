@@ -46,8 +46,8 @@ val run : ?until:float -> ?max_events:int -> t -> unit
 val events_fired : t -> int
 (** Total events fired since creation (cancelled events excluded).
     Every fire also increments the [engine.events_fired] counter of
-    {!Obs.Metrics.default}, aggregating across all engines in the
-    process. *)
+    the current domain's default registry ({!Obs.Metrics.default}),
+    aggregating across all engines the domain runs. *)
 
 val pending_with_tag : t -> string -> int
 (** Queued, non-cancelled events carrying the given tag (O(pending) —

@@ -1,94 +1,154 @@
-type 'a entry = { key : float; seq : int; value : 'a }
+(* Binary min-heap over parallel arrays: an unboxed [float array] of
+   keys, an [int array] of FIFO tie-break sequence numbers and an
+   ['a array] of payloads.  The old representation boxed every entry
+   three times over ([Some { key; seq; value }] — and the float inside
+   the mixed record is itself boxed), so each push cost four minor
+   allocations on the scheduler's hottest path.  Flat arrays make
+   [push] and [pop_value] allocation-free in the steady state
+   (growth doubling amortizes to nothing).
 
-(* Slots hold options so vacated cells release their entry — and the
-   closure it captures — to the GC at once.  The scheduler's heap
-   lives as long as the run: with plain entry slots every popped event
-   would be retained until its cell happened to be overwritten, and a
-   drained heap would pin the last high-water-mark's worth of
+   Vacated payload slots are overwritten with [dummy] so popped values
+   — and the closures they capture — are released to the GC at once.
+   The scheduler's heap lives as long as the run: without the dummy
+   fill, a drained heap would pin the last high-water-mark's worth of
    closures forever. *)
-type 'a t = { mutable arr : 'a entry option array; mutable size : int }
 
-let create () = { arr = [||]; size = 0 }
+type 'a t = {
+  mutable keys : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;
+  mutable size : int;
+  dummy : 'a;
+}
+
+let create ~dummy = { keys = [||]; seqs = [||]; values = [||]; size = 0; dummy }
 
 let size h = h.size
 
 let is_empty h = h.size = 0
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
-
-let get h i = match h.arr.(i) with Some e -> e | None -> assert false
-
-let swap h i j =
-  let tmp = h.arr.(i) in
-  h.arr.(i) <- h.arr.(j);
-  h.arr.(j) <- tmp
-
 let ensure_capacity h =
-  let cap = Array.length h.arr in
+  let cap = Array.length h.keys in
   if h.size = cap then begin
     let ncap = max 8 (2 * cap) in
-    let arr = Array.make ncap None in
-    Array.blit h.arr 0 arr 0 cap;
-    h.arr <- arr
+    let keys = Array.make ncap 0.0 in
+    let seqs = Array.make ncap 0 in
+    let values = Array.make ncap h.dummy in
+    Array.blit h.keys 0 keys 0 cap;
+    Array.blit h.seqs 0 seqs 0 cap;
+    Array.blit h.values 0 values 0 cap;
+    h.keys <- keys;
+    h.seqs <- seqs;
+    h.values <- values
   end
 
+(* Hole-based sift: walk the hole up/down comparing against the loose
+   entry, moving blockers one slot, and write the entry once at the
+   final position — three writes per level instead of a swap's six.
+   The (key, seq) comparisons are written out inline: a comparison
+   helper taking the float would be called non-inlined by ocamlopt and
+   box its argument at every level, defeating the whole point. *)
 let push h key seq value =
   ensure_capacity h;
-  h.arr.(h.size) <- Some { key; seq; value };
+  let i = ref h.size in
   h.size <- h.size + 1;
-  let i = ref (h.size - 1) in
-  while !i > 0 && less (get h !i) (get h ((!i - 1) / 2)) do
-    swap h !i ((!i - 1) / 2);
-    i := (!i - 1) / 2
-  done
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if h.keys.(p) < key || (h.keys.(p) = key && h.seqs.(p) < seq) then
+      continue := false
+    else begin
+      h.keys.(!i) <- h.keys.(p);
+      h.seqs.(!i) <- h.seqs.(p);
+      h.values.(!i) <- h.values.(p);
+      i := p
+    end
+  done;
+  h.keys.(!i) <- key;
+  h.seqs.(!i) <- seq;
+  h.values.(!i) <- value
+
+let min_key h =
+  if h.size = 0 then invalid_arg "Heap.min_key: empty heap";
+  h.keys.(0)
+
+let pop_value h =
+  if h.size = 0 then invalid_arg "Heap.pop_value: empty heap";
+  let v = h.values.(0) in
+  let n = h.size - 1 in
+  h.size <- n;
+  if n = 0 then h.values.(0) <- h.dummy
+  else begin
+    (* Re-seat the last entry through the root hole. *)
+    let key = h.keys.(n) and seq = h.seqs.(n) and value = h.values.(n) in
+    h.values.(n) <- h.dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            && (h.keys.(r) < h.keys.(l)
+               || (h.keys.(r) = h.keys.(l) && h.seqs.(r) < h.seqs.(l)))
+          then r
+          else l
+        in
+        if h.keys.(c) < key || (h.keys.(c) = key && h.seqs.(c) < seq)
+        then begin
+          h.keys.(!i) <- h.keys.(c);
+          h.seqs.(!i) <- h.seqs.(c);
+          h.values.(!i) <- h.values.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    h.keys.(!i) <- key;
+    h.seqs.(!i) <- seq;
+    h.values.(!i) <- value
+  end;
+  v
 
 let peek h =
-  if h.size = 0 then None
-  else
-    let e = get h 0 in
-    Some (e.key, e.seq, e.value)
+  if h.size = 0 then None else Some (h.keys.(0), h.seqs.(0), h.values.(0))
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = get h 0 in
-    h.size <- h.size - 1;
-    if h.size > 0 then h.arr.(0) <- h.arr.(h.size);
-    h.arr.(h.size) <- None;
-    if h.size > 1 then begin
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && less (get h l) (get h !smallest) then smallest := l;
-        if r < h.size && less (get h r) (get h !smallest) then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          swap h !i !smallest;
-          i := !smallest
-        end
-      done
-    end;
-    Some (top.key, top.seq, top.value)
+    let key = h.keys.(0) and seq = h.seqs.(0) in
+    let v = pop_value h in
+    Some (key, seq, v)
   end
 
 let clear h =
-  Array.fill h.arr 0 h.size None;
+  Array.fill h.values 0 h.size h.dummy;
   h.size <- 0
 
 let iter f h =
   for i = 0 to h.size - 1 do
-    f (get h i).value
+    f h.values.(i)
   done
 
-(* Entries are immutable records, so a copy of the live prefix of the
-   slot array is a complete checkpoint of the queue (heap shape, keys
-   and FIFO tie-break sequence numbers included). *)
-let snapshot h = { arr = Array.sub h.arr 0 h.size; size = h.size }
+(* Copies of the live array prefixes are a complete checkpoint of the
+   queue (heap shape, keys and FIFO tie-break sequence numbers
+   included). *)
+let snapshot h =
+  {
+    keys = Array.sub h.keys 0 h.size;
+    seqs = Array.sub h.seqs 0 h.size;
+    values = Array.sub h.values 0 h.size;
+    size = h.size;
+    dummy = h.dummy;
+  }
 
 let restore h s =
   (* Copy again so one snapshot supports any number of restores even
-     after later heap operations shuffle the array in place. *)
-  h.arr <- Array.sub s.arr 0 s.size;
+     after later heap operations shuffle the arrays in place. *)
+  h.keys <- Array.sub s.keys 0 s.size;
+  h.seqs <- Array.sub s.seqs 0 s.size;
+  h.values <- Array.sub s.values 0 s.size;
   h.size <- s.size

@@ -1,4 +1,6 @@
-(** Polymorphic binary min-heap keyed by [(float, int)] pairs.
+(** Binary min-heap keyed by [(float, int)] pairs, stored as parallel
+    arrays (unboxed float keys, int sequence numbers, payloads) so the
+    steady-state [push]/[pop_value] cycle allocates nothing.
 
     The integer component is a tie-breaker: the event scheduler uses a
     monotonically increasing sequence number so that events scheduled
@@ -7,20 +9,34 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : dummy:'a -> 'a t
+(** [dummy] fills vacated payload slots so popped values are released
+    to the GC immediately; it is never returned by any operation. *)
 
 val size : 'a t -> int
 
 val is_empty : 'a t -> bool
 
 val push : 'a t -> float -> int -> 'a -> unit
-(** [push h key seq v] inserts [v] with priority [(key, seq)]. *)
+(** [push h key seq v] inserts [v] with priority [(key, seq)].
+    Allocation-free except when the backing arrays grow. *)
+
+val min_key : 'a t -> float
+(** The minimum key, without removing it — the zero-allocation
+    alternative to {!peek} for hot loops that only need the time.
+    Raises [Invalid_argument] on an empty heap. *)
+
+val pop_value : 'a t -> 'a
+(** Remove the minimum entry and return its payload alone — no option,
+    no tuple.  Pair with {!min_key} when the key is also needed.  The
+    vacated slot is released: the heap never retains a reference to a
+    popped value.  Raises [Invalid_argument] on an empty heap. *)
 
 val peek : 'a t -> (float * int * 'a) option
 
 val pop : 'a t -> (float * int * 'a) option
-(** Removes and returns the minimum element.  The vacated slot is
-    released: the heap never retains a reference to a popped value. *)
+(** Option/tuple convenience over {!min_key}/{!pop_value} for cold
+    paths and tests. *)
 
 val clear : 'a t -> unit
 (** Empties the heap and releases every held value (capacity is

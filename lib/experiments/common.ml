@@ -60,36 +60,58 @@ type result = {
   delay : Stats.Series.group;
 }
 
+(* One Monte-Carlo run, a pure function of [(seed, n, run)]: the RNG
+   stream is hash-derived from the triple (group size by value, run by
+   index), never drawn from a shared generator, so run [i] produces
+   the same draws no matter which runs precede it, how the size list
+   is arranged, or which domain executes it.  The graph is copied
+   per run because [Scenario.make] re-randomizes link costs in
+   place — sharing it across concurrent runs would race. *)
+let sweep_sample ?(protocols = all_protocols)
+    ?(rp_strategy = Pim.Rp.Highest_degree) ?(symmetric = false) ~seed config ~n
+    ~run =
+  let run_rng = Stats.Rng.derive2 ~seed ~a:n ~b:run in
+  let graph = Topology.Graph.copy config.graph in
+  let s =
+    Workload.Scenario.make ~symmetric run_rng graph ~source:config.source
+      ~candidates:config.candidates ~n
+  in
+  List.map
+    (fun p ->
+      let dist = build ~rp_strategy p run_rng s in
+      let m = Mcast.Metrics.of_distribution dist in
+      (p, (float_of_int m.cost, m.avg_delay)))
+    protocols
+
 let sweep ?(protocols = all_protocols) ?(runs = 500) ?(seed = 42)
-    ?(rp_strategy = Pim.Rp.Highest_degree) ?(symmetric = false) config =
+    ?(rp_strategy = Pim.Rp.Highest_degree) ?(symmetric = false) ?(jobs = 1)
+    config =
   let cost_series =
     List.map (fun p -> (p, Stats.Series.create (protocol_name p))) protocols
   in
   let delay_series =
     List.map (fun p -> (p, Stats.Series.create (protocol_name p))) protocols
   in
-  let master = Stats.Rng.create seed in
-  List.iter
-    (fun n ->
-      (* One independent stream per size keeps sizes comparable when
-         the size list changes. *)
-      let size_rng = Stats.Rng.split master in
-      for _ = 1 to runs do
-        let run_rng = Stats.Rng.split size_rng in
-        let s =
-          Workload.Scenario.make ~symmetric run_rng config.graph
-            ~source:config.source ~candidates:config.candidates ~n
-        in
-        List.iter
-          (fun p ->
-            let dist = build ~rp_strategy p run_rng s in
-            let m = Mcast.Metrics.of_distribution dist in
-            Stats.Series.observe (List.assoc p cost_series) ~x:n
-              (float_of_int m.cost);
-            Stats.Series.observe (List.assoc p delay_series) ~x:n m.avg_delay)
-          protocols
-      done)
-    config.sizes;
+  let sizes = Array.of_list config.sizes in
+  let samples =
+    Sweep.map_merged ~jobs
+      (Array.length sizes * runs)
+      (fun i ->
+        sweep_sample ~protocols ~rp_strategy ~symmetric ~seed config
+          ~n:sizes.(i / runs) ~run:(i mod runs))
+  in
+  (* Fold the raw measurements into the series in run-index order on
+     the calling domain — the same observation order a sequential
+     sweep uses, so rendered output does not depend on [jobs]. *)
+  Array.iteri
+    (fun i per_protocol ->
+      let n = sizes.(i / runs) in
+      List.iter
+        (fun (p, (cost, delay)) ->
+          Stats.Series.observe (List.assoc p cost_series) ~x:n cost;
+          Stats.Series.observe (List.assoc p delay_series) ~x:n delay)
+        per_protocol)
+    samples;
   {
     config;
     runs;
@@ -120,7 +142,7 @@ let fold_profile ~prefix (p : Eventsim.Engine.profile) =
   List.iter
     (fun (tag, (tp : Eventsim.Engine.tag_profile)) ->
       Obs.Metrics.add
-        (Obs.Metrics.counter Obs.Metrics.default
+        (Obs.Metrics.counter (Obs.Metrics.default ())
            (Printf.sprintf "%s.tag.%s" prefix tag))
         tp.fired)
     p.tags

@@ -44,18 +44,37 @@ type result = {
   delay : Stats.Series.group;  (** Figure 8: avg receiver delay vs group size *)
 }
 
+val sweep_sample :
+  ?protocols:protocol list ->
+  ?rp_strategy:Pim.Rp.strategy ->
+  ?symmetric:bool ->
+  seed:int ->
+  config ->
+  n:int ->
+  run:int ->
+  (protocol * (float * float)) list
+(** One Monte-Carlo run of the sweep: per protocol, (tree cost,
+    average receiver delay) for group size [n] and run index [run].
+    A pure function of [(seed, n, run)] — the RNG stream is
+    hash-derived ({!Stats.Rng.derive2}) rather than drawn from a
+    shared generator, so run [i] is independent of which runs precede
+    it and of the domain that executes it. *)
+
 val sweep :
   ?protocols:protocol list ->
   ?runs:int ->
   ?seed:int ->
   ?rp_strategy:Pim.Rp.strategy ->
   ?symmetric:bool ->
+  ?jobs:int ->
   config ->
   result
 (** Runs the Monte-Carlo comparison: for every size and run, draw
     costs and receivers, compute all protocols' trees on the {e same}
     draw, record cost and average receiver delay.  Defaults: all four
-    protocols, 500 runs, seed 42. *)
+    protocols, 500 runs, seed 42, 1 job.  [jobs > 1] shards runs
+    across domains ({!Sweep.map_merged}); output is byte-identical
+    for every [jobs]. *)
 
 val advantage : Stats.Series.group -> over:string -> of_:string -> float
 (** Mean over group sizes of [1 - of_/over] as a percentage — "HBH

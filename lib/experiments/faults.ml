@@ -369,7 +369,7 @@ let run_one ?instrument proto ~topology ~graph ~source ~receivers ~scenario
   (* Per-protocol time-to-repair distribution, always on: the labeled
      family aggregates across topologies and scenarios. *)
   let h_ttr =
-    Obs.Metrics.histogram_l Obs.Metrics.default "span.time_to_repair"
+    Obs.Metrics.histogram_l (Obs.Metrics.default ()) "span.time_to_repair"
       (Obs.Labels.v [ ("protocol", String.lowercase_ascii (proto_name proto)) ])
   in
   List.iter
@@ -398,7 +398,7 @@ let metric_prefix o =
     (String.lowercase_ascii (proto_name o.proto))
 
 let run_config ?instrument ?(scenarios = all_scenarios)
-    ?(protocols = all_protos) ~seed ~n (config : Common.config) =
+    ?(protocols = all_protos) ?(jobs = 1) ~seed ~n (config : Common.config) =
   let rng = Stats.Rng.create seed in
   let s =
     Workload.Scenario.make rng config.Common.graph ~source:config.Common.source
@@ -413,35 +413,48 @@ let run_config ?instrument ?(scenarios = all_scenarios)
     pick_tree_link s.Workload.Scenario.table ~source:s.Workload.Scenario.source
       ~receivers
   in
-  List.concat_map
-    (fun scenario ->
-      List.map
-        (fun proto ->
-          let o, obs =
-            run_one ?instrument proto ~topology:config.Common.label
-              ~graph:config.Common.graph ~source:s.Workload.Scenario.source
-              ~receivers ~scenario ~crash_node ~link ~seed
-          in
-          Fault.Recovery.export ~prefix:(metric_prefix o) Obs.Metrics.default
-            o.report;
-          (o, obs))
-        protocols)
-    scenarios
+  (* Each (scenario, protocol) case already runs on its own graph copy
+     and engine, and the scenario draw above is shared state computed
+     before the fan-out — so cases shard cleanly across domains.  Each
+     case runs in an isolated registry merged back in case order
+     ({!Sweep.map_merged}); the recovery export happens afterwards on
+     the calling domain, also in case order, exactly where a
+     sequential run would have left it. *)
+  let cases =
+    Array.of_list
+      (List.concat_map
+         (fun scenario -> List.map (fun proto -> (scenario, proto)) protocols)
+         scenarios)
+  in
+  let pairs =
+    Sweep.map_merged ~jobs (Array.length cases) (fun i ->
+        let scenario, proto = cases.(i) in
+        run_one ?instrument proto ~topology:config.Common.label
+          ~graph:config.Common.graph ~source:s.Workload.Scenario.source
+          ~receivers ~scenario ~crash_node ~link ~seed)
+  in
+  Array.iter
+    (fun (o, _) ->
+      Fault.Recovery.export ~prefix:(metric_prefix o)
+        (Obs.Metrics.default ())
+        o.report)
+    pairs;
+  Array.to_list pairs
 
-let run_observed ?instrument ?(seed = 42) ?scenarios ?protocols () =
+let run_observed ?instrument ?(seed = 42) ?scenarios ?protocols ?jobs () =
   (* Scope the registry to this run: a multi-seed sweep must not
      accumulate the previous invocation's counts. *)
-  Obs.Metrics.reset Obs.Metrics.default;
+  Obs.Metrics.reset (Obs.Metrics.default ());
   let isp = Common.isp_config () in
   let rand50 = Common.rand50_config ~seed in
   let pairs =
-    run_config ?instrument ?scenarios ?protocols ~seed ~n:8 isp
-    @ run_config ?instrument ?scenarios ?protocols ~seed ~n:15 rand50
+    run_config ?instrument ?scenarios ?protocols ?jobs ~seed ~n:8 isp
+    @ run_config ?instrument ?scenarios ?protocols ?jobs ~seed ~n:15 rand50
   in
   (List.map fst pairs, List.filter_map snd pairs)
 
-let run ?seed ?scenarios ?protocols () =
-  fst (run_observed ?seed ?scenarios ?protocols ())
+let run ?seed ?scenarios ?protocols ?jobs () =
+  fst (run_observed ?seed ?scenarios ?protocols ?jobs ())
 
 (* ---- Join latency under a live stream ----------------------------- *)
 

@@ -95,6 +95,7 @@ val run_config :
   ?instrument:instrument ->
   ?scenarios:scenario list ->
   ?protocols:proto list ->
+  ?jobs:int ->
   seed:int ->
   n:int ->
   Common.config ->
@@ -103,13 +104,16 @@ val run_config :
     receivers; recovery metrics are exported to
     {!Obs.Metrics.default} under [fault.exp.<topo>.<scenario>.<proto>]
     prefixes, and per-receiver repair times additionally feed the
-    labeled [span.time_to_repair{protocol="..."}] histogram. *)
+    labeled [span.time_to_repair{protocol="..."}] histogram.
+    [jobs > 1] shards the cases across domains; output is
+    byte-identical for every [jobs]. *)
 
 val run_observed :
   ?instrument:instrument ->
   ?seed:int ->
   ?scenarios:scenario list ->
   ?protocols:proto list ->
+  ?jobs:int ->
   unit ->
   outcome list * case_obs list
 (** The full experiment: ISP topology (8 receivers) and the 50-node
@@ -120,6 +124,7 @@ val run :
   ?seed:int ->
   ?scenarios:scenario list ->
   ?protocols:proto list ->
+  ?jobs:int ->
   unit ->
   outcome list
 (** {!run_observed} without instrumentation, outcomes only. *)

@@ -1,11 +1,11 @@
-let isp ?runs ?seed () =
-  Obs.Metrics.reset Obs.Metrics.default;
-  Common.sweep ?runs ?seed (Common.isp_config ())
+let isp ?runs ?seed ?jobs () =
+  Obs.Metrics.reset (Obs.Metrics.default ());
+  Common.sweep ?runs ?seed ?jobs (Common.isp_config ())
 
-let rand50 ?runs ?seed () =
-  Obs.Metrics.reset Obs.Metrics.default;
+let rand50 ?runs ?seed ?jobs () =
+  Obs.Metrics.reset (Obs.Metrics.default ());
   let seed = Option.value ~default:42 seed in
-  Common.sweep ?runs ~seed (Common.rand50_config ~seed)
+  Common.sweep ?runs ~seed ?jobs (Common.rand50_config ~seed)
 
 let fig7a (r : Common.result) = r.cost
 let fig8a (r : Common.result) = r.delay

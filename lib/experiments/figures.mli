@@ -9,10 +9,10 @@
     snapshot stands alone: two consecutive sweeps report the same
     numbers as one. *)
 
-val isp : ?runs:int -> ?seed:int -> unit -> Common.result
+val isp : ?runs:int -> ?seed:int -> ?jobs:int -> unit -> Common.result
 (** The ISP-topology sweep behind figures 7(a) and 8(a). *)
 
-val rand50 : ?runs:int -> ?seed:int -> unit -> Common.result
+val rand50 : ?runs:int -> ?seed:int -> ?jobs:int -> unit -> Common.result
 (** The 50-node-random sweep behind figures 7(b) and 8(b). *)
 
 val fig7a : Common.result -> Stats.Series.group

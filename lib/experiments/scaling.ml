@@ -7,37 +7,48 @@ type point = {
 (* HBH-vs-REUNITE advantage on a given random-topology family, with
    the topology itself redrawn every run (unlike the paper's fixed
    RAND50) so the measurement reflects the family, not one sample. *)
-let advantage ~runs ~seed ~n_routers ~avg_degree ~receivers:k =
-  let master = Stats.Rng.create seed in
+let advantage ?(jobs = 1) ~runs ~seed ~n_routers ~avg_degree ~receivers:k () =
   let cost_re = Stats.Summary.create () and cost_hbh = Stats.Summary.create () in
   let delay_re = Stats.Summary.create () and delay_hbh = Stats.Summary.create () in
-  for _ = 1 to runs do
-    let rng = Stats.Rng.split master in
-    let g = Topology.Generators.random_connected rng ~n:n_routers ~avg_degree in
-    Topology.Graph.randomize_costs g rng ~lo:1 ~hi:10;
-    let table = Routing.Table.compute g in
-    let hosts = Topology.Graph.hosts g in
-    let source = List.hd hosts in
-    let receivers =
-      Workload.Scenario.pick_receivers rng ~candidates:(List.tl hosts) ~n:k
-    in
-    let re = Reunite.Analytic.build table ~source ~receivers in
-    let hbh = Hbh.Analytic.build table ~source ~receivers in
-    Stats.Summary.add_int cost_re (Mcast.Distribution.cost re);
-    Stats.Summary.add_int cost_hbh (Mcast.Distribution.cost hbh);
-    Stats.Summary.add delay_re (Mcast.Distribution.avg_delay re);
-    Stats.Summary.add delay_hbh (Mcast.Distribution.avg_delay hbh)
-  done;
+  let samples =
+    Sweep.map_merged ~jobs runs (fun run ->
+        (* Hash-derived per-run stream: run [i] redraws the same
+           topology whatever ran before it and wherever it runs. *)
+        let rng = Stats.Rng.derive ~seed ~index:run in
+        let g =
+          Topology.Generators.random_connected rng ~n:n_routers ~avg_degree
+        in
+        Topology.Graph.randomize_costs g rng ~lo:1 ~hi:10;
+        let table = Routing.Table.compute g in
+        let hosts = Topology.Graph.hosts g in
+        let source = List.hd hosts in
+        let receivers =
+          Workload.Scenario.pick_receivers rng ~candidates:(List.tl hosts) ~n:k
+        in
+        let re = Reunite.Analytic.build table ~source ~receivers in
+        let hbh = Hbh.Analytic.build table ~source ~receivers in
+        ( Mcast.Distribution.cost re,
+          Mcast.Distribution.cost hbh,
+          Mcast.Distribution.avg_delay re,
+          Mcast.Distribution.avg_delay hbh ))
+  in
+  Array.iter
+    (fun (cre, chbh, dre, dhbh) ->
+      Stats.Summary.add_int cost_re cre;
+      Stats.Summary.add_int cost_hbh chbh;
+      Stats.Summary.add delay_re dre;
+      Stats.Summary.add delay_hbh dhbh)
+    samples;
   let pct a b = 100.0 *. (1.0 -. (Stats.Summary.mean a /. Stats.Summary.mean b)) in
   (pct cost_hbh cost_re, pct delay_hbh delay_re)
 
 let connectivity ?(runs = 150) ?(seed = 42)
-    ?(degrees = [ 3.0; 4.0; 6.0; 8.0; 10.0 ]) () =
-  Obs.Metrics.reset Obs.Metrics.default;
+    ?(degrees = [ 3.0; 4.0; 6.0; 8.0; 10.0 ]) ?jobs () =
+  Obs.Metrics.reset (Obs.Metrics.default ());
   List.map
     (fun d ->
       let cost, delay =
-        advantage ~runs ~seed ~n_routers:50 ~avg_degree:d ~receivers:10
+        advantage ?jobs ~runs ~seed ~n_routers:50 ~avg_degree:d ~receivers:10 ()
       in
       {
         x = int_of_float (Float.round (10.0 *. d));
@@ -46,13 +57,13 @@ let connectivity ?(runs = 150) ?(seed = 42)
       })
     degrees
 
-let size ?(runs = 150) ?(seed = 42) ?(sizes = [ 20; 50; 100; 150 ]) () =
-  Obs.Metrics.reset Obs.Metrics.default;
+let size ?(runs = 150) ?(seed = 42) ?(sizes = [ 20; 50; 100; 150 ]) ?jobs () =
+  Obs.Metrics.reset (Obs.Metrics.default ());
   List.map
     (fun n ->
       let cost, delay =
-        advantage ~runs ~seed ~n_routers:n ~avg_degree:4.0
-          ~receivers:(max 2 (n / 5))
+        advantage ?jobs ~runs ~seed ~n_routers:n ~avg_degree:4.0
+          ~receivers:(max 2 (n / 5)) ()
       in
       { x = n; cost_advantage_pct = cost; delay_advantage_pct = delay })
     sizes
@@ -70,7 +81,7 @@ type fastpath_point = {
   equiv_ok : bool;
 }
 
-let m_spf = Obs.Metrics.counter Obs.Metrics.default "routing.spf_runs"
+let m_spf = Obs.Metrics.hot_counter "routing.spf_runs"
 
 (* One reconvergence workload at router count [n]: [flaps] cycles of
    (fail worst-case link, re-query the [live] destinations in use,
@@ -101,7 +112,7 @@ let fastpath_one ~seed ~flaps ~live n =
   (* Eager baseline. *)
   let table_e = Routing.Table.compute g in
   Routing.Table.force_all table_e;
-  let spf0 = Obs.Metrics.value m_spf in
+  let spf0 = Obs.Metrics.hot_value m_spf in
   let t0 = Sys.time () in
   for _ = 1 to flaps do
     Topology.Graph.set_link_up g flap_u flap_v false;
@@ -114,11 +125,11 @@ let fastpath_one ~seed ~flaps ~live n =
     query table_e
   done;
   let eager_s = Sys.time () -. t0 in
-  let spf_eager = Obs.Metrics.value m_spf - spf0 in
+  let spf_eager = Obs.Metrics.hot_value m_spf - spf0 in
   (* Lazy fast path. *)
   let table_l = Routing.Table.compute g in
   query table_l;
-  let spf0 = Obs.Metrics.value m_spf in
+  let spf0 = Obs.Metrics.hot_value m_spf in
   let t0 = Sys.time () in
   for _ = 1 to flaps do
     Topology.Graph.set_link_up g flap_u flap_v false;
@@ -129,7 +140,7 @@ let fastpath_one ~seed ~flaps ~live n =
     query table_l
   done;
   let lazy_s = Sys.time () -. t0 in
-  let spf_lazy = Obs.Metrics.value m_spf - spf0 in
+  let spf_lazy = Obs.Metrics.hot_value m_spf - spf0 in
   (* Warm-cache route-query throughput. *)
   let queries = 200_000 in
   let darr = Array.of_list dests in
@@ -163,7 +174,7 @@ let fastpath_one ~seed ~flaps ~live n =
 
 let large ?(seed = 42) ?(flaps = 5) ?(live = 32)
     ?(sizes = [ 50; 200; 500; 1000 ]) () =
-  Obs.Metrics.reset Obs.Metrics.default;
+  Obs.Metrics.reset (Obs.Metrics.default ());
   List.map (fun n -> fastpath_one ~seed ~flaps ~live n) sizes
 
 let fastpath_to_json points =

@@ -21,13 +21,16 @@ type point = {
 }
 
 val connectivity :
-  ?runs:int -> ?seed:int -> ?degrees:float list -> unit -> point list
+  ?runs:int -> ?seed:int -> ?degrees:float list -> ?jobs:int -> unit ->
+  point list
 (** Defaults: 150 runs, seed 42, degrees 3, 4, 6, 8, 10 on 50-router
-    graphs with 10 receivers. *)
+    graphs with 10 receivers, 1 job.  [jobs > 1] shards runs across
+    domains; output is byte-identical for every [jobs]. *)
 
-val size : ?runs:int -> ?seed:int -> ?sizes:int list -> unit -> point list
+val size :
+  ?runs:int -> ?seed:int -> ?sizes:int list -> ?jobs:int -> unit -> point list
 (** Defaults: 150 runs, seed 42, router counts 20, 50, 100, 150 with
-    degree 4 and a fifth of the hosts subscribed. *)
+    degree 4 and a fifth of the hosts subscribed, 1 job. *)
 
 val group : x_label:string -> point list -> Stats.Series.group
 

@@ -203,12 +203,12 @@ let run_proto ~seed ~horizon proto (config : Common.config) =
   let prefix =
     Printf.sprintf "soak.%s" (String.lowercase_ascii (Faults.proto_name proto))
   in
-  Fault.Recovery.export ~prefix Obs.Metrics.default report;
+  Fault.Recovery.export ~prefix (Obs.Metrics.default ()) report;
   Obs.Metrics.set
-    (Obs.Metrics.gauge Obs.Metrics.default (prefix ^ ".violations"))
+    (Obs.Metrics.gauge (Obs.Metrics.default ()) (prefix ^ ".violations"))
     (float_of_int (Verif.Monitor.violation_count mon));
   Obs.Metrics.set
-    (Obs.Metrics.gauge Obs.Metrics.default (prefix ^ ".unhealed"))
+    (Obs.Metrics.gauge (Obs.Metrics.default ()) (prefix ^ ".unhealed"))
     (float_of_int (List.length unhealed));
   {
     r_proto = proto;
@@ -236,7 +236,7 @@ let run ?(seed = 42) ?(protocols = Faults.all_protos) ~hours () =
          "Soak.run: horizon %.0f too short for a partition/heal cycle (need \
           >= %.0f time units)"
          horizon min_horizon);
-  Obs.Metrics.reset Obs.Metrics.default;
+  Obs.Metrics.reset (Obs.Metrics.default ());
   let config = Common.isp_config () in
   List.map (fun p -> run_proto ~seed ~horizon p config) protocols
 

@@ -1,0 +1,28 @@
+(* Registry-isolated fan-out for Monte-Carlo sweeps.
+
+   Every work item — on the sequential path too — runs with a fresh
+   default registry swapped in for its duration, and the per-item
+   registries are merged into the caller's registry in item order
+   afterwards.  Running both paths through the same machinery is what
+   makes `--jobs k` output byte-identical to `--jobs 1`: metric
+   counters sum identically whatever the grouping, and the one
+   order-sensitive quantity (float histogram sums) is re-associated
+   the same way in both cases.
+
+   Work items must derive their randomness from their index
+   ({!Stats.Rng.derive}) and not touch shared mutable state; see
+   {!Stats.Parallel.map} for the contract. *)
+
+let map_merged ~jobs n f =
+  let task i =
+    let reg = Obs.Metrics.create () in
+    let v = Obs.Metrics.with_registry reg (fun () -> f i) in
+    (v, reg)
+  in
+  let results = Stats.Parallel.map ~jobs n task in
+  let into = Obs.Metrics.default () in
+  Array.map
+    (fun (v, reg) ->
+      Obs.Metrics.merge_into ~into reg;
+      v)
+    results

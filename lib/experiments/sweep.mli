@@ -1,0 +1,17 @@
+(** Registry-isolated fan-out: the bridge between the pure domain
+    pool ({!Stats.Parallel}) and the metrics registry
+    ({!Obs.Metrics}). *)
+
+val map_merged : jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map_merged ~jobs n f] evaluates [f 0 .. f (n-1)] on up to [jobs]
+    domains, each call under a fresh default registry
+    ({!Obs.Metrics.with_registry}), then merges the per-call
+    registries into the calling domain's default registry in index
+    order and returns the results in index order.
+
+    The sequential path ([jobs = 1]) uses the exact same
+    isolate-then-merge machinery, so output is byte-identical for
+    every [jobs] — including float histogram sums, whose association
+    order is fixed by the in-order merge rather than by scheduling.
+    [f] must derive randomness from its index ({!Stats.Rng.derive})
+    and avoid shared mutable state. *)

@@ -2,14 +2,14 @@ module Net = Netsim.Network
 module Engine = Eventsim.Engine
 module G = Topology.Graph
 
-let m_directives = Obs.Metrics.counter Obs.Metrics.default "fault.directives"
-let m_link_downs = Obs.Metrics.counter Obs.Metrics.default "fault.link_downs"
-let m_link_ups = Obs.Metrics.counter Obs.Metrics.default "fault.link_ups"
-let m_crashes = Obs.Metrics.counter Obs.Metrics.default "fault.crashes"
-let m_restarts = Obs.Metrics.counter Obs.Metrics.default "fault.restarts"
-let m_loss_changes = Obs.Metrics.counter Obs.Metrics.default "fault.loss_changes"
-let m_partitions = Obs.Metrics.counter Obs.Metrics.default "fault.partitions"
-let m_hostile = Obs.Metrics.counter Obs.Metrics.default "fault.hostile_changes"
+let m_directives = Obs.Metrics.hot_counter "fault.directives"
+let m_link_downs = Obs.Metrics.hot_counter "fault.link_downs"
+let m_link_ups = Obs.Metrics.hot_counter "fault.link_ups"
+let m_crashes = Obs.Metrics.hot_counter "fault.crashes"
+let m_restarts = Obs.Metrics.hot_counter "fault.restarts"
+let m_loss_changes = Obs.Metrics.hot_counter "fault.loss_changes"
+let m_partitions = Obs.Metrics.hot_counter "fault.partitions"
+let m_hostile = Obs.Metrics.hot_counter "fault.hostile_changes"
 
 type 'p t = {
   net : 'p Net.t;
@@ -64,7 +64,7 @@ let add_cause t u v =
   Hashtbl.replace t.causes k (c + 1);
   if c = 0 then begin
     Net.set_link_up t.net u v false;
-    Obs.Metrics.incr m_link_downs;
+    Obs.Metrics.hot_incr m_link_downs;
     trace_link t ~up:false u v
   end
 
@@ -75,7 +75,7 @@ let remove_cause t u v =
   | Some c when c <= 1 ->
       Hashtbl.remove t.causes k;
       Net.set_link_up t.net u v true;
-      Obs.Metrics.incr m_link_ups;
+      Obs.Metrics.hot_incr m_link_ups;
       trace_link t ~up:true u v
   | Some c -> Hashtbl.replace t.causes k (c - 1)
 
@@ -92,38 +92,38 @@ let cut_links g island =
 let reconverge net = Net.reconverge net
 
 let apply t (action : Plan.action) =
-  Obs.Metrics.incr m_directives;
+  Obs.Metrics.hot_incr m_directives;
   match action with
   | Plan.Loss { u; v; rate } ->
-      Obs.Metrics.incr m_loss_changes;
+      Obs.Metrics.hot_incr m_loss_changes;
       Net.set_loss t.net ~u ~v rate
   | Plan.Loss_all { rate } ->
-      Obs.Metrics.incr m_loss_changes;
+      Obs.Metrics.hot_incr m_loss_changes;
       Net.set_default_loss t.net rate
   | Plan.Link_down { u; v } -> add_cause t u v
   | Plan.Link_up { u; v } -> remove_cause t u v
   | Plan.Crash { node } ->
       if not (Hashtbl.mem t.crashed node) then begin
         Hashtbl.replace t.crashed node ();
-        Obs.Metrics.incr m_crashes;
+        Obs.Metrics.hot_incr m_crashes;
         Net.set_node_up t.net node false;
         List.iter (fun w -> add_cause t node w) (G.neighbors t.graph node)
       end
   | Plan.Restart { node } ->
       if Hashtbl.mem t.crashed node then begin
         Hashtbl.remove t.crashed node;
-        Obs.Metrics.incr m_restarts;
+        Obs.Metrics.hot_incr m_restarts;
         List.iter (fun w -> remove_cause t node w) (G.neighbors t.graph node);
         Net.set_node_up t.net node true
       end
   | Plan.Partition { island } ->
-      Obs.Metrics.incr m_partitions;
+      Obs.Metrics.hot_incr m_partitions;
       List.iter (fun (u, v) -> add_cause t u v) (cut_links t.graph island)
   | Plan.Heal { island } ->
       List.iter (fun (u, v) -> remove_cause t u v) (cut_links t.graph island)
   | Plan.Partition_named { name; island } ->
       if not (Hashtbl.mem t.partitions name) then begin
-        Obs.Metrics.incr m_partitions;
+        Obs.Metrics.hot_incr m_partitions;
         let cut = cut_links t.graph island in
         Hashtbl.replace t.partitions name cut;
         List.iter (fun (u, v) -> add_cause t u v) cut
@@ -135,22 +135,22 @@ let apply t (action : Plan.action) =
           Hashtbl.remove t.partitions name;
           List.iter (fun (u, v) -> remove_cause t u v) cut)
   | Plan.Jitter { max_delay } ->
-      Obs.Metrics.incr m_hostile;
+      Obs.Metrics.hot_incr m_hostile;
       Net.set_jitter t.net max_delay
   | Plan.Jitter_link { u; v; max_delay } ->
-      Obs.Metrics.incr m_hostile;
+      Obs.Metrics.hot_incr m_hostile;
       Net.set_jitter ~link:(u, v) t.net max_delay
   | Plan.Reorder { window; prob } ->
-      Obs.Metrics.incr m_hostile;
+      Obs.Metrics.hot_incr m_hostile;
       Net.set_reorder t.net ~window ~prob
   | Plan.Duplicate { prob } ->
-      Obs.Metrics.incr m_hostile;
+      Obs.Metrics.hot_incr m_hostile;
       Net.set_duplication t.net prob
   | Plan.Burst_loss { prob; len } ->
-      Obs.Metrics.incr m_hostile;
+      Obs.Metrics.hot_incr m_hostile;
       Net.set_burst_loss t.net ~prob ~len
   | Plan.Drop_control { prob } ->
-      Obs.Metrics.incr m_hostile;
+      Obs.Metrics.hot_incr m_hostile;
       if prob <= 0.0 then Net.set_drop_filter t.net None
       else begin
         let net = t.net in

@@ -59,8 +59,16 @@ type 'p t = {
   trace : Obs.Trace.t;
   handlers : (int, 'p handler) Hashtbl.t;
   sinks : (int, unit) Hashtbl.t;
-  data_loads : (int * int, int) Hashtbl.t;
-  mutable deliveries_rev : (int * float) list;
+  (* Data accounting, allocation-lean: link loads are keyed by the
+     flat directed-edge index [u * n_nodes + v] (an immediate int, so
+     neither lookup nor update allocates a key), and deliveries append
+     into growable parallel arrays (unboxed float delays) instead of
+     consing a tuple per delivery. *)
+  n_nodes : int;
+  data_loads : (int, int) Hashtbl.t;
+  mutable dl_nodes : int array;
+  mutable dl_delays : float array;
+  mutable dl_len : int;
   c : mut_counters;
   (* Fault state.  [faults_on] stays false until the first fault API
      call, so a fault-free simulation pays one boolean test per hop
@@ -93,14 +101,13 @@ and 'p handler = 'p t -> int -> 'p Packet.t -> verdict
 (* Always-on registry mirrors of the accounting the paper measures:
    integer adds on a pre-registered counter, so the hot path pays
    nothing measurable when nobody reads them. *)
-let m_pkt_copies = Obs.Metrics.counter Obs.Metrics.default "net.pkt_copies"
-let m_ctl_hops = Obs.Metrics.counter Obs.Metrics.default "net.ctl_hops"
-let m_deliveries = Obs.Metrics.counter Obs.Metrics.default "net.deliveries"
-let m_dropped = Obs.Metrics.counter Obs.Metrics.default "net.dropped"
-let m_dropped_fault = Obs.Metrics.counter Obs.Metrics.default "net.dropped_fault"
-let m_reconverges = Obs.Metrics.counter Obs.Metrics.default "net.reconvergences"
-let h_delivery_delay =
-  Obs.Metrics.histogram Obs.Metrics.default "net.delivery_delay"
+let m_pkt_copies = Obs.Metrics.hot_counter "net.pkt_copies"
+let m_ctl_hops = Obs.Metrics.hot_counter "net.ctl_hops"
+let m_deliveries = Obs.Metrics.hot_counter "net.deliveries"
+let m_dropped = Obs.Metrics.hot_counter "net.dropped"
+let m_dropped_fault = Obs.Metrics.hot_counter "net.dropped_fault"
+let m_reconverges = Obs.Metrics.hot_counter "net.reconvergences"
+let h_delivery_delay = Obs.Metrics.hot_histogram "net.delivery_delay"
 
 let zero_counters () =
   {
@@ -121,16 +128,20 @@ let zero_counters () =
 
 let create ?(default_ttl = 255) ?trace engine table =
   let trace = match trace with Some t -> t | None -> Obs.Trace.create () in
+  let graph = Routing.Table.graph table in
   {
     engine;
     table;
-    graph = Routing.Table.graph table;
+    graph;
     default_ttl;
     trace;
     handlers = Hashtbl.create 64;
     sinks = Hashtbl.create 16;
+    n_nodes = Topology.Graph.node_count graph;
     data_loads = Hashtbl.create 256;
-    deliveries_rev = [];
+    dl_nodes = [||];
+    dl_delays = [||];
+    dl_len = 0;
     c = zero_counters ();
     faults_on = false;
     loss = Hashtbl.create 16;
@@ -306,7 +317,7 @@ let set_node_up t n b =
   end
 
 let route_changed t ~changed =
-  Obs.Metrics.incr m_reconverges;
+  Obs.Metrics.hot_incr m_reconverges;
   if Obs.Trace.active t.trace then
     Obs.Trace.event t.trace ~time:(now t) ~node:(-1)
       (Obs.Event.Route_reconverge { changed });
@@ -362,8 +373,8 @@ let fault_drop t ~at ~next reason (p : 'p Packet.t) =
   | Link_failed -> t.c.m_dropped_link_down <- t.c.m_dropped_link_down + 1
   | Node_failed -> t.c.m_dropped_node_down <- t.c.m_dropped_node_down + 1
   | Filtered -> t.c.m_dropped_filtered <- t.c.m_dropped_filtered + 1);
-  Obs.Metrics.incr m_dropped;
-  Obs.Metrics.incr m_dropped_fault;
+  Obs.Metrics.hot_incr m_dropped;
+  Obs.Metrics.hot_incr m_dropped_fault;
   (* Bernoulli losses track traffic volume; keep them off the ring
      unless verbose.  Structural drops (dead link/node) are rare and
      are exactly what a fault investigation wants to see. *)
@@ -383,21 +394,38 @@ let fault_drop t ~at ~next reason (p : 'p Packet.t) =
 let tally_link t (p : 'p Packet.t) u v =
   (match p.kind with
   | Packet.Data ->
-      let key = (u, v) in
+      let key = (u * t.n_nodes) + v in
       let n =
-        match Hashtbl.find_opt t.data_loads key with Some n -> n | None -> 0
+        match Hashtbl.find t.data_loads key with
+        | n -> n
+        | exception Not_found -> 0
       in
       Hashtbl.replace t.data_loads key (n + 1);
       t.c.m_data_hops <- t.c.m_data_hops + 1;
-      Obs.Metrics.incr m_pkt_copies
+      Obs.Metrics.hot_incr m_pkt_copies
   | Packet.Control ->
       t.c.m_control_hops <- t.c.m_control_hops + 1;
-      Obs.Metrics.incr m_ctl_hops);
+      Obs.Metrics.hot_incr m_ctl_hops);
   (* Per-hop events are high-volume: only under a verbose trace. *)
   if Obs.Trace.active t.trace && Obs.Trace.verbose t.trace then
     Obs.Trace.event t.trace ~time:(now t) ~node:u
       (Obs.Event.Packet_forward
          { next = v; dst = p.dst; data = p.kind = Packet.Data })
+
+let record_delivery t node delay =
+  let cap = Array.length t.dl_nodes in
+  if t.dl_len = cap then begin
+    let ncap = max 64 (2 * cap) in
+    let nodes = Array.make ncap 0 in
+    let delays = Array.make ncap 0.0 in
+    Array.blit t.dl_nodes 0 nodes 0 cap;
+    Array.blit t.dl_delays 0 delays 0 cap;
+    t.dl_nodes <- nodes;
+    t.dl_delays <- delays
+  end;
+  t.dl_nodes.(t.dl_len) <- node;
+  t.dl_delays.(t.dl_len) <- delay;
+  t.dl_len <- t.dl_len + 1
 
 (* Arrival of [p] at [node]; may consume, deliver or forward. *)
 let rec hop t ~delay ~next (p : 'p Packet.t) =
@@ -421,18 +449,20 @@ and arrive t node (p : 'p Packet.t) =
       && (Topology.Graph.is_host t.graph node || Hashtbl.mem t.sinks node)
     then begin
       let delay = now t -. p.born in
-      t.deliveries_rev <- (node, delay) :: t.deliveries_rev;
+      record_delivery t node delay;
       t.c.m_deliveries <- t.c.m_deliveries + 1;
-      Obs.Metrics.incr m_deliveries;
-      Obs.Histo.observe h_delivery_delay delay;
+      Obs.Metrics.hot_incr m_deliveries;
+      Obs.Metrics.hot_observe h_delivery_delay delay;
       List.iter
         (fun f -> f ~now:(now t) ~node p)
         t.delivery_listeners
     end;
+    (* [find]/[Not_found] instead of [find_opt]: no [Some] box on a
+       per-arrival lookup. *)
     let verdict =
-      match Hashtbl.find_opt t.handlers node with
-      | Some h -> h t node p
-      | None -> Forward
+      match Hashtbl.find t.handlers node with
+      | h -> h t node p
+      | exception Not_found -> Forward
     in
     match verdict with
     | Consume -> t.c.m_consumed <- t.c.m_consumed + 1
@@ -442,7 +472,7 @@ and arrive t node (p : 'p Packet.t) =
           Obs.Trace.notef t.trace ~time:(now t) ~node "TTL expired (%d->%d)"
             p.src p.dst;
           t.c.m_dropped_ttl <- t.c.m_dropped_ttl + 1;
-          Obs.Metrics.incr m_dropped
+          Obs.Metrics.hot_incr m_dropped
         end
         else begin
           p.ttl <- p.ttl - 1;
@@ -458,7 +488,7 @@ and transmit t node (p : 'p Packet.t) =
     | None ->
         Obs.Trace.notef t.trace ~time:(now t) ~node "no route to %d" p.dst;
         t.c.m_dropped_unreachable <- t.c.m_dropped_unreachable + 1;
-        Obs.Metrics.incr m_dropped
+        Obs.Metrics.hot_incr m_dropped
     | Some next -> (
         if t.faults_on && faulted_out t node next p then ()
         else begin
@@ -594,14 +624,17 @@ let counters t =
   }
 
 let data_link_loads t =
-  Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.data_loads []
+  Hashtbl.fold
+    (fun k n acc -> ((k / t.n_nodes, k mod t.n_nodes), n) :: acc)
+    t.data_loads []
   |> List.sort compare
 
-let data_deliveries t = List.rev t.deliveries_rev
+let data_deliveries t =
+  List.init t.dl_len (fun i -> (t.dl_nodes.(i), t.dl_delays.(i)))
 
 let reset_data_accounting t =
   Hashtbl.reset t.data_loads;
-  t.deliveries_rev <- []
+  t.dl_len <- 0
 
 (* ---- Checkpoint / restore --------------------------------------------- *)
 
@@ -611,8 +644,9 @@ type 'p snapshot = {
   s_counters : mut_counters;
   s_handlers : (int, 'p handler) Hashtbl.t;
   s_sinks : (int, unit) Hashtbl.t;
-  s_data_loads : (int * int, int) Hashtbl.t;
-  s_deliveries_rev : (int * float) list;
+  s_data_loads : (int, int) Hashtbl.t;
+  s_dl_nodes : int array;
+  s_dl_delays : float array;
   s_faults_on : bool;
   s_loss : (int * int, float) Hashtbl.t;
   s_default_loss : float;
@@ -680,7 +714,8 @@ let snapshot t =
     s_handlers = Hashtbl.copy t.handlers;
     s_sinks = Hashtbl.copy t.sinks;
     s_data_loads = Hashtbl.copy t.data_loads;
-    s_deliveries_rev = t.deliveries_rev;
+    s_dl_nodes = Array.sub t.dl_nodes 0 t.dl_len;
+    s_dl_delays = Array.sub t.dl_delays 0 t.dl_len;
     s_faults_on = t.faults_on;
     s_loss = Hashtbl.copy t.loss;
     s_default_loss = t.default_loss;
@@ -709,7 +744,11 @@ let restore t s =
   restore_tbl t.handlers s.s_handlers;
   restore_tbl t.sinks s.s_sinks;
   restore_tbl t.data_loads s.s_data_loads;
-  t.deliveries_rev <- s.s_deliveries_rev;
+  (* Copies, so post-restore deliveries never scribble on the
+     snapshot's arrays (one snapshot supports repeated restores). *)
+  t.dl_nodes <- Array.copy s.s_dl_nodes;
+  t.dl_delays <- Array.copy s.s_dl_delays;
+  t.dl_len <- Array.length s.s_dl_nodes;
   t.faults_on <- s.s_faults_on;
   restore_tbl t.loss s.s_loss;
   t.default_loss <- s.s_default_loss;

@@ -5,6 +5,7 @@ type t = {
   mutable sum : float;
   mutable min : float;
   mutable max : float;
+  mutable nans : int;
 }
 
 let default_buckets =
@@ -28,18 +29,19 @@ let create ?(buckets = default_buckets) () =
     sum = 0.0;
     min = nan;
     max = nan;
+    nans = 0;
   }
+
+let bounds t = Array.copy t.bounds
 
 let observe t v =
   let n = Array.length t.bounds in
-  if Float.is_nan v then begin
+  if Float.is_nan v then
     (* NaN compares false against every bound, so the scan below would
        file it in the first bucket — and one NaN would poison sum, min
-       and max forever.  Park it in overflow and leave the moments
-       untouched. *)
-    t.counts.(n) <- t.counts.(n) + 1;
-    t.count <- t.count + 1
-  end
+       and max forever.  Quarantine it in its own tally so it also
+       cannot dilute the mean or shift quantile ranks. *)
+    t.nans <- t.nans + 1
   else begin
     let i = ref 0 in
     while !i < n && v > t.bounds.(!i) do
@@ -61,6 +63,7 @@ let observe t v =
   end
 
 let count t = t.count
+let nans t = t.nans
 let sum t = t.sum
 let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
 
@@ -69,7 +72,33 @@ let reset t =
   t.count <- 0;
   t.sum <- 0.0;
   t.min <- nan;
-  t.max <- nan
+  t.max <- nan;
+  t.nans <- 0
+
+(* Bucket-wise merge, the registry-combination primitive for parallel
+   sweeps.  Commutative and associative on every field except the
+   float [sum], which is why callers merge per-run registries in run
+   order — the same order a sequential sweep would have accumulated
+   observations. *)
+let merge dst src =
+  if dst.bounds <> src.bounds then
+    invalid_arg "Histo.merge: bucket bounds differ";
+  for i = 0 to Array.length dst.counts - 1 do
+    dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum +. src.sum;
+  dst.nans <- dst.nans + src.nans;
+  (* NaN min/max is the "no finite sample yet" sentinel; [Float.min]
+     would propagate it over real data, so combine explicitly. *)
+  if Float.is_nan dst.min then begin
+    dst.min <- src.min;
+    dst.max <- src.max
+  end
+  else if not (Float.is_nan src.min) then begin
+    if src.min < dst.min then dst.min <- src.min;
+    if src.max > dst.max then dst.max <- src.max
+  end
 
 type snapshot = {
   buckets : (float * int) list;
@@ -78,6 +107,7 @@ type snapshot = {
   sum : float;
   min : float;
   max : float;
+  nans : int;
 }
 
 let snapshot t =
@@ -89,6 +119,7 @@ let snapshot t =
     sum = t.sum;
     min = t.min;
     max = t.max;
+    nans = t.nans;
   }
 
 (* Interpolated quantile from the bucket counts.  The rank'th
@@ -97,11 +128,18 @@ let snapshot t =
    the classic fixed-bucket estimate, exact at bucket edges.  The
    estimate is clamped to the observed [min, max] so a handful of
    samples in a wide bucket cannot produce a value outside the data.
-   Ranks landing in the overflow bucket return [max] (NaN-quarantined
-   samples also live there, so the top tail is only ever reported as
-   "at least max"). *)
+   Ranks landing in the overflow bucket return [max] (the top tail is
+   only ever reported as "at least max").
+
+   The edge cases are pinned to well-defined values: an empty
+   histogram reports 0 for every quantile (not NaN, which would
+   poison downstream arithmetic), and a histogram whose observations
+   are all equal — in particular a single observation — reports
+   exactly that value, with no interpolation artifacts. *)
 let quantile (s : snapshot) q =
-  if s.count = 0 || Float.is_nan q then nan
+  if Float.is_nan q then nan
+  else if s.count = 0 then 0.0
+  else if s.min = s.max then s.min
   else begin
     let q = Float.min 1.0 (Float.max 0.0 q) in
     let rank = Float.max 1.0 (Float.round (q *. float_of_int s.count)) in
@@ -144,7 +182,10 @@ let summary (s : snapshot) =
   }
 
 let pp_snapshot ppf s =
-  if s.count = 0 then Format.fprintf ppf "empty"
+  if s.count = 0 then begin
+    Format.fprintf ppf "empty";
+    if s.nans > 0 then Format.fprintf ppf " nan:%d" s.nans
+  end
   else begin
     let sm = summary s in
     Format.fprintf ppf
@@ -155,5 +196,6 @@ let pp_snapshot ppf s =
     List.iter
       (fun (b, c) -> if c > 0 then Format.fprintf ppf " le%g:%d" b c)
       s.buckets;
-    if s.overflow > 0 then Format.fprintf ppf " inf:%d" s.overflow
+    if s.overflow > 0 then Format.fprintf ppf " inf:%d" s.overflow;
+    if s.nans > 0 then Format.fprintf ppf " nan:%d" s.nans
   end

@@ -19,7 +19,18 @@ let create () =
     series = Hashtbl.create 32;
   }
 
-let default = create ()
+(* The default registry is domain-local: each domain that reports
+   metrics gets its own registry, so concurrent sweep workers never
+   contend on (or corrupt) a shared Hashtbl.  [with_registry] swaps a
+   scoped registry in for the current domain, which is how per-run
+   isolation works on both the sequential and parallel paths. *)
+let dls_default : t Domain.DLS.key = Domain.DLS.new_key create
+let default () = Domain.DLS.get dls_default
+
+let with_registry r f =
+  let saved = Domain.DLS.get dls_default in
+  Domain.DLS.set dls_default r;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set dls_default saved) f
 
 let intern t tbl name labels make =
   let key = Labels.series_name name labels in
@@ -49,6 +60,65 @@ let histogram_l t ?buckets name labels =
 
 let histogram t ?buckets name = histogram_l t ?buckets name Labels.empty
 
+(* Hot handles: module-level instrument bindings that follow the
+   current domain's default registry instead of capturing whichever
+   registry existed at module initialisation.  Each handle caches
+   (registry, instrument) in domain-local storage and re-resolves
+   only when the domain's default registry changes identity (domain
+   spawn or [with_registry] swap), so the steady-state cost of an
+   update is two DLS reads and a pointer compare.
+
+   Creating a handle touches it once, which registers the instrument
+   in the creating domain's registry up front — module-init-time
+   registration keeps never-fired instruments visible in snapshots,
+   as they were when [default] was a plain value. *)
+type 'a hot = { resolve : t -> 'a; cell : (t * 'a) Domain.DLS.key }
+
+let hot_get h =
+  let r, v = Domain.DLS.get h.cell in
+  let cur = Domain.DLS.get dls_default in
+  if r == cur then v
+  else begin
+    let v = h.resolve cur in
+    Domain.DLS.set h.cell (cur, v);
+    v
+  end
+
+let make_hot resolve =
+  (* [dls_default]'s key predates every hot cell key, so the nested
+     get inside the initializer can never trigger a DLS slot-array
+     grow that would orphan the outer write. *)
+  let cell =
+    Domain.DLS.new_key (fun () ->
+        let r = Domain.DLS.get dls_default in
+        (r, resolve r))
+  in
+  let h = { resolve; cell } in
+  ignore (hot_get h);
+  h
+
+type hot_counter = counter hot
+
+let hot_counter_l name labels = make_hot (fun t -> counter_l t name labels)
+let hot_counter name = hot_counter_l name Labels.empty
+let hot_incr h = incr (hot_get h)
+let hot_add h k = add (hot_get h) k
+let hot_value h = value (hot_get h)
+
+type hot_gauge = gauge hot
+
+let hot_gauge_l name labels = make_hot (fun t -> gauge_l t name labels)
+let hot_gauge name = hot_gauge_l name Labels.empty
+let hot_set h v = set (hot_get h) v
+
+type hot_histogram = Histo.t hot
+
+let hot_histogram_l ?buckets name labels =
+  make_hot (fun t -> histogram_l t ?buckets name labels)
+
+let hot_histogram ?buckets name = hot_histogram_l ?buckets name Labels.empty
+let hot_observe h v = Histo.observe (hot_get h) v
+
 let decompose t key =
   match Hashtbl.find_opt t.series key with
   | Some d -> d
@@ -58,6 +128,31 @@ let reset t =
   Hashtbl.iter (fun _ c -> c.n <- 0) t.counters;
   Hashtbl.iter (fun _ g -> g.v <- nan) t.gauges;
   Hashtbl.iter (fun _ h -> Histo.reset h) t.histograms
+
+(* Fold one registry into another: counters sum, set gauges overwrite
+   (so merging per-run registries in run order gives last-by-run-index,
+   exactly what a sequential sweep leaves behind), histograms merge
+   bucket-wise.  Instruments absent from [into] are registered on the
+   fly, so dynamically-created labeled series survive the merge. *)
+let merge_into ~into (src : t) =
+  Hashtbl.iter
+    (fun key (c : counter) ->
+      let name, labels = decompose src key in
+      let d = counter_l into name labels in
+      d.n <- d.n + c.n)
+    src.counters;
+  Hashtbl.iter
+    (fun key (g : gauge) ->
+      let name, labels = decompose src key in
+      let d = gauge_l into name labels in
+      if not (Float.is_nan g.v) then d.v <- g.v)
+    src.gauges;
+  Hashtbl.iter
+    (fun key h ->
+      let name, labels = decompose src key in
+      let d = histogram_l into ~buckets:(Histo.bounds h) name labels in
+      Histo.merge d h)
+    src.histograms
 
 type snapshot = {
   counters : (string * int) list;
@@ -130,6 +225,7 @@ let histo_to_json (h : Histo.snapshot) =
              (fun (le, c) -> Json.Obj [ ("le", Json.Float le); ("n", Json.Int c) ])
              h.buckets) );
       ("overflow", Json.Int h.overflow);
+      ("nans", Json.Int h.nans);
     ]
 
 let snapshot_to_json s =
@@ -156,6 +252,10 @@ let histo_of_json j =
     | None -> nan
   in
   let* overflow = Option.bind (Json.member "overflow" j) Json.to_int in
+  let nans =
+    (* Absent in snapshots written before NaNs were tracked apart. *)
+    Option.value ~default:0 (Option.bind (Json.member "nans" j) Json.to_int)
+  in
   let* bucket_items = Option.bind (Json.member "buckets" j) Json.to_list in
   let* buckets =
     List.fold_right
@@ -166,7 +266,7 @@ let histo_of_json j =
         Some ((le, n) :: acc))
       bucket_items (Some [])
   in
-  Some { Histo.buckets; overflow; count; sum; min; max }
+  Some { Histo.buckets; overflow; count; sum; min; max; nans }
 
 let snapshot_of_json j =
   let ( let* ) = Option.bind in

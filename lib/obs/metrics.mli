@@ -8,16 +8,34 @@
     same name returns the same instrument, so independent modules can
     share a series by name.
 
-    A process-wide {!default} registry is where the protocol stack
-    reports; scoped registries can be created for tests. *)
+    A domain-local {!default} registry is where the protocol stack
+    reports; scoped registries can be created for tests and swapped in
+    with {!with_registry}, and per-run registries from a parallel
+    sweep combine with {!merge_into}. *)
 
 type t
 
 val create : unit -> t
 
-val default : t
-(** The process-wide registry used by the stack's built-in
-    instrumentation ([hbh.*], [reunite.*], [net.*], [engine.*]). *)
+val default : unit -> t
+(** The current domain's default registry, used by the stack's
+    built-in instrumentation ([hbh.*], [reunite.*], [net.*],
+    [engine.*]).  Domain-local: each domain starts with a fresh
+    registry, so parallel sweep workers never share one. *)
+
+val with_registry : t -> (unit -> 'a) -> 'a
+(** [with_registry r f] runs [f] with [r] as the current domain's
+    default registry, restoring the previous one afterwards (also on
+    exception).  Hot handles re-resolve against [r] for the duration,
+    so all built-in instrumentation lands in [r]. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src]'s instruments into [into]:
+    counters sum, set (non-NaN) gauges overwrite, histograms merge
+    bucket-wise ({!Histo.merge}).  Merging per-run registries in run
+    order therefore reproduces exactly what a sequential sweep would
+    have accumulated — including the float histogram sums, which is
+    what makes parallel output byte-identical to sequential. *)
 
 (** {1 Instruments} *)
 
@@ -55,6 +73,40 @@ val histogram : t -> ?buckets:float array -> string -> Histo.t
 val counter_l : t -> string -> Labels.t -> counter
 val gauge_l : t -> string -> Labels.t -> gauge
 val histogram_l : t -> ?buckets:float array -> string -> Labels.t -> Histo.t
+
+(** {1 Hot handles}
+
+    Module-level instrument bindings for always-on instrumentation.
+    A plain [counter (default ()) name] binding evaluated at module
+    initialisation would capture the initialising domain's registry
+    forever; a hot handle instead follows the {e current} domain's
+    default registry (tracking both domain spawns and
+    {!with_registry} swaps) at the cost of two domain-local reads and
+    a pointer compare per update.  Creating a handle registers the
+    instrument immediately in the creating domain's registry, so
+    never-fired instruments still appear (as zeros) in snapshots. *)
+
+type hot_counter
+
+val hot_counter : string -> hot_counter
+val hot_counter_l : string -> Labels.t -> hot_counter
+val hot_incr : hot_counter -> unit
+val hot_add : hot_counter -> int -> unit
+
+val hot_value : hot_counter -> int
+(** Value in the current domain's default registry. *)
+
+type hot_gauge
+
+val hot_gauge : string -> hot_gauge
+val hot_gauge_l : string -> Labels.t -> hot_gauge
+val hot_set : hot_gauge -> float -> unit
+
+type hot_histogram
+
+val hot_histogram : ?buckets:float array -> string -> hot_histogram
+val hot_histogram_l : ?buckets:float array -> string -> Labels.t -> hot_histogram
+val hot_observe : hot_histogram -> float -> unit
 
 val decompose : t -> string -> string * Labels.t
 (** Recover (base name, label set) from a snapshot key registered in

@@ -18,10 +18,10 @@ let shared_tree_link_set table ~rp ~receivers =
 let tree_links table ~rp ~receivers =
   Lset.elements (shared_tree_link_set table ~rp ~receivers)
 
-let m_builds = Obs.Metrics.counter Obs.Metrics.default "pim.sm_trees_built"
+let m_builds = Obs.Metrics.hot_counter "pim.sm_trees_built"
 
 let build table ~source ~rp ~receivers =
-  Obs.Metrics.incr m_builds;
+  Obs.Metrics.hot_incr m_builds;
   let g = Routing.Table.graph table in
   let dist = Mcast.Distribution.create ~source in
   (* Register leg: encapsulated unicast S -> RP, one copy per link. *)

@@ -20,10 +20,10 @@ let tree_link_set table ~source ~receivers =
 let tree_links table ~source ~receivers =
   Lset.elements (tree_link_set table ~source ~receivers)
 
-let m_builds = Obs.Metrics.counter Obs.Metrics.default "pim.ss_trees_built"
+let m_builds = Obs.Metrics.hot_counter "pim.ss_trees_built"
 
 let build table ~source ~receivers =
-  Obs.Metrics.incr m_builds;
+  Obs.Metrics.hot_incr m_builds;
   let g = Routing.Table.graph table in
   let dist = Mcast.Distribution.create ~source in
   let links = tree_link_set table ~source ~receivers in

@@ -29,12 +29,10 @@ end
 
 module Make (P : PROTOCOL) = struct
   let counter name =
-    Obs.Metrics.counter Obs.Metrics.default
-      (Printf.sprintf "proto.%s.%s" P.name name)
+    Obs.Metrics.hot_counter (Printf.sprintf "proto.%s.%s" P.name name)
 
   let gauge name =
-    Obs.Metrics.gauge Obs.Metrics.default
-      (Printf.sprintf "proto.%s.%s" P.name name)
+    Obs.Metrics.hot_gauge (Printf.sprintf "proto.%s.%s" P.name name)
 
   (* Per-class control-overhead accounting, always on (pre-registered
      counters, integer adds) — one namespace across every protocol. *)
@@ -50,7 +48,7 @@ module Make (P : PROTOCOL) = struct
      one labeled series per protocol so cross-protocol comparison
      reads straight out of the registry. *)
   let h_join_latency =
-    Obs.Metrics.histogram_l Obs.Metrics.default "span.join_latency"
+    Obs.Metrics.hot_histogram_l "span.join_latency"
       (Obs.Labels.v [ ("protocol", P.name) ])
 
   let tag suffix = Printf.sprintf "proto.%s.%s" P.name suffix
@@ -138,11 +136,11 @@ module Make (P : PROTOCOL) = struct
 
   let meter t ~from payload =
     (match P.kind_of payload with
-    | Messages.Join_msg -> Obs.Metrics.incr m_join
-    | Messages.Tree_msg -> Obs.Metrics.incr m_tree
-    | Messages.Data_msg -> Obs.Metrics.incr m_data
+    | Messages.Join_msg -> Obs.Metrics.hot_incr m_join
+    | Messages.Tree_msg -> Obs.Metrics.hot_incr m_tree
+    | Messages.Data_msg -> Obs.Metrics.hot_incr m_data
     | Messages.Extra_msg -> (
-        match m_extra with Some c -> Obs.Metrics.incr c | None -> ()));
+        match m_extra with Some c -> Obs.Metrics.hot_incr c | None -> ()));
     if trace_active t then
       match P.trace_event payload with
       | Some ekind -> ev t ~node:from ekind
@@ -209,14 +207,14 @@ module Make (P : PROTOCOL) = struct
     ignore
       (Timer.every ~tag:(tag "sweep") engine ~start:period ~period (fun () ->
            hooks.sweep t ~now:(now t);
-           Obs.Metrics.set g_state (float_of_int (hooks.state_size t))));
+           Obs.Metrics.hot_set g_state (float_of_int (hooks.state_size t))));
     (* A crash wipes the node's volatile soft state; recovery then
        happens purely through the periodic join/refresh cycle.  The
        agent stays chained (the network skips handlers of down
        nodes), so a restarted node resumes as a blank slate. *)
     Net.on_node_event network (fun ~up n ->
         if not up then begin
-          Obs.Metrics.incr m_crash_wipes;
+          Obs.Metrics.hot_incr m_crash_wipes;
           hooks.crash_wipe t n;
           notef t ~node:n "crash: %s state wiped" P.label
         end);
@@ -227,7 +225,7 @@ module Make (P : PROTOCOL) = struct
        entries would lose their validation for no topological
        reason). *)
     Net.on_route_change network (fun ~changed ->
-        Obs.Metrics.incr m_route_changes;
+        Obs.Metrics.hot_incr m_route_changes;
         if changed > 0 then t.route_epoch <- t.route_epoch + 1);
     (* Close a member's open join span on its first data delivery for
        this channel — the span only exists when the member subscribed
@@ -240,7 +238,7 @@ module Make (P : PROTOCOL) = struct
           && Mcast.Channel.equal (P.channel_of p.Pkt.payload) t.channel
         then
           match Obs.Span.finish t.spans join_span ~key:node ~now with
-          | Some d -> Obs.Histo.observe h_join_latency d
+          | Some d -> Obs.Metrics.hot_observe h_join_latency d
           | None -> ());
     t
 

@@ -93,9 +93,11 @@ module Make (P : PROTOCOL) : sig
     send_data : t -> unit;
   }
 
-  val counter : string -> Obs.Metrics.counter
+  val counter : string -> Obs.Metrics.hot_counter
   (** A counter in this protocol's [proto.<name>.*] namespace, for
-      protocol-specific instrumentation (table update counts etc.). *)
+      protocol-specific instrumentation (table update counts etc.).
+      A hot handle: it follows the current domain's default registry
+      (see {!Obs.Metrics.hot_counter}). *)
 
   val create :
     ?config:P.config ->

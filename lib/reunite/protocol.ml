@@ -79,11 +79,11 @@ let m_mft = S.counter "mft_updates"
 let m_mct = S.counter "mct_updates"
 
 let mft_ev t ~node ~target op =
-  Obs.Metrics.incr m_mft;
+  Obs.Metrics.hot_incr m_mft;
   if S.trace_active t then S.ev t ~node (Obs.Event.Mft_update { target; op })
 
 let mct_ev t ~node ~target op =
-  Obs.Metrics.incr m_mct;
+  Obs.Metrics.hot_incr m_mct;
   if S.trace_active t then S.ev t ~node (Obs.Event.Mct_update { target; op })
 
 let tables_of t n =

@@ -37,10 +37,9 @@ type t = {
   mutable last_change : float;
 }
 
-let m_spf = Obs.Metrics.counter Obs.Metrics.default "routing.lsdb_spf_runs"
-let m_hits = Obs.Metrics.counter Obs.Metrics.default "routing.lsdb_cache_hits"
-let m_rebuilds =
-  Obs.Metrics.counter Obs.Metrics.default "routing.lsdb_index_rebuilds"
+let m_spf = Obs.Metrics.hot_counter "routing.lsdb_spf_runs"
+let m_hits = Obs.Metrics.hot_counter "routing.lsdb_cache_hits"
+let m_rebuilds = Obs.Metrics.hot_counter "routing.lsdb_index_rebuilds"
 
 let create engine graph =
   let routers = G.routers graph in
@@ -165,14 +164,14 @@ let lsdb_dist_to t r dest =
     c.in_edges <- build_in_edges t r;
     Hashtbl.reset c.dists;
     c.cache_gen <- t.generation;
-    Obs.Metrics.incr m_rebuilds
+    Obs.Metrics.hot_incr m_rebuilds
   end;
   match Hashtbl.find_opt c.dists dest with
   | Some dist ->
-      Obs.Metrics.incr m_hits;
+      Obs.Metrics.hot_incr m_hits;
       dist
   | None ->
-      Obs.Metrics.incr m_spf;
+      Obs.Metrics.hot_incr m_spf;
       let dist =
         Dijkstra.spf_in_edges ~n:(G.node_count t.graph) ~dest c.in_edges
       in

@@ -16,10 +16,9 @@ type t = {
 
 (* Always-on cache accounting: the scaling experiments read these to
    show how much SPF work laziness avoids. *)
-let m_spf = Obs.Metrics.counter Obs.Metrics.default "routing.spf_runs"
-let m_hits = Obs.Metrics.counter Obs.Metrics.default "routing.cache_hits"
-let m_invalidated =
-  Obs.Metrics.counter Obs.Metrics.default "routing.invalidations"
+let m_spf = Obs.Metrics.hot_counter "routing.spf_runs"
+let m_hits = Obs.Metrics.hot_counter "routing.cache_hits"
+let m_invalidated = Obs.Metrics.hot_counter "routing.invalidations"
 
 let compute g =
   { graph = g; trees = Array.make (Topology.Graph.node_count g) None }
@@ -31,10 +30,10 @@ let in_tree t d =
     invalid_arg "Table.in_tree: bad destination";
   match t.trees.(d) with
   | Some tree ->
-      Obs.Metrics.incr m_hits;
+      Obs.Metrics.hot_incr m_hits;
       tree
   | None ->
-      Obs.Metrics.incr m_spf;
+      Obs.Metrics.hot_incr m_spf;
       let tree = Dijkstra.to_dest t.graph d in
       t.trees.(d) <- Some tree;
       tree
@@ -48,7 +47,7 @@ let invalidate_dest t d =
   if d < 0 || d >= Array.length t.trees then
     invalid_arg "Table.invalidate_dest: bad destination";
   if t.trees.(d) <> None then begin
-    Obs.Metrics.incr m_invalidated;
+    Obs.Metrics.hot_incr m_invalidated;
     t.trees.(d) <- None
   end
 
@@ -56,7 +55,7 @@ let invalidate_all t =
   Array.iteri
     (fun d tree ->
       if tree <> None then begin
-        Obs.Metrics.incr m_invalidated;
+        Obs.Metrics.hot_incr m_invalidated;
         t.trees.(d) <- None
       end)
     t.trees

@@ -1,0 +1,59 @@
+(* A minimal fixed-size domain pool over an atomic work counter.
+
+   [map ~jobs n f] evaluates [f 0 .. f (n-1)] on up to [jobs] domains
+   (the calling domain participates, so [jobs - 1] are spawned) and
+   returns the results in index order.  Work is handed out by an
+   [Atomic.fetch_and_add] counter, so scheduling is dynamic — which is
+   fine, because callers are required to make [f i] depend only on
+   [i], never on execution order or domain identity.  That contract
+   (plus order-free seed derivation, {!Rng.derive}) is what makes
+   parallel sweeps bit-identical to sequential ones.
+
+   No domainslib: the stdlib [Domain] + [Atomic] suffice for an
+   embarrassingly-parallel index map and keep the dependency set
+   unchanged. *)
+
+let map ~jobs n f =
+  if n < 0 then invalid_arg "Parallel.map: negative size";
+  if n = 0 then [||]
+  else if jobs <= 1 || n = 1 then Array.init n f
+  else begin
+    let jobs = min jobs n in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let guarded () =
+      try
+        worker ();
+        None
+      with e -> Some (e, Printexc.get_raw_backtrace ())
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn guarded) in
+    let failure = ref (guarded ()) in
+    (* Always join every domain, even if the calling domain's share
+       raised: a leaked domain would keep mutating [results] after we
+       return.  First failure (calling domain preferred) wins. *)
+    Array.iter
+      (fun d ->
+        match Domain.join d with
+        | None -> ()
+        | Some _ as e -> if !failure = None then failure := e)
+      domains;
+    (match !failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* every index < n was claimed and filled *))
+      results
+  end

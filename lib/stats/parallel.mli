@@ -1,0 +1,20 @@
+(** Deterministic fan-out of independent work over OCaml 5 domains.
+
+    This is deliberately tiny: an atomic work counter feeding a fixed
+    pool of domains, with results returned in index order.  It is the
+    only place the simulator spawns domains. *)
+
+val map : jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] is [[| f 0; f 1; ...; f (n-1) |]], evaluated on up
+    to [jobs] domains ([jobs - 1] spawned; the caller participates).
+
+    Contract: [f i] must depend only on [i] — derive any randomness
+    with {!Rng.derive}, not from shared generators, and do not touch
+    shared mutable state (use a fresh [Obs.Metrics] registry per call
+    and merge afterwards).  Under that contract the result array is
+    bit-identical for every [jobs], including [jobs = 1], which runs
+    [f] sequentially on the calling domain with no spawns.
+
+    If any [f i] raises, all domains are joined and the first
+    exception is re-raised; indices claimed but unfinished at that
+    point are lost. *)

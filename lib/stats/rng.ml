@@ -30,6 +30,28 @@ let split t =
   let child = bits64 t in
   { state = mix64variant13 child }
 
+(* Order-free stream derivation.  Unlike [split], which advances the
+   parent (so the child stream depends on how many splits preceded
+   it), [derive] is a pure hash of [(seed, index)]: run i gets the
+   same stream no matter which runs came before it or on which domain
+   it executes.  The scheme is the splitmix one — jump the finalized
+   seed along the Weyl sequence by [index] gammas, then finalize with
+   the secondary mixer exactly as [split] does for its children. *)
+let derive ~seed ~index =
+  let s = mix64variant13 (Int64.of_int seed) in
+  let s = mix64 (Int64.add s (Int64.mul golden_gamma (Int64.of_int index))) in
+  { state = mix64variant13 s }
+
+(* Two-level derivation for nested sweeps (e.g. group-size x run):
+   a second Weyl jump with an independent odd constant before the
+   final mix, so [derive2 ~a ~b] collides with neither [derive ~index]
+   nor [derive2] at any other [(a, b)] in practice. *)
+let derive2 ~seed ~a ~b =
+  let s = mix64variant13 (Int64.of_int seed) in
+  let s = mix64 (Int64.add s (Int64.mul golden_gamma (Int64.of_int a))) in
+  let s = mix64 (Int64.add s (Int64.mul 0xBF58476D1CE4E5B9L (Int64.of_int b))) in
+  { state = mix64variant13 s }
+
 (* Non-negative 62-bit value, convenient for native ints. *)
 let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

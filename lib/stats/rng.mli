@@ -21,7 +21,20 @@ val copy : t -> t
 
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
-    (for practical purposes) independent of [t]'s subsequent output. *)
+    (for practical purposes) independent of [t]'s subsequent output.
+    Note the child stream depends on how many draws/splits preceded it
+    on [t]; for order-independent streams use {!derive}. *)
+
+val derive : seed:int -> index:int -> t
+(** [derive ~seed ~index] is a generator determined purely by the pair
+    [(seed, index)] — a stateless hash, not a draw from a shared
+    generator.  Run [index] therefore gets the same stream regardless
+    of which runs precede it or which domain executes it, which is
+    what makes parallel Monte-Carlo sweeps bit-reproducible. *)
+
+val derive2 : seed:int -> a:int -> b:int -> t
+(** Two-level {!derive} for nested sweeps (e.g. group-size [a], run
+    [b]); independent of {!derive} streams in practice. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)

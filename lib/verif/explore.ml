@@ -1,9 +1,9 @@
 module Metrics = Obs.Metrics
 
-let m_states = Metrics.counter Metrics.default "verif.states_explored"
-let m_transitions = Metrics.counter Metrics.default "verif.transitions"
-let m_dedup = Metrics.counter Metrics.default "verif.dedup_hits"
-let m_quiesce_failures = Metrics.counter Metrics.default "verif.quiesce_failures"
+let m_states = Metrics.hot_counter "verif.states_explored"
+let m_transitions = Metrics.hot_counter "verif.transitions"
+let m_dedup = Metrics.hot_counter "verif.dedup_hits"
+let m_quiesce_failures = Metrics.hot_counter "verif.quiesce_failures"
 
 type counterexample = {
   events : Scenario.event list;  (** the path from the initial state *)
@@ -99,19 +99,19 @@ let run ?(config = default_config) (sut : Sut.t) =
           if budget_left () then begin
             let restore = sut.Sut.save () in
             incr transitions;
-            Metrics.incr m_transitions;
+            Metrics.hot_incr m_transitions;
             Scenario.apply sut ev;
             (match Scenario.quiesce sut with
             | None ->
-                Metrics.incr m_quiesce_failures;
+                Metrics.hot_incr m_quiesce_failures;
                 oscillations := List.rev (ev :: path) :: !oscillations
             | Some _ ->
                 let digest = Sut.state_digest sut in
-                if Hashtbl.mem visited digest then Metrics.incr m_dedup
+                if Hashtbl.mem visited digest then Metrics.hot_incr m_dedup
                 else begin
                   Hashtbl.replace visited digest ();
                   incr states;
-                  Metrics.incr m_states;
+                  Metrics.hot_incr m_states;
                   if check_state (ev :: path) then explore (depth + 1) (ev :: path)
                 end);
             restore ()
@@ -123,7 +123,7 @@ let run ?(config = default_config) (sut : Sut.t) =
   ignore (Scenario.quiesce sut);
   Hashtbl.replace visited (Sut.state_digest sut) ();
   incr states;
-  Metrics.incr m_states;
+  Metrics.hot_incr m_states;
   ignore (check_state []);
   explore 0 [];
   {

@@ -13,13 +13,11 @@
 
 module Timer = Eventsim.Timer
 
-let m_checks = Obs.Metrics.counter Obs.Metrics.default "obs.monitor.checks"
+let m_checks = Obs.Metrics.hot_counter "obs.monitor.checks"
 
-let m_observations =
-  Obs.Metrics.counter Obs.Metrics.default "obs.monitor.observations"
+let m_observations = Obs.Metrics.hot_counter "obs.monitor.observations"
 
-let m_violations =
-  Obs.Metrics.counter Obs.Metrics.default "obs.monitor.violations"
+let m_violations = Obs.Metrics.hot_counter "obs.monitor.violations"
 
 type confirmed = { time : float; violation : Oracle.violation }
 
@@ -37,7 +35,7 @@ let key (v : Oracle.violation) = v.Oracle.oracle ^ ":" ^ v.Oracle.detail
 
 let probe t =
   t.checks <- t.checks + 1;
-  Obs.Metrics.incr m_checks;
+  Obs.Metrics.hot_incr m_checks;
   let violations = Oracle.structural_check t.sut in
   let seen = Hashtbl.create 8 in
   List.iter
@@ -45,7 +43,7 @@ let probe t =
       let k = key v in
       if not (Hashtbl.mem seen k) then begin
         Hashtbl.replace seen k ();
-        Obs.Metrics.incr m_observations;
+        Obs.Metrics.hot_incr m_observations;
         let streak =
           match Hashtbl.find_opt t.streaks k with Some n -> n + 1 | None -> 1
         in
@@ -55,7 +53,7 @@ let probe t =
         if streak = t.confirm then begin
           let time = t.sut.Sut.now () in
           t.confirmed <- { time; violation = v } :: t.confirmed;
-          Obs.Metrics.incr m_violations;
+          Obs.Metrics.hot_incr m_violations;
           Obs.Trace.event t.sut.Sut.trace ~time ~node:t.sut.Sut.source
             (Obs.Event.Invariant_violation
                { oracle = v.Oracle.oracle; detail = v.Oracle.detail })

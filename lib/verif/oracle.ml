@@ -6,27 +6,20 @@ type violation = { oracle : string; detail : string }
 let pp_violation fmt v =
   Format.fprintf fmt "%s: %s" v.oracle v.detail
 
-(* Per-oracle check/violation counters, created on demand so the
-   metric namespace only contains oracles that actually ran. *)
-let counters : (string, Obs.Metrics.counter * Obs.Metrics.counter) Hashtbl.t =
-  Hashtbl.create 8
-
+(* Per-oracle check/violation counters, fetched from the current
+   domain's registry on demand so the metric namespace only contains
+   oracles that actually ran.  No memo table: a process-global cache
+   here would both leak across scoped registries and race across
+   domains, and oracle checks only run at quiescent points, where a
+   registry lookup is noise. *)
 let count ~oracle hit =
-  let checks, violations =
-    match Hashtbl.find_opt counters oracle with
-    | Some c -> c
-    | None ->
-        let c =
-          ( Obs.Metrics.counter Obs.Metrics.default
-              (Printf.sprintf "verif.oracle.%s.checks" oracle),
-            Obs.Metrics.counter Obs.Metrics.default
-              (Printf.sprintf "verif.oracle.%s.violations" oracle) )
-        in
-        Hashtbl.replace counters oracle c;
-        c
-  in
-  Obs.Metrics.incr checks;
-  if hit then Obs.Metrics.incr violations
+  let t = Obs.Metrics.default () in
+  Obs.Metrics.incr
+    (Obs.Metrics.counter t (Printf.sprintf "verif.oracle.%s.checks" oracle));
+  if hit then
+    Obs.Metrics.incr
+      (Obs.Metrics.counter t
+         (Printf.sprintf "verif.oracle.%s.violations" oracle))
 
 (* ---- Reachability over the current (faulty) topology ------------------- *)
 

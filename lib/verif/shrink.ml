@@ -9,18 +9,48 @@
    member or router exhibits the bug, the property class must
    survive). *)
 
-let m_shrink_tests =
-  Obs.Metrics.counter Obs.Metrics.default "verif.shrink.replays"
+let m_shrink_tests = Obs.Metrics.hot_counter "verif.shrink.replays"
 
 let reproduces ~make_sut ~oracles events =
-  Obs.Metrics.incr m_shrink_tests;
+  Obs.Metrics.hot_incr m_shrink_tests;
   let sut = make_sut () in
   let vs = Scenario.replay_events sut events in
   List.exists (fun (v : Oracle.violation) -> List.mem v.Oracle.oracle oracles) vs
 
 (* Classic ddmin: try removing chunks at a falling granularity until
-   1-minimal (no single event can be removed). *)
-let ddmin ~test events =
+   1-minimal (no single event can be removed).
+
+   With [jobs > 1] the complements of one granularity level are probed
+   concurrently and the success at the LOWEST index wins — exactly the
+   candidate the sequential left-to-right scan would have committed to,
+   so the minimized sequence is independent of [jobs].  Parallel probing
+   trades wasted replays (candidates past the first success still run)
+   for wall time; only the [verif.shrink.replays] tally can differ. *)
+let ddmin ?(jobs = 1) ~test events =
+  let try_complements parts =
+    if jobs <= 1 then
+      let rec go before = function
+        | [] -> None
+        | c :: after ->
+            let candidate = List.concat (List.rev_append before after) in
+            if candidate <> [] && test candidate then Some candidate
+            else go (c :: before) after
+      in
+      go [] parts
+    else begin
+      let candidate i =
+        List.concat (List.filteri (fun j _ -> j <> i) parts)
+      in
+      let results =
+        Stats.Parallel.map ~jobs (List.length parts) (fun i ->
+            let c = candidate i in
+            if c <> [] && test c then Some c else None)
+      in
+      Array.fold_left
+        (fun acc r -> match acc with Some _ -> acc | None -> r)
+        None results
+    end
+  in
   let rec go events n =
     let len = List.length events in
     if len <= 1 then events
@@ -46,14 +76,7 @@ let ddmin ~test events =
       let parts = chunks 0 [] events in
       (* Complements first (drop one chunk): greatest progress per
          replay when most events are irrelevant. *)
-      let rec try_complements before = function
-        | [] -> None
-        | c :: after ->
-            let candidate = List.concat (List.rev_append before after) in
-            if candidate <> [] && test candidate then Some candidate
-            else try_complements (c :: before) after
-      in
-      match try_complements [] parts with
+      match try_complements parts with
       | Some candidate -> go candidate (max 2 (n - 1))
       | None ->
           if chunk <= 1 then events (* 1-minimal *)
@@ -62,10 +85,10 @@ let ddmin ~test events =
   in
   if test events then go events 2 else events
 
-let minimize ~make_sut (cx : Explore.counterexample) =
+let minimize ?jobs ~make_sut (cx : Explore.counterexample) =
   let oracles =
     List.sort_uniq compare
       (List.map (fun (v : Oracle.violation) -> v.Oracle.oracle) cx.Explore.violations)
   in
   let test events = reproduces ~make_sut ~oracles events in
-  ddmin ~test cx.Explore.events
+  ddmin ?jobs ~test cx.Explore.events

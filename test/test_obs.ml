@@ -77,15 +77,18 @@ let test_gauge_semantics () =
 
 (* Regression: a NaN observation used to land in the first bucket (it
    compares false against every bound) and poison sum/min/max for the
-   histogram's remaining lifetime. *)
+   histogram's remaining lifetime; later it was counted in [count],
+   which still diluted the mean and shifted quantile ranks.  NaNs now
+   live in their own tally, invisible to every moment. *)
 let test_histogram_nan_quarantined () =
   let h = Obs.Histo.create ~buckets:[| 1.0; 10.0 |] () in
   Obs.Histo.observe h nan;
   Obs.Histo.observe h 0.5;
   Obs.Histo.observe h nan;
   let s = Obs.Histo.snapshot h in
-  Alcotest.(check int) "all observations counted" 3 s.Obs.Histo.count;
-  Alcotest.(check int) "NaNs quarantined in overflow" 2 s.Obs.Histo.overflow;
+  Alcotest.(check int) "finite observations counted" 1 s.Obs.Histo.count;
+  Alcotest.(check int) "NaNs quarantined in their own tally" 2 s.Obs.Histo.nans;
+  Alcotest.(check int) "overflow holds no NaNs" 0 s.Obs.Histo.overflow;
   Alcotest.(check (list (pair (float 0.0) int)))
     "finite sample in its bucket"
     [ (1.0, 1); (10.0, 0) ]
@@ -93,8 +96,10 @@ let test_histogram_nan_quarantined () =
   Alcotest.(check (float 1e-9)) "sum unpoisoned" 0.5 s.Obs.Histo.sum;
   Alcotest.(check (float 0.0)) "min unpoisoned" 0.5 s.Obs.Histo.min;
   Alcotest.(check (float 0.0)) "max unpoisoned" 0.5 s.Obs.Histo.max;
-  Alcotest.(check (float 1e-9)) "mean over all samples" (0.5 /. 3.0)
-    (Obs.Histo.mean h)
+  Alcotest.(check (float 1e-9)) "mean over finite samples only" 0.5
+    (Obs.Histo.mean h);
+  Alcotest.(check (float 0.0)) "p50 undiluted by NaNs" 0.5
+    (Obs.Histo.quantile s 0.50)
 
 let test_histogram_semantics () =
   let h = Obs.Histo.create ~buckets:[| 1.0; 10.0; 100.0 |] () in
@@ -131,6 +136,68 @@ let test_histogram_quantiles () =
     (s.Obs.Histo.p50 <= s.Obs.Histo.p95 && s.Obs.Histo.p95 <= s.Obs.Histo.p99);
   Alcotest.(check bool) "clamped to observed range" true
     (s.Obs.Histo.p99 <= s.Obs.Histo.s_max)
+
+(* Degenerate histograms must yield well-defined quantiles — not NaN
+   or interpolation garbage: empty -> 0, a single observation (or any
+   min = max collapse) -> that value. *)
+let test_histogram_quantile_edges () =
+  let empty = Obs.Histo.snapshot (Obs.Histo.create ~buckets:[| 1.0; 10.0 |] ()) in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "empty p%.0f is 0" (q *. 100.))
+        0.0
+        (Obs.Histo.quantile empty q))
+    [ 0.5; 0.95; 0.99 ];
+  let h = Obs.Histo.create ~buckets:[| 1.0; 10.0 |] () in
+  Obs.Histo.observe h 7.25;
+  let s = Obs.Histo.snapshot h in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "single observation p%.0f is the value" (q *. 100.))
+        7.25
+        (Obs.Histo.quantile s q))
+    [ 0.5; 0.95; 0.99 ];
+  Alcotest.(check bool) "NaN rank propagates NaN" true
+    (Float.is_nan (Obs.Histo.quantile s nan))
+
+let test_histogram_merge () =
+  let bounds = [| 1.0; 10.0; 100.0 |] in
+  let a = Obs.Histo.create ~buckets:bounds () in
+  let b = Obs.Histo.create ~buckets:bounds () in
+  List.iter (Obs.Histo.observe a) [ 0.5; 5.0; nan ];
+  List.iter (Obs.Histo.observe b) [ 50.0; 5000.0 ];
+  Obs.Histo.merge a b;
+  let s = Obs.Histo.snapshot a in
+  Alcotest.(check int) "counts sum (finite only)" 4 s.Obs.Histo.count;
+  Alcotest.(check int) "nans sum" 1 s.Obs.Histo.nans;
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "buckets sum bucket-wise"
+    [ (1.0, 1); (10.0, 1); (100.0, 1) ]
+    s.Obs.Histo.buckets;
+  Alcotest.(check int) "overflow sums" 1 s.Obs.Histo.overflow;
+  Alcotest.(check (float 1e-9)) "sum adds" 5055.5 s.Obs.Histo.sum;
+  Alcotest.(check (float 0.0)) "min is the joint min" 0.5 s.Obs.Histo.min;
+  Alcotest.(check (float 0.0)) "max is the joint max" 5000.0 s.Obs.Histo.max;
+  Alcotest.(check bool) "post-merge quantile is finite" true
+    (Float.is_finite (Obs.Histo.quantile s 0.95));
+  (* Merging an empty histogram must not poison min/max with its NaN
+     sentinels. *)
+  let c = Obs.Histo.create ~buckets:bounds () in
+  Obs.Histo.merge a c;
+  let s = Obs.Histo.snapshot a in
+  Alcotest.(check (float 0.0)) "empty merge keeps min" 0.5 s.Obs.Histo.min;
+  Alcotest.(check (float 0.0)) "empty merge keeps max" 5000.0 s.Obs.Histo.max;
+  (* And merging INTO a fresh histogram adopts the source's extrema. *)
+  let d = Obs.Histo.create ~buckets:bounds () in
+  Obs.Histo.merge d a;
+  let s = Obs.Histo.snapshot d in
+  Alcotest.(check (float 0.0)) "fresh dst adopts min" 0.5 s.Obs.Histo.min;
+  Alcotest.(check (float 0.0)) "fresh dst adopts max" 5000.0 s.Obs.Histo.max;
+  match Obs.Histo.merge a (Obs.Histo.create ~buckets:[| 2.0 |] ()) with
+  | () -> Alcotest.fail "bucket-bounds mismatch must be rejected"
+  | exception Invalid_argument _ -> ()
 
 (* ---- Labeled series ----------------------------------------------------- *)
 
@@ -323,7 +390,7 @@ let test_two_runs_equal_one_run () =
     ignore
       (Experiments.Faults.run ~seed:42 ~scenarios:[ Experiments.Faults.Crash ]
          ~protocols:[ Experiments.Faults.P_hbh ] ());
-    Obs.Metrics.snapshot Obs.Metrics.default
+    Obs.Metrics.snapshot (Obs.Metrics.default ())
   in
   let once = run () in
   let twice = run () in
@@ -446,7 +513,7 @@ let count_kind trace pred =
   List.length (List.filter (fun (e : Obs.Event.t) -> pred e.kind) (Obs.Trace.events trace))
 
 let test_hbh_isp_run_reports () =
-  Obs.Metrics.reset Obs.Metrics.default;
+  Obs.Metrics.reset (Obs.Metrics.default ());
   let g = Topology.Isp.create () in
   let rng = Stats.Rng.create 7 in
   Workload.Scenario.randomize rng g;
@@ -466,7 +533,7 @@ let test_hbh_isp_run_reports () =
   let trees = count_kind trace (function Obs.Event.Tree _ -> true | _ -> false) in
   Alcotest.(check bool) "join events recorded" true (joins > 0);
   Alcotest.(check bool) "tree events recorded" true (trees > 0);
-  let snap = Obs.Metrics.snapshot Obs.Metrics.default in
+  let snap = Obs.Metrics.snapshot (Obs.Metrics.default ()) in
   let counter name =
     match Obs.Metrics.find_counter snap name with
     | Some n -> n
@@ -495,6 +562,9 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram_semantics;
           Alcotest.test_case "histogram NaN" `Quick test_histogram_nan_quarantined;
           Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "histogram quantile edge cases" `Quick
+            test_histogram_quantile_edges;
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
           Alcotest.test_case "two runs equal one run" `Quick
             test_two_runs_equal_one_run;
         ] );
