@@ -851,6 +851,168 @@ let soak_cmd =
         (const run $ seed_arg $ hours $ protocols_arg $ timeline_ndjson
        $ openmetrics))
 
+let churn_cmd =
+  let doc =
+    "Multi-channel churn on a generated internet-scale topology: one \
+     network and one channel multiplexer carry $(b,--channels) concurrent \
+     channels with Zipf popularity and per-channel Poisson membership \
+     churn; sampled channels are probed through the live data plane and \
+     compared against freshly re-optimized analytic trees (tree-cost and \
+     delay degradation), for each protocol at normal and 10x-stretched \
+     control periods.  Deterministic in $(b,--seed): $(b,--jobs) never \
+     changes a byte of output."
+  in
+  let channels =
+    let doc = "Concurrent channels sharing the multiplexer." in
+    Arg.(value & opt int 1000 & info [ "channels" ] ~docv:"N" ~doc)
+  in
+  let routers =
+    let doc = "Router count of the generated topology (one host each)." in
+    Arg.(value & opt int 5000 & info [ "routers" ] ~docv:"N" ~doc)
+  in
+  let gen =
+    let doc = "Topology generator: $(b,power-law) or $(b,as-hierarchy)." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("power-law", Experiments.Churn.Power_law);
+               ("as-hierarchy", Experiments.Churn.As_hierarchy);
+             ])
+          Experiments.Churn.Power_law
+      & info [ "gen" ] ~docv:"G" ~doc)
+  in
+  let rate =
+    let doc = "Aggregate join rate over all channels (joins per time unit)." in
+    Arg.(value & opt float 0.5 & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let hold =
+    let doc = "Mean membership hold time (exponential)." in
+    Arg.(value & opt float 300.0 & info [ "hold" ] ~docv:"T" ~doc)
+  in
+  let horizon =
+    let doc = "Churn horizon in simulated time units." in
+    Arg.(value & opt float 2000.0 & info [ "horizon" ] ~docv:"T" ~doc)
+  in
+  let sample_every =
+    let doc = "Interval between degradation sample points." in
+    Arg.(value & opt float 500.0 & info [ "sample-every" ] ~docv:"DT" ~doc)
+  in
+  let arm =
+    let doc =
+      "Run a single arm ($(b,normal) or $(b,stretched)) instead of both."
+    in
+    Arg.(
+      value
+      & opt (some (enum [ ("normal", false); ("stretched", true) ])) None
+      & info [ "arm" ] ~docv:"A" ~doc)
+  in
+  let json =
+    let doc = "Write the outcomes as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_json =
+    let doc = "Write the metrics registry snapshot as JSON to $(docv)." in
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+  in
+  let openmetrics =
+    let doc =
+      "Write the metrics registry in OpenMetrics text format to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "openmetrics" ] ~docv:"FILE" ~doc)
+  in
+  let run seed jobs protocols channels routers gen rate hold horizon
+      sample_every arm json metrics_json openmetrics =
+    check_jobs jobs;
+    if channels < 1 then
+      `Error (false, "churn: --channels must be >= 1")
+    else if routers < 16 then
+      `Error (false, "churn: --routers must be >= 16")
+    else if (not (Float.is_finite rate)) || rate <= 0.0 then
+      `Error (false, "churn: --rate must be a positive join rate")
+    else if (not (Float.is_finite hold)) || hold <= 0.0 then
+      `Error (false, "churn: --hold must be a positive mean hold time")
+    else if (not (Float.is_finite horizon)) || horizon <= 0.0 then
+      `Error (false, "churn: --horizon must be a positive duration")
+    else if (not (Float.is_finite sample_every)) || sample_every <= 0.0 then
+      `Error (false, "churn: --sample-every must be a positive interval")
+    else begin
+      let protocols =
+        match protocols with [] -> Experiments.Faults.all_protos | ps -> ps
+      in
+      let arms = match arm with None -> [ false; true ] | Some a -> [ a ] in
+      let params =
+        {
+          Experiments.Churn.default_params with
+          gen;
+          routers;
+          channels;
+          rate;
+          mean_hold = hold;
+          horizon;
+          sample_every;
+        }
+      in
+      let outcomes =
+        Experiments.Churn.run ~protocols ~arms ~params ~jobs ~seed ()
+      in
+      Format.printf
+        "churn: %d channels on a %d-router %s topology, aggregate rate %g, \
+         seed %d@.@."
+        channels routers
+        (Experiments.Churn.gen_name gen)
+        rate seed;
+      Experiments.Churn.pp_outcomes Format.std_formatter outcomes;
+      List.iter
+        (fun (o : Experiments.Churn.outcome) ->
+          Format.printf
+            "%s/%s: %d control hops, %d per-channel series%s@."
+            (Experiments.Faults.proto_name o.Experiments.Churn.o_proto)
+            (Experiments.Churn.arm_name o.Experiments.Churn.o_stretched)
+            o.Experiments.Churn.o_control_hops
+            o.Experiments.Churn.o_hot_series
+            (if o.Experiments.Churn.o_spilled then " (tail in _other)" else ""))
+        outcomes;
+      (match json with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc
+            (Obs.Json.to_string (Experiments.Churn.to_json outcomes));
+          output_char oc '\n';
+          close_out oc;
+          Format.eprintf "outcomes written to %s@." file);
+      (match openmetrics with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (Obs.Openmetrics.of_metrics (Obs.Metrics.default ()));
+          close_out oc;
+          Format.eprintf "openmetrics written to %s@." file);
+      (match metrics_json with
+      | None -> ()
+      | Some file ->
+          let snap = Obs.Metrics.snapshot (Obs.Metrics.default ()) in
+          let oc = open_out file in
+          output_string oc
+            (Obs.Json.to_string (Obs.Metrics.snapshot_to_json snap));
+          output_char oc '\n';
+          close_out oc;
+          Format.eprintf "metrics snapshot written to %s@." file);
+      `Ok ()
+    end
+  in
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(
+      ret
+        (const run $ seed_arg $ jobs_arg $ protocols_arg $ channels $ routers
+       $ gen $ rate $ hold $ horizon $ sample_every $ arm $ json
+       $ metrics_json $ openmetrics))
+
 let report_cmd =
   let doc =
     "Render the convergence report as markdown: the fault-recovery table, \
@@ -1062,6 +1224,10 @@ let print_usage () =
      [--protocol %s] [--metrics-json FILE]\n\
     \       hbh_sim faults [--jobs N] [--timeline[=DT]] [--timeline-ndjson \
      FILE] [--monitor] [--openmetrics FILE] [--scenario S]\n\
+    \       hbh_sim churn [--channels N] [--routers N] [--gen \
+     power-law|as-hierarchy] [--rate R] [--hold T] [--horizon T] \
+     [--sample-every DT] [--arm normal|stretched] [--protocol P] [--seed N] \
+     [--jobs N] [--json FILE] [--metrics-json FILE] [--openmetrics FILE]\n\
     \       hbh_sim soak [--hours H] [--timeline-ndjson FILE] \
      [--openmetrics FILE] [--protocol P] [--seed N]\n\
     \       hbh_sim report [--out FILE] [--interval DT] [--seed N]\n\
@@ -1095,6 +1261,7 @@ let () =
         asymmetry_cmd;
         validate_cmd;
         faults_cmd;
+        churn_cmd;
         soak_cmd;
         report_cmd;
         verify_cmd;

@@ -449,6 +449,9 @@ let create ?config ?trace ?channel table ~source =
 let create_on ?config ?channel network ~source =
   S.create_on ?config ?channel hooks network ~source
 
+let create_mux ?config ?channel mx ~source =
+  S.create_mux ?config ?channel hooks mx ~source
+
 let state t =
   S.metrics_state t ~tables:(S.state t).router_tables ~sweep:Tables.sweep
     ~mct_count:Tables.mct_count ~mft_count:Tables.mft_entry_count

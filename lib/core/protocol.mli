@@ -52,6 +52,24 @@ val create_on :
     channels' traffic untouched — several sources can multicast
     concurrently, the EXPRESS "M-to-N as M channels" model. *)
 
+(** {1 Channel multiplexing}
+
+    One shared dispatcher/delivery hook/timer wheel per network,
+    O(1) per packet-hop however many channels ride it — the scale
+    path for multi-channel workloads.  [create]/[create_on] build a
+    private mux per session (the classic O(k) shape). *)
+
+type mux
+
+val mux : Messages.t Netsim.Network.t -> mux
+
+val mux_network : mux -> Messages.t Netsim.Network.t
+
+val create_mux :
+  ?config:config -> ?channel:Mcast.Channel.t -> mux -> source:int -> t
+(** Attach one more channel to a shared multiplexer.  Sessions sharing
+    a mux must snapshot/restore together. *)
+
 val engine : t -> Eventsim.Engine.t
 val network : t -> Messages.t Netsim.Network.t
 val channel : t -> Mcast.Channel.t

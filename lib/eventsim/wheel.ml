@@ -1,0 +1,147 @@
+(* A deadline-coalescing timer wheel: entries that expire at the same
+   instant share one engine event.  Merging is deliberately restricted
+   to buckets *born in the current engine instant*: two arms from the
+   same instant are provably adjacent in the engine's tie-break order
+   (anything scheduled between them is a message send whose delay is
+   shorter than any timer period, so it lands before the shared
+   deadline), which makes a coalesced bucket fire its members in
+   exactly the order separate [Timer.every] chains would.  An arm that
+   finds only a bucket created at an earlier instant schedules its own
+   event — foreign events could have claimed sequence numbers in
+   between, and joining the old bucket would reorder against them. *)
+
+type entry = {
+  wheel : t;
+  period : float;
+  action : unit -> unit;
+  mutable active : bool;
+  mutable in_bucket : bucket option; (* pending bucket holding us *)
+}
+
+and bucket = {
+  b_deadline : float;
+  b_birth : float; (* engine clock when the bucket was created *)
+  mutable b_handle : Engine.handle option; (* Some once scheduled *)
+  mutable b_entries : entry list; (* reverse insertion order *)
+}
+
+and t = {
+  engine : Engine.t;
+  tag : string option;
+  (* Deadline -> pending buckets, most recently born first.  Distinct
+     buckets can share a deadline (arms from different instants). *)
+  buckets : (float, bucket list) Hashtbl.t;
+}
+
+let create ?tag engine = { engine; tag; buckets = Hashtbl.create 64 }
+let engine t = t.engine
+
+let detach w b =
+  match Hashtbl.find_opt w.buckets b.b_deadline with
+  | None -> ()
+  | Some bl -> (
+      match List.filter (fun b' -> b' != b) bl with
+      | [] -> Hashtbl.remove w.buckets b.b_deadline
+      | bl' -> Hashtbl.replace w.buckets b.b_deadline bl')
+
+(* Fire detaches the bucket before running actions: an entry stopped
+   by a sibling in the same bucket is skipped via its [active] flag,
+   and a same-instant re-arm at this very deadline starts a fresh
+   bucket (firing after everything already pending, like the fresh
+   engine event it replaces).  Each entry rearms immediately after its
+   own action so fresh buckets claim sequence numbers exactly where
+   per-timer rearms would. *)
+let rec fire w b =
+  detach w b;
+  List.iter
+    (fun e ->
+      if e.active then begin
+        e.in_bucket <- None;
+        e.action ();
+        if e.active then insert e (b.b_deadline +. e.period)
+      end)
+    (List.rev b.b_entries)
+
+and insert e deadline =
+  let w = e.wheel in
+  let now = Engine.now w.engine in
+  let merged =
+    match Hashtbl.find_opt w.buckets deadline with
+    | Some (b :: _) when b.b_birth = now ->
+        b.b_entries <- e :: b.b_entries;
+        e.in_bucket <- Some b;
+        true
+    | _ -> false
+  in
+  if not merged then begin
+    let b =
+      { b_deadline = deadline; b_birth = now; b_handle = None; b_entries = [ e ] }
+    in
+    b.b_handle <-
+      Some
+        (Engine.schedule_at ?tag:w.tag w.engine ~time:deadline (fun () ->
+             fire w b));
+    Hashtbl.replace w.buckets deadline
+      (b
+      ::
+      (match Hashtbl.find_opt w.buckets deadline with
+      | Some bl -> bl
+      | None -> []));
+    e.in_bucket <- Some b
+  end
+
+let every w ?start ~period f =
+  if period <= 0.0 then invalid_arg "Wheel.every: period must be positive";
+  let start = match start with Some s -> s | None -> period in
+  let e = { wheel = w; period; action = f; active = true; in_bucket = None } in
+  insert e (Engine.now w.engine +. start);
+  e
+
+let stop e =
+  if e.active then begin
+    e.active <- false;
+    match e.in_bucket with
+    | None -> () (* mid-fire: detached already, the flag suffices *)
+    | Some b ->
+        e.in_bucket <- None;
+        b.b_entries <- List.filter (fun e' -> e' != e) b.b_entries;
+        if b.b_entries = [] then begin
+          (match b.b_handle with Some h -> Engine.cancel h | None -> ());
+          detach e.wheel b
+        end
+  end
+
+let active e = e.active
+
+(* Snapshot captures every pending bucket with its member list.
+   [restore] runs after the owning [Engine.restore] has resurrected
+   the buckets' queued events in place (their fire closures reference
+   the bucket records directly); re-marking saved members active and
+   resetting the member lists undoes any post-snapshot [stop] or
+   re-arm.  Entries stopped before the snapshot appear in no saved
+   bucket and stay inactive.  Not meaningful mid-callback. *)
+type snap = (float * (bucket * entry list) list) list
+
+let save w =
+  Hashtbl.fold
+    (fun d bl acc -> (d, List.map (fun b -> (b, b.b_entries)) bl) :: acc)
+    w.buckets []
+
+let restore w s =
+  Hashtbl.reset w.buckets;
+  List.iter
+    (fun (d, bl) ->
+      let buckets =
+        List.map
+          (fun (b, entries) ->
+            b.b_entries <- entries;
+            List.iter
+              (fun e ->
+                e.active <- true;
+                e.in_bucket <- Some b)
+              entries;
+            b)
+          bl
+      in
+      Hashtbl.replace w.buckets d buckets)
+    s

@@ -1,0 +1,55 @@
+(** A deadline-coalescing timer wheel.
+
+    [Timer.every] costs one engine event per timer per period; a
+    runtime hosting k channels' tick/sweep/join timers would keep
+    O(k) events in flight for each shared period.  A wheel groups all
+    entries expiring at the same instant into one bucket backed by a
+    single engine event, firing members in insertion order.
+
+    Determinism contract: an entry's deadline sequence ([now +. start],
+    then [d +. period] from each fire instant [d]) is bit-identical to
+    the equivalent [Timer.every] chain, and entries only share a
+    bucket when they were armed in the same engine instant — the case
+    where separate timers are provably adjacent in the engine's
+    same-time tie-break (any event scheduled between their arms is a
+    message whose delay is shorter than every timer period, so it
+    lands before the shared deadline).  Firing a bucket therefore
+    runs its members exactly when and in the order the standalone
+    timers would have.  [stop] cancels the backing event when a
+    bucket empties; a stopped entry never causes a no-op engine
+    fire. *)
+
+type t
+(** A wheel bound to one engine (and one optional profiling tag). *)
+
+type entry
+(** A periodic member of a wheel. *)
+
+val create : ?tag:string -> Engine.t -> t
+
+val engine : t -> Engine.t
+
+val every : t -> ?start:float -> period:float -> (unit -> unit) -> entry
+(** [every w ~start ~period f] runs [f] at [now +. start] and every
+    [period] after each firing.  [start] defaults to [period].
+    Raises [Invalid_argument] if [period <= 0]. *)
+
+val stop : entry -> unit
+(** Removes the entry from its pending bucket; if the bucket empties,
+    cancels the backing engine event.  Idempotent.  Safe to call from
+    within any wheel action, including the entry's own. *)
+
+val active : entry -> bool
+
+(** {1 Snapshot / restore}
+
+    A wheel's mutable footprint, for coordinated rollback with
+    {!Engine.snapshot}/{!Engine.restore}: restore the engine first
+    (resurrecting the buckets' pending events in place), then the
+    wheel.  Entries created after [save] are dropped; entries stopped
+    after [save] become active again. *)
+
+type snap
+
+val save : t -> snap
+val restore : t -> snap -> unit

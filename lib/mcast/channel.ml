@@ -20,6 +20,13 @@ let fresh ~source =
 let source t = t.source
 let group t = t.group
 
+(* Node ids are small non-negative ints and group addresses live in
+   232/8, so packing [source] above the 32 group bits is injective and
+   fits a 63-bit OCaml int.  [Int32.to_int] can sign-extend; the mask
+   normalises to the raw 32-bit pattern.  Allocation-free. *)
+let key t =
+  (t.source lsl 32) lor (Int32.to_int (Class_d.to_int32 t.group) land 0xFFFFFFFF)
+
 let equal a b = a.source = b.source && Class_d.equal a.group b.group
 
 let compare a b =

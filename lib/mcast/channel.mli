@@ -14,6 +14,12 @@ val fresh : source:int -> t
 
 val source : t -> int
 val group : t -> Class_d.t
+
+val key : t -> int
+(** Flat integer key: [source] packed above the 32 group-address bits.
+    Injective for node ids < 2^30, allocation-free — the dispatch key
+    of the channel multiplexer ({!Proto.Mux}). *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int

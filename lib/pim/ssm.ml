@@ -202,6 +202,9 @@ let create ?config ?trace ?channel table ~source =
 let create_on ?config ?channel network ~source =
   S.create_on ?config ?channel hooks network ~source
 
+let create_mux ?config ?channel mx ~source =
+  S.create_mux ?config ?channel hooks mx ~source
+
 let state_size t = hooks.S.state_size t
 let debug_oifs t n = live_oifs t n
 

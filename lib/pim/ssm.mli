@@ -54,6 +54,24 @@ val create_on :
 (** Run over an existing network (shared engine and forwarding
     plane); handlers are chained behind those already installed. *)
 
+(** {1 Channel multiplexing}
+
+    One shared dispatcher/delivery hook/timer wheel per network,
+    O(1) per packet-hop however many channels ride it — the scale
+    path for multi-channel workloads.  [create]/[create_on] build a
+    private mux per session (the classic O(k) shape). *)
+
+type mux
+
+val mux : msg Netsim.Network.t -> mux
+
+val mux_network : mux -> msg Netsim.Network.t
+
+val create_mux :
+  ?config:config -> ?channel:Mcast.Channel.t -> mux -> source:int -> t
+(** Attach one more channel to a shared multiplexer.  Sessions sharing
+    a mux must snapshot/restore together. *)
+
 val engine : t -> Eventsim.Engine.t
 val network : t -> msg Netsim.Network.t
 val channel : t -> Mcast.Channel.t

@@ -1,7 +1,7 @@
 module Net = Netsim.Network
 module Pkt = Netsim.Packet
 module Engine = Eventsim.Engine
-module Timer = Eventsim.Timer
+module Wheel = Eventsim.Wheel
 
 module type PROTOCOL = sig
   val name : string
@@ -57,6 +57,7 @@ module Make (P : PROTOCOL) = struct
     config : P.config;
     engine : Engine.t;
     network : P.msg Net.t;
+    mux : P.msg Mux.t;
     graph : Topology.Graph.t;
     channel : Mcast.Channel.t;
     ochan : Obs.Event.channel;
@@ -64,7 +65,7 @@ module Make (P : PROTOCOL) = struct
     mutable state : P.state;
     hooks : hooks;
     mutable members : int list;
-    member_timers : (int, Timer.t) Hashtbl.t;
+    member_timers : (int, Wheel.entry) Hashtbl.t;
     member_handler_installed : (int, unit) Hashtbl.t;
     mutable data_seq : int;
     (* Generation counter over the unicast routing: bumped on every
@@ -150,16 +151,23 @@ module Make (P : PROTOCOL) = struct
     meter t ~from payload;
     Net.originate t.network ~src:from ~dst ~kind payload
 
-  (* Foreign channels fall through to the next chained handler before
-     the protocol sees the packet — how several channels (or several
-     protocols) share one network. *)
-  let own_channel t (h : handler) : P.msg Net.handler =
-   fun _net n p ->
-    if Mcast.Channel.equal (P.channel_of p.Pkt.payload) t.channel then h t n p
-    else Net.Forward
+  (* The session rides a channel multiplexer: one shared per-node
+     handler, delivery hook and timer wheel for every session on the
+     network, dispatching O(1) by flat channel key.  Foreign channels
+     never reach the protocol hooks — the mux pre-filters, so hooks
+     need no channel guards. *)
+  type mux = P.msg Mux.t
 
-  let attach ~config ~hooks ~network ~channel ~source =
+  let mux network =
+    Mux.create ~tag:(tag "timers")
+      ~key_of:(fun m -> Mcast.Channel.key (P.channel_of m))
+      network
+
+  let mux_network = Mux.network
+
+  let attach ~config ~hooks ~mux:mx ~channel ~source =
     P.validate config;
+    let network = Mux.network mx in
     let engine = Net.engine network in
     let graph = Net.graph network in
     let t =
@@ -167,6 +175,7 @@ module Make (P : PROTOCOL) = struct
         config;
         engine;
         network;
+        mux = mx;
         graph;
         channel;
         ochan =
@@ -185,61 +194,87 @@ module Make (P : PROTOCOL) = struct
         spans = Obs.Span.create ();
       }
     in
-    (* Agents on every multicast-capable router (the source gets its
-       own agent even when it is a router); chaining lets several
-       sessions share one network. *)
+    (* The session's port in the mux: role-based per-hop dispatch
+       (the mux only hands us our own channel's packets at covered
+       nodes), the join-latency delivery probe, and the crash-wipe /
+       route-epoch listeners — each installed once per network by the
+       mux, not once per session. *)
+    let handle node p =
+      if node = t.source then hooks.source_agent t node p
+      else if Topology.Graph.is_router graph node then
+        if Topology.Graph.multicast_capable graph node then
+          hooks.router t node p
+        else Net.Forward
+      else
+        match hooks.member_agent with
+        | Some h when Hashtbl.mem t.member_handler_installed node -> h t node p
+        | _ -> Net.Forward
+    in
+    let port =
+      {
+        Mux.p_handle = handle;
+        (* Close a member's open join span on its first data delivery
+           for this channel — the span only exists when the member
+           subscribed while the stream was already live, so the
+           duration is the paper's join latency (subscribe -> first
+           packet heard). *)
+        p_deliver =
+          (fun ~now ~node p ->
+            if
+              Obs.Span.open_count t.spans > 0
+              && P.kind_of p.Pkt.payload = Messages.Data_msg
+            then
+              match Obs.Span.finish t.spans join_span ~key:node ~now with
+              | Some d -> Obs.Metrics.hot_observe h_join_latency d
+              | None -> ());
+        (* A crash wipes the node's volatile soft state; recovery then
+           happens purely through the periodic join/refresh cycle.
+           The dispatcher stays chained (the network skips handlers of
+           down nodes), so a restarted node resumes as a blank
+           slate. *)
+        p_node_event =
+          (fun ~up n ->
+            if not up then begin
+              Obs.Metrics.hot_incr m_crash_wipes;
+              hooks.crash_wipe t n;
+              notef t ~node:n "crash: %s state wiped" P.label
+            end);
+        (* Unicast reconvergence needs no generic protocol action —
+           every forwarding decision re-reads the routing table — but
+           sessions account for it, and a reconvergence that really
+           moved a next hop opens a new route epoch (a no-op
+           recomputation must not: entries would lose their validation
+           for no topological reason). *)
+        p_route_change =
+          (fun ~changed ->
+            Obs.Metrics.hot_incr m_route_changes;
+            if changed > 0 then t.route_epoch <- t.route_epoch + 1);
+      }
+    in
+    Mux.register mx ~key:(Mcast.Channel.key channel) port;
+    (* Dispatcher coverage mirrors the old chaining set: every
+       multicast-capable router plus the source (which gets its agent
+       even when it is a router); member hosts are covered on first
+       subscribe. *)
     List.iter
       (fun r ->
         if r <> source && Topology.Graph.multicast_capable graph r then
-          Net.chain network r (own_channel t hooks.router))
+          Mux.cover mx r)
       (Topology.Graph.routers graph);
-    Net.chain network source (own_channel t hooks.source_agent);
+    Mux.cover mx source;
     (* Periodic control cycle, then the soft-state sweep: both on the
        control period, tick first so a cycle's refreshes land before
-       the expiry pass at the same instant. *)
+       the expiry pass at the same instant (wheel buckets fire in
+       insertion order). *)
     let period = P.control_period config in
+    let wheel = Mux.timers mx in
     (match hooks.tick with
-    | Some f ->
-        ignore
-          (Timer.every ~tag:(tag "tick") engine ~start:period ~period (fun () ->
-               f t))
+    | Some f -> ignore (Wheel.every wheel ~start:period ~period (fun () -> f t))
     | None -> ());
     ignore
-      (Timer.every ~tag:(tag "sweep") engine ~start:period ~period (fun () ->
+      (Wheel.every wheel ~start:period ~period (fun () ->
            hooks.sweep t ~now:(now t);
            Obs.Metrics.hot_set g_state (float_of_int (hooks.state_size t))));
-    (* A crash wipes the node's volatile soft state; recovery then
-       happens purely through the periodic join/refresh cycle.  The
-       agent stays chained (the network skips handlers of down
-       nodes), so a restarted node resumes as a blank slate. *)
-    Net.on_node_event network (fun ~up n ->
-        if not up then begin
-          Obs.Metrics.hot_incr m_crash_wipes;
-          hooks.crash_wipe t n;
-          notef t ~node:n "crash: %s state wiped" P.label
-        end);
-    (* Unicast reconvergence needs no generic protocol action — every
-       forwarding decision re-reads the routing table — but sessions
-       account for it, and a reconvergence that really moved a next
-       hop opens a new route epoch (a no-op recomputation must not:
-       entries would lose their validation for no topological
-       reason). *)
-    Net.on_route_change network (fun ~changed ->
-        Obs.Metrics.hot_incr m_route_changes;
-        if changed > 0 then t.route_epoch <- t.route_epoch + 1);
-    (* Close a member's open join span on its first data delivery for
-       this channel — the span only exists when the member subscribed
-       while the stream was already live, so the duration is the
-       paper's join latency (subscribe -> first packet heard). *)
-    Net.on_delivery network (fun ~now ~node p ->
-        if
-          Obs.Span.open_count t.spans > 0
-          && P.kind_of p.Pkt.payload = Messages.Data_msg
-          && Mcast.Channel.equal (P.channel_of p.Pkt.payload) t.channel
-        then
-          match Obs.Span.finish t.spans join_span ~key:node ~now with
-          | Some d -> Obs.Metrics.hot_observe h_join_latency d
-          | None -> ());
     t
 
   let fresh_channel ~source = function
@@ -249,12 +284,17 @@ module Make (P : PROTOCOL) = struct
   let create ?(config = P.default_config) ?trace ?channel hooks table ~source =
     let engine = Engine.create () in
     let network = Net.create ?trace engine table in
-    attach ~config ~hooks ~network
+    attach ~config ~hooks ~mux:(mux network)
       ~channel:(fresh_channel ~source channel)
       ~source
 
   let create_on ?(config = P.default_config) ?channel hooks network ~source =
-    attach ~config ~hooks ~network
+    attach ~config ~hooks ~mux:(mux network)
+      ~channel:(fresh_channel ~source channel)
+      ~source
+
+  let create_mux ?(config = P.default_config) ?channel hooks mx ~source =
+    attach ~config ~hooks ~mux:mx
       ~channel:(fresh_channel ~source channel)
       ~source
 
@@ -263,15 +303,15 @@ module Make (P : PROTOCOL) = struct
       invalid_arg (Printf.sprintf "%s.subscribe: the source cannot join" P.label);
     if not (List.mem r t.members) then begin
       t.members <- r :: t.members;
-      Net.set_sink t.network r true;
+      Mux.sink_acquire t.mux r;
       (match t.hooks.member_agent with
-      | Some h ->
+      | Some _ ->
           if
             Topology.Graph.is_host t.graph r
             && not (Hashtbl.mem t.member_handler_installed r)
           then begin
             Hashtbl.replace t.member_handler_installed r ();
-            Net.chain t.network r (own_channel t h)
+            Mux.cover t.mux r
           end
       | None -> ());
       if trace_active t then ev t ~node:r Obs.Event.Member_join;
@@ -280,12 +320,12 @@ module Make (P : PROTOCOL) = struct
          time-to-first-send. *)
       if t.data_seq > 0 then Obs.Span.start t.spans join_span ~key:r ~now:(now t);
       t.hooks.on_subscribe t r;
-      let timer =
-        Timer.every ~tag:(tag "join") t.engine ~start:0.0
+      let entry =
+        Wheel.every (Mux.timers t.mux) ~start:0.0
           ~period:(P.join_period t.config) (fun () ->
             t.hooks.join_tick t ~member:r)
       in
-      Hashtbl.replace t.member_timers r timer
+      Hashtbl.replace t.member_timers r entry
     end
 
   let unsubscribe t r =
@@ -294,14 +334,15 @@ module Make (P : PROTOCOL) = struct
       ignore (Obs.Span.drop t.spans join_span ~key:r);
       t.members <- List.filter (fun m -> m <> r) t.members;
       (match Hashtbl.find_opt t.member_timers r with
-      | Some timer ->
-          Timer.stop timer;
+      | Some entry ->
+          Wheel.stop entry;
           Hashtbl.remove t.member_timers r
       | None -> ());
       t.hooks.on_unsubscribe t r;
-      (* Any chained member agent stays installed; with the member
-         gone it forwards everything, so it is inert. *)
-      Net.set_sink t.network r false
+      (* The member-agent install mark stays set (the dispatcher stays
+         chained); with the member gone the agent forwards everything,
+         so it is inert. *)
+      Mux.sink_release t.mux r
     end
 
   let run_for t d = Engine.run ~until:(now t +. d) t.engine
@@ -362,17 +403,19 @@ module Make (P : PROTOCOL) = struct
   (* Everything mutable the session owns on top of the network: the
      protocol state (deep-copied — every hook body reads it through
      [state t] at call time, so reassigning the field redirects them
-     all), membership, the per-member join timers (whose pending
-     engine events the network snapshot already holds — saving each
-     timer's handle keeps a post-restore [unsubscribe] cancelling
-     exactly the right event), and the member-agent install set. *)
+     all), membership, the per-member join-timer entries (the mux
+     state restores the wheel buckets whose pending engine events the
+     network snapshot already holds, so a post-restore [unsubscribe]
+     detaches exactly the right entry), the mux's cover/sink/wheel
+     state, and the member-agent install set. *)
   type snapshot = {
     s_state : P.state;
     s_members : int list;
     s_data_seq : int;
     s_route_epoch : int;
     s_net : P.msg Net.snapshot;
-    s_timers : (int * Timer.t * Timer.snap) list;
+    s_timers : (int * Wheel.entry) list;
+    s_mux : Mux.state;
     s_agents : int list;
   }
 
@@ -383,10 +426,8 @@ module Make (P : PROTOCOL) = struct
       s_data_seq = t.data_seq;
       s_route_epoch = t.route_epoch;
       s_net = Net.snapshot t.network;
-      s_timers =
-        Hashtbl.fold
-          (fun m tm acc -> (m, tm, Timer.save tm) :: acc)
-          t.member_timers [];
+      s_timers = Hashtbl.fold (fun m e acc -> (m, e) :: acc) t.member_timers [];
+      s_mux = Mux.save_state t.mux;
       s_agents =
         Hashtbl.fold (fun m () acc -> m :: acc) t.member_handler_installed [];
     }
@@ -395,6 +436,9 @@ module Make (P : PROTOCOL) = struct
     (* In-flight spans refer to the timeline being discarded. *)
     ignore (Obs.Span.drop_all_open t.spans);
     Net.restore t.network s.s_net;
+    (* The engine is back; now rewind the wheel/cover/sink state built
+       on it. *)
+    Mux.restore_state t.mux s.s_mux;
     (* Copy again on the way out so one snapshot restores any number
        of times without the live run mutating it. *)
     t.state <- P.copy_state s.s_state;
@@ -402,11 +446,7 @@ module Make (P : PROTOCOL) = struct
     t.data_seq <- s.s_data_seq;
     t.route_epoch <- s.s_route_epoch;
     Hashtbl.reset t.member_timers;
-    List.iter
-      (fun (m, tm, snap) ->
-        Timer.restore tm snap;
-        Hashtbl.replace t.member_timers m tm)
-      s.s_timers;
+    List.iter (fun (m, e) -> Hashtbl.replace t.member_timers m e) s.s_timers;
     Hashtbl.reset t.member_handler_installed;
     List.iter
       (fun m -> Hashtbl.replace t.member_handler_installed m ())

@@ -10,11 +10,21 @@
     over its own soft state; the session decides {e when} and
     {e where} they run.
 
-    Ordering is part of the contract — handlers chain in
+    Sessions ride a channel multiplexer ({!Mux}): one shared per-node
+    handler, delivery hook, node-event/route-change listener and timer
+    wheel per network, dispatching O(1) by flat channel key to the
+    session's port.  [create]/[create_on] build a private mux (one
+    session — the classic shape); {!Make.create_mux} attaches to a
+    shared one, so k channels cost one handler per node and one
+    coalesced timer wheel instead of k of each.
+
+    Ordering is part of the contract — the dispatcher covers nodes in
     [Topology.Graph.routers] order with the source last, the control
-    tick fires before the sweep at coincident instants, and listeners
-    register in a fixed sequence — so seeded runs replay bit-identically
-    across protocol ports. *)
+    tick fires before the sweep at coincident instants (wheel buckets
+    fire in insertion order), and listeners register in a fixed
+    sequence — so seeded runs replay bit-identically across protocol
+    ports, and a mux with one channel replays bit-identically to the
+    per-session chain it replaced. *)
 
 module type PROTOCOL = sig
   val name : string
@@ -117,7 +127,27 @@ module Make (P : PROTOCOL) : sig
     source:int ->
     t
   (** Attach a session to an existing network (shared-infrastructure
-      experiments). *)
+      experiments).  Builds a private mux: k sessions attached this
+      way cost O(k) per packet-hop, exactly like the pre-mux chain. *)
+
+  (** {1 Channel multiplexing} *)
+
+  type mux
+  (** A channel multiplexer for this protocol's message type — see
+      {!Mux}. *)
+
+  val mux : P.msg Netsim.Network.t -> mux
+  (** A fresh multiplexer on the network: one dispatcher, one delivery
+      hook, one timer wheel (tagged [proto.<name>.timers]) shared by
+      every session subsequently attached with {!create_mux}. *)
+
+  val mux_network : mux -> P.msg Netsim.Network.t
+
+  val create_mux :
+    ?config:P.config -> ?channel:Mcast.Channel.t -> hooks -> mux -> source:int -> t
+  (** Attach a session to a shared multiplexer: O(1) dispatch per
+      packet-hop regardless of how many channels the mux carries.
+      Sessions sharing a mux must snapshot/restore together. *)
 
   (** {1 Membership} *)
 

@@ -3,9 +3,20 @@ type t = {
   mutable n : int;
   mutable links_rev : (int * int * int * int) list;
   mutable nlinks : int;
+  (* Endpoint-normalised index over links_rev: membership must stay
+     O(1) — generators add O(n) links and probe before every add, so
+     a list scan here turns an n=5k build quadratic. *)
+  link_index : (int * int, unit) Hashtbl.t;
 }
 
-let create () = { kinds_rev = []; n = 0; links_rev = []; nlinks = 0 }
+let create () =
+  {
+    kinds_rev = [];
+    n = 0;
+    links_rev = [];
+    nlinks = 0;
+    link_index = Hashtbl.create 256;
+  }
 
 let add_node b k =
   let id = b.n in
@@ -21,10 +32,8 @@ let check_node b i =
   if i < 0 || i >= b.n then
     invalid_arg (Printf.sprintf "Builder: node %d out of range" i)
 
-let has_link b u v =
-  List.exists
-    (fun (a, c, _, _) -> (a = u && c = v) || (a = v && c = u))
-    b.links_rev
+let link_key u v = if u < v then (u, v) else (v, u)
+let has_link b u v = Hashtbl.mem b.link_index (link_key u v)
 
 let add_raw_link b u v cost cost_back =
   check_node b u;
@@ -32,6 +41,7 @@ let add_raw_link b u v cost cost_back =
   if u = v then invalid_arg "Builder.add_link: self-loop";
   if has_link b u v then
     invalid_arg (Printf.sprintf "Builder.add_link: duplicate link %d-%d" u v);
+  Hashtbl.replace b.link_index (link_key u v) ();
   b.links_rev <- (u, v, cost, cost_back) :: b.links_rev;
   b.nlinks <- b.nlinks + 1
 

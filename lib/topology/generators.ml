@@ -85,6 +85,97 @@ let waxman ?(hosts = true) ?(alpha = 0.25) ?(beta = 0.4) rng ~n =
     ids;
   finish ~hosts b
 
+let power_law ?(hosts = true) ?(m = 2) rng ~n =
+  if m < 1 then invalid_arg "Generators.power_law: need m >= 1";
+  if n <= m then invalid_arg "Generators.power_law: need n > m";
+  let b = Builder.create () in
+  ignore (Builder.add_routers b n);
+  (* Barabási–Albert preferential attachment via the repeated-endpoint
+     trick: the pool holds every link endpoint once, so a uniform draw
+     from it is a degree-proportional draw — O(n * m) for the whole
+     build, no degree bookkeeping. *)
+  let seed = m + 1 in
+  let seed_links = seed * (seed - 1) / 2 in
+  let pool = Array.make (2 * (seed_links + (m * (n - seed)))) 0 in
+  let filled = ref 0 in
+  let push e =
+    pool.(!filled) <- e;
+    incr filled
+  in
+  (* Seed clique of m+1 routers so the first arrival finds m distinct
+     targets. *)
+  for i = 0 to seed - 1 do
+    for j = i + 1 to seed - 1 do
+      Builder.add_link b i j ();
+      push i;
+      push j
+    done
+  done;
+  for v = seed to n - 1 do
+    let picked = ref [] in
+    let k = ref 0 in
+    while !k < m do
+      let u = pool.(Stats.Rng.int rng !filled) in
+      if not (List.mem u !picked) then begin
+        picked := u :: !picked;
+        incr k
+      end
+    done;
+    (* The new node's endpoints enter the pool only after all m draws:
+       its own fresh links must not bias its remaining draws. *)
+    List.iter
+      (fun u ->
+        Builder.add_link b u v ();
+        push u;
+        push v)
+      (List.rev !picked)
+  done;
+  finish ~hosts b
+
+let as_hierarchy ?(hosts = true) ?(core = 8) ?(mids_per_core = 4) rng ~n =
+  if core < 3 then invalid_arg "Generators.as_hierarchy: need core >= 3";
+  if mids_per_core < 1 then
+    invalid_arg "Generators.as_hierarchy: need mids_per_core >= 1";
+  let mids = core * mids_per_core in
+  if n < core + mids + 1 then
+    invalid_arg "Generators.as_hierarchy: n too small for the core/mid tiers";
+  let b = Builder.create () in
+  ignore (Builder.add_routers b n);
+  (* Tier 1 — backbone: ring of core routers plus cross-chords, the
+     transit-core idiom. *)
+  for i = 0 to core - 1 do
+    Builder.add_link b i ((i + 1) mod core) ()
+  done;
+  if core > 3 then
+    for i = 0 to core - 1 do
+      let j = (i + (core / 2)) mod core in
+      if i <> j && not (Builder.has_link b i j) then Builder.add_link b i j ()
+    done;
+  (* Tier 2 — regionals: each multihomes to two distinct core routers,
+     with occasional peering links between regionals. *)
+  for v = core to core + mids - 1 do
+    let c1 = Stats.Rng.int rng core in
+    let c2 = (c1 + 1 + Stats.Rng.int rng (core - 1)) mod core in
+    Builder.add_link b c1 v ();
+    Builder.add_link b c2 v ();
+    if v > core && Stats.Rng.float rng 1.0 < 0.3 then begin
+      let peer = core + Stats.Rng.int rng (v - core) in
+      if not (Builder.has_link b peer v) then Builder.add_link b peer v ()
+    end
+  done;
+  (* Tier 3 — stubs: single-homed to a regional, a fraction
+     dual-homed. *)
+  for v = core + mids to n - 1 do
+    let m1 = core + Stats.Rng.int rng mids in
+    Builder.add_link b m1 v ();
+    if Stats.Rng.float rng 1.0 < 0.3 then begin
+      let m2 = core + Stats.Rng.int rng mids in
+      if m2 <> m1 && not (Builder.has_link b m2 v) then
+        Builder.add_link b m2 v ()
+    end
+  done;
+  finish ~hosts b
+
 let grid ?(hosts = true) ~rows ~cols () =
   if rows < 1 || cols < 1 then invalid_arg "Generators.grid: empty grid";
   let b = Builder.create () in

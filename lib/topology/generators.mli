@@ -31,6 +31,24 @@ val waxman :
     links guarantee connectivity.  Defaults: [alpha = 0.25],
     [beta = 0.4]. *)
 
+val power_law :
+  ?hosts:bool -> ?m:int -> Stats.Rng.t -> n:int -> Graph.t
+(** Barabási–Albert preferential attachment: a seed clique of [m + 1]
+    routers, then each arrival links to [m] distinct
+    degree-proportional targets.  Connected by construction, heavy
+    degree tail (the AS-graph shape), O(n * m) build — meant for the
+    internet-scale workloads (n >= 5000).  Default [m = 2].  Raises
+    [Invalid_argument] unless [n > m >= 1]. *)
+
+val as_hierarchy :
+  ?hosts:bool -> ?core:int -> ?mids_per_core:int -> Stats.Rng.t -> n:int -> Graph.t
+(** Three-tier AS-like hierarchy: a [core] backbone ring with
+    cross-chords, [core * mids_per_core] regionals each multihomed to
+    two core routers (plus sparse peering), and the remaining
+    [n - core * (1 + mids_per_core)] stub routers single- or
+    dual-homed to regionals.  Connected by construction.  Defaults:
+    [core = 8], [mids_per_core = 4]. *)
+
 val grid : ?hosts:bool -> rows:int -> cols:int -> unit -> Graph.t
 (** Rectangular mesh. *)
 

@@ -49,6 +49,34 @@ let poisson rng ~candidates ~rate ~mean_hold ~horizon =
   pop_leaves_before horizon;
   List.sort compare (List.rev !events)
 
+(* Multi-channel merge: channel [c]'s stream comes from its own
+   derived rng, so the merged schedule is order-free deterministic —
+   byte-identical however the channels are processed, the property
+   the parallel sweeps lean on.  The stable sort keyed on (time,
+   channel) preserves each channel's own event order at ties, so
+   projecting the merge back onto one channel returns exactly that
+   channel's standalone schedule. *)
+let multi ~seed ~channels ~candidates ~rate ~popularity ~mean_hold ~horizon =
+  if channels < 1 then invalid_arg "Churn.multi: need channels >= 1";
+  if Zipf.n popularity <> channels then
+    invalid_arg "Churn.multi: popularity size must match channel count";
+  let streams =
+    List.init channels (fun c ->
+        let rng = Stats.Rng.derive ~seed ~index:c in
+        let rate_c = rate *. Zipf.pmf popularity c in
+        if rate_c <= 0.0 then []
+        else
+          poisson rng ~candidates ~rate:rate_c ~mean_hold ~horizon
+          |> List.map (fun (t, ev) -> (t, c, ev)))
+  in
+  List.stable_sort
+    (fun (t1, c1, _) (t2, c2, _) ->
+      match Float.compare t1 t2 with 0 -> Int.compare c1 c2 | d -> d)
+    (List.concat streams)
+
+let project sched c =
+  List.filter_map (fun (t, c', ev) -> if c' = c then Some (t, ev) else None) sched
+
 let members_at schedule time =
   List.fold_left
     (fun acc (t, ev) ->

@@ -26,6 +26,29 @@ val poisson :
     stays an exponential [mean_hold] time, then leaves.  Events after
     [horizon] are discarded. *)
 
+(** {1 Multi-channel streams} *)
+
+val multi :
+  seed:int ->
+  channels:int ->
+  candidates:int list ->
+  rate:float ->
+  popularity:Zipf.t ->
+  mean_hold:float ->
+  horizon:float ->
+  (float * int * event) list
+(** One merged (time, channel, event) stream over [channels] channels:
+    channel [c] runs its own {!poisson} process at
+    [rate *. Zipf.pmf popularity c] (so [rate] is the aggregate join
+    rate), seeded from [Stats.Rng.derive ~seed ~index:c] — order-free
+    deterministic, the property the [--jobs] byte-identity gate leans
+    on.  Ties sort by channel with each channel's own order
+    preserved, so {!project} returns exactly the standalone
+    schedule. *)
+
+val project : (float * int * event) list -> int -> schedule
+(** The merged stream's events for one channel, in stream order. *)
+
 val members_at : schedule -> float -> int list
 (** Group membership just after the given time, ascending. *)
 

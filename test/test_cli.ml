@@ -58,6 +58,25 @@ let test_unknown_subcommand () =
   check_usage_exit "definitely-not-a-command" "definitely-not-a-command"
     ~msg:"unknown command"
 
+let test_churn_zero_channels () =
+  check_usage_exit "churn --channels 0" "churn --channels 0"
+    ~msg:"--channels must be >= 1"
+
+let test_churn_tiny_topology () =
+  check_usage_exit "churn --routers 4" "churn --routers 4"
+    ~msg:"--routers must be >= 16"
+
+let test_churn_negative_rate () =
+  check_usage_exit "churn --rate=-0.5" "churn --rate=-0.5"
+    ~msg:"--rate must be a positive join rate"
+
+let test_churn_bad_generator () =
+  check_usage_exit "churn --gen ladder" "churn --gen ladder" ~msg:"--gen"
+
+let test_churn_bad_sample_interval () =
+  check_usage_exit "churn --sample-every 0" "churn --sample-every 0"
+    ~msg:"--sample-every must be a positive interval"
+
 (* One good invocation end to end: the short soak must complete with
    silent monitors and exit 0 — the same gate the CI smoke greps. *)
 let test_soak_smoke () =
@@ -82,6 +101,16 @@ let () =
             test_faults_bad_timeline;
           Alcotest.test_case "unknown subcommands funnel to usage" `Quick
             test_unknown_subcommand;
+          Alcotest.test_case "churn rejects zero --channels" `Quick
+            test_churn_zero_channels;
+          Alcotest.test_case "churn rejects a toy topology" `Quick
+            test_churn_tiny_topology;
+          Alcotest.test_case "churn rejects a negative --rate" `Quick
+            test_churn_negative_rate;
+          Alcotest.test_case "churn rejects an unknown --gen" `Quick
+            test_churn_bad_generator;
+          Alcotest.test_case "churn rejects a zero --sample-every" `Quick
+            test_churn_bad_sample_interval;
         ] );
       ( "soak smoke",
         [

@@ -232,6 +232,89 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare keys)
 
+(* ---- Wheel ------------------------------------------------------- *)
+
+module W = Eventsim.Wheel
+
+(* Entries armed in the same engine instant share one bucket, so a
+   single engine event fires them all — the O(1)-events-per-period
+   claim, observed through [E.step]. *)
+let test_wheel_coalesces () =
+  let e = E.create () in
+  let w = W.create e in
+  let log = ref [] in
+  for i = 1 to 3 do
+    ignore (W.every w ~period:5.0 (fun () -> log := i :: !log))
+  done;
+  Alcotest.(check bool) "one event fires the whole bucket" true (E.step e);
+  Alcotest.(check (float 0.0)) "at the shared deadline" 5.0 (E.now e);
+  Alcotest.(check (list int)) "members fire in insertion order" [ 1; 2; 3 ]
+    (List.rev !log)
+
+let test_wheel_matches_timer () =
+  let fires run =
+    let e = E.create () in
+    let log = ref [] in
+    run e (fun () -> log := E.now e :: !log);
+    E.run ~until:17.0 e;
+    List.rev !log
+  in
+  let wheel =
+    fires (fun e f -> ignore (W.every (W.create e) ~start:2.0 ~period:5.0 f))
+  in
+  let timer =
+    fires (fun e f -> ignore (T.every e ~start:2.0 ~period:5.0 f))
+  in
+  Alcotest.(check (list (float 0.0))) "identical deadline sequence"
+    timer wheel;
+  Alcotest.(check (list (float 0.0))) "2, then +5 from each fire"
+    [ 2.0; 7.0; 12.0; 17.0 ] wheel
+
+let test_wheel_stop () =
+  let e = E.create () in
+  let w = W.create e in
+  let log = ref [] in
+  let fires = ref 0 in
+  let a = W.every w ~period:5.0 (fun () -> log := "a" :: !log) in
+  let rec b_entry =
+    lazy
+      (W.every w ~period:5.0 (fun () ->
+           incr fires;
+           log := "b" :: !log;
+           if !fires >= 2 then W.stop (Lazy.force b_entry)))
+  in
+  ignore (Lazy.force b_entry);
+  W.stop a;
+  Alcotest.(check bool) "stopped entry inactive" false (W.active a);
+  E.run ~until:40.0 e;
+  Alcotest.(check (list string)) "a never fires; b stops itself after 2"
+    [ "b"; "b" ] (List.rev !log);
+  Alcotest.(check bool) "self-stopped entry inactive" false
+    (W.active (Lazy.force b_entry))
+
+let test_wheel_save_restore () =
+  let e = E.create () in
+  let w = W.create e in
+  let log = ref [] in
+  let a = W.every w ~period:5.0 (fun () -> log := ("a", E.now e) :: !log) in
+  let es = E.snapshot e in
+  let ws = W.save w in
+  E.run ~until:12.0 e;
+  let first = List.rev !log in
+  Alcotest.(check int) "two fires before rewind" 2 (List.length first);
+  (* Diverge: kill the saved entry, arm a new one... *)
+  W.stop a;
+  ignore (W.every w ~period:3.0 (fun () -> log := ("b", E.now e) :: !log));
+  (* ...then rewind (engine first, wheel second): the stop is undone,
+     the post-save entry is dropped, and the run replays exactly. *)
+  E.restore e es;
+  W.restore w ws;
+  Alcotest.(check bool) "restored entry active again" true (W.active a);
+  log := [];
+  E.run ~until:12.0 e;
+  Alcotest.(check bool) "replay is bit-identical" true
+    (List.rev !log = first)
+
 let () =
   Alcotest.run "eventsim"
     [
@@ -258,6 +341,17 @@ let () =
           Alcotest.test_case "watchdog expires" `Quick test_watchdog_expires;
           Alcotest.test_case "watchdog fed" `Quick test_watchdog_fed;
           Alcotest.test_case "watchdog re-arms" `Quick test_watchdog_rearms_after_firing;
+        ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "coalesces same-instant arms" `Quick
+            test_wheel_coalesces;
+          Alcotest.test_case "matches Timer.every deadlines" `Quick
+            test_wheel_matches_timer;
+          Alcotest.test_case "stop, also from own action" `Quick
+            test_wheel_stop;
+          Alcotest.test_case "save/restore rewinds entries" `Quick
+            test_wheel_save_restore;
         ] );
       ( "heap",
         Alcotest.test_case "ordering" `Quick test_heap_ordering

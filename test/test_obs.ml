@@ -545,6 +545,62 @@ let test_hbh_isp_run_reports () =
     (Eventsim.Engine.events_fired (Hbh.Protocol.engine session))
     (counter "engine.events_fired")
 
+(* ---- Rollup ----------------------------------------------------------- *)
+
+let test_rollup_slots_and_overflow () =
+  let r = Obs.Metrics.create () in
+  let roll =
+    Obs.Rollup.create ~max_series:3
+      ~labels:(Obs.Labels.v [ ("protocol", "hbh") ])
+      r
+  in
+  (* First three values claim their own series; the fourth spills. *)
+  List.iter
+    (fun ch -> Obs.Metrics.incr (Obs.Rollup.counter roll "churn.joins" ch))
+    [ "c0"; "c1"; "c2"; "c3"; "c4"; "c0" ];
+  Alcotest.(check int) "three slots" 3 (Obs.Rollup.series_count roll);
+  Alcotest.(check bool) "spilled" true (Obs.Rollup.spilled roll);
+  let snap = Obs.Metrics.snapshot r in
+  let get ch =
+    Obs.Metrics.find_counter snap
+      (Obs.Labels.series_name "churn.joins"
+         (Obs.Rollup.labels_for roll ch))
+  in
+  Alcotest.(check (option int)) "hot channel counted twice" (Some 2) (get "c0");
+  Alcotest.(check (option int)) "own series" (Some 1) (get "c1");
+  (* c3 and c4 share the overflow series. *)
+  Alcotest.(check (option int)) "tail aggregated" (Some 2) (get "c3");
+  Alcotest.(check bool) "overflow label value" true
+    (List.mem_assoc "channel" (Obs.Labels.bindings (Obs.Rollup.labels_for roll "c4"))
+    && List.assoc "channel" (Obs.Labels.bindings (Obs.Rollup.labels_for roll "c4"))
+       = Obs.Rollup.overflow_value)
+
+let test_rollup_stable_mapping () =
+  let r = Obs.Metrics.create () in
+  let roll = Obs.Rollup.create ~max_series:2 r in
+  let a = Obs.Rollup.labels_for roll "a" in
+  (* Same value, same labels — across instruments too. *)
+  Alcotest.(check bool) "memoized" true
+    (Obs.Labels.equal a (Obs.Rollup.labels_for roll "a"));
+  let c = Obs.Rollup.counter roll "m.events" "a" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.set (Obs.Rollup.gauge roll "m.depth" "a") 4.0;
+  let snap = Obs.Metrics.snapshot r in
+  Alcotest.(check (option int)) "counter under same labels" (Some 1)
+    (Obs.Metrics.find_counter snap (Obs.Labels.series_name "m.events" a));
+  Alcotest.(check bool) "gauge under same labels" true
+    (Obs.Metrics.find_gauge snap (Obs.Labels.series_name "m.depth" a)
+    = Some 4.0)
+
+let test_rollup_rejects_bad_config () =
+  let r = Obs.Metrics.create () in
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "max_series >= 1" true
+    (raises (fun () -> Obs.Rollup.create ~max_series:0 r));
+  Alcotest.(check bool) "key clash with base labels" true
+    (raises (fun () ->
+         Obs.Rollup.create ~labels:(Obs.Labels.v [ ("channel", "x") ]) r))
+
 let () =
   Alcotest.run "obs"
     [
@@ -573,6 +629,14 @@ let () =
           Alcotest.test_case "canonical identity" `Quick test_labels_canonical;
           Alcotest.test_case "validation and rendering" `Quick
             test_labels_validation;
+        ] );
+      ( "rollup",
+        [
+          Alcotest.test_case "slots and overflow" `Quick
+            test_rollup_slots_and_overflow;
+          Alcotest.test_case "stable mapping" `Quick test_rollup_stable_mapping;
+          Alcotest.test_case "rejects bad config" `Quick
+            test_rollup_rejects_bad_config;
         ] );
       ( "timeline",
         [

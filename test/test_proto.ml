@@ -95,6 +95,124 @@ let softstate_tests =
       test_install_order_projections;
   ]
 
+(* ---- Channel multiplexer ----------------------------------------- *)
+
+(* Multi-channel sessions on one shared mux: dispatch is keyed by
+   channel, so traffic, membership and delivery never leak between
+   channels — even when the channels share a member host (one
+   refcounted sink underneath). *)
+
+let mux_channel ~source c =
+  Mcast.Channel.make ~source
+    ~group:(Mcast.Class_d.of_int32 (Int32.of_int (0xE8000000 + c + 1)))
+
+let mux_pair () =
+  let graph = Topology.Isp.create () in
+  let table = Routing.Table.compute graph in
+  let engine = Engine.create () in
+  let net = Netsim.Network.create engine table in
+  let source = Topology.Isp.source in
+  let mx = Hbh.Protocol.mux net in
+  let s c = Hbh.Protocol.create_mux ~channel:(mux_channel ~source c) mx ~source in
+  (source, s 0, s 1)
+
+let test_mux_shared_sink_isolation () =
+  let _, a, b = mux_pair () in
+  let shared = List.nth Topology.Isp.receiver_hosts 0 in
+  let only_b = List.nth Topology.Isp.receiver_hosts 1 in
+  Hbh.Protocol.subscribe a shared;
+  Hbh.Protocol.subscribe b shared;
+  Hbh.Protocol.subscribe b only_b;
+  Hbh.Protocol.converge a;
+  Alcotest.(check (list int)) "A's membership" [ shared ] (Hbh.Protocol.members a);
+  Alcotest.(check (list int)) "B's membership"
+    (List.sort compare [ shared; only_b ])
+    (Hbh.Protocol.members b);
+  let da = Hbh.Protocol.probe a in
+  let db = Hbh.Protocol.probe b in
+  Alcotest.(check (list int)) "A delivers to its member only" [ shared ]
+    (Mcast.Distribution.receivers da);
+  Alcotest.(check (list int)) "B delivers to both"
+    (List.sort compare [ shared; only_b ])
+    (Mcast.Distribution.receivers db)
+
+let test_mux_unsubscribe_keeps_sibling_sink () =
+  let _, a, b = mux_pair () in
+  let shared = List.nth Topology.Isp.receiver_hosts 0 in
+  Hbh.Protocol.subscribe a shared;
+  Hbh.Protocol.subscribe b shared;
+  Hbh.Protocol.converge a;
+  Hbh.Protocol.unsubscribe a shared;
+  (* Past t2 (550): A's soft state for the leaver is swept everywhere. *)
+  Hbh.Protocol.run_for a 1200.0;
+  Alcotest.(check (list int)) "A empty" [] (Hbh.Protocol.members a);
+  let da = Hbh.Protocol.probe a in
+  Alcotest.(check (list int)) "A delivers to nobody" []
+    (Mcast.Distribution.receivers da);
+  (* The refcounted sink must survive A's release: B still delivers. *)
+  let db = Hbh.Protocol.probe b in
+  Alcotest.(check (list int)) "B still delivers to the shared host"
+    [ shared ]
+    (Mcast.Distribution.receivers db)
+
+let test_mux_matches_solo_session () =
+  let members =
+    List.filteri (fun i _ -> i < 5) Topology.Isp.receiver_hosts
+  in
+  let solo =
+    let graph = Topology.Isp.create () in
+    let table = Routing.Table.compute graph in
+    Hbh.Protocol.create table ~source:Topology.Isp.source
+  in
+  List.iter (Hbh.Protocol.subscribe solo) members;
+  Hbh.Protocol.converge solo;
+  let d_solo = Hbh.Protocol.probe solo in
+  let _, muxed, _idle = mux_pair () in
+  List.iter (Hbh.Protocol.subscribe muxed) members;
+  Hbh.Protocol.converge muxed;
+  let d_mux = Hbh.Protocol.probe muxed in
+  Alcotest.(check bool) "same tree shape as a solo session" true
+    (Mcast.Distribution.equal_shape d_solo d_mux)
+
+let test_mux_deterministic_rebuild () =
+  let build () =
+    let graph = Topology.Isp.create () in
+    let table = Routing.Table.compute graph in
+    let engine = Engine.create () in
+    let net = Netsim.Network.create engine table in
+    let source = Topology.Isp.source in
+    let mx = Hbh.Protocol.mux net in
+    let sessions =
+      Array.init 4 (fun c ->
+          Hbh.Protocol.create_mux ~channel:(mux_channel ~source c) mx ~source)
+    in
+    List.iteri
+      (fun i h -> Hbh.Protocol.subscribe sessions.(i mod 4) h)
+      Topology.Isp.receiver_hosts;
+    Hbh.Protocol.converge sessions.(0);
+    Array.map Hbh.Protocol.probe sessions
+  in
+  let r1 = build () and r2 = build () in
+  Array.iteri
+    (fun i d1 ->
+      Alcotest.(check bool)
+        (Printf.sprintf "channel %d rebuild-identical" i)
+        true
+        (Mcast.Distribution.equal_shape d1 r2.(i)))
+    r1
+
+let mux_tests =
+  [
+    Alcotest.test_case "shared member host, isolated channels" `Quick
+      test_mux_shared_sink_isolation;
+    Alcotest.test_case "unsubscribe keeps the sibling's sink" `Quick
+      test_mux_unsubscribe_keeps_sibling_sink;
+    Alcotest.test_case "muxed session matches solo session" `Quick
+      test_mux_matches_solo_session;
+    Alcotest.test_case "4-channel mux rebuilds identically" `Quick
+      test_mux_deterministic_rebuild;
+  ]
+
 (* ---- Seeded trace equivalence ------------------------------------ *)
 
 let probe_until = 700.0
@@ -181,5 +299,6 @@ let () =
   Alcotest.run "proto"
     [
       ("softstate", softstate_tests);
+      ("mux", mux_tests);
       ("trace-equivalence", equivalence_tests);
     ]

@@ -230,7 +230,80 @@ let test_transit_stub () =
   Alcotest.(check int) "nodes 4 + 4*2*3" 28 (G.node_count g);
   Alcotest.(check bool) "connected" true (G.is_connected g)
 
+(* Structural digest: node kinds, degrees and adjacency — byte-equal
+   digests mean byte-equal topologies. *)
+let graph_digest g =
+  let buf = Buffer.create 1024 in
+  for i = 0 to G.node_count g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d%c:" i (if G.is_router g i then 'r' else 'h'));
+    List.iter (fun j -> Buffer.add_string buf (Printf.sprintf "%d," j))
+      (G.neighbors g i);
+    Buffer.add_char buf ';'
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let test_power_law () =
+  let rng = Stats.Rng.create 7 in
+  let g = Topology.Generators.power_law ~hosts:false rng ~n:600 in
+  Alcotest.(check int) "nodes" 600 (G.node_count g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  (* Heavy tail: the hubs tower over the m=2 arrivals. *)
+  let degs = List.map (G.degree g) (G.routers g) in
+  let dmax = List.fold_left max 0 degs in
+  let small = List.length (List.filter (fun d -> d <= 4) degs) in
+  Alcotest.(check bool) "has a hub (max degree >= 12)" true (dmax >= 12);
+  Alcotest.(check bool) "most routers stay near degree m"
+    true (small * 10 >= 600 * 6)
+
+let test_power_law_deterministic () =
+  let g1 = Topology.Generators.power_law (Stats.Rng.create 5) ~n:400 in
+  let g2 = Topology.Generators.power_law (Stats.Rng.create 5) ~n:400 in
+  let g3 = Topology.Generators.power_law (Stats.Rng.create 6) ~n:400 in
+  Alcotest.(check string) "same seed, same bytes" (graph_digest g1)
+    (graph_digest g2);
+  Alcotest.(check bool) "different seed differs" true
+    (graph_digest g1 <> graph_digest g3)
+
+let test_as_hierarchy () =
+  let rng = Stats.Rng.create 11 in
+  let g = Topology.Generators.as_hierarchy ~hosts:false rng ~n:500 in
+  Alcotest.(check int) "nodes" 500 (G.node_count g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  (* Stubs (the third tier) keep degree 1-2; the backbone does not. *)
+  let core_deg = G.degree g 0 in
+  Alcotest.(check bool) "core router degree >= 3" true (core_deg >= 3)
+
+let test_as_hierarchy_deterministic () =
+  let d s = graph_digest (Topology.Generators.as_hierarchy (Stats.Rng.create s) ~n:300) in
+  Alcotest.(check string) "same seed, same bytes" (d 9) (d 9);
+  Alcotest.(check bool) "different seed differs" true (d 9 <> d 10)
+
+let test_internet_scale_build () =
+  (* The churn workload's floor: n >= 5k must build fast and land
+     connected (the Builder link index keeps this O(E)). *)
+  let g = Topology.Generators.power_law ~hosts:false (Stats.Rng.create 1) ~n:5000 in
+  Alcotest.(check int) "nodes" 5000 (G.node_count g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  let h = Topology.Generators.as_hierarchy ~hosts:false (Stats.Rng.create 2) ~n:5000 in
+  Alcotest.(check int) "nodes" 5000 (G.node_count h);
+  Alcotest.(check bool) "connected" true (G.is_connected h)
+
 (* ---- Properties ------------------------------------------------------- *)
+
+let prop_power_law_connected =
+  QCheck.Test.make ~name:"power_law always connected" ~count:50
+    QCheck.(pair (int_range 4 200) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Stats.Rng.create seed in
+      G.is_connected (Topology.Generators.power_law ~hosts:false rng ~n))
+
+let prop_as_hierarchy_connected =
+  QCheck.Test.make ~name:"as_hierarchy always connected" ~count:50
+    QCheck.(pair (int_range 41 300) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Stats.Rng.create seed in
+      G.is_connected (Topology.Generators.as_hierarchy ~hosts:false rng ~n))
 
 let prop_random_graphs_connected =
   QCheck.Test.make ~name:"random_connected always connected" ~count:50
@@ -290,8 +363,21 @@ let () =
           Alcotest.test_case "full mesh" `Quick test_full_mesh;
           Alcotest.test_case "dumbbell" `Quick test_dumbbell;
           Alcotest.test_case "transit stub" `Quick test_transit_stub;
+          Alcotest.test_case "power law" `Quick test_power_law;
+          Alcotest.test_case "power law deterministic" `Quick
+            test_power_law_deterministic;
+          Alcotest.test_case "as hierarchy" `Quick test_as_hierarchy;
+          Alcotest.test_case "as hierarchy deterministic" `Quick
+            test_as_hierarchy_deterministic;
+          Alcotest.test_case "internet scale build" `Quick
+            test_internet_scale_build;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_random_graphs_connected; prop_waxman_connected ] );
+          [
+            prop_random_graphs_connected;
+            prop_waxman_connected;
+            prop_power_law_connected;
+            prop_as_hierarchy_connected;
+          ] );
     ]

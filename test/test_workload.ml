@@ -129,6 +129,128 @@ let prop_poisson_leaves_match_joins =
         sched;
       !ok)
 
+(* ---- Zipf popularity -------------------------------------------------- *)
+
+let test_zipf_determinism () =
+  let z = Workload.Zipf.create ~n:64 () in
+  let draw seed =
+    let rng = Stats.Rng.create seed in
+    List.init 200 (fun _ -> Workload.Zipf.sample z rng)
+  in
+  Alcotest.(check (list int)) "same rng, same ranks" (draw 7) (draw 7);
+  Alcotest.(check bool) "different rng differs" true (draw 7 <> draw 8)
+
+let test_zipf_rank_frequency () =
+  let n = 32 in
+  let z = Workload.Zipf.create ~n () in
+  (* pmf sums to 1 and decreases with rank. *)
+  let total = ref 0.0 in
+  for k = 0 to n - 1 do
+    total := !total +. Workload.Zipf.pmf z k;
+    if k > 0 then
+      Alcotest.(check bool) "pmf monotone" true
+        (Workload.Zipf.pmf z k <= Workload.Zipf.pmf z (k - 1))
+  done;
+  Alcotest.(check bool) "pmf sums to ~1" true (abs_float (!total -. 1.0) < 1e-9);
+  (* Empirical rank frequency: rank 0 beats rank n-1 decisively. *)
+  let rng = Stats.Rng.create 3 in
+  let counts = Array.make n 0 in
+  for _ = 1 to 20_000 do
+    let k = Workload.Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "rank 0 is hottest" true
+    (Array.for_all (fun c -> c <= counts.(0)) counts);
+  Alcotest.(check bool) "head ~ 1/H_n share" true
+    (let p0 = float_of_int counts.(0) /. 20_000.0 in
+     abs_float (p0 -. Workload.Zipf.pmf z 0) < 0.02)
+
+let test_zipf_uniform_when_s0 () =
+  let z = Workload.Zipf.create ~s:0.0 ~n:10 () in
+  for k = 0 to 9 do
+    Alcotest.(check bool) "uniform pmf" true
+      (abs_float (Workload.Zipf.pmf z k -. 0.1) < 1e-9)
+  done
+
+(* ---- Multi-channel churn ---------------------------------------------- *)
+
+let test_multi_projection_consistency () =
+  (* The merged stream projected onto channel c must be exactly the
+     standalone stream of c's derived rng — per channel, members_at
+     agrees at every event time. *)
+  let channels = 8 in
+  let candidates = List.init 20 (fun i -> 100 + i) in
+  let z = Workload.Zipf.create ~n:channels () in
+  let merged =
+    Workload.Churn.multi ~seed:42 ~channels ~candidates ~rate:0.05
+      ~popularity:z ~mean_hold:300.0 ~horizon:5000.0
+  in
+  for c = 0 to channels - 1 do
+    let standalone =
+      Workload.Churn.poisson
+        (Stats.Rng.derive ~seed:42 ~index:c)
+        ~candidates
+        ~rate:(0.05 *. Workload.Zipf.pmf z c)
+        ~mean_hold:300.0 ~horizon:5000.0
+    in
+    let projected = Workload.Churn.project merged c in
+    Alcotest.(check int)
+      (Printf.sprintf "channel %d event count" c)
+      (List.length standalone) (List.length projected);
+    List.iter2
+      (fun (t1, e1) (t2, e2) ->
+        Alcotest.(check (float 0.0)) "event time" t1 t2;
+        Alcotest.(check bool) "event" true (e1 = e2))
+      standalone projected;
+    List.iter
+      (fun (t, _) ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "members_at agree (channel %d)" c)
+          (Workload.Churn.members_at standalone t)
+          (Workload.Churn.members_at projected t))
+      standalone
+  done
+
+let test_multi_deterministic_and_ordered () =
+  let candidates = List.init 10 (fun i -> i) in
+  let z = Workload.Zipf.create ~n:16 () in
+  let mk () =
+    Workload.Churn.multi ~seed:9 ~channels:16 ~candidates ~rate:0.1
+      ~popularity:z ~mean_hold:200.0 ~horizon:2000.0
+  in
+  let a = mk () and b = mk () in
+  Alcotest.(check bool) "byte-identical rebuild" true (a = b);
+  Alcotest.(check bool) "time-ordered" true
+    (let rec ordered = function
+       | (t1, c1, _) :: ((t2, c2, _) :: _ as rest) ->
+           (t1 < t2 || (t1 = t2 && c1 <= c2)) && ordered rest
+       | _ -> true
+     in
+     ordered a);
+  Alcotest.(check bool) "nonempty" true (a <> [])
+
+let prop_multi_projection =
+  QCheck.Test.make ~name:"merged stream projects to standalone schedules"
+    ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let channels = 6 in
+      let candidates = List.init 8 (fun i -> i) in
+      let z = Workload.Zipf.create ~n:channels () in
+      let merged =
+        Workload.Churn.multi ~seed ~channels ~candidates ~rate:0.2
+          ~popularity:z ~mean_hold:50.0 ~horizon:500.0
+      in
+      List.for_all
+        (fun c ->
+          Workload.Churn.project merged c
+          = Workload.Churn.poisson
+              (Stats.Rng.derive ~seed ~index:c)
+              ~candidates
+              ~rate:(0.2 *. Workload.Zipf.pmf z c)
+              ~mean_hold:50.0 ~horizon:500.0)
+        (List.init channels (fun c -> c)))
+
 let () =
   Alcotest.run "workload"
     [
@@ -144,7 +266,17 @@ let () =
           Alcotest.test_case "flash crowd" `Quick test_flash_crowd;
           Alcotest.test_case "poisson consistency" `Quick test_poisson_consistency;
           Alcotest.test_case "members_at" `Quick test_members_at;
+          Alcotest.test_case "zipf deterministic" `Quick test_zipf_determinism;
+          Alcotest.test_case "zipf rank frequency" `Quick
+            test_zipf_rank_frequency;
+          Alcotest.test_case "zipf uniform at s=0" `Quick
+            test_zipf_uniform_when_s0;
+          Alcotest.test_case "multi-channel projection" `Quick
+            test_multi_projection_consistency;
+          Alcotest.test_case "multi-channel deterministic" `Quick
+            test_multi_deterministic_and_ordered;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_poisson_leaves_match_joins ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_poisson_leaves_match_joins; prop_multi_projection ] );
     ]
