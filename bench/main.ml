@@ -334,6 +334,80 @@ let emit_overhead_json fields wall_s =
            :: ("wall_s", Obs.Json.Float wall_s)
            :: fields))
 
+(* ---- Part 2c: hard-state control-overhead witness ------------------------ *)
+
+(* HPIM-DM's headline claim, by measurement: hard state sends no
+   per-member refresh traffic, so under a link-flap loop — the
+   workload that makes soft state pay its refresh cycle over and over
+   while every flap also forces repair traffic — the hard-state
+   stack's total control traffic must stay strictly below HBH's.
+   Both stacks run the identical deterministic scenario (ISP
+   topology, same 8 receivers, same flapping tree link, same seed),
+   and the witness is the ratio of control-message link traversals
+   over the whole flap window.  Deterministic, so the gate is exact:
+   no noise margin needed. *)
+let hardstate_overhead_check () =
+  let config = Experiments.Common.isp_config () in
+  let rng = Stats.Rng.create 42 in
+  let s =
+    Workload.Scenario.make rng config.Experiments.Common.graph
+      ~source:config.Experiments.Common.source
+      ~candidates:config.Experiments.Common.candidates ~n:8
+  in
+  let receivers = List.sort compare s.Workload.Scenario.receivers in
+  let module F = Experiments.Faults in
+  let u, v =
+    F.pick_tree_link s.Workload.Scenario.table ~source:s.Workload.Scenario.source
+      ~receivers
+  in
+  let flap_cycles = 5 in
+  let control_under_flaps proto =
+    let ops =
+      F.ops_of proto
+        (Topology.Graph.copy config.Experiments.Common.graph)
+        ~source:s.Workload.Scenario.source
+    in
+    List.iter ops.F.subscribe receivers;
+    ops.F.converge ();
+    let t0 = Eventsim.Engine.now ops.F.engine in
+    let before = ops.F.control () in
+    let flaps =
+      List.concat
+        (List.init flap_cycles (fun i ->
+             let base = 300. +. (400. *. float_of_int i) in
+             [
+               (base, Fault.Plan.Link_down { u; v });
+               (base +. 30., Fault.Plan.Reconverge);
+               (base +. 200., Fault.Plan.Link_up { u; v });
+               (base +. 230., Fault.Plan.Reconverge);
+             ]))
+    in
+    ops.F.install_plan ~seed:42 (Fault.Plan.make flaps);
+    ops.F.run_until (t0 +. 300. +. (400. *. float_of_int flap_cycles));
+    ops.F.control () - before
+  in
+  let soft = control_under_flaps F.P_hbh in
+  let hard = control_under_flaps F.P_hpim in
+  let ratio = float_of_int hard /. float_of_int soft in
+  Format.printf
+    "control traffic under %d link flaps (link %d-%d, ISP): soft-state HBH %d \
+     hops, hard-state HPIM-DM %d hops@."
+    flap_cycles u v soft hard;
+  if hard >= soft then begin
+    Format.printf
+      "hardstate-overhead: REGRESSED (HPIM-DM %.2fx HBH, expected < 1)@." ratio;
+    exit 1
+  end
+  else
+    Format.printf
+      "hardstate-overhead: OK (HPIM-DM %.2fx HBH control under link flaps)@."
+      ratio;
+  [
+    ("softstate_flap_control_hops", Obs.Json.Int soft);
+    ("hardstate_flap_control_hops", Obs.Json.Int hard);
+    ("hardstate_control_ratio", Obs.Json.Float ratio);
+  ]
+
 (* ---- Part 3: dormant-telemetry overhead budget --------------------------- *)
 
 (* The telemetry left always-on in the hot paths is counters and
@@ -711,10 +785,11 @@ let () =
       let t0 = Sys.time () in
       let telemetry = overhead_check () in
       let adversarial = adversarial_overhead_check () in
+      let hardstate = hardstate_overhead_check () in
       let mux = mux_scaling_check () in
       let alloc = alloc_budget_check () in
       emit_overhead_json
-        (telemetry @ adversarial @ mux @ alloc)
+        (telemetry @ adversarial @ hardstate @ mux @ alloc)
         (Sys.time () -. t0)
   | _ ->
       let t0 = Sys.time () in

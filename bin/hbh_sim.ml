@@ -439,13 +439,18 @@ let validate_cmd =
       | ps -> ps
     in
     match
-      List.find_opt (fun p -> p = Experiments.Faults.P_pim_ssm) protocols
+      List.find_opt
+        (fun p ->
+          p = Experiments.Faults.P_pim_ssm || p = Experiments.Faults.P_hpim)
+        protocols
     with
-    | Some _ ->
+    | Some p ->
         `Error
           ( false,
-            "validate has no analytic PIM-SSM oracle; --protocol must be \
-             hbh or reunite" )
+            Printf.sprintf
+              "validate has no analytic %s oracle; --protocol must be hbh or \
+               reunite"
+              (Experiments.Faults.proto_name p) )
     | None ->
         with_obs o ~seed ~companion:isp_companion (fun () ->
             let config = Experiments.Common.isp_config () in
@@ -460,7 +465,8 @@ let validate_cmd =
                     Format.printf "REUNITE event vs analytic: %a@."
                       Experiments.Validate.pp
                       (Experiments.Validate.reunite ~scenarios ~seed config)
-                | Experiments.Faults.P_pim_ssm -> ())
+                | Experiments.Faults.P_pim_ssm | Experiments.Faults.P_hpim ->
+                    ())
               protocols);
         `Ok ()
   in
@@ -541,7 +547,8 @@ let asymmetry_cmd =
 
 let faults_cmd =
   let doc =
-    "Fault-injection recovery experiment: HBH vs REUNITE vs PIM-SSM through \
+    "Fault-injection recovery experiment: every registered protocol (HBH, \
+     REUNITE, PIM-SSM, HPIM-DM) through \
      a mid-tree router crash (with restart), a tree-link failure (with \
      restoration) and a 30% loss burst, with routing reconvergence after \
      each topology change.  Deterministic in $(b,--seed): equal seeds \
@@ -1058,13 +1065,17 @@ let verify_cmd =
      search over joins, leaves, link failures, crashes and loss bursts, \
      checking at every quiescent state that the tree is loop-free and spans \
      exactly the member set, that one data packet reaches every reachable \
-     member exactly once, and (HBH) that the first join reached the source \
-     and every branching router sits on a source-member unicast path.  \
+     member exactly once, (HBH) that the first join reached the source \
+     and every branching router sits on a source-member unicast path, and \
+     (HPIM-DM) that every link has exactly one assert winner, assert \
+     losers forward no data, and neighbor tables agree at quiescence.  \
      Counterexamples are minimized by delta debugging and printed as \
      replayable fault plans.  Deterministic in $(b,--seed)."
   in
   let protocol_arg =
-    let doc = "Protocol to verify: $(b,hbh), $(b,reunite) or $(b,pim)." in
+    let doc =
+      "Protocol to verify: $(b,hbh), $(b,reunite), $(b,pim) or $(b,hpim-dm)."
+    in
     Arg.(
       required
       & opt
@@ -1075,6 +1086,8 @@ let verify_cmd =
                   ("reunite", Verif.Sut.Reunite);
                   ("pim", Verif.Sut.Pim_ssm);
                   ("pim-ssm", Verif.Sut.Pim_ssm);
+                  ("hpim", Verif.Sut.Hpim_dm);
+                  ("hpim-dm", Verif.Sut.Hpim_dm);
                 ]))
           None
       & info [ "protocol" ] ~docv:"P" ~doc)
@@ -1231,7 +1244,7 @@ let print_usage () =
     \       hbh_sim soak [--hours H] [--timeline-ndjson FILE] \
      [--openmetrics FILE] [--protocol P] [--seed N]\n\
     \       hbh_sim report [--out FILE] [--interval DT] [--seed N]\n\
-    \       hbh_sim verify --protocol hbh|reunite|pim [--depth N] \
+    \       hbh_sim verify --protocol hbh|reunite|pim|hpim-dm [--depth N] \
      [--states N] [--topology isp|rand50] [--seed N] [--jobs N] \
      [--json FILE] [--inject-bug mark-decay] [--no-shrink]\n\
      (try 'hbh_sim --help')\n"

@@ -204,11 +204,53 @@ let pim_ops ~stretched ~channels table ~source =
     analytic = (fun ~receivers -> Pim.Pim_ss.build table ~source ~receivers);
   }
 
+let hpim_ops ~stretched ~channels table ~source =
+  let engine = Engine.create () in
+  let net = Net.create engine table in
+  let mx = Hpim.Dm.mux net in
+  let d = Hpim.Dm.default_config in
+  let config =
+    if stretched then
+      {
+        Hpim.Dm.hello_period = d.Hpim.Dm.hello_period *. stretch_factor;
+        holdtime = d.Hpim.Dm.holdtime *. stretch_factor;
+        rto = d.Hpim.Dm.rto *. stretch_factor;
+        rto_max = d.Hpim.Dm.rto_max *. stretch_factor;
+        join_period = d.Hpim.Dm.join_period *. stretch_factor;
+      }
+    else d
+  in
+  let chans =
+    Array.init channels (fun c ->
+        let s =
+          Hpim.Dm.create_mux ~config ~channel:(channel_of_rank ~source c) mx
+            ~source
+        in
+        {
+          subscribe = Hpim.Dm.subscribe s;
+          unsubscribe = Hpim.Dm.unsubscribe s;
+          members = (fun () -> Hpim.Dm.members s);
+          send_data = (fun () -> Hpim.Dm.send_data s);
+        })
+  in
+  {
+    engine;
+    chans;
+    control_hops = (fun () -> (Net.counters net).Net.control_hops);
+    reset_data = (fun () -> Net.reset_data_accounting net);
+    data_loads = (fun () -> Net.data_link_loads net);
+    data_deliveries = (fun () -> Net.data_deliveries net);
+    (* HPIM-DM forwards along unicast shortest paths from the source,
+       exactly PIM-SSM's tree shape — same analytic reference. *)
+    analytic = (fun ~receivers -> Pim.Pim_ss.build table ~source ~receivers);
+  }
+
 let ops_of proto ~stretched ~channels table ~source =
   match proto with
   | Faults.P_hbh -> hbh_ops ~stretched ~channels table ~source
   | Faults.P_reunite -> reunite_ops ~stretched ~channels table ~source
   | Faults.P_pim_ssm -> pim_ops ~stretched ~channels table ~source
+  | Faults.P_hpim -> hpim_ops ~stretched ~channels table ~source
 
 (* ---- One arm ----------------------------------------------------------- *)
 

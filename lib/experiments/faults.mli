@@ -1,4 +1,5 @@
-(** The fault-recovery experiment: HBH, REUNITE and PIM-SSM driven
+(** The fault-recovery experiment: every registered protocol instance
+    (HBH, REUNITE, PIM-SSM, HPIM-DM) driven
     through identical fault plans — a mid-tree router crash with
     restart, a tree-link failure with restoration (both with routing
     reconvergence shortly after each topology change), and a 30%
@@ -17,9 +18,11 @@ type scenario = Crash | Link_failure | Loss_burst
 val all_scenarios : scenario list
 val scenario_name : scenario -> string
 
-type proto = P_hbh | P_reunite | P_pim_ssm
+type proto = P_hbh | P_reunite | P_pim_ssm | P_hpim
 
 val all_protos : proto list
+(** Registry order. *)
+
 val proto_name : proto -> string
 
 type outcome = {
@@ -59,8 +62,14 @@ type ops = {
       (** the session's causal spans (the ["join"] family) *)
 }
 (** Monomorphic closure bundle over one protocol session so a single
-    runner (or an external equivalence harness) can drive all three
-    stacks identically. *)
+    runner (or an external equivalence harness) can drive every
+    registered stack identically. *)
+
+val registry : (proto * string * (Topology.Graph.t -> source:int -> ops)) list
+(** The protocol registry: one row per instance — tag, report name,
+    ops constructor.  The faults case table, the soak and churn
+    drivers and the CLI all derive their protocol set from this list,
+    so a new instance lands in every harness by adding one row. *)
 
 val ops_of : proto -> Topology.Graph.t -> source:int -> ops
 (** Fresh session for [proto] on (a private copy of) [graph]. *)

@@ -1,0 +1,843 @@
+(* HPIM-DM (Oliveira/Silva/Valadas, arXiv 2002.06635), adapted to the
+   runtime's point-to-point message model: the hard-state design
+   opposite of HBH's soft state.
+
+   Where the soft-state stacks refresh their tables every period and
+   let lost messages heal by decay, this instance keeps {e hard}
+   interest state (Proto.Hardstate) that changes only on explicit
+   events, and makes those events stick with sequence-numbered
+   reliable control messages (Proto.Reliable):
+
+   - Interest/NoInterest (the Join class) travel one hop to the
+     RPF parent and are retransmitted with bounded backoff until
+     acked — a member's join is sent once, not every join period.
+   - Hellos carry a generation ID, a root-path-cost metric and a
+     per-sender sequence number; a neighbor is alive while its last
+     hello is within the holdtime.  A changed generation ID means the
+     neighbor restarted: its hard state is void, pending messages to
+     it are cancelled, and a reliable Sync re-synchronizes both the
+     metric and the sender's interest through that neighbor.
+   - Assert-winner election per (link, channel): a router forwards
+     data to a downstream {e router} only if it wins the link's
+     election — lexicographic (metric, id), my live root path cost
+     against the neighbor's hello-advertised one — so two routers
+     sharing a link never both feed it.
+
+   Data forwarding mirrors PIM-SSM's shape (copies unicast-addressed
+   to downstream entries, per-node sequence dedup damping transient
+   duplicates), with two hard-state twists: targets are pruned by
+   current unicast reachability (the hard entry survives an outage
+   and resumes instantly on heal, instead of decaying and being
+   re-built), and router targets must pass the assert election. *)
+
+module Net = Netsim.Network
+module Pkt = Netsim.Packet
+module Hs = Proto.Hardstate
+module Rel = Proto.Reliable
+
+type ('jx, 'tx, 'extra) gen = ('jx, 'tx, 'extra) Proto.Messages.t =
+  | Join of { channel : Mcast.Channel.t; member : int; ext : 'jx }
+  | Tree of { channel : Mcast.Channel.t; target : int; ext : 'tx }
+  | Data of { channel : Mcast.Channel.t; seq : int }
+  | Extra of { channel : Mcast.Channel.t; extra : 'extra }
+
+type join_ext = {
+  j_sn : int;
+  j_int : bool;  (* true: Interest, false: NoInterest *)
+  j_genid : int;  (* sender's generation ID, resets the dedup window *)
+}
+
+type ack_ext = { a_sn : int; a_cls : int }
+
+type xtra =
+  | Hello of { h_genid : int; h_metric : int; h_seq : int }
+  | Sync of { s_sn : int; s_genid : int; s_metric : int; s_int : bool }
+
+type msg = (join_ext, ack_ext, xtra) gen
+
+type config = {
+  hello_period : float;
+  holdtime : float;  (* a neighbor is dead this long after its last hello *)
+  rto : float;  (* initial reliable-retransmission timeout *)
+  rto_max : float;  (* backoff cap *)
+  join_period : float;  (* the members' audit period (posts only on change) *)
+}
+
+let default_config =
+  {
+    hello_period = 100.0;
+    holdtime = 350.0;
+    rto = 30.0;
+    rto_max = 120.0;
+    join_period = 100.0;
+  }
+
+(* Reliable message classes. *)
+let cls_join = 0
+let cls_sync = 1
+
+let metric_unknown = max_int
+
+(* What one node knows about a neighbor, from its hellos and syncs. *)
+type nbr = {
+  mutable n_genid : int;
+  mutable n_metric : int;  (* advertised root path cost *)
+  mutable n_heard : float;  (* absolute liveness deadline *)
+  mutable n_hseq : int;  (* highest hello sequence seen *)
+}
+
+(* Reliable-receive dedup window per peer: a sequence number is fresh
+   only above [p_sn]; a changed generation ID resets the window (the
+   peer restarted and restarted counting). *)
+type peer = { mutable p_genid : int; mutable p_sn : int }
+
+type node_state = {
+  ns_genid : int;  (* this incarnation's generation ID *)
+  mutable ns_hseq : int;  (* outgoing hello sequence *)
+  mutable ns_out : int;  (* outgoing reliable sequence *)
+  mutable ns_member : bool;  (* this node is a subscribed member host *)
+  nbrs : (int, nbr) Hashtbl.t;
+  peers : (int, peer) Hashtbl.t;
+  down : Hs.Table.t;  (* downstream interested: routers + member hosts *)
+  mutable up_state : (int * bool * int) option;
+      (* (parent, polarity, parent genid) of the last tracked
+         upstream Interest/NoInterest post — the audit's "already
+         expressed" witness *)
+}
+
+type state = {
+  nodes : (int, node_state) Hashtbl.t;
+  mutable genid_ctr : int;
+  rel : msg Rel.t;
+  data_seen : (int, int) Hashtbl.t;
+  mutable pump : Eventsim.Wheel.entry option;
+      (* the retransmission pump: armed while [rel] has pending
+         slots, stopped when it drains.  Lives in the state so
+         checkpoint/restore (which reassigns the whole state record)
+         stays consistent with the wheel's own save/restore. *)
+}
+
+module S = Proto.Session.Make (struct
+  let name = "hpim-dm"
+  let label = "HPIM-DM"
+
+  type nonrec config = config
+
+  let default_config = default_config
+
+  let validate c =
+    if c.hello_period <= 0.0 || c.holdtime <= c.hello_period then
+      invalid_arg "Hpim.Dm.create: need 0 < hello_period < holdtime";
+    if c.rto <= 0.0 || c.rto_max < c.rto then
+      invalid_arg "Hpim.Dm.create: need 0 < rto <= rto_max";
+    if c.join_period <= 0.0 then
+      invalid_arg "Hpim.Dm.create: need join_period > 0"
+
+  let join_period c = c.join_period
+  let control_period c = c.hello_period
+
+  type nonrec msg = msg
+
+  let channel_of = Proto.Messages.channel
+  let kind_of = Proto.Messages.kind
+  let extra_counter = Some "hello_msgs"
+
+  let trace_event (m : msg) =
+    match m with
+    | Join { member; ext = { j_int; _ }; _ } ->
+        Some (Obs.Event.Join { member; first = j_int })
+    | Tree _ | Data _ | Extra _ -> None
+
+  type nonrec state = state
+
+  let create_state c =
+    {
+      nodes = Hashtbl.create 64;
+      genid_ctr = 0;
+      rel = Rel.create ~rto:c.rto ~rto_max:c.rto_max ();
+      data_seen = Hashtbl.create 64;
+      pump = None;
+    }
+
+  let copy_state st =
+    let nodes = Hashtbl.create (max 8 (Hashtbl.length st.nodes)) in
+    Hashtbl.iter
+      (fun n ns ->
+        let nbrs = Hashtbl.create (max 8 (Hashtbl.length ns.nbrs)) in
+        Hashtbl.iter
+          (fun v (r : nbr) -> Hashtbl.replace nbrs v { r with n_genid = r.n_genid })
+          ns.nbrs;
+        let peers = Hashtbl.create (max 8 (Hashtbl.length ns.peers)) in
+        Hashtbl.iter
+          (fun v (p : peer) ->
+            Hashtbl.replace peers v { p with p_genid = p.p_genid })
+          ns.peers;
+        Hashtbl.replace nodes n
+          { ns with nbrs; peers; down = Hs.Table.copy ns.down })
+      st.nodes;
+    {
+      nodes;
+      genid_ctr = st.genid_ctr;
+      rel = Rel.copy st.rel;
+      data_seen = Hashtbl.copy st.data_seen;
+      (* The wheel-entry handle is shared deliberately: Wheel.restore
+         resurrects exactly the entries alive at save time, and this
+         copy is only ever installed by a restore to that instant. *)
+      pump = st.pump;
+    }
+end)
+
+include S
+
+let m_down = S.counter "down_updates"
+let m_rtx = S.counter "retransmissions"
+let m_syncs = S.counter "neighbor_syncs"
+
+let node_state t n =
+  let st = S.state t in
+  match Hashtbl.find_opt st.nodes n with
+  | Some ns -> ns
+  | None ->
+      st.genid_ctr <- st.genid_ctr + 1;
+      let ns =
+        {
+          ns_genid = st.genid_ctr;
+          ns_hseq = 0;
+          ns_out = 0;
+          ns_member = false;
+          nbrs = Hashtbl.create 8;
+          peers = Hashtbl.create 8;
+          down = Hs.Table.create ();
+          up_state = None;
+        }
+      in
+      Hashtbl.replace st.nodes n ns;
+      ns
+
+let peer_of ns v =
+  match Hashtbl.find_opt ns.peers v with
+  | Some p -> p
+  | None ->
+      let p = { p_genid = 0; p_sn = 0 } in
+      Hashtbl.replace ns.peers v p;
+      p
+
+(* Root path cost: this node's current unicast distance to the
+   channel source — the assert-election metric. *)
+let rpc t n =
+  let table = Net.table (S.network t) in
+  let src = S.source t in
+  if n = src then 0
+  else if Routing.Table.reachable table n src then
+    Routing.Table.distance table n src
+  else metric_unknown
+
+let nbr_genid ns v =
+  match Hashtbl.find_opt ns.nbrs v with Some r -> r.n_genid | None -> 0
+
+let nbr_alive ns v ~now =
+  match Hashtbl.find_opt ns.nbrs v with
+  | Some r -> now <= r.n_heard
+  | None -> false
+
+(* A protocol participant: a multicast-capable router, or the source
+   (which runs the source agent even from a host attachment).  Hosts
+   and capability-disabled routers have no handler chained (see
+   [Proto.Session]) — helloing them would stream messages into a
+   void, and worse, make the liveness view permanently one-sided. *)
+let is_router t n =
+  let g = S.graph t in
+  (Topology.Graph.kind g n = Topology.Graph.Router
+  && Topology.Graph.multicast_capable g n)
+  || n = S.source t
+
+(* The RPF candidate: the first {e participating} hop on the unicast
+   path toward the source.  Under full deployment this is exactly
+   [next_hop]; a capability-disabled router in between is tunneled
+   through (the handler forwards packets not addressed to it). *)
+let rpf_of t n =
+  let src = S.source t in
+  if n = src then None
+  else
+    let table = Net.table (S.network t) in
+    let rec walk v =
+      if v = src || is_router t v then Some v
+      else
+        match Routing.Table.next_hop table v ~dest:src with
+        | Some w -> walk w
+        | None -> None
+    in
+    match Routing.Table.next_hop table n ~dest:src with
+    | Some v -> walk v
+    | None -> None
+
+(* The best {e alive} upstream alternative: among adjacent
+   participating neighbors with a live record and a finite advertised
+   metric, the lexicographic minimum of (metric + link cost, id). *)
+let best_alive_upstream t n ~now =
+  match Hashtbl.find_opt (S.state t).nodes n with
+  | None -> None
+  | Some ns ->
+      let g = S.graph t in
+      let adj = Topology.Graph.neighbors g n in
+      Hashtbl.fold
+        (fun v (r : nbr) best ->
+          if
+            is_router t v && now <= r.n_heard
+            && r.n_metric < metric_unknown
+            && List.mem v adj
+          then
+            let m = r.n_metric + Topology.Graph.cost g n v in
+            match best with
+            | Some (bm, bv) when compare (bm, bv) (m, v) <= 0 -> best
+            | Some _ | None -> Some (m, v)
+          else best)
+        ns.nbrs None
+
+(* Upstream selection, and the advertised root-path cost it implies.
+
+   The RPF candidate wins whenever it is not {e known} dead — a
+   missing record is bootstrap, not death.  When hellos have declared
+   it dead yet unicast routing still points through it (a crashed
+   router whose links came back up), the protocol does what HPIM-DM
+   routers do: re-parent onto the best alive neighbor by advertised
+   (metric, id), without waiting for routing to agree.  A node in
+   that degraded mode advertises its fallback cost (neighbor metric
+   plus link) rather than routing's figure, so every fallback parent
+   edge strictly decreases the advertised metric — parent chains
+   cannot cycle at a quiescent point. *)
+let upstream_info t n =
+  if n = S.source t then (None, 0)
+  else begin
+    let now = S.now t in
+    let rpf = rpf_of t n in
+    let degraded =
+      match rpf with
+      | None -> true
+      | Some p -> (
+          match Hashtbl.find_opt (S.state t).nodes n with
+          | None -> false
+          | Some ns -> (
+              match Hashtbl.find_opt ns.nbrs p with
+              | Some r -> now > r.n_heard
+              | None -> false))
+    in
+    if not degraded then (rpf, rpc t n)
+    else
+      match best_alive_upstream t n ~now with
+      | Some (m, v) -> (Some v, m)
+      | None ->
+          (* No live alternative: keep the RPF parent anyway.  The
+             reliable layer retransmits the pending interest with
+             backoff until the hop revives (crashed routers restart
+             with a fresh generation ID and re-synchronize) — exactly
+             how single-homed members survive their attachment
+             router's crash. *)
+          (rpf, rpc t n)
+  end
+
+let parent_of t n = fst (upstream_info t n)
+
+(* The metric this node advertises in hellos, syncs and asserts. *)
+let metric_of t n = snd (upstream_info t n)
+
+let wants ns = ns.ns_member || not (Hs.Table.is_empty ns.down)
+
+(* ---- The retransmission pump ------------------------------------------- *)
+
+(* One dynamically-armed wheel entry per session: armed when the
+   reliable table gains its first pending slot, stopped when it
+   drains.  The closure re-reads [S.state t] at every fire, so a
+   checkpoint restore (which swaps the whole state record) is
+   transparent to it. *)
+let rec ensure_pump t =
+  let st = S.state t in
+  match st.pump with
+  | Some e when Eventsim.Wheel.active e -> ()
+  | Some _ | None ->
+      let period = Rel.rto st.rel in
+      st.pump <-
+        Some
+          (Eventsim.Wheel.every (S.wheel t) ~start:period ~period (fun () ->
+               pump_fire t))
+
+and pump_fire t =
+  let st = S.state t in
+  Rel.due_iter st.rel ~now:(S.now t) (fun s ->
+      Obs.Metrics.hot_incr m_rtx;
+      S.send t ~from:s.Rel.s_from ~dst:s.Rel.s_dst ~kind:Pkt.Control
+        s.Rel.s_payload);
+  if Rel.pending st.rel = 0 then begin
+    (match st.pump with Some e -> Eventsim.Wheel.stop e | None -> ());
+    st.pump <- None
+  end
+
+let next_sn ns =
+  ns.ns_out <- ns.ns_out + 1;
+  ns.ns_out
+
+let send_ack t n ~dst ~cls ~sn =
+  S.send t ~from:n ~dst ~kind:Pkt.Control
+    (Tree { channel = S.channel t; target = n; ext = { a_sn = sn; a_cls = cls } })
+
+(* ---- Upstream interest (the audit) ------------------------------------- *)
+
+let post_join t n ns ~dst ~j_int ~track =
+  let st = S.state t in
+  let sn = next_sn ns in
+  let payload =
+    Join
+      {
+        channel = S.channel t;
+        member = n;
+        ext = { j_sn = sn; j_int; j_genid = ns.ns_genid };
+      }
+  in
+  Rel.post st.rel ~now:(S.now t) ~from:n ~dst ~cls:cls_join ~sn payload;
+  S.send t ~from:n ~dst ~kind:Pkt.Control payload;
+  ensure_pump t;
+  if track then ns.up_state <- Some (dst, j_int, nbr_genid ns dst)
+
+(* Reconcile what this node has expressed upstream with what it now
+   wants: post only on change (parent moved, polarity flipped, or the
+   parent restarted with a new generation ID).  Idempotent and cheap —
+   the steady state posts nothing. *)
+let audit t n =
+  let ns = node_state t n in
+  let now = S.now t in
+  let want = wants ns in
+  let parent = parent_of t n in
+  match parent with
+  | Some p when want ->
+      let g = nbr_genid ns p in
+      let expressed =
+        match ns.up_state with
+        | Some (p', true, g') -> p' = p && g' = g
+        | Some (_, false, _) | None -> false
+      in
+      if not expressed then begin
+        (match ns.up_state with
+        | Some (p', true, _) when p' <> p && nbr_alive ns p' ~now ->
+            (* Retract from the abandoned parent; untracked — the
+               reliable slot outlives the bookkeeping. *)
+            post_join t n ns ~dst:p' ~j_int:false ~track:false
+        | Some _ | None -> ());
+        post_join t n ns ~dst:p ~j_int:true ~track:true
+      end
+  | Some _ | None -> (
+      match ns.up_state with
+      | Some (p', true, _) ->
+          if nbr_alive ns p' ~now then
+            post_join t n ns ~dst:p' ~j_int:false ~track:true
+          else ns.up_state <- None
+      | Some (_, false, _) | None -> ())
+
+(* ---- Neighbor liveness and synchronization ----------------------------- *)
+
+let send_sync t n ~dst =
+  let st = S.state t in
+  let ns = node_state t n in
+  let sn = next_sn ns in
+  let s_int = wants ns && parent_of t n = Some dst in
+  let payload =
+    Extra
+      {
+        channel = S.channel t;
+        extra =
+          Sync
+            { s_sn = sn; s_genid = ns.ns_genid; s_metric = metric_of t n; s_int };
+      }
+  in
+  Rel.post st.rel ~now:(S.now t) ~from:n ~dst ~cls:cls_sync ~sn payload;
+  S.send t ~from:n ~dst ~kind:Pkt.Control payload;
+  Obs.Metrics.hot_incr m_syncs;
+  ensure_pump t;
+  if s_int then ns.up_state <- Some (dst, true, nbr_genid ns dst)
+
+(* The neighbor restarted: its hard state about us is gone and our
+   records of it are void.  Reset, then re-synchronize reliably. *)
+let neighbor_restarted t n ns ~v ~genid ~metric ~now =
+  let st = S.state t in
+  Rel.cancel_between st.rel ~from:n ~dst:v;
+  if Hs.Table.mem ns.down v then begin
+    Hs.Table.remove ns.down v;
+    Obs.Metrics.hot_incr m_down
+  end;
+  (match Hashtbl.find_opt ns.nbrs v with
+  | Some r ->
+      r.n_genid <- genid;
+      r.n_metric <- metric;
+      r.n_heard <- now +. (S.config t).holdtime
+  | None ->
+      Hashtbl.replace ns.nbrs v
+        {
+          n_genid = genid;
+          n_metric = metric;
+          n_heard = now +. (S.config t).holdtime;
+          n_hseq = 0;
+        });
+  send_sync t n ~dst:v;
+  audit t n
+
+let process_hello t n ~v ~genid ~metric ~hseq =
+  let ns = node_state t n in
+  let now = S.now t in
+  match Hashtbl.find_opt ns.nbrs v with
+  | None ->
+      Hashtbl.replace ns.nbrs v
+        {
+          n_genid = genid;
+          n_metric = metric;
+          n_heard = now +. (S.config t).holdtime;
+          n_hseq = hseq;
+        };
+      (* Fresh contact — at startup, or after this node expired [v]
+         and threw its hard state away (a loss burst can starve the
+         hello stream without any restart).  Synchronize reliably:
+         the Sync carries this node's interest through [v], and its
+         arrival tells [v] to re-audit its own upstream expression
+         (see [process_sync]) — the event-driven replacement for the
+         refresh a soft-state protocol would lean on here.  Only
+         participants speak: a member host syncing here would plant a
+         neighbor record of itself at the router, and since hosts
+         never hello, that record would expire and take the host's
+         hard interest entry with it, forever. *)
+      if is_router t n then send_sync t n ~dst:v;
+      audit t n
+  | Some r ->
+      (* The hseq monotonicity guard only orders hellos within one
+         incarnation: a different genid or a lapsed (dead) record means
+         the counter restarted, so the comparison is meaningless. *)
+      let revived = now > r.n_heard in
+      if hseq > r.n_hseq || genid <> r.n_genid || revived then begin
+        r.n_hseq <- hseq;
+        r.n_heard <- now +. (S.config t).holdtime;
+        if r.n_genid <> genid then
+          neighbor_restarted t n ns ~v ~genid ~metric ~now
+        else begin
+          r.n_metric <- metric;
+          (* The record was past its deadline — this node may already
+             have released [v]'s interest and re-parented away.  Same
+             genid means no restart, so nothing implicitly voids the
+             divergence: re-synchronize reliably, like fresh contact. *)
+          if revived && is_router t n then send_sync t n ~dst:v;
+          audit t n
+        end
+      end
+
+(* Release neighbors whose holdtime lapsed: their hard state is void
+   (downstream interest included) and pending messages to them are
+   cancelled — the implicit-clearing half of the reliable design.
+   The record itself is kept, marked dead by its lapsed deadline:
+   known-dead must stay distinguishable from never-seen, because the
+   upstream selection routes {e around} known-dead RPF candidates but
+   must keep trusting routing about neighbors it has no word on.
+   Every action here is idempotent, so re-walking dead records on
+   later sweeps is harmless. *)
+let expire_neighbors t n ns ~now =
+  let st = S.state t in
+  let dead =
+    Hashtbl.fold
+      (fun v (r : nbr) acc -> if now > r.n_heard then v :: acc else acc)
+      ns.nbrs []
+    |> List.sort compare
+  in
+  List.iter
+    (fun v ->
+      Rel.cancel_between st.rel ~from:n ~dst:v;
+      if Hs.Table.mem ns.down v then begin
+        Hs.Table.remove ns.down v;
+        Obs.Metrics.hot_incr m_down
+      end;
+      match ns.up_state with
+      | Some (p, _, _) when p = v -> ns.up_state <- None
+      | Some _ | None -> ())
+    dead
+
+let send_hellos t n ns =
+  let g = S.graph t in
+  let net = S.network t in
+  ns.ns_hseq <- ns.ns_hseq + 1;
+  let metric = metric_of t n in
+  let payload =
+    Extra
+      {
+        channel = S.channel t;
+        extra =
+          Hello { h_genid = ns.ns_genid; h_metric = metric; h_seq = ns.ns_hseq };
+      }
+  in
+  let hello v =
+    if Topology.Graph.link_up g n v && Net.node_up net v then
+      S.send t ~from:n ~dst:v ~kind:Pkt.Control payload
+  in
+  (* Router/source neighbors, then downstream member hosts (they need
+     the parent's generation ID to know when to re-express interest;
+     non-member hosts are never helloed). *)
+  List.iter
+    (fun v -> if is_router t v then hello v)
+    (List.sort compare (Topology.Graph.neighbors g n));
+  List.iter
+    (fun v -> if not (is_router t v) then hello v)
+    (Hs.Table.nodes ns.down)
+
+(* ---- Data plane --------------------------------------------------------- *)
+
+(* A downstream target receives a copy iff (1) unicast can reach it
+   right now — the hard entry survives an outage, forwarding resumes
+   on heal — and (2) for router targets, this node wins the link's
+   assert election: lexicographic (metric, id), my advertised root
+   path cost against the neighbor's.  Unknown or dead neighbors are
+   no competition — forward. *)
+let entitled t n ns d =
+  Routing.Table.reachable (Net.table (S.network t)) n d
+  && (if is_router t d then
+        match Hashtbl.find_opt ns.nbrs d with
+        | Some r when S.now t <= r.n_heard ->
+            compare (metric_of t n, n) (r.n_metric, d) < 0
+        | Some _ | None -> true
+      else true)
+
+let entitled_targets t n =
+  match Hashtbl.find_opt (S.state t).nodes n with
+  | None -> []
+  | Some ns -> List.filter (entitled t n ns) (Hs.Table.nodes ns.down)
+
+let fan_out t n seq emit =
+  match Hashtbl.find_opt (S.state t).nodes n with
+  | None -> ()
+  | Some ns ->
+      List.iter
+        (fun d ->
+          if entitled t n ns d then emit d seq)
+        (Hs.Table.nodes ns.down)
+
+(* ---- Receive processing ------------------------------------------------- *)
+
+let fresh_reliable ns ~v ~genid ~sn =
+  let pr = peer_of ns v in
+  if pr.p_genid <> genid then begin
+    pr.p_genid <- genid;
+    pr.p_sn <- 0
+  end;
+  if sn > pr.p_sn then begin
+    pr.p_sn <- sn;
+    true
+  end
+  else false
+
+let process_interest t n ~v ~sn ~j_int ~genid =
+  let ns = node_state t n in
+  send_ack t n ~dst:v ~cls:cls_join ~sn;
+  if fresh_reliable ns ~v ~genid ~sn then begin
+    (if j_int then ignore (Hs.Table.add ns.down v : Hs.entry)
+     else Hs.Table.remove ns.down v);
+    Obs.Metrics.hot_incr m_down;
+    audit t n
+  end
+
+let process_sync t n ~v ~sn ~genid ~metric ~s_int =
+  let ns = node_state t n in
+  let now = S.now t in
+  send_ack t n ~dst:v ~cls:cls_sync ~sn;
+  if fresh_reliable ns ~v ~genid ~sn then begin
+    (match Hashtbl.find_opt ns.nbrs v with
+    | Some r ->
+        if r.n_genid <> genid then begin
+          (* Restart detected through the sync itself (it raced ahead
+             of the hello): void our pendings toward the fresh peer.
+             No counter-sync — the peer is fresh, our audit below
+             re-expresses everything it needs. *)
+          Rel.cancel_between (S.state t).rel ~from:n ~dst:v;
+          r.n_genid <- genid
+        end;
+        r.n_metric <- metric;
+        r.n_heard <- now +. (S.config t).holdtime
+    | None ->
+        Hashtbl.replace ns.nbrs v
+          {
+            n_genid = genid;
+            n_metric = metric;
+            n_heard = now +. (S.config t).holdtime;
+            n_hseq = 0;
+          });
+    (if s_int then ignore (Hs.Table.add ns.down v : Hs.entry)
+     else Hs.Table.remove ns.down v);
+    Obs.Metrics.hot_incr m_down;
+    (* A Sync from the RPF parent means the parent (re)initialized its
+       view of this node — whatever interest was expressed before may
+       be gone from its table.  Void the witness so the audit below
+       re-posts it reliably. *)
+    if parent_of t n = Some v then ns.up_state <- None;
+    audit t n
+  end
+
+let handler t n (p : msg Pkt.t) =
+  match p.Pkt.payload with
+  | Join { ext = { j_sn; j_int; j_genid }; _ } when p.Pkt.dst = n ->
+      process_interest t n ~v:p.Pkt.src ~sn:j_sn ~j_int ~genid:j_genid;
+      Net.Consume
+  | Tree { ext = { a_sn; a_cls }; _ } when p.Pkt.dst = n ->
+      let st = S.state t in
+      Rel.ack st.rel ~from:n ~dst:p.Pkt.src ~cls:a_cls ~sn:a_sn;
+      Net.Consume
+  | Extra { extra = Hello { h_genid; h_metric; h_seq }; _ } when p.Pkt.dst = n
+    ->
+      process_hello t n ~v:p.Pkt.src ~genid:h_genid ~metric:h_metric
+        ~hseq:h_seq;
+      Net.Consume
+  | Extra { extra = Sync { s_sn; s_genid; s_metric; s_int }; _ }
+    when p.Pkt.dst = n ->
+      process_sync t n ~v:p.Pkt.src ~sn:s_sn ~genid:s_genid ~metric:s_metric
+        ~s_int;
+      Net.Consume
+  | Data { seq; _ } when p.Pkt.dst = n ->
+      let st = S.state t in
+      let seen = Option.value ~default:0 (Hashtbl.find_opt st.data_seen n) in
+      if seq > seen then begin
+        Hashtbl.replace st.data_seen n seq;
+        fan_out t n seq (fun d seq ->
+            let payload = Data { channel = S.channel t; seq } in
+            S.meter t ~from:n payload;
+            Net.emit (S.network t) ~at:n (Pkt.rewrite p ~src:n ~dst:d ~payload ()))
+      end;
+      Net.Consume
+  | Join _ | Tree _ | Data _ | Extra _ -> Net.Forward
+
+(* ---- Session hooks ------------------------------------------------------ *)
+
+let sweep t ~now =
+  let g = S.graph t in
+  let net = S.network t in
+  let st = S.state t in
+  for n = 0 to Topology.Graph.node_count g - 1 do
+    if Net.node_up net n then
+      if is_router t n then begin
+        (* Every up router (and the source) runs the hello cycle:
+           expire dead neighbors, advertise liveness + metric, then
+           reconcile upstream interest against current routing. *)
+        let ns = node_state t n in
+        expire_neighbors t n ns ~now;
+        send_hellos t n ns;
+        audit t n
+      end
+      else
+        match Hashtbl.find_opt st.nodes n with
+        | None -> ()
+        | Some ns ->
+            expire_neighbors t n ns ~now;
+            audit t n
+  done
+
+let hooks =
+  {
+    S.router = handler;
+    source_agent = handler;
+    member_agent = Some handler;
+    tick = None;
+    sweep;
+    state_size =
+      (fun t ->
+        Hashtbl.fold
+          (fun _ ns acc -> acc + Hs.Table.size ns.down)
+          (S.state t).nodes 0);
+    (* A crash voids the incarnation: tables, dedup windows and the
+       node's own pending reliable slots all go; the restart draws a
+       fresh generation ID lazily, and the neighbors' hello machinery
+       re-synchronizes from it. *)
+    crash_wipe =
+      (fun t n ->
+        let st = S.state t in
+        Hashtbl.remove st.nodes n;
+        Hashtbl.remove st.data_seen n;
+        Rel.drop_node st.rel n);
+    join_tick =
+      (fun t ~member ->
+        let ns = node_state t member in
+        ns.ns_member <- true;
+        expire_neighbors t member ns ~now:(S.now t);
+        audit t member);
+    on_subscribe =
+      (fun t m ->
+        let ns = node_state t m in
+        ns.ns_member <- true;
+        audit t m);
+    on_unsubscribe =
+      (fun t m ->
+        match Hashtbl.find_opt (S.state t).nodes m with
+        | None -> ()
+        | Some ns ->
+            ns.ns_member <- false;
+            audit t m);
+    send_data =
+      (fun t ->
+        let src = S.source t in
+        let seq = S.next_seq t in
+        fan_out t src seq (fun d seq ->
+            S.send t ~from:src ~dst:d ~kind:Pkt.Data
+              (Data { channel = S.channel t; seq })));
+  }
+
+let create ?config ?trace ?channel table ~source =
+  S.create ?config ?trace ?channel hooks table ~source
+
+let create_on ?config ?channel network ~source =
+  S.create_on ?config ?channel hooks network ~source
+
+let create_mux ?config ?channel mx ~source =
+  S.create_mux ?config ?channel hooks mx ~source
+
+let state_size t = hooks.S.state_size t
+
+(* ---- Inspection (verification and digests) ------------------------------ *)
+
+type nbr_view = {
+  nv_node : int;
+  nv_alive : bool;
+  nv_metric : int;
+  nv_genid : int;
+}
+
+type node_view = {
+  vw_member : bool;
+  vw_expressed : (int * bool) option;  (* (parent, polarity) *)
+  vw_down : int list;
+  vw_nbrs : nbr_view list;
+}
+
+let view t =
+  let st = S.state t in
+  let now = S.now t in
+  Hashtbl.fold
+    (fun n ns acc ->
+      let vw_nbrs =
+        Hashtbl.fold
+          (fun v (r : nbr) acc ->
+            {
+              nv_node = v;
+              nv_alive = now <= r.n_heard;
+              nv_metric = r.n_metric;
+              nv_genid = r.n_genid;
+            }
+            :: acc)
+          ns.nbrs []
+        |> List.sort (fun a b -> compare a.nv_node b.nv_node)
+      in
+      ( n,
+        {
+          vw_member = ns.ns_member;
+          vw_expressed =
+            Option.map (fun (p, pol, _) -> (p, pol)) ns.up_state;
+          vw_down = Hs.Table.nodes ns.down;
+          vw_nbrs;
+        } )
+      :: acc)
+    st.nodes []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let genid t n =
+  Option.map (fun ns -> ns.ns_genid) (Hashtbl.find_opt (S.state t).nodes n)
+
+let pending_digest t b = Rel.digest (S.state t).rel b
+let pending_count t = Rel.pending (S.state t).rel
+let metric t n = metric_of t n

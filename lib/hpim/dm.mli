@@ -1,0 +1,148 @@
+(** HPIM-DM: the hard-state fourth protocol instance (Oliveira/Silva/
+    Valadas, arXiv 2002.06635), adapted to the runtime's
+    point-to-point message model.
+
+    The design opposite of HBH's soft state: interest tables are
+    {e hard} ({!Proto.Hardstate} — no deadlines, entries change only
+    on explicit events), control messages are sequence-numbered and
+    {e reliable} ({!Proto.Reliable} — per-neighbor retransmission
+    with bounded backoff until acked), neighbor liveness comes from
+    periodic Hellos carrying generation IDs (a changed ID means the
+    neighbor restarted and triggers a reliable state
+    re-synchronization), and each (link, channel) runs a
+    deterministic assert-winner election — lexicographic
+    (root-path-cost metric, node id) — so only the winning endpoint
+    feeds data onto a link.
+
+    Steady state sends {e no} per-member refresh traffic: a member's
+    interest travels upstream once, reliably; only the fixed-rate
+    hello cycle remains.  Repair is event-driven — routing
+    reconvergence moves the RPF parent, the next audit retracts from
+    the old parent and re-expresses to the new one, and hard entries
+    behind a healed outage resume forwarding instantly instead of
+    being rebuilt by refresh. *)
+
+type ('jx, 'tx, 'extra) gen = ('jx, 'tx, 'extra) Proto.Messages.t =
+  | Join of { channel : Mcast.Channel.t; member : int; ext : 'jx }
+  | Tree of { channel : Mcast.Channel.t; target : int; ext : 'tx }
+  | Data of { channel : Mcast.Channel.t; seq : int }
+  | Extra of { channel : Mcast.Channel.t; extra : 'extra }
+
+type join_ext = {
+  j_sn : int;  (** reliable sequence number *)
+  j_int : bool;  (** [true]: Interest, [false]: NoInterest *)
+  j_genid : int;  (** sender's generation ID (resets the dedup window) *)
+}
+
+type ack_ext = { a_sn : int; a_cls : int }
+
+type xtra =
+  | Hello of { h_genid : int; h_metric : int; h_seq : int }
+  | Sync of { s_sn : int; s_genid : int; s_metric : int; s_int : bool }
+
+type msg = (join_ext, ack_ext, xtra) gen
+
+type config = {
+  hello_period : float;
+  holdtime : float;
+      (** a neighbor is declared dead this long after its last hello *)
+  rto : float;  (** initial reliable-retransmission timeout *)
+  rto_max : float;  (** retransmission backoff cap *)
+  join_period : float;
+      (** members' audit period (audits post only on change) *)
+}
+
+val default_config : config
+
+(** {1 The session surface}
+
+    The relevant subset of {!Proto.Session.Make}'s result — hooks are
+    pre-applied, so this reads like the other protocol instances. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?trace:Obs.Trace.t ->
+  ?channel:Mcast.Channel.t ->
+  Routing.Table.t ->
+  source:int ->
+  t
+
+val create_on :
+  ?config:config -> ?channel:Mcast.Channel.t -> msg Netsim.Network.t -> source:int -> t
+
+type mux
+
+val mux : msg Netsim.Network.t -> mux
+val mux_network : mux -> msg Netsim.Network.t
+val create_mux : ?config:config -> ?channel:Mcast.Channel.t -> mux -> source:int -> t
+val subscribe : t -> int -> unit
+val unsubscribe : t -> int -> unit
+val members : t -> int list
+val run_for : t -> float -> unit
+val converge : ?periods:int -> t -> unit
+val send_data : t -> unit
+val probe : t -> Mcast.Distribution.t
+val engine : t -> Eventsim.Engine.t
+val network : t -> msg Netsim.Network.t
+val graph : t -> Topology.Graph.t
+val channel : t -> Mcast.Channel.t
+val config : t -> config
+val source : t -> int
+val now : t -> float
+val data_seq : t -> int
+val route_epoch : t -> int
+val spans : t -> Obs.Span.t
+val control_overhead : t -> int
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val state_size : t -> int
+(** Total downstream (hard-state) entries across all nodes. *)
+
+(** {1 Inspection}
+
+    Structured views for the verification layer: canonical state
+    digests ({!Verif.Sut}) and the assert-election / neighbor-
+    consistency oracles ({!Verif.Oracle}). *)
+
+type nbr_view = {
+  nv_node : int;
+  nv_alive : bool;  (** last hello within holdtime *)
+  nv_metric : int;  (** advertised root path cost ([max_int] unknown) *)
+  nv_genid : int;  (** last recorded generation ID *)
+}
+
+type node_view = {
+  vw_member : bool;
+  vw_expressed : (int * bool) option;
+      (** upstream (parent, polarity) last expressed *)
+  vw_down : int list;  (** downstream hard-state entries, ascending *)
+  vw_nbrs : nbr_view list;  (** neighbor records, ascending *)
+}
+
+val view : t -> (int * node_view) list
+(** Every node holding state, ascending. *)
+
+val genid : t -> int -> int option
+(** The node's own current generation ID, if it holds state. *)
+
+val entitled_targets : t -> int -> int list
+(** The node's data-plane fan-out: downstream entries that are
+    unicast-reachable and (for router targets) on the winning side of
+    the link's assert election — exactly the targets a data packet at
+    the node is copied to. *)
+
+val metric : t -> int -> int
+(** The node's live root path cost ([max_int] when the source is
+    unreachable) — the assert-election metric. *)
+
+val pending_digest : t -> Buffer.t -> unit
+(** Append the reliable layer's pending slot keys (sorted) to a
+    canonical digest: unacked control traffic means not settled. *)
+
+val pending_count : t -> int

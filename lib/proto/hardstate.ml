@@ -1,0 +1,47 @@
+(* Non-expiring per-node entry tables: the hard-state counterpart of
+   Softstate.Table.  Entries carry no deadlines — they are installed
+   and removed only by explicit protocol events (a reliable control
+   message, a neighbor-death sweep, a crash wipe), never by the
+   passage of time. *)
+
+type entry = { node : int; seq : int }
+
+module Table = struct
+  type t = { entries : (int, entry) Hashtbl.t; mutable next_seq : int }
+
+  let create () = { entries = Hashtbl.create 8; next_seq = 1 }
+  let size t = Hashtbl.length t.entries
+  let is_empty t = Hashtbl.length t.entries = 0
+  let mem t node = Hashtbl.mem t.entries node
+  let find t node = Hashtbl.find_opt t.entries node
+
+  let add t node =
+    match Hashtbl.find_opt t.entries node with
+    | Some e -> e
+    | None ->
+        let e = { node; seq = t.next_seq } in
+        t.next_seq <- t.next_seq + 1;
+        Hashtbl.replace t.entries node e;
+        e
+
+  let remove t node = Hashtbl.remove t.entries node
+  let clear t = Hashtbl.reset t.entries
+
+  let copy t =
+    let entries = Hashtbl.create (max 8 (Hashtbl.length t.entries)) in
+    Hashtbl.iter
+      (fun n (e : entry) -> Hashtbl.replace entries n { e with node = e.node })
+      t.entries;
+    { entries; next_seq = t.next_seq }
+
+  let nodes t =
+    Hashtbl.fold (fun n _ acc -> n :: acc) t.entries [] |> List.sort compare
+
+  let entries t =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+    |> List.sort (fun a b -> compare a.node b.node)
+
+  let in_order t =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+    |> List.sort (fun a b -> compare a.seq b.seq)
+end

@@ -106,6 +106,7 @@ module Make (P : PROTOCOL) = struct
 
   let engine t = t.engine
   let network t = t.network
+  let wheel t = Mux.timers t.mux
   let graph t = t.graph
   let channel t = t.channel
   let ochan t = t.ochan

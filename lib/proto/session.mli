@@ -175,6 +175,14 @@ module Make (P : PROTOCOL) : sig
 
   val engine : t -> Eventsim.Engine.t
   val network : t -> P.msg Netsim.Network.t
+
+  val wheel : t -> Eventsim.Wheel.t
+  (** The session's (possibly mux-shared) timer wheel.  Protocols
+      arming their own dynamic timers (e.g. a {!Reliable}
+      retransmission pump) must use this wheel, not a raw
+      {!Eventsim.Timer}: wheel entries coalesce with the session's
+      tick/sweep buckets and participate in snapshot/restore. *)
+
   val graph : t -> Topology.Graph.t
   val channel : t -> Mcast.Channel.t
   val ochan : t -> Obs.Event.channel

@@ -254,9 +254,116 @@ let hbh_branch_on_path (sut : Sut.t) =
       stray
   end
 
+(* ---- HPIM-DM-specific oracles ------------------------------------------- *)
+
+(* "Exactly one assert winner per link": at a quiescent point, both
+   endpoints of every constituted router-router link must agree on
+   who wins the link's assert election — disagreement means either
+   both sides would feed data onto the link (duplicates) or neither
+   would (a blackhole the hard state cannot heal by refresh). *)
+let hpim_assert_unique (sut : Sut.t) =
+  if sut.Sut.proto <> "hpim-dm" then []
+  else begin
+    let bad =
+      List.filter_map
+        (fun (u, v, u_view, v_view) ->
+          if u_view <> v_view then Some (u, v, u_view, v_view) else None)
+        (sut.Sut.assert_links ())
+    in
+    count ~oracle:"hpim_assert_unique" (bad <> []);
+    List.map
+      (fun (u, v, u_view, v_view) ->
+        {
+          oracle = "hpim_assert_unique";
+          detail =
+            Printf.sprintf
+              "link %d-%d: %d believes %d wins the assert, %d believes %d wins"
+              u v u
+              (if u_view then u else v)
+              v
+              (if v_view then u else v);
+        })
+      bad
+  end
+
+(* "No data forwarding from assert losers": every data-plane fan-out
+   edge toward a router must originate from the endpoint that wins
+   that link's election in its own view (self-consistency between a
+   node's forwarding decisions and its election state). *)
+let hpim_assert_losers (sut : Sut.t) =
+  if sut.Sut.proto <> "hpim-dm" then []
+  else begin
+    let links = sut.Sut.assert_links () in
+    let winner_view ~from ~dst =
+      (* [from]'s own belief that it wins the (from, dst) link. *)
+      List.find_map
+        (fun (u, v, u_view, v_view) ->
+          if u = from && v = dst then Some u_view
+          else if u = dst && v = from then Some (not v_view)
+          else None)
+        links
+    in
+    let is_router n =
+      G.multicast_capable sut.Sut.graph n || n = sut.Sut.source
+    in
+    let bad = ref [] in
+    List.iter
+      (fun (n, targets) ->
+        List.iter
+          (fun d ->
+            if is_router d then
+              match winner_view ~from:n ~dst:d with
+              | Some true | None -> ()
+              | Some false -> bad := (n, d) :: !bad)
+          targets)
+      (sut.Sut.fanout ());
+    count ~oracle:"hpim_assert_losers" (!bad <> []);
+    List.map
+      (fun (n, d) ->
+        {
+          oracle = "hpim_assert_losers";
+          detail =
+            Printf.sprintf
+              "router %d forwards data to %d despite losing that link's assert"
+              n d;
+        })
+      (List.rev !bad)
+  end
+
+(* "Neighbor tables are consistent at quiescence": across every up
+   link between up routers, hello liveness must be mutual and each
+   side's recorded generation ID must match the neighbor's actual
+   current one — a one-sided or stale view means the hard state the
+   two routers hold about each other has silently diverged. *)
+let hpim_nbr_consistency (sut : Sut.t) =
+  if sut.Sut.proto <> "hpim-dm" then []
+  else begin
+    let bad =
+      List.filter_map
+        (fun (u, v, u_sees_v, v_sees_u, genid_ok) ->
+          if u_sees_v && v_sees_u && genid_ok then None
+          else Some (u, v, u_sees_v, v_sees_u, genid_ok))
+        (sut.Sut.nbr_pairs ())
+    in
+    count ~oracle:"hpim_nbr_consistency" (bad <> []);
+    List.map
+      (fun (u, v, u_sees_v, v_sees_u, genid_ok) ->
+        {
+          oracle = "hpim_nbr_consistency";
+          detail =
+            Printf.sprintf
+              "link %d-%d: liveness %d->%d=%b %d->%d=%b, generation IDs %s" u v
+              u v u_sees_v v u v_sees_u
+              (if genid_ok then "consistent" else "diverged");
+        })
+      bad
+  end
+
 (* ---- Combined check ----------------------------------------------------- *)
 
 let structural_check sut =
   tree_check sut @ hbh_first_join sut @ hbh_branch_on_path sut
+  @ hpim_assert_unique sut @ hpim_assert_losers sut
+  @ hpim_nbr_consistency sut
 
 let check sut = structural_check sut @ delivery_check sut

@@ -35,8 +35,25 @@ val hbh_branch_on_path : Sut.t -> violation list
     (forward or reverse — the two differ under asymmetric costs).
     Fusion must never leave an active branching router off-tree. *)
 
+val hpim_assert_unique : Sut.t -> violation list
+(** HPIM-DM only: both endpoints of every constituted router-router
+    link agree on who wins the link's assert election — exactly one
+    winner per link.  Empty for other protocols. *)
+
+val hpim_assert_losers : Sut.t -> violation list
+(** HPIM-DM only: every data-plane fan-out edge toward a router
+    originates from the endpoint that wins that link's election in
+    its own view — assert losers must not forward. *)
+
+val hpim_nbr_consistency : Sut.t -> violation list
+(** HPIM-DM only: across every up router-router link, hello liveness
+    is mutual and both recorded generation IDs match the neighbor's
+    actual one — the hard state the two routers hold about each other
+    has not silently diverged. *)
+
 val structural_check : Sut.t -> violation list
-(** All non-mutating oracles: {!tree_check} + the HBH pair. *)
+(** All non-mutating oracles: {!tree_check} + the HBH pair + the
+    HPIM-DM triple. *)
 
 val check : Sut.t -> violation list
 (** {!structural_check} + {!delivery_check}.  Mutates the SUT. *)

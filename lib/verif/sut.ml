@@ -51,6 +51,15 @@ type t = {
   branch_nodes : unit -> (int * int list) list;
       (** HBH only: branching routers with their non-stale entry
           nodes; [[]] for other protocols *)
+  assert_links : unit -> (int * int * bool * bool) list;
+      (** HPIM-DM only: per up router-router link [(u, v, u_view,
+          v_view)] where each [_view] is that endpoint's belief that
+          [u] wins the link's assert election; [[]] for other
+          protocols *)
+  nbr_pairs : unit -> (int * int * bool * bool * bool) list;
+      (** HPIM-DM only: per up router-router link [(u, v, u_sees_v,
+          v_sees_u, genid_ok)] — mutual hello liveness and
+          generation-ID agreement; [[]] for other protocols *)
 }
 
 (* ---- Canonical state digests ------------------------------------------ *)
@@ -214,6 +223,8 @@ let of_hbh ?candidates (p : Hbh.Protocol.t) =
     source_has_state =
       (fun () -> Hbh.Tables.Mft.entries (P.source_table p) <> []);
     branch_nodes;
+    assert_links = (fun () -> []);
+    nbr_pairs = (fun () -> []);
   }
 
 let of_reunite ?candidates (p : Reunite.Protocol.t) =
@@ -317,6 +328,8 @@ let of_reunite ?candidates (p : Reunite.Protocol.t) =
     intercept_on_path = true;
     source_has_state = (fun () -> P.source_table p <> None);
     branch_nodes = (fun () -> []);
+    assert_links = (fun () -> []);
+    nbr_pairs = (fun () -> []);
   }
 
 let of_pim ?candidates (p : Pim.Ssm.t) =
@@ -393,25 +406,176 @@ let of_pim ?candidates (p : Pim.Ssm.t) =
       (fun () ->
         List.exists (fun (n, _) -> n = source) (fanout ()));
     branch_nodes = (fun () -> []);
+    assert_links = (fun () -> []);
+    nbr_pairs = (fun () -> []);
+  }
+
+let of_hpim ?candidates (p : Hpim.Dm.t) =
+  let module P = Hpim.Dm in
+  let net = P.network p in
+  let graph = Net.graph net in
+  let source = P.source p in
+  let now () = Eventsim.Engine.now (P.engine p) in
+  let cfg = P.config p in
+  let control_period = cfg.P.hello_period and holdtime = cfg.P.holdtime in
+  (* Hard-state tables digest without deadline buckets: entries change
+     only on explicit events, so the raw structure is already
+     canonical.  Generation-ID values, sequence numbers and absolute
+     liveness deadlines are monotonic bookkeeping and stay out; the
+     reliable layer's pending slot keys are included — unacked control
+     traffic in flight means the state has not settled. *)
+  let dump_tables () =
+    let b = Buffer.create 256 in
+    List.iter
+      (fun (n, vw) ->
+        Buffer.add_string b
+          (Printf.sprintf "|%d%s:" n (if vw.P.vw_member then "M" else ""));
+        (match vw.P.vw_expressed with
+        | Some (par, pol) ->
+            Buffer.add_string b
+              (Printf.sprintf "u%d%c:" par (if pol then '+' else '-'))
+        | None -> ());
+        List.iter
+          (fun d -> Buffer.add_string b (Printf.sprintf "d%d;" d))
+          vw.P.vw_down;
+        List.iter
+          (fun (r : P.nbr_view) ->
+            Buffer.add_string b
+              (Printf.sprintf "n%d%s:%d;" r.P.nv_node
+                 (if r.P.nv_alive then "" else "X")
+                 r.P.nv_metric))
+          vw.P.vw_nbrs)
+      (P.view p);
+    Buffer.add_string b "|rel:";
+    P.pending_digest p b;
+    Buffer.contents b
+  in
+  let fanout () =
+    List.filter_map
+      (fun (n, _) ->
+        match P.entitled_targets p n with [] -> None | ts -> Some (n, ts))
+      (P.view p)
+  in
+  (* The assert-election and neighbor-consistency views: one row per
+     up link between up routers (the source counts as a router). *)
+  let is_router n =
+    (G.kind graph n = G.Router && G.multicast_capable graph n) || n = source
+  in
+  let router_links () =
+    let acc = ref [] in
+    for u = 0 to G.node_count graph - 1 do
+      if is_router u && Net.node_up net u then
+        List.iter
+          (fun v ->
+            if u < v && is_router v && Net.node_up net v && G.link_up graph u v
+            then acc := (u, v) :: !acc)
+          (List.sort compare (G.neighbors graph u))
+    done;
+    List.rev !acc
+  in
+  let nbr_of view u v =
+    match List.assoc_opt u view with
+    | None -> None
+    | Some vw -> List.find_opt (fun r -> r.P.nv_node = v) vw.P.vw_nbrs
+  in
+  let assert_links () =
+    let view = P.view p in
+    List.filter_map
+      (fun (u, v) ->
+        match (nbr_of view u v, nbr_of view v u) with
+        | Some ruv, Some rvu when ruv.P.nv_alive && rvu.P.nv_alive ->
+            (* Each endpoint's belief that [u] wins: lexicographic
+               (metric, id), own live metric against the neighbor's
+               advertised one. *)
+            let u_view = compare (P.metric p u, u) (ruv.P.nv_metric, v) < 0 in
+            let v_view = compare (rvu.P.nv_metric, u) (P.metric p v, v) < 0 in
+            Some (u, v, u_view, v_view)
+        | (Some _ | None), (Some _ | None) -> None)
+      (router_links ())
+  in
+  let nbr_pairs () =
+    let view = P.view p in
+    List.map
+      (fun (u, v) ->
+        let ruv = nbr_of view u v and rvu = nbr_of view v u in
+        let alive = function Some (r : P.nbr_view) -> r.P.nv_alive | None -> false in
+        let genid_matches r g =
+          match (r, g) with
+          | Some (r : P.nbr_view), Some g -> r.P.nv_genid = g
+          | (Some _ | None), (Some _ | None) -> false
+        in
+        let genid_ok =
+          genid_matches ruv (P.genid p v) && genid_matches rvu (P.genid p u)
+        in
+        (u, v, alive ruv, alive rvu, genid_ok))
+      (router_links ())
+  in
+  let inj =
+    injector net ~subscribe:(P.subscribe p) ~unsubscribe:(P.unsubscribe p)
+  in
+  {
+    proto = "hpim-dm";
+    graph;
+    table = Net.table net;
+    source;
+    candidates =
+      (match candidates with
+      | Some c -> c
+      | None -> default_candidates graph ~source);
+    control_period;
+    t2 = holdtime;
+    engine = P.engine p;
+    trace = Net.trace net;
+    subscribe = P.subscribe p;
+    unsubscribe = P.unsubscribe p;
+    members = (fun () -> P.members p);
+    node_up = Net.node_up net;
+    now;
+    run_for = P.run_for p;
+    save =
+      (fun () ->
+        let s = P.snapshot p in
+        let fs = Fault.Injector.save inj in
+        fun () ->
+          P.restore p s;
+          Fault.Injector.restore inj fs);
+    inject = Fault.Injector.apply inj;
+    reconverge = (fun () -> Net.reconverge net);
+    set_default_loss = Net.set_default_loss net;
+    probe =
+      probe_net net
+        ~send_data:(fun () -> P.send_data p)
+        ~run_for:(P.run_for p) ~control_period;
+    dump_tables;
+    fanout;
+    intercept_on_path = false;
+    source_has_state =
+      (fun () -> List.exists (fun (n, _) -> n = source) (fanout ()));
+    branch_nodes = (fun () -> []);
+    assert_links;
+    nbr_pairs;
   }
 
 (* ---- Convenience factory ----------------------------------------------- *)
 
-type protocol = Hbh | Reunite | Pim_ssm
+type protocol = Hbh | Reunite | Pim_ssm | Hpim_dm
 
 let protocol_of_string = function
   | "hbh" -> Hbh
   | "reunite" -> Reunite
   | "pim" | "pim-ssm" | "pim_ssm" -> Pim_ssm
+  | "hpim" | "hpim-dm" | "hpim_dm" -> Hpim_dm
   | s -> invalid_arg (Printf.sprintf "Verif.Sut: unknown protocol %S" s)
 
 let protocol_name = function
   | Hbh -> "hbh"
   | Reunite -> "reunite"
   | Pim_ssm -> "pim-ssm"
+  | Hpim_dm -> "hpim-dm"
 
 let make ?candidates protocol table ~source =
   match protocol with
   | Hbh -> of_hbh ?candidates (Hbh.Protocol.create table ~source)
   | Reunite -> of_reunite ?candidates (Reunite.Protocol.create table ~source)
   | Pim_ssm -> of_pim ?candidates (Pim.Ssm.create table ~source)
+  | Hpim_dm -> of_hpim ?candidates (Hpim.Dm.create table ~source)

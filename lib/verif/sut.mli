@@ -10,7 +10,7 @@
     explorer stays monomorphic. *)
 
 type t = {
-  proto : string;  (** "hbh", "reunite" or "pim-ssm" *)
+  proto : string;  (** "hbh", "reunite", "pim-ssm" or "hpim-dm" *)
   graph : Topology.Graph.t;
   table : Routing.Table.t;
   source : int;
@@ -62,6 +62,21 @@ type t = {
       (** HBH only: branching routers with non-stale entries (their
           tree targets) — input to the fusion-placement oracle; [[]]
           for the other protocols *)
+  assert_links : unit -> (int * int * bool * bool) list;
+      (** HPIM-DM only: one row per up link between up routers (the
+          source included), [(u, v, u_view, v_view)] where each
+          [_view] is that endpoint's belief that [u] wins the link's
+          assert election — input to the assert-agreement oracle.
+          Links where either endpoint lacks a live neighbor record of
+          the other are omitted (election not yet constituted).  [[]]
+          for the other protocols. *)
+  nbr_pairs : unit -> (int * int * bool * bool * bool) list;
+      (** HPIM-DM only: one row per up link between up routers,
+          [(u, v, u_sees_v, v_sees_u, genid_ok)] — each side's hello
+          liveness view of the other, and whether both recorded
+          generation IDs match the neighbor's actual one — input to
+          the neighbor-consistency oracle; [[]] for the other
+          protocols. *)
 }
 
 (** {1 Canonical state digests} *)
@@ -90,11 +105,17 @@ val of_hbh : ?candidates:int list -> Hbh.Protocol.t -> t
 val of_reunite : ?candidates:int list -> Reunite.Protocol.t -> t
 val of_pim : ?candidates:int list -> Pim.Ssm.t -> t
 
-type protocol = Hbh | Reunite | Pim_ssm
+val of_hpim : ?candidates:int list -> Hpim.Dm.t -> t
+(** Hard state digests without deadline buckets (entries move only on
+    explicit events); the reliable layer's pending slot keys join the
+    digest, so a state with unacked control traffic in flight never
+    looks quiescent. *)
+
+type protocol = Hbh | Reunite | Pim_ssm | Hpim_dm
 
 val protocol_of_string : string -> protocol
-(** Accepts "hbh", "reunite", "pim", "pim-ssm".  Raises
-    [Invalid_argument] otherwise. *)
+(** Accepts "hbh", "reunite", "pim", "pim-ssm", "hpim", "hpim-dm".
+    Raises [Invalid_argument] otherwise. *)
 
 val protocol_name : protocol -> string
 

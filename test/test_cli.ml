@@ -77,10 +77,38 @@ let test_churn_bad_sample_interval () =
   check_usage_exit "churn --sample-every 0" "churn --sample-every 0"
     ~msg:"--sample-every must be a positive interval"
 
+(* The shared --protocol converter: the registry-derived spelling
+   [hpim-dm] must be accepted wherever --protocol is, near-misses must
+   be rejected by the enum with the known names listed, and validate —
+   which has analytic oracles only for the soft-state refcounting
+   protocols — must refuse it through the same exit-2 funnel. *)
+let test_protocol_bad_spelling () =
+  check_usage_exit "faults --protocol hpimdm" "faults --protocol hpimdm"
+    ~msg:"invalid value 'hpimdm'"
+
+let test_validate_rejects_hpim () =
+  check_usage_exit "validate --protocol hpim-dm" "validate --protocol hpim-dm"
+    ~msg:"validate has no analytic HPIM-DM oracle"
+
+let test_usage_advertises_hpim () =
+  let _, _, err = run "definitely-not-a-command" in
+  Alcotest.(check bool)
+    "usage lists hpim-dm" true
+    (contains err "hbh|reunite|pim-ssm|hpim-dm")
+
 (* One good invocation end to end: the short soak must complete with
    silent monitors and exit 0 — the same gate the CI smoke greps. *)
 let test_soak_smoke () =
   let code, out, _ = run "soak --hours 1 --seed 42 --protocol hbh" in
+  Alcotest.(check int) "soak exit code" 0 code;
+  Alcotest.(check bool)
+    "monitors silent" true
+    (contains out "monitors: 0 violations")
+
+(* Same gate for the hard-state instance: accepted spelling, clean
+   run, silent runtime monitors. *)
+let test_soak_smoke_hpim () =
+  let code, out, _ = run "soak --hours 1 --seed 42 --protocol hpim-dm" in
   Alcotest.(check int) "soak exit code" 0 code;
   Alcotest.(check bool)
     "monitors silent" true
@@ -111,10 +139,18 @@ let () =
             test_churn_bad_generator;
           Alcotest.test_case "churn rejects a zero --sample-every" `Quick
             test_churn_bad_sample_interval;
+          Alcotest.test_case "--protocol rejects near-miss spellings" `Quick
+            test_protocol_bad_spelling;
+          Alcotest.test_case "validate refuses hpim-dm" `Quick
+            test_validate_rejects_hpim;
+          Alcotest.test_case "usage advertises hpim-dm" `Quick
+            test_usage_advertises_hpim;
         ] );
       ( "soak smoke",
         [
           Alcotest.test_case "1-hour HBH soak passes with silent monitors"
             `Quick test_soak_smoke;
+          Alcotest.test_case "1-hour HPIM-DM soak passes with silent monitors"
+            `Quick test_soak_smoke_hpim;
         ] );
     ]

@@ -265,6 +265,57 @@ let prop_hbh_recovers_from_link_failure =
           Mcast.Distribution.receivers d = List.sort compare receivers
           && Mcast.Distribution.max_stress d = 1)
 
+(* The same healing contract for the hard-state instance.  HPIM-DM
+   has no refresh cycle to drain: detection is the hello holdtime, and
+   repair is event-driven — the RPF side re-expresses its interest
+   reliably, the far side's hard entry resumes on revival-sync — so
+   the property doubles as a regression net for the reliable layer's
+   retransmission/ack clearing under partitions. *)
+let prop_hpim_recovers_from_link_failure =
+  QCheck.Test.make
+    ~name:
+      "HPIM-DM: any single link failure + restore heals by detected quiescence"
+    ~count:10
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g, table, source, receivers = scenario_of_seed seed in
+      let session = Hpim.Dm.create table ~source in
+      List.iter (Hpim.Dm.subscribe session) receivers;
+      Hpim.Dm.converge ~periods:12 session;
+      let net = Hpim.Dm.network session in
+      let tree_links = tree_core_links g table ~source ~receivers in
+      match tree_links with
+      | [] -> true (* degenerate star: nothing to fail *)
+      | links ->
+          let pick = Stats.Rng.create (seed + 7919) in
+          let u, v = List.nth links (Stats.Rng.int pick (List.length links)) in
+          let cfg = Hpim.Dm.config session in
+          let inj = Fault.Injector.create net in
+          Fault.Injector.apply inj (Fault.Plan.Link_down { u; v });
+          ignore (Fault.Injector.reconverge net);
+          (* past the holdtime, so both endpoints declare each other
+             dead and the hard state across the link is released *)
+          Hpim.Dm.run_for session (2.0 *. cfg.Hpim.Dm.holdtime);
+          Fault.Injector.apply inj (Fault.Plan.Link_up { u; v });
+          ignore (Fault.Injector.reconverge net);
+          let sut = Verif.Sut.of_hpim session in
+          let routers = List.length (Topology.Graph.routers g) in
+          let budget_factor = float_of_int (routers + 2) in
+          (match Verif.Scenario.quiesce ~budget_factor sut with
+          | Some _ -> ()
+          | None ->
+              QCheck.Test.fail_reportf
+                "hard state still churning %g*holdtime after link restore"
+                budget_factor);
+          let d = Hpim.Dm.probe session in
+          (* Copies are unicast-addressed (PIM-SSM's shape), so with
+             asymmetric costs two copies' paths may share a link —
+             per-link stress 1 is not this stack's invariant.  The
+             heal contract is per-receiver: everyone served, exactly
+             one copy each. *)
+          Mcast.Distribution.receivers d = List.sort compare receivers
+          && Mcast.Distribution.duplicate_deliveries d = 0)
+
 (* The ROADMAP mutual-capture pathology, replayed: the link-failure
    property's qcheck input 71643 — link 5-17 on a 22-router random
    topology.  Before the route-epoch freshness guard (DESIGN.md §6b)
@@ -354,6 +405,7 @@ let () =
             prop_all_costs_bounded_by_unicast_star;
             prop_symmetric_costs_collapse_gap;
             prop_hbh_recovers_from_link_failure;
+            prop_hpim_recovers_from_link_failure;
             prop_event_hbh_matches_analytic_small;
           ] );
       ( "runtime-monitor",

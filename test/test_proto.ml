@@ -269,6 +269,18 @@ let pinned =
     ("HBH/rand50", "d69b5b5d563f1080f336e2f26a3044ab");
     ("REUNITE/rand50", "a5a9aae50128d3a40f323350acb44c36");
     ("PIM-SSM/rand50", "7438e27eea86080251f6f390e3377698");
+    (* HPIM-DM digests pinned at introduction: the hard-state stack's
+       crash-and-restart deliveries, frozen so later refactors of the
+       reliable layer or the hello cycle cannot silently move a
+       packet. *)
+    ("HPIM-DM/isp", "fc4288c43bf2e4f85406fc195bbb1a9e");
+    (* Equal to the PIM-SSM digest by construction, not by accident:
+       on this topology both stacks forward along the same
+       source-rooted shortest-path tree with no duplicate suppression
+       needed, and the crash script repairs inside the same probe
+       gap, so the delivered (time, receiver, seq) stream coincides
+       packet for packet. *)
+    ("HPIM-DM/rand50", "7438e27eea86080251f6f390e3377698");
   ]
 
 let check_fingerprint proto config ~topo ~n () =
@@ -293,6 +305,8 @@ let equivalence_tests =
       (Faults.P_hbh, rand50, "rand50", 15);
       (Faults.P_reunite, rand50, "rand50", 15);
       (Faults.P_pim_ssm, rand50, "rand50", 15);
+      (Faults.P_hpim, isp, "isp", 8);
+      (Faults.P_hpim, rand50, "rand50", 15);
     ]
 
 let () =

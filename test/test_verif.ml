@@ -14,7 +14,8 @@ let rand50_sut protocol ~seed () =
     (Routing.Table.compute cfg.Experiments.Common.graph)
     ~source:cfg.Experiments.Common.source
 
-let all_protocols = [ Verif.Sut.Hbh; Verif.Sut.Reunite; Verif.Sut.Pim_ssm ]
+let all_protocols =
+  [ Verif.Sut.Hbh; Verif.Sut.Reunite; Verif.Sut.Pim_ssm; Verif.Sut.Hpim_dm ]
 
 (* ---- Snapshot round-trip (qcheck) -------------------------------------- *)
 
